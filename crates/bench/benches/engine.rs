@@ -1,0 +1,132 @@
+//! Engine micro-benchmarks: snapshot construction, flooding sweeps, and
+//! the cell-list vs naive pair-scan ablation called out in DESIGN.md.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use dg_bench::SeedTape;
+use dg_mobility::{CellList, Point};
+use dynagraph::flooding::flood;
+use dynagraph::{EvolvingGraph, Snapshot, StaticEvolvingGraph};
+
+fn bench_snapshot_rebuild(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/snapshot_rebuild");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for &m in &[1_000usize, 10_000, 100_000] {
+        let n = 2 * (m as f64).sqrt() as usize + 10;
+        let mut rng = SmallRng::seed_from_u64(1);
+        let edges: Vec<(u32, u32)> = (0..m)
+            .map(|_| {
+                let u = rng.gen_range(0..n as u32);
+                let mut v = rng.gen_range(0..n as u32);
+                while v == u {
+                    v = rng.gen_range(0..n as u32);
+                }
+                (u.min(v), u.max(v))
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            let mut snap = Snapshot::empty(n);
+            b.iter(|| {
+                snap.rebuild_from_edges(&edges);
+                snap.edge_count()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_flood_static(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/flood_static_grid");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for &side in &[16usize, 32, 64] {
+        let graph = dg_graph::generators::grid(side, side);
+        group.bench_with_input(BenchmarkId::from_parameter(side * side), &side, |b, _| {
+            let mut g = StaticEvolvingGraph::new(graph.clone());
+            b.iter(|| flood(&mut g, 0, 100_000).flooding_time());
+        });
+    }
+    group.finish();
+}
+
+fn bench_cell_list_vs_naive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/pairs_within_radius");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let tape = SeedTape::new();
+    for &n in &[256usize, 1024, 4096] {
+        let side = (n as f64).sqrt();
+        let r = 1.0;
+        let mut rng = SmallRng::seed_from_u64(tape.next_seed());
+        let points: Vec<Point> = (0..n)
+            .map(|_| Point::new(rng.gen::<f64>() * side, rng.gen::<f64>() * side))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("cell_list", n), &n, |b, _| {
+            let mut cells = CellList::new(side, r);
+            b.iter(|| {
+                cells.rebuild(&points);
+                let mut count = 0u32;
+                cells.for_each_pair_within(&points, r, |_, _| count += 1);
+                count
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| {
+                let mut count = 0u32;
+                for i in 0..n {
+                    for j in (i + 1)..n {
+                        if points[i].distance_sq(points[j]) <= r * r {
+                            count += 1;
+                        }
+                    }
+                }
+                count
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_edge_meg_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/edge_meg_step");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let tape = SeedTape::new();
+    for &n in &[256usize, 1024] {
+        let p = 2.0 / n as f64;
+        group.bench_with_input(BenchmarkId::new("dense", n), &n, |b, _| {
+            let mut g =
+                dg_edge_meg::TwoStateEdgeMeg::stationary(n, p, 0.3, tape.next_seed()).unwrap();
+            b.iter(|| g.step().edge_count());
+        });
+        group.bench_with_input(BenchmarkId::new("sparse_event_driven", n), &n, |b, _| {
+            let mut g =
+                dg_edge_meg::SparseTwoStateEdgeMeg::stationary(n, p, 0.3, tape.next_seed())
+                    .unwrap();
+            b.iter(|| g.step().edge_count());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_snapshot_rebuild,
+    bench_flood_static,
+    bench_cell_list_vs_naive,
+    bench_edge_meg_step
+);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! T4 bench: flooding on the finite node-MEG (lazy walk on a k-cycle of
+//! points, same-point connection) plus the exact analysis itself.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dg_bench::SeedTape;
+use dg_markov::DenseChain;
+use dynagraph::flooding::flood;
+use dynagraph::node_meg::{FiniteNodeChain, MatrixConnection, NodeMeg, NodeMegAnalysis};
+
+fn lazy_cycle_chain(k: usize) -> DenseChain {
+    let mut rows = vec![vec![0.0; k]; k];
+    for (i, row) in rows.iter_mut().enumerate() {
+        row[i] = 0.5;
+        row[(i + 1) % k] += 0.25;
+        row[(i + k - 1) % k] += 0.25;
+    }
+    DenseChain::from_rows(rows).unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t04_node_meg");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    let tape = SeedTape::new();
+    let n = 48;
+    for &k in &[8usize, 16] {
+        group.bench_with_input(BenchmarkId::new("flood", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut meg = NodeMeg::new(
+                    FiniteNodeChain::stationary_start(lazy_cycle_chain(k)).unwrap(),
+                    MatrixConnection::same_state(k),
+                    n,
+                    tape.next_seed(),
+                )
+                .unwrap();
+                flood(&mut meg, 0, 200_000).flooding_time()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("exact_analysis", k), &k, |b, &k| {
+            let chain = lazy_cycle_chain(k);
+            let conn = MatrixConnection::same_state(k);
+            b.iter(|| NodeMegAnalysis::compute(&chain, &conn).unwrap().eta);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

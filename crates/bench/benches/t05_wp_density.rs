@@ -1,0 +1,28 @@
+//! T5 bench: estimating the waypoint positional occupancy and its
+//! (δ, λ) constants.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dg_mobility::{positional, RandomWaypoint};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t05_wp_density");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    let wp = RandomWaypoint::new(16.0, 1.0, 1.0).unwrap();
+    group.bench_function("stationary_occupancy_40k", |b| {
+        b.iter(|| positional::stationary_occupancy(&wp, 8, 500, 40_000, 0x5));
+    });
+    let occ = positional::stationary_occupancy(&wp, 8, 500, 40_000, 0x5);
+    group.bench_function("delta_lambda_extraction", |b| {
+        b.iter(|| positional::estimate_delta_lambda(&occ, 16.0, 1.0));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! T7 bench: the headline sparse-waypoint flooding series
+//! (`L = √n`, `r = v = 1`).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dg_bench::SeedTape;
+use dg_mobility::{GeometricMeg, RandomWaypoint};
+use dynagraph::flooding::flood;
+use dynagraph::EvolvingGraph;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t07_wp_flooding");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(4));
+    let tape = SeedTape::new();
+    for &n in &[64usize, 144, 256] {
+        let side = (n as f64).sqrt();
+        group.bench_with_input(BenchmarkId::new("flood_sparse", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut g = GeometricMeg::new(
+                    RandomWaypoint::new(side, 1.0, 1.0).unwrap(),
+                    n,
+                    1.0,
+                    tape.next_seed(),
+                )
+                .unwrap();
+                g.warm_up((8.0 * side) as usize);
+                flood(&mut g, 0, 200_000).flooding_time()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! T9 bench: random L-paths on grids (Corollary 5) — family construction
+//! and flooding.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dg_bench::SeedTape;
+use dg_mobility::{PathFamily, RandomPathModel};
+use dynagraph::flooding::flood;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t09_rand_paths");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+    let tape = SeedTape::new();
+    for &m in &[4usize, 6] {
+        group.bench_with_input(BenchmarkId::new("build_family", m), &m, |b, &m| {
+            b.iter(|| {
+                let (_, family) = PathFamily::grid_l_paths(m, m);
+                family.delta_regularity()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("flood", m), &m, |b, &m| {
+            let (_, family) = PathFamily::grid_l_paths(m, m);
+            let n = 4 * family.point_count();
+            b.iter(|| {
+                let mut model = RandomPathModel::stationary_lazy(
+                    family.clone(),
+                    n,
+                    0.25,
+                    tape.next_seed(),
+                )
+                .unwrap();
+                flood(&mut model, 0, 500_000).flooding_time()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Shared helpers for the Criterion benches.
+//!
+//! Each bench file in `benches/` regenerates one experiment's series at a
+//! reduced scale (`cargo bench` must terminate in minutes, not hours);
+//! the full-scale tables live in the `dg-experiments` harness.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A deterministic-but-rotating seed source, so consecutive bench
+/// iterations measure different realizations while the sequence stays
+/// reproducible.
+#[derive(Debug, Default)]
+pub struct SeedTape {
+    counter: AtomicU64,
+}
+
+impl SeedTape {
+    /// Creates a tape starting at 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The next seed.
+    pub fn next_seed(&self) -> u64 {
+        let i = self.counter.fetch_add(1, Ordering::Relaxed);
+        dynagraph::mix_seed(0xBE7C_45ED, i)
+    }
+}

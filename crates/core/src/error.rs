@@ -1,0 +1,77 @@
+//! Error type for the dynagraph crate.
+
+use core::fmt;
+
+/// Errors from constructing dynamic-graph processes or analyses.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DynagraphError {
+    /// A numeric parameter was outside its legal range.
+    ParameterOutOfRange {
+        /// Parameter name.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A node index was out of range for the process.
+    NodeOutOfRange {
+        /// The offending node.
+        node: u32,
+        /// The process size.
+        node_count: usize,
+    },
+    /// A matrix/map that must be symmetric was not.
+    NotSymmetric,
+    /// Dimensions of two arguments disagreed.
+    DimensionMismatch {
+        /// Expected dimension.
+        expected: usize,
+        /// Found dimension.
+        found: usize,
+    },
+}
+
+impl fmt::Display for DynagraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DynagraphError::ParameterOutOfRange { name, value } => {
+                write!(f, "parameter {name} = {value} out of range")
+            }
+            DynagraphError::NodeOutOfRange { node, node_count } => {
+                write!(f, "node {node} out of range for process on {node_count} nodes")
+            }
+            DynagraphError::NotSymmetric => write!(f, "connection map must be symmetric"),
+            DynagraphError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DynagraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_nonempty() {
+        for e in [
+            DynagraphError::ParameterOutOfRange {
+                name: "gamma",
+                value: 2.0,
+            },
+            DynagraphError::NodeOutOfRange {
+                node: 5,
+                node_count: 3,
+            },
+            DynagraphError::NotSymmetric,
+            DynagraphError::DimensionMismatch {
+                expected: 2,
+                found: 3,
+            },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,497 @@
+//! The flooding process of §2 and its Monte-Carlo measurement machinery.
+//!
+//! Flooding with source `s`: `I_0 = {s}` and
+//! `I_{t+1} = I_t ∪ { j : ∃ i ∈ I_t, {i, j} ∈ E_t }` — newly informed
+//! nodes start relaying only in the *next* round. The flooding time
+//! `F(G, s)` is the first `t` with `I_t = [n]`.
+
+use dg_stats::{Quantiles, Summary};
+
+use crate::{mix_seed, EvolvingGraph};
+
+/// The outcome of one flooding run: who got informed when, and how the
+/// informed set grew.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FloodRun {
+    source: u32,
+    informed_at: Vec<Option<u32>>,
+    sizes: Vec<u32>,
+    completed_at: Option<u32>,
+}
+
+impl FloodRun {
+    /// Assembles a run record from raw parts (used by protocol variants in
+    /// [`crate::gossip`] that share the flooding bookkeeping).
+    pub(crate) fn from_parts(
+        source: u32,
+        informed_at: Vec<Option<u32>>,
+        sizes: Vec<u32>,
+        completed_at: Option<u32>,
+    ) -> Self {
+        FloodRun {
+            source,
+            informed_at,
+            sizes,
+            completed_at,
+        }
+    }
+
+    /// The source node `s`.
+    pub fn source(&self) -> u32 {
+        self.source
+    }
+
+    /// The flooding time `F(G, s)` — `None` if the run hit its round cap
+    /// before informing everyone.
+    pub fn flooding_time(&self) -> Option<u32> {
+        self.completed_at
+    }
+
+    /// For each node, the round at which it became informed (`Some(0)` for
+    /// the source; `None` if never informed within the cap).
+    pub fn informed_at(&self) -> &[Option<u32>] {
+        &self.informed_at
+    }
+
+    /// `sizes[t] = |I_t|`, starting from `sizes[0] = 1`.
+    pub fn sizes(&self) -> &[u32] {
+        &self.sizes
+    }
+
+    /// Number of nodes informed by the end of the run.
+    pub fn informed_count(&self) -> usize {
+        *self.sizes.last().expect("sizes always has |I_0|") as usize
+    }
+}
+
+/// Runs flooding from `source` over `g`, for at most `max_rounds` rounds.
+///
+/// The process is stepped once per round; the snapshot returned by the
+/// first [`EvolvingGraph::step`] plays the role of `E_0`. Warm the process
+/// up first (e.g. [`EvolvingGraph::warm_up`]) to measure the *stationary*
+/// flooding time the paper bounds.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use dynagraph::{flooding, StaticEvolvingGraph};
+/// use dg_graph::generators;
+///
+/// let mut g = StaticEvolvingGraph::new(generators::star(6));
+/// let run = flooding::flood(&mut g, 1, 10);
+/// // Leaf -> center in round 1, center -> all leaves in round 2.
+/// assert_eq!(run.flooding_time(), Some(2));
+/// ```
+pub fn flood<G: EvolvingGraph + ?Sized>(g: &mut G, source: u32, max_rounds: u32) -> FloodRun {
+    let n = g.node_count();
+    assert!((source as usize) < n, "source {source} out of range");
+    let mut informed = vec![false; n];
+    let mut informed_at = vec![None; n];
+    let mut informed_list: Vec<u32> = Vec::with_capacity(n);
+    informed[source as usize] = true;
+    informed_at[source as usize] = Some(0);
+    informed_list.push(source);
+    let mut sizes = vec![1u32];
+    let mut completed_at = if n == 1 { Some(0) } else { None };
+    let mut new_nodes: Vec<u32> = Vec::new();
+    let mut t = 0u32;
+    while completed_at.is_none() && t < max_rounds {
+        let snap = g.step();
+        new_nodes.clear();
+        // Only nodes of I_t relay in round t; `informed_list` is extended
+        // after the scan, so same-round chaining cannot occur.
+        for &u in &informed_list {
+            for &v in snap.neighbors(u) {
+                if !informed[v as usize] {
+                    informed[v as usize] = true;
+                    new_nodes.push(v);
+                }
+            }
+        }
+        t += 1;
+        for &v in &new_nodes {
+            informed_at[v as usize] = Some(t);
+        }
+        informed_list.extend_from_slice(&new_nodes);
+        sizes.push(informed_list.len() as u32);
+        if informed_list.len() == n {
+            completed_at = Some(t);
+        }
+    }
+    FloodRun {
+        source,
+        informed_at,
+        sizes,
+        completed_at,
+    }
+}
+
+/// Runs flooding from a *set* of sources — the k-source broadcast
+/// variant. `I_0` is the whole source set; the update rule is unchanged.
+///
+/// Multiple sources can only help: for any realization,
+/// `F(G, S ∪ {s}) <= F(G, {s})` pointwise.
+///
+/// # Panics
+///
+/// Panics if `sources` is empty, contains duplicates, or contains an
+/// out-of-range node.
+///
+/// # Examples
+///
+/// ```
+/// use dynagraph::{flooding, StaticEvolvingGraph};
+/// use dg_graph::generators;
+///
+/// let mut g = StaticEvolvingGraph::new(generators::path(9));
+/// // Sources at both ends meet in the middle.
+/// let run = flooding::flood_multi(&mut g, &[0, 8], 100);
+/// assert_eq!(run.flooding_time(), Some(4));
+/// ```
+pub fn flood_multi<G: EvolvingGraph + ?Sized>(
+    g: &mut G,
+    sources: &[u32],
+    max_rounds: u32,
+) -> FloodRun {
+    let n = g.node_count();
+    assert!(!sources.is_empty(), "need at least one source");
+    let mut informed = vec![false; n];
+    let mut informed_at = vec![None; n];
+    let mut informed_list: Vec<u32> = Vec::with_capacity(n);
+    for &s in sources {
+        assert!((s as usize) < n, "source {s} out of range");
+        assert!(!informed[s as usize], "duplicate source {s}");
+        informed[s as usize] = true;
+        informed_at[s as usize] = Some(0);
+        informed_list.push(s);
+    }
+    let mut sizes = vec![informed_list.len() as u32];
+    let mut completed_at = if informed_list.len() == n {
+        Some(0)
+    } else {
+        None
+    };
+    let mut new_nodes: Vec<u32> = Vec::new();
+    let mut t = 0u32;
+    while completed_at.is_none() && t < max_rounds {
+        let snap = g.step();
+        new_nodes.clear();
+        for &u in &informed_list {
+            for &v in snap.neighbors(u) {
+                if !informed[v as usize] {
+                    informed[v as usize] = true;
+                    new_nodes.push(v);
+                }
+            }
+        }
+        t += 1;
+        for &v in &new_nodes {
+            informed_at[v as usize] = Some(t);
+        }
+        informed_list.extend_from_slice(&new_nodes);
+        sizes.push(informed_list.len() as u32);
+        if informed_list.len() == n {
+            completed_at = Some(t);
+        }
+    }
+    FloodRun {
+        source: sources[0],
+        informed_at,
+        sizes,
+        completed_at,
+    }
+}
+
+/// Configuration for seeded multi-trial flooding experiments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TrialConfig {
+    /// Number of independent trials.
+    pub trials: usize,
+    /// Per-trial round cap.
+    pub max_rounds: u32,
+    /// Flooding source.
+    pub source: u32,
+    /// Base seed; trial `i` uses `mix_seed(base_seed, i)`.
+    pub base_seed: u64,
+    /// Rounds of warm-up before flooding starts (to reach stationarity).
+    pub warm_up: usize,
+}
+
+impl Default for TrialConfig {
+    fn default() -> Self {
+        TrialConfig {
+            trials: 30,
+            max_rounds: 100_000,
+            source: 0,
+            base_seed: 0xD15E_A5E0,
+            warm_up: 0,
+        }
+    }
+}
+
+/// Results of a batch of flooding trials.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FloodingTrials {
+    times: Vec<Option<u32>>,
+}
+
+impl FloodingTrials {
+    /// Per-trial flooding times (`None` = hit the cap).
+    pub fn times(&self) -> &[Option<u32>] {
+        &self.times
+    }
+
+    /// Number of trials that failed to complete within the cap.
+    pub fn incomplete(&self) -> usize {
+        self.times.iter().filter(|t| t.is_none()).count()
+    }
+
+    /// Completed flooding times as `f64`s.
+    pub fn completed(&self) -> Vec<f64> {
+        self.times
+            .iter()
+            .filter_map(|t| t.map(|x| x as f64))
+            .collect()
+    }
+
+    /// Streaming summary over completed trials.
+    pub fn summary(&self) -> Summary {
+        self.completed().into_iter().collect()
+    }
+
+    /// Order statistics over completed trials; `None` if no trial
+    /// completed.
+    pub fn quantiles(&self) -> Option<Quantiles> {
+        Quantiles::try_new(self.completed())
+    }
+
+    /// Mean flooding time over completed trials (`NaN` if none).
+    pub fn mean(&self) -> f64 {
+        self.summary().mean()
+    }
+
+    /// Empirical 95th percentile — the stand-in for the paper's
+    /// with-high-probability bound; `None` if no trial completed.
+    pub fn p95(&self) -> Option<f64> {
+        self.quantiles().map(|q| q.p95())
+    }
+
+    /// Largest completed flooding time; `None` if no trial completed.
+    pub fn max(&self) -> Option<f64> {
+        self.quantiles().map(|q| q.max())
+    }
+}
+
+/// Runs `cfg.trials` independent seeded flooding runs in parallel.
+///
+/// `make(seed)` must construct a fresh process whose randomness is fully
+/// determined by `seed`; trial `i` receives `mix_seed(cfg.base_seed, i)`,
+/// so results are reproducible regardless of thread scheduling.
+///
+/// # Examples
+///
+/// ```
+/// use dynagraph::{flooding::{self, TrialConfig}, StaticEvolvingGraph};
+/// use dg_graph::generators;
+///
+/// let cfg = TrialConfig { trials: 4, ..TrialConfig::default() };
+/// let res = flooding::run_trials(
+///     |_seed| StaticEvolvingGraph::new(generators::complete(8)),
+///     &cfg,
+/// );
+/// assert_eq!(res.incomplete(), 0);
+/// assert_eq!(res.mean(), 1.0);
+/// ```
+pub fn run_trials<G, F>(make: F, cfg: &TrialConfig) -> FloodingTrials
+where
+    G: EvolvingGraph,
+    F: Fn(u64) -> G + Sync,
+{
+    let mut times: Vec<Option<u32>> = vec![None; cfg.trials];
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(cfg.trials.max(1));
+    let chunk_size = cfg.trials.div_ceil(threads.max(1)).max(1);
+    let make_ref = &make;
+    crossbeam::thread::scope(|scope| {
+        for (chunk_idx, chunk) in times.chunks_mut(chunk_size).enumerate() {
+            let cfg = cfg.clone();
+            scope.spawn(move |_| {
+                for (offset, slot) in chunk.iter_mut().enumerate() {
+                    let trial = chunk_idx * chunk_size + offset;
+                    let seed = mix_seed(cfg.base_seed, trial as u64);
+                    let mut g = make_ref(seed);
+                    if cfg.warm_up > 0 {
+                        g.warm_up(cfg.warm_up);
+                    }
+                    *slot = flood(&mut g, cfg.source, cfg.max_rounds).flooding_time();
+                }
+            });
+        }
+    })
+    .expect("flooding trial worker panicked");
+    FloodingTrials { times }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PeriodicEvolvingGraph, StaticEvolvingGraph};
+    use dg_graph::generators;
+
+    #[test]
+    fn complete_graph_one_round() {
+        let mut g = StaticEvolvingGraph::new(generators::complete(10));
+        let run = flood(&mut g, 3, 10);
+        assert_eq!(run.flooding_time(), Some(1));
+        assert_eq!(run.sizes(), &[1, 10]);
+        assert_eq!(run.informed_at()[3], Some(0));
+        assert!(run.informed_at().iter().all(|x| x.is_some()));
+    }
+
+    #[test]
+    fn path_floods_in_diameter_rounds() {
+        let mut g = StaticEvolvingGraph::new(generators::path(7));
+        let run = flood(&mut g, 0, 100);
+        assert_eq!(run.flooding_time(), Some(6));
+        // From the middle it is the eccentricity.
+        let run = flood(&mut g, 3, 100);
+        assert_eq!(run.flooding_time(), Some(3));
+    }
+
+    #[test]
+    fn single_node_floods_instantly() {
+        let mut g = StaticEvolvingGraph::new(generators::path(1));
+        let run = flood(&mut g, 0, 10);
+        assert_eq!(run.flooding_time(), Some(0));
+    }
+
+    #[test]
+    fn disconnected_never_completes() {
+        let g = dg_graph::GraphBuilder::new(4).build();
+        let mut g = StaticEvolvingGraph::new(g);
+        let run = flood(&mut g, 0, 50);
+        assert_eq!(run.flooding_time(), None);
+        assert_eq!(run.informed_count(), 1);
+        assert_eq!(run.sizes().len(), 51);
+    }
+
+    #[test]
+    fn no_same_round_chaining() {
+        // Path 0-1-2: in one static round, only node 1 learns from 0;
+        // node 2 must wait one more round.
+        let mut g = StaticEvolvingGraph::new(generators::path(3));
+        let run = flood(&mut g, 0, 10);
+        assert_eq!(run.informed_at()[1], Some(1));
+        assert_eq!(run.informed_at()[2], Some(2));
+    }
+
+    #[test]
+    fn monotone_growth() {
+        let mut g = StaticEvolvingGraph::new(generators::grid(4, 4));
+        let run = flood(&mut g, 0, 100);
+        for w in run.sizes().windows(2) {
+            assert!(w[0] <= w[1], "informed set must be monotone");
+        }
+    }
+
+    #[test]
+    fn alternating_graphs_combine() {
+        // Two halves of a path alternate; flooding must thread through both.
+        let mut even = dg_graph::GraphBuilder::new(4);
+        even.add_edges([(0, 1), (2, 3)]).unwrap();
+        let mut odd = dg_graph::GraphBuilder::new(4);
+        odd.add_edges([(1, 2)]).unwrap();
+        let mut g = PeriodicEvolvingGraph::new(&[even.build(), odd.build()]).unwrap();
+        let run = flood(&mut g, 0, 10);
+        // Round 1 (E_0 = even): 1 informed. Round 2 (E_1 = odd): 2 informed.
+        // Round 3 (E_2 = even): 3 informed.
+        assert_eq!(run.flooding_time(), Some(3));
+    }
+
+    #[test]
+    fn trials_reproducible() {
+        let cfg = TrialConfig {
+            trials: 8,
+            max_rounds: 100,
+            ..TrialConfig::default()
+        };
+        let make = |_seed: u64| StaticEvolvingGraph::new(generators::cycle(9));
+        let a = run_trials(make, &cfg);
+        let b = run_trials(make, &cfg);
+        assert_eq!(a.times(), b.times());
+        assert_eq!(a.incomplete(), 0);
+        assert_eq!(a.mean(), 4.0);
+        assert_eq!(a.p95(), Some(4.0));
+        assert_eq!(a.max(), Some(4.0));
+    }
+
+    #[test]
+    fn trials_count_incomplete() {
+        let cfg = TrialConfig {
+            trials: 5,
+            max_rounds: 2,
+            ..TrialConfig::default()
+        };
+        let res = run_trials(
+            |_| StaticEvolvingGraph::new(generators::path(10)),
+            &cfg,
+        );
+        assert_eq!(res.incomplete(), 5);
+        assert!(res.quantiles().is_none());
+        assert!(res.mean().is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_source_panics() {
+        let mut g = StaticEvolvingGraph::new(generators::path(3));
+        let _ = flood(&mut g, 3, 10);
+    }
+
+    #[test]
+    fn multi_source_helps() {
+        let mut g = StaticEvolvingGraph::new(generators::cycle(12));
+        let single = flood(&mut g, 0, 100).flooding_time().unwrap();
+        let multi = flood_multi(&mut g, &[0, 6], 100).flooding_time().unwrap();
+        assert!(multi < single, "multi {multi} vs single {single}");
+        assert_eq!(multi, 3); // opposite sources on C12 cover in ceil(10/2/2)... exactly 3
+    }
+
+    #[test]
+    fn multi_source_single_equals_flood() {
+        let mut g = StaticEvolvingGraph::new(generators::grid(3, 4));
+        let a = flood(&mut g, 2, 100);
+        let b = flood_multi(&mut g, &[2], 100);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn multi_source_all_nodes_instant() {
+        let mut g = StaticEvolvingGraph::new(generators::path(4));
+        let run = flood_multi(&mut g, &[0, 1, 2, 3], 10);
+        assert_eq!(run.flooding_time(), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate source")]
+    fn multi_source_duplicates_panic() {
+        let mut g = StaticEvolvingGraph::new(generators::path(3));
+        let _ = flood_multi(&mut g, &[1, 1], 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one source")]
+    fn multi_source_empty_panics() {
+        let mut g = StaticEvolvingGraph::new(generators::path(3));
+        let _ = flood_multi(&mut g, &[], 10);
+    }
+}

@@ -1,0 +1,320 @@
+//! Randomized and resource-bounded transmission protocols (§5 of the
+//! paper, plus the parsimonious variant of \[4\]).
+//!
+//! The paper's conclusion sketches the reduction: a protocol in which every
+//! informed node transmits to a *random subset* of its neighbours is
+//! exactly flooding on a "virtual" dynamic graph in which the
+//! non-transmitting edges are removed. Three implementations are provided:
+//!
+//! * **per-edge thinning** — wrap the process in
+//!   [`crate::ThinnedEvolvingGraph`] and run plain [`crate::flooding::flood`];
+//! * **push-k** ([`push_spread`]) — each informed node transmits over at
+//!   most `k` of its current edges per round, the classic bounded-fanout
+//!   push gossip;
+//! * **parsimonious flooding** ([`parsimonious_flood`]) — nodes relay only
+//!   for a time-to-live window after becoming informed
+//!   (Baumann–Crescenzi–Fraigniaud, PODC 2009 — reference \[4\] of the
+//!   paper).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::flooding::FloodRun;
+use crate::{mix_seed, EvolvingGraph};
+
+/// Runs the push-`fanout` protocol from `source`: each round, each
+/// informed node picks `min(fanout, deg)` distinct random current
+/// neighbours and transmits to them.
+///
+/// With `fanout >= n` this degenerates to plain flooding. The returned
+/// [`FloodRun`] has the same shape as a flooding run.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range or `fanout == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use dynagraph::{gossip, StaticEvolvingGraph};
+/// use dg_graph::generators;
+///
+/// let mut g = StaticEvolvingGraph::new(generators::complete(16));
+/// let run = gossip::push_spread(&mut g, 0, 1, 100, 7);
+/// // Push-1 on the complete graph needs ~log2(n) + ln(n) rounds, more
+/// // than flooding's single round but still fast.
+/// let t = run.flooding_time().unwrap();
+/// assert!(t >= 4, "t = {t}");
+/// assert!(t <= 40, "t = {t}");
+/// ```
+pub fn push_spread<G: EvolvingGraph + ?Sized>(
+    g: &mut G,
+    source: u32,
+    fanout: usize,
+    max_rounds: u32,
+    seed: u64,
+) -> FloodRun {
+    assert!(fanout > 0, "fanout must be positive");
+    let n = g.node_count();
+    assert!((source as usize) < n, "source {source} out of range");
+    let mut rng = SmallRng::seed_from_u64(mix_seed(seed, 0x905517));
+    let mut informed = vec![false; n];
+    let mut informed_at = vec![None; n];
+    let mut informed_list = vec![source];
+    informed[source as usize] = true;
+    informed_at[source as usize] = Some(0);
+    let mut sizes = vec![1u32];
+    let mut completed_at = if n == 1 { Some(0) } else { None };
+    let mut new_nodes: Vec<u32> = Vec::new();
+    let mut pick_buf: Vec<u32> = Vec::new();
+    let mut t = 0u32;
+    while completed_at.is_none() && t < max_rounds {
+        let snap = g.step();
+        new_nodes.clear();
+        for &u in &informed_list {
+            let neigh = snap.neighbors(u);
+            if neigh.is_empty() {
+                continue;
+            }
+            if neigh.len() <= fanout {
+                for &v in neigh {
+                    if !informed[v as usize] {
+                        informed[v as usize] = true;
+                        new_nodes.push(v);
+                    }
+                }
+            } else {
+                // Partial Fisher-Yates: draw `fanout` distinct targets.
+                pick_buf.clear();
+                pick_buf.extend_from_slice(neigh);
+                for i in 0..fanout {
+                    let j = rng.gen_range(i..pick_buf.len());
+                    pick_buf.swap(i, j);
+                    let v = pick_buf[i];
+                    if !informed[v as usize] {
+                        informed[v as usize] = true;
+                        new_nodes.push(v);
+                    }
+                }
+            }
+        }
+        t += 1;
+        for &v in &new_nodes {
+            informed_at[v as usize] = Some(t);
+        }
+        informed_list.extend_from_slice(&new_nodes);
+        sizes.push(informed_list.len() as u32);
+        if informed_list.len() == n {
+            completed_at = Some(t);
+        }
+    }
+    FloodRun::from_parts(source, informed_at, sizes, completed_at)
+}
+
+/// Runs **parsimonious flooding** from `source`: a node relays only
+/// during the `ttl` rounds following the round it became informed, then
+/// falls silent (it stays informed — completion still means everyone
+/// holds the message).
+///
+/// This is the protocol of Baumann–Crescenzi–Fraigniaud (\[4\] in the
+/// paper): on fast-mixing dynamic graphs a constant `ttl` suffices
+/// because the active frontier keeps meeting fresh nodes, while on slowly
+/// changing graphs the message can die out — the returned run reports
+/// `None` in that case.
+///
+/// With `ttl >= max_rounds` this is exactly plain flooding.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range or `ttl == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use dynagraph::{gossip, StaticEvolvingGraph};
+/// use dg_graph::generators;
+///
+/// // On a static path a TTL of 1 still completes: the frontier is always
+/// // freshly informed.
+/// let mut g = StaticEvolvingGraph::new(generators::path(6));
+/// let run = gossip::parsimonious_flood(&mut g, 0, 1, 100);
+/// assert_eq!(run.flooding_time(), Some(5));
+/// ```
+pub fn parsimonious_flood<G: EvolvingGraph + ?Sized>(
+    g: &mut G,
+    source: u32,
+    ttl: u32,
+    max_rounds: u32,
+) -> FloodRun {
+    assert!(ttl > 0, "ttl must be positive");
+    let n = g.node_count();
+    assert!((source as usize) < n, "source {source} out of range");
+    let mut informed = vec![false; n];
+    let mut informed_at = vec![None; n];
+    // Nodes currently relaying, with the round they were informed.
+    let mut active: Vec<u32> = vec![source];
+    let mut informed_count = 1usize;
+    informed[source as usize] = true;
+    informed_at[source as usize] = Some(0);
+    let mut sizes = vec![1u32];
+    let mut completed_at = if n == 1 { Some(0) } else { None };
+    let mut new_nodes: Vec<u32> = Vec::new();
+    let mut t = 0u32;
+    while completed_at.is_none() && t < max_rounds && !active.is_empty() {
+        let snap = g.step();
+        new_nodes.clear();
+        for &u in &active {
+            for &v in snap.neighbors(u) {
+                if !informed[v as usize] {
+                    informed[v as usize] = true;
+                    new_nodes.push(v);
+                }
+            }
+        }
+        t += 1;
+        for &v in &new_nodes {
+            informed_at[v as usize] = Some(t);
+        }
+        informed_count += new_nodes.len();
+        // Retire nodes whose TTL expired; admit the newly informed.
+        active.retain(|&u| {
+            let at = informed_at[u as usize].expect("active nodes are informed");
+            t < at + ttl
+        });
+        active.extend_from_slice(&new_nodes);
+        sizes.push(informed_count as u32);
+        if informed_count == n {
+            completed_at = Some(t);
+        }
+    }
+    // Pad the curve if the protocol died out before the round cap, so the
+    // record still distinguishes "stalled" from "ran out of rounds".
+    FloodRun::from_parts(source, informed_at, sizes, completed_at)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flooding::flood;
+    use crate::{StaticEvolvingGraph, ThinnedEvolvingGraph};
+    use dg_graph::generators;
+
+    #[test]
+    fn huge_fanout_equals_flooding() {
+        let graph = generators::grid(4, 4);
+        let mut a = StaticEvolvingGraph::new(graph.clone());
+        let mut b = StaticEvolvingGraph::new(graph);
+        let flood_run = flood(&mut a, 0, 100);
+        let push_run = push_spread(&mut b, 0, 100, 100, 3);
+        assert_eq!(flood_run.flooding_time(), push_run.flooding_time());
+        assert_eq!(flood_run.sizes(), push_run.sizes());
+    }
+
+    #[test]
+    fn push_one_slower_than_flooding_on_star() {
+        // Star: flooding from the center takes 1 round; push-1 informs one
+        // leaf per round.
+        let mut g = StaticEvolvingGraph::new(generators::star(10));
+        let run = push_spread(&mut g, 0, 1, 100, 5);
+        let t = run.flooding_time().unwrap();
+        assert!(t >= 9, "t = {t}");
+    }
+
+    #[test]
+    fn push_monotone_and_complete_on_connected() {
+        let mut g = StaticEvolvingGraph::new(generators::cycle(12));
+        let run = push_spread(&mut g, 0, 2, 1000, 9);
+        assert!(run.flooding_time().is_some());
+        for w in run.sizes().windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn push_reproducible() {
+        let mut g1 = StaticEvolvingGraph::new(generators::complete(20));
+        let mut g2 = StaticEvolvingGraph::new(generators::complete(20));
+        let a = push_spread(&mut g1, 0, 1, 100, 42);
+        let b = push_spread(&mut g2, 0, 1, 100, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn thinned_flooding_is_gossip_reduction() {
+        // §5 reduction: flooding over a thinned process is the random-
+        // transmission protocol. On the complete graph with gamma = 0.5 it
+        // still completes quickly.
+        let inner = StaticEvolvingGraph::new(generators::complete(32));
+        let mut virt = ThinnedEvolvingGraph::new(inner, 0.5, 8).unwrap();
+        let run = flood(&mut virt, 0, 100);
+        let t = run.flooding_time().unwrap();
+        assert!(t <= 6, "t = {t}");
+    }
+
+    #[test]
+    #[should_panic(expected = "fanout must be positive")]
+    fn zero_fanout_panics() {
+        let mut g = StaticEvolvingGraph::new(generators::path(3));
+        let _ = push_spread(&mut g, 0, 0, 10, 0);
+    }
+
+    #[test]
+    fn parsimonious_large_ttl_equals_flooding() {
+        let graph = generators::grid(4, 4);
+        let mut a = StaticEvolvingGraph::new(graph.clone());
+        let mut b = StaticEvolvingGraph::new(graph);
+        let plain = flood(&mut a, 0, 100);
+        let pars = parsimonious_flood(&mut b, 0, 100, 100);
+        assert_eq!(plain.flooding_time(), pars.flooding_time());
+        assert_eq!(plain.sizes(), pars.sizes());
+    }
+
+    #[test]
+    fn parsimonious_dies_out_when_frontier_stalls() {
+        // Edgeless process: the source's TTL expires with no one reached,
+        // and the run stops as soon as the active set empties — well
+        // before the round cap.
+        let g = dg_graph::GraphBuilder::new(4).build();
+        let mut g = StaticEvolvingGraph::new(g);
+        let run = parsimonious_flood(&mut g, 0, 2, 1000);
+        assert_eq!(run.flooding_time(), None);
+        assert!(run.sizes().len() <= 3 + 1);
+    }
+
+    #[test]
+    fn parsimonious_completes_on_fast_mixing_process() {
+        // On a thinned complete graph (fresh edges every round) a TTL of 1
+        // still floods: the frontier always faces fresh random links.
+        let inner = StaticEvolvingGraph::new(generators::complete(32));
+        let mut g = ThinnedEvolvingGraph::new(inner, 0.3, 11).unwrap();
+        let run = parsimonious_flood(&mut g, 0, 1, 1000);
+        assert!(run.flooding_time().is_some());
+    }
+
+    #[test]
+    fn parsimonious_monotone_in_ttl() {
+        // Larger TTL can only help (statistically; compare over trials).
+        let mean = |ttl: u32| -> f64 {
+            let mut total = 0.0;
+            let trials = 10;
+            for seed in 0..trials {
+                let inner = StaticEvolvingGraph::new(generators::complete(24));
+                let mut g = ThinnedEvolvingGraph::new(inner, 0.08, seed).unwrap();
+                if let Some(t) = parsimonious_flood(&mut g, 0, ttl, 10_000).flooding_time() {
+                    total += t as f64;
+                } else {
+                    total += 10_000.0;
+                }
+            }
+            total / trials as f64
+        };
+        assert!(mean(8) <= mean(1) + 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ttl must be positive")]
+    fn zero_ttl_panics() {
+        let mut g = StaticEvolvingGraph::new(generators::path(3));
+        let _ = parsimonious_flood(&mut g, 0, 0, 10);
+    }
+}

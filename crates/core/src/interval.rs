@@ -1,0 +1,164 @@
+//! T-interval connectivity — the worst-case stability condition of
+//! Kuhn–Lynch–Oshman (STOC 2010, reference \[21\] of the paper).
+//!
+//! A dynamic graph is *T-interval connected* when for every window of `T`
+//! consecutive rounds there is a **stable connected spanning subgraph**:
+//! the intersection `∩_{t ∈ window} E_t` is connected. The worst-case
+//! dynamic-network literature assumes it; this paper's point (§1) is that
+//! its stochastic models need nothing of the sort — "in every `G_t` there
+//! could be a large subset of all nodes that are isolated" — yet flooding
+//! is fast. The checkers here let experiments state that contrast
+//! quantitatively.
+
+use dg_graph::GraphBuilder;
+
+use crate::{RecordedEvolution, Snapshot};
+
+/// Builds the intersection graph of a window of snapshots and reports
+/// whether it is connected (an empty window counts as not connected).
+fn window_intersection_connected(snaps: &[&Snapshot]) -> bool {
+    let Some(first) = snaps.first() else {
+        return false;
+    };
+    let n = first.node_count();
+    let mut b = GraphBuilder::new(n);
+    for (u, v) in first.edges() {
+        if snaps[1..].iter().all(|s| s.has_edge(u, v)) {
+            b.add_edge(u, v).expect("snapshot edges are valid");
+        }
+    }
+    dg_graph::traversal::is_connected(&b.build())
+}
+
+/// `true` if the recorded realization is T-interval connected: every
+/// window of `t` consecutive snapshots has a connected intersection.
+///
+/// # Panics
+///
+/// Panics if `t == 0` or the recording is shorter than `t` rounds.
+///
+/// # Examples
+///
+/// ```
+/// use dynagraph::{interval, RecordedEvolution, StaticEvolvingGraph};
+/// use dg_graph::generators;
+///
+/// let mut g = StaticEvolvingGraph::new(generators::cycle(6));
+/// let rec = RecordedEvolution::record(&mut g, 10);
+/// // A static connected graph is T-interval connected for every T.
+/// assert!(interval::is_interval_connected(&rec, 1));
+/// assert!(interval::is_interval_connected(&rec, 10));
+/// ```
+pub fn is_interval_connected(rec: &RecordedEvolution, t: usize) -> bool {
+    assert!(t > 0, "window length must be positive");
+    assert!(
+        rec.rounds() >= t,
+        "recording shorter than the requested window"
+    );
+    let snaps: Vec<&Snapshot> = (0..rec.rounds()).map(|i| rec.snapshot(i)).collect();
+    snaps
+        .windows(t)
+        .all(window_intersection_connected)
+}
+
+/// The largest `T` for which the recording is T-interval connected
+/// (`0` when even single snapshots are disconnected somewhere).
+///
+/// Monotonicity makes this well-defined: a connected intersection over a
+/// window stays connected over every sub-window, so T-interval
+/// connectivity implies T'-interval connectivity for `T' <= T`.
+pub fn max_interval_connectivity(rec: &RecordedEvolution) -> usize {
+    if rec.rounds() == 0 || !is_interval_connected(rec, 1) {
+        return 0;
+    }
+    // Binary search the largest feasible T in [1, rounds].
+    let mut lo = 1;
+    let mut hi = rec.rounds();
+    while lo < hi {
+        let mid = lo + (hi - lo).div_ceil(2);
+        if is_interval_connected(rec, mid) {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    lo
+}
+
+/// Fraction of individual snapshots that are connected — the `T = 1`
+/// diagnostic the paper's sparse regimes fail almost always.
+pub fn connected_snapshot_fraction(rec: &RecordedEvolution) -> f64 {
+    if rec.rounds() == 0 {
+        return 0.0;
+    }
+    let connected = (0..rec.rounds())
+        .filter(|&i| {
+            let g = rec.snapshot(i).to_graph();
+            dg_graph::traversal::is_connected(&g)
+        })
+        .count();
+    connected as f64 / rec.rounds() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PeriodicEvolvingGraph, StaticEvolvingGraph};
+    use dg_graph::generators;
+
+    #[test]
+    fn static_connected_graph_fully_interval_connected() {
+        let mut g = StaticEvolvingGraph::new(generators::grid(3, 3));
+        let rec = RecordedEvolution::record(&mut g, 8);
+        assert!(is_interval_connected(&rec, 8));
+        assert_eq!(max_interval_connectivity(&rec), 8);
+        assert_eq!(connected_snapshot_fraction(&rec), 1.0);
+    }
+
+    #[test]
+    fn static_disconnected_graph_is_zero() {
+        let mut g = StaticEvolvingGraph::new(dg_graph::GraphBuilder::new(4).build());
+        let rec = RecordedEvolution::record(&mut g, 4);
+        assert!(!is_interval_connected(&rec, 1));
+        assert_eq!(max_interval_connectivity(&rec), 0);
+        assert_eq!(connected_snapshot_fraction(&rec), 0.0);
+    }
+
+    #[test]
+    fn alternating_spanning_trees_one_interval_only() {
+        // Two different spanning trees of K4 alternate: every snapshot is
+        // connected (1-interval), but consecutive intersections are not.
+        let tree_a = {
+            let mut b = dg_graph::GraphBuilder::new(4);
+            b.add_edges([(0, 1), (1, 2), (2, 3)]).unwrap();
+            b.build()
+        };
+        let tree_b = {
+            let mut b = dg_graph::GraphBuilder::new(4);
+            b.add_edges([(0, 2), (2, 1), (1, 3)]).unwrap();
+            b.build()
+        };
+        let mut g = PeriodicEvolvingGraph::new(&[tree_a, tree_b]).unwrap();
+        let rec = RecordedEvolution::record(&mut g, 6);
+        assert!(is_interval_connected(&rec, 1));
+        assert!(!is_interval_connected(&rec, 2));
+        assert_eq!(max_interval_connectivity(&rec), 1);
+        assert_eq!(connected_snapshot_fraction(&rec), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window length must be positive")]
+    fn zero_window_panics() {
+        let mut g = StaticEvolvingGraph::new(generators::path(2));
+        let rec = RecordedEvolution::record(&mut g, 2);
+        let _ = is_interval_connected(&rec, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than the requested window")]
+    fn oversized_window_panics() {
+        let mut g = StaticEvolvingGraph::new(generators::path(2));
+        let rec = RecordedEvolution::record(&mut g, 2);
+        let _ = is_interval_connected(&rec, 3);
+    }
+}

@@ -1,0 +1,72 @@
+//! # dynagraph — information spreading in dynamic graphs
+//!
+//! A faithful, executable reproduction of
+//! **Clementi, Silvestri, Trevisan — "Information Spreading in Dynamic
+//! Graphs" (PODC 2012, arXiv:1111.0583)**.
+//!
+//! The paper bounds the *flooding time* — how many synchronous rounds it
+//! takes one piece of information to reach every node — of *dynamic graphs*:
+//! stochastic processes `G([n], {E_t})` whose edge set changes every round.
+//! This crate provides the paper's machinery as a library:
+//!
+//! * [`Snapshot`] / [`EvolvingGraph`] — the dynamic-graph model of §2: a
+//!   synchronous sequence of edge sets over a fixed vertex set `[n]`;
+//! * [`flooding`] — the flooding process `I_{t+1} = I_t ∪ N_{E_t}(I_t)`
+//!   with per-round growth records and seeded multi-trial Monte-Carlo;
+//! * [`stationarity`] — empirical estimators for the `(M, α, β)`-stationarity
+//!   conditions of §3 (density and β-independence at epoch boundaries);
+//! * [`theory`] — every bound in the paper as a documented function
+//!   (Theorem 1, Theorem 3, Corollaries 4–6, Appendix-A edge-MEG bounds);
+//! * [`node_meg`] — the node-Markovian evolving graphs of §4: one hidden
+//!   Markov chain per node plus a symmetric connection map, with *exact*
+//!   computation of `P_NM`, `P_NM²` and `η` for finite chains;
+//! * [`gossip`] — the §5 extension: randomized push protocols reduced to
+//!   flooding on a "virtual" thinned dynamic graph, plus the parsimonious
+//!   flooding of \[4\];
+//! * [`analysis`] — growth-curve analytics for the spreading/saturation
+//!   phase structure of Lemmas 13–14;
+//! * [`interval`] — the T-interval connectivity diagnostics of \[21\],
+//!   quantifying how far the paper's sparse regimes are from the
+//!   worst-case literature's stability assumptions.
+//!
+//! Concrete model families live in sibling crates: `dg-edge-meg`
+//! (Appendix A link-based models) and `dg-mobility` (§4.1 geometric and
+//! graph mobility models).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dynagraph::{flooding, EvolvingGraph, StaticEvolvingGraph};
+//! use dg_graph::generators;
+//!
+//! // A static cycle is the degenerate dynamic graph; flooding covers it in
+//! // ceil((n-1)/2) rounds.
+//! let mut g = StaticEvolvingGraph::new(generators::cycle(10));
+//! let run = flooding::flood(&mut g, 0, 100);
+//! assert_eq!(run.flooding_time(), Some(5));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+mod error;
+pub mod flooding;
+pub mod gossip;
+pub mod interval;
+pub mod node_meg;
+mod process;
+mod recorded;
+mod seeds;
+mod snapshot;
+pub mod stationarity;
+pub mod theory;
+
+pub use error::DynagraphError;
+pub use process::{
+    EvolvingGraph, JammedEvolvingGraph, PeriodicEvolvingGraph, StaticEvolvingGraph,
+    ThinnedEvolvingGraph,
+};
+pub use recorded::RecordedEvolution;
+pub use seeds::{mix_seed, SeedSequence};
+pub use snapshot::Snapshot;

@@ -1,0 +1,501 @@
+//! Node-Markovian evolving graphs (§4).
+//!
+//! A node-MEG `NM(n, M, C)` attaches an independent copy of a Markov chain
+//! `M = (S, P)` to every node; an edge `{i, j}` exists at time `t` iff
+//! `C(s_i^t, s_j^t) = 1` for a fixed symmetric connection map `C`. Every
+//! mobility model where nodes act independently over a discrete space is a
+//! node-MEG (random walk, random waypoint, random trip, random paths — see
+//! the `dg-mobility` crate for those concrete instances).
+//!
+//! For *finite* chains this module also computes the paper's quantities
+//! exactly:
+//!
+//! * `q(x) = π(Γ(x))` — probability that a stationary node connects to a
+//!   fixed node in state `x`;
+//! * `P_NM = Σ_x π(x)·q(x)` — stationary edge probability (Fact 2: the
+//!   same for every pair);
+//! * `P_NM² = Σ_x π(x)·q(x)²` — probability two fixed nodes both connect
+//!   to a third;
+//! * `η = P_NM² / (P_NM)²` — the pairwise-independence parameter of
+//!   Theorem 3.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use dg_markov::{DenseChain, MarkovError};
+
+use crate::{mix_seed, DynagraphError, EvolvingGraph, Snapshot};
+
+/// The hidden per-node Markov chain of a node-MEG.
+///
+/// Implementations are cheap handles describing the chain; the per-node
+/// *state* lives in the process. States must carry enough information for
+/// the connection map to decide adjacency (position, destination,
+/// trajectory phase, social role, ... — §4).
+pub trait NodeChain {
+    /// Per-node state type.
+    type State: Clone + Send;
+
+    /// Samples a node's initial state (the distribution `ι_i` of §4; for
+    /// stationary starts, sample from the stationary distribution or warm
+    /// the process up).
+    fn sample_initial(&self, rng: &mut SmallRng) -> Self::State;
+
+    /// Advances one node state by one round.
+    fn step_state(&self, state: &mut Self::State, rng: &mut SmallRng);
+}
+
+/// The symmetric connection map `C : S × S → {0, 1}` of a node-MEG.
+pub trait ConnectionMap<S> {
+    /// `true` iff nodes in states `a` and `b` are connected.
+    ///
+    /// Implementations must be symmetric: `connected(a, b) ==
+    /// connected(b, a)`.
+    fn connected(&self, a: &S, b: &S) -> bool;
+}
+
+/// A node-MEG as an [`EvolvingGraph`]: `n` independent copies of a
+/// [`NodeChain`] plus a [`ConnectionMap`].
+///
+/// The snapshot is built by an all-pairs scan (`O(n²)` per round), which is
+/// the honest general-case cost; geometric models with radius-based
+/// connection should use the cell-list process in `dg-mobility` instead.
+///
+/// # Examples
+///
+/// ```
+/// use dynagraph::node_meg::{FiniteNodeChain, MatrixConnection, NodeMeg};
+/// use dynagraph::{flooding, EvolvingGraph};
+/// use dg_markov::DenseChain;
+///
+/// // Nodes hop on a 3-state cycle; nodes connect iff in the same state.
+/// let chain = DenseChain::from_rows(vec![
+///     vec![0.5, 0.5, 0.0],
+///     vec![0.0, 0.5, 0.5],
+///     vec![0.5, 0.0, 0.5],
+/// ]).unwrap();
+/// let node_chain = FiniteNodeChain::uniform_start(chain);
+/// let conn = MatrixConnection::same_state(3);
+/// let mut meg = NodeMeg::new(node_chain, conn, 16, 42).unwrap();
+/// let run = flooding::flood(&mut meg, 0, 10_000);
+/// assert!(run.flooding_time().is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct NodeMeg<C: NodeChain, M: ConnectionMap<C::State>> {
+    chain: C,
+    conn: M,
+    states: Vec<C::State>,
+    rng: SmallRng,
+    snapshot: Snapshot,
+    edge_buf: Vec<(u32, u32)>,
+}
+
+impl<C: NodeChain, M: ConnectionMap<C::State>> NodeMeg<C, M> {
+    /// Creates a node-MEG over `n` nodes, sampling each initial state
+    /// independently.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynagraphError::DimensionMismatch`] when `n == 0`.
+    pub fn new(chain: C, conn: M, n: usize, seed: u64) -> Result<Self, DynagraphError> {
+        if n == 0 {
+            return Err(DynagraphError::DimensionMismatch {
+                expected: 1,
+                found: 0,
+            });
+        }
+        let mut rng = SmallRng::seed_from_u64(mix_seed(seed, 0));
+        let states = (0..n).map(|_| chain.sample_initial(&mut rng)).collect();
+        Ok(NodeMeg {
+            chain,
+            conn,
+            states,
+            rng,
+            snapshot: Snapshot::empty(n),
+            edge_buf: Vec::new(),
+        })
+    }
+
+    /// The current hidden states (for positional analyses).
+    pub fn states(&self) -> &[C::State] {
+        &self.states
+    }
+
+    /// The connection map.
+    pub fn connection(&self) -> &M {
+        &self.conn
+    }
+}
+
+impl<C: NodeChain, M: ConnectionMap<C::State>> EvolvingGraph for NodeMeg<C, M> {
+    fn node_count(&self) -> usize {
+        self.states.len()
+    }
+
+    fn step(&mut self) -> &Snapshot {
+        for s in &mut self.states {
+            self.chain.step_state(s, &mut self.rng);
+        }
+        self.edge_buf.clear();
+        let n = self.states.len();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if self.conn.connected(&self.states[i], &self.states[j]) {
+                    self.edge_buf.push((i as u32, j as u32));
+                }
+            }
+        }
+        self.snapshot.rebuild_from_edges(&self.edge_buf);
+        &self.snapshot
+    }
+
+    fn reset(&mut self, seed: u64) {
+        self.rng = SmallRng::seed_from_u64(mix_seed(seed, 0));
+        for s in &mut self.states {
+            *s = self.chain.sample_initial(&mut self.rng);
+        }
+    }
+}
+
+/// A [`NodeChain`] backed by an explicit finite [`DenseChain`].
+///
+/// This is the chain used for the exact Theorem 3 experiments: small
+/// enough to compute `π`, `P_NM`, `P_NM²`, `η` and `T_mix` exactly, while
+/// the same object drives the simulation.
+#[derive(Debug, Clone)]
+pub struct FiniteNodeChain {
+    chain: DenseChain,
+    initial: InitialState,
+}
+
+#[derive(Debug, Clone)]
+enum InitialState {
+    Uniform,
+    Fixed(u32),
+    Distribution(dg_markov::ProbDist),
+}
+
+impl FiniteNodeChain {
+    /// Nodes start in a uniformly random state.
+    pub fn uniform_start(chain: DenseChain) -> Self {
+        FiniteNodeChain {
+            chain,
+            initial: InitialState::Uniform,
+        }
+    }
+
+    /// All nodes start in `state` (the worst-case initialization used to
+    /// probe mixing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    pub fn fixed_start(chain: DenseChain, state: u32) -> Self {
+        assert!((state as usize) < chain.state_count(), "state out of range");
+        FiniteNodeChain {
+            chain,
+            initial: InitialState::Fixed(state),
+        }
+    }
+
+    /// Nodes start from the chain's stationary distribution — the
+    /// *stationary node-MEG* of the paper.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stationary-distribution failures for non-ergodic chains.
+    pub fn stationary_start(chain: DenseChain) -> Result<Self, MarkovError> {
+        let pi = chain.stationary(1e-12, 1_000_000)?;
+        Ok(FiniteNodeChain {
+            chain,
+            initial: InitialState::Distribution(pi),
+        })
+    }
+
+    /// The underlying dense chain.
+    pub fn chain(&self) -> &DenseChain {
+        &self.chain
+    }
+}
+
+impl NodeChain for FiniteNodeChain {
+    type State = u32;
+
+    fn sample_initial(&self, rng: &mut SmallRng) -> u32 {
+        match &self.initial {
+            InitialState::Uniform => rng.gen_range(0..self.chain.state_count()) as u32,
+            InitialState::Fixed(s) => *s,
+            InitialState::Distribution(d) => d.sample(rng) as u32,
+        }
+    }
+
+    fn step_state(&self, state: &mut u32, rng: &mut SmallRng) {
+        *state = self.chain.sample_next(*state as usize, rng) as u32;
+    }
+}
+
+/// A symmetric boolean connection matrix over a finite state space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatrixConnection {
+    k: usize,
+    connected: Vec<bool>,
+}
+
+impl MatrixConnection {
+    /// Builds from a predicate, verifying symmetry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynagraphError::NotSymmetric`] if `f(x, y) != f(y, x)`
+    /// for some pair.
+    pub fn from_fn(k: usize, f: impl Fn(usize, usize) -> bool) -> Result<Self, DynagraphError> {
+        let mut connected = vec![false; k * k];
+        for x in 0..k {
+            for y in 0..k {
+                connected[x * k + y] = f(x, y);
+            }
+        }
+        for x in 0..k {
+            for y in (x + 1)..k {
+                if connected[x * k + y] != connected[y * k + x] {
+                    return Err(DynagraphError::NotSymmetric);
+                }
+            }
+        }
+        Ok(MatrixConnection { k, connected })
+    }
+
+    /// The "same point" connection of the random-path models: states
+    /// connect iff equal.
+    pub fn same_state(k: usize) -> Self {
+        Self::from_fn(k, |x, y| x == y).expect("equality is symmetric")
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.k
+    }
+
+    /// `true` iff states `x` and `y` connect.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either state is out of range.
+    pub fn get(&self, x: usize, y: usize) -> bool {
+        assert!(x < self.k && y < self.k, "state out of range");
+        self.connected[x * self.k + y]
+    }
+}
+
+impl ConnectionMap<u32> for MatrixConnection {
+    fn connected(&self, a: &u32, b: &u32) -> bool {
+        self.get(*a as usize, *b as usize)
+    }
+}
+
+/// The exact stationary quantities of a finite node-MEG.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeMegAnalysis {
+    /// Stationary edge probability `P_NM` (Fact 2: pair-independent).
+    pub pnm: f64,
+    /// `P_NM²`: probability that two fixed nodes both connect to a third.
+    pub pnm2: f64,
+    /// The independence parameter `η = P_NM² / (P_NM)²` of Theorem 3.
+    pub eta: f64,
+}
+
+impl NodeMegAnalysis {
+    /// Computes `P_NM`, `P_NM²`, `η` exactly from the chain's stationary
+    /// distribution and the connection matrix:
+    /// `q(x) = Σ_{y: C(x,y)} π(y)`, `P_NM = Σ_x π(x)q(x)`,
+    /// `P_NM² = Σ_x π(x)q(x)²`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynagraphError::DimensionMismatch`] when the chain and
+    /// connection matrix disagree on the state count, or
+    /// [`DynagraphError::ParameterOutOfRange`] when `P_NM = 0` (η would be
+    /// undefined — no edges ever form).
+    pub fn compute(
+        chain: &DenseChain,
+        conn: &MatrixConnection,
+    ) -> Result<NodeMegAnalysis, DynagraphError> {
+        if chain.state_count() != conn.state_count() {
+            return Err(DynagraphError::DimensionMismatch {
+                expected: chain.state_count(),
+                found: conn.state_count(),
+            });
+        }
+        let pi = chain
+            .stationary(1e-13, 1_000_000)
+            .map_err(|_| DynagraphError::ParameterOutOfRange {
+                name: "chain (non-ergodic)",
+                value: f64::NAN,
+            })?;
+        let k = chain.state_count();
+        let mut pnm = 0.0;
+        let mut pnm2 = 0.0;
+        for x in 0..k {
+            let mut q = 0.0;
+            for y in 0..k {
+                if conn.get(x, y) {
+                    q += pi.prob(y);
+                }
+            }
+            pnm += pi.prob(x) * q;
+            pnm2 += pi.prob(x) * q * q;
+        }
+        if pnm <= 0.0 {
+            return Err(DynagraphError::ParameterOutOfRange {
+                name: "pnm",
+                value: pnm,
+            });
+        }
+        Ok(NodeMegAnalysis {
+            pnm,
+            pnm2,
+            eta: pnm2 / (pnm * pnm),
+        })
+    }
+
+    /// The Theorem 3 flooding bound for a node-MEG over `n` nodes with the
+    /// given mixing time.
+    pub fn theorem3_bound(&self, tmix: f64, n: usize) -> f64 {
+        crate::theory::theorem3_bound(tmix.max(1.0), self.pnm, self.eta.max(1.0), n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flooding::flood;
+
+    fn lazy_cycle_chain(k: usize) -> DenseChain {
+        let mut rows = vec![vec![0.0; k]; k];
+        for (i, row) in rows.iter_mut().enumerate() {
+            row[i] = 0.5;
+            row[(i + 1) % k] += 0.25;
+            row[(i + k - 1) % k] += 0.25;
+        }
+        DenseChain::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn matrix_connection_symmetry_enforced() {
+        assert!(MatrixConnection::from_fn(3, |x, y| x < y).is_err());
+        assert!(MatrixConnection::from_fn(3, |x, y| x != y).is_ok());
+    }
+
+    #[test]
+    fn same_state_connection() {
+        let c = MatrixConnection::same_state(4);
+        assert!(c.get(2, 2));
+        assert!(!c.get(1, 2));
+        assert!(ConnectionMap::<u32>::connected(&c, &3, &3));
+    }
+
+    #[test]
+    fn analysis_uniform_chain_same_point() {
+        // Lazy cycle on k points: pi uniform, same-point connection:
+        // q(x) = 1/k, P_NM = 1/k, P_NM2 = 1/k^2, eta = 1.
+        let k = 8;
+        let chain = lazy_cycle_chain(k);
+        let conn = MatrixConnection::same_state(k);
+        let a = NodeMegAnalysis::compute(&chain, &conn).unwrap();
+        assert!((a.pnm - 1.0 / k as f64).abs() < 1e-8);
+        assert!((a.pnm2 - 1.0 / (k * k) as f64).abs() < 1e-9);
+        assert!((a.eta - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn analysis_biased_chain_eta_above_one() {
+        // A chain strongly biased to state 0; same-point connection makes
+        // q(x) = pi(x), so eta = sum pi^3 / (sum pi^2)^2 > 1 for skewed pi.
+        let chain = DenseChain::from_rows(vec![
+            vec![0.9, 0.1, 0.0],
+            vec![0.8, 0.1, 0.1],
+            vec![0.8, 0.1, 0.1],
+        ])
+        .unwrap();
+        let conn = MatrixConnection::same_state(3);
+        let a = NodeMegAnalysis::compute(&chain, &conn).unwrap();
+        assert!(a.eta > 1.0, "eta = {}", a.eta);
+        assert!(a.theorem3_bound(10.0, 64) > 0.0);
+    }
+
+    #[test]
+    fn analysis_rejects_mismatch_and_empty_connection() {
+        let chain = lazy_cycle_chain(4);
+        let conn = MatrixConnection::same_state(3);
+        assert!(NodeMegAnalysis::compute(&chain, &conn).is_err());
+        let never = MatrixConnection::from_fn(4, |_, _| false).unwrap();
+        assert!(NodeMegAnalysis::compute(&chain, &never).is_err());
+    }
+
+    #[test]
+    fn node_meg_floods_on_complete_connection() {
+        // Always-connected map: the node-MEG is the complete graph every
+        // round; flooding takes exactly 1 round.
+        let chain = FiniteNodeChain::uniform_start(lazy_cycle_chain(3));
+        let conn = MatrixConnection::from_fn(3, |_, _| true).unwrap();
+        let mut meg = NodeMeg::new(chain, conn, 12, 5).unwrap();
+        let run = flood(&mut meg, 0, 10);
+        assert_eq!(run.flooding_time(), Some(1));
+    }
+
+    #[test]
+    fn node_meg_reset_reproducible() {
+        let chain = FiniteNodeChain::uniform_start(lazy_cycle_chain(5));
+        let conn = MatrixConnection::same_state(5);
+        let mut meg = NodeMeg::new(chain, conn, 10, 1).unwrap();
+        meg.reset(99);
+        let a: Vec<_> = meg.step().edges().collect();
+        meg.reset(99);
+        let b: Vec<_> = meg.step().edges().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fact2_pairwise_edge_probability_uniform() {
+        // Fact 2: stationary edge probability does not depend on the pair.
+        // Estimate P(e_{0,1}) and P(e_{2,3}) over many stationary rounds.
+        let k = 4;
+        let chain =
+            FiniteNodeChain::stationary_start(lazy_cycle_chain(k)).unwrap();
+        let conn = MatrixConnection::same_state(k);
+        let mut meg = NodeMeg::new(chain, conn, 6, 11).unwrap();
+        let rounds = 20_000;
+        let mut c01 = 0u32;
+        let mut c23 = 0u32;
+        for _ in 0..rounds {
+            let s = meg.step();
+            if s.has_edge(0, 1) {
+                c01 += 1;
+            }
+            if s.has_edge(2, 3) {
+                c23 += 1;
+            }
+        }
+        let p01 = c01 as f64 / rounds as f64;
+        let p23 = c23 as f64 / rounds as f64;
+        let expected = 1.0 / k as f64;
+        assert!((p01 - expected).abs() < 0.02, "p01 = {p01}");
+        assert!((p23 - expected).abs() < 0.02, "p23 = {p23}");
+    }
+
+    #[test]
+    fn fixed_start_is_fixed() {
+        let chain = FiniteNodeChain::fixed_start(lazy_cycle_chain(5), 2);
+        let mut rng = SmallRng::seed_from_u64(0);
+        for _ in 0..10 {
+            assert_eq!(chain.sample_initial(&mut rng), 2);
+        }
+    }
+
+    #[test]
+    fn zero_nodes_rejected() {
+        let chain = FiniteNodeChain::uniform_start(lazy_cycle_chain(3));
+        let conn = MatrixConnection::same_state(3);
+        assert!(NodeMeg::new(chain, conn, 0, 0).is_err());
+    }
+}

@@ -1,0 +1,479 @@
+//! The dynamic-graph process abstraction and generic combinators.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{DynagraphError, Snapshot};
+
+/// A dynamic graph `G([n], {E_t})` in the sense of §2 of the paper: a
+/// synchronous stochastic process producing one edge set per round over a
+/// fixed vertex set `[n]`.
+///
+/// Implementations own their randomness: [`EvolvingGraph::reset`]
+/// re-initializes the process from its initial distribution with a given
+/// seed, making every experiment reproducible.
+///
+/// The class of processes is deliberately broader than Markovian evolving
+/// graphs — the paper's Theorem 1 is stated for arbitrary
+/// `(M, α, β)`-stationary processes — so nothing here assumes the
+/// Markov property.
+pub trait EvolvingGraph {
+    /// Number of nodes `n`.
+    fn node_count(&self) -> usize;
+
+    /// Advances the process one round and exposes the new edge set `E_t`.
+    ///
+    /// The first call after construction or [`EvolvingGraph::reset`]
+    /// produces `E_0`.
+    fn step(&mut self) -> &Snapshot;
+
+    /// Re-initializes the process from its initial distribution, seeding
+    /// all internal randomness from `seed`.
+    fn reset(&mut self, seed: u64);
+
+    /// Advances the process `rounds` rounds, discarding the snapshots.
+    ///
+    /// Used to let a Markovian process approach its stationary
+    /// distribution before measurements begin (the paper's bounds are for
+    /// *stationary* MEGs).
+    fn warm_up(&mut self, rounds: usize) {
+        for _ in 0..rounds {
+            self.step();
+        }
+    }
+}
+
+/// The degenerate dynamic graph whose snapshot never changes.
+///
+/// Flooding on a `StaticEvolvingGraph` is plain BFS, which makes this the
+/// reference point for tests and the trivial `Ω(D)` lower bounds quoted in
+/// §4.1.
+///
+/// # Examples
+///
+/// ```
+/// use dynagraph::{EvolvingGraph, StaticEvolvingGraph};
+/// use dg_graph::generators;
+///
+/// let mut g = StaticEvolvingGraph::new(generators::path(4));
+/// assert_eq!(g.node_count(), 4);
+/// assert_eq!(g.step().edge_count(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StaticEvolvingGraph {
+    snapshot: Snapshot,
+}
+
+impl StaticEvolvingGraph {
+    /// Wraps a static graph.
+    pub fn new(graph: dg_graph::Graph) -> Self {
+        let mut snapshot = Snapshot::empty(graph.node_count());
+        let edges: Vec<(u32, u32)> = graph.edges().collect();
+        snapshot.rebuild_from_edges(&edges);
+        StaticEvolvingGraph { snapshot }
+    }
+}
+
+impl EvolvingGraph for StaticEvolvingGraph {
+    fn node_count(&self) -> usize {
+        self.snapshot.node_count()
+    }
+
+    fn step(&mut self) -> &Snapshot {
+        &self.snapshot
+    }
+
+    fn reset(&mut self, _seed: u64) {}
+}
+
+/// A deterministic, periodic (hence non-Markovian in general) dynamic
+/// graph cycling through a fixed list of snapshots.
+///
+/// Used to exercise the claim that the framework — and the
+/// `(M, α, β)`-stationarity analysis of §3 — does not require the Markov
+/// property, and as an adversarial fixture in tests.
+#[derive(Debug, Clone)]
+pub struct PeriodicEvolvingGraph {
+    snapshots: Vec<Snapshot>,
+    cursor: usize,
+}
+
+impl PeriodicEvolvingGraph {
+    /// Builds a periodic process from a non-empty list of graphs on the
+    /// same vertex set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynagraphError::DimensionMismatch`] if the list is empty
+    /// or the graphs disagree on the node count.
+    pub fn new(graphs: &[dg_graph::Graph]) -> Result<Self, DynagraphError> {
+        let n = graphs
+            .first()
+            .ok_or(DynagraphError::DimensionMismatch {
+                expected: 1,
+                found: 0,
+            })?
+            .node_count();
+        let mut snapshots = Vec::with_capacity(graphs.len());
+        for g in graphs {
+            if g.node_count() != n {
+                return Err(DynagraphError::DimensionMismatch {
+                    expected: n,
+                    found: g.node_count(),
+                });
+            }
+            let mut s = Snapshot::empty(n);
+            let edges: Vec<(u32, u32)> = g.edges().collect();
+            s.rebuild_from_edges(&edges);
+            snapshots.push(s);
+        }
+        Ok(PeriodicEvolvingGraph {
+            snapshots,
+            cursor: 0,
+        })
+    }
+
+    /// The period length.
+    pub fn period(&self) -> usize {
+        self.snapshots.len()
+    }
+}
+
+impl EvolvingGraph for PeriodicEvolvingGraph {
+    fn node_count(&self) -> usize {
+        self.snapshots[0].node_count()
+    }
+
+    fn step(&mut self) -> &Snapshot {
+        let s = &self.snapshots[self.cursor];
+        self.cursor = (self.cursor + 1) % self.snapshots.len();
+        s
+    }
+
+    fn reset(&mut self, _seed: u64) {
+        self.cursor = 0;
+    }
+}
+
+/// Independently keeps each edge of an inner process with probability
+/// `gamma` each round — the "virtual dynamic graph in which a subset of
+/// the edges are removed" of §5, used to reduce randomized transmission
+/// protocols to plain flooding.
+///
+/// # Examples
+///
+/// ```
+/// use dynagraph::{EvolvingGraph, StaticEvolvingGraph, ThinnedEvolvingGraph};
+/// use dg_graph::generators;
+///
+/// let inner = StaticEvolvingGraph::new(generators::complete(20));
+/// let mut thin = ThinnedEvolvingGraph::new(inner, 0.1, 7).unwrap();
+/// let m = thin.step().edge_count();
+/// assert!(m < 190); // w.o.p. far fewer than all 190 edges survive
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThinnedEvolvingGraph<G> {
+    inner: G,
+    gamma: f64,
+    rng: SmallRng,
+    seed: u64,
+    snapshot: Snapshot,
+    edge_buf: Vec<(u32, u32)>,
+}
+
+impl<G: EvolvingGraph> ThinnedEvolvingGraph<G> {
+    /// Wraps `inner`, keeping each edge with probability `gamma` per round.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynagraphError::ParameterOutOfRange`] unless
+    /// `gamma ∈ [0, 1]`.
+    pub fn new(inner: G, gamma: f64, seed: u64) -> Result<Self, DynagraphError> {
+        if !(0.0..=1.0).contains(&gamma) || !gamma.is_finite() {
+            return Err(DynagraphError::ParameterOutOfRange {
+                name: "gamma",
+                value: gamma,
+            });
+        }
+        let n = inner.node_count();
+        Ok(ThinnedEvolvingGraph {
+            inner,
+            gamma,
+            rng: SmallRng::seed_from_u64(crate::mix_seed(seed, 0xC0FFEE)),
+            seed,
+            snapshot: Snapshot::empty(n),
+            edge_buf: Vec::new(),
+        })
+    }
+
+    /// The survival probability per edge per round.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// The wrapped process.
+    pub fn inner(&self) -> &G {
+        &self.inner
+    }
+}
+
+impl<G: EvolvingGraph> EvolvingGraph for ThinnedEvolvingGraph<G> {
+    fn node_count(&self) -> usize {
+        self.inner.node_count()
+    }
+
+    fn step(&mut self) -> &Snapshot {
+        let inner_snap = self.inner.step();
+        self.edge_buf.clear();
+        for (u, v) in inner_snap.edges() {
+            if self.rng.gen_bool(self.gamma) {
+                self.edge_buf.push((u, v));
+            }
+        }
+        self.snapshot.rebuild_from_edges(&self.edge_buf);
+        &self.snapshot
+    }
+
+    fn reset(&mut self, seed: u64) {
+        self.seed = seed;
+        self.inner.reset(crate::mix_seed(seed, 1));
+        self.rng = SmallRng::seed_from_u64(crate::mix_seed(seed, 0xC0FFEE));
+    }
+}
+
+/// Failure injection: each round, `victims_per_round` uniformly chosen
+/// nodes are *jammed* — all of their incident edges are removed from the
+/// snapshot (radio jamming / crash-for-a-round semantics).
+///
+/// Jamming preserves the Markov property of the wrapped process (victims
+/// are chosen freshly each round), so the `(M, α, β)` analysis of §3
+/// still applies with `α` scaled by the probability that neither endpoint
+/// is jammed.
+///
+/// # Examples
+///
+/// ```
+/// use dynagraph::{EvolvingGraph, JammedEvolvingGraph, StaticEvolvingGraph};
+/// use dg_graph::generators;
+///
+/// let inner = StaticEvolvingGraph::new(generators::complete(10));
+/// let mut g = JammedEvolvingGraph::new(inner, 2, 1).unwrap();
+/// // Two jammed nodes lose all 9 incident edges each (minus the shared one).
+/// assert!(g.step().edge_count() <= 28);
+/// ```
+#[derive(Debug, Clone)]
+pub struct JammedEvolvingGraph<G> {
+    inner: G,
+    victims_per_round: usize,
+    rng: SmallRng,
+    snapshot: Snapshot,
+    edge_buf: Vec<(u32, u32)>,
+    jammed: Vec<bool>,
+}
+
+impl<G: EvolvingGraph> JammedEvolvingGraph<G> {
+    /// Wraps `inner`, jamming `victims_per_round` random nodes each round.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynagraphError::ParameterOutOfRange`] when
+    /// `victims_per_round` exceeds the node count.
+    pub fn new(inner: G, victims_per_round: usize, seed: u64) -> Result<Self, DynagraphError> {
+        let n = inner.node_count();
+        if victims_per_round > n {
+            return Err(DynagraphError::ParameterOutOfRange {
+                name: "victims_per_round",
+                value: victims_per_round as f64,
+            });
+        }
+        Ok(JammedEvolvingGraph {
+            inner,
+            victims_per_round,
+            rng: SmallRng::seed_from_u64(crate::mix_seed(seed, 0x7A33)),
+            snapshot: Snapshot::empty(n),
+            edge_buf: Vec::new(),
+            jammed: vec![false; n],
+        })
+    }
+
+    /// Victims jammed per round.
+    pub fn victims_per_round(&self) -> usize {
+        self.victims_per_round
+    }
+}
+
+impl<G: EvolvingGraph> EvolvingGraph for JammedEvolvingGraph<G> {
+    fn node_count(&self) -> usize {
+        self.inner.node_count()
+    }
+
+    fn step(&mut self) -> &Snapshot {
+        let n = self.inner.node_count();
+        self.jammed.fill(false);
+        // Floyd-style sampling of victims without replacement.
+        let mut chosen = 0usize;
+        while chosen < self.victims_per_round {
+            let v = self.rng.gen_range(0..n);
+            if !self.jammed[v] {
+                self.jammed[v] = true;
+                chosen += 1;
+            }
+        }
+        let inner_snap = self.inner.step();
+        self.edge_buf.clear();
+        for (u, v) in inner_snap.edges() {
+            if !self.jammed[u as usize] && !self.jammed[v as usize] {
+                self.edge_buf.push((u, v));
+            }
+        }
+        self.snapshot.rebuild_from_edges(&self.edge_buf);
+        &self.snapshot
+    }
+
+    fn reset(&mut self, seed: u64) {
+        self.inner.reset(crate::mix_seed(seed, 1));
+        self.rng = SmallRng::seed_from_u64(crate::mix_seed(seed, 0x7A33));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_graph::generators;
+
+    #[test]
+    fn static_graph_constant() {
+        let mut g = StaticEvolvingGraph::new(generators::cycle(5));
+        let e0: Vec<_> = g.step().edges().collect();
+        let e1: Vec<_> = g.step().edges().collect();
+        assert_eq!(e0, e1);
+        g.reset(9);
+        assert_eq!(g.step().edge_count(), 5);
+    }
+
+    #[test]
+    fn periodic_cycles() {
+        let a = generators::path(3);
+        let b = generators::complete(3);
+        let mut g = PeriodicEvolvingGraph::new(&[a, b]).unwrap();
+        assert_eq!(g.period(), 2);
+        assert_eq!(g.step().edge_count(), 2);
+        assert_eq!(g.step().edge_count(), 3);
+        assert_eq!(g.step().edge_count(), 2);
+        g.reset(0);
+        assert_eq!(g.step().edge_count(), 2);
+    }
+
+    #[test]
+    fn periodic_rejects_mismatched() {
+        let a = generators::path(3);
+        let b = generators::path(4);
+        assert!(PeriodicEvolvingGraph::new(&[a, b]).is_err());
+        assert!(PeriodicEvolvingGraph::new(&[]).is_err());
+    }
+
+    #[test]
+    fn thinning_extremes() {
+        let inner = StaticEvolvingGraph::new(generators::complete(10));
+        let mut keep_all = ThinnedEvolvingGraph::new(inner.clone(), 1.0, 1).unwrap();
+        assert_eq!(keep_all.step().edge_count(), 45);
+        let mut keep_none = ThinnedEvolvingGraph::new(inner, 0.0, 1).unwrap();
+        assert!(keep_none.step().is_edgeless());
+    }
+
+    #[test]
+    fn thinning_rate() {
+        let inner = StaticEvolvingGraph::new(generators::complete(40));
+        let mut g = ThinnedEvolvingGraph::new(inner, 0.3, 5).unwrap();
+        let mut total = 0usize;
+        let rounds = 200;
+        for _ in 0..rounds {
+            total += g.step().edge_count();
+        }
+        let mean = total as f64 / rounds as f64;
+        let expected = 0.3 * 780.0;
+        assert!((mean - expected).abs() < 15.0, "mean = {mean}");
+    }
+
+    #[test]
+    fn thinning_rejects_bad_gamma() {
+        let inner = StaticEvolvingGraph::new(generators::path(2));
+        assert!(ThinnedEvolvingGraph::new(inner.clone(), -0.1, 0).is_err());
+        assert!(ThinnedEvolvingGraph::new(inner, 1.1, 0).is_err());
+    }
+
+    #[test]
+    fn thinning_reset_reproducible() {
+        let inner = StaticEvolvingGraph::new(generators::complete(12));
+        let mut g = ThinnedEvolvingGraph::new(inner, 0.5, 3).unwrap();
+        g.reset(77);
+        let a: Vec<_> = g.step().edges().collect();
+        g.reset(77);
+        let b: Vec<_> = g.step().edges().collect();
+        assert_eq!(a, b);
+        g.reset(78);
+        let c: Vec<_> = g.step().edges().collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn warm_up_advances() {
+        let mut g = StaticEvolvingGraph::new(generators::path(3));
+        g.warm_up(10); // must not panic or hang
+        assert_eq!(g.node_count(), 3);
+    }
+
+    #[test]
+    fn jamming_zero_victims_is_identity() {
+        let inner = StaticEvolvingGraph::new(generators::complete(8));
+        let mut g = JammedEvolvingGraph::new(inner, 0, 1).unwrap();
+        assert_eq!(g.step().edge_count(), 28);
+    }
+
+    #[test]
+    fn jamming_all_victims_is_edgeless() {
+        let inner = StaticEvolvingGraph::new(generators::complete(8));
+        let mut g = JammedEvolvingGraph::new(inner, 8, 1).unwrap();
+        assert!(g.step().is_edgeless());
+    }
+
+    #[test]
+    fn jamming_removes_exactly_victim_edges() {
+        let inner = StaticEvolvingGraph::new(generators::complete(10));
+        let mut g = JammedEvolvingGraph::new(inner, 1, 3).unwrap();
+        for _ in 0..20 {
+            let snap = g.step();
+            // One jammed node in K10: its 9 edges vanish, 36 remain, and
+            // exactly one node is isolated.
+            assert_eq!(snap.edge_count(), 36);
+            let isolated = (0..10u32).filter(|&u| snap.degree(u) == 0).count();
+            assert_eq!(isolated, 1);
+        }
+    }
+
+    #[test]
+    fn jamming_too_many_victims_rejected() {
+        let inner = StaticEvolvingGraph::new(generators::path(3));
+        assert!(JammedEvolvingGraph::new(inner, 4, 0).is_err());
+    }
+
+    #[test]
+    fn flooding_survives_moderate_jamming() {
+        use crate::flooding::flood;
+        let inner = StaticEvolvingGraph::new(generators::complete(20));
+        let mut g = JammedEvolvingGraph::new(inner, 5, 7).unwrap();
+        let run = flood(&mut g, 0, 1000);
+        assert!(run.flooding_time().is_some());
+    }
+
+    #[test]
+    fn jamming_reset_reproducible() {
+        let inner = StaticEvolvingGraph::new(generators::complete(12));
+        let mut g = JammedEvolvingGraph::new(inner, 3, 0).unwrap();
+        g.reset(9);
+        let a: Vec<_> = g.step().edges().collect();
+        g.reset(9);
+        let b: Vec<_> = g.step().edges().collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,167 @@
+//! Recording and replaying realizations of a dynamic graph.
+//!
+//! The flooding time of the paper is `F(G) = max_s F(G, s)` — the maximum
+//! over sources *on the same realization* of the process. To measure it we
+//! record a realization once and replay it for every source.
+
+use crate::flooding::{flood, FloodRun};
+use crate::{EvolvingGraph, Snapshot};
+
+/// A recorded realization `E_0, ..., E_{T-1}` of a dynamic graph.
+///
+/// # Examples
+///
+/// ```
+/// use dynagraph::{RecordedEvolution, StaticEvolvingGraph};
+/// use dg_graph::generators;
+///
+/// let mut g = StaticEvolvingGraph::new(generators::cycle(6));
+/// let rec = RecordedEvolution::record(&mut g, 10);
+/// assert_eq!(rec.rounds(), 10);
+/// let run = rec.flood_from(0);
+/// assert_eq!(run.flooding_time(), Some(3));
+/// // F(G) = max over sources, all on the same realization:
+/// assert_eq!(rec.flooding_time_all_sources(), Some(3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RecordedEvolution {
+    snapshots: Vec<Snapshot>,
+    node_count: usize,
+}
+
+impl RecordedEvolution {
+    /// Steps `g` for `rounds` rounds, cloning every snapshot.
+    pub fn record<G: EvolvingGraph + ?Sized>(g: &mut G, rounds: usize) -> Self {
+        let node_count = g.node_count();
+        let mut snapshots = Vec::with_capacity(rounds);
+        for _ in 0..rounds {
+            snapshots.push(g.step().clone());
+        }
+        RecordedEvolution {
+            snapshots,
+            node_count,
+        }
+    }
+
+    /// Number of recorded rounds `T`.
+    pub fn rounds(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// The snapshot of round `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= rounds()`.
+    pub fn snapshot(&self, t: usize) -> &Snapshot {
+        &self.snapshots[t]
+    }
+
+    /// Floods from `source` over the recorded rounds. If the recording is
+    /// exhausted before completion the run reports `None`.
+    pub fn flood_from(&self, source: u32) -> FloodRun {
+        let mut replay = Replay {
+            rec: self,
+            cursor: 0,
+            edgeless: Snapshot::empty(self.node_count),
+        };
+        flood(&mut replay, source, self.snapshots.len() as u32)
+    }
+
+    /// The paper's `F(G) = max_s F(G, s)` on this realization; `None` if
+    /// any source fails to flood within the recording.
+    pub fn flooding_time_all_sources(&self) -> Option<u32> {
+        let mut worst = 0;
+        for s in 0..self.node_count as u32 {
+            worst = worst.max(self.flood_from(s).flooding_time()?);
+        }
+        Some(worst)
+    }
+}
+
+/// Replays a recorded realization as an [`EvolvingGraph`]; rounds beyond
+/// the recording are edgeless.
+struct Replay<'a> {
+    rec: &'a RecordedEvolution,
+    cursor: usize,
+    edgeless: Snapshot,
+}
+
+impl EvolvingGraph for Replay<'_> {
+    fn node_count(&self) -> usize {
+        self.rec.node_count
+    }
+
+    fn step(&mut self) -> &Snapshot {
+        if self.cursor < self.rec.snapshots.len() {
+            let s = &self.rec.snapshots[self.cursor];
+            self.cursor += 1;
+            s
+        } else {
+            &self.edgeless
+        }
+    }
+
+    fn reset(&mut self, _seed: u64) {
+        self.cursor = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PeriodicEvolvingGraph, StaticEvolvingGraph};
+    use dg_graph::generators;
+
+    #[test]
+    fn record_static() {
+        let mut g = StaticEvolvingGraph::new(generators::path(4));
+        let rec = RecordedEvolution::record(&mut g, 5);
+        assert_eq!(rec.rounds(), 5);
+        assert_eq!(rec.node_count(), 4);
+        assert_eq!(rec.snapshot(0).edge_count(), 3);
+    }
+
+    #[test]
+    fn all_sources_max_on_path() {
+        // On a static path of 5 nodes, F(G, s) is the eccentricity of s;
+        // the max over s is the diameter 4 (from an endpoint).
+        let mut g = StaticEvolvingGraph::new(generators::path(5));
+        let rec = RecordedEvolution::record(&mut g, 10);
+        assert_eq!(rec.flood_from(2).flooding_time(), Some(2));
+        assert_eq!(rec.flooding_time_all_sources(), Some(4));
+    }
+
+    #[test]
+    fn exhausted_recording_incomplete() {
+        let mut g = StaticEvolvingGraph::new(generators::path(6));
+        let rec = RecordedEvolution::record(&mut g, 2);
+        assert_eq!(rec.flood_from(0).flooding_time(), None);
+        assert_eq!(rec.flooding_time_all_sources(), None);
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let even = {
+            let mut b = dg_graph::GraphBuilder::new(3);
+            b.add_edge(0, 1).unwrap();
+            b.build()
+        };
+        let odd = {
+            let mut b = dg_graph::GraphBuilder::new(3);
+            b.add_edge(1, 2).unwrap();
+            b.build()
+        };
+        let mut g = PeriodicEvolvingGraph::new(&[even, odd]).unwrap();
+        let rec = RecordedEvolution::record(&mut g, 4);
+        let a = rec.flood_from(0);
+        let b = rec.flood_from(0);
+        assert_eq!(a, b);
+        assert_eq!(a.flooding_time(), Some(2));
+    }
+}

@@ -1,0 +1,293 @@
+//! Every bound of the paper, as documented functions.
+//!
+//! All bounds are `O(·)` statements; the functions below return the bound
+//! expression with its leading constant set to 1, so they are compared to
+//! measurements *by shape* (scaling exponents, orderings, crossovers), not
+//! by absolute value. Logarithms are natural.
+
+/// `ln n`, guarded to at least 1 so that bound expressions stay monotone
+/// for tiny `n`.
+fn log_n(n: usize) -> f64 {
+    (n.max(3) as f64).ln()
+}
+
+/// **Theorem 1.** If `G` is `(M, α, β)`-stationary, then w.h.p. the
+/// flooding time is `O( M · (1/(nα) + β)² · log² n )`.
+///
+/// # Panics
+///
+/// Panics if `alpha <= 0`, `beta < 0`, or `m < 1`.
+///
+/// # Examples
+///
+/// ```
+/// use dynagraph::theory::theorem1_bound;
+/// // Denser graphs (larger alpha) flood no slower:
+/// assert!(theorem1_bound(10.0, 0.01, 1.0, 100) <= theorem1_bound(10.0, 0.001, 1.0, 100));
+/// ```
+pub fn theorem1_bound(m: f64, alpha: f64, beta: f64, n: usize) -> f64 {
+    assert!(alpha > 0.0, "alpha must be positive");
+    assert!(beta >= 0.0, "beta must be non-negative");
+    assert!(m >= 1.0, "epoch length must be at least 1");
+    let l = log_n(n);
+    let core = 1.0 / (n as f64 * alpha) + beta;
+    m * core * core * l * l
+}
+
+/// **Lemma 11.** The epoch budget `T` after which a set `A` doubles with
+/// probability `1 - e^{-t}`:
+/// `T = 256·(1/(|A|n²α²) + β/(nα) + |A|β²/n) + (4/(|A|nα) + 3β)·t`.
+pub fn lemma11_epoch_budget(set_size: usize, n: usize, alpha: f64, beta: f64, t: f64) -> f64 {
+    assert!(alpha > 0.0 && set_size > 0 && n > 0);
+    let a = set_size as f64;
+    let nf = n as f64;
+    256.0 * (1.0 / (a * nf * nf * alpha * alpha) + beta / (nf * alpha) + a * beta * beta / nf)
+        + (4.0 / (a * nf * alpha) + 3.0 * beta) * t
+}
+
+/// **Theorem 3 (node-MEGs).** For a node-MEG with `P_NM >= 1/n^{O(1)}` and
+/// `P_NM² <= η·(P_NM)²`, w.h.p. the flooding time is
+/// `O( T_mix · (1/(n·P_NM) + η)² · log³ n )`.
+///
+/// # Panics
+///
+/// Panics if `pnm <= 0`, `eta < 1`, or `tmix < 1`.
+pub fn theorem3_bound(tmix: f64, pnm: f64, eta: f64, n: usize) -> f64 {
+    assert!(pnm > 0.0, "P_NM must be positive");
+    assert!(eta >= 1.0, "eta is at least 1 by Cauchy-Schwarz");
+    assert!(tmix >= 1.0, "mixing time at least 1");
+    let l = log_n(n);
+    let core = 1.0 / (n as f64 * pnm) + eta;
+    tmix * core * core * l * l * l
+}
+
+/// The epoch length used in the proof of Theorem 3:
+/// `M = T_mix · log(2n / P_NM²)` (Eq. 23), after which every node's state
+/// is within `P_NM²/(2n)` of stationarity in total variation.
+pub fn theorem3_epoch_length(tmix: f64, pnm: f64, n: usize) -> f64 {
+    assert!(pnm > 0.0);
+    tmix * (2.0 * n as f64 / (pnm * pnm)).ln().max(1.0)
+}
+
+/// **Corollary 4 (random trip over a region `R ⊆ R^d`).** Under the
+/// (δ, λ)-uniformity conditions on the positional density, w.h.p. the
+/// flooding time is
+/// `O( T_mix · ( δ²·vol(R)/(λ·n·r^d) + δ⁶/λ² )² · log³ n )`.
+///
+/// # Panics
+///
+/// Panics on non-positive `delta`, `lambda`, `vol`, or `r`.
+pub fn corollary4_bound(
+    tmix: f64,
+    delta: f64,
+    lambda: f64,
+    vol: f64,
+    n: usize,
+    r: f64,
+    dim: u32,
+) -> f64 {
+    assert!(delta >= 1.0 && lambda > 0.0 && vol > 0.0 && r > 0.0);
+    let l = log_n(n);
+    let core = delta * delta * vol / (lambda * n as f64 * r.powi(dim as i32))
+        + delta.powi(6) / (lambda * lambda);
+    tmix * core * core * l * l * l
+}
+
+/// **§4.1, random waypoint over a square of side `L`:** with
+/// `T_mix = Θ(L/v_max)`, w.h.p. the flooding time is
+/// `O( (L/v_max) · (L²/(n r²) + 1)² · log³ n )`.
+///
+/// # Panics
+///
+/// Panics on non-positive `l`, `vmax`, or `r`.
+pub fn waypoint_square_bound(l: f64, vmax: f64, n: usize, r: f64) -> f64 {
+    assert!(l > 0.0 && vmax > 0.0 && r > 0.0);
+    let lg = log_n(n);
+    let core = l * l / (n as f64 * r * r) + 1.0;
+    (l / vmax) * core * core * lg * lg * lg
+}
+
+/// **§4.1 headline sparse regime** (`L ~ √n`, `r = Ω(1)`, `r = O(v_max)`):
+/// the bound collapses to `O( √n/v_max · log³ n )`.
+pub fn waypoint_sparse_bound(n: usize, vmax: f64) -> f64 {
+    assert!(vmax > 0.0);
+    let lg = log_n(n);
+    (n as f64).sqrt() / vmax * lg * lg * lg
+}
+
+/// The trivial lower bound `Ω(√n / v_max)` for the sparse waypoint regime
+/// (information must physically traverse the square).
+pub fn waypoint_sparse_lower_bound(n: usize, vmax: f64) -> f64 {
+    assert!(vmax > 0.0);
+    (n as f64).sqrt() / vmax
+}
+
+/// **Corollary 5 (random paths on a graph `H(V, A)`).** For a simple,
+/// reversible, δ-regular path family with `|V| <= n^{O(1)}`, w.h.p. the
+/// flooding time is `O( T_mix · (|V|/n + δ³)² · log³ n )`.
+pub fn corollary5_bound(tmix: f64, points: usize, delta: f64, n: usize) -> f64 {
+    assert!(delta >= 1.0 && tmix >= 1.0);
+    let l = log_n(n);
+    let core = points as f64 / n as f64 + delta.powi(3);
+    tmix * core * core * l * l * l
+}
+
+/// **Corollary 6 (random walk on a δ-regular mobility graph).** W.h.p. the
+/// flooding time is `O( T_mix · (δ²|V|/n + δ⁷)² · log³ n )`.
+pub fn corollary6_bound(tmix: f64, points: usize, delta: f64, n: usize) -> f64 {
+    assert!(delta >= 1.0 && tmix >= 1.0);
+    let l = log_n(n);
+    let core = delta * delta * points as f64 / n as f64 + delta.powi(7);
+    tmix * core * core * l * l * l
+}
+
+/// The meeting-time flooding bound of Dimitriou–Nikoletseas–Spirakis \[15\]
+/// for the random walk model: `O(T* · log n)` where `T*` is the meeting
+/// time of two walks. On (k-augmented) grids of `s` points the meeting
+/// time is `Ω(s log s)` \[1, 27\], so we instantiate `T* = s·ln s`.
+pub fn dns_meeting_time_bound(points: usize, n: usize) -> f64 {
+    let s = points.max(2) as f64;
+    s * s.ln() * log_n(n)
+}
+
+/// **Appendix A, basic edge-MEG:** the almost-tight flooding bound of
+/// Clementi–Macci–Monti–Pasquale–Silvestri (SIAM JDM 2010, the paper's
+/// Eq. 2): `O( log n / log(1 + np) )`.
+///
+/// # Panics
+///
+/// Panics unless `0 < p <= 1`.
+pub fn edge_meg_cmmps_bound(n: usize, p: f64) -> f64 {
+    assert!(p > 0.0 && p <= 1.0);
+    log_n(n) / (1.0 + n as f64 * p).ln()
+}
+
+/// **Appendix A, general bound specialized to the basic edge-MEG**:
+/// `T_mix = Θ(1/(p+q))` and `α = p/(p+q)`, giving
+/// `O( (1/(p+q)) · ((p+q)/(np) + 1)² · log² n )`.
+/// Almost tight whenever `q >= np`.
+///
+/// # Panics
+///
+/// Panics unless `p, q` are positive with `p + q <= 2`.
+pub fn edge_meg_general_bound(n: usize, p: f64, q: f64) -> f64 {
+    assert!(p > 0.0 && q > 0.0 && p + q <= 2.0);
+    let l = log_n(n);
+    let core = (p + q) / (n as f64 * p) + 1.0;
+    (1.0 / (p + q)) * core * core * l * l
+}
+
+/// **Appendix A, generalized edge-MEG** `EM(n, M, χ)`: edges are
+/// independent, so β = 1 and Theorem 1 gives
+/// `O( T_mix · (1/(nα) + 1)² · log² n )` with `α` the stationary
+/// edge-existence probability.
+pub fn edge_meg_hidden_bound(tmix: f64, alpha: f64, n: usize) -> f64 {
+    theorem1_bound(tmix.max(1.0), alpha, 1.0, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem1_monotone_in_all_args() {
+        let b = theorem1_bound(10.0, 0.01, 2.0, 256);
+        assert!(theorem1_bound(20.0, 0.01, 2.0, 256) > b); // more M
+        assert!(theorem1_bound(10.0, 0.001, 2.0, 256) > b); // sparser
+        assert!(theorem1_bound(10.0, 0.01, 4.0, 256) > b); // more correlated
+    }
+
+    #[test]
+    fn theorem1_dense_limit_is_polylog() {
+        // alpha = 1 (complete graph every epoch), beta = 1: bound is
+        // M * (1/n + 1)^2 * log^2 n ~ M log^2 n.
+        let n = 1024;
+        let b = theorem1_bound(1.0, 1.0, 1.0, n);
+        let l = (n as f64).ln();
+        assert!(b < 4.2 * l * l);
+    }
+
+    #[test]
+    fn lemma11_budget_positive_and_monotone_in_t() {
+        let t0 = lemma11_epoch_budget(4, 100, 0.01, 1.0, 1.0);
+        let t1 = lemma11_epoch_budget(4, 100, 0.01, 1.0, 10.0);
+        assert!(t0 > 0.0);
+        assert!(t1 > t0);
+    }
+
+    #[test]
+    fn theorem3_epoch_grows_with_tmix() {
+        assert!(
+            theorem3_epoch_length(100.0, 0.01, 64) > theorem3_epoch_length(10.0, 0.01, 64)
+        );
+    }
+
+    #[test]
+    fn waypoint_square_bound_sparse_matches_headline() {
+        // L = sqrt(n), r = 1, v = 1: bound ~ sqrt(n) * (1 + 1)^2 * log^3 n;
+        // same growth order as the headline sparse bound.
+        let n = 4096;
+        let l = (n as f64).sqrt();
+        let full = waypoint_square_bound(l, 1.0, n, 1.0);
+        let sparse = waypoint_sparse_bound(n, 1.0);
+        let ratio = full / sparse;
+        assert!(ratio > 1.0 && ratio < 8.0, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn waypoint_bounds_ordering() {
+        let n = 1024;
+        assert!(waypoint_sparse_lower_bound(n, 1.0) < waypoint_sparse_bound(n, 1.0));
+    }
+
+    #[test]
+    fn corollary5_linear_in_tmix() {
+        let a = corollary5_bound(10.0, 100, 1.0, 100);
+        let b = corollary5_bound(20.0, 100, 1.0, 100);
+        assert!((b / a - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corollary6_dominates_corollary5() {
+        // delta >= 1 implies the Cor. 6 expression dominates Cor. 5's.
+        let (tmix, pts, n) = (50.0, 500, 200);
+        for delta in [1.0, 1.5, 2.0] {
+            assert!(
+                corollary6_bound(tmix, pts, delta, n) >= corollary5_bound(tmix, pts, delta, n)
+            );
+        }
+    }
+
+    #[test]
+    fn edge_meg_bounds_crossover() {
+        // Dense regime np >> 1, q small: CMMPS bound O(1) beats ours.
+        let n = 1000;
+        let dense_ours = edge_meg_general_bound(n, 0.1, 0.01);
+        let dense_cmmps = edge_meg_cmmps_bound(n, 0.1);
+        assert!(dense_cmmps < dense_ours);
+        // Sparse regime with q >= np: ours is within polylog of CMMPS.
+        let p = 0.5 / n as f64;
+        let q = 0.9;
+        let ours = edge_meg_general_bound(n, p, q);
+        let cmmps = edge_meg_cmmps_bound(n, p);
+        let l = (n as f64).ln();
+        assert!(ours <= cmmps * 40.0 * l * l, "ours {ours} vs cmmps {cmmps}");
+    }
+
+    #[test]
+    fn hidden_bound_reduces_to_theorem1() {
+        let b = edge_meg_hidden_bound(7.0, 0.02, 128);
+        assert_eq!(b, theorem1_bound(7.0, 0.02, 1.0, 128));
+    }
+
+    #[test]
+    fn dns_bound_superlinear_in_points() {
+        assert!(dns_meeting_time_bound(2000, 100) > 2.0 * dns_meeting_time_bound(1000, 100));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be positive")]
+    fn theorem1_rejects_zero_alpha() {
+        let _ = theorem1_bound(1.0, 0.0, 1.0, 10);
+    }
+}

@@ -1,0 +1,46 @@
+//! Link-based Markovian evolving graphs — Appendix A of
+//! Clementi–Silvestri–Trevisan (PODC 2012).
+//!
+//! In an **edge-MEG** every potential edge of the `n`-node graph evolves
+//! *independently* according to a Markov chain:
+//!
+//! * [`TwoStateEdgeMeg`] — the basic model of [CMMPS'10]: an absent edge is
+//!   born with probability `p` per round, a present edge dies with
+//!   probability `q`. Stationary density `α = p/(p+q)`, mixing time
+//!   `Θ(1/(p+q))`.
+//! * [`SparseTwoStateEdgeMeg`] — the same process, simulated event-driven
+//!   (geometric toggle times) so that huge sparse instances cost
+//!   `O(#toggles + |E_t|)` per round instead of `O(n²)`.
+//! * [`HiddenChainEdgeMeg`] — the paper's generalization `EM(n, M, χ)`:
+//!   an arbitrary (hidden) finite chain `M` drives each edge and an
+//!   arbitrary map `χ : S → {0, 1}` decides whether the edge exists.
+//!
+//! Because edges are independent, the β-independence condition of §3 holds
+//! with `β = 1`, and Theorem 1 yields
+//! `O(T_mix · (1/(nα) + 1)² · log² n)` — see
+//! [`dynagraph::theory::edge_meg_general_bound`] and
+//! [`dynagraph::theory::edge_meg_hidden_bound`].
+//!
+//! # Examples
+//!
+//! ```
+//! use dg_edge_meg::TwoStateEdgeMeg;
+//! use dynagraph::{flooding, EvolvingGraph};
+//!
+//! let mut g = TwoStateEdgeMeg::stationary(64, 0.05, 0.2, 42).unwrap();
+//! let run = flooding::flood(&mut g, 0, 10_000);
+//! assert!(run.flooding_time().is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod general;
+mod pairs;
+mod sparse;
+mod two_state;
+
+pub use general::{bursty_chain, four_state_chain, HiddenChainEdgeMeg};
+pub use pairs::{edge_index, edge_pair, pair_count};
+pub use sparse::SparseTwoStateEdgeMeg;
+pub use two_state::TwoStateEdgeMeg;

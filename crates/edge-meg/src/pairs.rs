@@ -1,0 +1,76 @@
+//! Triangular indexing of unordered node pairs.
+
+/// Number of unordered pairs over `n` nodes: `n(n-1)/2`.
+pub fn pair_count(n: usize) -> usize {
+    n * (n - 1) / 2
+}
+
+/// Dense index of the pair `{u, v}` (`u != v`), in `0..pair_count(n)`.
+///
+/// Uses the triangular layout `index({u, v}) = v(v-1)/2 + u` for `u < v`.
+///
+/// # Panics
+///
+/// Panics if `u == v`.
+///
+/// # Examples
+///
+/// ```
+/// use dg_edge_meg::{edge_index, edge_pair};
+/// let e = edge_index(3, 7);
+/// assert_eq!(edge_pair(e), (3, 7));
+/// ```
+pub fn edge_index(u: u32, v: u32) -> usize {
+    assert_ne!(u, v, "self-loops have no pair index");
+    let (lo, hi) = if u < v { (u, v) } else { (v, u) };
+    (hi as usize * (hi as usize - 1)) / 2 + lo as usize
+}
+
+/// Inverse of [`edge_index`]: recovers `(u, v)` with `u < v`.
+pub fn edge_pair(index: usize) -> (u32, u32) {
+    // hi is the largest v with v(v-1)/2 <= index.
+    let hi = ((1.0 + (1.0 + 8.0 * index as f64).sqrt()) / 2.0).floor() as usize;
+    // Floating point can land one off; correct exactly.
+    let hi = if hi * (hi - 1) / 2 > index { hi - 1 } else { hi };
+    let hi = if (hi + 1) * hi / 2 <= index { hi + 1 } else { hi };
+    let lo = index - hi * (hi - 1) / 2;
+    (lo as u32, hi as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_small() {
+        let n = 40u32;
+        let mut seen = vec![false; pair_count(n as usize)];
+        for v in 0..n {
+            for u in 0..v {
+                let e = edge_index(u, v);
+                assert!(!seen[e], "index collision at ({u},{v})");
+                seen[e] = true;
+                assert_eq!(edge_pair(e), (u, v));
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn order_insensitive() {
+        assert_eq!(edge_index(2, 9), edge_index(9, 2));
+    }
+
+    #[test]
+    fn large_indices_exact() {
+        for &(u, v) in &[(0u32, 1u32), (12345, 54321), (99999, 100000)] {
+            assert_eq!(edge_pair(edge_index(u, v)), (u.min(v), u.max(v)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_panics() {
+        let _ = edge_index(4, 4);
+    }
+}

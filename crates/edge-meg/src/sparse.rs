@@ -1,0 +1,287 @@
+//! Event-driven simulation of the two-state edge-MEG.
+//!
+//! Per-round flipping costs `O(n²)` per round regardless of density. The
+//! sparse regimes of the paper (`p = Θ(1/n)`, where flooding is most
+//! interesting) toggle only `Θ(n)` edges per round, so we simulate toggle
+//! *events*: an off edge turns on after `Geometric(p)` rounds and an on
+//! edge turns off after `Geometric(q)` rounds. The resulting process is
+//! identical in distribution to [`crate::TwoStateEdgeMeg`].
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use dg_markov::{MarkovError, TwoStateChain};
+use dynagraph::{mix_seed, EvolvingGraph, Snapshot};
+
+use crate::pairs::{edge_pair, pair_count};
+
+/// Event-driven two-state edge-MEG, equivalent in distribution to
+/// [`crate::TwoStateEdgeMeg::stationary`] but with per-round cost
+/// `O(#toggles · log #events + |E_t|)`.
+///
+/// # Examples
+///
+/// ```
+/// use dg_edge_meg::SparseTwoStateEdgeMeg;
+/// use dynagraph::{flooding, EvolvingGraph};
+///
+/// let n = 256;
+/// let mut g = SparseTwoStateEdgeMeg::stationary(n, 1.5 / n as f64, 0.2, 1).unwrap();
+/// let run = flooding::flood(&mut g, 0, 100_000);
+/// assert!(run.flooding_time().is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SparseTwoStateEdgeMeg {
+    n: usize,
+    chain: TwoStateChain,
+    round: u64,
+    /// Indices of currently-on edges.
+    alive: Vec<u32>,
+    /// Position of each edge in `alive` (`u32::MAX` when off).
+    alive_pos: Vec<u32>,
+    /// Pending toggle events `(round, edge)`.
+    events: BinaryHeap<Reverse<(u64, u32)>>,
+    rng: SmallRng,
+    snapshot: Snapshot,
+    edge_buf: Vec<(u32, u32)>,
+}
+
+impl SparseTwoStateEdgeMeg {
+    /// Creates a stationary sparse edge-MEG (each edge on independently
+    /// with probability `p/(p+q)` at round 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid rates, `p = 0` or `q = 0` (event
+    /// scheduling needs both toggles possible), or `n < 2`.
+    pub fn stationary(n: usize, p: f64, q: f64, seed: u64) -> Result<Self, MarkovError> {
+        let chain = TwoStateChain::new(p, q)?;
+        if p == 0.0 || q == 0.0 {
+            return Err(MarkovError::ParameterOutOfRange {
+                name: "p/q (event-driven simulation needs both positive)",
+                value: 0.0,
+            });
+        }
+        if n < 2 {
+            return Err(MarkovError::DimensionMismatch {
+                expected: 2,
+                found: n,
+            });
+        }
+        let mut meg = SparseTwoStateEdgeMeg {
+            n,
+            chain,
+            round: 0,
+            alive: Vec::new(),
+            alive_pos: vec![u32::MAX; pair_count(n)],
+            events: BinaryHeap::new(),
+            rng: SmallRng::seed_from_u64(seed),
+            snapshot: Snapshot::empty(n),
+            edge_buf: Vec::new(),
+        };
+        meg.reset(seed);
+        Ok(meg)
+    }
+
+    /// The stationary edge density `α = p/(p+q)`.
+    pub fn alpha(&self) -> f64 {
+        self.chain.stationary_on()
+    }
+
+    /// Number of currently-on edges.
+    pub fn alive_count(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// Samples `Geometric(prob)` on `{1, 2, ...}` — the waiting time until
+    /// the next success of a Bernoulli(`prob`) sequence.
+    fn geometric(rng: &mut SmallRng, prob: f64) -> u64 {
+        if prob >= 1.0 {
+            return 1;
+        }
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let k = (u.ln() / (1.0 - prob).ln()).ceil();
+        (k as u64).max(1)
+    }
+
+    fn schedule_toggle(&mut self, edge: u32, currently_on: bool) {
+        let rate = if currently_on {
+            self.chain.death()
+        } else {
+            self.chain.birth()
+        };
+        let dt = Self::geometric(&mut self.rng, rate);
+        self.events.push(Reverse((self.round + dt, edge)));
+    }
+
+    fn turn_on(&mut self, edge: u32) {
+        debug_assert_eq!(self.alive_pos[edge as usize], u32::MAX);
+        self.alive_pos[edge as usize] = self.alive.len() as u32;
+        self.alive.push(edge);
+    }
+
+    fn turn_off(&mut self, edge: u32) {
+        let pos = self.alive_pos[edge as usize];
+        debug_assert_ne!(pos, u32::MAX);
+        let last = *self.alive.last().expect("edge is alive");
+        self.alive.swap_remove(pos as usize);
+        if last != edge {
+            self.alive_pos[last as usize] = pos;
+        }
+        self.alive_pos[edge as usize] = u32::MAX;
+    }
+}
+
+impl EvolvingGraph for SparseTwoStateEdgeMeg {
+    fn node_count(&self) -> usize {
+        self.n
+    }
+
+    fn step(&mut self) -> &Snapshot {
+        self.round += 1;
+        while let Some(&Reverse((when, edge))) = self.events.peek() {
+            if when > self.round {
+                break;
+            }
+            self.events.pop();
+            let on = self.alive_pos[edge as usize] != u32::MAX;
+            if on {
+                self.turn_off(edge);
+            } else {
+                self.turn_on(edge);
+            }
+            self.schedule_toggle(edge, !on);
+        }
+        self.edge_buf.clear();
+        self.edge_buf
+            .extend(self.alive.iter().map(|&e| edge_pair(e as usize)));
+        self.snapshot.rebuild_from_edges(&self.edge_buf);
+        &self.snapshot
+    }
+
+    fn reset(&mut self, seed: u64) {
+        self.rng = SmallRng::seed_from_u64(mix_seed(seed, 0x5BA5));
+        self.round = 0;
+        self.alive.clear();
+        self.alive_pos.fill(u32::MAX);
+        self.events.clear();
+        let alpha = self.chain.stationary_on();
+        // Expected on-edges: alpha * pairs. Sample the on-set by scanning
+        // with geometric skips so initialization is O(#on + #off-skips).
+        let pairs = pair_count(self.n);
+        let mut e = 0usize;
+        while e < pairs {
+            if self.rng.gen_bool(alpha) {
+                self.turn_on(e as u32);
+                self.schedule_toggle(e as u32, true);
+            } else {
+                self.schedule_toggle(e as u32, false);
+            }
+            e += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TwoStateEdgeMeg;
+    use dg_stats::Summary;
+    use dynagraph::flooding::flood;
+
+    #[test]
+    fn density_matches_dense_implementation() {
+        let n = 48;
+        let (p, q) = (0.03, 0.12);
+        let rounds = 400;
+        let mut dense = TwoStateEdgeMeg::stationary(n, p, q, 7).unwrap();
+        let mut sparse = SparseTwoStateEdgeMeg::stationary(n, p, q, 7).unwrap();
+        let mut sd = Summary::new();
+        let mut ss = Summary::new();
+        for _ in 0..rounds {
+            sd.push(dense.step().edge_count() as f64);
+            ss.push(sparse.step().edge_count() as f64);
+        }
+        let expected = p / (p + q) * pair_count(n) as f64;
+        assert!((sd.mean() / expected - 1.0).abs() < 0.15, "dense {}", sd.mean());
+        assert!((ss.mean() / expected - 1.0).abs() < 0.15, "sparse {}", ss.mean());
+        assert!(
+            (sd.mean() - ss.mean()).abs() < 0.2 * expected,
+            "dense {} vs sparse {}",
+            sd.mean(),
+            ss.mean()
+        );
+    }
+
+    #[test]
+    fn toggle_holding_times_geometric() {
+        // With q = 0.5 an on-edge lives on average 2 rounds.
+        let n = 16;
+        let mut g = SparseTwoStateEdgeMeg::stationary(n, 0.5, 0.5, 3).unwrap();
+        let edge = 0u32;
+        let mut on_runs = Vec::new();
+        let mut current = 0u32;
+        for _ in 0..4000 {
+            let snap = g.step();
+            let (u, v) = edge_pair(edge as usize);
+            if snap.has_edge(u, v) {
+                current += 1;
+            } else if current > 0 {
+                on_runs.push(current as f64);
+                current = 0;
+            }
+        }
+        let s: Summary = on_runs.into_iter().collect();
+        assert!(s.len() > 100);
+        assert!((s.mean() - 2.0).abs() < 0.4, "mean on-run {}", s.mean());
+    }
+
+    #[test]
+    fn floods_like_dense() {
+        let n = 96;
+        let p = 2.0 / n as f64;
+        let q = 0.3;
+        let cfg_trials = 10;
+        let mut dense_times = Vec::new();
+        let mut sparse_times = Vec::new();
+        for t in 0..cfg_trials {
+            let mut d = TwoStateEdgeMeg::stationary(n, p, q, 100 + t).unwrap();
+            let mut s = SparseTwoStateEdgeMeg::stationary(n, p, q, 200 + t).unwrap();
+            dense_times.push(flood(&mut d, 0, 10_000).flooding_time().unwrap() as f64);
+            sparse_times.push(flood(&mut s, 0, 10_000).flooding_time().unwrap() as f64);
+        }
+        let d: Summary = dense_times.into_iter().collect();
+        let s: Summary = sparse_times.into_iter().collect();
+        // Same distribution: means within a factor ~2 at these sizes.
+        let ratio = d.mean() / s.mean();
+        assert!(ratio > 0.4 && ratio < 2.5, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn alive_bookkeeping_consistent() {
+        let mut g = SparseTwoStateEdgeMeg::stationary(20, 0.2, 0.4, 9).unwrap();
+        for _ in 0..50 {
+            let snap = g.step();
+            assert_eq!(snap.edge_count(), g.alive_count());
+        }
+    }
+
+    #[test]
+    fn rejects_zero_rates() {
+        assert!(SparseTwoStateEdgeMeg::stationary(10, 0.0, 0.5, 0).is_err());
+        assert!(SparseTwoStateEdgeMeg::stationary(10, 0.5, 0.0, 0).is_err());
+    }
+
+    #[test]
+    fn reset_reproducible() {
+        let mut g = SparseTwoStateEdgeMeg::stationary(24, 0.1, 0.2, 5).unwrap();
+        g.reset(42);
+        let a: Vec<_> = g.step().edges().collect();
+        g.reset(42);
+        let b: Vec<_> = g.step().edges().collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for the edge-MEG crate: pair indexing, density
+//! convergence, and dense/sparse distributional agreement.
+
+use proptest::prelude::*;
+
+use dg_edge_meg::{edge_index, edge_pair, pair_count, SparseTwoStateEdgeMeg, TwoStateEdgeMeg};
+use dynagraph::EvolvingGraph;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pair_index_round_trips(u in 0u32..5000, v in 0u32..5000) {
+        prop_assume!(u != v);
+        let e = edge_index(u, v);
+        prop_assert_eq!(edge_pair(e), (u.min(v), u.max(v)));
+    }
+
+    #[test]
+    fn pair_index_is_dense_bijection(n in 2u32..40) {
+        let mut seen = vec![false; pair_count(n as usize)];
+        for v in 0..n {
+            for u in 0..v {
+                let e = edge_index(u, v);
+                prop_assert!(!seen[e]);
+                seen[e] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn stationary_density_tracks_alpha(
+        n in 8usize..32,
+        p in 0.02f64..0.5,
+        q in 0.02f64..0.5,
+        seed in any::<u64>(),
+    ) {
+        let mut g = TwoStateEdgeMeg::stationary(n, p, q, seed).unwrap();
+        let alpha = p / (p + q);
+        let rounds = 300;
+        let mut total = 0usize;
+        for _ in 0..rounds {
+            total += g.step().edge_count();
+        }
+        let mean = total as f64 / rounds as f64;
+        let expected = alpha * pair_count(n) as f64;
+        // 4-sigma-ish band for the time average.
+        prop_assert!(
+            (mean - expected).abs() < 0.35 * expected + 3.0,
+            "mean {mean} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn sparse_and_dense_agree_on_density(
+        n in 8usize..28,
+        p in 0.02f64..0.4,
+        q in 0.05f64..0.5,
+        seed in any::<u64>(),
+    ) {
+        let rounds = 250;
+        let mut dense = TwoStateEdgeMeg::stationary(n, p, q, seed).unwrap();
+        let mut sparse = SparseTwoStateEdgeMeg::stationary(n, p, q, seed).unwrap();
+        let mut dsum = 0usize;
+        let mut ssum = 0usize;
+        for _ in 0..rounds {
+            dsum += dense.step().edge_count();
+            ssum += sparse.step().edge_count();
+        }
+        let d = dsum as f64 / rounds as f64;
+        let s = ssum as f64 / rounds as f64;
+        let expected = p / (p + q) * pair_count(n) as f64;
+        prop_assert!((d - expected).abs() < 0.4 * expected + 3.0, "dense {d} vs {expected}");
+        prop_assert!((s - expected).abs() < 0.4 * expected + 3.0, "sparse {s} vs {expected}");
+    }
+
+    #[test]
+    fn reset_is_deterministic(
+        n in 4usize..20,
+        p in 0.05f64..0.5,
+        q in 0.05f64..0.5,
+        seed in any::<u64>(),
+    ) {
+        let mut g = TwoStateEdgeMeg::stationary(n, p, q, 0).unwrap();
+        g.reset(seed);
+        let a: Vec<_> = g.step().edges().collect();
+        g.reset(seed);
+        let b: Vec<_> = g.step().edges().collect();
+        prop_assert_eq!(a, b);
+    }
+}

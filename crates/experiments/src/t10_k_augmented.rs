@@ -1,0 +1,79 @@
+//! T10 — Corollary 6 and the k-augmented grid separation from \[15\].
+//!
+//! The random walk on a k-augmented grid of `s` points: the meeting time
+//! stays `Ω(s log s)` (so the DNS'06 bound `O(T* log n)` cannot improve
+//! with `k`), while the walk's **mixing time** falls like `1/k²` — and
+//! with it Corollary 6's flooding bound. We compute the exact lazy-walk
+//! mixing time per `k`, measure flooding, and tabulate both against the
+//! k-independent meeting-time bound.
+
+use dg_graph::generators;
+use dg_markov::random_walk_chain;
+use dg_mobility::{PathFamily, RandomPathModel};
+use dynagraph::theory;
+
+use crate::common::{measure, scaled};
+use crate::table::{fmt, Table};
+
+pub fn run(quick: bool) {
+    let trials = scaled(12, quick);
+    let m = if quick { 8 } else { 12 };
+    let s = m * m;
+    let n = s;
+    let laziness = 0.25;
+    println!(
+        "random walk (edges family) on k-augmented {m}x{m} grids, s = {s} points, n = {n} nodes"
+    );
+
+    let ks: &[usize] = if quick { &[1, 2, 3] } else { &[1, 2, 3, 4] };
+    let meet_trials = if quick { 60 } else { 200 };
+    let mut table = Table::new(vec![
+        "k", "Tmix(exact)", "Tmix*k^2", "T*(meeting)", "mean F", "p95 F",
+        "ours~Tmix polylog", "DNS bound",
+    ]);
+    for &k in ks {
+        let h = generators::k_augmented_grid(m, m, k);
+        let chain = random_walk_chain(&h, laziness).expect("augmented grids are connected");
+        let tmix = chain.mixing_time(0.25, 1 << 24).expect("lazy walk is ergodic");
+        let meeting = dg_mobility::meeting::estimate_meeting_time(
+            &h,
+            laziness,
+            meet_trials,
+            1 << 22,
+            0xA0,
+        );
+        let meas = measure(
+            |seed| {
+                let h = generators::k_augmented_grid(m, m, k);
+                let family = PathFamily::edges_family(&h).unwrap();
+                RandomPathModel::stationary_lazy(family, n, laziness, seed).unwrap()
+            },
+            trials,
+            500_000,
+            0,
+            0x91,
+        );
+        let dns = theory::dns_meeting_time_bound(s, n);
+        let lg = (n as f64).ln();
+        // Our bound's k-dependence is carried entirely by Tmix: report
+        // Tmix · log³ n (the delta factors are k-mildly-varying constants).
+        let ours = tmix as f64 * lg * lg * lg;
+        table.row(vec![
+            k.to_string(),
+            tmix.to_string(),
+            fmt((tmix * k * k) as f64),
+            fmt(meeting.rounds.mean()),
+            fmt(meas.mean),
+            fmt(meas.p95),
+            fmt(ours),
+            fmt(dns),
+        ]);
+    }
+    table.print();
+    println!(
+        "shape check: exact Tmix falls ~1/k² (Tmix·k² roughly flat) while the measured \
+         meeting time T* barely moves — so Corollary 6's bound falls ~1/k² and the \
+         meeting-time bound of [15] cannot; measured F decreases with k accordingly \
+         (capped below by the D/k spatial traversal time)"
+    );
+}

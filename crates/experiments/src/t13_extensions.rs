@@ -1,0 +1,115 @@
+//! T13 — extensions beyond the paper (all implemented in this repo):
+//!
+//! 1. **Mixing-time sensitivity on mobility graphs:** random walk model on
+//!    a barbell vs a hypercube of comparable size — Theorem 1 charges the
+//!    mixing time, so the slow-mixing barbell must flood far slower at
+//!    equal density.
+//! 2. **Failure injection:** per-round node jamming degrades flooding
+//!    gracefully (the jammed process is still a MEG with scaled α).
+//! 3. **Corollary 4 over a non-square region:** waypoint on a disk —
+//!    center bias and (δ, λ) persist.
+//! 4. **Worst-case contrast:** T-interval connectivity of \[21\] fails
+//!    outright in the sparse regime where flooding is near-optimal.
+
+use dg_edge_meg::SparseTwoStateEdgeMeg;
+use dg_graph::generators;
+use dg_mobility::region::{estimate_delta_lambda_in_region, Disk, RegionWaypoint};
+use dg_mobility::{positional, PathFamily, RandomPathModel};
+use dynagraph::flooding::flood;
+use dynagraph::{interval, mix_seed, JammedEvolvingGraph, RecordedEvolution};
+
+use crate::common::{measure, scaled};
+use crate::table::{fmt, Table};
+
+pub fn run(quick: bool) {
+    let trials = scaled(12, quick);
+
+    // 1. Barbell vs hypercube random walk model (same-point connection).
+    println!("1) mixing-time sensitivity: random walk model on slow- vs fast-mixing graphs");
+    let mut t1 = Table::new(vec!["mobility graph", "|V|", "walk Tmix", "n", "mean F", "p95 F"]);
+    let laziness = 0.25;
+    let bb = generators::barbell(16, 4); // 36 points, Tmix ~ clique² * bridge
+    let hc = generators::hypercube(5); // 32 points, Tmix ~ d log d
+    for (label, h) in [("barbell(16,4)", bb), ("hypercube(5)", hc)] {
+        let n = 2 * h.node_count();
+        let chain = dg_markov::random_walk_chain(&h, laziness).expect("connected");
+        let tmix = chain.mixing_time(0.25, 1 << 24).expect("ergodic");
+        let meas = measure(
+            |seed| {
+                let family = PathFamily::edges_family(&h).unwrap();
+                RandomPathModel::stationary_lazy(family, n, laziness, seed).unwrap()
+            },
+            trials,
+            1 << 22,
+            0,
+            0xA1,
+        );
+        t1.row(vec![
+            label.to_string(),
+            h.node_count().to_string(),
+            tmix.to_string(),
+            n.to_string(),
+            fmt(meas.mean),
+            fmt(meas.p95),
+        ]);
+    }
+    t1.print();
+
+    // 2. Jamming ablation on a sparse edge-MEG.
+    let n = if quick { 128 } else { 256 };
+    let p = 2.0 / n as f64;
+    let q = 0.5;
+    println!("\n2) failure injection: jam v random nodes per round, edge-MEG(n={n}, p=2/n, q={q})");
+    let mut t2 = Table::new(vec!["jammed/round", "mean F", "p95 F"]);
+    for frac in [0.0, 0.1, 0.25, 0.5] {
+        let victims = (frac * n as f64) as usize;
+        let meas = measure(
+            |seed| {
+                JammedEvolvingGraph::new(
+                    SparseTwoStateEdgeMeg::stationary(n, p, q, seed).unwrap(),
+                    victims,
+                    mix_seed(seed, 2),
+                )
+                .unwrap()
+            },
+            trials,
+            1 << 22,
+            0,
+            0xA2,
+        );
+        t2.row(vec![format!("{victims}"), fmt(meas.mean), fmt(meas.p95)]);
+    }
+    t2.print();
+
+    // 3. Waypoint over a disk: Corollary 4 beyond the square.
+    println!("\n3) random trip over a disk (Corollary 4's general region R)");
+    let disk = Disk::new(16.0);
+    let wp = RegionWaypoint::new(disk, 1.0, 1.0).expect("valid");
+    let samples = if quick { 60_000 } else { 300_000 };
+    let occ = positional::stationary_occupancy(&wp, 8, 2_000, samples, 0xA3);
+    let dl = estimate_delta_lambda_in_region(&occ, &disk, 1.0);
+    println!(
+        "   disk waypoint: delta = {:.2}, lambda = {:.2} (absolute constants, as on the square)",
+        dl.delta, dl.lambda
+    );
+
+    // 4. Interval connectivity of the sparse regime.
+    println!("\n4) worst-case contrast: T-interval connectivity [21] in the sparse regime");
+    let n4 = if quick { 200 } else { 400 };
+    let mut g = SparseTwoStateEdgeMeg::stationary(n4, 1.5 / n4 as f64, 0.9, 0xA4).unwrap();
+    let rec = RecordedEvolution::record(&mut g, 60);
+    let frac = interval::connected_snapshot_fraction(&rec);
+    let max_t = interval::max_interval_connectivity(&rec);
+    let f = rec.flood_from(0).flooding_time();
+    println!(
+        "   n = {n4}: connected snapshots {:.0}%, max T-interval connectivity {max_t}, \
+         flooding on the same realization: {f:?} rounds",
+        100.0 * frac
+    );
+    let _ = flood(&mut g, 0, 10); // keep the process API exercised in this experiment
+    println!(
+        "\nshape checks: barbell floods orders slower than the hypercube at equal density; \
+         jamming degrades F smoothly; the disk keeps constant (delta, lambda); the sparse \
+         regime fails even 1-interval connectivity yet floods fast"
+    );
+}

@@ -1,0 +1,63 @@
+//! Minimal aligned-column table printer for experiment output.
+
+/// A simple text table with aligned columns.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut out = String::new();
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(&format!("{cell:>w$}", w = w));
+            }
+            out
+        };
+        println!("{}", line(&self.headers));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        println!("{}", "-".repeat(total));
+        for row in &self.rows {
+            println!("{}", line(row));
+        }
+    }
+}
+
+/// Formats a float compactly for table cells.
+pub fn fmt(x: f64) -> String {
+    if x.is_nan() {
+        "-".to_string()
+    } else if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 10.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.3}")
+    }
+}

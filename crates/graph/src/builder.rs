@@ -1,0 +1,160 @@
+//! Incremental construction of [`Graph`] values.
+
+use crate::{Graph, GraphError, NodeId};
+
+/// Incremental builder for a simple undirected [`Graph`].
+///
+/// Duplicate edges are deduplicated at [`GraphBuilder::build`]; self-loops
+/// and out-of-range endpoints are rejected eagerly by
+/// [`GraphBuilder::add_edge`].
+///
+/// # Examples
+///
+/// ```
+/// use dg_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(4);
+/// b.add_edge(0, 1)?;
+/// b.add_edge(1, 0)?; // duplicate, deduplicated at build time
+/// b.add_edge(2, 3)?;
+/// let g = b.build();
+/// assert_eq!(g.edge_count(), 2);
+/// # Ok::<(), dg_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    node_count: usize,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph on `node_count` nodes (ids
+    /// `0..node_count`).
+    pub fn new(node_count: usize) -> Self {
+        GraphBuilder {
+            node_count,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of nodes of the graph under construction.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Adds the undirected edge `{u, v}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::SelfLoop`] if `u == v`, or
+    /// [`GraphError::NodeOutOfRange`] if either endpoint is not below the
+    /// node count.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<&mut Self, GraphError> {
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        for e in [u, v] {
+            if e as usize >= self.node_count {
+                return Err(GraphError::NodeOutOfRange {
+                    node: e,
+                    node_count: self.node_count,
+                });
+            }
+        }
+        self.edges.push((u.min(v), u.max(v)));
+        Ok(self)
+    }
+
+    /// Adds every edge from an iterator, stopping at the first error.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`GraphError`] from [`Self::add_edge`].
+    pub fn add_edges<I>(&mut self, edges: I) -> Result<&mut Self, GraphError>
+    where
+        I: IntoIterator<Item = (NodeId, NodeId)>,
+    {
+        for (u, v) in edges {
+            self.add_edge(u, v)?;
+        }
+        Ok(self)
+    }
+
+    /// Finalizes into a CSR [`Graph`], deduplicating parallel edges.
+    pub fn build(mut self) -> Graph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        let n = self.node_count;
+        let mut degrees = vec![0u32; n];
+        for &(u, v) in &self.edges {
+            degrees[u as usize] += 1;
+            degrees[v as usize] += 1;
+        }
+        let mut offsets = vec![0u32; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + degrees[i];
+        }
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut targets = vec![0 as NodeId; offsets[n] as usize];
+        for &(u, v) in &self.edges {
+            targets[cursor[u as usize] as usize] = v;
+            cursor[u as usize] += 1;
+            targets[cursor[v as usize] as usize] = u;
+            cursor[v as usize] += 1;
+        }
+        // Each adjacency list is filled in increasing order of the other
+        // endpoint only for the `u -> v` direction; sort each list so
+        // `has_edge` can binary-search.
+        for u in 0..n {
+            targets[offsets[u] as usize..offsets[u + 1] as usize].sort_unstable();
+        }
+        let edge_count = self.edges.len();
+        Graph::from_csr(offsets, targets, edge_count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = GraphBuilder::new(2);
+        assert_eq!(b.add_edge(1, 1).unwrap_err(), GraphError::SelfLoop { node: 1 });
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let mut b = GraphBuilder::new(2);
+        assert!(matches!(
+            b.add_edge(0, 2).unwrap_err(),
+            GraphError::NodeOutOfRange { node: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn dedups_parallel_edges() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(1, 0).unwrap();
+        b.add_edge(0, 1).unwrap();
+        let g = b.build();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn add_edges_bulk() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edges([(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert_eq!(b.clone().build().edge_count(), 3);
+        assert!(b.add_edges([(0, 9)]).is_err());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+}

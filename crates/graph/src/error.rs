@@ -1,0 +1,51 @@
+//! Error type for graph construction.
+
+use core::fmt;
+
+/// Errors arising while building a [`crate::Graph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An edge endpoint was `>= node_count`.
+    NodeOutOfRange {
+        /// The offending endpoint.
+        node: u32,
+        /// The number of nodes in the graph under construction.
+        node_count: usize,
+    },
+    /// A self-loop `{u, u}` was supplied; the dynamic-graph models of the
+    /// paper are over simple graphs.
+    SelfLoop {
+        /// The node with the loop.
+        node: u32,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, node_count } => {
+                write!(f, "node {node} out of range for graph with {node_count} nodes")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = GraphError::NodeOutOfRange {
+            node: 9,
+            node_count: 5,
+        };
+        assert!(e.to_string().contains('9'));
+        let e = GraphError::SelfLoop { node: 3 };
+        assert!(e.to_string().contains('3'));
+    }
+}

@@ -1,0 +1,427 @@
+//! Generators for the graph families used throughout the reproduction.
+//!
+//! The k-augmented grid of §4.1 ("take a grid of s points and add an edge
+//! between any pair of points whose hop-distance is not larger than k") is
+//! the family on which Corollary 6 improves over the meeting-time bound of
+//! Dimitriou–Nikoletseas–Spirakis \[15\].
+
+use rand::Rng;
+
+use crate::{Graph, GraphBuilder, NodeId};
+
+/// The path graph `P_n` (`0 — 1 — ... — n-1`).
+///
+/// # Examples
+///
+/// ```
+/// let g = dg_graph::generators::path(5);
+/// assert_eq!(g.edge_count(), 4);
+/// assert_eq!(dg_graph::metrics::diameter(&g), Some(4));
+/// ```
+pub fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for u in 1..n {
+        b.add_edge((u - 1) as NodeId, u as NodeId)
+            .expect("consecutive ids are in range and distinct");
+    }
+    b.build()
+}
+
+/// The cycle graph `C_n` (requires `n >= 3` to be simple; smaller `n`
+/// degenerate to a path).
+pub fn cycle(n: usize) -> Graph {
+    if n < 3 {
+        return path(n);
+    }
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        b.add_edge(u as NodeId, ((u + 1) % n) as NodeId)
+            .expect("cycle edges are simple for n >= 3");
+    }
+    b.build()
+}
+
+/// The complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.add_edge(u as NodeId, v as NodeId)
+                .expect("distinct in-range endpoints");
+        }
+    }
+    b.build()
+}
+
+/// The star graph: node 0 joined to nodes `1..n`.
+pub fn star(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for u in 1..n {
+        b.add_edge(0, u as NodeId).expect("distinct in-range endpoints");
+    }
+    b.build()
+}
+
+/// Index of grid point `(row, col)` in a `rows × cols` grid.
+pub fn grid_index(rows: usize, cols: usize, row: usize, col: usize) -> NodeId {
+    debug_assert!(row < rows && col < cols);
+    (row * cols + col) as NodeId
+}
+
+/// The `rows × cols` grid graph (4-neighbourhood, open boundary).
+///
+/// # Examples
+///
+/// ```
+/// let g = dg_graph::generators::grid(3, 3);
+/// assert_eq!(g.node_count(), 9);
+/// assert_eq!(g.edge_count(), 12);
+/// ```
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let u = grid_index(rows, cols, r, c);
+            if c + 1 < cols {
+                b.add_edge(u, grid_index(rows, cols, r, c + 1))
+                    .expect("grid edges valid");
+            }
+            if r + 1 < rows {
+                b.add_edge(u, grid_index(rows, cols, r + 1, c))
+                    .expect("grid edges valid");
+            }
+        }
+    }
+    b.build()
+}
+
+/// The `rows × cols` torus grid (4-neighbourhood with wraparound).
+///
+/// Degenerate wrap edges (when a dimension is `< 3`) are deduplicated or
+/// skipped so the result remains simple.
+pub fn torus(rows: usize, cols: usize) -> Graph {
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let u = grid_index(rows, cols, r, c);
+            if cols > 1 {
+                let v = grid_index(rows, cols, r, (c + 1) % cols);
+                if u != v {
+                    b.add_edge(u, v).expect("torus edges valid");
+                }
+            }
+            if rows > 1 {
+                let v = grid_index(rows, cols, (r + 1) % rows, c);
+                if u != v {
+                    b.add_edge(u, v).expect("torus edges valid");
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// The k-augmented `rows × cols` grid of §4.1: grid points, with an edge
+/// between any two points at grid hop-distance (Manhattan distance) at most
+/// `k`.
+///
+/// With `k = 1` this is exactly [`grid`]. The mixing time of a random walk
+/// decreases in `k` while the meeting time stays `Ω(s log s)` — the regime
+/// where Corollary 6 beats the bound of \[15\].
+///
+/// # Examples
+///
+/// ```
+/// use dg_graph::generators::{grid, k_augmented_grid};
+/// assert_eq!(k_augmented_grid(4, 4, 1), grid(4, 4));
+/// let g2 = k_augmented_grid(4, 4, 2);
+/// assert!(g2.edge_count() > grid(4, 4).edge_count());
+/// ```
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn k_augmented_grid(rows: usize, cols: usize, k: usize) -> Graph {
+    assert!(k >= 1, "augmentation radius must be at least 1");
+    let mut b = GraphBuilder::new(rows * cols);
+    let (ri, ci, ki) = (rows as isize, cols as isize, k as isize);
+    for r in 0..ri {
+        for c in 0..ci {
+            let u = grid_index(rows, cols, r as usize, c as usize);
+            // Enumerate the half-neighbourhood (dr, dc) with
+            // (dr > 0) or (dr == 0 and dc > 0) to add each edge once.
+            for dr in 0..=ki {
+                let lo = if dr == 0 { 1 } else { -ki + dr };
+                for dc in lo..=(ki - dr) {
+                    let (nr, nc) = (r + dr, c + dc);
+                    if nr < 0 || nr >= ri || nc < 0 || nc >= ci {
+                        continue;
+                    }
+                    let v = grid_index(rows, cols, nr as usize, nc as usize);
+                    b.add_edge(u, v).expect("augmented edges valid");
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// The `d`-dimensional hypercube `Q_d` on `2^d` nodes: vertices are bit
+/// strings, edges join strings at Hamming distance 1. A classic
+/// fast-mixing mobility graph (mixing time `O(d log d)` for the lazy
+/// walk) to contrast with grids and barbells.
+///
+/// # Examples
+///
+/// ```
+/// let q3 = dg_graph::generators::hypercube(3);
+/// assert_eq!(q3.node_count(), 8);
+/// assert_eq!(q3.edge_count(), 12);
+/// assert_eq!(dg_graph::metrics::diameter(&q3), Some(3));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `d > 20` (over a million nodes — almost certainly a mistake).
+pub fn hypercube(d: u32) -> Graph {
+    assert!(d <= 20, "hypercube dimension too large");
+    let n = 1usize << d;
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for bit in 0..d {
+            let v = u ^ (1 << bit);
+            if u < v {
+                b.add_edge(u as NodeId, v as NodeId)
+                    .expect("hypercube edges valid");
+            }
+        }
+    }
+    b.build()
+}
+
+/// The barbell graph: two cliques of `clique` nodes joined by a path of
+/// `bridge` extra nodes — the canonical *slow-mixing* mobility graph
+/// (random walk mixing `Ω(clique²·bridge)`), used to show that flooding
+/// in the random walk model stalls on the bridge exactly as Theorem 1's
+/// mixing-time factor predicts.
+///
+/// Node layout: `0..clique` = left clique, `clique..clique+bridge` = path,
+/// rest = right clique.
+///
+/// # Examples
+///
+/// ```
+/// use dg_graph::{generators, traversal};
+/// let g = generators::barbell(4, 2);
+/// assert_eq!(g.node_count(), 10);
+/// assert!(traversal::is_connected(&g));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `clique < 2`.
+pub fn barbell(clique: usize, bridge: usize) -> Graph {
+    assert!(clique >= 2, "cliques need at least two nodes");
+    let n = 2 * clique + bridge;
+    let mut b = GraphBuilder::new(n);
+    let right_start = clique + bridge;
+    for side_start in [0, right_start] {
+        for u in side_start..side_start + clique {
+            for v in (u + 1)..side_start + clique {
+                b.add_edge(u as NodeId, v as NodeId).expect("clique edges valid");
+            }
+        }
+    }
+    // Bridge path: last node of the left clique — path nodes — first node
+    // of the right clique.
+    let mut prev = (clique - 1) as NodeId;
+    for p in clique..clique + bridge {
+        b.add_edge(prev, p as NodeId).expect("bridge edges valid");
+        prev = p as NodeId;
+    }
+    b.add_edge(prev, right_start as NodeId)
+        .expect("bridge attaches to the right clique");
+    b.build()
+}
+
+/// An Erdős–Rényi graph `G(n, p)`: each of the `n(n-1)/2` potential edges
+/// present independently with probability `p`.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]`.
+pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(p) {
+                b.add_edge(u as NodeId, v as NodeId)
+                    .expect("distinct in-range endpoints");
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{metrics, traversal};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn path_shape() {
+        let g = path(5);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(6);
+        assert_eq!(g.edge_count(), 6);
+        for u in g.nodes() {
+            assert_eq!(g.degree(u), 2);
+        }
+        // n < 3 degenerates to a path
+        assert_eq!(cycle(2).edge_count(), 1);
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(5);
+        assert_eq!(g.edge_count(), 10);
+        for u in g.nodes() {
+            assert_eq!(g.degree(u), 4);
+        }
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.degree(0), 4);
+        assert_eq!(g.degree(1), 1);
+    }
+
+    #[test]
+    fn grid_shape_and_diameter() {
+        let g = grid(3, 4);
+        assert_eq!(g.node_count(), 12);
+        // edges: 3 rows * 3 horizontal + 2 * 4 vertical = 9 + 8
+        assert_eq!(g.edge_count(), 17);
+        assert_eq!(metrics::diameter(&g), Some(2 + 3));
+    }
+
+    #[test]
+    fn torus_regular() {
+        let g = torus(4, 4);
+        assert_eq!(g.node_count(), 16);
+        for u in g.nodes() {
+            assert_eq!(g.degree(u), 4);
+        }
+        assert!(traversal::is_connected(&g));
+    }
+
+    #[test]
+    fn torus_small_dims_stay_simple() {
+        // 2-wraparound would create parallel edges; they must be deduped.
+        let g = torus(2, 2);
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        let g1 = torus(1, 4);
+        assert!(traversal::is_connected(&g1));
+    }
+
+    #[test]
+    fn k_augmented_matches_grid_at_k1() {
+        assert_eq!(k_augmented_grid(5, 5, 1), grid(5, 5));
+    }
+
+    #[test]
+    fn k_augmented_k2_neighbourhood() {
+        let g = k_augmented_grid(5, 5, 2);
+        // Center node (2,2) has all points at Manhattan distance 1 or 2:
+        // 4 at distance 1 and 8 at distance 2.
+        let center = grid_index(5, 5, 2, 2);
+        assert_eq!(g.degree(center), 12);
+        // Corner (0,0): (0,1),(1,0),(0,2),(2,0),(1,1)
+        assert_eq!(g.degree(0), 5);
+    }
+
+    #[test]
+    fn k_augmented_diameter_shrinks() {
+        let d1 = metrics::diameter(&k_augmented_grid(6, 6, 1)).unwrap();
+        let d2 = metrics::diameter(&k_augmented_grid(6, 6, 2)).unwrap();
+        let d3 = metrics::diameter(&k_augmented_grid(6, 6, 3)).unwrap();
+        assert!(d1 > d2);
+        assert!(d2 >= d3);
+    }
+
+    #[test]
+    fn hypercube_structure() {
+        let q4 = hypercube(4);
+        assert_eq!(q4.node_count(), 16);
+        assert_eq!(q4.edge_count(), 32); // d * 2^(d-1)
+        for u in q4.nodes() {
+            assert_eq!(q4.degree(u), 4);
+        }
+        assert_eq!(metrics::diameter(&q4), Some(4));
+        assert!(traversal::is_connected(&q4));
+        // Neighbours differ in exactly one bit.
+        for (u, v) in q4.edges() {
+            assert_eq!((u ^ v).count_ones(), 1);
+        }
+    }
+
+    #[test]
+    fn hypercube_degenerate() {
+        let q0 = hypercube(0);
+        assert_eq!(q0.node_count(), 1);
+        assert_eq!(q0.edge_count(), 0);
+    }
+
+    #[test]
+    fn barbell_structure() {
+        let g = barbell(5, 3);
+        assert_eq!(g.node_count(), 13);
+        // 2 * C(5,2) cliques + 4 bridge edges.
+        assert_eq!(g.edge_count(), 2 * 10 + 4);
+        assert!(traversal::is_connected(&g));
+        // The diameter runs across the bridge: 1 + (bridge+1) + 1.
+        assert_eq!(metrics::diameter(&g), Some(6));
+    }
+
+    #[test]
+    fn barbell_no_bridge_nodes() {
+        // bridge = 0: cliques joined by a single edge.
+        let g = barbell(3, 0);
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.edge_count(), 7);
+        assert!(traversal::is_connected(&g));
+    }
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let g0 = erdos_renyi(10, 0.0, &mut rng);
+        assert_eq!(g0.edge_count(), 0);
+        let g1 = erdos_renyi(10, 1.0, &mut rng);
+        assert_eq!(g1.edge_count(), 45);
+    }
+
+    #[test]
+    fn erdos_renyi_density_close_to_p() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let n = 60;
+        let p = 0.3;
+        let g = erdos_renyi(n, p, &mut rng);
+        let possible = (n * (n - 1) / 2) as f64;
+        let density = g.edge_count() as f64 / possible;
+        assert!((density - p).abs() < 0.05, "density = {density}");
+    }
+}

@@ -1,0 +1,43 @@
+//! Static graph substrate for the `dynspread` workspace.
+//!
+//! The graph mobility models of Clementi–Silvestri–Trevisan (PODC 2012,
+//! §4.1) move nodes over an arbitrary *mobility graph* `H(V, A)`: random
+//! walks, random paths, k-augmented grids. This crate provides the static
+//! graph machinery those models (and the experiment harness) need:
+//!
+//! * [`Graph`] — an immutable, compact CSR representation of a simple
+//!   undirected graph, built through [`GraphBuilder`];
+//! * [`generators`] — the graph families used across the paper's
+//!   experiments (paths, cycles, grids, torus grids, **k-augmented grids**,
+//!   complete graphs, stars, Erdős–Rényi);
+//! * [`traversal`] — BFS distances and connected components;
+//! * [`metrics`] — diameter, eccentricities, and the degree statistics that
+//!   feed the δ-regularity conditions of Corollaries 5 and 6.
+//!
+//! # Examples
+//!
+//! ```
+//! use dg_graph::{generators, metrics, traversal};
+//!
+//! let g = generators::grid(4, 4);
+//! assert_eq!(g.node_count(), 16);
+//! assert!(traversal::is_connected(&g));
+//! assert_eq!(metrics::diameter(&g), Some(6)); // 2 * (4 - 1)
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod csr;
+mod error;
+pub mod generators;
+pub mod metrics;
+pub mod traversal;
+
+pub use builder::GraphBuilder;
+pub use csr::{Graph, Neighbors};
+pub use error::GraphError;
+
+/// Node identifier: a dense index in `0..node_count`.
+pub type NodeId = u32;

@@ -1,0 +1,142 @@
+//! Breadth-first traversal: distances and connected components.
+
+use std::collections::VecDeque;
+
+use crate::{Graph, NodeId};
+
+/// Marker distance for unreachable nodes in [`bfs_distances`].
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Hop distances from `src` to every node ([`UNREACHABLE`] when no path
+/// exists).
+///
+/// # Examples
+///
+/// ```
+/// use dg_graph::{generators, traversal};
+///
+/// let g = generators::path(4);
+/// let d = traversal::bfs_distances(&g, 0);
+/// assert_eq!(d, vec![0, 1, 2, 3]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `src` is out of range.
+pub fn bfs_distances(g: &Graph, src: NodeId) -> Vec<u32> {
+    assert!((src as usize) < g.node_count(), "source out of range");
+    let mut dist = vec![UNREACHABLE; g.node_count()];
+    let mut queue = VecDeque::new();
+    dist[src as usize] = 0;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == UNREACHABLE {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Connected components: `(labels, component_count)` where `labels[u]` is a
+/// dense component id in `0..component_count`.
+///
+/// # Examples
+///
+/// ```
+/// use dg_graph::{GraphBuilder, traversal};
+///
+/// let mut b = GraphBuilder::new(4);
+/// b.add_edge(0, 1).unwrap();
+/// let g = b.build();
+/// let (labels, count) = traversal::connected_components(&g);
+/// assert_eq!(count, 3);
+/// assert_eq!(labels[0], labels[1]);
+/// assert_ne!(labels[0], labels[2]);
+/// ```
+pub fn connected_components(g: &Graph) -> (Vec<u32>, usize) {
+    let n = g.node_count();
+    let mut labels = vec![u32::MAX; n];
+    let mut next = 0u32;
+    let mut queue = VecDeque::new();
+    for start in 0..n as NodeId {
+        if labels[start as usize] != u32::MAX {
+            continue;
+        }
+        labels[start as usize] = next;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if labels[v as usize] == u32::MAX {
+                    labels[v as usize] = next;
+                    queue.push_back(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    (labels, next as usize)
+}
+
+/// `true` if the graph is connected (the empty graph counts as connected).
+pub fn is_connected(g: &Graph) -> bool {
+    g.node_count() == 0 || connected_components(g).1 == 1
+}
+
+/// Size of the largest connected component (0 for the empty graph).
+pub fn largest_component_size(g: &Graph) -> usize {
+    let (labels, count) = connected_components(g);
+    let mut sizes = vec![0usize; count];
+    for &l in &labels {
+        sizes[l as usize] += 1;
+    }
+    sizes.into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn distances_on_cycle() {
+        let g = generators::cycle(6);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 2, 1]);
+    }
+
+    #[test]
+    fn unreachable_marked() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1).unwrap();
+        let g = b.build();
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[2], UNREACHABLE);
+    }
+
+    #[test]
+    fn component_counting() {
+        let mut b = GraphBuilder::new(6);
+        b.add_edges([(0, 1), (1, 2), (3, 4)]).unwrap();
+        let g = b.build();
+        let (labels, count) = connected_components(&g);
+        assert_eq!(count, 3);
+        assert_eq!(labels[0], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+        assert_ne!(labels[5], labels[0]);
+        assert_eq!(largest_component_size(&g), 3);
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(is_connected(&generators::grid(4, 4)));
+        assert!(is_connected(&GraphBuilder::new(0).build()));
+        assert!(!is_connected(&GraphBuilder::new(2).build()));
+        assert!(is_connected(&GraphBuilder::new(1).build()));
+    }
+}

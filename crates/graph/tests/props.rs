@@ -1,0 +1,162 @@
+//! Property tests for the graph substrate: generator invariants, CSR
+//! well-formedness, and metric consistency.
+
+use proptest::prelude::*;
+
+use dg_graph::{generators, metrics, traversal, Graph, GraphBuilder};
+
+fn check_csr(g: &Graph) {
+    let mut degree_sum = 0;
+    for u in g.nodes() {
+        let neigh = g.neighbors(u);
+        degree_sum += neigh.len();
+        assert!(neigh.windows(2).all(|w| w[0] < w[1]), "sorted, deduped");
+        for &v in neigh {
+            assert_ne!(v, u, "no self-loops");
+            assert!(g.has_edge(v, u), "symmetric");
+        }
+    }
+    assert_eq!(degree_sum, 2 * g.edge_count());
+    assert_eq!(g.edges().count(), g.edge_count());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn builder_arbitrary_edges_well_formed(
+        n in 1usize..40,
+        edges in prop::collection::vec((0u32..40, 0u32..40), 0..80),
+    ) {
+        let mut b = GraphBuilder::new(n);
+        for (u, v) in edges {
+            // Errors are fine; the build must still be consistent.
+            let _ = b.add_edge(u % n as u32, v % n as u32);
+        }
+        let g = b.build();
+        check_csr(&g);
+    }
+
+    #[test]
+    fn grid_metrics(rows in 1usize..8, cols in 1usize..8) {
+        let g = generators::grid(rows, cols);
+        check_csr(&g);
+        prop_assert_eq!(g.node_count(), rows * cols);
+        // Edge count: horizontal + vertical.
+        prop_assert_eq!(
+            g.edge_count(),
+            rows * (cols - 1) + cols * (rows - 1)
+        );
+        prop_assert!(traversal::is_connected(&g));
+        prop_assert_eq!(metrics::diameter(&g), Some((rows - 1 + cols - 1) as u32));
+    }
+
+    #[test]
+    fn torus_regular_and_connected(rows in 3usize..8, cols in 3usize..8) {
+        let g = generators::torus(rows, cols);
+        check_csr(&g);
+        let stats = metrics::degree_stats(&g).unwrap();
+        prop_assert_eq!(stats.min, 4);
+        prop_assert_eq!(stats.max, 4);
+        prop_assert!(traversal::is_connected(&g));
+    }
+
+    #[test]
+    fn k_augmented_degree_bounds(m in 3usize..8, k in 1usize..4) {
+        let g = generators::k_augmented_grid(m, m, k);
+        check_csr(&g);
+        // Interior nodes have the full Manhattan ball of 2k(k+1) points;
+        // no node exceeds it.
+        let ball = 2 * k * (k + 1);
+        let stats = metrics::degree_stats(&g).unwrap();
+        prop_assert!(stats.max <= ball);
+        if m > 2 * k {
+            prop_assert_eq!(stats.max, ball);
+        }
+        // Augmentation only shrinks the diameter.
+        let d1 = metrics::diameter(&generators::grid(m, m)).unwrap();
+        let dk = metrics::diameter(&g).unwrap();
+        prop_assert!(dk <= d1);
+        // Diameter of the k-augmented grid is ceil(diameter / k).
+        prop_assert_eq!(dk, d1.div_ceil(k as u32));
+    }
+
+    #[test]
+    fn bfs_distances_are_metric(n in 2usize..30, extra in 0usize..40, seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        // Random connected graph: a path plus random chords.
+        let mut b = GraphBuilder::new(n);
+        for u in 1..n as u32 {
+            b.add_edge(u - 1, u).unwrap();
+        }
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        for _ in 0..extra {
+            let u = rng.gen_range(0..n as u32);
+            let v = rng.gen_range(0..n as u32);
+            if u != v {
+                b.add_edge(u, v).unwrap();
+            }
+        }
+        let g = b.build();
+        let from0 = traversal::bfs_distances(&g, 0);
+        prop_assert_eq!(from0[0], 0);
+        // Triangle inequality along edges: |d(u) - d(v)| <= 1.
+        for (u, v) in g.edges() {
+            let du = from0[u as usize] as i64;
+            let dv = from0[v as usize] as i64;
+            prop_assert!((du - dv).abs() <= 1);
+        }
+        // Symmetry: d(0, x) == d(x, 0).
+        let x = (n - 1) as u32;
+        let from_x = traversal::bfs_distances(&g, x);
+        prop_assert_eq!(from0[x as usize], from_x[0]);
+    }
+
+    #[test]
+    fn components_partition_nodes(
+        n in 1usize..30,
+        edges in prop::collection::vec((0u32..30, 0u32..30), 0..40),
+    ) {
+        let mut b = GraphBuilder::new(n);
+        for (u, v) in edges {
+            let _ = b.add_edge(u % n as u32, v % n as u32);
+        }
+        let g = b.build();
+        let (labels, count) = traversal::connected_components(&g);
+        prop_assert_eq!(labels.len(), n);
+        prop_assert!(labels.iter().all(|&l| (l as usize) < count));
+        // Every edge joins same-component endpoints.
+        for (u, v) in g.edges() {
+            prop_assert_eq!(labels[u as usize], labels[v as usize]);
+        }
+        // Largest component size is consistent.
+        let largest = traversal::largest_component_size(&g);
+        prop_assert!(largest <= n);
+        prop_assert!(count == 0 || largest >= n / count);
+    }
+
+    #[test]
+    fn double_sweep_lower_bounds_diameter(
+        n in 2usize..24,
+        extra in 0usize..30,
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut b = GraphBuilder::new(n);
+        for u in 1..n as u32 {
+            b.add_edge(u - 1, u).unwrap();
+        }
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        for _ in 0..extra {
+            let u = rng.gen_range(0..n as u32);
+            let v = rng.gen_range(0..n as u32);
+            if u != v {
+                b.add_edge(u, v).unwrap();
+            }
+        }
+        let g = b.build();
+        let exact = metrics::diameter(&g).unwrap();
+        let sweep = metrics::diameter_double_sweep(&g).unwrap();
+        prop_assert!(sweep <= exact);
+    }
+}

@@ -1,0 +1,97 @@
+//! Error type for chain and distribution construction.
+
+use core::fmt;
+
+/// Errors from constructing or analyzing Markov chains.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MarkovError {
+    /// A probability vector had negative entries, non-finite entries, or
+    /// did not sum to 1 (within tolerance).
+    InvalidDistribution {
+        /// The offending sum (or NaN).
+        sum: f64,
+    },
+    /// A transition-matrix row was not a probability distribution.
+    InvalidRow {
+        /// Index of the offending row.
+        row: usize,
+        /// The row sum found.
+        sum: f64,
+    },
+    /// A matrix was not square, or dimensions disagreed between operands.
+    DimensionMismatch {
+        /// Expected dimension.
+        expected: usize,
+        /// Found dimension.
+        found: usize,
+    },
+    /// The chain is not ergodic (irreducible + aperiodic), so the requested
+    /// quantity (stationary distribution, mixing time) is undefined.
+    NotErgodic,
+    /// An iterative computation failed to converge within its budget.
+    NoConvergence {
+        /// The iteration budget that was exhausted.
+        max_iterations: usize,
+    },
+    /// A chain parameter (probability) was outside `[0, 1]`.
+    ParameterOutOfRange {
+        /// Name of the parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for MarkovError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarkovError::InvalidDistribution { sum } => {
+                write!(f, "invalid probability distribution (sum = {sum})")
+            }
+            MarkovError::InvalidRow { row, sum } => {
+                write!(f, "transition row {row} is not stochastic (sum = {sum})")
+            }
+            MarkovError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            MarkovError::NotErgodic => write!(f, "chain is not ergodic"),
+            MarkovError::NoConvergence { max_iterations } => {
+                write!(f, "no convergence within {max_iterations} iterations")
+            }
+            MarkovError::ParameterOutOfRange { name, value } => {
+                write!(f, "parameter {name} = {value} out of range [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MarkovError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_nonempty() {
+        let errors = [
+            MarkovError::InvalidDistribution { sum: 0.9 },
+            MarkovError::InvalidRow { row: 2, sum: 1.5 },
+            MarkovError::DimensionMismatch {
+                expected: 3,
+                found: 4,
+            },
+            MarkovError::NotErgodic,
+            MarkovError::NoConvergence {
+                max_iterations: 10,
+            },
+            MarkovError::ParameterOutOfRange {
+                name: "p",
+                value: 2.0,
+            },
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

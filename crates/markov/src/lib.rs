@@ -1,0 +1,46 @@
+//! Finite Markov chain substrate for the `dynspread` workspace.
+//!
+//! Every model in Clementi–Silvestri–Trevisan (PODC 2012) is driven by
+//! Markov chains: node-MEGs attach a chain `M = (S, P)` to every node
+//! (§4), edge-MEGs attach a chain to every edge (Appendix A), and all of
+//! the paper's bounds are stated in terms of the chain's **mixing time**
+//! and **stationary distribution**. This crate provides:
+//!
+//! * [`ProbDist`] — validated probability vectors with total-variation
+//!   distance;
+//! * [`DenseChain`] — row-stochastic transition matrices with stationary
+//!   distribution (power iteration), ergodicity checks, exact worst-case
+//!   mixing time `t_mix(ε)` via repeated squaring, and per-step sampling;
+//! * [`TwoStateChain`] — the edge-MEG birth/death chain in closed form;
+//! * [`samplers`] — categorical and Walker-alias samplers;
+//! * [`random_walk_chain`] — the (lazy) random walk chain of a
+//!   [`dg_graph::Graph`] mobility graph.
+//!
+//! # Examples
+//!
+//! ```
+//! use dg_markov::TwoStateChain;
+//!
+//! let chain = TwoStateChain::new(0.2, 0.3).unwrap();
+//! assert!((chain.stationary_on() - 0.4).abs() < 1e-12);
+//! let dense = chain.to_dense();
+//! let pi = dense.stationary(1e-12, 100_000).unwrap();
+//! assert!((pi.as_slice()[1] - 0.4).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dense;
+mod dist;
+mod error;
+pub mod samplers;
+pub mod spectral;
+mod two_state;
+mod walk;
+
+pub use dense::DenseChain;
+pub use dist::ProbDist;
+pub use error::MarkovError;
+pub use two_state::TwoStateChain;
+pub use walk::random_walk_chain;

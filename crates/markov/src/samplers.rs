@@ -1,0 +1,232 @@
+//! Repeated-use categorical samplers.
+//!
+//! [`CategoricalSampler`] is a CDF binary-search sampler (`O(log k)` per
+//! draw); [`AliasSampler`] is Walker's alias method (`O(1)` per draw, used
+//! in the hot loops of node-MEG simulation).
+
+use rand::Rng;
+
+use crate::{MarkovError, ProbDist};
+
+/// Inverse-CDF sampler over `0..k` (`O(log k)` per sample).
+///
+/// # Examples
+///
+/// ```
+/// use dg_markov::{ProbDist, samplers::CategoricalSampler};
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let d = ProbDist::new(vec![0.5, 0.5]).unwrap();
+/// let s = CategoricalSampler::new(&d);
+/// let mut rng = SmallRng::seed_from_u64(0);
+/// let x = s.sample(&mut rng);
+/// assert!(x < 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CategoricalSampler {
+    cdf: Vec<f64>,
+}
+
+impl CategoricalSampler {
+    /// Precomputes the CDF of `dist`.
+    pub fn new(dist: &ProbDist) -> Self {
+        let mut cdf = Vec::with_capacity(dist.len());
+        let mut acc = 0.0;
+        for &p in dist.as_slice() {
+            acc += p;
+            cdf.push(acc);
+        }
+        // Guard against floating-point undershoot at the top.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        CategoricalSampler { cdf }
+    }
+
+    /// Builds directly from unnormalized non-negative weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::InvalidDistribution`] if weights are empty,
+    /// negative, non-finite, or all zero.
+    pub fn from_weights(weights: &[f64]) -> Result<Self, MarkovError> {
+        if weights.is_empty() || weights.iter().any(|&w| !w.is_finite() || w < 0.0) {
+            return Err(MarkovError::InvalidDistribution { sum: f64::NAN });
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return Err(MarkovError::InvalidDistribution { sum: total });
+        }
+        let dist = ProbDist::new(weights.iter().map(|w| w / total).collect())?;
+        Ok(Self::new(&dist))
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// `true` if there are no categories (never true for a constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws one category.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|probe| probe.partial_cmp(&u).expect("finite cdf"))
+        {
+            Ok(i) => (i + 1).min(self.cdf.len() - 1),
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+/// Walker's alias method: `O(k)` setup, `O(1)` per sample.
+///
+/// # Examples
+///
+/// ```
+/// use dg_markov::{ProbDist, samplers::AliasSampler};
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let d = ProbDist::new(vec![0.1, 0.2, 0.7]).unwrap();
+/// let s = AliasSampler::new(&d);
+/// let mut rng = SmallRng::seed_from_u64(0);
+/// assert!(s.sample(&mut rng) < 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AliasSampler {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasSampler {
+    /// Builds the alias table for `dist`.
+    pub fn new(dist: &ProbDist) -> Self {
+        let k = dist.len();
+        let mut prob = vec![0.0; k];
+        let mut alias = vec![0u32; k];
+        let mut scaled: Vec<f64> = dist.as_slice().iter().map(|p| p * k as f64).collect();
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while !small.is_empty() && !large.is_empty() {
+            let s = small.pop().expect("checked non-empty");
+            let l = *large.last().expect("checked non-empty");
+            prob[s] = scaled[s];
+            alias[s] = l as u32;
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+            if scaled[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        for i in large.into_iter().chain(small) {
+            prob[i] = 1.0;
+            alias[i] = i as u32;
+        }
+        AliasSampler { prob, alias }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// `true` if there are no categories (never true for a constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one category.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn check_frequencies(sample: impl Fn(&mut SmallRng) -> usize, probs: &[f64], tol: f64) {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let trials = 60_000;
+        let mut counts = vec![0usize; probs.len()];
+        for _ in 0..trials {
+            counts[sample(&mut rng)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / trials as f64;
+            assert!(
+                (freq - probs[i]).abs() < tol,
+                "category {i}: freq {freq} vs prob {}",
+                probs[i]
+            );
+        }
+    }
+
+    #[test]
+    fn categorical_frequencies() {
+        let probs = vec![0.05, 0.2, 0.45, 0.3];
+        let d = ProbDist::new(probs.clone()).unwrap();
+        let s = CategoricalSampler::new(&d);
+        check_frequencies(|rng| s.sample(rng), &probs, 0.01);
+    }
+
+    #[test]
+    fn alias_frequencies() {
+        let probs = vec![0.6, 0.1, 0.1, 0.1, 0.1];
+        let d = ProbDist::new(probs.clone()).unwrap();
+        let s = AliasSampler::new(&d);
+        check_frequencies(|rng| s.sample(rng), &probs, 0.01);
+    }
+
+    #[test]
+    fn point_mass_always_same() {
+        let d = ProbDist::point(5, 3);
+        let c = CategoricalSampler::new(&d);
+        let a = AliasSampler::new(&d);
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert_eq!(c.sample(&mut rng), 3);
+            assert_eq!(a.sample(&mut rng), 3);
+        }
+    }
+
+    #[test]
+    fn from_weights_normalizes() {
+        let s = CategoricalSampler::from_weights(&[2.0, 2.0]).unwrap();
+        assert_eq!(s.len(), 2);
+        assert!(CategoricalSampler::from_weights(&[]).is_err());
+        assert!(CategoricalSampler::from_weights(&[0.0, 0.0]).is_err());
+        assert!(CategoricalSampler::from_weights(&[-1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn uniform_alias_covers_all() {
+        let d = ProbDist::uniform(7);
+        let s = AliasSampler::new(&d);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[s.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+}

@@ -1,0 +1,112 @@
+//! Random walk chains on mobility graphs.
+
+use dg_graph::Graph;
+
+use crate::{DenseChain, MarkovError};
+
+/// Builds the (lazy) random walk chain on a mobility graph `H`: from `u`,
+/// stay put with probability `laziness`, otherwise move to a uniformly
+/// random neighbour.
+///
+/// With `laziness = 0` this is the plain random walk of §4.1 (`ρ = 1`);
+/// a positive laziness guarantees aperiodicity (used when computing exact
+/// mixing times on bipartite graphs like grids).
+///
+/// # Errors
+///
+/// Returns [`MarkovError::NotErgodic`] when some node is isolated and
+/// `laziness < 1` (the walk would have nowhere to go), or when the graph is
+/// empty.
+///
+/// # Examples
+///
+/// ```
+/// use dg_graph::generators;
+/// use dg_markov::random_walk_chain;
+///
+/// let g = generators::cycle(6);
+/// let chain = random_walk_chain(&g, 0.5).unwrap();
+/// let pi = chain.stationary(1e-12, 100_000).unwrap();
+/// // Regular graph: uniform stationary distribution.
+/// assert!((pi.prob(0) - 1.0 / 6.0).abs() < 1e-8);
+/// ```
+pub fn random_walk_chain(g: &Graph, laziness: f64) -> Result<DenseChain, MarkovError> {
+    if !(0.0..=1.0).contains(&laziness) {
+        return Err(MarkovError::ParameterOutOfRange {
+            name: "laziness",
+            value: laziness,
+        });
+    }
+    let n = g.node_count();
+    if n == 0 {
+        return Err(MarkovError::DimensionMismatch {
+            expected: 1,
+            found: 0,
+        });
+    }
+    let mut rows = vec![vec![0.0; n]; n];
+    for u in g.nodes() {
+        let deg = g.degree(u);
+        if deg == 0 {
+            if laziness < 1.0 {
+                return Err(MarkovError::NotErgodic);
+            }
+            rows[u as usize][u as usize] = 1.0;
+            continue;
+        }
+        rows[u as usize][u as usize] = laziness;
+        let move_p = (1.0 - laziness) / deg as f64;
+        for &v in g.neighbors(u) {
+            rows[u as usize][v as usize] = move_p;
+        }
+    }
+    DenseChain::from_rows(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_graph::generators;
+
+    #[test]
+    fn stationary_proportional_to_degree() {
+        // Star graph: center degree n-1, leaves degree 1.
+        let g = generators::star(5);
+        let c = random_walk_chain(&g, 0.5).unwrap();
+        let pi = c.stationary(1e-13, 1_000_000).unwrap();
+        // pi(u) = deg(u) / 2m; m = 4, so center = 4/8, leaf = 1/8.
+        assert!((pi.prob(0) - 0.5).abs() < 1e-8);
+        assert!((pi.prob(1) - 0.125).abs() < 1e-8);
+    }
+
+    #[test]
+    fn isolated_node_rejected() {
+        let g = dg_graph::GraphBuilder::new(2).build();
+        assert_eq!(random_walk_chain(&g, 0.0), Err(MarkovError::NotErgodic));
+    }
+
+    #[test]
+    fn bipartite_needs_laziness_for_ergodicity() {
+        let g = generators::cycle(4); // bipartite
+        let plain = random_walk_chain(&g, 0.0).unwrap();
+        assert_eq!(plain.period(), 2);
+        let lazy = random_walk_chain(&g, 0.1).unwrap();
+        assert!(lazy.is_ergodic());
+    }
+
+    #[test]
+    fn grid_mixing_time_reasonable() {
+        let g = generators::grid(4, 4);
+        let c = random_walk_chain(&g, 0.5).unwrap();
+        let t = c.mixing_time(0.05, 1 << 20).unwrap();
+        assert!(t > 4, "t = {t}");
+        assert!(t < 1000, "t = {t}");
+    }
+
+    #[test]
+    fn laziness_out_of_range() {
+        let g = generators::cycle(3);
+        assert!(random_walk_chain(&g, -0.5).is_err());
+        assert!(random_walk_chain(&g, 1.5).is_err());
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests for the Markov substrate: distribution dynamics, TV
+//! contraction, stationary fixed points, sampler correctness.
+
+use proptest::prelude::*;
+
+use dg_markov::{DenseChain, ProbDist, TwoStateChain};
+
+/// Strategy: a random row-stochastic matrix with strictly positive
+/// entries (hence ergodic).
+fn positive_chain(k: usize) -> impl Strategy<Value = DenseChain> {
+    prop::collection::vec(prop::collection::vec(0.05f64..1.0, k), k).prop_map(|rows| {
+        let rows = rows
+            .into_iter()
+            .map(|row| {
+                let sum: f64 = row.iter().sum();
+                row.into_iter().map(|x| x / sum).collect::<Vec<_>>()
+            })
+            .collect();
+        DenseChain::from_rows(rows).expect("normalized rows are stochastic")
+    })
+}
+
+fn dist(k: usize) -> impl Strategy<Value = ProbDist> {
+    prop::collection::vec(0.01f64..1.0, k).prop_map(|w| {
+        let sum: f64 = w.iter().sum();
+        ProbDist::new(w.into_iter().map(|x| x / sum).collect()).expect("normalized")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn evolution_preserves_distributions(chain in positive_chain(4), d in dist(4)) {
+        let next = chain.next_dist(&d);
+        let sum: f64 = next.as_slice().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!(next.as_slice().iter().all(|&p| p >= 0.0));
+    }
+
+    #[test]
+    fn tv_contracts_under_evolution(chain in positive_chain(4), a in dist(4), b in dist(4)) {
+        // For any Markov kernel, TV(aP, bP) <= TV(a, b).
+        let before = a.tv_distance(&b);
+        let after = chain.next_dist(&a).tv_distance(&chain.next_dist(&b));
+        prop_assert!(after <= before + 1e-12, "after {after} > before {before}");
+    }
+
+    #[test]
+    fn stationary_is_fixed_point(chain in positive_chain(5)) {
+        let pi = chain.stationary(1e-12, 1_000_000).unwrap();
+        let next = chain.next_dist(&pi);
+        prop_assert!(pi.tv_distance(&next) < 1e-7);
+    }
+
+    #[test]
+    fn positive_chains_are_ergodic(chain in positive_chain(3)) {
+        prop_assert!(chain.is_irreducible());
+        prop_assert_eq!(chain.period(), 1);
+        prop_assert!(chain.is_ergodic());
+    }
+
+    #[test]
+    fn mixing_time_definition(chain in positive_chain(3)) {
+        let eps = 0.05;
+        let t = chain.mixing_time(eps, 1 << 20).unwrap();
+        let pi = chain.stationary(1e-13, 1_000_000).unwrap();
+        let worst = |steps: usize| -> f64 {
+            (0..3)
+                .map(|x| chain.evolve(&ProbDist::point(3, x), steps).tv_distance(&pi))
+                .fold(0.0, f64::max)
+        };
+        prop_assert!(worst(t) <= eps + 1e-9);
+        if t > 0 {
+            prop_assert!(worst(t - 1) > eps);
+        }
+    }
+
+    #[test]
+    fn tv_is_a_metric(a in dist(5), b in dist(5), c in dist(5)) {
+        prop_assert!(a.tv_distance(&a) < 1e-15);
+        prop_assert!((a.tv_distance(&b) - b.tv_distance(&a)).abs() < 1e-15);
+        prop_assert!(a.tv_distance(&b) <= a.tv_distance(&c) + c.tv_distance(&b) + 1e-12);
+        prop_assert!(a.tv_distance(&b) <= 1.0);
+    }
+
+    #[test]
+    fn two_state_closed_forms(p in 0.01f64..0.99, q in 0.01f64..0.99) {
+        let c = TwoStateChain::new(p, q).unwrap();
+        let pi = c.to_dense().stationary(1e-13, 1_000_000).unwrap();
+        prop_assert!((pi.prob(1) - c.stationary_on()).abs() < 1e-8);
+        // Closed-form worst TV matches the dense evolution.
+        let d = c.to_dense();
+        let worst_dense = (0..2)
+            .map(|x| d.evolve(&ProbDist::point(2, x), 3).tv_distance(&pi))
+            .fold(0.0, f64::max);
+        prop_assert!((worst_dense - c.worst_tv_at(3)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn samplers_agree_with_distribution(d in dist(6), seed in any::<u64>()) {
+        use dg_markov::samplers::{AliasSampler, CategoricalSampler};
+        use rand::{rngs::SmallRng, SeedableRng};
+        let cat = CategoricalSampler::new(&d);
+        let alias = AliasSampler::new(&d);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let trials = 4000;
+        let mut counts = [0usize; 2 * 6];
+        for _ in 0..trials {
+            counts[cat.sample(&mut rng)] += 1;
+            counts[6 + alias.sample(&mut rng)] += 1;
+        }
+        for i in 0..6 {
+            let fc = counts[i] as f64 / trials as f64;
+            let fa = counts[6 + i] as f64 / trials as f64;
+            prop_assert!((fc - d.prob(i)).abs() < 0.06);
+            prop_assert!((fa - d.prob(i)).abs() < 0.06);
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Cell-list spatial index for radius queries.
+//!
+//! Disk-graph snapshots need all pairs within distance `r`. Bucketing the
+//! square into cells of side `>= r` reduces the candidate pairs to the
+//! 3 × 3 cell neighbourhood of each point: `O(n + k)` per round for `k`
+//! output pairs, instead of the `O(n²)` all-pairs scan.
+
+use crate::Point;
+
+/// A rebuildable cell list over the square `[0, side]²`.
+///
+/// # Examples
+///
+/// ```
+/// use dg_mobility::{CellList, Point};
+///
+/// let pts = vec![Point::new(0.5, 0.5), Point::new(1.0, 0.5), Point::new(9.0, 9.0)];
+/// let mut cells = CellList::new(10.0, 1.5);
+/// cells.rebuild(&pts);
+/// let mut pairs = Vec::new();
+/// cells.for_each_pair_within(&pts, 1.5, |i, j| pairs.push((i, j)));
+/// assert_eq!(pairs, vec![(0, 1)]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CellList {
+    side: f64,
+    cell_size: f64,
+    grid: usize,
+    /// Head of each cell's singly-linked bucket (`u32::MAX` = empty).
+    heads: Vec<u32>,
+    /// Next pointer per point.
+    next: Vec<u32>,
+}
+
+const NIL: u32 = u32::MAX;
+
+impl CellList {
+    /// Creates a cell list for the square `[0, side]²` with cells of side
+    /// at least `min_cell` (one cell minimum per axis).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `side > 0` and `min_cell > 0`.
+    pub fn new(side: f64, min_cell: f64) -> Self {
+        assert!(side > 0.0 && min_cell > 0.0, "invalid cell-list geometry");
+        let grid = ((side / min_cell).floor() as usize).max(1);
+        CellList {
+            side,
+            cell_size: side / grid as f64,
+            grid,
+            heads: vec![NIL; grid * grid],
+            next: Vec::new(),
+        }
+    }
+
+    /// Cells per axis.
+    pub fn grid(&self) -> usize {
+        self.grid
+    }
+
+    fn cell_of(&self, p: Point) -> (usize, usize) {
+        let cx = ((p.x / self.cell_size) as usize).min(self.grid - 1);
+        let cy = ((p.y / self.cell_size) as usize).min(self.grid - 1);
+        (cx, cy)
+    }
+
+    /// Re-buckets all points (positions clamped into the square).
+    pub fn rebuild(&mut self, points: &[Point]) {
+        self.heads.fill(NIL);
+        self.next.clear();
+        self.next.resize(points.len(), NIL);
+        for (i, &p) in points.iter().enumerate() {
+            let p = p.clamped(self.side);
+            let (cx, cy) = self.cell_of(p);
+            let cell = cy * self.grid + cx;
+            self.next[i] = self.heads[cell];
+            self.heads[cell] = i as u32;
+        }
+    }
+
+    /// Calls `f(i, j)` (with `i < j`) for every pair of points at
+    /// Euclidean distance at most `r`. Requires `rebuild` to have been
+    /// called with the same `points`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` exceeds the cell size times the neighbourhood reach
+    /// (i.e. callers must construct the list with `min_cell >= r`).
+    pub fn for_each_pair_within(
+        &self,
+        points: &[Point],
+        r: f64,
+        mut f: impl FnMut(u32, u32),
+    ) {
+        assert!(
+            r <= self.cell_size + 1e-12 || self.grid == 1,
+            "radius {r} exceeds cell size {}",
+            self.cell_size
+        );
+        let r_sq = r * r;
+        for cy in 0..self.grid {
+            for cx in 0..self.grid {
+                let mut i = self.heads[cy * self.grid + cx];
+                while i != NIL {
+                    // Same cell: only j after i in the list to avoid dups.
+                    let mut j = self.next[i as usize];
+                    while j != NIL {
+                        if points[i as usize].distance_sq(points[j as usize]) <= r_sq {
+                            f(i.min(j), i.max(j));
+                        }
+                        j = self.next[j as usize];
+                    }
+                    // Forward half-neighbourhood: E, N, NE, NW.
+                    for (dx, dy) in [(1isize, 0isize), (0, 1), (1, 1), (-1, 1)] {
+                        let nx = cx as isize + dx;
+                        let ny = cy as isize + dy;
+                        if nx < 0 || ny < 0 || nx >= self.grid as isize || ny >= self.grid as isize
+                        {
+                            continue;
+                        }
+                        let mut j = self.heads[ny as usize * self.grid + nx as usize];
+                        while j != NIL {
+                            if points[i as usize].distance_sq(points[j as usize]) <= r_sq {
+                                f(i.min(j), i.max(j));
+                            }
+                            j = self.next[j as usize];
+                        }
+                    }
+                    i = self.next[i as usize];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn naive_pairs(points: &[Point], r: f64) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        for i in 0..points.len() {
+            for j in (i + 1)..points.len() {
+                if points[i].distance(points[j]) <= r {
+                    out.push((i as u32, j as u32));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_naive_on_random_points() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        for &(n, side, r) in &[(50usize, 10.0, 1.0), (200, 25.0, 2.5), (10, 3.0, 3.0)] {
+            let points: Vec<Point> = (0..n)
+                .map(|_| Point::new(rng.gen::<f64>() * side, rng.gen::<f64>() * side))
+                .collect();
+            let mut cells = CellList::new(side, r);
+            cells.rebuild(&points);
+            let mut got = Vec::new();
+            cells.for_each_pair_within(&points, r, |i, j| got.push((i, j)));
+            got.sort_unstable();
+            got.dedup();
+            let want = naive_pairs(&points, r);
+            assert_eq!(got, want, "n={n} side={side} r={r}");
+        }
+    }
+
+    #[test]
+    fn no_pairs_when_far() {
+        let points = vec![Point::new(0.0, 0.0), Point::new(9.0, 9.0)];
+        let mut cells = CellList::new(10.0, 2.0);
+        cells.rebuild(&points);
+        let mut count = 0;
+        cells.for_each_pair_within(&points, 2.0, |_, _| count += 1);
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn boundary_points_bucketed() {
+        // Points exactly on the far boundary must land in the last cell.
+        let points = vec![Point::new(10.0, 10.0), Point::new(9.5, 9.5)];
+        let mut cells = CellList::new(10.0, 1.0);
+        cells.rebuild(&points);
+        let mut count = 0;
+        cells.for_each_pair_within(&points, 1.0, |_, _| count += 1);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn single_cell_grid() {
+        let points = vec![Point::new(0.1, 0.1), Point::new(0.2, 0.2)];
+        let mut cells = CellList::new(1.0, 5.0); // min_cell > side: one cell
+        assert_eq!(cells.grid(), 1);
+        cells.rebuild(&points);
+        let mut count = 0;
+        cells.for_each_pair_within(&points, 0.5, |_, _| count += 1);
+        assert_eq!(count, 1);
+    }
+}

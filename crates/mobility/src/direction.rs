@@ -1,0 +1,221 @@
+//! The random direction (bounce) model — another random-trip instance.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::{MobilityError, MobilityModel, Point};
+
+/// State of a random-direction node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DirectionState {
+    /// Current position.
+    pub pos: Point,
+    /// Unit direction vector.
+    pub dir: (f64, f64),
+    /// Rounds remaining on the current leg.
+    pub remaining: u32,
+}
+
+/// The random direction model: each leg picks a uniform direction and a
+/// uniform leg duration in `[min_leg, max_leg]` rounds, travels at
+/// constant speed, and reflects off the square's walls.
+///
+/// Unlike the waypoint model its stationary positional distribution is
+/// (near-)uniform, which makes it a useful contrast for the (δ, λ)
+/// conditions of Corollary 4 — δ close to 1 here, markedly larger for the
+/// waypoint.
+///
+/// # Examples
+///
+/// ```
+/// use dg_mobility::{MobilityModel, RandomDirection};
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let rd = RandomDirection::new(50.0, 1.0, 10, 30).unwrap();
+/// let mut rng = SmallRng::seed_from_u64(5);
+/// let mut s = rd.sample_initial(&mut rng);
+/// for _ in 0..500 {
+///     rd.step_state(&mut s, &mut rng);
+/// }
+/// let p = rd.position(&s);
+/// assert!(p.x >= 0.0 && p.x <= 50.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomDirection {
+    side: f64,
+    speed: f64,
+    min_leg: u32,
+    max_leg: u32,
+}
+
+impl RandomDirection {
+    /// Creates the model over `[0, side]²`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MobilityError::ParameterOutOfRange`] unless `side > 0`,
+    /// `speed > 0` and `1 <= min_leg <= max_leg`.
+    pub fn new(side: f64, speed: f64, min_leg: u32, max_leg: u32) -> Result<Self, MobilityError> {
+        if !side.is_finite() || side <= 0.0 {
+            return Err(MobilityError::ParameterOutOfRange {
+                name: "side",
+                value: side,
+            });
+        }
+        if !speed.is_finite() || speed <= 0.0 {
+            return Err(MobilityError::ParameterOutOfRange {
+                name: "speed",
+                value: speed,
+            });
+        }
+        if min_leg == 0 || max_leg < min_leg {
+            return Err(MobilityError::ParameterOutOfRange {
+                name: "min_leg/max_leg",
+                value: min_leg as f64,
+            });
+        }
+        Ok(RandomDirection {
+            side,
+            speed,
+            min_leg,
+            max_leg,
+        })
+    }
+
+    fn sample_leg(&self, rng: &mut SmallRng) -> (f64, f64, u32) {
+        let theta = rng.gen::<f64>() * std::f64::consts::TAU;
+        let dur = if self.min_leg == self.max_leg {
+            self.min_leg
+        } else {
+            rng.gen_range(self.min_leg..=self.max_leg)
+        };
+        (theta.cos(), theta.sin(), dur)
+    }
+}
+
+impl MobilityModel for RandomDirection {
+    type State = DirectionState;
+
+    fn side(&self) -> f64 {
+        self.side
+    }
+
+    fn sample_initial(&self, rng: &mut SmallRng) -> DirectionState {
+        let (dx, dy, dur) = self.sample_leg(rng);
+        DirectionState {
+            pos: Point::new(rng.gen::<f64>() * self.side, rng.gen::<f64>() * self.side),
+            dir: (dx, dy),
+            remaining: dur,
+        }
+    }
+
+    fn worst_initial(&self) -> DirectionState {
+        DirectionState {
+            pos: Point::new(0.0, 0.0),
+            dir: (std::f64::consts::FRAC_1_SQRT_2, std::f64::consts::FRAC_1_SQRT_2),
+            remaining: self.min_leg,
+        }
+    }
+
+    fn step_state(&self, state: &mut DirectionState, rng: &mut SmallRng) {
+        let mut x = state.pos.x + state.dir.0 * self.speed;
+        let mut y = state.pos.y + state.dir.1 * self.speed;
+        let (mut dx, mut dy) = state.dir;
+        // Reflect off walls (at most once per axis per round since
+        // speed < side in any sane configuration).
+        if x < 0.0 {
+            x = -x;
+            dx = -dx;
+        } else if x > self.side {
+            x = 2.0 * self.side - x;
+            dx = -dx;
+        }
+        if y < 0.0 {
+            y = -y;
+            dy = -dy;
+        } else if y > self.side {
+            y = 2.0 * self.side - y;
+            dy = -dy;
+        }
+        state.pos = Point::new(x.clamp(0.0, self.side), y.clamp(0.0, self.side));
+        state.dir = (dx, dy);
+        state.remaining = state.remaining.saturating_sub(1);
+        if state.remaining == 0 {
+            let (ndx, ndy, dur) = self.sample_leg(rng);
+            state.dir = (ndx, ndy);
+            state.remaining = dur;
+        }
+    }
+
+    fn position(&self, state: &DirectionState) -> Point {
+        state.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn params_validated() {
+        assert!(RandomDirection::new(0.0, 1.0, 1, 2).is_err());
+        assert!(RandomDirection::new(10.0, 0.0, 1, 2).is_err());
+        assert!(RandomDirection::new(10.0, 1.0, 0, 2).is_err());
+        assert!(RandomDirection::new(10.0, 1.0, 3, 2).is_err());
+    }
+
+    #[test]
+    fn stays_in_square_with_reflection() {
+        let rd = RandomDirection::new(10.0, 2.5, 5, 20).unwrap();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut s = rd.worst_initial();
+        for _ in 0..2000 {
+            rd.step_state(&mut s, &mut rng);
+            assert!(
+                s.pos.x >= 0.0 && s.pos.x <= 10.0 && s.pos.y >= 0.0 && s.pos.y <= 10.0,
+                "escaped: {:?}",
+                s.pos
+            );
+        }
+    }
+
+    #[test]
+    fn direction_renewed_after_leg() {
+        let rd = RandomDirection::new(100.0, 1.0, 3, 3).unwrap();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut s = rd.sample_initial(&mut rng);
+        let d0 = s.dir;
+        rd.step_state(&mut s, &mut rng);
+        rd.step_state(&mut s, &mut rng);
+        // Third step exhausts the 3-round leg and samples a new direction.
+        rd.step_state(&mut s, &mut rng);
+        assert!(
+            (s.dir.0 - d0.0).abs() > 1e-12 || (s.dir.1 - d0.1).abs() > 1e-12,
+            "direction should renew"
+        );
+    }
+
+    #[test]
+    fn near_uniform_occupancy() {
+        // Long-run occupancy of the bounce model is near uniform: compare
+        // the center cell to a border cell.
+        let rd = RandomDirection::new(10.0, 1.0, 5, 15).unwrap();
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut s = rd.sample_initial(&mut rng);
+        let mut grid = dg_stats::Grid2d::new(10.0, 4);
+        for _ in 0..200 {
+            rd.step_state(&mut s, &mut rng); // warm up
+        }
+        for _ in 0..60_000 {
+            rd.step_state(&mut s, &mut rng);
+            grid.push(s.pos.x, s.pos.y);
+        }
+        let center = grid.probability(1, 1) + grid.probability(1, 2)
+            + grid.probability(2, 1)
+            + grid.probability(2, 2);
+        // Uniform would put 0.25 mass on the 4 central cells; allow slack
+        // but rule out waypoint-grade center bias (which gives ~0.45).
+        assert!((center - 0.25).abs() < 0.12, "center mass = {center}");
+    }
+}

@@ -1,0 +1,82 @@
+//! Error type for mobility model construction.
+
+use core::fmt;
+
+/// Errors from constructing mobility models and path families.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MobilityError {
+    /// A numeric parameter was invalid.
+    ParameterOutOfRange {
+        /// Parameter name.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A path was shorter than two points.
+    PathTooShort {
+        /// Index of the offending path.
+        path: usize,
+    },
+    /// A path used an edge absent from the mobility graph.
+    PathNotInGraph {
+        /// Index of the offending path.
+        path: usize,
+        /// The missing hop.
+        hop: (u32, u32),
+    },
+    /// The family violates the chaining property: some path ends at a
+    /// point from which no path starts.
+    ChainingViolated {
+        /// The dead-end point.
+        point: u32,
+    },
+    /// The family is empty, or a dimension disagreed.
+    Empty,
+}
+
+impl fmt::Display for MobilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MobilityError::ParameterOutOfRange { name, value } => {
+                write!(f, "parameter {name} = {value} out of range")
+            }
+            MobilityError::PathTooShort { path } => {
+                write!(f, "path {path} has fewer than two points")
+            }
+            MobilityError::PathNotInGraph { path, hop } => {
+                write!(f, "path {path} uses hop {:?} absent from the graph", hop)
+            }
+            MobilityError::ChainingViolated { point } => {
+                write!(f, "no path starts at endpoint {point} (chaining property)")
+            }
+            MobilityError::Empty => write!(f, "empty path family"),
+        }
+    }
+}
+
+impl std::error::Error for MobilityError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_nonempty() {
+        for e in [
+            MobilityError::ParameterOutOfRange {
+                name: "r",
+                value: -1.0,
+            },
+            MobilityError::PathTooShort { path: 3 },
+            MobilityError::PathNotInGraph {
+                path: 1,
+                hop: (0, 5),
+            },
+            MobilityError::ChainingViolated { point: 2 },
+            MobilityError::Empty,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Geometric and graph mobility models — §4.1 of
+//! Clementi–Silvestri–Trevisan (PODC 2012).
+//!
+//! Every model here is a node-MEG: nodes evolve independently, and
+//! adjacency is a deterministic function of the two states. Geometric
+//! models connect nodes within Euclidean distance `r` over a square of
+//! side `L`; graph models connect nodes at the same point of a mobility
+//! graph `H(V, A)`.
+//!
+//! * [`GridWalk`] — the **random walk model**: nodes walk on an `m × m`
+//!   grid (`ρ` hops per round), disk connection of radius `r`;
+//! * [`RandomWaypoint`] — the classic waypoint model (uniform destination,
+//!   speed in `[v_min, v_max]`), the paper's headline application, plus the
+//!   [`ManhattanWaypoint`] variant of \[13\] and the bouncing
+//!   [`RandomDirection`] model as further random-trip instances;
+//! * [`GeometricMeg`] — runs any [`MobilityModel`] as an
+//!   [`dynagraph::EvolvingGraph`] using a cell-list spatial index
+//!   (`O(n + |E_t|)` per round instead of `O(n²)`);
+//! * [`positional`] — occupancy estimation, the analytic waypoint density,
+//!   empirical positional mixing times, and the (δ, λ)-uniformity
+//!   extraction of Corollary 4;
+//! * [`PathFamily`] / [`RandomPathModel`] — the **random paths on graphs**
+//!   model of Corollary 5, with simplicity/reversibility/δ-regularity
+//!   checks and the grid L-path and all-edges (= random walk) families;
+//! * [`region`] — random trip over arbitrary convex regions (disk,
+//!   rectangle): Corollary 4's full `R ⊆ R^d` generality;
+//! * [`meeting`] — meeting times of two walks, the quantity behind the
+//!   competing bound of \[15\].
+//!
+//! # Examples
+//!
+//! ```
+//! use dg_mobility::{GeometricMeg, RandomWaypoint};
+//! use dynagraph::{flooding, EvolvingGraph};
+//!
+//! // 64 nodes over a 10x10 square, radius 2, speeds in [0.5, 1.0].
+//! let model = RandomWaypoint::new(10.0, 0.5, 1.0).unwrap();
+//! let mut meg = GeometricMeg::new(model, 64, 2.0, 42).unwrap();
+//! meg.warm_up(200); // approach the stationary (center-biased) regime
+//! let run = flooding::flood(&mut meg, 0, 100_000);
+//! assert!(run.flooding_time().is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cells;
+mod direction;
+mod error;
+mod geom;
+pub mod meeting;
+mod meg;
+mod path_model;
+pub mod paths;
+pub mod positional;
+pub mod region;
+mod walk;
+mod waypoint;
+
+pub use cells::CellList;
+pub use direction::RandomDirection;
+pub use error::MobilityError;
+pub use geom::Point;
+pub use meg::{GeometricMeg, MobilityModel};
+pub use path_model::RandomPathModel;
+pub use paths::PathFamily;
+pub use walk::GridWalk;
+pub use waypoint::{waypoint_density, ManhattanWaypoint, RandomWaypoint, WaypointState};

@@ -1,0 +1,340 @@
+//! The random-path model as a dynamic graph (§4.1, Corollary 5).
+//!
+//! Node states are `(h, h_i)` — "on path `h`, at its `i`-th point". A node
+//! walks its path one edge per round; at the end point it picks a uniform
+//! path from `P(end)` and continues. Two nodes are connected when they
+//! occupy the same point. With the all-edges family this is exactly the
+//! random walk model with `ρ = 1`, `r = 0`.
+//!
+//! For simple + reversible families the stationary distribution over
+//! states is **uniform** (Theorem 11 of \[14\]); [`RandomPathModel`] can
+//! therefore sample exact stationary starts.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use dynagraph::{mix_seed, EvolvingGraph, Snapshot};
+
+use crate::{MobilityError, PathFamily};
+
+/// Per-node state of the random-path model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PathState {
+    /// Path index into the family.
+    path: u32,
+    /// Position index along the path (`1 ..= ℓ(h) − 1`, 0-based into the
+    /// point list; the state `(h, h_i)` of the paper has `i = pos + 1`).
+    pos: u32,
+}
+
+/// The random-path model `RP = (H, P)` over `n` nodes as an
+/// [`EvolvingGraph`].
+///
+/// # Parity and laziness
+///
+/// On a *bipartite* mobility graph (grids!), a node that moves exactly one
+/// edge per round alternates sides deterministically, so two nodes whose
+/// phases differ **never** co-locate: the product chain is periodic and
+/// the paper's ergodicity premise fails. The standard remedy — implicit in
+/// the paper's random walk model, where a node picks its next position
+/// "within ρ hops", which includes staying put — is laziness: with
+/// probability `laziness` a node does not advance this round. Laziness
+/// preserves the uniform stationary distribution and makes the chain
+/// aperiodic. Use [`RandomPathModel::stationary_lazy`] on bipartite
+/// graphs.
+///
+/// # Examples
+///
+/// ```
+/// use dg_graph::generators;
+/// use dg_mobility::{PathFamily, RandomPathModel};
+/// use dynagraph::{flooding, EvolvingGraph};
+///
+/// let (_, family) = PathFamily::grid_l_paths(4, 4);
+/// // The grid is bipartite: use a lazy variant so phases mix.
+/// let mut model = RandomPathModel::stationary_lazy(family, 32, 0.25, 7).unwrap();
+/// let run = flooding::flood(&mut model, 0, 100_000);
+/// assert!(run.flooding_time().is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct RandomPathModel {
+    family: PathFamily,
+    laziness: f64,
+    /// Prefix sums of `ℓ(h) − 1` for uniform stationary state sampling.
+    state_prefix: Vec<u64>,
+    states: Vec<PathState>,
+    points: Vec<u32>,
+    rng: SmallRng,
+    snapshot: Snapshot,
+    edge_buf: Vec<(u32, u32)>,
+    /// Reusable bucket heads/next for same-point grouping.
+    bucket_head: Vec<u32>,
+    bucket_next: Vec<u32>,
+    touched: Vec<u32>,
+}
+
+const NIL: u32 = u32::MAX;
+
+impl RandomPathModel {
+    /// Creates the model with **stationary** initial states (uniform over
+    /// the `Σ (ℓ(h) − 1)` states — exact for simple + reversible
+    /// families, Theorem 11 of \[14\]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MobilityError::ParameterOutOfRange`] when `n < 2`.
+    pub fn stationary(family: PathFamily, n: usize, seed: u64) -> Result<Self, MobilityError> {
+        Self::stationary_lazy(family, n, 0.0, seed)
+    }
+
+    /// Like [`RandomPathModel::stationary`], but each node independently
+    /// pauses with probability `laziness` per round — required for
+    /// bipartite mobility graphs (see the type-level docs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MobilityError::ParameterOutOfRange`] when `n < 2` or
+    /// `laziness` is outside `[0, 1)`.
+    pub fn stationary_lazy(
+        family: PathFamily,
+        n: usize,
+        laziness: f64,
+        seed: u64,
+    ) -> Result<Self, MobilityError> {
+        if n < 2 {
+            return Err(MobilityError::ParameterOutOfRange {
+                name: "n",
+                value: n as f64,
+            });
+        }
+        if !(0.0..1.0).contains(&laziness) {
+            return Err(MobilityError::ParameterOutOfRange {
+                name: "laziness",
+                value: laziness,
+            });
+        }
+        let mut state_prefix = Vec::with_capacity(family.path_count() + 1);
+        state_prefix.push(0u64);
+        for i in 0..family.path_count() {
+            let prev = *state_prefix.last().expect("non-empty");
+            state_prefix.push(prev + (family.path(i).len() - 1) as u64);
+        }
+        let point_count = family.point_count();
+        let mut model = RandomPathModel {
+            family,
+            laziness,
+            state_prefix,
+            states: vec![PathState { path: 0, pos: 1 }; n],
+            points: vec![0; n],
+            rng: SmallRng::seed_from_u64(seed),
+            snapshot: Snapshot::empty(n),
+            edge_buf: Vec::new(),
+            bucket_head: vec![NIL; point_count],
+            bucket_next: vec![NIL; n],
+            touched: Vec::new(),
+        };
+        model.reset(seed);
+        Ok(model)
+    }
+
+    /// The path family.
+    pub fn family(&self) -> &PathFamily {
+        &self.family
+    }
+
+    /// The current point of every node (updated by each step).
+    pub fn current_points(&self) -> &[u32] {
+        &self.points
+    }
+
+    fn sample_stationary_state(&mut self) -> PathState {
+        let total = *self.state_prefix.last().expect("non-empty");
+        let x = self.rng.gen_range(0..total);
+        let path = match self.state_prefix.binary_search(&x) {
+            Ok(i) => i,      // x is exactly a prefix boundary: state 0 of path i
+            Err(i) => i - 1, // x falls inside path i-1's range
+        };
+        let offset = x - self.state_prefix[path];
+        PathState {
+            path: path as u32,
+            pos: offset as u32 + 1,
+        }
+    }
+
+    fn point_of(&self, s: PathState) -> u32 {
+        self.family.path(s.path as usize)[s.pos as usize]
+    }
+}
+
+impl EvolvingGraph for RandomPathModel {
+    fn node_count(&self) -> usize {
+        self.states.len()
+    }
+
+    fn step(&mut self) -> &Snapshot {
+        for i in 0..self.states.len() {
+            if self.laziness > 0.0 && self.rng.gen_bool(self.laziness) {
+                continue; // pause this round; position unchanged
+            }
+            let mut s = self.states[i];
+            let path = self.family.path(s.path as usize);
+            if (s.pos as usize) < path.len() - 1 {
+                s.pos += 1;
+            } else {
+                let end = *path.last().expect("paths have >= 2 points");
+                let options = self.family.starts_at(end);
+                let choice = options[self.rng.gen_range(0..options.len())];
+                s = PathState {
+                    path: choice,
+                    pos: 1,
+                };
+            }
+            self.states[i] = s;
+            self.points[i] = self.point_of(s);
+        }
+        // Same-point connection: bucket nodes by point.
+        for &p in &self.touched {
+            self.bucket_head[p as usize] = NIL;
+        }
+        self.touched.clear();
+        for (i, &p) in self.points.iter().enumerate() {
+            if self.bucket_head[p as usize] == NIL {
+                self.touched.push(p);
+            }
+            self.bucket_next[i] = self.bucket_head[p as usize];
+            self.bucket_head[p as usize] = i as u32;
+        }
+        self.edge_buf.clear();
+        for &p in &self.touched {
+            let mut i = self.bucket_head[p as usize];
+            while i != NIL {
+                let mut j = self.bucket_next[i as usize];
+                while j != NIL {
+                    self.edge_buf.push((i.min(j), i.max(j)));
+                    j = self.bucket_next[j as usize];
+                }
+                i = self.bucket_next[i as usize];
+            }
+        }
+        self.snapshot.rebuild_from_edges(&self.edge_buf);
+        &self.snapshot
+    }
+
+    fn reset(&mut self, seed: u64) {
+        self.rng = SmallRng::seed_from_u64(mix_seed(seed, 0x9A7C));
+        for i in 0..self.states.len() {
+            let s = self.sample_stationary_state();
+            self.states[i] = s;
+            self.points[i] = self.point_of(s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_graph::generators;
+    use dynagraph::flooding::flood;
+
+    #[test]
+    fn walk_equivalence_stays_on_graph() {
+        let g = generators::cycle(6);
+        let family = PathFamily::edges_family(&g).unwrap();
+        let mut model = RandomPathModel::stationary(family, 8, 3).unwrap();
+        for _ in 0..100 {
+            model.step();
+            for &p in model.current_points() {
+                assert!((p as usize) < 6);
+            }
+        }
+    }
+
+    #[test]
+    fn stationary_point_occupancy_uniform_on_regular_graph() {
+        // Edges family on a cycle: point occupancy must be uniform.
+        let g = generators::cycle(8);
+        let family = PathFamily::edges_family(&g).unwrap();
+        let mut model = RandomPathModel::stationary(family, 4, 5).unwrap();
+        let mut counts = [0u64; 8];
+        let rounds = 40_000;
+        for _ in 0..rounds {
+            model.step();
+            for &p in model.current_points() {
+                counts[p as usize] += 1;
+            }
+        }
+        let total: u64 = counts.iter().sum();
+        for (p, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / total as f64;
+            assert!(
+                (freq - 0.125).abs() < 0.01,
+                "point {p}: freq {freq}"
+            );
+        }
+    }
+
+    #[test]
+    fn same_point_edges_only() {
+        let (_, family) = PathFamily::grid_l_paths(3, 3);
+        let mut model = RandomPathModel::stationary(family, 10, 9).unwrap();
+        for _ in 0..50 {
+            let snap = model.step().clone();
+            let pts = model.current_points().to_vec();
+            for (u, v) in snap.edges() {
+                assert_eq!(pts[u as usize], pts[v as usize]);
+            }
+            // And conversely: co-located nodes are connected.
+            for i in 0..pts.len() {
+                for j in (i + 1)..pts.len() {
+                    if pts[i] == pts[j] {
+                        assert!(snap.has_edge(i as u32, j as u32));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn floods_on_l_path_grid_with_laziness() {
+        let (_, family) = PathFamily::grid_l_paths(3, 3);
+        let mut model = RandomPathModel::stationary_lazy(family, 24, 0.25, 1).unwrap();
+        let run = flood(&mut model, 0, 50_000);
+        assert!(run.flooding_time().is_some());
+    }
+
+    #[test]
+    fn bipartite_parity_traps_zero_laziness() {
+        // On a bipartite grid with always-move dynamics, nodes of opposite
+        // phase never co-locate: flooding cannot complete. This documents
+        // the ergodicity caveat; laziness is the fix.
+        let (_, family) = PathFamily::grid_l_paths(3, 3);
+        let mut model = RandomPathModel::stationary(family, 24, 1).unwrap();
+        let run = flood(&mut model, 0, 3000);
+        assert!(
+            run.flooding_time().is_none(),
+            "parity classes should not mix without laziness"
+        );
+        assert!(run.informed_count() < 24);
+    }
+
+    #[test]
+    fn reset_reproducible() {
+        let (_, family) = PathFamily::grid_l_paths(3, 3);
+        let mut model = RandomPathModel::stationary(family, 8, 0).unwrap();
+        model.reset(77);
+        let a: Vec<_> = model.step().edges().collect();
+        let pa = model.current_points().to_vec();
+        model.reset(77);
+        let b: Vec<_> = model.step().edges().collect();
+        let pb = model.current_points().to_vec();
+        assert_eq!(a, b);
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn rejects_tiny_n() {
+        let g = generators::cycle(4);
+        let family = PathFamily::edges_family(&g).unwrap();
+        assert!(RandomPathModel::stationary(family, 1, 0).is_err());
+    }
+}

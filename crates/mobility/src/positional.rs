@@ -1,0 +1,278 @@
+//! Positional-distribution analytics for geometric mobility models.
+//!
+//! The paper's Corollary 4 turns the β-independence condition into two
+//! *uniformity conditions* on the stationary positional density `F_T`:
+//!
+//! * (a) `F_T(u) <= δ / vol(R)` everywhere;
+//! * (b) some region `B` with `vol(B_r) >= λ · vol(R)` has
+//!   `F_T(u) >= 1 / (δ · vol(R))` on it.
+//!
+//! This module estimates the positional distribution empirically
+//! (occupancy grids), extracts empirical `(δ, λ)`, and measures the
+//! *positional mixing time* — the TV-convergence of a worst-case-started
+//! node's position to stationarity, which is the quantity the proofs
+//! consume at epoch boundaries (Lemma 17).
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use dg_stats::Grid2d;
+use dynagraph::mix_seed;
+
+use crate::MobilityModel;
+
+/// Long-run occupancy of a single node: `samples` positions recorded every
+/// round after `warm_up` rounds — the empirical stationary positional
+/// distribution.
+///
+/// # Examples
+///
+/// ```
+/// use dg_mobility::{positional, RandomWaypoint};
+///
+/// let wp = RandomWaypoint::new(10.0, 1.0, 1.0).unwrap();
+/// let occ = positional::stationary_occupancy(&wp, 4, 500, 20_000, 3);
+/// // Waypoint center bias: central cells carry more mass than corners.
+/// assert!(occ.probability(1, 1) > occ.probability(0, 0));
+/// ```
+pub fn stationary_occupancy<M: MobilityModel>(
+    model: &M,
+    cells: usize,
+    warm_up: usize,
+    samples: usize,
+    seed: u64,
+) -> Grid2d {
+    let mut rng = SmallRng::seed_from_u64(mix_seed(seed, 0x0CC0));
+    let mut grid = Grid2d::new(model.side(), cells);
+    let mut state = model.sample_initial(&mut rng);
+    for _ in 0..warm_up {
+        model.step_state(&mut state, &mut rng);
+    }
+    for _ in 0..samples {
+        model.step_state(&mut state, &mut rng);
+        let p = model.position(&state);
+        grid.push(p.x, p.y);
+    }
+    grid
+}
+
+/// Ensemble occupancy at a fixed time: `replicas` independent nodes all
+/// started from [`MobilityModel::worst_initial`], evolved `rounds` rounds,
+/// final positions recorded. Converges to the stationary occupancy as
+/// `rounds` grows — the basis of the positional mixing estimate.
+pub fn ensemble_occupancy<M: MobilityModel>(
+    model: &M,
+    cells: usize,
+    rounds: usize,
+    replicas: usize,
+    seed: u64,
+) -> Grid2d {
+    let mut grid = Grid2d::new(model.side(), cells);
+    for rep in 0..replicas {
+        let mut rng = SmallRng::seed_from_u64(mix_seed(seed, 0xE5E0 + rep as u64));
+        let mut state = model.worst_initial();
+        for _ in 0..rounds {
+            model.step_state(&mut state, &mut rng);
+        }
+        let p = model.position(&state);
+        grid.push(p.x, p.y);
+    }
+    grid
+}
+
+/// Result of a positional mixing measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PositionalMixing {
+    /// First checkpoint (in rounds) where the TV distance dropped to
+    /// `eps`.
+    pub rounds: usize,
+    /// The TV distance observed there.
+    pub tv: f64,
+}
+
+/// Estimates the positional mixing time: evolves `replicas` worst-case
+/// started replicas, and every `stride` rounds compares the replica
+/// position histogram against `reference` (a stationary occupancy) in TV
+/// distance. Returns the first checkpoint at or below `eps`, or `None` if
+/// `max_rounds` is reached first.
+///
+/// Note the empirical TV has a positive floor of order
+/// `√(cells²/replicas)`; choose `eps` above that floor.
+pub fn positional_mixing_time<M: MobilityModel>(
+    model: &M,
+    reference: &Grid2d,
+    eps: f64,
+    replicas: usize,
+    stride: usize,
+    max_rounds: usize,
+    seed: u64,
+) -> Option<PositionalMixing> {
+    assert!(stride > 0, "stride must be positive");
+    let cells = reference.cells();
+    let mut rngs: Vec<SmallRng> = (0..replicas)
+        .map(|rep| SmallRng::seed_from_u64(mix_seed(seed, 0x31B0 + rep as u64)))
+        .collect();
+    let mut states: Vec<M::State> = (0..replicas).map(|_| model.worst_initial()).collect();
+    let mut rounds = 0;
+    while rounds < max_rounds {
+        for _ in 0..stride {
+            for (s, rng) in states.iter_mut().zip(rngs.iter_mut()) {
+                model.step_state(s, rng);
+            }
+        }
+        rounds += stride;
+        let mut grid = Grid2d::new(model.side(), cells);
+        for s in &states {
+            let p = model.position(s);
+            grid.push(p.x, p.y);
+        }
+        let tv = grid.tv_distance(reference);
+        if tv <= eps {
+            return Some(PositionalMixing { rounds, tv });
+        }
+    }
+    None
+}
+
+/// Empirical `(δ, λ)` uniformity constants of Corollary 4.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeltaLambda {
+    /// Density-uniformity constant δ (≥ 1).
+    pub delta: f64,
+    /// Volume fraction λ of the well-covered region `B`.
+    pub lambda: f64,
+}
+
+/// Extracts empirical `(δ, λ)` from an occupancy grid.
+///
+/// Cells are scored by *relative density* (occupancy probability divided
+/// by the uniform probability). Condition (a) fixes
+/// `δ_a = max relative density`; for condition (b) we take `B` to be the
+/// denser half of the cells whose `r`-disk stays inside the square, set
+/// `δ_b = 1 / min relative density over B`, and report
+/// `δ = max(δ_a, δ_b)`, `λ = |B| / #cells`.
+///
+/// # Panics
+///
+/// Panics if the grid is empty or `r` is too large for any interior cell
+/// to exist.
+pub fn estimate_delta_lambda(occupancy: &Grid2d, side: f64, r: f64) -> DeltaLambda {
+    assert!(occupancy.total() > 0, "occupancy grid is empty");
+    let cells = occupancy.cells();
+    let w = side / cells as f64;
+    // Cells whose r-disk stays inside the square: centers at distance >= r
+    // from every wall.
+    let margin = (r / w).ceil() as usize;
+    assert!(
+        2 * margin < cells,
+        "radius {r} leaves no interior cells at this resolution"
+    );
+    let uniform = 1.0 / (cells * cells) as f64;
+    let mut interior: Vec<f64> = Vec::new();
+    let mut max_rel: f64 = 0.0;
+    for cy in 0..cells {
+        for cx in 0..cells {
+            let rel = occupancy.probability(cx, cy) / uniform;
+            max_rel = max_rel.max(rel);
+            if cx >= margin && cx < cells - margin && cy >= margin && cy < cells - margin {
+                interior.push(rel);
+            }
+        }
+    }
+    interior.sort_by(|a, b| b.partial_cmp(a).expect("finite densities"));
+    let keep = (interior.len() / 2).max(1);
+    let b_cells = &interior[..keep];
+    let min_rel_b = *b_cells.last().expect("kept at least one cell");
+    let delta_b = if min_rel_b > 0.0 {
+        1.0 / min_rel_b
+    } else {
+        f64::INFINITY
+    };
+    DeltaLambda {
+        delta: max_rel.max(delta_b).max(1.0),
+        lambda: keep as f64 / (cells * cells) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GridWalk, RandomDirection, RandomWaypoint};
+
+    #[test]
+    fn waypoint_center_bias_detected() {
+        let wp = RandomWaypoint::new(10.0, 1.0, 1.0).unwrap();
+        let occ = stationary_occupancy(&wp, 8, 500, 60_000, 1);
+        let dl = estimate_delta_lambda(&occ, 10.0, 1.0);
+        // Waypoint density peaks at 2.25x uniform (36/16): delta clearly
+        // above 1.5, and a decent B exists.
+        assert!(dl.delta > 1.5, "delta = {}", dl.delta);
+        assert!(dl.lambda > 0.1, "lambda = {}", dl.lambda);
+    }
+
+    #[test]
+    fn bounce_model_close_to_uniform() {
+        let rd = RandomDirection::new(10.0, 1.0, 5, 15).unwrap();
+        let occ = stationary_occupancy(&rd, 8, 500, 60_000, 2);
+        let dl = estimate_delta_lambda(&occ, 10.0, 1.0);
+        let wp = RandomWaypoint::new(10.0, 1.0, 1.0).unwrap();
+        let occ_wp = stationary_occupancy(&wp, 8, 500, 60_000, 2);
+        let dl_wp = estimate_delta_lambda(&occ_wp, 10.0, 1.0);
+        assert!(
+            dl.delta < dl_wp.delta,
+            "bounce delta {} should undercut waypoint delta {}",
+            dl.delta,
+            dl_wp.delta
+        );
+    }
+
+    #[test]
+    fn ensemble_converges_to_stationary() {
+        let walk = GridWalk::new(8, 1).unwrap();
+        let reference = stationary_occupancy(&walk, 4, 500, 40_000, 3);
+        let early = ensemble_occupancy(&walk, 4, 1, 2000, 4);
+        let late = ensemble_occupancy(&walk, 4, 300, 2000, 4);
+        let tv_early = early.tv_distance(&reference);
+        let tv_late = late.tv_distance(&reference);
+        assert!(
+            tv_late < tv_early,
+            "tv should shrink: early {tv_early}, late {tv_late}"
+        );
+        assert!(tv_late < 0.1, "tv_late = {tv_late}");
+    }
+
+    #[test]
+    fn mixing_time_found_for_small_walk() {
+        let walk = GridWalk::new(6, 1).unwrap();
+        let reference = stationary_occupancy(&walk, 3, 500, 40_000, 5);
+        let mix = positional_mixing_time(&walk, &reference, 0.08, 2000, 5, 2000, 6);
+        let mix = mix.expect("walk on 6x6 grid mixes quickly");
+        assert!(mix.rounds >= 5);
+        assert!(mix.rounds <= 500, "rounds = {}", mix.rounds);
+        assert!(mix.tv <= 0.08);
+    }
+
+    #[test]
+    fn delta_lambda_uniform_grid_is_tight() {
+        // A perfectly uniform synthetic occupancy gives delta ~ 1.
+        let mut g = Grid2d::new(10.0, 8);
+        for cy in 0..8 {
+            for cx in 0..8 {
+                for _ in 0..100 {
+                    g.push((cx as f64 + 0.5) * 10.0 / 8.0, (cy as f64 + 0.5) * 10.0 / 8.0);
+                }
+            }
+        }
+        let dl = estimate_delta_lambda(&g, 10.0, 1.0);
+        assert!((dl.delta - 1.0).abs() < 1e-9);
+        assert!(dl.lambda >= 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "no interior cells")]
+    fn huge_radius_panics() {
+        let mut g = Grid2d::new(10.0, 4);
+        g.push(5.0, 5.0);
+        let _ = estimate_delta_lambda(&g, 10.0, 6.0);
+    }
+}

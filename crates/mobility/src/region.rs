@@ -1,0 +1,366 @@
+//! Random trip over general regions — the full generality of Corollary 4.
+//!
+//! Corollary 4 is stated for a random trip over *any* bounded connected
+//! region `R ⊆ R^d`, not just the square. This module provides waypoint
+//! dynamics over an arbitrary **convex** region (straight legs between
+//! waypoints stay inside a convex region), with destinations sampled by
+//! rejection inside the region's bounding square, plus region-aware
+//! (δ, λ) extraction.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use dg_stats::Grid2d;
+
+use crate::positional::DeltaLambda;
+use crate::waypoint::WaypointState;
+use crate::{MobilityError, MobilityModel, Point};
+
+/// A convex planar region inside the square `[0, side]²`.
+///
+/// Convexity is required so that straight waypoint legs stay inside the
+/// region; implementations must guarantee it.
+pub trait Region: Send + Sync {
+    /// Side length of the bounding square.
+    fn bounding_side(&self) -> f64;
+
+    /// `true` if the point lies inside the region.
+    fn contains(&self, p: Point) -> bool;
+
+    /// A point guaranteed to lie inside the region (used as the
+    /// worst-case initial position; pick one near the boundary).
+    fn boundary_point(&self) -> Point;
+
+    /// Area of the region (used for the `vol(R)` factor of Corollary 4).
+    fn area(&self) -> f64;
+}
+
+/// The disk inscribed in the square `[0, side]²`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Disk {
+    side: f64,
+}
+
+impl Disk {
+    /// Creates the disk of diameter `side` centered at `(side/2, side/2)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `side > 0`.
+    pub fn new(side: f64) -> Self {
+        assert!(side > 0.0 && side.is_finite(), "invalid side");
+        Disk { side }
+    }
+
+    fn radius(&self) -> f64 {
+        self.side / 2.0
+    }
+
+    fn center(&self) -> Point {
+        Point::new(self.side / 2.0, self.side / 2.0)
+    }
+}
+
+impl Region for Disk {
+    fn bounding_side(&self) -> f64 {
+        self.side
+    }
+
+    fn contains(&self, p: Point) -> bool {
+        p.distance(self.center()) <= self.radius()
+    }
+
+    fn boundary_point(&self) -> Point {
+        Point::new(self.side / 2.0 - self.radius() + 1e-9, self.side / 2.0)
+    }
+
+    fn area(&self) -> f64 {
+        std::f64::consts::PI * self.radius() * self.radius()
+    }
+}
+
+/// An axis-aligned rectangle `[x0, x1] × [y0, y1]` (a degenerate but
+/// useful convex region for tests and for non-square aspect ratios).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    x0: f64,
+    y0: f64,
+    x1: f64,
+    y1: f64,
+}
+
+impl Rect {
+    /// Creates the rectangle.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `x0 < x1`, `y0 < y1`, and all bounds are finite and
+    /// non-negative.
+    pub fn new(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
+        assert!(
+            x0.is_finite() && y0.is_finite() && x1.is_finite() && y1.is_finite(),
+            "bounds must be finite"
+        );
+        assert!(x0 >= 0.0 && y0 >= 0.0 && x0 < x1 && y0 < y1, "invalid rectangle");
+        Rect { x0, y0, x1, y1 }
+    }
+}
+
+impl Region for Rect {
+    fn bounding_side(&self) -> f64 {
+        self.x1.max(self.y1)
+    }
+
+    fn contains(&self, p: Point) -> bool {
+        (self.x0..=self.x1).contains(&p.x) && (self.y0..=self.y1).contains(&p.y)
+    }
+
+    fn boundary_point(&self) -> Point {
+        Point::new(self.x0, self.y0)
+    }
+
+    fn area(&self) -> f64 {
+        (self.x1 - self.x0) * (self.y1 - self.y0)
+    }
+}
+
+/// The random waypoint over an arbitrary convex [`Region`]: destinations
+/// uniform in the region (rejection-sampled from the bounding square),
+/// straight legs, speed uniform in `[v_min, v_max]`.
+///
+/// # Examples
+///
+/// ```
+/// use dg_mobility::region::{Disk, RegionWaypoint};
+/// use dg_mobility::MobilityModel;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let wp = RegionWaypoint::new(Disk::new(10.0), 1.0, 1.0).unwrap();
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let mut s = wp.sample_initial(&mut rng);
+/// for _ in 0..500 {
+///     wp.step_state(&mut s, &mut rng);
+/// }
+/// // The node never leaves the disk.
+/// assert!(Disk::new(10.0).contains(wp.position(&s)));
+/// # use dg_mobility::region::Region;
+/// ```
+#[derive(Debug, Clone)]
+pub struct RegionWaypoint<R> {
+    region: R,
+    vmin: f64,
+    vmax: f64,
+}
+
+impl<R: Region> RegionWaypoint<R> {
+    /// Creates the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MobilityError::ParameterOutOfRange`] unless
+    /// `0 < vmin <= vmax`.
+    pub fn new(region: R, vmin: f64, vmax: f64) -> Result<Self, MobilityError> {
+        if !vmin.is_finite() || !vmax.is_finite() || vmin <= 0.0 || vmax < vmin {
+            return Err(MobilityError::ParameterOutOfRange {
+                name: "vmin/vmax",
+                value: vmin,
+            });
+        }
+        Ok(RegionWaypoint { region, vmin, vmax })
+    }
+
+    /// The region.
+    pub fn region(&self) -> &R {
+        &self.region
+    }
+
+    fn sample_in_region(&self, rng: &mut SmallRng) -> Point {
+        let side = self.region.bounding_side();
+        // Rejection sampling; convex regions inside their bounding square
+        // have acceptance probability >= area / side², bounded away from 0.
+        loop {
+            let p = Point::new(rng.gen::<f64>() * side, rng.gen::<f64>() * side);
+            if self.region.contains(p) {
+                return p;
+            }
+        }
+    }
+
+    fn sample_speed(&self, rng: &mut SmallRng) -> f64 {
+        if self.vmin == self.vmax {
+            self.vmin
+        } else {
+            rng.gen_range(self.vmin..self.vmax)
+        }
+    }
+}
+
+impl<R: Region> MobilityModel for RegionWaypoint<R> {
+    type State = WaypointState;
+
+    fn side(&self) -> f64 {
+        self.region.bounding_side()
+    }
+
+    fn sample_initial(&self, rng: &mut SmallRng) -> WaypointState {
+        WaypointState {
+            pos: self.sample_in_region(rng),
+            dest: self.sample_in_region(rng),
+            speed: self.sample_speed(rng),
+        }
+    }
+
+    fn worst_initial(&self) -> WaypointState {
+        let p = self.region.boundary_point();
+        WaypointState {
+            pos: p,
+            dest: p,
+            speed: self.vmin,
+        }
+    }
+
+    fn step_state(&self, state: &mut WaypointState, rng: &mut SmallRng) {
+        let (pos, arrived) = state.pos.advance_toward(state.dest, state.speed);
+        state.pos = pos;
+        if arrived {
+            state.dest = self.sample_in_region(rng);
+            state.speed = self.sample_speed(rng);
+        }
+    }
+
+    fn position(&self, state: &WaypointState) -> Point {
+        state.pos
+    }
+}
+
+/// Region-aware `(δ, λ)` extraction: like
+/// [`crate::positional::estimate_delta_lambda`] but only scoring cells
+/// whose center lies at depth `r` inside the region, and measuring
+/// density relative to `1/area(R)` instead of the bounding square.
+///
+/// # Panics
+///
+/// Panics if the occupancy grid is empty or no cell center is `r`-deep in
+/// the region.
+pub fn estimate_delta_lambda_in_region<R: Region>(
+    occupancy: &Grid2d,
+    region: &R,
+    r: f64,
+) -> DeltaLambda {
+    assert!(occupancy.total() > 0, "occupancy grid is empty");
+    let cells = occupancy.cells();
+    let side = region.bounding_side();
+    let w = side / cells as f64;
+    let cell_area = w * w;
+    // Relative density w.r.t. the uniform density over the region.
+    let uniform_mass = cell_area / region.area();
+    let mut interior: Vec<f64> = Vec::new();
+    let mut max_rel: f64 = 0.0;
+    for cy in 0..cells {
+        for cx in 0..cells {
+            let center = Point::new((cx as f64 + 0.5) * w, (cy as f64 + 0.5) * w);
+            if !region.contains(center) {
+                continue;
+            }
+            let rel = occupancy.probability(cx, cy) / uniform_mass;
+            max_rel = max_rel.max(rel);
+            // Depth test: the whole r-disk around the center must fit.
+            let deep = [(r, 0.0), (-r, 0.0), (0.0, r), (0.0, -r)]
+                .iter()
+                .all(|&(dx, dy)| region.contains(Point::new(center.x + dx, center.y + dy)));
+            if deep {
+                interior.push(rel);
+            }
+        }
+    }
+    assert!(!interior.is_empty(), "radius leaves no interior cells");
+    interior.sort_by(|a, b| b.partial_cmp(a).expect("finite densities"));
+    let keep = (interior.len() / 2).max(1);
+    let min_rel_b = interior[keep - 1];
+    let delta_b = if min_rel_b > 0.0 {
+        1.0 / min_rel_b
+    } else {
+        f64::INFINITY
+    };
+    // lambda counts B relative to the region's cell count, approximated by
+    // area(R)/cell_area.
+    let region_cells = (region.area() / cell_area).max(1.0);
+    DeltaLambda {
+        delta: max_rel.max(delta_b).max(1.0),
+        lambda: (keep as f64 / region_cells).min(1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::positional;
+    use rand::SeedableRng;
+
+    #[test]
+    fn disk_geometry() {
+        let d = Disk::new(10.0);
+        assert!(d.contains(Point::new(5.0, 5.0)));
+        assert!(d.contains(Point::new(5.0, 0.1)));
+        assert!(!d.contains(Point::new(0.5, 0.5))); // corner outside disk
+        assert!(d.contains(d.boundary_point()));
+        assert!((d.area() - std::f64::consts::PI * 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rect_geometry() {
+        let r = Rect::new(1.0, 2.0, 4.0, 3.0);
+        assert!(r.contains(Point::new(2.0, 2.5)));
+        assert!(!r.contains(Point::new(0.5, 2.5)));
+        assert_eq!(r.area(), 3.0);
+        assert!(r.contains(r.boundary_point()));
+    }
+
+    #[test]
+    fn disk_waypoint_never_leaves_disk() {
+        let disk = Disk::new(12.0);
+        let wp = RegionWaypoint::new(disk, 1.0, 2.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut s = wp.sample_initial(&mut rng);
+        for _ in 0..3000 {
+            wp.step_state(&mut s, &mut rng);
+            assert!(
+                disk.contains(wp.position(&s)),
+                "left the disk at {:?}",
+                wp.position(&s)
+            );
+        }
+    }
+
+    #[test]
+    fn disk_waypoint_center_biased() {
+        let disk = Disk::new(12.0);
+        let wp = RegionWaypoint::new(disk, 1.0, 1.0).unwrap();
+        let occ = positional::stationary_occupancy(&wp, 6, 1000, 60_000, 7);
+        // Probability of the 4 central cells exceeds the uniform-over-disk
+        // prediction: the waypoint bias survives the region change.
+        let center: f64 = [(2, 2), (2, 3), (3, 2), (3, 3)]
+            .iter()
+            .map(|&(x, y)| occ.probability(x, y))
+            .sum();
+        let cell_area = (12.0 / 6.0) * (12.0 / 6.0);
+        let uniform = 4.0 * cell_area / disk.area();
+        assert!(center > 1.2 * uniform, "center {center} vs uniform {uniform}");
+    }
+
+    #[test]
+    fn region_delta_lambda_finite() {
+        let disk = Disk::new(12.0);
+        let wp = RegionWaypoint::new(disk, 1.0, 1.0).unwrap();
+        let occ = positional::stationary_occupancy(&wp, 8, 1000, 80_000, 9);
+        let dl = estimate_delta_lambda_in_region(&occ, &disk, 1.0);
+        assert!(dl.delta >= 1.0 && dl.delta < 10.0, "delta = {}", dl.delta);
+        assert!(dl.lambda > 0.05 && dl.lambda <= 1.0, "lambda = {}", dl.lambda);
+    }
+
+    #[test]
+    fn invalid_speeds_rejected() {
+        assert!(RegionWaypoint::new(Disk::new(5.0), 0.0, 1.0).is_err());
+        assert!(RegionWaypoint::new(Disk::new(5.0), 2.0, 1.0).is_err());
+    }
+}

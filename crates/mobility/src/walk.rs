@@ -1,0 +1,171 @@
+//! The random walk mobility model over an `m × m` grid (§1, §4.1).
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::{MobilityError, MobilityModel, Point};
+
+/// The random walk model: nodes occupy the integer points of an `m × m`
+/// grid (side length `m − 1`); each round a node performs `rho` hops, each
+/// to a uniformly random 4-neighbour (staying put only at boundaries when
+/// a hop is blocked).
+///
+/// Positions are the integer grid coordinates, so a transmission radius
+/// `r = 1` connects exactly grid-adjacent nodes and `r = √2` adds
+/// diagonals.
+///
+/// # Examples
+///
+/// ```
+/// use dg_mobility::{GridWalk, MobilityModel};
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let walk = GridWalk::new(8, 1).unwrap();
+/// assert_eq!(walk.side(), 7.0);
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let mut s = walk.sample_initial(&mut rng);
+/// let before = walk.position(&s);
+/// walk.step_state(&mut s, &mut rng);
+/// let after = walk.position(&s);
+/// assert!(before.distance(after) <= 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridWalk {
+    m: usize,
+    rho: usize,
+}
+
+/// Grid coordinates of a walking node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridPos {
+    /// Column in `0..m`.
+    pub ix: u16,
+    /// Row in `0..m`.
+    pub iy: u16,
+}
+
+impl GridWalk {
+    /// Creates a walk on the `m × m` grid with `rho` hops per round.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MobilityError::ParameterOutOfRange`] when `m < 2` or
+    /// `rho == 0`.
+    pub fn new(m: usize, rho: usize) -> Result<Self, MobilityError> {
+        if m < 2 || m > u16::MAX as usize {
+            return Err(MobilityError::ParameterOutOfRange {
+                name: "m",
+                value: m as f64,
+            });
+        }
+        if rho == 0 {
+            return Err(MobilityError::ParameterOutOfRange {
+                name: "rho",
+                value: 0.0,
+            });
+        }
+        Ok(GridWalk { m, rho })
+    }
+
+    /// Grid points per side.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Hops per round.
+    pub fn rho(&self) -> usize {
+        self.rho
+    }
+}
+
+impl MobilityModel for GridWalk {
+    type State = GridPos;
+
+    fn side(&self) -> f64 {
+        (self.m - 1) as f64
+    }
+
+    fn sample_initial(&self, rng: &mut SmallRng) -> GridPos {
+        GridPos {
+            ix: rng.gen_range(0..self.m) as u16,
+            iy: rng.gen_range(0..self.m) as u16,
+        }
+    }
+
+    fn worst_initial(&self) -> GridPos {
+        GridPos { ix: 0, iy: 0 }
+    }
+
+    fn step_state(&self, state: &mut GridPos, rng: &mut SmallRng) {
+        for _ in 0..self.rho {
+            let dir = rng.gen_range(0..4u8);
+            let (dx, dy): (i32, i32) = match dir {
+                0 => (1, 0),
+                1 => (-1, 0),
+                2 => (0, 1),
+                _ => (0, -1),
+            };
+            let nx = state.ix as i32 + dx;
+            let ny = state.iy as i32 + dy;
+            if nx >= 0 && ny >= 0 && (nx as usize) < self.m && (ny as usize) < self.m {
+                state.ix = nx as u16;
+                state.iy = ny as u16;
+            }
+        }
+    }
+
+    fn position(&self, state: &GridPos) -> Point {
+        Point::new(state.ix as f64, state.iy as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stays_on_grid() {
+        let walk = GridWalk::new(5, 3).unwrap();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut s = walk.worst_initial();
+        for _ in 0..1000 {
+            walk.step_state(&mut s, &mut rng);
+            assert!((s.ix as usize) < 5 && (s.iy as usize) < 5);
+        }
+    }
+
+    #[test]
+    fn rho_bounds_round_displacement() {
+        let walk = GridWalk::new(20, 4).unwrap();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut s = walk.sample_initial(&mut rng);
+        for _ in 0..200 {
+            let before = walk.position(&s);
+            walk.step_state(&mut s, &mut rng);
+            let after = walk.position(&s);
+            // Manhattan displacement per round is at most rho.
+            let manhattan = (before.x - after.x).abs() + (before.y - after.y).abs();
+            assert!(manhattan <= 4.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn long_run_occupancy_covers_grid() {
+        let walk = GridWalk::new(4, 1).unwrap();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut s = walk.worst_initial();
+        let mut seen = [false; 16];
+        for _ in 0..5000 {
+            walk.step_state(&mut s, &mut rng);
+            seen[s.iy as usize * 4 + s.ix as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "walk failed to cover the grid");
+    }
+
+    #[test]
+    fn invalid_params() {
+        assert!(GridWalk::new(1, 1).is_err());
+        assert!(GridWalk::new(5, 0).is_err());
+    }
+}

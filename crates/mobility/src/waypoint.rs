@@ -1,0 +1,307 @@
+//! The random waypoint model (§4.1) and its Manhattan variant \[13\].
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::{MobilityError, MobilityModel, Point};
+
+/// State of a waypoint node: where it is, where it is heading, how fast.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WaypointState {
+    /// Current position.
+    pub pos: Point,
+    /// Current destination ("waypoint").
+    pub dest: Point,
+    /// Speed in distance units per round.
+    pub speed: f64,
+}
+
+/// The standard random waypoint model over a square of side `L`: each
+/// node repeatedly picks a uniform destination and a uniform speed in
+/// `[v_min, v_max]`, then travels in a straight line.
+///
+/// The stationary positional distribution is famously *non-uniform* —
+/// biased toward the center of the square (see [`waypoint_density`]); the
+/// paper's Corollary 4 absorbs this bias into the (δ, λ) constants. The
+/// mixing time is `Θ(L / v_max)` (with `v_max = O(v_min)`).
+///
+/// Initialization is uniform-position (not stationary); warm the process
+/// up for a few multiples of `L / v_max` rounds before measuring.
+///
+/// # Examples
+///
+/// ```
+/// use dg_mobility::{MobilityModel, RandomWaypoint};
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let wp = RandomWaypoint::new(100.0, 1.0, 2.0).unwrap();
+/// let mut rng = SmallRng::seed_from_u64(3);
+/// let mut s = wp.sample_initial(&mut rng);
+/// for _ in 0..1000 {
+///     wp.step_state(&mut s, &mut rng);
+///     let p = wp.position(&s);
+///     assert!(p.x >= 0.0 && p.x <= 100.0 && p.y >= 0.0 && p.y <= 100.0);
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomWaypoint {
+    side: f64,
+    vmin: f64,
+    vmax: f64,
+}
+
+impl RandomWaypoint {
+    /// Creates the model over `[0, side]²` with speeds uniform in
+    /// `[vmin, vmax]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MobilityError::ParameterOutOfRange`] unless
+    /// `0 < vmin <= vmax` and `side > 0`.
+    pub fn new(side: f64, vmin: f64, vmax: f64) -> Result<Self, MobilityError> {
+        if !side.is_finite() || side <= 0.0 {
+            return Err(MobilityError::ParameterOutOfRange {
+                name: "side",
+                value: side,
+            });
+        }
+        if !vmin.is_finite() || !vmax.is_finite() || vmin <= 0.0 || vmax < vmin {
+            return Err(MobilityError::ParameterOutOfRange {
+                name: "vmin/vmax",
+                value: vmin,
+            });
+        }
+        Ok(RandomWaypoint { side, vmin, vmax })
+    }
+
+    /// Maximum speed `v_max`.
+    pub fn vmax(&self) -> f64 {
+        self.vmax
+    }
+
+    /// Minimum speed `v_min`.
+    pub fn vmin(&self) -> f64 {
+        self.vmin
+    }
+
+    /// The `Θ(L / v_max)` mixing-time scale of the model \[1, 29\].
+    pub fn mixing_scale(&self) -> f64 {
+        self.side / self.vmax
+    }
+
+    fn sample_point(&self, rng: &mut SmallRng) -> Point {
+        Point::new(
+            rng.gen::<f64>() * self.side,
+            rng.gen::<f64>() * self.side,
+        )
+    }
+
+    fn sample_speed(&self, rng: &mut SmallRng) -> f64 {
+        if self.vmin == self.vmax {
+            self.vmin
+        } else {
+            rng.gen_range(self.vmin..self.vmax)
+        }
+    }
+}
+
+impl MobilityModel for RandomWaypoint {
+    type State = WaypointState;
+
+    fn side(&self) -> f64 {
+        self.side
+    }
+
+    fn sample_initial(&self, rng: &mut SmallRng) -> WaypointState {
+        WaypointState {
+            pos: self.sample_point(rng),
+            dest: self.sample_point(rng),
+            speed: self.sample_speed(rng),
+        }
+    }
+
+    fn worst_initial(&self) -> WaypointState {
+        // Parked in the corner, heading to the corner: the first step
+        // draws a fresh leg, so this is the most biased legal start.
+        WaypointState {
+            pos: Point::new(0.0, 0.0),
+            dest: Point::new(0.0, 0.0),
+            speed: self.vmin,
+        }
+    }
+
+    fn step_state(&self, state: &mut WaypointState, rng: &mut SmallRng) {
+        let (pos, arrived) = state.pos.advance_toward(state.dest, state.speed);
+        state.pos = pos;
+        if arrived {
+            state.dest = self.sample_point(rng);
+            state.speed = self.sample_speed(rng);
+        }
+    }
+
+    fn position(&self, state: &WaypointState) -> Point {
+        state.pos
+    }
+}
+
+/// The Manhattan-path waypoint variant analyzed in \[13\]: nodes choose a
+/// uniform destination but travel axis-aligned — first horizontally, then
+/// vertically.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ManhattanWaypoint {
+    inner: RandomWaypoint,
+}
+
+impl ManhattanWaypoint {
+    /// Creates the model (same parameters as [`RandomWaypoint::new`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RandomWaypoint::new`].
+    pub fn new(side: f64, vmin: f64, vmax: f64) -> Result<Self, MobilityError> {
+        Ok(ManhattanWaypoint {
+            inner: RandomWaypoint::new(side, vmin, vmax)?,
+        })
+    }
+}
+
+impl MobilityModel for ManhattanWaypoint {
+    type State = WaypointState;
+
+    fn side(&self) -> f64 {
+        self.inner.side
+    }
+
+    fn sample_initial(&self, rng: &mut SmallRng) -> WaypointState {
+        self.inner.sample_initial(rng)
+    }
+
+    fn worst_initial(&self) -> WaypointState {
+        self.inner.worst_initial()
+    }
+
+    fn step_state(&self, state: &mut WaypointState, rng: &mut SmallRng) {
+        // Leg 1: match x coordinate; leg 2: match y.
+        let intermediate = Point::new(state.dest.x, state.pos.y);
+        let target = if (state.pos.x - state.dest.x).abs() > 1e-12 {
+            intermediate
+        } else {
+            state.dest
+        };
+        let (pos, reached) = state.pos.advance_toward(target, state.speed);
+        state.pos = pos;
+        if reached && pos.distance(state.dest) < 1e-12 {
+            state.dest = self.inner.sample_point(rng);
+            state.speed = self.inner.sample_speed(rng);
+        }
+    }
+
+    fn position(&self, state: &WaypointState) -> Point {
+        state.pos
+    }
+}
+
+/// Bettstetter's product-form approximation of the stationary positional
+/// density of the random waypoint over a square of side `L`:
+/// `f(x, y) ≈ 36 · x(L−x) · y(L−y) / L⁶` — maximal at the center,
+/// vanishing at the border.
+///
+/// The exact density (Le Boudec \[25\], via Palm calculus) differs in the
+/// constants but shares the center bias; the approximation is all the
+/// (δ, λ) conditions of Corollary 4 need.
+///
+/// # Examples
+///
+/// ```
+/// use dg_mobility::waypoint_density;
+/// let center = waypoint_density(5.0, 5.0, 10.0);
+/// let corner = waypoint_density(0.5, 0.5, 10.0);
+/// assert!(center > 4.0 * corner);
+/// ```
+pub fn waypoint_density(x: f64, y: f64, side: f64) -> f64 {
+    assert!(side > 0.0, "side must be positive");
+    let x = x.clamp(0.0, side);
+    let y = y.clamp(0.0, side);
+    36.0 * x * (side - x) * y * (side - y) / side.powi(6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn params_validated() {
+        assert!(RandomWaypoint::new(0.0, 1.0, 1.0).is_err());
+        assert!(RandomWaypoint::new(10.0, 0.0, 1.0).is_err());
+        assert!(RandomWaypoint::new(10.0, 2.0, 1.0).is_err());
+        assert!(RandomWaypoint::new(10.0, 1.0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn moves_at_most_speed_per_round() {
+        let wp = RandomWaypoint::new(50.0, 1.0, 3.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut s = wp.sample_initial(&mut rng);
+        for _ in 0..500 {
+            let before = s.pos;
+            wp.step_state(&mut s, &mut rng);
+            assert!(before.distance(s.pos) <= 3.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn eventually_repicks_destination() {
+        let wp = RandomWaypoint::new(10.0, 5.0, 5.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(6);
+        let mut s = wp.sample_initial(&mut rng);
+        let first_dest = s.dest;
+        let mut changed = false;
+        for _ in 0..100 {
+            wp.step_state(&mut s, &mut rng);
+            if s.dest.distance(first_dest) > 1e-12 {
+                changed = true;
+                break;
+            }
+        }
+        assert!(changed, "destination never renewed");
+    }
+
+    #[test]
+    fn manhattan_moves_axis_aligned() {
+        let mw = ManhattanWaypoint::new(20.0, 1.0, 1.0).unwrap();
+        let mut rng = SmallRng::seed_from_u64(8);
+        let mut s = mw.sample_initial(&mut rng);
+        for _ in 0..300 {
+            let before = s.pos;
+            mw.step_state(&mut s, &mut rng);
+            let dx = (s.pos.x - before.x).abs();
+            let dy = (s.pos.y - before.y).abs();
+            // Every move is along one axis only (within a leg).
+            assert!(
+                dx < 1e-9 || dy < 1e-9,
+                "diagonal move: dx={dx} dy={dy}"
+            );
+        }
+    }
+
+    #[test]
+    fn density_properties() {
+        let l = 10.0;
+        // Integrates to ~1 by construction (product of 1-D densities).
+        let cells = 100;
+        let w = l / cells as f64;
+        let mut total = 0.0;
+        for i in 0..cells {
+            for j in 0..cells {
+                total += waypoint_density((i as f64 + 0.5) * w, (j as f64 + 0.5) * w, l) * w * w;
+            }
+        }
+        assert!((total - 1.0).abs() < 1e-3, "integral = {total}");
+        // Vanishes at the border, peaks at the center.
+        assert_eq!(waypoint_density(0.0, 5.0, l), 0.0);
+        let peak = waypoint_density(5.0, 5.0, l);
+        assert!(peak > waypoint_density(2.0, 5.0, l));
+        assert!((peak - 36.0 * 25.0 * 25.0 / l.powi(6) * 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests for the mobility crate: containment, path-family
+//! invariants, cell-list correctness against the naive pair scan.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use dg_mobility::{
+    CellList, GridWalk, ManhattanWaypoint, MobilityModel, PathFamily, Point, RandomDirection,
+    RandomWaypoint,
+};
+
+fn check_contained<M: MobilityModel>(model: &M, rounds: usize, seed: u64) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut s = model.sample_initial(&mut rng);
+    let side = model.side();
+    for _ in 0..rounds {
+        model.step_state(&mut s, &mut rng);
+        let p = model.position(&s);
+        assert!(
+            (0.0..=side + 1e-9).contains(&p.x) && (0.0..=side + 1e-9).contains(&p.y),
+            "escaped the square: {p:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn waypoint_stays_in_square(
+        side in 2.0f64..50.0,
+        vmin in 0.1f64..2.0,
+        extra in 0.0f64..2.0,
+        seed in any::<u64>(),
+    ) {
+        let wp = RandomWaypoint::new(side, vmin, vmin + extra).unwrap();
+        check_contained(&wp, 300, seed);
+    }
+
+    #[test]
+    fn manhattan_stays_in_square(side in 2.0f64..50.0, seed in any::<u64>()) {
+        let mw = ManhattanWaypoint::new(side, 1.0, 1.0).unwrap();
+        check_contained(&mw, 300, seed);
+    }
+
+    #[test]
+    fn direction_stays_in_square(
+        side in 2.0f64..50.0,
+        speed in 0.1f64..3.0,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(speed < side);
+        let rd = RandomDirection::new(side, speed, 2, 20).unwrap();
+        check_contained(&rd, 300, seed);
+    }
+
+    #[test]
+    fn walk_positions_are_grid_points(m in 2usize..20, rho in 1usize..4, seed in any::<u64>()) {
+        let walk = GridWalk::new(m, rho).unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut s = walk.sample_initial(&mut rng);
+        for _ in 0..100 {
+            walk.step_state(&mut s, &mut rng);
+            let p = walk.position(&s);
+            prop_assert_eq!(p.x.fract(), 0.0);
+            prop_assert_eq!(p.y.fract(), 0.0);
+            prop_assert!(p.x <= (m - 1) as f64 && p.y <= (m - 1) as f64);
+        }
+    }
+
+    #[test]
+    fn cell_list_matches_naive(
+        n in 1usize..120,
+        side in 2.0f64..30.0,
+        r_frac in 0.05f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let r = r_frac * side / 2.0;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let points: Vec<Point> = (0..n)
+            .map(|_| Point::new(rng.gen::<f64>() * side, rng.gen::<f64>() * side))
+            .collect();
+        let mut cells = CellList::new(side, r);
+        cells.rebuild(&points);
+        let mut got: Vec<(u32, u32)> = Vec::new();
+        cells.for_each_pair_within(&points, r, |i, j| got.push((i, j)));
+        got.sort_unstable();
+        got.dedup();
+        let mut want = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if points[i].distance(points[j]) <= r {
+                    want.push((i as u32, j as u32));
+                }
+            }
+        }
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn edges_family_always_valid(m in 2usize..7) {
+        let g = dg_graph::generators::grid(m, m);
+        let f = PathFamily::edges_family(&g).unwrap();
+        prop_assert!(f.is_simple());
+        prop_assert!(f.is_reversible());
+        prop_assert_eq!(f.path_count(), 2 * g.edge_count());
+        // Congestion equals degree for the edges family.
+        for u in g.nodes() {
+            prop_assert_eq!(f.congestion(u), g.degree(u));
+        }
+    }
+
+    #[test]
+    fn l_paths_invariants(rows in 2usize..6, cols in 2usize..6) {
+        let (graph, f) = PathFamily::grid_l_paths(rows, cols);
+        prop_assert!(f.is_simple());
+        prop_assert!(f.is_reversible());
+        prop_assert!(f.delta_regularity().unwrap() >= 1.0);
+        prop_assert!(f.delta_regularity().unwrap() < 4.0);
+        // Every path's hops are grid edges and its length is the Manhattan
+        // distance + 1 (shortest paths).
+        for i in 0..f.path_count() {
+            let p = f.path(i);
+            for w in p.windows(2) {
+                prop_assert!(graph.has_edge(w[0], w[1]));
+            }
+            let (a, b) = (p[0], *p.last().unwrap());
+            let (ar, ac) = ((a as usize) / cols, (a as usize) % cols);
+            let (br, bc) = ((b as usize) / cols, (b as usize) % cols);
+            let manhattan = ar.abs_diff(br) + ac.abs_diff(bc);
+            prop_assert_eq!(p.len(), manhattan + 1);
+        }
+    }
+}

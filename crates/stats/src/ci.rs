@@ -1,0 +1,89 @@
+//! Normal-approximation confidence intervals.
+
+use crate::Summary;
+
+/// A two-sided confidence interval around a sample mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ConfidenceInterval {
+    /// Point estimate (sample mean).
+    pub mean: f64,
+    /// Lower endpoint.
+    pub lo: f64,
+    /// Upper endpoint.
+    pub hi: f64,
+}
+
+impl ConfidenceInterval {
+    /// Half-width of the interval.
+    pub fn half_width(&self) -> f64 {
+        (self.hi - self.lo) / 2.0
+    }
+
+    /// `true` if `x` lies inside the interval (inclusive).
+    pub fn contains(&self, x: f64) -> bool {
+        self.lo <= x && x <= self.hi
+    }
+}
+
+/// 95% confidence interval for the mean, by the normal approximation
+/// (`mean ± 1.96 · stderr`).
+///
+/// Suitable for the trial counts used in the experiment harness (≥ 30).
+/// Returns `None` for fewer than two samples.
+///
+/// # Examples
+///
+/// ```
+/// use dg_stats::{mean_ci95, Summary};
+///
+/// let s: Summary = (0..100).map(|i| (i % 10) as f64).collect();
+/// let ci = mean_ci95(&s).unwrap();
+/// assert!(ci.contains(4.5));
+/// ```
+pub fn mean_ci95(summary: &Summary) -> Option<ConfidenceInterval> {
+    if summary.len() < 2 {
+        return None;
+    }
+    let half = 1.96 * summary.std_err();
+    let mean = summary.mean();
+    Some(ConfidenceInterval {
+        mean,
+        lo: mean - half,
+        hi: mean + half,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn needs_two_samples() {
+        let mut s = Summary::new();
+        assert!(mean_ci95(&s).is_none());
+        s.push(1.0);
+        assert!(mean_ci95(&s).is_none());
+        s.push(2.0);
+        assert!(mean_ci95(&s).is_some());
+    }
+
+    #[test]
+    fn zero_variance_collapses() {
+        let s: Summary = [5.0; 10].iter().copied().collect();
+        let ci = mean_ci95(&s).unwrap();
+        assert_eq!(ci.lo, 5.0);
+        assert_eq!(ci.hi, 5.0);
+        assert_eq!(ci.half_width(), 0.0);
+        assert!(ci.contains(5.0));
+        assert!(!ci.contains(5.1));
+    }
+
+    #[test]
+    fn symmetric_around_mean() {
+        let s: Summary = [1.0, 2.0, 3.0, 4.0, 5.0].iter().copied().collect();
+        let ci = mean_ci95(&s).unwrap();
+        assert!((ci.mean - 3.0).abs() < 1e-12);
+        assert!(((ci.hi - ci.mean) - (ci.mean - ci.lo)).abs() < 1e-12);
+    }
+}

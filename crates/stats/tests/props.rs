@@ -1,0 +1,126 @@
+//! Property tests for the statistics substrate.
+
+use proptest::prelude::*;
+
+use dg_stats::{log_log_fit, mean_ci95, Grid2d, Histogram, LinearFit, Quantiles, Summary};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn summary_merge_equals_sequential(
+        a in prop::collection::vec(-1e6f64..1e6, 0..60),
+        b in prop::collection::vec(-1e6f64..1e6, 0..60),
+    ) {
+        let mut merged: Summary = a.iter().copied().collect();
+        let right: Summary = b.iter().copied().collect();
+        merged.merge(&right);
+        let sequential: Summary = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(merged.len(), sequential.len());
+        if !a.is_empty() || !b.is_empty() {
+            prop_assert!((merged.mean() - sequential.mean()).abs() < 1e-6);
+            prop_assert_eq!(merged.min(), sequential.min());
+            prop_assert_eq!(merged.max(), sequential.max());
+        }
+        if merged.len() >= 2 {
+            prop_assert!(
+                (merged.sample_variance() - sequential.sample_variance()).abs()
+                    < 1e-4 * sequential.sample_variance().abs().max(1.0)
+            );
+        }
+    }
+
+    #[test]
+    fn summary_bounds_hold(data in prop::collection::vec(-1e3f64..1e3, 1..80)) {
+        let s: Summary = data.iter().copied().collect();
+        prop_assert!(s.min() <= s.mean() + 1e-9);
+        prop_assert!(s.mean() <= s.max() + 1e-9);
+        if data.len() >= 2 {
+            prop_assert!(s.sample_variance() >= -1e-12);
+            let ci = mean_ci95(&s).unwrap();
+            prop_assert!(ci.contains(s.mean()));
+            prop_assert!(ci.lo <= ci.hi);
+        }
+    }
+
+    #[test]
+    fn quantiles_monotone_and_bounded(data in prop::collection::vec(-1e3f64..1e3, 1..60)) {
+        let q = Quantiles::new(data);
+        let mut last = q.quantile(0.0);
+        prop_assert_eq!(last, q.min());
+        for i in 1..=10 {
+            let v = q.quantile(i as f64 / 10.0);
+            prop_assert!(v >= last - 1e-12);
+            last = v;
+        }
+        prop_assert_eq!(q.quantile(1.0), q.max());
+    }
+
+    #[test]
+    fn histogram_probabilities_normalized(
+        data in prop::collection::vec(0.0f64..10.0, 1..100),
+        bins in 1usize..20,
+    ) {
+        let mut h = Histogram::new(0.0, 10.0, bins);
+        for x in &data {
+            h.push(*x);
+        }
+        let sum: f64 = h.probabilities().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert_eq!(h.total() as usize, data.len());
+    }
+
+    #[test]
+    fn tv_distance_in_unit_interval(
+        a in prop::collection::vec(0.0f64..10.0, 1..60),
+        b in prop::collection::vec(0.0f64..10.0, 1..60),
+    ) {
+        let mut ha = Histogram::new(0.0, 10.0, 8);
+        let mut hb = Histogram::new(0.0, 10.0, 8);
+        for x in &a { ha.push(*x); }
+        for x in &b { hb.push(*x); }
+        let tv = ha.tv_distance(&hb);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&tv));
+        prop_assert!(ha.tv_distance(&ha) < 1e-15);
+    }
+
+    #[test]
+    fn grid2d_mass_conserved(
+        pts in prop::collection::vec((0.0f64..5.0, 0.0f64..5.0), 1..80),
+        cells in 1usize..10,
+    ) {
+        let mut g = Grid2d::new(5.0, cells);
+        for (x, y) in &pts {
+            g.push(*x, *y);
+        }
+        prop_assert_eq!(g.total() as usize, pts.len());
+        let sum: f64 = g.probabilities().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_fit_recovers_exact_lines(
+        slope in -10.0f64..10.0,
+        intercept in -10.0f64..10.0,
+        xs in prop::collection::vec(-100.0f64..100.0, 3..30),
+    ) {
+        // Need at least two distinct x values.
+        prop_assume!(xs.iter().any(|&x| (x - xs[0]).abs() > 1e-6));
+        let ys: Vec<f64> = xs.iter().map(|&x| slope * x + intercept).collect();
+        let fit = LinearFit::fit(&xs, &ys).unwrap();
+        prop_assert!((fit.slope - slope).abs() < 1e-6);
+        prop_assert!((fit.intercept - intercept).abs() < 1e-4);
+        prop_assert!(fit.r2 > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn log_log_fit_recovers_power_laws(
+        exponent in -2.0f64..2.0,
+        scale in 0.1f64..10.0,
+    ) {
+        let xs = [2.0, 4.0, 8.0, 16.0, 32.0];
+        let ys: Vec<f64> = xs.iter().map(|&x: &f64| scale * x.powf(exponent)).collect();
+        let fit = log_log_fit(&xs, &ys).unwrap();
+        prop_assert!((fit.slope - exponent).abs() < 1e-9);
+    }
+}

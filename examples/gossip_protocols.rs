@@ -1,0 +1,85 @@
+//! Randomized transmission protocols on a mobile network (§5).
+//!
+//! Instead of transmitting on every current link (flooding), each
+//! informed node transmits on a random subset: either every link
+//! independently with probability γ (modeled exactly as flooding on a
+//! thinned "virtual" dynamic graph, the reduction §5 describes), or to a
+//! bounded number k of random neighbours (push-k). This example measures
+//! the energy/latency trade-off on a waypoint MANET.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example gossip_protocols
+//! ```
+
+use dynspread::dg_mobility::{GeometricMeg, RandomWaypoint};
+use dynspread::dg_stats::Summary;
+use dynspread::dynagraph::flooding::flood;
+use dynspread::dynagraph::gossip::push_spread;
+use dynspread::dynagraph::{mix_seed, EvolvingGraph, ThinnedEvolvingGraph};
+
+fn make_manet(seed: u64) -> GeometricMeg<RandomWaypoint> {
+    let n = 100;
+    let side = 12.0;
+    GeometricMeg::new(
+        RandomWaypoint::new(side, 1.0, 1.0).expect("valid waypoint"),
+        n,
+        2.0,
+        seed,
+    )
+    .expect("valid network")
+}
+
+fn main() {
+    let trials = 20;
+    let warm = 100;
+
+    println!("waypoint MANET, n = 100, L = 12, r = 2 — protocol comparison over {trials} trials\n");
+    println!("{:<22} {:>12} {:>14}", "protocol", "mean rounds", "vs flooding");
+
+    let mut baseline = f64::NAN;
+    for gamma in [1.0, 0.5, 0.25, 0.1] {
+        let mut s = Summary::new();
+        for t in 0..trials {
+            let seed = mix_seed(0xD7, t);
+            let mut g = ThinnedEvolvingGraph::new(make_manet(seed), gamma, seed)
+                .expect("gamma in range");
+            g.warm_up(warm);
+            if let Some(f) = flood(&mut g, 0, 100_000).flooding_time() {
+                s.push(f as f64);
+            }
+        }
+        if gamma == 1.0 {
+            baseline = s.mean();
+        }
+        let label = if gamma == 1.0 {
+            "flooding (gamma=1)".to_string()
+        } else {
+            format!("thinned gamma={gamma}")
+        };
+        println!("{label:<22} {:>12.1} {:>13.2}x", s.mean(), s.mean() / baseline);
+    }
+
+    for k in [1usize, 2, 4] {
+        let mut s = Summary::new();
+        for t in 0..trials {
+            let seed = mix_seed(0xD8, t);
+            let mut g = make_manet(seed);
+            g.warm_up(warm);
+            if let Some(f) = push_spread(&mut g, 0, k, 100_000, seed).flooding_time() {
+                s.push(f as f64);
+            }
+        }
+        println!(
+            "{:<22} {:>12.1} {:>13.2}x",
+            format!("push-{k}"),
+            s.mean(),
+            s.mean() / baseline
+        );
+    }
+
+    println!(
+        "\ntakeaway: transmitting on a fraction of links costs only a bounded latency factor —\n\
+         the thinned process is itself a MEG with alpha scaled by gamma, so Theorem 1 applies to it"
+    );
+}

@@ -1,0 +1,39 @@
+//! # dynspread — information spreading in dynamic graphs
+//!
+//! Facade crate for the reproduction of **Clementi, Silvestri, Trevisan —
+//! "Information Spreading in Dynamic Graphs" (PODC 2012,
+//! arXiv:1111.0583)**: flooding-time analysis of Markovian evolving
+//! graphs, with every model family the paper instantiates.
+//!
+//! This crate re-exports the workspace libraries:
+//!
+//! * [`dynagraph`] — the core: dynamic graphs, flooding, `(M, α, β)`-
+//!   stationarity, node-MEGs, the paper's bounds;
+//! * [`dg_edge_meg`] — link-based models (Appendix A);
+//! * [`dg_mobility`] — geometric + graph mobility models (§4.1);
+//! * [`dg_graph`], [`dg_markov`], [`dg_stats`] — the substrates.
+//!
+//! See the `examples/` directory for runnable scenarios and
+//! `crates/experiments` for the harness that regenerates every
+//! table/series of `EXPERIMENTS.md`.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dynspread::dynagraph::{flooding, EvolvingGraph};
+//! use dynspread::dg_edge_meg::TwoStateEdgeMeg;
+//!
+//! let mut g = TwoStateEdgeMeg::stationary(64, 0.05, 0.2, 42)?;
+//! let run = flooding::flood(&mut g, 0, 10_000);
+//! println!("flooding time: {:?}", run.flooding_time());
+//! # Ok::<(), dynspread::dg_markov::MarkovError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use dg_edge_meg;
+pub use dg_graph;
+pub use dg_markov;
+pub use dg_mobility;
+pub use dg_stats;
+pub use dynagraph;

@@ -1,0 +1,135 @@
+//! Property-based integration tests: invariants that must hold for every
+//! model family, every seed, every parameterization.
+
+use proptest::prelude::*;
+
+use dynspread::dg_edge_meg::TwoStateEdgeMeg;
+use dynspread::dg_mobility::{GeometricMeg, GridWalk, RandomWaypoint};
+use dynspread::dynagraph::flooding::flood;
+use dynspread::dynagraph::{EvolvingGraph, RecordedEvolution, Snapshot};
+
+/// Snapshot structural invariants: CSR symmetry, sorted adjacency, degree
+/// sums, edge iterator consistency.
+fn check_snapshot(snap: &Snapshot) {
+    let n = snap.node_count();
+    let mut degree_sum = 0usize;
+    for u in 0..n as u32 {
+        let neigh = snap.neighbors(u);
+        degree_sum += neigh.len();
+        assert!(neigh.windows(2).all(|w| w[0] < w[1]), "sorted, no dups");
+        for &v in neigh {
+            assert!((v as usize) < n);
+            assert_ne!(v, u, "no self-loops");
+            assert!(snap.has_edge(v, u), "symmetry");
+        }
+    }
+    assert_eq!(degree_sum, 2 * snap.edge_count());
+    assert_eq!(snap.edges().count(), snap.edge_count());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn edge_meg_snapshots_well_formed(
+        n in 2usize..40,
+        p in 0.01f64..0.9,
+        q in 0.01f64..0.9,
+        seed in any::<u64>(),
+    ) {
+        let mut g = TwoStateEdgeMeg::stationary(n, p, q, seed).unwrap();
+        for _ in 0..5 {
+            check_snapshot(g.step());
+        }
+    }
+
+    #[test]
+    fn waypoint_snapshots_well_formed(
+        n in 2usize..32,
+        r in 0.5f64..4.0,
+        seed in any::<u64>(),
+    ) {
+        let model = RandomWaypoint::new(10.0, 0.5, 1.5).unwrap();
+        let mut g = GeometricMeg::new(model, n, r, seed).unwrap();
+        for _ in 0..5 {
+            check_snapshot(g.step());
+        }
+    }
+
+    #[test]
+    fn walk_snapshots_match_disk_graph(
+        n in 2usize..24,
+        seed in any::<u64>(),
+    ) {
+        let r = 1.5;
+        let mut g = GeometricMeg::new(GridWalk::new(8, 1).unwrap(), n, r, seed).unwrap();
+        for _ in 0..3 {
+            let snap = g.step().clone();
+            let pos = g.positions().to_vec();
+            for i in 0..n as u32 {
+                for j in (i + 1)..n as u32 {
+                    let within = pos[i as usize].distance(pos[j as usize]) <= r;
+                    prop_assert_eq!(snap.has_edge(i, j), within);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flooding_is_monotone_and_capped(
+        n in 2usize..48,
+        seed in any::<u64>(),
+        max_rounds in 1u32..60,
+    ) {
+        let mut g = TwoStateEdgeMeg::stationary(n, 0.1, 0.3, seed).unwrap();
+        let run = flood(&mut g, 0, max_rounds);
+        // Monotone sizes, bounded by n, at most max_rounds + 1 entries.
+        prop_assert!(run.sizes().windows(2).all(|w| w[0] <= w[1]));
+        prop_assert!(run.sizes().len() <= max_rounds as usize + 1);
+        prop_assert!(*run.sizes().last().unwrap() as usize <= n);
+        if let Some(t) = run.flooding_time() {
+            prop_assert!(t <= max_rounds);
+            prop_assert_eq!(*run.sizes().last().unwrap() as usize, n);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_run(seed in any::<u64>()) {
+        let n = 32;
+        let mut a = TwoStateEdgeMeg::stationary(n, 0.05, 0.2, seed).unwrap();
+        let mut b = TwoStateEdgeMeg::stationary(n, 0.05, 0.2, seed).unwrap();
+        prop_assert_eq!(flood(&mut a, 0, 5_000), flood(&mut b, 0, 5_000));
+    }
+
+    #[test]
+    fn recorded_replay_matches_sources(seed in any::<u64>()) {
+        // F(G, s) from the recording never exceeds F(G) = max_s F(G, s).
+        let n = 24;
+        let mut g = TwoStateEdgeMeg::stationary(n, 0.15, 0.3, seed).unwrap();
+        let rec = RecordedEvolution::record(&mut g, 200);
+        if let Some(worst) = rec.flooding_time_all_sources() {
+            for s in 0..n as u32 {
+                let t = rec.flood_from(s).flooding_time().unwrap();
+                prop_assert!(t <= worst);
+            }
+        }
+    }
+
+    #[test]
+    fn flooding_time_weakly_decreasing_in_density(seed in 0u64..200) {
+        // More edges cannot slow flooding down (on the same seed the
+        // processes differ, so compare means over a few seeds instead).
+        let n = 48;
+        let mean = |p: f64| -> f64 {
+            let mut total = 0.0;
+            for t in 0..4u64 {
+                let mut g = TwoStateEdgeMeg::stationary(n, p, 0.3, seed * 31 + t).unwrap();
+                total += flood(&mut g, 0, 100_000).flooding_time().unwrap() as f64;
+            }
+            total / 4.0
+        };
+        let sparse = mean(0.02);
+        let dense = mean(0.3);
+        prop_assert!(dense <= sparse + 2.0, "dense {dense} vs sparse {sparse}");
+    }
+}

@@ -1,0 +1,127 @@
+//! Integration: measured flooding times stay below the paper's bounds
+//! (with leading constants set to 1 the bounds are loose, so these are
+//! strict inequalities with comfortable margins, checked at p95).
+
+use dynspread::dg_edge_meg::{bursty_chain, HiddenChainEdgeMeg, SparseTwoStateEdgeMeg};
+use dynspread::dg_mobility::{GeometricMeg, PathFamily, RandomPathModel, RandomWaypoint};
+use dynspread::dynagraph::flooding::{run_trials, TrialConfig};
+use dynspread::dynagraph::node_meg::{FiniteNodeChain, MatrixConnection, NodeMeg, NodeMegAnalysis};
+use dynspread::dynagraph::theory;
+
+fn trials() -> TrialConfig {
+    TrialConfig {
+        trials: 10,
+        max_rounds: 500_000,
+        ..TrialConfig::default()
+    }
+}
+
+#[test]
+fn edge_meg_below_general_bound() {
+    let n = 128;
+    let p = 1.0 / n as f64;
+    let q = 0.6;
+    let res = run_trials(
+        |seed| SparseTwoStateEdgeMeg::stationary(n, p, q, seed).unwrap(),
+        &trials(),
+    );
+    let bound = theory::edge_meg_general_bound(n, p, q);
+    assert_eq!(res.incomplete(), 0);
+    assert!(res.p95().unwrap() < bound, "p95 {} vs bound {bound}", res.p95().unwrap());
+}
+
+#[test]
+fn hidden_chain_below_theorem1_bound() {
+    let n = 64;
+    let (chain, chi) = bursty_chain(0.02, 0.3, 0.3);
+    let probe = HiddenChainEdgeMeg::stationary(n, chain.clone(), chi.clone(), 0).unwrap();
+    let bound = probe.flooding_bound(0.25).unwrap();
+    let res = run_trials(
+        |seed| HiddenChainEdgeMeg::stationary(n, chain.clone(), chi.clone(), seed).unwrap(),
+        &trials(),
+    );
+    assert_eq!(res.incomplete(), 0);
+    assert!(res.p95().unwrap() < bound, "p95 {} vs bound {bound}", res.p95().unwrap());
+}
+
+#[test]
+fn node_meg_below_theorem3_bound() {
+    // Lazy walk on a cycle of points, same-point connection.
+    let k = 12;
+    let n = 48;
+    let mut rows = vec![vec![0.0; k]; k];
+    for (i, row) in rows.iter_mut().enumerate() {
+        row[i] = 0.5;
+        row[(i + 1) % k] += 0.25;
+        row[(i + k - 1) % k] += 0.25;
+    }
+    let chain = dynspread::dg_markov::DenseChain::from_rows(rows).unwrap();
+    let conn = MatrixConnection::same_state(k);
+    let analysis = NodeMegAnalysis::compute(&chain, &conn).unwrap();
+    let tmix = chain.mixing_time(0.25, 1 << 22).unwrap();
+    let bound = analysis.theorem3_bound(tmix as f64, n);
+    let res = run_trials(
+        |seed| {
+            NodeMeg::new(
+                FiniteNodeChain::stationary_start(chain.clone()).unwrap(),
+                MatrixConnection::same_state(k),
+                n,
+                seed,
+            )
+            .unwrap()
+        },
+        &trials(),
+    );
+    assert_eq!(res.incomplete(), 0);
+    assert!(res.p95().unwrap() < bound, "p95 {} vs bound {bound}", res.p95().unwrap());
+}
+
+#[test]
+fn sparse_waypoint_between_lower_and_upper() {
+    let n = 144;
+    let side = 12.0;
+    let v = 1.0;
+    let res = run_trials(
+        |seed| {
+            GeometricMeg::new(RandomWaypoint::new(side, v, v).unwrap(), n, 1.0, seed).unwrap()
+        },
+        &TrialConfig {
+            trials: 10,
+            max_rounds: 200_000,
+            warm_up: 100,
+            ..TrialConfig::default()
+        },
+    );
+    assert_eq!(res.incomplete(), 0);
+    let mean = res.mean();
+    let lower = theory::waypoint_sparse_lower_bound(n, v);
+    let upper = theory::waypoint_sparse_bound(n, v);
+    // Mean must land between half the trivial lower bound and the upper
+    // bound (information must cross the square; the paper's bound caps it).
+    assert!(mean > lower / 2.0, "mean {mean} vs lower {lower}");
+    assert!(mean < upper, "mean {mean} vs upper {upper}");
+}
+
+#[test]
+fn l_paths_below_corollary5_bound() {
+    let m = 4;
+    let (_, family) = PathFamily::grid_l_paths(m, m);
+    let delta = family.delta_regularity().unwrap();
+    let points = family.point_count();
+    let n = 4 * points;
+    let d = 2 * (m - 1);
+    let bound = theory::corollary5_bound(d as f64, points, delta, n);
+    let res = run_trials(
+        |seed| {
+            let (_, family) = PathFamily::grid_l_paths(m, m);
+            RandomPathModel::stationary_lazy(family, n, 0.25, seed).unwrap()
+        },
+        &trials(),
+    );
+    assert_eq!(res.incomplete(), 0);
+    assert!(res.p95().unwrap() < bound);
+    // And flooding cannot beat the diameter lower bound by much: a node at
+    // graph distance D must wait at least D/2 rounds even with co-location
+    // shortcuts (paths move one hop per round).
+    assert!(res.mean() >= 2.0);
+}
