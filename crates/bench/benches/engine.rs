@@ -1,23 +1,19 @@
-//! Engine micro-benchmarks: snapshot construction, flooding sweeps, and
-//! the cell-list vs naive pair-scan ablation called out in DESIGN.md.
+//! Engine micro-benchmarks: snapshot construction, builder-driven
+//! flooding, parallel-vs-serial trial execution, and the cell-list vs
+//! naive pair-scan ablation.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use dg_bench::SeedTape;
+use dg_bench::{Harness, SeedTape};
 use dg_mobility::{CellList, Point};
-use dynagraph::flooding::flood;
+use dynagraph::engine::Simulation;
 use dynagraph::{EvolvingGraph, Snapshot, StaticEvolvingGraph};
 
-fn bench_snapshot_rebuild(c: &mut Criterion) {
-    let mut group = c.benchmark_group("engine/snapshot_rebuild");
-    group
-        .sample_size(20)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(2));
+fn main() {
+    let h = Harness::from_args();
+    let tape = SeedTape::new();
+
     for &m in &[1_000usize, 10_000, 100_000] {
         let n = 2 * (m as f64).sqrt() as usize + 10;
         let mut rng = SmallRng::seed_from_u64(1);
@@ -31,40 +27,43 @@ fn bench_snapshot_rebuild(c: &mut Criterion) {
                 (u.min(v), u.max(v))
             })
             .collect();
-        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
-            let mut snap = Snapshot::empty(n);
-            b.iter(|| {
-                snap.rebuild_from_edges(&edges);
-                snap.edge_count()
-            });
+        let mut snap = Snapshot::empty(n);
+        h.bench(&format!("engine/snapshot_rebuild/{m}"), || {
+            snap.rebuild_from_edges(&edges);
+            snap.edge_count()
         });
     }
-    group.finish();
-}
 
-fn bench_flood_static(c: &mut Criterion) {
-    let mut group = c.benchmark_group("engine/flood_static_grid");
-    group
-        .sample_size(20)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(2));
     for &side in &[16usize, 32, 64] {
         let graph = dg_graph::generators::grid(side, side);
-        group.bench_with_input(BenchmarkId::from_parameter(side * side), &side, |b, _| {
-            let mut g = StaticEvolvingGraph::new(graph.clone());
-            b.iter(|| flood(&mut g, 0, 100_000).flooding_time());
+        h.bench(&format!("engine/flood_static_grid/{}", side * side), || {
+            Simulation::builder()
+                .model(|_| StaticEvolvingGraph::new(graph.clone()))
+                .trials(1)
+                .max_rounds(100_000)
+                .run()
+                .mean()
         });
     }
-    group.finish();
-}
 
-fn bench_cell_list_vs_naive(c: &mut Criterion) {
-    let mut group = c.benchmark_group("engine/pairs_within_radius");
-    group
-        .sample_size(20)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(2));
-    let tape = SeedTape::new();
+    // Parallel-vs-serial engine on a trial batch large enough to matter.
+    let n = 192;
+    let p = 1.5 / n as f64;
+    for (label, parallel) in [("serial", false), ("parallel", true)] {
+        h.bench(&format!("engine/trial_batch_16/{label}"), || {
+            Simulation::builder()
+                .model(move |seed| {
+                    dg_edge_meg::SparseTwoStateEdgeMeg::stationary(n, p, 0.4, seed).unwrap()
+                })
+                .trials(16)
+                .max_rounds(500_000)
+                .base_seed(tape.next_seed())
+                .parallel(parallel)
+                .run()
+                .mean()
+        });
+    }
+
     for &n in &[256usize, 1024, 4096] {
         let side = (n as f64).sqrt();
         let r = 1.0;
@@ -72,61 +71,38 @@ fn bench_cell_list_vs_naive(c: &mut Criterion) {
         let points: Vec<Point> = (0..n)
             .map(|_| Point::new(rng.gen::<f64>() * side, rng.gen::<f64>() * side))
             .collect();
-        group.bench_with_input(BenchmarkId::new("cell_list", n), &n, |b, _| {
-            let mut cells = CellList::new(side, r);
-            b.iter(|| {
-                cells.rebuild(&points);
-                let mut count = 0u32;
-                cells.for_each_pair_within(&points, r, |_, _| count += 1);
-                count
-            });
+        let mut cells = CellList::new(side, r);
+        h.bench(&format!("engine/pairs_within_radius/cell_list/{n}"), || {
+            cells.rebuild(&points);
+            let mut count = 0u32;
+            cells.for_each_pair_within(&points, r, |_, _| count += 1);
+            count
         });
-        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
-            b.iter(|| {
-                let mut count = 0u32;
-                for i in 0..n {
-                    for j in (i + 1)..n {
-                        if points[i].distance_sq(points[j]) <= r * r {
-                            count += 1;
-                        }
+        h.bench(&format!("engine/pairs_within_radius/naive/{n}"), || {
+            let mut count = 0u32;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if points[i].distance_sq(points[j]) <= r * r {
+                        count += 1;
                     }
                 }
-                count
-            });
+            }
+            count
         });
     }
-    group.finish();
-}
 
-fn bench_edge_meg_step(c: &mut Criterion) {
-    let mut group = c.benchmark_group("engine/edge_meg_step");
-    group
-        .sample_size(20)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(2));
-    let tape = SeedTape::new();
     for &n in &[256usize, 1024] {
         let p = 2.0 / n as f64;
-        group.bench_with_input(BenchmarkId::new("dense", n), &n, |b, _| {
-            let mut g =
-                dg_edge_meg::TwoStateEdgeMeg::stationary(n, p, 0.3, tape.next_seed()).unwrap();
-            b.iter(|| g.step().edge_count());
+        let mut dense =
+            dg_edge_meg::TwoStateEdgeMeg::stationary(n, p, 0.3, tape.next_seed()).unwrap();
+        h.bench(&format!("engine/edge_meg_step/dense/{n}"), || {
+            dense.step().edge_count()
         });
-        group.bench_with_input(BenchmarkId::new("sparse_event_driven", n), &n, |b, _| {
-            let mut g =
-                dg_edge_meg::SparseTwoStateEdgeMeg::stationary(n, p, 0.3, tape.next_seed())
-                    .unwrap();
-            b.iter(|| g.step().edge_count());
-        });
+        let mut sparse =
+            dg_edge_meg::SparseTwoStateEdgeMeg::stationary(n, p, 0.3, tape.next_seed()).unwrap();
+        h.bench(
+            &format!("engine/edge_meg_step/sparse_event_driven/{n}"),
+            || sparse.step().edge_count(),
+        );
     }
-    group.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_snapshot_rebuild,
-    bench_flood_static,
-    bench_cell_list_vs_naive,
-    bench_edge_meg_step
-);
-criterion_main!(benches);

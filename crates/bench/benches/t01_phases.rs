@@ -1,32 +1,25 @@
-//! T1 bench: one full flooding run on the sparse stationary edge-MEG used
-//! for the phase-structure experiment (Lemmas 13–14).
+//! T1 bench: a small engine batch on the sparse stationary edge-MEG used
+//! for the phase-structure experiment (Lemmas 13–14), with the streaming
+//! phase observer attached.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, Criterion};
-
-use dg_bench::SeedTape;
+use dg_bench::{Harness, SeedTape};
 use dg_edge_meg::SparseTwoStateEdgeMeg;
-use dynagraph::flooding::flood;
+use dynagraph::engine::{PhaseObserver, Simulation};
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("t01_phases");
-    group
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(3));
+fn main() {
+    let h = Harness::from_args();
     let tape = SeedTape::new();
     let n = 500;
     let p = 1.5 / n as f64;
-    group.bench_function("flood_sparse_edge_meg_n500", |b| {
-        b.iter(|| {
-            let mut g =
-                SparseTwoStateEdgeMeg::stationary(n, p, 0.2, tape.next_seed()).unwrap();
-            flood(&mut g, 0, 200_000).flooding_time()
-        });
+    h.bench("t01_phases/flood_sparse_edge_meg_n500", || {
+        Simulation::builder()
+            .model(|seed| SparseTwoStateEdgeMeg::stationary(n, p, 0.2, seed).unwrap())
+            .trials(2)
+            .max_rounds(200_000)
+            .base_seed(tape.next_seed())
+            .observers(|_| PhaseObserver::new())
+            .run_observed()
+            .0
+            .mean()
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

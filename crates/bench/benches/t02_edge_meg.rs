@@ -1,34 +1,24 @@
 //! T2 bench: the n-sweep series of the two-state edge-MEG experiment
 //! (`p = 0.5/n`, `q = 0.9`, the regime where the general bound is almost
-//! tight).
+//! tight), driven through the engine.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
-use dg_bench::SeedTape;
+use dg_bench::{Harness, SeedTape};
 use dg_edge_meg::SparseTwoStateEdgeMeg;
-use dynagraph::flooding::flood;
+use dynagraph::engine::Simulation;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("t02_edge_meg");
-    group
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(3));
+fn main() {
+    let h = Harness::from_args();
     let tape = SeedTape::new();
     for &n in &[64usize, 128, 256] {
         let p = 0.5 / n as f64;
-        group.bench_with_input(BenchmarkId::new("flood", n), &n, |b, &n| {
-            b.iter(|| {
-                let mut g =
-                    SparseTwoStateEdgeMeg::stationary(n, p, 0.9, tape.next_seed()).unwrap();
-                flood(&mut g, 0, 500_000).flooding_time()
-            });
+        h.bench(&format!("t02_edge_meg/flood/{n}"), || {
+            Simulation::builder()
+                .model(move |seed| SparseTwoStateEdgeMeg::stationary(n, p, 0.9, seed).unwrap())
+                .trials(2)
+                .max_rounds(500_000)
+                .base_seed(tape.next_seed())
+                .run()
+                .mean()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,43 +1,28 @@
 //! T3 bench: flooding on the generalized (bursty hidden-chain) edge-MEG
-//! at two chain speeds — the Tmix-tracking series.
+//! at two chain speeds — the Tmix-tracking series — through the engine.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
-use dg_bench::SeedTape;
+use dg_bench::{Harness, SeedTape};
 use dg_edge_meg::{bursty_chain, HiddenChainEdgeMeg};
-use dynagraph::flooding::flood;
+use dynagraph::engine::Simulation;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("t03_hidden_edge");
-    group
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(3));
+fn main() {
+    let h = Harness::from_args();
     let tape = SeedTape::new();
     let n = 64;
     for &slow in &[1.0f64, 4.0] {
         let (chain, chi) = bursty_chain(0.02 / slow, 0.4 / slow, 0.4 / slow);
-        group.bench_with_input(
-            BenchmarkId::new("flood_slowdown", slow as u64),
-            &slow,
-            |b, _| {
-                b.iter(|| {
-                    let mut g = HiddenChainEdgeMeg::stationary(
-                        n,
-                        chain.clone(),
-                        chi.clone(),
-                        tape.next_seed(),
-                    )
-                    .unwrap();
-                    flood(&mut g, 0, 500_000).flooding_time()
-                });
-            },
-        );
+        h.bench(&format!("t03_hidden_edge/flood_slowdown/{slow}"), || {
+            let chain = chain.clone();
+            let chi = chi.clone();
+            Simulation::builder()
+                .model(move |seed| {
+                    HiddenChainEdgeMeg::stationary(n, chain.clone(), chi.clone(), seed).unwrap()
+                })
+                .trials(2)
+                .max_rounds(500_000)
+                .base_seed(tape.next_seed())
+                .run()
+                .mean()
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

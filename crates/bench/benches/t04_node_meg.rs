@@ -1,13 +1,10 @@
-//! T4 bench: flooding on the finite node-MEG (lazy walk on a k-cycle of
-//! points, same-point connection) plus the exact analysis itself.
+//! T4 bench: engine flooding on the finite node-MEG (lazy walk on a
+//! k-cycle of points, same-point connection) plus the exact analysis
+//! itself.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
-use dg_bench::SeedTape;
+use dg_bench::{Harness, SeedTape};
 use dg_markov::DenseChain;
-use dynagraph::flooding::flood;
+use dynagraph::engine::Simulation;
 use dynagraph::node_meg::{FiniteNodeChain, MatrixConnection, NodeMeg, NodeMegAnalysis};
 
 fn lazy_cycle_chain(k: usize) -> DenseChain {
@@ -20,35 +17,32 @@ fn lazy_cycle_chain(k: usize) -> DenseChain {
     DenseChain::from_rows(rows).unwrap()
 }
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("t04_node_meg");
-    group
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(3));
+fn main() {
+    let h = Harness::from_args();
     let tape = SeedTape::new();
     let n = 48;
     for &k in &[8usize, 16] {
-        group.bench_with_input(BenchmarkId::new("flood", k), &k, |b, &k| {
-            b.iter(|| {
-                let mut meg = NodeMeg::new(
-                    FiniteNodeChain::stationary_start(lazy_cycle_chain(k)).unwrap(),
-                    MatrixConnection::same_state(k),
-                    n,
-                    tape.next_seed(),
-                )
-                .unwrap();
-                flood(&mut meg, 0, 200_000).flooding_time()
-            });
+        h.bench(&format!("t04_node_meg/flood/{k}"), || {
+            Simulation::builder()
+                .model(move |seed| {
+                    NodeMeg::new(
+                        FiniteNodeChain::stationary_start(lazy_cycle_chain(k)).unwrap(),
+                        MatrixConnection::same_state(k),
+                        n,
+                        seed,
+                    )
+                    .unwrap()
+                })
+                .trials(2)
+                .max_rounds(200_000)
+                .base_seed(tape.next_seed())
+                .run()
+                .mean()
         });
-        group.bench_with_input(BenchmarkId::new("exact_analysis", k), &k, |b, &k| {
-            let chain = lazy_cycle_chain(k);
-            let conn = MatrixConnection::same_state(k);
-            b.iter(|| NodeMegAnalysis::compute(&chain, &conn).unwrap().eta);
+        let chain = lazy_cycle_chain(k);
+        let conn = MatrixConnection::same_state(k);
+        h.bench(&format!("t04_node_meg/exact_analysis/{k}"), || {
+            NodeMegAnalysis::compute(&chain, &conn).unwrap().eta
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

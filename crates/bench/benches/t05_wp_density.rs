@@ -1,28 +1,17 @@
 //! T5 bench: estimating the waypoint positional occupancy and its
 //! (δ, λ) constants.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, Criterion};
-
+use dg_bench::Harness;
 use dg_mobility::{positional, RandomWaypoint};
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("t05_wp_density");
-    group
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(3));
+fn main() {
+    let h = Harness::from_args();
     let wp = RandomWaypoint::new(16.0, 1.0, 1.0).unwrap();
-    group.bench_function("stationary_occupancy_40k", |b| {
-        b.iter(|| positional::stationary_occupancy(&wp, 8, 500, 40_000, 0x5));
+    h.bench("t05_wp_density/stationary_occupancy_40k", || {
+        positional::stationary_occupancy(&wp, 8, 500, 40_000, 0x5)
     });
     let occ = positional::stationary_occupancy(&wp, 8, 500, 40_000, 0x5);
-    group.bench_function("delta_lambda_extraction", |b| {
-        b.iter(|| positional::estimate_delta_lambda(&occ, 16.0, 1.0));
+    h.bench("t05_wp_density/delta_lambda_extraction", || {
+        positional::estimate_delta_lambda(&occ, 16.0, 1.0)
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,42 +1,25 @@
 //! T6 bench: the positional mixing-time measurement of the waypoint
 //! model (worst-case-start ensemble TV convergence).
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use dg_bench::Harness;
 use dg_mobility::{positional, RandomWaypoint};
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("t06_wp_mixing");
-    group
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(4));
+fn main() {
+    let h = Harness::from_args();
     for &side in &[8.0f64, 16.0] {
         let wp = RandomWaypoint::new(side, 1.0, 1.0).unwrap();
         let reference =
             positional::stationary_occupancy(&wp, 4, (8.0 * side) as usize, 60_000, 0x60);
-        group.bench_with_input(
-            BenchmarkId::new("positional_mixing", side as u64),
-            &side,
-            |b, &side| {
-                b.iter(|| {
-                    positional::positional_mixing_time(
-                        &wp,
-                        &reference,
-                        0.05,
-                        1_000,
-                        (side / 4.0).ceil() as usize,
-                        (400.0 * side) as usize,
-                        0x61,
-                    )
-                });
-            },
-        );
+        h.bench(&format!("t06_wp_mixing/positional_mixing/{side}"), || {
+            positional::positional_mixing_time(
+                &wp,
+                &reference,
+                0.05,
+                1_000,
+                (side / 4.0).ceil() as usize,
+                (400.0 * side) as usize,
+                0x61,
+            )
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,40 +1,27 @@
 //! T7 bench: the headline sparse-waypoint flooding series
-//! (`L = √n`, `r = v = 1`).
+//! (`L = √n`, `r = v = 1`), driven through the engine with warm-up.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
-use dg_bench::SeedTape;
+use dg_bench::{Harness, SeedTape};
 use dg_mobility::{GeometricMeg, RandomWaypoint};
-use dynagraph::flooding::flood;
-use dynagraph::EvolvingGraph;
+use dynagraph::engine::Simulation;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("t07_wp_flooding");
-    group
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(4));
+fn main() {
+    let h = Harness::from_args();
     let tape = SeedTape::new();
     for &n in &[64usize, 144, 256] {
         let side = (n as f64).sqrt();
-        group.bench_with_input(BenchmarkId::new("flood_sparse", n), &n, |b, &n| {
-            b.iter(|| {
-                let mut g = GeometricMeg::new(
-                    RandomWaypoint::new(side, 1.0, 1.0).unwrap(),
-                    n,
-                    1.0,
-                    tape.next_seed(),
-                )
-                .unwrap();
-                g.warm_up((8.0 * side) as usize);
-                flood(&mut g, 0, 200_000).flooding_time()
-            });
+        h.bench(&format!("t07_wp_flooding/flood_sparse/{n}"), || {
+            Simulation::builder()
+                .model(move |seed| {
+                    GeometricMeg::new(RandomWaypoint::new(side, 1.0, 1.0).unwrap(), n, 1.0, seed)
+                        .unwrap()
+                })
+                .trials(2)
+                .max_rounds(200_000)
+                .warm_up((8.0 * side) as usize)
+                .base_seed(tape.next_seed())
+                .run()
+                .mean()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,38 +1,25 @@
-//! T8 bench: the random walk model on a grid — flooding at two densities
-//! and two radii.
+//! T8 bench: the random walk model on a grid — engine flooding at two
+//! densities and two radii.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
-use dg_bench::SeedTape;
+use dg_bench::{Harness, SeedTape};
 use dg_mobility::{GeometricMeg, GridWalk};
-use dynagraph::flooding::flood;
+use dynagraph::engine::Simulation;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("t08_walk_grid");
-    group
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(4));
+fn main() {
+    let h = Harness::from_args();
     let tape = SeedTape::new();
     let m = 16;
     for &(n, r) in &[(32usize, 1.0f64), (64, 1.0), (64, 2.0)] {
-        group.bench_with_input(
-            BenchmarkId::new("flood", format!("n{n}_r{r}")),
-            &n,
-            |b, &n| {
-                b.iter(|| {
-                    let mut g =
-                        GeometricMeg::new(GridWalk::new(m, 1).unwrap(), n, r, tape.next_seed())
-                            .unwrap();
-                    flood(&mut g, 0, 500_000).flooding_time()
-                });
-            },
-        );
+        h.bench(&format!("t08_walk_grid/flood/n{n}_r{r}"), || {
+            Simulation::builder()
+                .model(move |seed| {
+                    GeometricMeg::new(GridWalk::new(m, 1).unwrap(), n, r, seed).unwrap()
+                })
+                .trials(2)
+                .max_rounds(500_000)
+                .base_seed(tape.next_seed())
+                .run()
+                .mean()
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,45 +1,31 @@
 //! T9 bench: random L-paths on grids (Corollary 5) — family construction
-//! and flooding.
+//! and engine flooding.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
-use dg_bench::SeedTape;
+use dg_bench::{Harness, SeedTape};
 use dg_mobility::{PathFamily, RandomPathModel};
-use dynagraph::flooding::flood;
+use dynagraph::engine::Simulation;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("t09_rand_paths");
-    group
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(3));
+fn main() {
+    let h = Harness::from_args();
     let tape = SeedTape::new();
     for &m in &[4usize, 6] {
-        group.bench_with_input(BenchmarkId::new("build_family", m), &m, |b, &m| {
-            b.iter(|| {
-                let (_, family) = PathFamily::grid_l_paths(m, m);
-                family.delta_regularity()
-            });
-        });
-        group.bench_with_input(BenchmarkId::new("flood", m), &m, |b, &m| {
+        h.bench(&format!("t09_rand_paths/build_family/{m}"), || {
             let (_, family) = PathFamily::grid_l_paths(m, m);
-            let n = 4 * family.point_count();
-            b.iter(|| {
-                let mut model = RandomPathModel::stationary_lazy(
-                    family.clone(),
-                    n,
-                    0.25,
-                    tape.next_seed(),
-                )
-                .unwrap();
-                flood(&mut model, 0, 500_000).flooding_time()
-            });
+            family.delta_regularity()
+        });
+        let (_, family) = PathFamily::grid_l_paths(m, m);
+        let n = 4 * family.point_count();
+        h.bench(&format!("t09_rand_paths/flood/{m}"), || {
+            let family = family.clone();
+            Simulation::builder()
+                .model(move |seed| {
+                    RandomPathModel::stationary_lazy(family.clone(), n, 0.25, seed).unwrap()
+                })
+                .trials(2)
+                .max_rounds(500_000)
+                .base_seed(tape.next_seed())
+                .run()
+                .mean()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,43 +1,35 @@
-//! T10 bench: random walk flooding on k-augmented grids (Corollary 6)
-//! plus the exact mixing-time computation that carries the k² separation.
+//! T10 bench: engine flooding on k-augmented grids (Corollary 6) plus
+//! the exact mixing-time computation that carries the k² separation.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
-use dg_bench::SeedTape;
+use dg_bench::{Harness, SeedTape};
 use dg_graph::generators;
 use dg_markov::random_walk_chain;
 use dg_mobility::{PathFamily, RandomPathModel};
-use dynagraph::flooding::flood;
+use dynagraph::engine::Simulation;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("t10_k_augmented");
-    group
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(3));
+fn main() {
+    let h = Harness::from_args();
     let tape = SeedTape::new();
     let m = 8;
     let n = m * m;
     for &k in &[1usize, 2, 4] {
-        group.bench_with_input(BenchmarkId::new("flood", k), &k, |b, &k| {
-            b.iter(|| {
-                let h = generators::k_augmented_grid(m, m, k);
-                let family = PathFamily::edges_family(&h).unwrap();
-                let mut model =
-                    RandomPathModel::stationary_lazy(family, n, 0.25, tape.next_seed()).unwrap();
-                flood(&mut model, 0, 500_000).flooding_time()
-            });
+        h.bench(&format!("t10_k_augmented/flood/{k}"), || {
+            Simulation::builder()
+                .model(move |seed| {
+                    let graph = generators::k_augmented_grid(m, m, k);
+                    let family = PathFamily::edges_family(&graph).unwrap();
+                    RandomPathModel::stationary_lazy(family, n, 0.25, seed).unwrap()
+                })
+                .trials(2)
+                .max_rounds(500_000)
+                .base_seed(tape.next_seed())
+                .run()
+                .mean()
         });
-        group.bench_with_input(BenchmarkId::new("exact_mixing_time", k), &k, |b, &k| {
-            let h = generators::k_augmented_grid(m, m, k);
-            let chain = random_walk_chain(&h, 0.25).unwrap();
-            b.iter(|| chain.mixing_time(0.25, 1 << 24).unwrap());
+        let graph = generators::k_augmented_grid(m, m, k);
+        let chain = random_walk_chain(&graph, 0.25).unwrap();
+        h.bench(&format!("t10_k_augmented/exact_mixing_time/{k}"), || {
+            chain.mixing_time(0.25, 1 << 24).unwrap()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,18 +1,11 @@
 //! T11 bench: the `(α, β)`-stationarity Monte-Carlo estimator.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, Criterion};
-
+use dg_bench::Harness;
 use dg_edge_meg::TwoStateEdgeMeg;
 use dynagraph::stationarity::{estimate_alpha_beta, AlphaBetaConfig};
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("t11_stationarity");
-    group
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(4));
+fn main() {
+    let h = Harness::from_args();
     let n = 48;
     let cfg = AlphaBetaConfig {
         epoch: 8,
@@ -24,17 +17,11 @@ fn bench(c: &mut Criterion) {
         set_size: 4,
         base_seed: 0xB1,
     };
-    group.bench_function("estimate_alpha_beta_edge_meg", |b| {
-        b.iter(|| {
-            estimate_alpha_beta(
-                |seed| TwoStateEdgeMeg::stationary(n, 0.02, 0.1, seed).unwrap(),
-                n,
-                &cfg,
-            )
-        });
+    h.bench("t11_stationarity/estimate_alpha_beta_edge_meg", || {
+        estimate_alpha_beta(
+            |seed| TwoStateEdgeMeg::stationary(n, 0.02, 0.1, seed).unwrap(),
+            n,
+            &cfg,
+        )
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,49 +1,39 @@
 //! T12 bench: randomized transmission protocols — thinned flooding and
-//! push-k on the edge-MEG substrate.
+//! push-k on the edge-MEG substrate, through the engine's protocol axis.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
-use dg_bench::SeedTape;
+use dg_bench::{Harness, SeedTape};
 use dg_edge_meg::TwoStateEdgeMeg;
-use dynagraph::flooding::flood;
-use dynagraph::gossip::push_spread;
+use dynagraph::engine::{PushGossip, Simulation};
 use dynagraph::ThinnedEvolvingGraph;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("t12_gossip");
-    group
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(3));
+fn main() {
+    let h = Harness::from_args();
     let tape = SeedTape::new();
     let n = 96;
     for &gamma in &[1.0f64, 0.25] {
-        group.bench_with_input(
-            BenchmarkId::new("thinned_flood", format!("{gamma}")),
-            &gamma,
-            |b, &gamma| {
-                b.iter(|| {
-                    let seed = tape.next_seed();
+        h.bench(&format!("t12_gossip/thinned_flood/{gamma}"), || {
+            Simulation::builder()
+                .model(move |seed| {
                     let inner = TwoStateEdgeMeg::stationary(n, 0.05, 0.2, seed).unwrap();
-                    let mut g = ThinnedEvolvingGraph::new(inner, gamma, seed).unwrap();
-                    flood(&mut g, 0, 100_000).flooding_time()
-                });
-            },
-        );
-    }
-    for &k in &[1usize, 4] {
-        group.bench_with_input(BenchmarkId::new("push", k), &k, |b, &k| {
-            b.iter(|| {
-                let seed = tape.next_seed();
-                let mut g = TwoStateEdgeMeg::stationary(n, 0.05, 0.2, seed).unwrap();
-                push_spread(&mut g, 0, k, 100_000, seed).flooding_time()
-            });
+                    ThinnedEvolvingGraph::new(inner, gamma, seed).unwrap()
+                })
+                .trials(2)
+                .max_rounds(100_000)
+                .base_seed(tape.next_seed())
+                .run()
+                .mean()
         });
     }
-    group.finish();
+    for &k in &[1usize, 4] {
+        h.bench(&format!("t12_gossip/push/{k}"), || {
+            Simulation::builder()
+                .model(move |seed| TwoStateEdgeMeg::stationary(n, 0.05, 0.2, seed).unwrap())
+                .protocol(PushGossip::new(k))
+                .trials(2)
+                .max_rounds(100_000)
+                .base_seed(tape.next_seed())
+                .run()
+                .mean()
+        });
+    }
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,10 +1,19 @@
-//! Shared helpers for the Criterion benches.
+//! Hand-rolled benchmark harness shared by the `benches/` targets.
 //!
-//! Each bench file in `benches/` regenerates one experiment's series at a
-//! reduced scale (`cargo bench` must terminate in minutes, not hours);
-//! the full-scale tables live in the `dg-experiments` harness.
+//! The build environment has no access to crates.io, so instead of
+//! criterion each bench target is a plain `harness = false` binary that
+//! drives [`Harness::bench`]: adaptive iteration count targeting a fixed
+//! measurement budget, mean/min per-iteration times, substring filtering
+//! via the first CLI argument (`cargo bench --bench engine -- flood`).
+//!
+//! Each bench file regenerates one experiment's series at a reduced
+//! scale (`cargo bench` must terminate in minutes, not hours); the
+//! full-scale tables live in the `dg-experiments` harness, and both ride
+//! the same `Simulation` builder.
 
+use std::hint::black_box;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 /// A deterministic-but-rotating seed source, so consecutive bench
 /// iterations measure different realizations while the sequence stays
@@ -24,5 +33,111 @@ impl SeedTape {
     pub fn next_seed(&self) -> u64 {
         let i = self.counter.fetch_add(1, Ordering::Relaxed);
         dynagraph::mix_seed(0xBE7C_45ED, i)
+    }
+}
+
+/// Formats a duration with stable units for aligned bench output.
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:>9.3} s ", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:>9.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:>9.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns:>9} ns")
+    }
+}
+
+/// Minimal bench runner: filters by substring, times adaptively.
+#[derive(Debug)]
+pub struct Harness {
+    filter: Option<String>,
+    budget: Duration,
+}
+
+impl Harness {
+    /// Builds a harness from the process arguments: the first non-flag
+    /// argument (if any) is a substring filter over bench names (cargo
+    /// passes flags like `--bench`, which are ignored).
+    pub fn from_args() -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Harness {
+            filter,
+            budget: Duration::from_millis(1_500),
+        }
+    }
+
+    /// Overrides the per-bench measurement budget.
+    pub fn budget(mut self, budget: Duration) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Runs one benchmark: a warm-up call sizes the iteration count to
+    /// the measurement budget, then mean/min per-iteration times are
+    /// printed. Skipped (silently) when a filter is set and doesn't
+    /// match `name`.
+    pub fn bench<T>(&self, name: &str, mut f: impl FnMut() -> T) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed();
+        let iters = (self.budget.as_nanos() / once.as_nanos().max(1)).clamp(3, 10_000) as u32;
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        for _ in 0..iters {
+            let t = Instant::now();
+            black_box(f());
+            let d = t.elapsed();
+            total += d;
+            min = min.min(d);
+        }
+        println!(
+            "{name:<52} {iters:>6} iters   mean {}   min {}",
+            fmt_duration(total / iters),
+            fmt_duration(min)
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_tape_rotates_deterministically() {
+        let a = SeedTape::new();
+        let b = SeedTape::new();
+        let xs: Vec<u64> = (0..4).map(|_| a.next_seed()).collect();
+        let ys: Vec<u64> = (0..4).map(|_| b.next_seed()).collect();
+        assert_eq!(xs, ys);
+        assert_eq!(xs.iter().collect::<std::collections::HashSet<_>>().len(), 4);
+    }
+
+    #[test]
+    fn durations_format() {
+        assert!(fmt_duration(Duration::from_nanos(12)).contains("ns"));
+        assert!(fmt_duration(Duration::from_micros(12)).contains("us"));
+        assert!(fmt_duration(Duration::from_millis(12)).contains("ms"));
+        assert!(fmt_duration(Duration::from_secs(2)).contains(" s"));
+    }
+
+    #[test]
+    fn harness_runs_and_filters() {
+        let h = Harness {
+            filter: Some("match".to_string()),
+            budget: Duration::from_millis(1),
+        };
+        let mut ran = 0;
+        h.bench("no", || ran += 1);
+        assert_eq!(ran, 0);
+        h.bench("does_match", || ran += 1);
+        assert!(ran > 0);
     }
 }

@@ -1,0 +1,325 @@
+//! The protocol axis of the engine: who transmits to whom each round.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{mix_seed, Snapshot};
+
+/// Read-only view of the spreading state, handed to protocols each round.
+///
+/// `informed_list` enumerates `I_t` in the order nodes became informed
+/// (sources first); `informed_at[v]` is the round node `v` was informed
+/// (`Some(0)` for sources, `None` if not yet informed). Protocols that
+/// iterate `informed_list` and draw randomness in that order are
+/// trial-deterministic by construction.
+#[derive(Debug)]
+pub struct SpreadView<'a> {
+    /// Rounds completed before (during [`Protocol::transmit`]) or
+    /// including (during [`Protocol::end_round`]) the current one.
+    pub round: u32,
+    /// Number of nodes `n`.
+    pub node_count: usize,
+    /// Per-node informed round; `None` = still uninformed.
+    pub informed_at: &'a [Option<u32>],
+    /// `I_t` in information order.
+    pub informed_list: &'a [u32],
+}
+
+/// Sink collecting one round's transmissions.
+///
+/// Every [`Transmissions::send`] counts as one message (the energy/
+/// bandwidth metric observers can consume); sends to already-informed
+/// nodes are deduplicated, and newly informed nodes do **not** relay
+/// within the same round — exactly the `I_{t+1} = I_t ∪ N_{E_t}(I_t)`
+/// semantics of §2.
+#[derive(Debug)]
+pub struct Transmissions<'a> {
+    informed: &'a mut [bool],
+    new_nodes: &'a mut Vec<u32>,
+    messages: u64,
+}
+
+impl<'a> Transmissions<'a> {
+    pub(crate) fn new(informed: &'a mut [bool], new_nodes: &'a mut Vec<u32>) -> Self {
+        Transmissions {
+            informed,
+            new_nodes,
+            messages: 0,
+        }
+    }
+
+    /// Transmits to node `v`: counts one message and informs `v` if it
+    /// was not informed yet.
+    #[inline]
+    pub fn send(&mut self, v: u32) {
+        self.messages += 1;
+        if !self.informed[v as usize] {
+            self.informed[v as usize] = true;
+            self.new_nodes.push(v);
+        }
+    }
+
+    /// Messages sent so far this round.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+}
+
+/// Whether a protocol can still make progress in future rounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolStatus {
+    /// The protocol may still inform new nodes; keep stepping.
+    Active,
+    /// No future round can inform anyone (e.g. every relay's TTL
+    /// expired); the engine stops the trial early.
+    Quiescent,
+}
+
+/// A round-step transmission rule over an evolving graph plus informed
+/// set — the protocol axis of the [`Simulation`](crate::engine::Simulation)
+/// engine.
+///
+/// Implementations must be deterministic functions of the seed passed to
+/// [`Protocol::begin_trial`]: the engine derives that seed from the trial
+/// index, which is what makes parallel and serial execution byte-identical.
+pub trait Protocol: Send {
+    /// Short human-readable protocol name (used in reports/labels).
+    fn name(&self) -> &'static str;
+
+    /// Resets per-trial state; `seed` is the trial's derived seed.
+    fn begin_trial(&mut self, n: usize, seed: u64) {
+        let _ = (n, seed);
+    }
+
+    /// Executes one round: read the snapshot `E_t` and the informed set
+    /// `I_t` (`view.round == t`), and [`Transmissions::send`] to every
+    /// chosen target.
+    fn transmit(&mut self, snap: &Snapshot, view: &SpreadView<'_>, out: &mut Transmissions<'_>);
+
+    /// Called after the engine has recorded the round's newly informed
+    /// nodes (`view.round` = rounds completed). Return
+    /// [`ProtocolStatus::Quiescent`] when no future round can inform
+    /// anyone, to stop the trial early.
+    fn end_round(&mut self, view: &SpreadView<'_>) -> ProtocolStatus {
+        let _ = view;
+        ProtocolStatus::Active
+    }
+}
+
+/// Deterministic flooding (§2): every informed node transmits on every
+/// current edge, every round.
+///
+/// Equivalent to [`crate::flooding::flood`] run for run — the engine's
+/// protocol-equivalence tests pin this down.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Flooding;
+
+impl Flooding {
+    /// The flooding protocol.
+    pub fn new() -> Self {
+        Flooding
+    }
+}
+
+impl Protocol for Flooding {
+    fn name(&self) -> &'static str {
+        "flooding"
+    }
+
+    fn transmit(&mut self, snap: &Snapshot, view: &SpreadView<'_>, out: &mut Transmissions<'_>) {
+        for &u in view.informed_list {
+            for &v in snap.neighbors(u) {
+                out.send(v);
+            }
+        }
+    }
+}
+
+/// Randomized push gossip (§5): each informed node transmits to at most
+/// `fanout` distinct random current neighbours per round.
+///
+/// With the same per-trial seed this reproduces
+/// [`crate::gossip::push_spread`] exactly (same partial Fisher–Yates
+/// draws in the same order).
+#[derive(Debug, Clone)]
+pub struct PushGossip {
+    fanout: usize,
+    rng: SmallRng,
+    pick_buf: Vec<u32>,
+}
+
+impl PushGossip {
+    /// A push protocol with the given per-round fanout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fanout == 0`.
+    pub fn new(fanout: usize) -> Self {
+        assert!(fanout > 0, "fanout must be positive");
+        PushGossip {
+            fanout,
+            rng: SmallRng::seed_from_u64(0),
+            pick_buf: Vec::new(),
+        }
+    }
+
+    /// The per-round fanout `k`.
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+}
+
+impl Protocol for PushGossip {
+    fn name(&self) -> &'static str {
+        "push-gossip"
+    }
+
+    fn begin_trial(&mut self, _n: usize, seed: u64) {
+        // Same stream derivation as the legacy `gossip::push_spread`, so
+        // the engine reproduces it bit for bit given the same seed.
+        self.rng = SmallRng::seed_from_u64(mix_seed(seed, 0x905517));
+    }
+
+    fn transmit(&mut self, snap: &Snapshot, view: &SpreadView<'_>, out: &mut Transmissions<'_>) {
+        for &u in view.informed_list {
+            let neigh = snap.neighbors(u);
+            if neigh.is_empty() {
+                continue;
+            }
+            if neigh.len() <= self.fanout {
+                for &v in neigh {
+                    out.send(v);
+                }
+            } else {
+                // Partial Fisher-Yates: draw `fanout` distinct targets.
+                self.pick_buf.clear();
+                self.pick_buf.extend_from_slice(neigh);
+                for i in 0..self.fanout {
+                    let j = self.rng.gen_range(i..self.pick_buf.len());
+                    self.pick_buf.swap(i, j);
+                    out.send(self.pick_buf[i]);
+                }
+            }
+        }
+    }
+}
+
+/// Parsimonious flooding (\[4\], Baumann–Crescenzi–Fraigniaud): a node
+/// relays only during the `ttl` rounds after becoming informed, then
+/// falls silent.
+///
+/// Matches [`crate::gossip::parsimonious_flood`] run for run, including
+/// the early stop once every relay has expired.
+///
+/// `informed_at` is nondecreasing along `informed_list`, so expired
+/// relays always form a prefix; a cursor to the first live relay keeps
+/// the per-round cost at O(live relays), like the legacy active-list
+/// implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParsimoniousFlooding {
+    ttl: u32,
+    expired: usize,
+}
+
+impl ParsimoniousFlooding {
+    /// A parsimonious protocol relaying for `ttl` rounds per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ttl == 0`.
+    pub fn new(ttl: u32) -> Self {
+        assert!(ttl > 0, "ttl must be positive");
+        ParsimoniousFlooding { ttl, expired: 0 }
+    }
+
+    /// The relay window length.
+    pub fn ttl(&self) -> u32 {
+        self.ttl
+    }
+
+    /// Advances the expired-prefix cursor for the given round.
+    fn retire(&mut self, view: &SpreadView<'_>) {
+        while let Some(&u) = view.informed_list.get(self.expired) {
+            let at = view.informed_at[u as usize].expect("informed nodes have a round");
+            if at + self.ttl > view.round {
+                break;
+            }
+            self.expired += 1;
+        }
+    }
+}
+
+impl Protocol for ParsimoniousFlooding {
+    fn name(&self) -> &'static str {
+        "parsimonious-flooding"
+    }
+
+    fn begin_trial(&mut self, _n: usize, _seed: u64) {
+        self.expired = 0;
+    }
+
+    fn transmit(&mut self, snap: &Snapshot, view: &SpreadView<'_>, out: &mut Transmissions<'_>) {
+        self.retire(view);
+        for &u in &view.informed_list[self.expired..] {
+            for &v in snap.neighbors(u) {
+                out.send(v);
+            }
+        }
+    }
+
+    fn end_round(&mut self, view: &SpreadView<'_>) -> ProtocolStatus {
+        self.retire(view);
+        if self.expired < view.informed_list.len() {
+            ProtocolStatus::Active
+        } else {
+            ProtocolStatus::Quiescent
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transmissions_dedup_and_count() {
+        let mut informed = vec![false, true, false];
+        let mut new_nodes = Vec::new();
+        let mut out = Transmissions::new(&mut informed, &mut new_nodes);
+        out.send(0);
+        out.send(0);
+        out.send(1);
+        assert_eq!(out.messages(), 3);
+        assert_eq!(new_nodes, vec![0]);
+        assert!(informed[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "fanout must be positive")]
+    fn zero_fanout_rejected() {
+        let _ = PushGossip::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ttl must be positive")]
+    fn zero_ttl_rejected() {
+        let _ = ParsimoniousFlooding::new(0);
+    }
+
+    #[test]
+    fn parsimonious_quiescence() {
+        let mut p = ParsimoniousFlooding::new(2);
+        p.begin_trial(2, 0);
+        let informed_at = vec![Some(0), None];
+        let informed_list = vec![0u32];
+        let view = |round| SpreadView {
+            round,
+            node_count: 2,
+            informed_at: &informed_at,
+            informed_list: &informed_list,
+        };
+        // TTL 2 from round 0: the relay lives through rounds 0 and 1.
+        assert_eq!(p.end_round(&view(1)), ProtocolStatus::Active);
+        assert_eq!(p.end_round(&view(2)), ProtocolStatus::Quiescent);
+    }
+}

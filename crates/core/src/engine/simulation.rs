@@ -1,0 +1,477 @@
+//! The builder-driven trial runner.
+
+use crate::engine::observer::{Observer, RoundCtx};
+use crate::engine::protocol::{Protocol, ProtocolStatus, SpreadView, Transmissions};
+use crate::engine::report::{SimulationReport, TrialRecord};
+use crate::{mix_seed, EvolvingGraph};
+
+/// Entry point to the engine; see [`Simulation::builder`].
+#[derive(Debug, Clone, Copy)]
+pub struct Simulation;
+
+/// Placeholder model of a freshly created builder — replaced by the
+/// first call to [`SimulationBuilder::model`].
+#[derive(Debug, Clone, Copy)]
+pub struct NoModel;
+
+fn no_observers(_trial: usize) {}
+
+impl Simulation {
+    /// Starts configuring a simulation. Defaults: [`Flooding`] protocol,
+    /// 30 trials, `max_rounds = 100_000`, no warm-up, source node 0,
+    /// base seed `0xD15E_A5E0`, no observers, parallel execution (when
+    /// the `parallel` feature is on).
+    ///
+    /// [`Flooding`]: crate::engine::Flooding
+    pub fn builder() -> SimulationBuilder<NoModel, crate::engine::Flooding, fn(usize)> {
+        SimulationBuilder {
+            model: NoModel,
+            protocol: crate::engine::Flooding,
+            observers: no_observers,
+            trials: 30,
+            max_rounds: 100_000,
+            warm_up: 0,
+            base_seed: 0xD15E_A5E0,
+            sources: vec![0],
+            parallel: true,
+            threads: None,
+        }
+    }
+}
+
+/// Builder for a spreading Monte-Carlo: model × protocol × observers,
+/// plus trial bookkeeping. Construct with [`Simulation::builder`].
+///
+/// # Determinism
+///
+/// Trial `i` derives its seed as `mix_seed(base_seed, i)`; the model
+/// factory, the protocol RNG, and nothing else consume randomness from
+/// it. Aggregation is ordered by trial index, so [`SimulationBuilder::run`]
+/// returns identical reports for identical configurations regardless of
+/// the `parallel` setting or thread scheduling.
+#[derive(Debug, Clone)]
+pub struct SimulationBuilder<M, P, F> {
+    model: M,
+    protocol: P,
+    observers: F,
+    trials: usize,
+    max_rounds: u32,
+    warm_up: usize,
+    base_seed: u64,
+    sources: Vec<u32>,
+    parallel: bool,
+    threads: Option<usize>,
+}
+
+impl<M, P, F> SimulationBuilder<M, P, F> {
+    /// Sets the model factory: `make(seed)` must build a fresh process
+    /// whose randomness is fully determined by `seed`.
+    pub fn model<G, M2>(self, model: M2) -> SimulationBuilder<M2, P, F>
+    where
+        G: EvolvingGraph,
+        M2: Fn(u64) -> G,
+    {
+        SimulationBuilder {
+            model,
+            protocol: self.protocol,
+            observers: self.observers,
+            trials: self.trials,
+            max_rounds: self.max_rounds,
+            warm_up: self.warm_up,
+            base_seed: self.base_seed,
+            sources: self.sources,
+            parallel: self.parallel,
+            threads: self.threads,
+        }
+    }
+
+    /// Sets the transmission protocol (default: flooding).
+    pub fn protocol<P2: Protocol>(self, protocol: P2) -> SimulationBuilder<M, P2, F> {
+        SimulationBuilder {
+            model: self.model,
+            protocol,
+            observers: self.observers,
+            trials: self.trials,
+            max_rounds: self.max_rounds,
+            warm_up: self.warm_up,
+            base_seed: self.base_seed,
+            sources: self.sources,
+            parallel: self.parallel,
+            threads: self.threads,
+        }
+    }
+
+    /// Installs a per-trial observer factory; the observers are returned
+    /// by [`SimulationBuilder::run_observed`], ordered by trial index.
+    pub fn observers<O, F2>(self, observers: F2) -> SimulationBuilder<M, P, F2>
+    where
+        O: Observer,
+        F2: Fn(usize) -> O,
+    {
+        SimulationBuilder {
+            model: self.model,
+            protocol: self.protocol,
+            observers,
+            trials: self.trials,
+            max_rounds: self.max_rounds,
+            warm_up: self.warm_up,
+            base_seed: self.base_seed,
+            sources: self.sources,
+            parallel: self.parallel,
+            threads: self.threads,
+        }
+    }
+
+    /// Number of independent trials (default 30).
+    pub fn trials(mut self, trials: usize) -> Self {
+        self.trials = trials;
+        self
+    }
+
+    /// Per-trial round cap (default 100 000).
+    pub fn max_rounds(mut self, max_rounds: u32) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Rounds to advance each process before the protocol starts, to
+    /// reach stationarity (default 0).
+    pub fn warm_up(mut self, warm_up: usize) -> Self {
+        self.warm_up = warm_up;
+        self
+    }
+
+    /// Base seed; trial `i` uses `mix_seed(base_seed, i)`.
+    pub fn base_seed(mut self, base_seed: u64) -> Self {
+        self.base_seed = base_seed;
+        self
+    }
+
+    /// Single spreading source (default node 0).
+    pub fn source(mut self, source: u32) -> Self {
+        self.sources = vec![source];
+        self
+    }
+
+    /// Multiple sources — `I_0` is the whole set (k-source broadcast).
+    ///
+    /// # Panics
+    ///
+    /// [`SimulationBuilder::run`] panics if the set is empty, contains
+    /// duplicates, or contains an out-of-range node.
+    pub fn sources<I: IntoIterator<Item = u32>>(mut self, sources: I) -> Self {
+        self.sources = sources.into_iter().collect();
+        self
+    }
+
+    /// Enables/disables parallel trial execution (default enabled; a
+    /// no-op unless the `parallel` feature is compiled in).
+    pub fn parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Caps the worker-thread count (default: all available cores).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+}
+
+impl<M, G, P, F, O> SimulationBuilder<M, P, F>
+where
+    M: Fn(u64) -> G + Sync,
+    G: EvolvingGraph,
+    P: Protocol + Clone + Sync,
+    F: Fn(usize) -> O + Sync,
+    O: Observer,
+{
+    /// Runs all trials and aggregates their outcomes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source set is invalid for the model's node count or
+    /// a worker thread panics.
+    pub fn run(self) -> SimulationReport {
+        self.run_observed().0
+    }
+
+    /// Runs all trials, returning the report plus the per-trial
+    /// observers (ordered by trial index).
+    pub fn run_observed(self) -> (SimulationReport, Vec<O>) {
+        assert!(!self.sources.is_empty(), "need at least one source");
+        let trials = self.trials;
+        let mut slots: Vec<Option<(TrialRecord, O, usize)>> = Vec::with_capacity(trials);
+        slots.resize_with(trials, || None);
+
+        let run_one = |trial: usize| -> (TrialRecord, O, usize) {
+            let seed = mix_seed(self.base_seed, trial as u64);
+            let mut g = (self.model)(seed);
+            if self.warm_up > 0 {
+                g.warm_up(self.warm_up);
+            }
+            let n = g.node_count();
+            let mut protocol = self.protocol.clone();
+            let mut observer = (self.observers)(trial);
+            let record = execute_trial(
+                &mut g,
+                &mut protocol,
+                &mut observer,
+                trial,
+                seed,
+                &self.sources,
+                self.max_rounds,
+            );
+            (record, observer, n)
+        };
+
+        let threads = self.worker_count();
+        if threads <= 1 {
+            for (trial, slot) in slots.iter_mut().enumerate() {
+                *slot = Some(run_one(trial));
+            }
+        } else {
+            #[cfg(feature = "parallel")]
+            {
+                let chunk_size = trials.div_ceil(threads).max(1);
+                let run_one = &run_one;
+                std::thread::scope(|scope| {
+                    for (chunk_idx, chunk) in slots.chunks_mut(chunk_size).enumerate() {
+                        scope.spawn(move || {
+                            for (offset, slot) in chunk.iter_mut().enumerate() {
+                                *slot = Some(run_one(chunk_idx * chunk_size + offset));
+                            }
+                        });
+                    }
+                });
+            }
+            #[cfg(not(feature = "parallel"))]
+            {
+                for (trial, slot) in slots.iter_mut().enumerate() {
+                    *slot = Some(run_one(trial));
+                }
+            }
+        }
+
+        let mut records = Vec::with_capacity(trials);
+        let mut observers = Vec::with_capacity(trials);
+        let mut node_count = 0;
+        for slot in slots {
+            let (record, observer, n) = slot.expect("every trial slot is filled");
+            node_count = n;
+            records.push(record);
+            observers.push(observer);
+        }
+        (SimulationReport::new(node_count, records), observers)
+    }
+
+    fn worker_count(&self) -> usize {
+        if !cfg!(feature = "parallel") || !self.parallel || self.trials <= 1 {
+            return 1;
+        }
+        let available = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        available
+            .min(self.threads.unwrap_or(usize::MAX))
+            .min(self.trials)
+            .max(1)
+    }
+}
+
+/// Executes one trial: seeds, sources, the synchronous round loop,
+/// quiescence, and the observer callbacks. Shared by every protocol.
+fn execute_trial<G, P, O>(
+    g: &mut G,
+    protocol: &mut P,
+    observer: &mut O,
+    trial: usize,
+    seed: u64,
+    sources: &[u32],
+    max_rounds: u32,
+) -> TrialRecord
+where
+    G: EvolvingGraph + ?Sized,
+    P: Protocol + ?Sized,
+    O: Observer + ?Sized,
+{
+    let n = g.node_count();
+    let mut informed = vec![false; n];
+    let mut informed_at: Vec<Option<u32>> = vec![None; n];
+    let mut informed_list: Vec<u32> = Vec::with_capacity(n);
+    for &s in sources {
+        assert!((s as usize) < n, "source {s} out of range");
+        assert!(!informed[s as usize], "duplicate source {s}");
+        informed[s as usize] = true;
+        informed_at[s as usize] = Some(0);
+        informed_list.push(s);
+    }
+    observer.on_trial_start(trial, n, sources);
+    protocol.begin_trial(n, seed);
+
+    let mut completed = (informed_list.len() == n).then_some(0u32);
+    let mut messages_total = 0u64;
+    let mut new_nodes: Vec<u32> = Vec::new();
+    let mut t = 0u32;
+    let mut status = ProtocolStatus::Active;
+    while completed.is_none() && t < max_rounds && status == ProtocolStatus::Active {
+        let snap = g.step();
+        new_nodes.clear();
+        let round_messages = {
+            let view = SpreadView {
+                round: t,
+                node_count: n,
+                informed_at: &informed_at,
+                informed_list: &informed_list,
+            };
+            let mut out = Transmissions::new(&mut informed, &mut new_nodes);
+            protocol.transmit(snap, &view, &mut out);
+            out.messages()
+        };
+        t += 1;
+        for &v in &new_nodes {
+            informed_at[v as usize] = Some(t);
+        }
+        informed_list.extend_from_slice(&new_nodes);
+        messages_total += round_messages;
+        if informed_list.len() == n {
+            completed = Some(t);
+        }
+        observer.on_round(&RoundCtx {
+            round: t,
+            snapshot: snap,
+            newly_informed: &new_nodes,
+            informed_count: informed_list.len(),
+            messages: round_messages,
+        });
+        if completed.is_none() {
+            let view = SpreadView {
+                round: t,
+                node_count: n,
+                informed_at: &informed_at,
+                informed_list: &informed_list,
+            };
+            status = protocol.end_round(&view);
+        }
+    }
+
+    let record = TrialRecord {
+        trial,
+        seed,
+        time: completed,
+        informed: informed_list.len(),
+        rounds: t,
+        messages: messages_total,
+    };
+    observer.on_trial_end(&record);
+    record
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Flooding, ParsimoniousFlooding, PushGossip};
+    use crate::StaticEvolvingGraph;
+    use dg_graph::generators;
+
+    #[test]
+    fn builder_defaults_flood_a_cycle() {
+        let report = Simulation::builder()
+            .model(|_| StaticEvolvingGraph::new(generators::cycle(9)))
+            .trials(4)
+            .max_rounds(100)
+            .run();
+        assert_eq!(report.trials(), 4);
+        assert_eq!(report.incomplete(), 0);
+        assert_eq!(report.mean(), 4.0);
+        assert_eq!(report.node_count(), 9);
+    }
+
+    #[test]
+    fn reports_are_reproducible() {
+        let make = || {
+            Simulation::builder()
+                .model(|_| StaticEvolvingGraph::new(generators::grid(4, 4)))
+                .protocol(PushGossip::new(1))
+                .trials(6)
+                .max_rounds(10_000)
+                .base_seed(42)
+        };
+        assert_eq!(make().run(), make().run());
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let make = |parallel| {
+            Simulation::builder()
+                .model(|_| StaticEvolvingGraph::new(generators::complete(16)))
+                .protocol(PushGossip::new(1))
+                .trials(9)
+                .max_rounds(10_000)
+                .parallel(parallel)
+                .run()
+        };
+        assert_eq!(make(true), make(false));
+    }
+
+    #[test]
+    fn multi_source_covers_faster() {
+        let single = Simulation::builder()
+            .model(|_| StaticEvolvingGraph::new(generators::cycle(12)))
+            .trials(1)
+            .run();
+        let multi = Simulation::builder()
+            .model(|_| StaticEvolvingGraph::new(generators::cycle(12)))
+            .sources([0, 6])
+            .trials(1)
+            .run();
+        assert!(multi.mean() < single.mean());
+        assert_eq!(multi.mean(), 3.0);
+    }
+
+    #[test]
+    fn quiescent_protocol_stops_early() {
+        let report = Simulation::builder()
+            .model(|_| StaticEvolvingGraph::new(dg_graph::GraphBuilder::new(4).build()))
+            .protocol(ParsimoniousFlooding::new(2))
+            .trials(1)
+            .max_rounds(1_000)
+            .run();
+        let rec = &report.records()[0];
+        assert_eq!(rec.time, None);
+        assert_eq!(rec.informed, 1);
+        assert!(rec.rounds <= 3, "stopped at round {}", rec.rounds);
+    }
+
+    #[test]
+    fn flooding_messages_counted() {
+        // K4 from one source: round 1 sends 3 messages, done.
+        let report = Simulation::builder()
+            .model(|_| StaticEvolvingGraph::new(generators::complete(4)))
+            .protocol(Flooding::new())
+            .trials(1)
+            .run();
+        assert_eq!(report.records()[0].messages, 3);
+        assert_eq!(report.records()[0].time, Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_source_panics() {
+        let _ = Simulation::builder()
+            .model(|_| StaticEvolvingGraph::new(generators::path(3)))
+            .source(3)
+            .trials(1)
+            .run();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one source")]
+    fn empty_sources_panics() {
+        let _ = Simulation::builder()
+            .model(|_| StaticEvolvingGraph::new(generators::path(3)))
+            .sources([])
+            .trials(1)
+            .run();
+    }
+}

@@ -38,7 +38,10 @@ impl fmt::Display for DynagraphError {
                 write!(f, "parameter {name} = {value} out of range")
             }
             DynagraphError::NodeOutOfRange { node, node_count } => {
-                write!(f, "node {node} out of range for process on {node_count} nodes")
+                write!(
+                    f,
+                    "node {node} out of range for process on {node_count} nodes"
+                )
             }
             DynagraphError::NotSymmetric => write!(f, "connection map must be symmetric"),
             DynagraphError::DimensionMismatch { expected, found } => {

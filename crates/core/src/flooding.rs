@@ -1,13 +1,20 @@
-//! The flooding process of §2 and its Monte-Carlo measurement machinery.
+//! The flooding process of §2: single-run primitives and legacy
+//! multi-trial shims.
 //!
 //! Flooding with source `s`: `I_0 = {s}` and
 //! `I_{t+1} = I_t ∪ { j : ∃ i ∈ I_t, {i, j} ∈ E_t }` — newly informed
 //! nodes start relaying only in the *next* round. The flooding time
 //! `F(G, s)` is the first `t` with `I_t = [n]`.
+//!
+//! [`flood`] and [`flood_multi`] step one realization by hand (and serve
+//! as the independent reference implementation the engine is tested
+//! against). For Monte-Carlo measurement use the unified
+//! [`crate::engine::Simulation`] builder; [`run_trials`] remains as a
+//! deprecated shim over it.
 
 use dg_stats::{Quantiles, Summary};
 
-use crate::{mix_seed, EvolvingGraph};
+use crate::EvolvingGraph;
 
 /// The outcome of one flooding run: who got informed when, and how the
 /// informed set grew.
@@ -289,15 +296,18 @@ impl FloodingTrials {
     }
 }
 
-/// Runs `cfg.trials` independent seeded flooding runs in parallel.
+/// Runs `cfg.trials` independent seeded flooding runs.
 ///
-/// `make(seed)` must construct a fresh process whose randomness is fully
-/// determined by `seed`; trial `i` receives `mix_seed(cfg.base_seed, i)`,
-/// so results are reproducible regardless of thread scheduling.
+/// Thin shim over the unified engine: equivalent to
+/// [`crate::engine::Simulation::builder`] with the
+/// [`crate::engine::Flooding`] protocol. Trial `i` receives
+/// `mix_seed(cfg.base_seed, i)`, so results are reproducible regardless
+/// of thread scheduling — and identical to what the builder reports.
 ///
 /// # Examples
 ///
 /// ```
+/// # #![allow(deprecated)]
 /// use dynagraph::{flooding::{self, TrialConfig}, StaticEvolvingGraph};
 /// use dg_graph::generators;
 ///
@@ -309,40 +319,32 @@ impl FloodingTrials {
 /// assert_eq!(res.incomplete(), 0);
 /// assert_eq!(res.mean(), 1.0);
 /// ```
+#[deprecated(
+    since = "0.1.0",
+    note = "drive the unified engine instead: `dynagraph::engine::Simulation::builder()`"
+)]
 pub fn run_trials<G, F>(make: F, cfg: &TrialConfig) -> FloodingTrials
 where
     G: EvolvingGraph,
     F: Fn(u64) -> G + Sync,
 {
-    let mut times: Vec<Option<u32>> = vec![None; cfg.trials];
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(cfg.trials.max(1));
-    let chunk_size = cfg.trials.div_ceil(threads.max(1)).max(1);
-    let make_ref = &make;
-    crossbeam::thread::scope(|scope| {
-        for (chunk_idx, chunk) in times.chunks_mut(chunk_size).enumerate() {
-            let cfg = cfg.clone();
-            scope.spawn(move |_| {
-                for (offset, slot) in chunk.iter_mut().enumerate() {
-                    let trial = chunk_idx * chunk_size + offset;
-                    let seed = mix_seed(cfg.base_seed, trial as u64);
-                    let mut g = make_ref(seed);
-                    if cfg.warm_up > 0 {
-                        g.warm_up(cfg.warm_up);
-                    }
-                    *slot = flood(&mut g, cfg.source, cfg.max_rounds).flooding_time();
-                }
-            });
-        }
-    })
-    .expect("flooding trial worker panicked");
-    FloodingTrials { times }
+    let report = crate::engine::Simulation::builder()
+        .model(make)
+        .trials(cfg.trials)
+        .max_rounds(cfg.max_rounds)
+        .warm_up(cfg.warm_up)
+        .base_seed(cfg.base_seed)
+        .source(cfg.source)
+        .run();
+    FloodingTrials {
+        times: report.times(),
+    }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the legacy shims stay covered until removal
+
     use super::*;
     use crate::{PeriodicEvolvingGraph, StaticEvolvingGraph};
     use dg_graph::generators;
@@ -441,10 +443,7 @@ mod tests {
             max_rounds: 2,
             ..TrialConfig::default()
         };
-        let res = run_trials(
-            |_| StaticEvolvingGraph::new(generators::path(10)),
-            &cfg,
-        );
+        let res = run_trials(|_| StaticEvolvingGraph::new(generators::path(10)), &cfg);
         assert_eq!(res.incomplete(), 5);
         assert!(res.quantiles().is_none());
         assert!(res.mean().is_nan());

@@ -56,9 +56,7 @@ pub fn is_interval_connected(rec: &RecordedEvolution, t: usize) -> bool {
         "recording shorter than the requested window"
     );
     let snaps: Vec<&Snapshot> = (0..rec.rounds()).map(|i| rec.snapshot(i)).collect();
-    snaps
-        .windows(t)
-        .all(window_intersection_connected)
+    snaps.windows(t).all(window_intersection_connected)
 }
 
 /// The largest `T` for which the recording is T-interval connected

@@ -11,8 +11,13 @@
 //!
 //! * [`Snapshot`] / [`EvolvingGraph`] — the dynamic-graph model of §2: a
 //!   synchronous sequence of edge sets over a fixed vertex set `[n]`;
+//! * [`engine`] — **the unified simulation engine**: a builder-driven
+//!   Monte-Carlo runner ([`engine::Simulation`]) combining any model
+//!   factory with any [`engine::Protocol`] (flooding, push gossip,
+//!   parsimonious flooding) and streaming [`engine::Observer`]s, with
+//!   deterministic parallel trial execution;
 //! * [`flooding`] — the flooding process `I_{t+1} = I_t ∪ N_{E_t}(I_t)`
-//!   with per-round growth records and seeded multi-trial Monte-Carlo;
+//!   as single-run primitives with per-round growth records;
 //! * [`stationarity`] — empirical estimators for the `(M, α, β)`-stationarity
 //!   conditions of §3 (density and β-independence at epoch boundaries);
 //! * [`theory`] — every bound in the paper as a documented function
@@ -35,21 +40,51 @@
 //!
 //! # Quickstart
 //!
+//! Drive any model × protocol combination through the
+//! [`engine::Simulation`] builder — it owns seeding, warm-up, the round
+//! loop, and (parallel) trial aggregation:
+//!
 //! ```
-//! use dynagraph::{flooding, EvolvingGraph, StaticEvolvingGraph};
+//! use dynagraph::engine::Simulation;
+//! use dynagraph::StaticEvolvingGraph;
 //! use dg_graph::generators;
 //!
-//! // A static cycle is the degenerate dynamic graph; flooding covers it in
-//! // ceil((n-1)/2) rounds.
-//! let mut g = StaticEvolvingGraph::new(generators::cycle(10));
-//! let run = flooding::flood(&mut g, 0, 100);
-//! assert_eq!(run.flooding_time(), Some(5));
+//! // A static cycle is the degenerate dynamic graph; flooding covers it
+//! // in ceil((n-1)/2) rounds.
+//! let report = Simulation::builder()
+//!     .model(|_seed| StaticEvolvingGraph::new(generators::cycle(10)))
+//!     .trials(8)
+//!     .max_rounds(100)
+//!     .base_seed(7)
+//!     .run();
+//! assert_eq!(report.incomplete(), 0);
+//! assert_eq!(report.mean(), 5.0);
 //! ```
+//!
+//! Swap the protocol without touching the harness:
+//!
+//! ```
+//! use dynagraph::engine::{PushGossip, Simulation};
+//! use dynagraph::StaticEvolvingGraph;
+//! use dg_graph::generators;
+//!
+//! let report = Simulation::builder()
+//!     .model(|_seed| StaticEvolvingGraph::new(generators::complete(16)))
+//!     .protocol(PushGossip::new(1))
+//!     .trials(8)
+//!     .run();
+//! assert_eq!(report.incomplete(), 0);
+//! assert!(report.mean() >= 4.0); // push-1 needs ~log2(n)+ln(n) rounds
+//! ```
+//!
+//! Single-run primitives ([`flooding::flood`], [`flooding::flood_multi`])
+//! remain available for stepping one realization by hand.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod engine;
 mod error;
 pub mod flooding;
 pub mod gossip;
@@ -62,6 +97,7 @@ mod snapshot;
 pub mod stationarity;
 pub mod theory;
 
+pub use engine::{Simulation, SimulationBuilder, SimulationReport};
 pub use error::DynagraphError;
 pub use process::{
     EvolvingGraph, JammedEvolvingGraph, PeriodicEvolvingGraph, StaticEvolvingGraph,

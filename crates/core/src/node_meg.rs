@@ -326,12 +326,12 @@ impl NodeMegAnalysis {
                 found: conn.state_count(),
             });
         }
-        let pi = chain
-            .stationary(1e-13, 1_000_000)
-            .map_err(|_| DynagraphError::ParameterOutOfRange {
+        let pi = chain.stationary(1e-13, 1_000_000).map_err(|_| {
+            DynagraphError::ParameterOutOfRange {
                 name: "chain (non-ergodic)",
                 value: f64::NAN,
-            })?;
+            }
+        })?;
         let k = chain.state_count();
         let mut pnm = 0.0;
         let mut pnm2 = 0.0;
@@ -460,8 +460,7 @@ mod tests {
         // Fact 2: stationary edge probability does not depend on the pair.
         // Estimate P(e_{0,1}) and P(e_{2,3}) over many stationary rounds.
         let k = 4;
-        let chain =
-            FiniteNodeChain::stationary_start(lazy_cycle_chain(k)).unwrap();
+        let chain = FiniteNodeChain::stationary_start(lazy_cycle_chain(k)).unwrap();
         let conn = MatrixConnection::same_state(k);
         let mut meg = NodeMeg::new(chain, conn, 6, 11).unwrap();
         let rounds = 20_000;

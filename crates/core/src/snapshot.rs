@@ -109,7 +109,10 @@ impl Snapshot {
         self.offsets.resize(n + 1, 0);
         for &(u, v) in edges {
             debug_assert_ne!(u, v, "self-loop supplied to snapshot");
-            assert!((u as usize) < n && (v as usize) < n, "edge endpoint out of range");
+            assert!(
+                (u as usize) < n && (v as usize) < n,
+                "edge endpoint out of range"
+            );
             self.offsets[u as usize + 1] += 1;
             self.offsets[v as usize + 1] += 1;
         }

@@ -129,7 +129,10 @@ where
     G: EvolvingGraph,
     F: Fn(u64) -> G + Sync,
 {
-    assert!(cfg.epoch > 0 && cfg.observations > 0 && cfg.runs > 0, "counts must be positive");
+    assert!(
+        cfg.epoch > 0 && cfg.observations > 0 && cfg.runs > 0,
+        "counts must be positive"
+    );
     assert!(cfg.pair_samples > 0 && cfg.set_samples > 0 && cfg.set_size > 0);
     assert!(
         n >= cfg.set_size + 2,
@@ -261,7 +264,11 @@ mod tests {
             20,
             &cfg,
         );
-        assert!((est.alpha_mean - 0.3).abs() < 0.05, "alpha = {}", est.alpha_mean);
+        assert!(
+            (est.alpha_mean - 0.3).abs() < 0.05,
+            "alpha = {}",
+            est.alpha_mean
+        );
         assert!(est.alpha_min > 0.2);
         assert!(est.beta_max < 1.6, "beta_max = {}", est.beta_max);
         assert!((est.beta_mean - 1.0).abs() < 0.3);
@@ -310,10 +317,6 @@ mod tests {
             set_size: 5,
             ..AlphaBetaConfig::default()
         };
-        let _ = estimate_alpha_beta(
-            |_| StaticEvolvingGraph::new(generators::path(4)),
-            4,
-            &cfg,
-        );
+        let _ = estimate_alpha_beta(|_| StaticEvolvingGraph::new(generators::path(4)), 4, &cfg);
     }
 }

@@ -217,9 +217,7 @@ mod tests {
 
     #[test]
     fn theorem3_epoch_grows_with_tmix() {
-        assert!(
-            theorem3_epoch_length(100.0, 0.01, 64) > theorem3_epoch_length(10.0, 0.01, 64)
-        );
+        assert!(theorem3_epoch_length(100.0, 0.01, 64) > theorem3_epoch_length(10.0, 0.01, 64));
     }
 
     #[test]
@@ -252,9 +250,7 @@ mod tests {
         // delta >= 1 implies the Cor. 6 expression dominates Cor. 5's.
         let (tmix, pts, n) = (50.0, 500, 200);
         for delta in [1.0, 1.5, 2.0] {
-            assert!(
-                corollary6_bound(tmix, pts, delta, n) >= corollary5_bound(tmix, pts, delta, n)
-            );
+            assert!(corollary6_bound(tmix, pts, delta, n) >= corollary5_bound(tmix, pts, delta, n));
         }
     }
 

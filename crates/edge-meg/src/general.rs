@@ -89,8 +89,8 @@ impl HiddenChainEdgeMeg {
         }
         let row_samplers = (0..chain.state_count())
             .map(|i| {
-                let row = ProbDist::new(chain.row(i).to_vec())
-                    .expect("chain rows are distributions");
+                let row =
+                    ProbDist::new(chain.row(i).to_vec()).expect("chain rows are distributions");
                 AliasSampler::new(&row)
             })
             .collect();
@@ -291,7 +291,10 @@ mod tests {
         }
         let mean = total as f64 / rounds as f64;
         let expected = alpha * pair_count(24) as f64;
-        assert!((mean / expected - 1.0).abs() < 0.15, "mean {mean} vs {expected}");
+        assert!(
+            (mean / expected - 1.0).abs() < 0.15,
+            "mean {mean} vs {expected}"
+        );
     }
 
     #[test]

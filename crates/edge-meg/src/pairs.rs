@@ -31,8 +31,16 @@ pub fn edge_pair(index: usize) -> (u32, u32) {
     // hi is the largest v with v(v-1)/2 <= index.
     let hi = ((1.0 + (1.0 + 8.0 * index as f64).sqrt()) / 2.0).floor() as usize;
     // Floating point can land one off; correct exactly.
-    let hi = if hi * (hi - 1) / 2 > index { hi - 1 } else { hi };
-    let hi = if (hi + 1) * hi / 2 <= index { hi + 1 } else { hi };
+    let hi = if hi * (hi - 1) / 2 > index {
+        hi - 1
+    } else {
+        hi
+    };
+    let hi = if (hi + 1) * hi / 2 <= index {
+        hi + 1
+    } else {
+        hi
+    };
     let lo = index - hi * (hi - 1) / 2;
     (lo as u32, hi as u32)
 }

@@ -206,8 +206,16 @@ mod tests {
             ss.push(sparse.step().edge_count() as f64);
         }
         let expected = p / (p + q) * pair_count(n) as f64;
-        assert!((sd.mean() / expected - 1.0).abs() < 0.15, "dense {}", sd.mean());
-        assert!((ss.mean() / expected - 1.0).abs() < 0.15, "sparse {}", ss.mean());
+        assert!(
+            (sd.mean() / expected - 1.0).abs() < 0.15,
+            "dense {}",
+            sd.mean()
+        );
+        assert!(
+            (ss.mean() / expected - 1.0).abs() < 0.15,
+            "sparse {}",
+            ss.mean()
+        );
         assert!(
             (sd.mean() - ss.mean()).abs() < 0.2 * expected,
             "dense {} vs sparse {}",

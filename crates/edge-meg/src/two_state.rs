@@ -52,13 +52,7 @@ pub struct TwoStateEdgeMeg {
 }
 
 impl TwoStateEdgeMeg {
-    fn with_init(
-        n: usize,
-        p: f64,
-        q: f64,
-        seed: u64,
-        init: Init,
-    ) -> Result<Self, MarkovError> {
+    fn with_init(n: usize, p: f64, q: f64, seed: u64, init: Init) -> Result<Self, MarkovError> {
         let chain = TwoStateChain::new(p, q)?;
         if n < 2 {
             return Err(MarkovError::DimensionMismatch {

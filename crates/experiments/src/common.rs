@@ -1,31 +1,39 @@
 //! Shared helpers for the experiment harness.
+//!
+//! Every experiment drives the unified `Simulation` builder; this module
+//! wraps it with the harness' conventions (source 0, one base seed per
+//! table) and a table-friendly summary type.
 
-use dynagraph::flooding::{run_trials, FloodingTrials, TrialConfig};
+use dynagraph::engine::{Simulation, SimulationReport};
 use dynagraph::EvolvingGraph;
 
-/// Measured flooding statistics for one configuration.
+/// Measured spreading statistics for one configuration.
+///
+/// `p95`/`max` are `None` when no trial completed within the round cap —
+/// tables print them as `-` instead of smuggling `NaN` through the
+/// formatting; `incomplete` says how many trials were censored.
 #[allow(dead_code)] // max/trials are reported by only some experiments
 pub struct Measured {
     pub mean: f64,
-    pub p95: f64,
-    pub max: f64,
+    pub p95: Option<f64>,
+    pub max: Option<f64>,
     pub incomplete: usize,
     pub trials: usize,
 }
 
 impl Measured {
-    pub fn from(trials: &FloodingTrials, total: usize) -> Self {
+    pub fn from(report: &SimulationReport) -> Self {
         Measured {
-            mean: trials.mean(),
-            p95: trials.p95().unwrap_or(f64::NAN),
-            max: trials.max().unwrap_or(f64::NAN),
-            incomplete: trials.incomplete(),
-            trials: total,
+            mean: report.mean(),
+            p95: report.p95(),
+            max: report.max(),
+            incomplete: report.incomplete(),
+            trials: report.trials(),
         }
     }
 }
 
-/// Runs seeded flooding trials and summarizes.
+/// Runs seeded flooding trials through the engine and summarizes.
 pub fn measure<G, F>(
     make: F,
     trials: usize,
@@ -37,15 +45,14 @@ where
     G: EvolvingGraph,
     F: Fn(u64) -> G + Sync,
 {
-    let cfg = TrialConfig {
-        trials,
-        max_rounds,
-        source: 0,
-        base_seed,
-        warm_up,
-    };
-    let res = run_trials(make, &cfg);
-    Measured::from(&res, trials)
+    let report = Simulation::builder()
+        .model(make)
+        .trials(trials)
+        .max_rounds(max_rounds)
+        .warm_up(warm_up)
+        .base_seed(base_seed)
+        .run();
+    Measured::from(&report)
 }
 
 /// Scales a count down in `--quick` mode.

@@ -30,19 +30,71 @@ mod table;
 type Experiment = (&'static str, &'static str, fn(bool));
 
 const EXPERIMENTS: &[Experiment] = &[
-    ("t1", "Lemmas 13-14: spreading/saturation phase structure", t01_phases::run),
-    ("t2", "Appendix A: two-state edge-MEG vs CMMPS'10 and general bounds", t02_edge_meg::run),
-    ("t3", "Appendix A: generalized (hidden-chain) edge-MEG", t03_hidden_edge::run),
-    ("t4", "Fact 2 + Theorem 3: exact node-MEG analysis vs measurement", t04_node_meg::run),
-    ("t5", "S4.1: waypoint positional density, center bias, (delta,lambda)", t05_wp_density::run),
-    ("t6", "S4.1: waypoint positional mixing ~ L/v", t06_wp_mixing::run),
-    ("t7", "S4.1 headline: sparse waypoint flooding ~ sqrt(n)/v", t07_wp_flooding::run),
-    ("t8", "S4.1: random walk on grid, flooding vs n and r", t08_walk_grid::run),
-    ("t9", "Corollary 5: random L-paths on grids, flooding ~ D polylog", t09_rand_paths::run),
-    ("t10", "Corollary 6: k-augmented grids, flooding ~ 1/k^2", t10_k_augmented::run),
-    ("t11", "S3 conditions: empirical (M,alpha,beta) and Theorem 1", t11_stationarity::run),
-    ("t12", "S5: randomized push protocols as thinned flooding", t12_gossip::run),
-    ("t13", "extensions: barbell mixing, jamming, disk waypoint, interval connectivity", t13_extensions::run),
+    (
+        "t1",
+        "Lemmas 13-14: spreading/saturation phase structure",
+        t01_phases::run,
+    ),
+    (
+        "t2",
+        "Appendix A: two-state edge-MEG vs CMMPS'10 and general bounds",
+        t02_edge_meg::run,
+    ),
+    (
+        "t3",
+        "Appendix A: generalized (hidden-chain) edge-MEG",
+        t03_hidden_edge::run,
+    ),
+    (
+        "t4",
+        "Fact 2 + Theorem 3: exact node-MEG analysis vs measurement",
+        t04_node_meg::run,
+    ),
+    (
+        "t5",
+        "S4.1: waypoint positional density, center bias, (delta,lambda)",
+        t05_wp_density::run,
+    ),
+    (
+        "t6",
+        "S4.1: waypoint positional mixing ~ L/v",
+        t06_wp_mixing::run,
+    ),
+    (
+        "t7",
+        "S4.1 headline: sparse waypoint flooding ~ sqrt(n)/v",
+        t07_wp_flooding::run,
+    ),
+    (
+        "t8",
+        "S4.1: random walk on grid, flooding vs n and r",
+        t08_walk_grid::run,
+    ),
+    (
+        "t9",
+        "Corollary 5: random L-paths on grids, flooding ~ D polylog",
+        t09_rand_paths::run,
+    ),
+    (
+        "t10",
+        "Corollary 6: k-augmented grids, flooding ~ 1/k^2",
+        t10_k_augmented::run,
+    ),
+    (
+        "t11",
+        "S3 conditions: empirical (M,alpha,beta) and Theorem 1",
+        t11_stationarity::run,
+    ),
+    (
+        "t12",
+        "S5: randomized push protocols as thinned flooding",
+        t12_gossip::run,
+    ),
+    (
+        "t13",
+        "extensions: barbell mixing, jamming, disk waypoint, interval connectivity",
+        t13_extensions::run,
+    ),
 ];
 
 fn main() {

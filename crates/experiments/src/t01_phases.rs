@@ -1,16 +1,15 @@
 //! T1 — Lemmas 13–14: the two-phase structure of flooding.
 //!
-//! On a sparse stationary edge-MEG we record the growth curve `|I_t|` and
-//! extract (i) the doubling rounds of the spreading phase — Lemma 13
-//! predicts bounded gaps between consecutive doublings while
-//! `|I_t| <= n/2` — and (ii) the saturation tail — Lemma 14 predicts it is
-//! shorter than the whole spreading phase by a `log n` factor.
+//! On a sparse stationary edge-MEG we stream the growth curve `|I_t|`
+//! through the engine's `PhaseObserver` and extract (i) the doubling
+//! rounds of the spreading phase — Lemma 13 predicts bounded gaps between
+//! consecutive doublings while `|I_t| <= n/2` — and (ii) the saturation
+//! tail — Lemma 14 predicts it is shorter than the whole spreading phase
+//! by a `log n` factor.
 
 use dg_edge_meg::SparseTwoStateEdgeMeg;
 use dg_stats::Summary;
-use dynagraph::analysis::GrowthCurve;
-use dynagraph::flooding::flood;
-use dynagraph::mix_seed;
+use dynagraph::engine::{PhaseObserver, Simulation};
 
 use crate::common::scaled;
 use crate::table::{fmt, Table};
@@ -21,28 +20,39 @@ pub fn run(quick: bool) {
     let q = 0.2;
     let trials = scaled(20, quick);
     println!("model: stationary edge-MEG, n={n}, p=1.5/n={p:.5}, q={q}");
-    println!("alpha = p/(p+q) = {:.5} (avg degree ~ {:.2})", p / (p + q), (n - 1) as f64 * p / (p + q));
+    println!(
+        "alpha = p/(p+q) = {:.5} (avg degree ~ {:.2})",
+        p / (p + q),
+        (n - 1) as f64 * p / (p + q)
+    );
 
+    let (report, observers) = Simulation::builder()
+        .model(|seed| SparseTwoStateEdgeMeg::stationary(n, p, q, seed).unwrap())
+        .trials(trials)
+        .max_rounds(200_000)
+        .base_seed(0x71)
+        .observers(|_trial| PhaseObserver::new())
+        .run_observed();
+    // Fold the per-trial streaming observers in trial order.
     let mut spreading = Summary::new();
     let mut saturation = Summary::new();
     let mut max_gap = Summary::new();
     let mut total = Summary::new();
-    let mut example_curve: Option<GrowthCurve> = None;
-    for t in 0..trials {
-        let mut g = SparseTwoStateEdgeMeg::stationary(n, p, q, mix_seed(0x71, t as u64)).unwrap();
-        let run = flood(&mut g, 0, 200_000);
-        let curve = GrowthCurve::from_run(&run, n);
-        if let (Some(se), Some(ct)) = (curve.spreading_phase_end(), curve.completion_time()) {
-            spreading.push(se as f64);
-            saturation.push((ct - se) as f64);
-            total.push(ct as f64);
-            if let Some(g) = curve.max_doubling_gap() {
-                max_gap.push(g as f64);
-            }
-            if example_curve.is_none() {
-                example_curve = Some(curve);
-            }
+    let mut example_doubling: Option<Vec<u32>> = None;
+    for obs in &observers {
+        spreading.merge(obs.spreading());
+        saturation.merge(obs.saturation());
+        total.merge(obs.total());
+        max_gap.merge(obs.max_doubling_gap());
+        if example_doubling.is_none() {
+            example_doubling = obs.example_doubling_rounds().map(<[u32]>::to_vec);
         }
+    }
+    if report.incomplete() > 0 {
+        println!(
+            "({} of {trials} trials hit the round cap)",
+            report.incomplete()
+        );
     }
 
     let mut table = Table::new(vec!["phase metric", "mean", "min", "max"]);
@@ -72,9 +82,8 @@ pub fn run(quick: bool) {
     ]);
     table.print();
 
-    if let Some(curve) = example_curve {
+    if let Some(rounds) = example_doubling {
         println!("\nexample growth curve (|I_t| at each doubling):");
-        let rounds = curve.doubling_rounds();
         let mut t2 = Table::new(vec!["target |I|", "first round"]);
         let mut target = 2u64;
         for r in rounds {

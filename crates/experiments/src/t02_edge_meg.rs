@@ -13,7 +13,7 @@ use dg_stats::log_log_fit;
 use dynagraph::theory;
 
 use crate::common::{measure, scaled};
-use crate::table::{fmt, Table};
+use crate::table::{fmt, fmt_opt, Table};
 
 pub fn run(quick: bool) {
     let trials = scaled(20, quick);
@@ -27,7 +27,14 @@ pub fn run(quick: bool) {
         &[64, 128, 256, 512, 1024]
     };
     let mut table = Table::new(vec![
-        "n", "p", "mean F", "p95 F", "cmmps", "general", "F/cmmps", "F/general",
+        "n",
+        "p",
+        "mean F",
+        "p95 F",
+        "cmmps",
+        "general",
+        "F/cmmps",
+        "F/general",
     ]);
     let mut xs = Vec::new();
     let mut ys = Vec::new();
@@ -46,7 +53,7 @@ pub fn run(quick: bool) {
             n.to_string(),
             format!("{p:.5}"),
             fmt(m.mean),
-            fmt(m.p95),
+            fmt_opt(m.p95),
             fmt(cmmps),
             fmt(general),
             fmt(m.mean / cmmps),
@@ -67,7 +74,14 @@ pub fn run(quick: bool) {
     let p = 0.5 / n as f64;
     let np = n as f64 * p;
     println!("\nseries 2: q sweep at n = {n}, p = 0.5/n (q crosses np = {np})");
-    let mut t2 = Table::new(vec!["q", "q/np", "mean F", "general", "F/general", "regime"]);
+    let mut t2 = Table::new(vec![
+        "q",
+        "q/np",
+        "mean F",
+        "general",
+        "F/general",
+        "regime",
+    ]);
     for &q in &[0.05, 0.1, 0.25, 0.5, 0.9] {
         let m = measure(
             |seed| SparseTwoStateEdgeMeg::stationary(n, p, q, seed).unwrap(),

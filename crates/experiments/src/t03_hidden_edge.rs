@@ -10,7 +10,7 @@ use dg_edge_meg::{bursty_chain, HiddenChainEdgeMeg};
 use dynagraph::theory;
 
 use crate::common::{measure, scaled};
-use crate::table::{fmt, Table};
+use crate::table::{fmt, fmt_opt, Table};
 
 pub fn run(quick: bool) {
     let n = if quick { 48 } else { 96 };
@@ -21,7 +21,15 @@ pub fn run(quick: bool) {
     // stationary distribution — hence alpha and the graph density — fixed
     // while multiplying Tmix by s: flooding must track Tmix.
     let mut table = Table::new(vec![
-        "wake", "fire", "cool", "alpha", "Tmix(0.25)", "mean F", "p95 F", "bound", "F/bound",
+        "wake",
+        "fire",
+        "cool",
+        "alpha",
+        "Tmix(0.25)",
+        "mean F",
+        "p95 F",
+        "bound",
+        "F/bound",
     ]);
     for s in [1.0f64, 2.0, 4.0, 8.0] {
         let (wake, fire, cool) = (0.02 / s, 0.4 / s, 0.4 / s);
@@ -31,9 +39,7 @@ pub fn run(quick: bool) {
         let tmix = probe.mixing_time(0.25).unwrap();
         let bound = theory::edge_meg_hidden_bound(tmix as f64, alpha, n);
         let m = measure(
-            |seed| {
-                HiddenChainEdgeMeg::stationary(n, chain.clone(), chi.clone(), seed).unwrap()
-            },
+            |seed| HiddenChainEdgeMeg::stationary(n, chain.clone(), chi.clone(), seed).unwrap(),
             trials,
             500_000,
             0,
@@ -46,7 +52,7 @@ pub fn run(quick: bool) {
             format!("{alpha:.4}"),
             tmix.to_string(),
             fmt(m.mean),
-            fmt(m.p95),
+            fmt_opt(m.p95),
             fmt(bound),
             fmt(m.mean / bound),
         ]);

@@ -11,7 +11,7 @@ use dynagraph::node_meg::{FiniteNodeChain, MatrixConnection, NodeMeg, NodeMegAna
 use dynagraph::EvolvingGraph;
 
 use crate::common::{measure, scaled};
-use crate::table::{fmt, Table};
+use crate::table::{fmt, fmt_opt, Table};
 
 fn lazy_cycle_chain(k: usize) -> DenseChain {
     let mut rows = vec![vec![0.0; k]; k];
@@ -29,7 +29,15 @@ pub fn run(quick: bool) {
     println!("model: node-MEG, lazy walk on k-cycle of points, same-point connection, n = {n}");
 
     let mut table = Table::new(vec![
-        "k", "P_NM", "P_NM2", "eta", "Tmix(0.25)", "mean F", "p95 F", "Thm3 bound", "F/bound",
+        "k",
+        "P_NM",
+        "P_NM2",
+        "eta",
+        "Tmix(0.25)",
+        "mean F",
+        "p95 F",
+        "Thm3 bound",
+        "F/bound",
     ]);
     let ks: &[usize] = if quick { &[8, 16] } else { &[8, 16, 32] };
     for &k in ks {
@@ -60,7 +68,7 @@ pub fn run(quick: bool) {
             format!("{:.3}", analysis.eta),
             tmix.to_string(),
             fmt(m.mean),
-            fmt(m.p95),
+            fmt_opt(m.p95),
             fmt(bound),
             fmt(m.mean / bound),
         ]);
@@ -87,7 +95,10 @@ pub fn run(quick: bool) {
             }
         }
     }
-    println!("\nFact 2 check (P_NM = 1/k = {:.4}); empirical pair probabilities:", 1.0 / k as f64);
+    println!(
+        "\nFact 2 check (P_NM = 1/k = {:.4}); empirical pair probabilities:",
+        1.0 / k as f64
+    );
     let mut t2 = Table::new(vec!["pair", "P(edge)"]);
     for (&(a, b), &h) in probes.iter().zip(&hits) {
         t2.row(vec![format!("({a},{b})"), fmt(h as f64 / rounds as f64)]);

@@ -41,7 +41,11 @@ pub fn run(quick: bool) {
     let tv_rd_uniform = occ_rd.tv_distance_to_density(|_, _| 1.0 / (side * side));
 
     let mut table = Table::new(vec![
-        "model", "TV vs analytic Fwp", "TV vs uniform", "delta", "lambda",
+        "model",
+        "TV vs analytic Fwp",
+        "TV vs uniform",
+        "delta",
+        "lambda",
     ]);
     table.row(vec![
         "random waypoint".to_string(),

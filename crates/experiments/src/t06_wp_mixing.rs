@@ -18,7 +18,11 @@ pub fn run(quick: bool) {
 
     println!("series 1: L sweep at v = 1 (expect T_pos-mix ~ L)");
     let mut table = Table::new(vec!["L", "T_pos-mix", "T/L"]);
-    let sides: &[f64] = if quick { &[8.0, 16.0] } else { &[8.0, 16.0, 32.0, 64.0] };
+    let sides: &[f64] = if quick {
+        &[8.0, 16.0]
+    } else {
+        &[8.0, 16.0, 32.0, 64.0]
+    };
     let mut xs = Vec::new();
     let mut ys = Vec::new();
     for &side in sides {
@@ -36,7 +40,11 @@ pub fn run(quick: bool) {
         );
         match mix {
             Some(m) => {
-                table.row(vec![fmt(side), m.rounds.to_string(), fmt(m.rounds as f64 / side)]);
+                table.row(vec![
+                    fmt(side),
+                    m.rounds.to_string(),
+                    fmt(m.rounds as f64 / side),
+                ]);
                 xs.push(side);
                 ys.push(m.rounds as f64);
             }
@@ -56,16 +64,15 @@ pub fn run(quick: bool) {
     println!("\nseries 2: v sweep at L = 32 (expect T_pos-mix ~ 1/v)");
     let side = 32.0;
     let mut t2 = Table::new(vec!["v", "T_pos-mix", "T*v/L"]);
-    let speeds: &[f64] = if quick { &[1.0, 2.0] } else { &[0.5, 1.0, 2.0, 4.0] };
+    let speeds: &[f64] = if quick {
+        &[1.0, 2.0]
+    } else {
+        &[0.5, 1.0, 2.0, 4.0]
+    };
     for &v in speeds {
         let wp = RandomWaypoint::new(side, v, v).unwrap();
-        let reference = positional::stationary_occupancy(
-            &wp,
-            cells,
-            (8.0 * side / v) as usize,
-            samples,
-            0x82,
-        );
+        let reference =
+            positional::stationary_occupancy(&wp, cells, (8.0 * side / v) as usize, samples, 0x82);
         let mix = positional::positional_mixing_time(
             &wp,
             &reference,

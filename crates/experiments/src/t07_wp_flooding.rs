@@ -14,7 +14,7 @@ use dynagraph::theory;
 use dynagraph::EvolvingGraph;
 
 use crate::common::{measure, scaled};
-use crate::table::{fmt, Table};
+use crate::table::{fmt, fmt_opt, Table};
 
 pub fn run(quick: bool) {
     let trials = scaled(16, quick);
@@ -28,7 +28,14 @@ pub fn run(quick: bool) {
         &[64, 144, 256, 400, 576]
     };
     let mut table = Table::new(vec![
-        "n", "L", "mean F", "p95 F", "sqrt(n)/v", "bound", "F/sqrt(n)", "disconn",
+        "n",
+        "L",
+        "mean F",
+        "p95 F",
+        "sqrt(n)/v",
+        "bound",
+        "F/sqrt(n)",
+        "disconn",
     ]);
     let mut xs = Vec::new();
     let mut ys = Vec::new();
@@ -36,9 +43,7 @@ pub fn run(quick: bool) {
         let side = (n as f64).sqrt();
         let warm = (8.0 * side / v) as usize;
         let m = measure(
-            |seed| {
-                GeometricMeg::new(RandomWaypoint::new(side, v, v).unwrap(), n, r, seed).unwrap()
-            },
+            |seed| GeometricMeg::new(RandomWaypoint::new(side, v, v).unwrap(), n, r, seed).unwrap(),
             trials,
             200_000,
             warm,
@@ -63,7 +68,7 @@ pub fn run(quick: bool) {
             n.to_string(),
             fmt(side),
             fmt(m.mean),
-            fmt(m.p95),
+            fmt_opt(m.p95),
             fmt(lower),
             fmt(bound),
             fmt(m.mean / lower),
@@ -96,8 +101,13 @@ pub fn run(quick: bool) {
     );
     let fine = measure(
         |seed| {
-            GeometricMeg::new(RandomWaypoint::new(side, fine_v, fine_v).unwrap(), n, r, seed)
-                .unwrap()
+            GeometricMeg::new(
+                RandomWaypoint::new(side, fine_v, fine_v).unwrap(),
+                n,
+                r,
+                seed,
+            )
+            .unwrap()
         },
         trials,
         400_000,

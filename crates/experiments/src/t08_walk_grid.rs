@@ -9,7 +9,7 @@ use dg_mobility::{GeometricMeg, GridWalk};
 use dg_stats::log_log_fit;
 
 use crate::common::{measure, scaled};
-use crate::table::{fmt, Table};
+use crate::table::{fmt, fmt_opt, Table};
 
 pub fn run(quick: bool) {
     let trials = scaled(16, quick);
@@ -17,7 +17,11 @@ pub fn run(quick: bool) {
     println!("random walk model on an {m}x{m} grid (rho = 1), stationary start (uniform)");
 
     println!("series 1: n sweep at r = 1");
-    let ns: &[usize] = if quick { &[16, 32, 64] } else { &[16, 32, 64, 128, 256] };
+    let ns: &[usize] = if quick {
+        &[16, 32, 64]
+    } else {
+        &[16, 32, 64, 128, 256]
+    };
     let mut table = Table::new(vec!["n", "mean F", "p95 F", "incomplete"]);
     let mut xs = Vec::new();
     let mut ys = Vec::new();
@@ -32,7 +36,7 @@ pub fn run(quick: bool) {
         table.row(vec![
             n.to_string(),
             fmt(meas.mean),
-            fmt(meas.p95),
+            fmt_opt(meas.p95),
             meas.incomplete.to_string(),
         ]);
         if meas.mean.is_finite() {
@@ -58,7 +62,7 @@ pub fn run(quick: bool) {
             100,
             0x89,
         );
-        t2.row(vec![fmt(r), fmt(meas.mean), fmt(meas.p95)]);
+        t2.row(vec![fmt(r), fmt(meas.mean), fmt_opt(meas.p95)]);
     }
     t2.print();
     println!("shape check: F decreases monotonically in both n and r");

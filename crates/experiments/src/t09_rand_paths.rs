@@ -12,7 +12,7 @@ use dg_stats::log_log_fit;
 use dynagraph::theory;
 
 use crate::common::{measure, scaled};
-use crate::table::{fmt, Table};
+use crate::table::{fmt, fmt_opt, Table};
 
 pub fn run(quick: bool) {
     let trials = scaled(12, quick);
@@ -21,7 +21,16 @@ pub fn run(quick: bool) {
 
     let ms: &[usize] = if quick { &[3, 4, 5] } else { &[3, 4, 6, 8] };
     let mut table = Table::new(vec![
-        "m", "D", "|V|", "delta", "simple", "reversible", "n", "mean F", "p95 F", "F/D",
+        "m",
+        "D",
+        "|V|",
+        "delta",
+        "simple",
+        "reversible",
+        "n",
+        "mean F",
+        "p95 F",
+        "F/D",
         "Cor5 bound",
     ]);
     let mut xs = Vec::new();
@@ -56,7 +65,7 @@ pub fn run(quick: bool) {
             reversible.to_string(),
             n.to_string(),
             fmt(meas.mean),
-            fmt(meas.p95),
+            fmt_opt(meas.p95),
             fmt(meas.mean / d as f64),
             fmt(bound),
         ]);

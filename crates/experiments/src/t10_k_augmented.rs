@@ -13,7 +13,7 @@ use dg_mobility::{PathFamily, RandomPathModel};
 use dynagraph::theory;
 
 use crate::common::{measure, scaled};
-use crate::table::{fmt, Table};
+use crate::table::{fmt, fmt_opt, Table};
 
 pub fn run(quick: bool) {
     let trials = scaled(12, quick);
@@ -28,20 +28,23 @@ pub fn run(quick: bool) {
     let ks: &[usize] = if quick { &[1, 2, 3] } else { &[1, 2, 3, 4] };
     let meet_trials = if quick { 60 } else { 200 };
     let mut table = Table::new(vec![
-        "k", "Tmix(exact)", "Tmix*k^2", "T*(meeting)", "mean F", "p95 F",
-        "ours~Tmix polylog", "DNS bound",
+        "k",
+        "Tmix(exact)",
+        "Tmix*k^2",
+        "T*(meeting)",
+        "mean F",
+        "p95 F",
+        "ours~Tmix polylog",
+        "DNS bound",
     ]);
     for &k in ks {
         let h = generators::k_augmented_grid(m, m, k);
         let chain = random_walk_chain(&h, laziness).expect("augmented grids are connected");
-        let tmix = chain.mixing_time(0.25, 1 << 24).expect("lazy walk is ergodic");
-        let meeting = dg_mobility::meeting::estimate_meeting_time(
-            &h,
-            laziness,
-            meet_trials,
-            1 << 22,
-            0xA0,
-        );
+        let tmix = chain
+            .mixing_time(0.25, 1 << 24)
+            .expect("lazy walk is ergodic");
+        let meeting =
+            dg_mobility::meeting::estimate_meeting_time(&h, laziness, meet_trials, 1 << 22, 0xA0);
         let meas = measure(
             |seed| {
                 let h = generators::k_augmented_grid(m, m, k);
@@ -64,7 +67,7 @@ pub fn run(quick: bool) {
             fmt((tmix * k * k) as f64),
             fmt(meeting.rounds.mean()),
             fmt(meas.mean),
-            fmt(meas.p95),
+            fmt_opt(meas.p95),
             fmt(ours),
             fmt(dns),
         ]);

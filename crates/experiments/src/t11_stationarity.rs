@@ -20,7 +20,13 @@ pub fn run(quick: bool) {
     let obs = if quick { 150 } else { 600 };
 
     let mut table = Table::new(vec![
-        "model", "M", "alpha_min", "beta_max", "Thm1 bound", "mean F", "F/bound",
+        "model",
+        "M",
+        "alpha_min",
+        "beta_max",
+        "Thm1 bound",
+        "mean F",
+        "F/bound",
     ]);
 
     // Model 1: two-state edge-MEG; true alpha = p/(p+q), beta = 1.
@@ -42,7 +48,12 @@ pub fn run(quick: bool) {
         n1,
         &cfg,
     );
-    let bound = theory::theorem1_bound(meg_m as f64, est.alpha_min.max(1e-9), est.beta_max.max(1.0), n1);
+    let bound = theory::theorem1_bound(
+        meg_m as f64,
+        est.alpha_min.max(1e-9),
+        est.beta_max.max(1.0),
+        n1,
+    );
     let meas = measure(
         |seed| TwoStateEdgeMeg::stationary(n1, p, q, seed).unwrap(),
         trials,
@@ -116,7 +127,9 @@ pub fn run(quick: bool) {
 
     // Epoch ablation: Theorem 1's bound grows linearly in M while the
     // process (and measured F) is M-independent.
-    println!("\nepoch ablation on the edge-MEG (measured F is M-independent; the bound is linear in M):");
+    println!(
+        "\nepoch ablation on the edge-MEG (measured F is M-independent; the bound is linear in M):"
+    );
     let mut t2 = Table::new(vec!["M", "Thm1 bound", "measured F"]);
     for mult in [1usize, 2, 4] {
         let m_len = meg_m * mult;

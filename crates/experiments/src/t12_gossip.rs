@@ -4,55 +4,50 @@
 //! neighbours" to flooding on a virtual dynamic graph with edges removed.
 //! We compare plain flooding, γ-thinned flooding (each edge transmits
 //! independently with probability γ), and the push-k protocol on the same
-//! underlying processes.
+//! underlying processes — all through the same `Simulation` builder,
+//! varying only the protocol/model axis.
 
 use dg_edge_meg::TwoStateEdgeMeg;
 use dg_mobility::{GeometricMeg, RandomWaypoint};
-use dg_stats::Summary;
-use dynagraph::flooding::flood;
-use dynagraph::gossip::push_spread;
-use dynagraph::{mix_seed, EvolvingGraph, ThinnedEvolvingGraph};
+use dynagraph::engine::{PushGossip, Simulation};
+use dynagraph::{EvolvingGraph, ThinnedEvolvingGraph};
 
 use crate::common::scaled;
 use crate::table::{fmt, Table};
 
-fn thinned_mean<G: EvolvingGraph, F: Fn(u64) -> G>(
+fn thinned_mean<G: EvolvingGraph, F: Fn(u64) -> G + Sync>(
     make: F,
     gamma: f64,
     trials: usize,
     warm: usize,
     base: u64,
 ) -> f64 {
-    let mut s = Summary::new();
-    for t in 0..trials {
-        let seed = mix_seed(base, t as u64);
-        let inner = make(seed);
-        let mut g = ThinnedEvolvingGraph::new(inner, gamma, seed).unwrap();
-        g.warm_up(warm);
-        if let Some(f) = flood(&mut g, 0, 500_000).flooding_time() {
-            s.push(f as f64);
-        }
-    }
-    s.mean()
+    Simulation::builder()
+        .model(move |seed| ThinnedEvolvingGraph::new(make(seed), gamma, seed).unwrap())
+        .trials(trials)
+        .max_rounds(500_000)
+        .warm_up(warm)
+        .base_seed(base)
+        .run()
+        .mean()
 }
 
-fn push_mean<G: EvolvingGraph, F: Fn(u64) -> G>(
+fn push_mean<G: EvolvingGraph, F: Fn(u64) -> G + Sync>(
     make: F,
     fanout: usize,
     trials: usize,
     warm: usize,
     base: u64,
 ) -> f64 {
-    let mut s = Summary::new();
-    for t in 0..trials {
-        let seed = mix_seed(base, t as u64);
-        let mut g = make(seed);
-        g.warm_up(warm);
-        if let Some(f) = push_spread(&mut g, 0, fanout, 500_000, seed).flooding_time() {
-            s.push(f as f64);
-        }
-    }
-    s.mean()
+    Simulation::builder()
+        .model(make)
+        .protocol(PushGossip::new(fanout))
+        .trials(trials)
+        .max_rounds(500_000)
+        .warm_up(warm)
+        .base_seed(base)
+        .run()
+        .mean()
 }
 
 pub fn run(quick: bool) {

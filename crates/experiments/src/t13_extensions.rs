@@ -19,14 +19,21 @@ use dynagraph::flooding::flood;
 use dynagraph::{interval, mix_seed, JammedEvolvingGraph, RecordedEvolution};
 
 use crate::common::{measure, scaled};
-use crate::table::{fmt, Table};
+use crate::table::{fmt, fmt_opt, Table};
 
 pub fn run(quick: bool) {
     let trials = scaled(12, quick);
 
     // 1. Barbell vs hypercube random walk model (same-point connection).
     println!("1) mixing-time sensitivity: random walk model on slow- vs fast-mixing graphs");
-    let mut t1 = Table::new(vec!["mobility graph", "|V|", "walk Tmix", "n", "mean F", "p95 F"]);
+    let mut t1 = Table::new(vec![
+        "mobility graph",
+        "|V|",
+        "walk Tmix",
+        "n",
+        "mean F",
+        "p95 F",
+    ]);
     let laziness = 0.25;
     let bb = generators::barbell(16, 4); // 36 points, Tmix ~ clique² * bridge
     let hc = generators::hypercube(5); // 32 points, Tmix ~ d log d
@@ -50,7 +57,7 @@ pub fn run(quick: bool) {
             tmix.to_string(),
             n.to_string(),
             fmt(meas.mean),
-            fmt(meas.p95),
+            fmt_opt(meas.p95),
         ]);
     }
     t1.print();
@@ -77,7 +84,11 @@ pub fn run(quick: bool) {
             0,
             0xA2,
         );
-        t2.row(vec![format!("{victims}"), fmt(meas.mean), fmt(meas.p95)]);
+        t2.row(vec![
+            format!("{victims}"),
+            fmt(meas.mean),
+            fmt_opt(meas.p95),
+        ]);
     }
     t2.print();
 

@@ -47,6 +47,15 @@ impl Table {
     }
 }
 
+/// Formats an optional float for table cells; `None` (no completed
+/// trials) prints as `-`.
+pub fn fmt_opt(x: Option<f64>) -> String {
+    match x {
+        Some(x) => fmt(x),
+        None => "-".to_string(),
+    }
+}
+
 /// Formats a float compactly for table cells.
 pub fn fmt(x: f64) -> String {
     if x.is_nan() {

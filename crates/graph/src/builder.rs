@@ -120,7 +120,10 @@ mod tests {
     #[test]
     fn rejects_self_loop() {
         let mut b = GraphBuilder::new(2);
-        assert_eq!(b.add_edge(1, 1).unwrap_err(), GraphError::SelfLoop { node: 1 });
+        assert_eq!(
+            b.add_edge(1, 1).unwrap_err(),
+            GraphError::SelfLoop { node: 1 }
+        );
     }
 
     #[test]

@@ -33,7 +33,10 @@ pub struct Graph {
 
 impl Graph {
     pub(crate) fn from_csr(offsets: Vec<u32>, targets: Vec<NodeId>, edge_count: usize) -> Self {
-        debug_assert_eq!(*offsets.last().expect("offsets non-empty") as usize, targets.len());
+        debug_assert_eq!(
+            *offsets.last().expect("offsets non-empty") as usize,
+            targets.len()
+        );
         Graph {
             offsets,
             targets,

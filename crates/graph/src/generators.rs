@@ -57,7 +57,8 @@ pub fn complete(n: usize) -> Graph {
 pub fn star(n: usize) -> Graph {
     let mut b = GraphBuilder::new(n);
     for u in 1..n {
-        b.add_edge(0, u as NodeId).expect("distinct in-range endpoints");
+        b.add_edge(0, u as NodeId)
+            .expect("distinct in-range endpoints");
     }
     b.build()
 }
@@ -228,7 +229,8 @@ pub fn barbell(clique: usize, bridge: usize) -> Graph {
     for side_start in [0, right_start] {
         for u in side_start..side_start + clique {
             for v in (u + 1)..side_start + clique {
-                b.add_edge(u as NodeId, v as NodeId).expect("clique edges valid");
+                b.add_edge(u as NodeId, v as NodeId)
+                    .expect("clique edges valid");
             }
         }
     }

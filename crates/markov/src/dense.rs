@@ -63,7 +63,10 @@ impl DenseChain {
                 });
             }
             if row.iter().any(|&p| !p.is_finite() || p < 0.0) {
-                return Err(MarkovError::InvalidRow { row: i, sum: f64::NAN });
+                return Err(MarkovError::InvalidRow {
+                    row: i,
+                    sum: f64::NAN,
+                });
             }
             let sum: f64 = row.iter().sum();
             if (sum - 1.0).abs() > ROW_TOL {
@@ -246,9 +249,7 @@ impl DenseChain {
                 return Ok(d);
             }
         }
-        Err(MarkovError::NoConvergence {
-            max_iterations,
-        })
+        Err(MarkovError::NoConvergence { max_iterations })
     }
 
     /// Exact worst-case-start mixing time
@@ -473,7 +474,10 @@ mod tests {
         let pi = c.stationary(1e-13, 1_000_000).unwrap();
         let worst_at = |steps: usize| -> f64 {
             (0..c.state_count())
-                .map(|x| c.evolve(&ProbDist::point(c.state_count(), x), steps).tv_distance(&pi))
+                .map(|x| {
+                    c.evolve(&ProbDist::point(c.state_count(), x), steps)
+                        .tv_distance(&pi)
+                })
                 .fold(0.0, f64::max)
         };
         assert!(worst_at(t) <= eps + 1e-9);

@@ -82,9 +82,7 @@ mod tests {
                 found: 4,
             },
             MarkovError::NotErgodic,
-            MarkovError::NoConvergence {
-                max_iterations: 10,
-            },
+            MarkovError::NoConvergence { max_iterations: 10 },
             MarkovError::ParameterOutOfRange {
                 name: "p",
                 value: 2.0,

@@ -222,8 +222,7 @@ mod tests {
 
     #[test]
     fn non_ergodic_rejected() {
-        let chain =
-            DenseChain::from_rows(vec![vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
+        let chain = DenseChain::from_rows(vec![vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
         assert!(matches!(
             spectrum(&chain, 1e-9, 1000),
             Err(MarkovError::NotErgodic)

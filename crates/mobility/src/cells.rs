@@ -86,12 +86,7 @@ impl CellList {
     ///
     /// Panics if `r` exceeds the cell size times the neighbourhood reach
     /// (i.e. callers must construct the list with `min_cell >= r`).
-    pub fn for_each_pair_within(
-        &self,
-        points: &[Point],
-        r: f64,
-        mut f: impl FnMut(u32, u32),
-    ) {
+    pub fn for_each_pair_within(&self, points: &[Point], r: f64, mut f: impl FnMut(u32, u32)) {
         assert!(
             r <= self.cell_size + 1e-12 || self.grid == 1,
             "radius {r} exceeds cell size {}",

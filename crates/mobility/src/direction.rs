@@ -112,7 +112,10 @@ impl MobilityModel for RandomDirection {
     fn worst_initial(&self) -> DirectionState {
         DirectionState {
             pos: Point::new(0.0, 0.0),
-            dir: (std::f64::consts::FRAC_1_SQRT_2, std::f64::consts::FRAC_1_SQRT_2),
+            dir: (
+                std::f64::consts::FRAC_1_SQRT_2,
+                std::f64::consts::FRAC_1_SQRT_2,
+            ),
             remaining: self.min_leg,
         }
     }
@@ -211,7 +214,8 @@ mod tests {
             rd.step_state(&mut s, &mut rng);
             grid.push(s.pos.x, s.pos.y);
         }
-        let center = grid.probability(1, 1) + grid.probability(1, 2)
+        let center = grid.probability(1, 1)
+            + grid.probability(1, 2)
             + grid.probability(2, 1)
             + grid.probability(2, 2);
         // Uniform would put 0.25 mass on the 4 central cells; allow slack

@@ -266,10 +266,7 @@ mod tests {
         let total: u64 = counts.iter().sum();
         for (p, &c) in counts.iter().enumerate() {
             let freq = c as f64 / total as f64;
-            assert!(
-                (freq - 0.125).abs() < 0.01,
-                "point {p}: freq {freq}"
-            );
+            assert!((freq - 0.125).abs() < 0.01, "point {p}: freq {freq}");
         }
     }
 

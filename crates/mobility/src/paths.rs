@@ -356,14 +356,10 @@ mod tests {
     #[test]
     fn reversibility_detected() {
         let g = generators::path(3);
-        let f = PathFamily::new(&g, vec![vec![0, 1], vec![1, 0], vec![1, 2], vec![2, 1]])
-            .unwrap();
+        let f = PathFamily::new(&g, vec![vec![0, 1], vec![1, 0], vec![1, 2], vec![2, 1]]).unwrap();
         assert!(f.is_reversible());
-        let f2 = PathFamily::new(
-            &g,
-            vec![vec![0, 1, 2], vec![2, 1], vec![1, 0], vec![0, 1]],
-        )
-        .unwrap();
+        let f2 =
+            PathFamily::new(&g, vec![vec![0, 1, 2], vec![2, 1], vec![1, 0], vec![0, 1]]).unwrap();
         assert!(!f2.is_reversible());
     }
 }

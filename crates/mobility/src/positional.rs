@@ -259,7 +259,10 @@ mod tests {
         for cy in 0..8 {
             for cx in 0..8 {
                 for _ in 0..100 {
-                    g.push((cx as f64 + 0.5) * 10.0 / 8.0, (cy as f64 + 0.5) * 10.0 / 8.0);
+                    g.push(
+                        (cx as f64 + 0.5) * 10.0 / 8.0,
+                        (cy as f64 + 0.5) * 10.0 / 8.0,
+                    );
                 }
             }
         }

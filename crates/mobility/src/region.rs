@@ -101,7 +101,10 @@ impl Rect {
             x0.is_finite() && y0.is_finite() && x1.is_finite() && y1.is_finite(),
             "bounds must be finite"
         );
-        assert!(x0 >= 0.0 && y0 >= 0.0 && x0 < x1 && y0 < y1, "invalid rectangle");
+        assert!(
+            x0 >= 0.0 && y0 >= 0.0 && x0 < x1 && y0 < y1,
+            "invalid rectangle"
+        );
         Rect { x0, y0, x1, y1 }
     }
 }
@@ -345,7 +348,10 @@ mod tests {
             .sum();
         let cell_area = (12.0 / 6.0) * (12.0 / 6.0);
         let uniform = 4.0 * cell_area / disk.area();
-        assert!(center > 1.2 * uniform, "center {center} vs uniform {uniform}");
+        assert!(
+            center > 1.2 * uniform,
+            "center {center} vs uniform {uniform}"
+        );
     }
 
     #[test]
@@ -355,7 +361,11 @@ mod tests {
         let occ = positional::stationary_occupancy(&wp, 8, 1000, 80_000, 9);
         let dl = estimate_delta_lambda_in_region(&occ, &disk, 1.0);
         assert!(dl.delta >= 1.0 && dl.delta < 10.0, "delta = {}", dl.delta);
-        assert!(dl.lambda > 0.05 && dl.lambda <= 1.0, "lambda = {}", dl.lambda);
+        assert!(
+            dl.lambda > 0.05 && dl.lambda <= 1.0,
+            "lambda = {}",
+            dl.lambda
+        );
     }
 
     #[test]

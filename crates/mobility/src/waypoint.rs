@@ -90,10 +90,7 @@ impl RandomWaypoint {
     }
 
     fn sample_point(&self, rng: &mut SmallRng) -> Point {
-        Point::new(
-            rng.gen::<f64>() * self.side,
-            rng.gen::<f64>() * self.side,
-        )
+        Point::new(rng.gen::<f64>() * self.side, rng.gen::<f64>() * self.side)
     }
 
     fn sample_speed(&self, rng: &mut SmallRng) -> f64 {
@@ -278,10 +275,7 @@ mod tests {
             let dx = (s.pos.x - before.x).abs();
             let dy = (s.pos.y - before.y).abs();
             // Every move is along one axis only (within a leg).
-            assert!(
-                dx < 1e-9 || dy < 1e-9,
-                "diagonal move: dx={dx} dy={dy}"
-            );
+            assert!(dx < 1e-9 || dy < 1e-9, "diagonal move: dx={dx} dy={dy}");
         }
     }
 

@@ -11,7 +11,7 @@
 //! ```
 
 use dynspread::dg_edge_meg::SparseTwoStateEdgeMeg;
-use dynspread::dynagraph::gossip::parsimonious_flood;
+use dynspread::dynagraph::engine::{ParsimoniousFlooding, Simulation};
 use dynspread::dynagraph::{interval, theory, RecordedEvolution};
 
 fn main() {
@@ -25,7 +25,11 @@ fn main() {
     let rec = RecordedEvolution::record(&mut g, 80);
 
     println!("sparse stationary edge-MEG: n = {n}, p = 1.5/n, q = {q}");
-    println!("alpha = {:.5} (average degree ~ {:.1})", p / (p + q), (n - 1) as f64 * p / (p + q));
+    println!(
+        "alpha = {:.5} (average degree ~ {:.1})",
+        p / (p + q),
+        (n - 1) as f64 * p / (p + q)
+    );
     println!(
         "connected snapshots: {:.0}% of 80 rounds",
         100.0 * interval::connected_snapshot_fraction(&rec)
@@ -49,12 +53,23 @@ fn main() {
     // Bonus: the parsimonious protocol of [4] — nodes relay only for a
     // TTL window after learning the message. In this extremely sparse
     // regime a short TTL lets the message die out; a modest one suffices.
+    // Only the protocol axis of the builder changes per row.
     println!("\nparsimonious flooding [4] (nodes relay for ttl rounds only):");
     for ttl in [2u32, 4, 8, 16] {
-        let mut g2 = SparseTwoStateEdgeMeg::stationary(n, p, q, 8).expect("valid parameters");
-        match parsimonious_flood(&mut g2, 0, ttl, 100_000).flooding_time() {
+        let report = Simulation::builder()
+            .model(|seed| SparseTwoStateEdgeMeg::stationary(n, p, q, seed).expect("valid"))
+            .protocol(ParsimoniousFlooding::new(ttl))
+            .trials(1)
+            .max_rounds(100_000)
+            .base_seed(8)
+            .run();
+        let rec = &report.records()[0];
+        match rec.time {
             Some(t) => println!("  ttl = {ttl:>2}: completed in {t} rounds"),
-            None => println!("  ttl = {ttl:>2}: message died out (frontier went silent)"),
+            None => println!(
+                "  ttl = {ttl:>2}: message died out after {} rounds ({} of {n} informed)",
+                rec.rounds, rec.informed
+            ),
         }
     }
 }

@@ -5,7 +5,8 @@
 //! independently with probability γ (modeled exactly as flooding on a
 //! thinned "virtual" dynamic graph, the reduction §5 describes), or to a
 //! bounded number k of random neighbours (push-k). This example measures
-//! the energy/latency trade-off on a waypoint MANET.
+//! the energy/latency trade-off on a waypoint MANET — one `Simulation`
+//! builder, three points on the protocol/model axes.
 //!
 //! Run with:
 //! ```text
@@ -13,10 +14,8 @@
 //! ```
 
 use dynspread::dg_mobility::{GeometricMeg, RandomWaypoint};
-use dynspread::dg_stats::Summary;
-use dynspread::dynagraph::flooding::flood;
-use dynspread::dynagraph::gossip::push_spread;
-use dynspread::dynagraph::{mix_seed, EvolvingGraph, ThinnedEvolvingGraph};
+use dynspread::dynagraph::engine::{PushGossip, Simulation, SimulationReport};
+use dynspread::dynagraph::ThinnedEvolvingGraph;
 
 fn make_manet(seed: u64) -> GeometricMeg<RandomWaypoint> {
     let n = 100;
@@ -30,52 +29,57 @@ fn make_manet(seed: u64) -> GeometricMeg<RandomWaypoint> {
     .expect("valid network")
 }
 
+fn print_row(label: &str, report: &SimulationReport, baseline: f64) {
+    println!(
+        "{label:<22} {:>12.1} {:>13.2}x {:>14.0}",
+        report.mean(),
+        report.mean() / baseline,
+        report.mean_messages()
+    );
+}
+
 fn main() {
     let trials = 20;
     let warm = 100;
 
     println!("waypoint MANET, n = 100, L = 12, r = 2 — protocol comparison over {trials} trials\n");
-    println!("{:<22} {:>12} {:>14}", "protocol", "mean rounds", "vs flooding");
+    println!(
+        "{:<22} {:>12} {:>14} {:>14}",
+        "protocol", "mean rounds", "vs flooding", "msgs/trial"
+    );
 
     let mut baseline = f64::NAN;
     for gamma in [1.0, 0.5, 0.25, 0.1] {
-        let mut s = Summary::new();
-        for t in 0..trials {
-            let seed = mix_seed(0xD7, t);
-            let mut g = ThinnedEvolvingGraph::new(make_manet(seed), gamma, seed)
-                .expect("gamma in range");
-            g.warm_up(warm);
-            if let Some(f) = flood(&mut g, 0, 100_000).flooding_time() {
-                s.push(f as f64);
-            }
-        }
+        let report = Simulation::builder()
+            .model(move |seed| {
+                ThinnedEvolvingGraph::new(make_manet(seed), gamma, seed).expect("gamma in range")
+            })
+            .trials(trials)
+            .max_rounds(100_000)
+            .warm_up(warm)
+            .base_seed(0xD7)
+            .run();
         if gamma == 1.0 {
-            baseline = s.mean();
+            baseline = report.mean();
         }
         let label = if gamma == 1.0 {
             "flooding (gamma=1)".to_string()
         } else {
             format!("thinned gamma={gamma}")
         };
-        println!("{label:<22} {:>12.1} {:>13.2}x", s.mean(), s.mean() / baseline);
+        print_row(&label, &report, baseline);
     }
 
     for k in [1usize, 2, 4] {
-        let mut s = Summary::new();
-        for t in 0..trials {
-            let seed = mix_seed(0xD8, t);
-            let mut g = make_manet(seed);
-            g.warm_up(warm);
-            if let Some(f) = push_spread(&mut g, 0, k, 100_000, seed).flooding_time() {
-                s.push(f as f64);
-            }
-        }
-        println!(
-            "{:<22} {:>12.1} {:>13.2}x",
-            format!("push-{k}"),
-            s.mean(),
-            s.mean() / baseline
-        );
+        let report = Simulation::builder()
+            .model(make_manet)
+            .protocol(PushGossip::new(k))
+            .trials(trials)
+            .max_rounds(100_000)
+            .warm_up(warm)
+            .base_seed(0xD8)
+            .run();
+        print_row(&format!("push-{k}"), &report, baseline);
     }
 
     println!(

@@ -6,7 +6,8 @@
 //! constant node speed over a region that grows with the number of nodes:
 //! every snapshot is sparse and disconnected, and messages spread only by
 //! physically carrying them. The paper proves flooding still completes in
-//! `Õ(√n / v)` rounds.
+//! `Õ(√n / v)` rounds. The engine's streaming observers extract the phase
+//! structure and per-node delivery delays without buffering runs.
 //!
 //! Run with:
 //! ```text
@@ -14,8 +15,7 @@
 //! ```
 
 use dynspread::dg_mobility::{GeometricMeg, RandomWaypoint};
-use dynspread::dynagraph::analysis::GrowthCurve;
-use dynspread::dynagraph::flooding::flood;
+use dynspread::dynagraph::engine::{DelayObserver, PhaseObserver, Simulation};
 use dynspread::dynagraph::{theory, EvolvingGraph};
 
 fn main() {
@@ -23,17 +23,23 @@ fn main() {
     let side = (n as f64).sqrt(); // density-1 deployment: L = sqrt(n)
     let speed = 1.0;
     let radius = 1.0; // r = Theta(1) = Theta(v): the DTN regime
+    let warm = (8.0 * side / speed) as usize;
 
-    let waypoint = RandomWaypoint::new(side, speed, speed).expect("valid waypoint parameters");
-    let mut network =
-        GeometricMeg::new(waypoint, n, radius, 2024).expect("valid network parameters");
+    let make = |seed: u64| {
+        GeometricMeg::new(
+            RandomWaypoint::new(side, speed, speed).expect("valid waypoint parameters"),
+            n,
+            radius,
+            seed,
+        )
+        .expect("valid network parameters")
+    };
 
-    // Let the mobility process reach its stationary (center-biased) regime
-    // before the message is injected.
-    network.warm_up((8.0 * side / speed) as usize);
-
-    // How disconnected is this network? Count components in one snapshot.
-    let snap = network.step().clone();
+    // How disconnected is this network? Count components in one
+    // stationary snapshot.
+    let mut probe = make(2024);
+    probe.warm_up(warm);
+    let snap = probe.step().clone();
     let graph = snap.to_graph();
     let (_, components) = dynspread::dg_graph::traversal::connected_components(&graph);
     println!("MANET: n = {n} nodes on a {side:.0} x {side:.0} field, r = {radius}, v = {speed}");
@@ -42,38 +48,55 @@ fn main() {
         snap.edge_count(),
     );
 
-    // Inject the message at node 0 and flood.
-    let run = flood(&mut network, 0, 100_000);
-    let curve = GrowthCurve::from_run(&run, n);
-    match run.flooding_time() {
-        Some(t) => {
-            println!("\nmessage reached all {n} nodes in {t} rounds");
-            println!(
-                "  trivial lower bound sqrt(n)/v = {:.0}, paper bound Õ(sqrt(n)/v) = {:.0}",
-                theory::waypoint_sparse_lower_bound(n, speed),
-                theory::waypoint_sparse_bound(n, speed)
-            );
-            println!(
-                "  half the network was informed by round {:?}; saturation tail {:?} rounds",
-                curve.spreading_phase_end(),
-                curve.saturation_phase_len()
-            );
-        }
-        None => println!("message did not reach everyone within the round cap"),
-    }
+    // Inject the message at node 0 and flood; the observers stream the
+    // growth-curve phases and per-node delivery delays.
+    let trials = 10;
+    let (report, observers) = Simulation::builder()
+        .model(make)
+        .trials(trials)
+        .max_rounds(100_000)
+        .warm_up(warm)
+        .base_seed(2024)
+        .observers(|_trial| (PhaseObserver::new(), DelayObserver::new()))
+        .run_observed();
 
-    // Per-node delivery times: percentiles of the informed_at distribution.
-    let mut delays: Vec<f64> = run
-        .informed_at()
-        .iter()
-        .filter_map(|t| t.map(|x| x as f64))
-        .collect();
-    delays.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    let q = dynspread::dg_stats::Quantiles::new(delays);
+    match report.incomplete() {
+        0 => println!("\nmessage reached all {n} nodes in every one of {trials} trials"),
+        k => println!("\n{k} of {trials} trials missed nodes within the round cap"),
+    }
     println!(
-        "  delivery delay percentiles: p50 = {:.0}, p90 = {:.0}, p99 = {:.0}",
-        q.quantile(0.5),
-        q.quantile(0.9),
-        q.quantile(0.99)
+        "mean flooding time {:.1} rounds (p95 {:.1})",
+        report.mean(),
+        report.p95().unwrap_or(f64::NAN)
     );
+    println!(
+        "  trivial lower bound sqrt(n)/v = {:.0}, paper bound Õ(sqrt(n)/v) = {:.0}",
+        theory::waypoint_sparse_lower_bound(n, speed),
+        theory::waypoint_sparse_bound(n, speed)
+    );
+
+    // Fold the per-trial streaming observers in trial order.
+    let mut spreading = dynspread::dg_stats::Summary::new();
+    let mut saturation = dynspread::dg_stats::Summary::new();
+    let mut delays: Vec<f64> = Vec::new();
+    for (phase, delay) in &observers {
+        spreading.merge(phase.spreading());
+        saturation.merge(phase.saturation());
+        delays.extend_from_slice(delay.delays());
+    }
+    println!(
+        "  half the network informed by round {:.1} on average; saturation tail {:.1} rounds",
+        spreading.mean(),
+        saturation.mean()
+    );
+
+    // Per-node delivery times: percentiles of the streamed delays.
+    if let Some(q) = dynspread::dg_stats::Quantiles::try_new(delays) {
+        println!(
+            "  delivery delay percentiles: p50 = {:.0}, p90 = {:.0}, p99 = {:.0}",
+            q.quantile(0.5),
+            q.quantile(0.9),
+            q.quantile(0.99)
+        );
+    }
 }

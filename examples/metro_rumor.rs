@@ -13,7 +13,7 @@
 //! ```
 
 use dynspread::dg_mobility::{PathFamily, RandomPathModel};
-use dynspread::dynagraph::flooding::{run_trials, TrialConfig};
+use dynspread::dynagraph::engine::Simulation;
 use dynspread::dynagraph::theory;
 
 fn main() {
@@ -22,7 +22,10 @@ fn main() {
     let laziness = 0.25; // dwell probability per round (also fixes grid parity)
 
     let (_, family) = PathFamily::grid_l_paths(m, m);
-    println!("metro: {m}x{m} stations, {} feasible L-paths, {commuters} commuters", family.path_count());
+    println!(
+        "metro: {m}x{m} stations, {} feasible L-paths, {commuters} commuters",
+        family.path_count()
+    );
     println!(
         "family checks (Corollary 5 premises): simple = {}, reversible = {}, delta-regularity = {:.2}",
         family.is_simple(),
@@ -30,29 +33,25 @@ fn main() {
         family.delta_regularity().expect("non-trivial family"),
     );
 
-    let cfg = TrialConfig {
-        trials: 20,
-        max_rounds: 200_000,
-        ..TrialConfig::default()
-    };
-    let results = run_trials(
-        |seed| {
+    let report = Simulation::builder()
+        .model(|seed| {
             let (_, family) = PathFamily::grid_l_paths(m, m);
             RandomPathModel::stationary_lazy(family, commuters, laziness, seed)
                 .expect("valid model")
-        },
-        &cfg,
-    );
+        })
+        .trials(20)
+        .max_rounds(200_000)
+        .run();
 
     let diameter = 2 * (m - 1);
     println!(
         "\nrumor reached all commuters in mean {:.1} rounds (p95 {:.1})",
-        results.mean(),
-        results.p95().unwrap_or(f64::NAN)
+        report.mean(),
+        report.p95().expect("trials completed")
     );
     println!(
         "network diameter D = {diameter}; F/D = {:.2} — within the polylog factor Corollary 5 allows",
-        results.mean() / diameter as f64
+        report.mean() / diameter as f64
     );
     println!(
         "Corollary 5 bound (Tmix = D): {:.0}",

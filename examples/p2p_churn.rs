@@ -5,7 +5,8 @@
 //! disappear independently of node positions. We compare a memoryless
 //! two-state link process against a bursty hidden-chain process with the
 //! same stationary density — the generalized edge-MEG `EM(n, M, χ)` —
-//! and watch the mixing time, not the density, control the spread.
+//! and watch the mixing time, not the density, control the spread. Only
+//! the model axis of the `Simulation` builder changes between the two.
 //!
 //! Run with:
 //! ```text
@@ -13,29 +14,25 @@
 //! ```
 
 use dynspread::dg_edge_meg::{bursty_chain, HiddenChainEdgeMeg, TwoStateEdgeMeg};
-use dynspread::dynagraph::flooding::{run_trials, TrialConfig};
+use dynspread::dynagraph::engine::Simulation;
 
 fn main() {
     let n = 128;
     let trials = 20;
-    let cfg = TrialConfig {
-        trials,
-        max_rounds: 200_000,
-        ..TrialConfig::default()
-    };
 
     // Memoryless churn: a link is up with stationary probability ~2.4%.
     let (p, q) = (0.01, 0.4);
-    let memoryless = run_trials(
-        |seed| TwoStateEdgeMeg::stationary(n, p, q, seed).expect("valid parameters"),
-        &cfg,
-    );
+    let memoryless = Simulation::builder()
+        .model(|seed| TwoStateEdgeMeg::stationary(n, p, q, seed).expect("valid parameters"))
+        .trials(trials)
+        .max_rounds(200_000)
+        .run();
     println!("P2P overlay, n = {n} peers, file injected at one seed peer");
     println!(
         "memoryless churn   (p={p}, q={q}, alpha={:.4}): mean {:.1} rounds, p95 {:.1}",
         p / (p + q),
         memoryless.mean(),
-        memoryless.p95().unwrap_or(f64::NAN)
+        memoryless.p95().expect("trials completed")
     );
 
     // Bursty churn: same stationary density, but links live and die in
@@ -46,17 +43,17 @@ fn main() {
             HiddenChainEdgeMeg::stationary(n, chain.clone(), chi.clone(), 0).expect("valid");
         let alpha = probe.alpha();
         let tmix = probe.mixing_time(0.25).expect("ergodic chain");
-        let bursty = run_trials(
-            |seed| {
-                HiddenChainEdgeMeg::stationary(n, chain.clone(), chi.clone(), seed)
-                    .expect("valid")
-            },
-            &cfg,
-        );
+        let bursty = Simulation::builder()
+            .model(|seed| {
+                HiddenChainEdgeMeg::stationary(n, chain.clone(), chi.clone(), seed).expect("valid")
+            })
+            .trials(trials)
+            .max_rounds(200_000)
+            .run();
         println!(
             "bursty churn x{slow:<3} (alpha={alpha:.4}, Tmix={tmix:>3}):          mean {:.1} rounds, p95 {:.1}",
             bursty.mean(),
-            bursty.p95().unwrap_or(f64::NAN)
+            bursty.p95().expect("trials completed")
         );
     }
     println!(

@@ -1,5 +1,5 @@
-//! Quickstart: flood a sparse edge-MEG and compare against both bounds
-//! from Appendix A of the paper.
+//! Quickstart: flood a sparse edge-MEG through the `Simulation` builder
+//! and compare against both bounds from Appendix A of the paper.
 //!
 //! Run with:
 //! ```text
@@ -7,7 +7,7 @@
 //! ```
 
 use dynspread::dg_edge_meg::TwoStateEdgeMeg;
-use dynspread::dynagraph::flooding::{run_trials, TrialConfig};
+use dynspread::dynagraph::engine::Simulation;
 use dynspread::dynagraph::theory;
 
 fn main() {
@@ -19,24 +19,29 @@ fn main() {
     let p = 1.0 / n as f64;
     let q = 0.5;
 
-    let cfg = TrialConfig {
-        trials: 30,
-        max_rounds: 100_000,
-        ..TrialConfig::default()
-    };
-    let results = run_trials(
-        |seed| TwoStateEdgeMeg::stationary(n, p, q, seed).expect("valid edge-MEG parameters"),
-        &cfg,
-    );
+    let trials = 30;
+    let report = Simulation::builder()
+        .model(|seed| {
+            TwoStateEdgeMeg::stationary(n, p, q, seed).expect("valid edge-MEG parameters")
+        })
+        .trials(trials)
+        .max_rounds(100_000)
+        .run();
 
     println!("edge-MEG: n = {n}, p = {p:.4}, q = {q}");
-    println!("stationary edge density alpha = p/(p+q) = {:.5}", p / (p + q));
     println!(
-        "measured flooding time over {} trials: mean {:.1}, p95 {:.1}, max {:.0}",
-        cfg.trials,
-        results.mean(),
-        results.p95().unwrap_or(f64::NAN),
-        results.max().unwrap_or(f64::NAN),
+        "stationary edge density alpha = p/(p+q) = {:.5}",
+        p / (p + q)
+    );
+    println!(
+        "measured flooding time over {trials} trials: mean {:.1}, p95 {:.1}, max {:.0}",
+        report.mean(),
+        report.p95().expect("trials completed"),
+        report.max().expect("trials completed"),
+    );
+    println!(
+        "mean messages per broadcast: {:.0} (every transmission counted)",
+        report.mean_messages()
     );
     println!(
         "CMMPS'10 bound O(log n / log(1+np))          = {:.1}",

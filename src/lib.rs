@@ -7,8 +7,10 @@
 //!
 //! This crate re-exports the workspace libraries:
 //!
-//! * [`dynagraph`] — the core: dynamic graphs, flooding, `(M, α, β)`-
-//!   stationarity, node-MEGs, the paper's bounds;
+//! * [`dynagraph`] — the core: dynamic graphs, the unified
+//!   [`dynagraph::engine`] (builder-driven Monte-Carlo over model ×
+//!   protocol × observers, with deterministic parallel trials),
+//!   `(M, α, β)`-stationarity, node-MEGs, the paper's bounds;
 //! * [`dg_edge_meg`] — link-based models (Appendix A);
 //! * [`dg_mobility`] — geometric + graph mobility models (§4.1);
 //! * [`dg_graph`], [`dg_markov`], [`dg_stats`] — the substrates.
@@ -19,15 +21,49 @@
 //!
 //! # Quickstart
 //!
+//! Pick a model, pick a protocol, let the engine own seeding, warm-up,
+//! the round loop, and (parallel) aggregation:
+//!
 //! ```
-//! use dynspread::dynagraph::{flooding, EvolvingGraph};
+//! use dynspread::dynagraph::engine::Simulation;
 //! use dynspread::dg_edge_meg::TwoStateEdgeMeg;
 //!
-//! let mut g = TwoStateEdgeMeg::stationary(64, 0.05, 0.2, 42)?;
-//! let run = flooding::flood(&mut g, 0, 10_000);
-//! println!("flooding time: {:?}", run.flooding_time());
-//! # Ok::<(), dynspread::dg_markov::MarkovError>(())
+//! let report = Simulation::builder()
+//!     .model(|seed| TwoStateEdgeMeg::stationary(64, 0.05, 0.2, seed).unwrap())
+//!     .trials(10)
+//!     .max_rounds(10_000)
+//!     .base_seed(42)
+//!     .run();
+//! assert_eq!(report.incomplete(), 0);
+//! println!("flooding time: mean {:.1}, p95 {:?}", report.mean(), report.p95());
 //! ```
+//!
+//! Swap in a gossip protocol — the harness does not change:
+//!
+//! ```
+//! use dynspread::dynagraph::engine::{PushGossip, Simulation};
+//! use dynspread::dg_edge_meg::TwoStateEdgeMeg;
+//!
+//! let report = Simulation::builder()
+//!     .model(|seed| TwoStateEdgeMeg::stationary(64, 0.05, 0.2, seed).unwrap())
+//!     .protocol(PushGossip::new(2))
+//!     .trials(10)
+//!     .run();
+//! assert_eq!(report.incomplete(), 0);
+//! ```
+//!
+//! ## Migrating from the pre-engine API
+//!
+//! | old                                            | new                                              |
+//! |------------------------------------------------|--------------------------------------------------|
+//! | `flooding::run_trials(make, &TrialConfig {..})`| `Simulation::builder().model(make)…run()`        |
+//! | `gossip::push_spread(&mut g, s, k, cap, seed)` | `.protocol(PushGossip::new(k))`                  |
+//! | `gossip::parsimonious_flood(&mut g, s, t, cap)`| `.protocol(ParsimoniousFlooding::new(t))`        |
+//! | hand-rolled per-trial loops + `Summary`        | `.observers(…)` / `SimulationReport` aggregation |
+//!
+//! Single-run primitives (`flooding::flood`, `flooding::flood_multi`)
+//! are unchanged; `run_trials` still works as a deprecated shim over the
+//! engine and reports identical numbers.
 
 #![forbid(unsafe_code)]
 

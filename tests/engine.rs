@@ -1,0 +1,236 @@
+//! Integration: the unified engine's contracts.
+//!
+//! * determinism — same configuration ⇒ identical reports across runs,
+//!   and parallel execution is byte-identical to serial;
+//! * protocol equivalence — the engine's `Flooding`, `PushGossip` and
+//!   `ParsimoniousFlooding` reproduce the legacy single-run primitives
+//!   (`flooding::flood`, `gossip::push_spread`,
+//!   `gossip::parsimonious_flood`) trial for trial on both a static
+//!   process and a genuinely dynamic edge-MEG;
+//! * the deprecated `run_trials` shim reports exactly what the builder
+//!   reports;
+//! * observers stream what the run records say.
+
+use dynspread::dg_edge_meg::SparseTwoStateEdgeMeg;
+use dynspread::dg_graph::generators;
+use dynspread::dynagraph::engine::{
+    DelayObserver, MeanGrowthObserver, ParsimoniousFlooding, PushGossip, Simulation,
+};
+use dynspread::dynagraph::flooding::{flood, flood_multi, TrialConfig};
+use dynspread::dynagraph::gossip::{parsimonious_flood, push_spread};
+use dynspread::dynagraph::{mix_seed, EvolvingGraph, StaticEvolvingGraph};
+
+const BASE_SEED: u64 = 0xE16;
+const TRIALS: usize = 12;
+const MAX_ROUNDS: u32 = 200_000;
+
+fn sparse_meg(seed: u64) -> SparseTwoStateEdgeMeg {
+    let n = 96;
+    SparseTwoStateEdgeMeg::stationary(n, 1.5 / n as f64, 0.4, seed).unwrap()
+}
+
+fn static_grid(_seed: u64) -> StaticEvolvingGraph {
+    StaticEvolvingGraph::new(generators::grid(6, 6))
+}
+
+#[test]
+fn parallel_and_serial_reports_are_byte_identical() {
+    let run = |parallel: bool| {
+        Simulation::builder()
+            .model(sparse_meg)
+            .protocol(PushGossip::new(2))
+            .trials(TRIALS)
+            .max_rounds(MAX_ROUNDS)
+            .base_seed(BASE_SEED)
+            .parallel(parallel)
+            .run()
+    };
+    let par = run(true);
+    let ser = run(false);
+    assert_eq!(par, ser);
+    // Byte-identical summaries, not just semantically equal ones.
+    assert_eq!(format!("{par:?}"), format!("{ser:?}"));
+}
+
+#[test]
+fn same_configuration_is_reproducible_across_runs() {
+    let run = || {
+        Simulation::builder()
+            .model(sparse_meg)
+            .trials(TRIALS)
+            .max_rounds(MAX_ROUNDS)
+            .base_seed(BASE_SEED)
+            .run()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b);
+    assert_eq!(a.incomplete(), 0);
+    // A different base seed must actually change the outcome.
+    let c = Simulation::builder()
+        .model(sparse_meg)
+        .trials(TRIALS)
+        .max_rounds(MAX_ROUNDS)
+        .base_seed(BASE_SEED + 1)
+        .run();
+    assert_ne!(a.times(), c.times());
+}
+
+#[test]
+fn engine_flooding_matches_legacy_flood_on_static_graph() {
+    let report = Simulation::builder()
+        .model(static_grid)
+        .trials(4)
+        .max_rounds(100)
+        .base_seed(BASE_SEED)
+        .run();
+    for rec in report.records() {
+        let mut g = static_grid(rec.seed);
+        let run = flood(&mut g, 0, 100);
+        assert_eq!(rec.time, run.flooding_time());
+        assert_eq!(rec.informed, run.informed_count());
+    }
+}
+
+#[test]
+fn engine_flooding_matches_legacy_flood_on_edge_meg() {
+    let warm = 16;
+    let report = Simulation::builder()
+        .model(sparse_meg)
+        .trials(TRIALS)
+        .max_rounds(MAX_ROUNDS)
+        .warm_up(warm)
+        .base_seed(BASE_SEED)
+        .run();
+    for (trial, rec) in report.records().iter().enumerate() {
+        assert_eq!(rec.seed, mix_seed(BASE_SEED, trial as u64));
+        let mut g = sparse_meg(rec.seed);
+        g.warm_up(warm);
+        let run = flood(&mut g, 0, MAX_ROUNDS);
+        assert_eq!(rec.time, run.flooding_time(), "trial {trial}");
+        assert_eq!(rec.informed, run.informed_count(), "trial {trial}");
+    }
+}
+
+#[test]
+fn engine_push_gossip_matches_legacy_push_spread() {
+    for fanout in [1usize, 3] {
+        let report = Simulation::builder()
+            .model(sparse_meg)
+            .protocol(PushGossip::new(fanout))
+            .trials(TRIALS)
+            .max_rounds(MAX_ROUNDS)
+            .base_seed(BASE_SEED)
+            .run();
+        for rec in report.records() {
+            let mut g = sparse_meg(rec.seed);
+            let run = push_spread(&mut g, 0, fanout, MAX_ROUNDS, rec.seed);
+            assert_eq!(rec.time, run.flooding_time(), "fanout {fanout}");
+            assert_eq!(rec.informed, run.informed_count(), "fanout {fanout}");
+        }
+    }
+}
+
+#[test]
+fn engine_parsimonious_matches_legacy_parsimonious_flood() {
+    for ttl in [1u32, 3] {
+        let report = Simulation::builder()
+            .model(sparse_meg)
+            .protocol(ParsimoniousFlooding::new(ttl))
+            .trials(TRIALS)
+            .max_rounds(MAX_ROUNDS)
+            .base_seed(BASE_SEED)
+            .run();
+        for rec in report.records() {
+            let mut g = sparse_meg(rec.seed);
+            let run = parsimonious_flood(&mut g, 0, ttl, MAX_ROUNDS);
+            assert_eq!(rec.time, run.flooding_time(), "ttl {ttl}");
+            assert_eq!(rec.informed, run.informed_count(), "ttl {ttl}");
+            // The engine stops as soon as the relays expire, like the
+            // legacy loop: executed rounds track the recorded curve.
+            assert_eq!(rec.rounds as usize + 1, run.sizes().len(), "ttl {ttl}");
+        }
+    }
+}
+
+#[test]
+fn engine_multi_source_matches_legacy_flood_multi() {
+    let sources = [0u32, 17, 42];
+    let report = Simulation::builder()
+        .model(sparse_meg)
+        .sources(sources)
+        .trials(6)
+        .max_rounds(MAX_ROUNDS)
+        .base_seed(BASE_SEED)
+        .run();
+    for rec in report.records() {
+        let mut g = sparse_meg(rec.seed);
+        let run = flood_multi(&mut g, &sources, MAX_ROUNDS);
+        assert_eq!(rec.time, run.flooding_time());
+    }
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_run_trials_shim_matches_builder() {
+    let cfg = TrialConfig {
+        trials: TRIALS,
+        max_rounds: MAX_ROUNDS,
+        source: 3,
+        base_seed: BASE_SEED,
+        warm_up: 8,
+    };
+    let legacy = dynspread::dynagraph::flooding::run_trials(sparse_meg, &cfg);
+    let report = Simulation::builder()
+        .model(sparse_meg)
+        .trials(cfg.trials)
+        .max_rounds(cfg.max_rounds)
+        .warm_up(cfg.warm_up)
+        .base_seed(cfg.base_seed)
+        .source(cfg.source)
+        .run();
+    assert_eq!(legacy.times(), report.times().as_slice());
+    assert_eq!(legacy.incomplete(), report.incomplete());
+}
+
+#[test]
+fn observers_stream_what_records_say() {
+    let (report, observers) = Simulation::builder()
+        .model(sparse_meg)
+        .trials(6)
+        .max_rounds(MAX_ROUNDS)
+        .base_seed(BASE_SEED)
+        .observers(|_trial| (MeanGrowthObserver::new(), DelayObserver::new()))
+        .run_observed();
+    assert_eq!(observers.len(), 6);
+    assert_eq!(report.incomplete(), 0);
+    let n = report.node_count();
+    for ((growth, delays), rec) in observers.iter().zip(report.records()) {
+        // One delay per informed node, capped by the completion round.
+        assert_eq!(delays.delays().len(), rec.informed);
+        assert_eq!(delays.uninformed(), 0);
+        let q = delays.quantiles().unwrap();
+        assert_eq!(q.max(), rec.time.unwrap() as f64);
+        // The per-trial growth curve starts at |I_0| = 1 and ends at n.
+        let curve = growth.mean_sizes();
+        assert_eq!(curve.first().copied(), Some(1.0));
+        assert_eq!(curve.last().copied(), Some(n as f64));
+        assert!(curve.windows(2).all(|w| w[0] <= w[1]));
+    }
+}
+
+#[test]
+fn observer_factories_see_trial_indices_in_order() {
+    let (_, observers) = Simulation::builder()
+        .model(static_grid)
+        .trials(8)
+        .max_rounds(100)
+        .observers(|trial| {
+            struct TrialTag(usize);
+            impl dynspread::dynagraph::engine::Observer for TrialTag {}
+            TrialTag(trial)
+        })
+        .run_observed();
+    let tags: Vec<usize> = observers.iter().map(|o| o.0).collect();
+    assert_eq!(tags, (0..8).collect::<Vec<_>>());
+}

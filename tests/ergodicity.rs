@@ -84,7 +84,9 @@ fn worst_case_start_converges_like_stationary() {
                 TwoStateEdgeMeg::stationary(n, p, q, seed).unwrap()
             };
             g.warm_up(warm);
-            total += flood(&mut g, 0, 100_000).flooding_time().expect("completes") as f64;
+            total += flood(&mut g, 0, 100_000)
+                .flooding_time()
+                .expect("completes") as f64;
         }
         total / trials as f64
     };

@@ -37,8 +37,7 @@ fn edge_meg_pairs_exchangeable() {
 
 #[test]
 fn waypoint_pairs_exchangeable() {
-    let mut g =
-        GeometricMeg::new(RandomWaypoint::new(8.0, 1.0, 1.0).unwrap(), 16, 2.0, 7).unwrap();
+    let mut g = GeometricMeg::new(RandomWaypoint::new(8.0, 1.0, 1.0).unwrap(), 16, 2.0, 7).unwrap();
     g.warm_up(500);
     // Positional samples are autocorrelated; allow a wider tolerance.
     assert_pair_exchangeable(&mut g, 40_000, 0.3);

@@ -1,7 +1,9 @@
 //! Integration: flooding completes on every model family of the paper,
 //! and the run records are internally consistent.
 
-use dynspread::dg_edge_meg::{bursty_chain, HiddenChainEdgeMeg, SparseTwoStateEdgeMeg, TwoStateEdgeMeg};
+use dynspread::dg_edge_meg::{
+    bursty_chain, HiddenChainEdgeMeg, SparseTwoStateEdgeMeg, TwoStateEdgeMeg,
+};
 use dynspread::dg_mobility::{
     GeometricMeg, GridWalk, ManhattanWaypoint, PathFamily, RandomDirection, RandomPathModel,
     RandomWaypoint,

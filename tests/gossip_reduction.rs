@@ -81,6 +81,9 @@ fn push_fanout_monotone() {
     let k1 = mean(1);
     let k4 = mean(4);
     let kall = mean(n);
-    assert!(k1 >= k4 * 0.95, "larger fanout is no slower: k1 {k1} k4 {k4}");
+    assert!(
+        k1 >= k4 * 0.95,
+        "larger fanout is no slower: k1 {k1} k4 {k4}"
+    );
     assert!(k4 >= kall * 0.95, "k4 {k4} kall {kall}");
 }

@@ -4,16 +4,22 @@
 
 use dynspread::dg_edge_meg::{bursty_chain, HiddenChainEdgeMeg, SparseTwoStateEdgeMeg};
 use dynspread::dg_mobility::{GeometricMeg, PathFamily, RandomPathModel, RandomWaypoint};
-use dynspread::dynagraph::flooding::{run_trials, TrialConfig};
+use dynspread::dynagraph::engine::{Simulation, SimulationReport};
 use dynspread::dynagraph::node_meg::{FiniteNodeChain, MatrixConnection, NodeMeg, NodeMegAnalysis};
 use dynspread::dynagraph::theory;
+use dynspread::dynagraph::EvolvingGraph;
 
-fn trials() -> TrialConfig {
-    TrialConfig {
-        trials: 10,
-        max_rounds: 500_000,
-        ..TrialConfig::default()
-    }
+/// Ten engine trials with the suite's round cap.
+fn measure<G, F>(make: F) -> SimulationReport
+where
+    G: EvolvingGraph,
+    F: Fn(u64) -> G + Sync,
+{
+    Simulation::builder()
+        .model(make)
+        .trials(10)
+        .max_rounds(500_000)
+        .run()
 }
 
 #[test]
@@ -21,13 +27,14 @@ fn edge_meg_below_general_bound() {
     let n = 128;
     let p = 1.0 / n as f64;
     let q = 0.6;
-    let res = run_trials(
-        |seed| SparseTwoStateEdgeMeg::stationary(n, p, q, seed).unwrap(),
-        &trials(),
-    );
+    let res = measure(|seed| SparseTwoStateEdgeMeg::stationary(n, p, q, seed).unwrap());
     let bound = theory::edge_meg_general_bound(n, p, q);
     assert_eq!(res.incomplete(), 0);
-    assert!(res.p95().unwrap() < bound, "p95 {} vs bound {bound}", res.p95().unwrap());
+    assert!(
+        res.p95().unwrap() < bound,
+        "p95 {} vs bound {bound}",
+        res.p95().unwrap()
+    );
 }
 
 #[test]
@@ -36,12 +43,15 @@ fn hidden_chain_below_theorem1_bound() {
     let (chain, chi) = bursty_chain(0.02, 0.3, 0.3);
     let probe = HiddenChainEdgeMeg::stationary(n, chain.clone(), chi.clone(), 0).unwrap();
     let bound = probe.flooding_bound(0.25).unwrap();
-    let res = run_trials(
-        |seed| HiddenChainEdgeMeg::stationary(n, chain.clone(), chi.clone(), seed).unwrap(),
-        &trials(),
-    );
+    let res = measure(|seed| {
+        HiddenChainEdgeMeg::stationary(n, chain.clone(), chi.clone(), seed).unwrap()
+    });
     assert_eq!(res.incomplete(), 0);
-    assert!(res.p95().unwrap() < bound, "p95 {} vs bound {bound}", res.p95().unwrap());
+    assert!(
+        res.p95().unwrap() < bound,
+        "p95 {} vs bound {bound}",
+        res.p95().unwrap()
+    );
 }
 
 #[test]
@@ -60,20 +70,21 @@ fn node_meg_below_theorem3_bound() {
     let analysis = NodeMegAnalysis::compute(&chain, &conn).unwrap();
     let tmix = chain.mixing_time(0.25, 1 << 22).unwrap();
     let bound = analysis.theorem3_bound(tmix as f64, n);
-    let res = run_trials(
-        |seed| {
-            NodeMeg::new(
-                FiniteNodeChain::stationary_start(chain.clone()).unwrap(),
-                MatrixConnection::same_state(k),
-                n,
-                seed,
-            )
-            .unwrap()
-        },
-        &trials(),
-    );
+    let res = measure(|seed| {
+        NodeMeg::new(
+            FiniteNodeChain::stationary_start(chain.clone()).unwrap(),
+            MatrixConnection::same_state(k),
+            n,
+            seed,
+        )
+        .unwrap()
+    });
     assert_eq!(res.incomplete(), 0);
-    assert!(res.p95().unwrap() < bound, "p95 {} vs bound {bound}", res.p95().unwrap());
+    assert!(
+        res.p95().unwrap() < bound,
+        "p95 {} vs bound {bound}",
+        res.p95().unwrap()
+    );
 }
 
 #[test]
@@ -81,17 +92,14 @@ fn sparse_waypoint_between_lower_and_upper() {
     let n = 144;
     let side = 12.0;
     let v = 1.0;
-    let res = run_trials(
-        |seed| {
+    let res = Simulation::builder()
+        .model(|seed| {
             GeometricMeg::new(RandomWaypoint::new(side, v, v).unwrap(), n, 1.0, seed).unwrap()
-        },
-        &TrialConfig {
-            trials: 10,
-            max_rounds: 200_000,
-            warm_up: 100,
-            ..TrialConfig::default()
-        },
-    );
+        })
+        .trials(10)
+        .max_rounds(200_000)
+        .warm_up(100)
+        .run();
     assert_eq!(res.incomplete(), 0);
     let mean = res.mean();
     let lower = theory::waypoint_sparse_lower_bound(n, v);
@@ -111,13 +119,10 @@ fn l_paths_below_corollary5_bound() {
     let n = 4 * points;
     let d = 2 * (m - 1);
     let bound = theory::corollary5_bound(d as f64, points, delta, n);
-    let res = run_trials(
-        |seed| {
-            let (_, family) = PathFamily::grid_l_paths(m, m);
-            RandomPathModel::stationary_lazy(family, n, 0.25, seed).unwrap()
-        },
-        &trials(),
-    );
+    let res = measure(|seed| {
+        let (_, family) = PathFamily::grid_l_paths(m, m);
+        RandomPathModel::stationary_lazy(family, n, 0.25, seed).unwrap()
+    });
     assert_eq!(res.incomplete(), 0);
     assert!(res.p95().unwrap() < bound);
     // And flooding cannot beat the diameter lower bound by much: a node at
