@@ -50,6 +50,14 @@ fn fmt_duration(d: Duration) -> String {
     }
 }
 
+/// `true` when the `DG_BENCH_QUICK` environment variable is set
+/// (non-empty, not `"0"`): benches shrink their problem sizes and the
+/// harness its measurement budget, so CI can smoke-test every bench
+/// target in seconds instead of minutes.
+pub fn quick_mode() -> bool {
+    std::env::var("DG_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
 /// Minimal bench runner: filters by substring, times adaptively.
 #[derive(Debug)]
 pub struct Harness {
@@ -60,12 +68,18 @@ pub struct Harness {
 impl Harness {
     /// Builds a harness from the process arguments: the first non-flag
     /// argument (if any) is a substring filter over bench names (cargo
-    /// passes flags like `--bench`, which are ignored).
+    /// passes flags like `--bench`, which are ignored). In
+    /// [`quick_mode`] the measurement budget shrinks from 1.5 s to 50 ms
+    /// per bench.
     pub fn from_args() -> Self {
         let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
         Harness {
             filter,
-            budget: Duration::from_millis(1_500),
+            budget: if quick_mode() {
+                Duration::from_millis(50)
+            } else {
+                Duration::from_millis(1_500)
+            },
         }
     }
 

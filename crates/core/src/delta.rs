@@ -1,0 +1,496 @@
+//! Delta-native stepping: per-round edge churn instead of full rebuilds.
+//!
+//! The paper's sparse regimes (`pn = O(polylog n)`) change only a handful
+//! of edges per round even when the simulation runs for tens of thousands
+//! of rounds, yet a [`Snapshot`]-per-round pipeline pays `O(m + n)` every
+//! round regardless. This module provides the delta-native alternative:
+//!
+//! * [`EdgeDelta`] — one round's churn, `{added, removed}` undirected
+//!   edges, produced by [`EvolvingGraph::step_delta`];
+//! * [`DynAdjacency`] — an incremental adjacency structure that applies
+//!   deltas in `O(churn · log deg)` and can lazily materialize a CSR
+//!   [`Snapshot`] only when a consumer actually asks for `E_t`.
+//!
+//! Producers with native deltas (the edge-MEGs, the node-MEG, the
+//! geometric mobility MEG, recorded replays) advertise themselves via
+//! [`EvolvingGraph::has_native_deltas`]; everything else falls back to
+//! the default [`EvolvingGraph::step_delta`], which steps the snapshot
+//! path and diffs — third-party models keep working unchanged.
+//!
+//! [`EvolvingGraph::step_delta`]: crate::EvolvingGraph::step_delta
+//! [`EvolvingGraph::has_native_deltas`]: crate::EvolvingGraph::has_native_deltas
+//!
+//! # Examples
+//!
+//! ```
+//! use dynagraph::{DynAdjacency, EdgeDelta, EvolvingGraph, StaticEvolvingGraph};
+//! use dg_graph::generators;
+//!
+//! let mut g = StaticEvolvingGraph::new(generators::cycle(5));
+//! let mut adj = DynAdjacency::new(5);
+//! let mut delta = EdgeDelta::new();
+//! g.step_delta(&mut delta);
+//! adj.apply(&delta);
+//! assert_eq!(delta.added().len(), 5); // first delta carries the full E_0
+//! g.step_delta(&mut delta);
+//! assert!(delta.is_empty()); // a static graph has zero churn afterwards
+//! assert_eq!(adj.snapshot().edge_count(), 5);
+//! ```
+
+use crate::{EvolvingGraph, Snapshot};
+
+/// An undirected edge `(u, v)` with `u < v`.
+pub type Edge = (u32, u32);
+
+/// One recorded round's churn as owned lists: `(added, removed)`.
+pub type DeltaPair = (Vec<Edge>, Vec<Edge>);
+
+/// One round's edge churn: the undirected edges that appeared and
+/// disappeared relative to the previous round's edge set.
+///
+/// Deltas are relative to the edge set exposed by the process's previous
+/// [`step`](crate::EvolvingGraph::step) /
+/// [`step_delta`](crate::EvolvingGraph::step_delta) call; the first delta
+/// after construction, [`reset`](crate::EvolvingGraph::reset),
+/// [`warm_up`](crate::EvolvingGraph::warm_up) or a plain `step` describes
+/// the full edge set relative to the empty graph.
+///
+/// The buffer is reusable: consumers allocate one `EdgeDelta` and pass it
+/// to `step_delta` every round. It also carries the scratch state used by
+/// the default snapshot-diffing implementation, so reuse the *same*
+/// buffer for one process; start a fresh one (or [`EdgeDelta::clear`] it)
+/// when switching processes.
+#[derive(Debug, Clone, Default)]
+pub struct EdgeDelta {
+    added: Vec<(u32, u32)>,
+    removed: Vec<(u32, u32)>,
+    /// Previous round's sorted edge list — scratch for the default
+    /// snapshot-diffing `step_delta`.
+    prev: Vec<(u32, u32)>,
+    next: Vec<(u32, u32)>,
+}
+
+/// Merge-diffs two lexicographically sorted edge lists.
+fn merge_diff(
+    prev: &[(u32, u32)],
+    now: &[(u32, u32)],
+    added: &mut Vec<(u32, u32)>,
+    removed: &mut Vec<(u32, u32)>,
+) {
+    let mut i = 0;
+    for &e in now {
+        while i < prev.len() && prev[i] < e {
+            removed.push(prev[i]);
+            i += 1;
+        }
+        if i < prev.len() && prev[i] == e {
+            i += 1;
+        } else {
+            added.push(e);
+        }
+    }
+    removed.extend_from_slice(&prev[i..]);
+}
+
+impl EdgeDelta {
+    /// An empty delta buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Edges that appeared this round (`u < v`).
+    pub fn added(&self) -> &[(u32, u32)] {
+        &self.added
+    }
+
+    /// Edges that disappeared this round (`u < v`).
+    pub fn removed(&self) -> &[(u32, u32)] {
+        &self.removed
+    }
+
+    /// Total churn: `|added| + |removed|`.
+    pub fn churn(&self) -> usize {
+        self.added.len() + self.removed.len()
+    }
+
+    /// `true` if nothing changed this round.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+
+    /// Starts recording a new round: clears `added`/`removed` (producer
+    /// API; leaves the diffing scratch alone).
+    pub fn begin_round(&mut self) {
+        self.added.clear();
+        self.removed.clear();
+    }
+
+    /// Records an appearing edge (producer API).
+    #[inline]
+    pub fn push_added(&mut self, edge: (u32, u32)) {
+        self.added.push(edge);
+    }
+
+    /// Records a disappearing edge (producer API).
+    #[inline]
+    pub fn push_removed(&mut self, edge: (u32, u32)) {
+        self.removed.push(edge);
+    }
+
+    /// Records a full emission: the process's entire current edge set as
+    /// `added`, relative to the empty graph (producer API, used for the
+    /// first delta after construction/reset/warm-up).
+    pub fn record_full<I: IntoIterator<Item = (u32, u32)>>(&mut self, edges: I) {
+        self.begin_round();
+        self.added.extend(edges);
+    }
+
+    /// Records the diff between two lexicographically sorted edge lists
+    /// (producer API for models that naturally produce per-round edge
+    /// lists, e.g. geometric models).
+    pub fn record_transition(&mut self, prev: &[(u32, u32)], now: &[(u32, u32)]) {
+        self.begin_round();
+        merge_diff(prev, now, &mut self.added, &mut self.removed);
+    }
+
+    /// Diffs a freshly materialized snapshot against the previous one
+    /// seen *by this buffer* — the engine of the default
+    /// [`step_delta`](crate::EvolvingGraph::step_delta) implementation.
+    pub fn diff_snapshot(&mut self, snap: &Snapshot) {
+        self.begin_round();
+        self.next.clear();
+        self.next.extend(snap.edges());
+        merge_diff(&self.prev, &self.next, &mut self.added, &mut self.removed);
+        std::mem::swap(&mut self.prev, &mut self.next);
+    }
+
+    /// Forgets everything, including the diffing scratch: the next
+    /// default-path delta will be a full emission again.
+    pub fn clear(&mut self) {
+        self.added.clear();
+        self.removed.clear();
+        self.prev.clear();
+        self.next.clear();
+    }
+}
+
+/// An incremental adjacency structure over a fixed vertex set `[n]`.
+///
+/// Applies an [`EdgeDelta`] in `O(churn · log deg)` (sorted per-node
+/// neighbor lists, binary-searched inserts/removals) and lazily
+/// materializes a CSR [`Snapshot`] — byte-identical to
+/// [`Snapshot::rebuild_from_edges`] over the same edge set — only when
+/// [`DynAdjacency::snapshot`] is called.
+///
+/// # Examples
+///
+/// ```
+/// use dynagraph::{DynAdjacency, EdgeDelta};
+///
+/// let mut adj = DynAdjacency::new(4);
+/// let mut d = EdgeDelta::new();
+/// d.record_full([(0, 1), (1, 2)]);
+/// adj.apply(&d);
+/// assert_eq!(adj.neighbors(1), &[0, 2]);
+/// d.begin_round();
+/// d.push_removed((0, 1));
+/// d.push_added((2, 3));
+/// adj.apply(&d);
+/// assert_eq!(adj.edge_count(), 2);
+/// assert!(adj.has_edge(2, 3) && !adj.has_edge(0, 1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DynAdjacency {
+    adj: Vec<Vec<u32>>,
+    edge_count: usize,
+    csr: Snapshot,
+    csr_dirty: bool,
+}
+
+impl DynAdjacency {
+    /// An edgeless adjacency over `n` nodes.
+    pub fn new(n: usize) -> Self {
+        DynAdjacency {
+            adj: vec![Vec::new(); n],
+            edge_count: 0,
+            csr: Snapshot::empty(n),
+            csr_dirty: false,
+        }
+    }
+
+    /// Number of nodes `n`.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges currently present.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// `true` if no edge is currently present.
+    pub fn is_edgeless(&self) -> bool {
+        self.edge_count == 0
+    }
+
+    /// Degree of `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn degree(&self, u: u32) -> usize {
+        self.adj[u as usize].len()
+    }
+
+    /// Sorted adjacency list of `u` — identical to what the materialized
+    /// snapshot's [`Snapshot::neighbors`] returns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn neighbors(&self, u: u32) -> &[u32] {
+        &self.adj[u as usize]
+    }
+
+    /// `true` if edge `{u, v}` is currently present.
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        if (u as usize) >= self.adj.len() || (v as usize) >= self.adj.len() {
+            return false;
+        }
+        self.adj[u as usize].binary_search(&v).is_ok()
+    }
+
+    /// Iterates over the current undirected edges `(u, v)` with `u < v`,
+    /// in lexicographic order.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(u, neigh)| {
+            let u = u as u32;
+            neigh
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    fn half_insert(&mut self, u: u32, v: u32) {
+        let list = &mut self.adj[u as usize];
+        match list.binary_search(&v) {
+            Ok(_) => panic!("delta added edge ({u}, {v}) that is already present"),
+            Err(pos) => list.insert(pos, v),
+        }
+    }
+
+    fn half_remove(&mut self, u: u32, v: u32) {
+        let list = &mut self.adj[u as usize];
+        match list.binary_search(&v) {
+            Ok(pos) => {
+                list.remove(pos);
+            }
+            Err(_) => panic!("delta removed edge ({u}, {v}) that is not present"),
+        }
+    }
+
+    /// Inserts edge `{u, v}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops, out-of-range endpoints, or if the edge is
+    /// already present — a delta stream that double-adds is out of sync
+    /// with this adjacency, and failing loudly beats silent corruption.
+    pub fn insert_edge(&mut self, u: u32, v: u32) {
+        assert_ne!(u, v, "self-loop ({u}, {v}) in delta");
+        self.half_insert(u, v);
+        self.half_insert(v, u);
+        self.edge_count += 1;
+        self.csr_dirty = true;
+    }
+
+    /// Removes edge `{u, v}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge is absent or an endpoint is out of range (same
+    /// rationale as [`DynAdjacency::insert_edge`]).
+    pub fn remove_edge(&mut self, u: u32, v: u32) {
+        self.half_remove(u, v);
+        self.half_remove(v, u);
+        self.edge_count -= 1;
+        self.csr_dirty = true;
+    }
+
+    /// Applies one round's churn: removals first, then additions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the delta is inconsistent with the current edge set
+    /// (see [`DynAdjacency::insert_edge`] / [`DynAdjacency::remove_edge`]).
+    pub fn apply(&mut self, delta: &EdgeDelta) {
+        for &(u, v) in delta.removed() {
+            self.remove_edge(u, v);
+        }
+        for &(u, v) in delta.added() {
+            self.insert_edge(u, v);
+        }
+    }
+
+    /// Removes every edge (cheaper than re-allocating for a new run over
+    /// the same vertex set).
+    pub fn clear(&mut self) {
+        for list in &mut self.adj {
+            list.clear();
+        }
+        self.edge_count = 0;
+        self.csr_dirty = true;
+    }
+
+    /// The current edge set as a CSR [`Snapshot`], materialized lazily:
+    /// the rebuild runs only when edges changed since the last call.
+    ///
+    /// The result is byte-identical to
+    /// [`Snapshot::rebuild_from_edges`] over [`DynAdjacency::edges`].
+    pub fn snapshot(&mut self) -> &Snapshot {
+        if self.csr_dirty {
+            self.csr.rebuild_from_sorted_adjacency(&self.adj);
+            self.csr_dirty = false;
+        }
+        &self.csr
+    }
+}
+
+/// Test/diagnostics helper: asserts that stepping `delta_model` through
+/// [`EvolvingGraph::step_delta`] + [`DynAdjacency`] reproduces exactly
+/// the [`Snapshot`] sequence of `rebuild_model` stepped through
+/// [`EvolvingGraph::step`], for `rounds` rounds.
+///
+/// The two models must be independent instances configured with the same
+/// seed. Useful for validating custom `step_delta` implementations.
+///
+/// # Panics
+///
+/// Panics (with the failing round) on the first mismatch.
+pub fn assert_replays_rebuild<A, B>(rebuild_model: &mut A, delta_model: &mut B, rounds: usize)
+where
+    A: EvolvingGraph + ?Sized,
+    B: EvolvingGraph + ?Sized,
+{
+    assert_eq!(rebuild_model.node_count(), delta_model.node_count());
+    let mut adj = DynAdjacency::new(delta_model.node_count());
+    let mut delta = EdgeDelta::new();
+    for round in 0..rounds {
+        delta_model.step_delta(&mut delta);
+        adj.apply(&delta);
+        let expected = rebuild_model.step();
+        assert_eq!(
+            adj.snapshot(),
+            expected,
+            "delta path diverged from rebuild path at round {round}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PeriodicEvolvingGraph, StaticEvolvingGraph};
+    use dg_graph::generators;
+
+    #[test]
+    fn merge_diff_finds_churn() {
+        let mut d = EdgeDelta::new();
+        d.record_transition(&[(0, 1), (1, 2), (3, 4)], &[(0, 1), (2, 3), (3, 4), (4, 5)]);
+        assert_eq!(d.added(), &[(2, 3), (4, 5)]);
+        assert_eq!(d.removed(), &[(1, 2)]);
+        assert_eq!(d.churn(), 3);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn diff_snapshot_tracks_prev() {
+        let mut s = Snapshot::empty(4);
+        let mut d = EdgeDelta::new();
+        s.rebuild_from_edges(&[(0, 1), (2, 3)]);
+        d.diff_snapshot(&s);
+        assert_eq!(d.added(), &[(0, 1), (2, 3)]);
+        assert!(d.removed().is_empty());
+        s.rebuild_from_edges(&[(0, 1), (1, 2)]);
+        d.diff_snapshot(&s);
+        assert_eq!(d.added(), &[(1, 2)]);
+        assert_eq!(d.removed(), &[(2, 3)]);
+        d.clear();
+        d.diff_snapshot(&s);
+        assert_eq!(d.added().len(), 2, "cleared scratch diffs against empty");
+    }
+
+    #[test]
+    fn adjacency_applies_and_materializes() {
+        let mut adj = DynAdjacency::new(5);
+        assert!(adj.is_edgeless());
+        let mut d = EdgeDelta::new();
+        d.record_full([(0, 4), (1, 2), (0, 2)]);
+        adj.apply(&d);
+        assert_eq!(adj.edge_count(), 3);
+        assert_eq!(adj.degree(0), 2);
+        assert_eq!(adj.neighbors(0), &[2, 4]);
+        assert!(adj.has_edge(4, 0));
+        assert!(!adj.has_edge(1, 4));
+        assert!(!adj.has_edge(0, 99));
+        let mut reference = Snapshot::empty(5);
+        reference.rebuild_from_edges(&[(0, 4), (1, 2), (0, 2)]);
+        assert_eq!(adj.snapshot(), &reference);
+        let collected: Vec<_> = adj.edges().collect();
+        assert_eq!(collected, vec![(0, 2), (0, 4), (1, 2)]);
+    }
+
+    #[test]
+    fn snapshot_is_lazy_and_refreshes() {
+        let mut adj = DynAdjacency::new(3);
+        let mut d = EdgeDelta::new();
+        d.record_full([(0, 1)]);
+        adj.apply(&d);
+        assert_eq!(adj.snapshot().edge_count(), 1);
+        d.begin_round();
+        d.push_removed((0, 1));
+        d.push_added((1, 2));
+        adj.apply(&d);
+        assert!(adj.snapshot().has_edge(1, 2));
+        assert!(!adj.snapshot().has_edge(0, 1));
+        adj.clear();
+        assert!(adj.snapshot().is_edgeless());
+    }
+
+    #[test]
+    #[should_panic(expected = "already present")]
+    fn double_add_panics() {
+        let mut adj = DynAdjacency::new(3);
+        adj.insert_edge(0, 1);
+        adj.insert_edge(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not present")]
+    fn phantom_remove_panics() {
+        let mut adj = DynAdjacency::new(3);
+        adj.remove_edge(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_panics() {
+        let mut adj = DynAdjacency::new(3);
+        adj.insert_edge(1, 1);
+    }
+
+    #[test]
+    fn default_path_replays_static_and_periodic() {
+        let mut a = StaticEvolvingGraph::new(generators::grid(3, 3));
+        let mut b = a.clone();
+        assert_replays_rebuild(&mut a, &mut b, 5);
+
+        let g1 = generators::path(4);
+        let g2 = generators::complete(4);
+        let mut a = PeriodicEvolvingGraph::new(&[g1.clone(), g2.clone()]).unwrap();
+        let mut b = PeriodicEvolvingGraph::new(&[g1, g2]).unwrap();
+        assert_replays_rebuild(&mut a, &mut b, 7);
+    }
+}

@@ -48,4 +48,4 @@ pub use protocol::{
     Flooding, ParsimoniousFlooding, Protocol, ProtocolStatus, PushGossip, SpreadView, Transmissions,
 };
 pub use report::{SimulationReport, TrialRecord};
-pub use simulation::{NoModel, Simulation, SimulationBuilder};
+pub use simulation::{NoModel, Simulation, SimulationBuilder, Stepping};

@@ -19,9 +19,13 @@ pub struct RoundCtx<'a> {
     /// The (1-based) round that just completed; newly informed nodes
     /// carry this as their informed round.
     pub round: u32,
-    /// The edge set `E_{t-1}` the round was executed over.
-    pub snapshot: &'a Snapshot,
-    /// Nodes informed this round, in transmission order.
+    /// The edge set `E_{t-1}` the round was executed over — always
+    /// `Some` on the snapshot path; on the delta path it is materialized
+    /// (lazily, from the incremental adjacency) only when the observer
+    /// declares [`Observer::needs_snapshots`], and `None` otherwise.
+    pub snapshot: Option<&'a Snapshot>,
+    /// Nodes informed this round, in transmission order (the order is
+    /// stepping-path-dependent; membership and counts are not).
     pub newly_informed: &'a [u32],
     /// `|I_t|` after this round.
     pub informed_count: usize,
@@ -34,6 +38,14 @@ pub struct RoundCtx<'a> {
 /// All methods default to no-ops, so observers implement only what they
 /// need. Tuples of observers compose: `(PhaseObserver::new(), DelayObserver::new())`.
 pub trait Observer: Send {
+    /// `true` if this observer reads [`RoundCtx::snapshot`]. On the
+    /// delta stepping path the engine materializes a CSR snapshot per
+    /// round *only* for observers that ask for it; returning `false`
+    /// (the default) keeps the per-round cost proportional to churn.
+    fn needs_snapshots(&self) -> bool {
+        false
+    }
+
     /// A trial is starting: `n` nodes, `sources` informed at round 0.
     fn on_trial_start(&mut self, trial: usize, n: usize, sources: &[u32]) {
         let _ = (trial, n, sources);
@@ -53,6 +65,9 @@ pub trait Observer: Send {
 impl Observer for () {}
 
 impl<A: Observer, B: Observer> Observer for (A, B) {
+    fn needs_snapshots(&self) -> bool {
+        self.0.needs_snapshots() || self.1.needs_snapshots()
+    }
     fn on_trial_start(&mut self, trial: usize, n: usize, sources: &[u32]) {
         self.0.on_trial_start(trial, n, sources);
         self.1.on_trial_start(trial, n, sources);
@@ -68,6 +83,9 @@ impl<A: Observer, B: Observer> Observer for (A, B) {
 }
 
 impl<A: Observer, B: Observer, C: Observer> Observer for (A, B, C) {
+    fn needs_snapshots(&self) -> bool {
+        self.0.needs_snapshots() || self.1.needs_snapshots() || self.2.needs_snapshots()
+    }
     fn on_trial_start(&mut self, trial: usize, n: usize, sources: &[u32]) {
         self.0.on_trial_start(trial, n, sources);
         self.1.on_trial_start(trial, n, sources);
@@ -323,7 +341,7 @@ mod tests {
     ) -> RoundCtx<'a> {
         RoundCtx {
             round,
-            snapshot,
+            snapshot: Some(snapshot),
             newly_informed: newly,
             informed_count: informed,
             messages: newly.len() as u64,

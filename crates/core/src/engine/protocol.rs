@@ -3,6 +3,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use crate::delta::{DynAdjacency, EdgeDelta};
 use crate::{mix_seed, Snapshot};
 
 /// Read-only view of the spreading state, handed to protocols each round.
@@ -59,6 +60,25 @@ impl<'a> Transmissions<'a> {
         }
     }
 
+    /// Informs node `v` without counting a message — for delta-path
+    /// protocols that account for their message volume in aggregate via
+    /// [`Transmissions::add_messages`] instead of per send.
+    #[inline]
+    pub fn inform(&mut self, v: u32) {
+        if !self.informed[v as usize] {
+            self.informed[v as usize] = true;
+            self.new_nodes.push(v);
+        }
+    }
+
+    /// Adds `count` messages to this round's tally without informing
+    /// anyone (aggregate accounting counterpart of
+    /// [`Transmissions::inform`]).
+    #[inline]
+    pub fn add_messages(&mut self, count: u64) {
+        self.messages += count;
+    }
+
     /// Messages sent so far this round.
     pub fn messages(&self) -> u64 {
         self.messages
@@ -96,6 +116,26 @@ pub trait Protocol: Send {
     /// chosen target.
     fn transmit(&mut self, snap: &Snapshot, view: &SpreadView<'_>, out: &mut Transmissions<'_>);
 
+    /// Executes one round on the delta path: `adj` already reflects
+    /// `E_t` (this round's `delta` has been applied), and the outcome —
+    /// informed nodes *and* message count — must match what
+    /// [`Protocol::transmit`] would produce over the materialized
+    /// snapshot of the same round.
+    ///
+    /// The default implementation materializes the CSR snapshot and
+    /// falls back to [`Protocol::transmit`], so custom protocols work on
+    /// the delta path unchanged (they just don't profit from it).
+    fn transmit_delta(
+        &mut self,
+        adj: &mut DynAdjacency,
+        delta: &EdgeDelta,
+        view: &SpreadView<'_>,
+        out: &mut Transmissions<'_>,
+    ) {
+        let _ = delta;
+        self.transmit(adj.snapshot(), view, out);
+    }
+
     /// Called after the engine has recorded the round's newly informed
     /// nodes (`view.round` = rounds completed). Return
     /// [`ProtocolStatus::Quiescent`] when no future round can inform
@@ -111,13 +151,27 @@ pub trait Protocol: Send {
 ///
 /// Equivalent to [`crate::flooding::flood`] run for run — the engine's
 /// protocol-equivalence tests pin this down.
+///
+/// On the delta path the full informed-set scan is replaced by a
+/// *frontier sweep*: only last round's newly informed nodes read their
+/// adjacency, plus the round's added edges — a node adjacent to an older
+/// informed node through an older edge was already informed. The message
+/// tally (`Σ_{u ∈ I_t} deg_{E_t}(u)`, every informed node transmits on
+/// every incident edge) is maintained incrementally from the churn, so
+/// records match the snapshot path exactly.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct Flooding;
+pub struct Flooding {
+    /// `Σ_{u ∈ I_t} deg_{E_t}(u)` — the messages a full flooding sweep
+    /// would send this round, maintained from churn + frontier joins.
+    informed_degree: u64,
+    /// Start of the current frontier in `informed_list`.
+    frontier_start: usize,
+}
 
 impl Flooding {
     /// The flooding protocol.
     pub fn new() -> Self {
-        Flooding
+        Flooding::default()
     }
 }
 
@@ -126,12 +180,52 @@ impl Protocol for Flooding {
         "flooding"
     }
 
+    fn begin_trial(&mut self, _n: usize, _seed: u64) {
+        self.informed_degree = 0;
+        self.frontier_start = 0;
+    }
+
     fn transmit(&mut self, snap: &Snapshot, view: &SpreadView<'_>, out: &mut Transmissions<'_>) {
         for &u in view.informed_list {
             for &v in snap.neighbors(u) {
                 out.send(v);
             }
         }
+    }
+
+    fn transmit_delta(
+        &mut self,
+        adj: &mut DynAdjacency,
+        delta: &EdgeDelta,
+        view: &SpreadView<'_>,
+        out: &mut Transmissions<'_>,
+    ) {
+        // Member of I_{t-1}? (The frontier carries informed_at == round.)
+        let informed_before =
+            |x: u32| matches!(view.informed_at[x as usize], Some(r) if r < view.round);
+        for &(u, v) in delta.removed() {
+            self.informed_degree -= informed_before(u) as u64 + informed_before(v) as u64;
+        }
+        for &(u, v) in delta.added() {
+            self.informed_degree += informed_before(u) as u64 + informed_before(v) as u64;
+            // A fresh edge delivers across it if either endpoint is in
+            // I_t; `informed_at` is still None for nodes first reached
+            // this round, so no same-round chaining.
+            if view.informed_at[u as usize].is_some() {
+                out.inform(v);
+            }
+            if view.informed_at[v as usize].is_some() {
+                out.inform(u);
+            }
+        }
+        for &u in &view.informed_list[self.frontier_start..] {
+            self.informed_degree += adj.degree(u) as u64;
+            for &v in adj.neighbors(u) {
+                out.inform(v);
+            }
+        }
+        self.frontier_start = view.informed_list.len();
+        out.add_messages(self.informed_degree);
     }
 }
 
@@ -167,6 +261,28 @@ impl PushGossip {
     pub fn fanout(&self) -> usize {
         self.fanout
     }
+
+    /// Transmits from one node to at most `fanout` of its neighbours —
+    /// the shared body of both stepping paths (identical RNG draws).
+    fn push_targets(&mut self, neigh: &[u32], out: &mut Transmissions<'_>) {
+        if neigh.is_empty() {
+            return;
+        }
+        if neigh.len() <= self.fanout {
+            for &v in neigh {
+                out.send(v);
+            }
+        } else {
+            // Partial Fisher-Yates: draw `fanout` distinct targets.
+            self.pick_buf.clear();
+            self.pick_buf.extend_from_slice(neigh);
+            for i in 0..self.fanout {
+                let j = self.rng.gen_range(i..self.pick_buf.len());
+                self.pick_buf.swap(i, j);
+                out.send(self.pick_buf[i]);
+            }
+        }
+    }
 }
 
 impl Protocol for PushGossip {
@@ -182,24 +298,23 @@ impl Protocol for PushGossip {
 
     fn transmit(&mut self, snap: &Snapshot, view: &SpreadView<'_>, out: &mut Transmissions<'_>) {
         for &u in view.informed_list {
-            let neigh = snap.neighbors(u);
-            if neigh.is_empty() {
-                continue;
-            }
-            if neigh.len() <= self.fanout {
-                for &v in neigh {
-                    out.send(v);
-                }
-            } else {
-                // Partial Fisher-Yates: draw `fanout` distinct targets.
-                self.pick_buf.clear();
-                self.pick_buf.extend_from_slice(neigh);
-                for i in 0..self.fanout {
-                    let j = self.rng.gen_range(i..self.pick_buf.len());
-                    self.pick_buf.swap(i, j);
-                    out.send(self.pick_buf[i]);
-                }
-            }
+            self.push_targets(snap.neighbors(u), out);
+        }
+    }
+
+    fn transmit_delta(
+        &mut self,
+        adj: &mut DynAdjacency,
+        _delta: &EdgeDelta,
+        view: &SpreadView<'_>,
+        out: &mut Transmissions<'_>,
+    ) {
+        // Every informed node draws randomness each round, so the scan
+        // cannot shrink to the frontier — but the sorted adjacency lists
+        // match the snapshot's exactly, so the RNG stream (and thus the
+        // whole trial) is byte-identical, without ever building a CSR.
+        for &u in view.informed_list {
+            self.push_targets(adj.neighbors(u), out);
         }
     }
 }
@@ -247,6 +362,23 @@ impl ParsimoniousFlooding {
             self.expired += 1;
         }
     }
+
+    /// The shared relay sweep of both stepping paths: every live relay
+    /// transmits to all of its current neighbours, whatever structure
+    /// they are read from.
+    fn relay<'a>(
+        &mut self,
+        view: &SpreadView<'_>,
+        out: &mut Transmissions<'_>,
+        neighbors: impl Fn(u32) -> &'a [u32],
+    ) {
+        self.retire(view);
+        for &u in &view.informed_list[self.expired..] {
+            for &v in neighbors(u) {
+                out.send(v);
+            }
+        }
+    }
 }
 
 impl Protocol for ParsimoniousFlooding {
@@ -259,12 +391,20 @@ impl Protocol for ParsimoniousFlooding {
     }
 
     fn transmit(&mut self, snap: &Snapshot, view: &SpreadView<'_>, out: &mut Transmissions<'_>) {
-        self.retire(view);
-        for &u in &view.informed_list[self.expired..] {
-            for &v in snap.neighbors(u) {
-                out.send(v);
-            }
-        }
+        self.relay(view, out, |u| snap.neighbors(u));
+    }
+
+    fn transmit_delta(
+        &mut self,
+        adj: &mut DynAdjacency,
+        _delta: &EdgeDelta,
+        view: &SpreadView<'_>,
+        out: &mut Transmissions<'_>,
+    ) {
+        // The live relays *are* a (TTL-windowed) frontier: only their
+        // adjacency is read, straight from the incremental structure.
+        let adj = &*adj;
+        self.relay(view, out, |u| adj.neighbors(u));
     }
 
     fn end_round(&mut self, view: &SpreadView<'_>) -> ProtocolStatus {

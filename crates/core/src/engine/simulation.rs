@@ -1,5 +1,6 @@
 //! The builder-driven trial runner.
 
+use crate::delta::{DynAdjacency, EdgeDelta};
 use crate::engine::observer::{Observer, RoundCtx};
 use crate::engine::protocol::{Protocol, ProtocolStatus, SpreadView, Transmissions};
 use crate::engine::report::{SimulationReport, TrialRecord};
@@ -8,6 +9,28 @@ use crate::{mix_seed, EvolvingGraph};
 /// Entry point to the engine; see [`Simulation::builder`].
 #[derive(Debug, Clone, Copy)]
 pub struct Simulation;
+
+/// Which stepping pipeline drives each trial.
+///
+/// Both pipelines produce identical [`TrialRecord`]s for the built-in
+/// protocols (the integration suite pins this, including message
+/// counts); they differ only in per-round cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Stepping {
+    /// Delta path for models advertising
+    /// [`EvolvingGraph::has_native_deltas`], snapshot path otherwise
+    /// (the default).
+    #[default]
+    Auto,
+    /// Always rebuild a CSR [`crate::Snapshot`] per round (the classic
+    /// pipeline; also the reference the delta path is tested against).
+    Snapshot,
+    /// Always drive [`EvolvingGraph::step_delta`] through a
+    /// [`DynAdjacency`]: per-round cost proportional to churn plus
+    /// frontier work. Works for every model (non-native models diff
+    /// their snapshots), pays off for slow-churn ones.
+    Delta,
+}
 
 /// Placeholder model of a freshly created builder — replaced by the
 /// first call to [`SimulationBuilder::model`].
@@ -26,7 +49,7 @@ impl Simulation {
     pub fn builder() -> SimulationBuilder<NoModel, crate::engine::Flooding, fn(usize)> {
         SimulationBuilder {
             model: NoModel,
-            protocol: crate::engine::Flooding,
+            protocol: crate::engine::Flooding::new(),
             observers: no_observers,
             trials: 30,
             max_rounds: 100_000,
@@ -35,6 +58,7 @@ impl Simulation {
             sources: vec![0],
             parallel: true,
             threads: None,
+            stepping: Stepping::Auto,
         }
     }
 }
@@ -61,6 +85,7 @@ pub struct SimulationBuilder<M, P, F> {
     sources: Vec<u32>,
     parallel: bool,
     threads: Option<usize>,
+    stepping: Stepping,
 }
 
 impl<M, P, F> SimulationBuilder<M, P, F> {
@@ -82,6 +107,7 @@ impl<M, P, F> SimulationBuilder<M, P, F> {
             sources: self.sources,
             parallel: self.parallel,
             threads: self.threads,
+            stepping: self.stepping,
         }
     }
 
@@ -98,6 +124,7 @@ impl<M, P, F> SimulationBuilder<M, P, F> {
             sources: self.sources,
             parallel: self.parallel,
             threads: self.threads,
+            stepping: self.stepping,
         }
     }
 
@@ -119,6 +146,7 @@ impl<M, P, F> SimulationBuilder<M, P, F> {
             sources: self.sources,
             parallel: self.parallel,
             threads: self.threads,
+            stepping: self.stepping,
         }
     }
 
@@ -176,6 +204,15 @@ impl<M, P, F> SimulationBuilder<M, P, F> {
         self.threads = Some(threads.max(1));
         self
     }
+
+    /// Selects the stepping pipeline (default: [`Stepping::Auto`] —
+    /// delta-native models run on the delta path, everything else on the
+    /// snapshot path). Results are identical either way; only the
+    /// per-round cost differs.
+    pub fn stepping(mut self, stepping: Stepping) -> Self {
+        self.stepping = stepping;
+        self
+    }
 }
 
 impl<M, G, P, F, O> SimulationBuilder<M, P, F>
@@ -213,15 +250,32 @@ where
             let n = g.node_count();
             let mut protocol = self.protocol.clone();
             let mut observer = (self.observers)(trial);
-            let record = execute_trial(
-                &mut g,
-                &mut protocol,
-                &mut observer,
-                trial,
-                seed,
-                &self.sources,
-                self.max_rounds,
-            );
+            let use_delta = match self.stepping {
+                Stepping::Auto => g.has_native_deltas(),
+                Stepping::Snapshot => false,
+                Stepping::Delta => true,
+            };
+            let record = if use_delta {
+                execute_trial_delta(
+                    &mut g,
+                    &mut protocol,
+                    &mut observer,
+                    trial,
+                    seed,
+                    &self.sources,
+                    self.max_rounds,
+                )
+            } else {
+                execute_trial(
+                    &mut g,
+                    &mut protocol,
+                    &mut observer,
+                    trial,
+                    seed,
+                    &self.sources,
+                    self.max_rounds,
+                )
+            };
             (record, observer, n)
         };
 
@@ -339,7 +393,114 @@ where
         }
         observer.on_round(&RoundCtx {
             round: t,
-            snapshot: snap,
+            snapshot: Some(snap),
+            newly_informed: &new_nodes,
+            informed_count: informed_list.len(),
+            messages: round_messages,
+        });
+        if completed.is_none() {
+            let view = SpreadView {
+                round: t,
+                node_count: n,
+                informed_at: &informed_at,
+                informed_list: &informed_list,
+            };
+            status = protocol.end_round(&view);
+        }
+    }
+
+    let record = TrialRecord {
+        trial,
+        seed,
+        time: completed,
+        informed: informed_list.len(),
+        rounds: t,
+        messages: messages_total,
+    };
+    observer.on_trial_end(&record);
+    record
+}
+
+/// The delta-path twin of [`execute_trial`]: steps the process through
+/// [`EvolvingGraph::step_delta`] into a [`DynAdjacency`] and hands the
+/// incremental state to [`Protocol::transmit_delta`]. A CSR snapshot is
+/// materialized per round only when the observer asks for one, so the
+/// per-round cost of a churn-proportional model + protocol stays
+/// churn-proportional end to end.
+///
+/// Produces [`TrialRecord`]s identical to [`execute_trial`]'s for the
+/// built-in protocols (pinned by the integration suite).
+fn execute_trial_delta<G, P, O>(
+    g: &mut G,
+    protocol: &mut P,
+    observer: &mut O,
+    trial: usize,
+    seed: u64,
+    sources: &[u32],
+    max_rounds: u32,
+) -> TrialRecord
+where
+    G: EvolvingGraph + ?Sized,
+    P: Protocol + ?Sized,
+    O: Observer + ?Sized,
+{
+    let n = g.node_count();
+    let mut informed = vec![false; n];
+    let mut informed_at: Vec<Option<u32>> = vec![None; n];
+    let mut informed_list: Vec<u32> = Vec::with_capacity(n);
+    for &s in sources {
+        assert!((s as usize) < n, "source {s} out of range");
+        assert!(!informed[s as usize], "duplicate source {s}");
+        informed[s as usize] = true;
+        informed_at[s as usize] = Some(0);
+        informed_list.push(s);
+    }
+    observer.on_trial_start(trial, n, sources);
+    protocol.begin_trial(n, seed);
+    let needs_snapshots = observer.needs_snapshots();
+
+    let mut adj = DynAdjacency::new(n);
+    let mut delta = EdgeDelta::new();
+    // The adjacency starts empty, so the delta stream must start with a
+    // full emission (the model may have been warmed up or pre-stepped).
+    g.rebase_deltas();
+
+    let mut completed = (informed_list.len() == n).then_some(0u32);
+    let mut messages_total = 0u64;
+    let mut new_nodes: Vec<u32> = Vec::new();
+    let mut t = 0u32;
+    let mut status = ProtocolStatus::Active;
+    while completed.is_none() && t < max_rounds && status == ProtocolStatus::Active {
+        g.step_delta(&mut delta);
+        adj.apply(&delta);
+        new_nodes.clear();
+        let round_messages = {
+            let view = SpreadView {
+                round: t,
+                node_count: n,
+                informed_at: &informed_at,
+                informed_list: &informed_list,
+            };
+            let mut out = Transmissions::new(&mut informed, &mut new_nodes);
+            protocol.transmit_delta(&mut adj, &delta, &view, &mut out);
+            out.messages()
+        };
+        t += 1;
+        for &v in &new_nodes {
+            informed_at[v as usize] = Some(t);
+        }
+        informed_list.extend_from_slice(&new_nodes);
+        messages_total += round_messages;
+        if informed_list.len() == n {
+            completed = Some(t);
+        }
+        observer.on_round(&RoundCtx {
+            round: t,
+            snapshot: if needs_snapshots {
+                Some(adj.snapshot())
+            } else {
+                None
+            },
             newly_informed: &new_nodes,
             informed_count: informed_list.len(),
             messages: round_messages,
@@ -453,6 +614,138 @@ mod tests {
             .run();
         assert_eq!(report.records()[0].messages, 3);
         assert_eq!(report.records()[0].time, Some(1));
+    }
+
+    #[test]
+    fn stepping_paths_agree_on_dynamic_process() {
+        // A periodic process churns edges every round; all three built-in
+        // protocols must report byte-identical records on both paths,
+        // message counts included.
+        let make_model = |_seed: u64| {
+            let graphs = [
+                generators::path(10),
+                generators::cycle(10),
+                generators::star(10),
+            ];
+            crate::PeriodicEvolvingGraph::new(&graphs).unwrap()
+        };
+        let flooding = |stepping| {
+            Simulation::builder()
+                .model(make_model)
+                .trials(3)
+                .max_rounds(200)
+                .stepping(stepping)
+                .run()
+        };
+        assert_eq!(flooding(Stepping::Snapshot), flooding(Stepping::Delta));
+        let push = |stepping| {
+            Simulation::builder()
+                .model(make_model)
+                .protocol(PushGossip::new(1))
+                .trials(3)
+                .max_rounds(2_000)
+                .stepping(stepping)
+                .run()
+        };
+        assert_eq!(push(Stepping::Snapshot), push(Stepping::Delta));
+        let pars = |stepping| {
+            Simulation::builder()
+                .model(make_model)
+                .protocol(ParsimoniousFlooding::new(1))
+                .trials(3)
+                .max_rounds(2_000)
+                .stepping(stepping)
+                .run()
+        };
+        assert_eq!(pars(Stepping::Snapshot), pars(Stepping::Delta));
+    }
+
+    #[test]
+    fn delta_path_works_for_non_native_models_and_protocols() {
+        // Forced delta stepping must also work for a model without native
+        // deltas (default diffing) under a custom protocol without a
+        // native transmit_delta (default CSR materialization).
+        #[derive(Clone)]
+        struct EveryOther;
+        impl Protocol for EveryOther {
+            fn name(&self) -> &'static str {
+                "every-other"
+            }
+            fn transmit(
+                &mut self,
+                snap: &crate::Snapshot,
+                view: &SpreadView<'_>,
+                out: &mut Transmissions<'_>,
+            ) {
+                for &u in view.informed_list {
+                    for &v in snap.neighbors(u) {
+                        if v % 2 == 0 {
+                            out.send(v);
+                        }
+                    }
+                }
+            }
+        }
+        let inner = StaticEvolvingGraph::new(generators::complete(9));
+        let make =
+            move |seed: u64| crate::ThinnedEvolvingGraph::new(inner.clone(), 0.7, seed).unwrap();
+        let run = |stepping| {
+            Simulation::builder()
+                .model(make.clone())
+                .protocol(EveryOther)
+                .trials(4)
+                .max_rounds(50)
+                .stepping(stepping)
+                .run()
+        };
+        assert_eq!(run(Stepping::Snapshot), run(Stepping::Delta));
+    }
+
+    #[test]
+    fn delta_path_materializes_snapshots_for_observers_that_ask() {
+        #[derive(Default)]
+        struct EdgeCounter {
+            per_round: Vec<usize>,
+        }
+        impl Observer for EdgeCounter {
+            fn needs_snapshots(&self) -> bool {
+                true
+            }
+            fn on_round(&mut self, ctx: &RoundCtx<'_>) {
+                self.per_round
+                    .push(ctx.snapshot.expect("asked for snapshots").edge_count());
+            }
+        }
+        let graphs = [generators::path(8), generators::complete(8)];
+        let run = |stepping| {
+            Simulation::builder()
+                .model(|_| crate::PeriodicEvolvingGraph::new(&graphs).unwrap())
+                .trials(1)
+                .max_rounds(100)
+                .stepping(stepping)
+                .observers(|_| EdgeCounter::default())
+                .run_observed()
+        };
+        let (rep_s, obs_s) = run(Stepping::Snapshot);
+        let (rep_d, obs_d) = run(Stepping::Delta);
+        assert_eq!(rep_s, rep_d);
+        assert_eq!(obs_s[0].per_round, obs_d[0].per_round);
+        assert_eq!(obs_d[0].per_round[0], 7); // E_0 is the path
+    }
+
+    #[test]
+    fn warmed_up_delta_trials_match_snapshot_trials() {
+        let graphs = [generators::path(9), generators::star(9)];
+        let run = |stepping| {
+            Simulation::builder()
+                .model(|_| crate::PeriodicEvolvingGraph::new(&graphs).unwrap())
+                .trials(2)
+                .warm_up(3)
+                .max_rounds(100)
+                .stepping(stepping)
+                .run()
+        };
+        assert_eq!(run(Stepping::Snapshot), run(Stepping::Delta));
     }
 
     #[test]

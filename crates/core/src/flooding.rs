@@ -8,12 +8,18 @@
 //!
 //! [`flood`] and [`flood_multi`] step one realization by hand (and serve
 //! as the independent reference implementation the engine is tested
-//! against). For Monte-Carlo measurement use the unified
+//! against). On models advertising
+//! [`EvolvingGraph::has_native_deltas`] they run a *frontier sweep* over
+//! a [`crate::DynAdjacency`] — per-round cost proportional to the
+//! frontier's adjacency plus the round's churn, instead of a full
+//! `O(m + n)` snapshot rebuild and informed-set scan; the two sweeps
+//! produce identical runs. For Monte-Carlo measurement use the unified
 //! [`crate::engine::Simulation`] builder; [`run_trials`] remains as a
 //! deprecated shim over it.
 
 use dg_stats::{Quantiles, Summary};
 
+use crate::delta::{DynAdjacency, EdgeDelta};
 use crate::EvolvingGraph;
 
 /// The outcome of one flooding run: who got informed when, and how the
@@ -97,41 +103,104 @@ impl FloodRun {
 pub fn flood<G: EvolvingGraph + ?Sized>(g: &mut G, source: u32, max_rounds: u32) -> FloodRun {
     let n = g.node_count();
     assert!((source as usize) < n, "source {source} out of range");
+    flood_core(g, &[source], max_rounds)
+}
+
+/// The shared flooding loop behind [`flood`] and [`flood_multi`]:
+/// validated sources in, [`FloodRun`] out. Dispatches between the
+/// frontier/delta sweep (models with native deltas) and the classic
+/// snapshot sweep — both produce identical runs (the property and engine
+/// test suites pin this).
+fn flood_core<G: EvolvingGraph + ?Sized>(g: &mut G, sources: &[u32], max_rounds: u32) -> FloodRun {
+    let n = g.node_count();
     let mut informed = vec![false; n];
     let mut informed_at = vec![None; n];
     let mut informed_list: Vec<u32> = Vec::with_capacity(n);
-    informed[source as usize] = true;
-    informed_at[source as usize] = Some(0);
-    informed_list.push(source);
-    let mut sizes = vec![1u32];
-    let mut completed_at = if n == 1 { Some(0) } else { None };
+    for &s in sources {
+        informed[s as usize] = true;
+        informed_at[s as usize] = Some(0);
+        informed_list.push(s);
+    }
+    let mut sizes = vec![informed_list.len() as u32];
+    let mut completed_at = (informed_list.len() == n).then_some(0u32);
     let mut new_nodes: Vec<u32> = Vec::new();
     let mut t = 0u32;
-    while completed_at.is_none() && t < max_rounds {
-        let snap = g.step();
-        new_nodes.clear();
-        // Only nodes of I_t relay in round t; `informed_list` is extended
-        // after the scan, so same-round chaining cannot occur.
-        for &u in &informed_list {
-            for &v in snap.neighbors(u) {
-                if !informed[v as usize] {
+    if g.has_native_deltas() {
+        // Frontier sweep: a node joins I_{t+1} iff it currently neighbors
+        // a node informed in round t (the frontier) or an edge created
+        // this round links it to any informed node — older informed nodes
+        // with older edges would already have delivered. Per-round cost is
+        // O(frontier adjacency + churn) instead of O(|I_t| adjacency).
+        let mut adj = DynAdjacency::new(n);
+        let mut delta = EdgeDelta::new();
+        let mut frontier_start = 0usize;
+        // Start from a fresh baseline so the first delta carries the full
+        // current edge set (the model may have been stepped before).
+        g.rebase_deltas();
+        while completed_at.is_none() && t < max_rounds {
+            g.step_delta(&mut delta);
+            adj.apply(&delta);
+            new_nodes.clear();
+            // Relays must be members of I_t: `informed_at` is still None
+            // for nodes first reached during this scan, so they cannot
+            // chain within the round.
+            for &(u, v) in delta.added() {
+                if informed_at[u as usize].is_some() && !informed[v as usize] {
                     informed[v as usize] = true;
                     new_nodes.push(v);
                 }
+                if informed_at[v as usize].is_some() && !informed[u as usize] {
+                    informed[u as usize] = true;
+                    new_nodes.push(u);
+                }
+            }
+            for &u in &informed_list[frontier_start..] {
+                for &v in adj.neighbors(u) {
+                    if !informed[v as usize] {
+                        informed[v as usize] = true;
+                        new_nodes.push(v);
+                    }
+                }
+            }
+            frontier_start = informed_list.len();
+            t += 1;
+            for &v in &new_nodes {
+                informed_at[v as usize] = Some(t);
+            }
+            informed_list.extend_from_slice(&new_nodes);
+            sizes.push(informed_list.len() as u32);
+            if informed_list.len() == n {
+                completed_at = Some(t);
             }
         }
-        t += 1;
-        for &v in &new_nodes {
-            informed_at[v as usize] = Some(t);
-        }
-        informed_list.extend_from_slice(&new_nodes);
-        sizes.push(informed_list.len() as u32);
-        if informed_list.len() == n {
-            completed_at = Some(t);
+    } else {
+        while completed_at.is_none() && t < max_rounds {
+            let snap = g.step();
+            new_nodes.clear();
+            // Only nodes of I_t relay in round t; `informed_list` is
+            // extended after the scan, so same-round chaining cannot
+            // occur.
+            for &u in &informed_list {
+                for &v in snap.neighbors(u) {
+                    if !informed[v as usize] {
+                        informed[v as usize] = true;
+                        new_nodes.push(v);
+                    }
+                }
+            }
+            t += 1;
+            for &v in &new_nodes {
+                informed_at[v as usize] = Some(t);
+            }
+            informed_list.extend_from_slice(&new_nodes);
+            sizes.push(informed_list.len() as u32);
+            if informed_list.len() == n {
+                completed_at = Some(t);
+            }
         }
     }
     FloodRun {
-        source,
+        source: sources[0],
         informed_at,
         sizes,
         completed_at,
@@ -167,51 +236,13 @@ pub fn flood_multi<G: EvolvingGraph + ?Sized>(
 ) -> FloodRun {
     let n = g.node_count();
     assert!(!sources.is_empty(), "need at least one source");
-    let mut informed = vec![false; n];
-    let mut informed_at = vec![None; n];
-    let mut informed_list: Vec<u32> = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
     for &s in sources {
         assert!((s as usize) < n, "source {s} out of range");
-        assert!(!informed[s as usize], "duplicate source {s}");
-        informed[s as usize] = true;
-        informed_at[s as usize] = Some(0);
-        informed_list.push(s);
+        assert!(!seen[s as usize], "duplicate source {s}");
+        seen[s as usize] = true;
     }
-    let mut sizes = vec![informed_list.len() as u32];
-    let mut completed_at = if informed_list.len() == n {
-        Some(0)
-    } else {
-        None
-    };
-    let mut new_nodes: Vec<u32> = Vec::new();
-    let mut t = 0u32;
-    while completed_at.is_none() && t < max_rounds {
-        let snap = g.step();
-        new_nodes.clear();
-        for &u in &informed_list {
-            for &v in snap.neighbors(u) {
-                if !informed[v as usize] {
-                    informed[v as usize] = true;
-                    new_nodes.push(v);
-                }
-            }
-        }
-        t += 1;
-        for &v in &new_nodes {
-            informed_at[v as usize] = Some(t);
-        }
-        informed_list.extend_from_slice(&new_nodes);
-        sizes.push(informed_list.len() as u32);
-        if informed_list.len() == n {
-            completed_at = Some(t);
-        }
-    }
-    FloodRun {
-        source: sources[0],
-        informed_at,
-        sizes,
-        completed_at,
-    }
+    flood_core(g, sources, max_rounds)
 }
 
 /// Configuration for seeded multi-trial flooding experiments.
@@ -454,6 +485,62 @@ mod tests {
     fn bad_source_panics() {
         let mut g = StaticEvolvingGraph::new(generators::path(3));
         let _ = flood(&mut g, 3, 10);
+    }
+
+    /// Hides a model's native deltas, forcing the snapshot fallback.
+    struct ForceRebuild<G>(G);
+
+    impl<G: EvolvingGraph> EvolvingGraph for ForceRebuild<G> {
+        fn node_count(&self) -> usize {
+            self.0.node_count()
+        }
+        fn step(&mut self) -> &crate::Snapshot {
+            self.0.step()
+        }
+        fn reset(&mut self, seed: u64) {
+            self.0.reset(seed)
+        }
+    }
+
+    #[test]
+    fn frontier_sweep_matches_snapshot_sweep() {
+        // The periodic process exercises appearing *and* disappearing
+        // edges; the two sweeps must agree run for run, including the
+        // per-node informed rounds.
+        let mut even = dg_graph::GraphBuilder::new(6);
+        even.add_edges([(0, 1), (2, 3), (4, 5)]).unwrap();
+        let mut odd = dg_graph::GraphBuilder::new(6);
+        odd.add_edges([(1, 2), (3, 4)]).unwrap();
+        let graphs = [even.build(), odd.build()];
+        for source in 0..6 {
+            let delta_path = {
+                let mut g = PeriodicEvolvingGraph::new(&graphs).unwrap();
+                assert!(g.has_native_deltas());
+                flood(&mut g, source, 50)
+            };
+            let snapshot_path = {
+                let mut g = ForceRebuild(PeriodicEvolvingGraph::new(&graphs).unwrap());
+                assert!(!g.has_native_deltas());
+                flood(&mut g, source, 50)
+            };
+            assert_eq!(delta_path, snapshot_path, "source {source}");
+        }
+    }
+
+    #[test]
+    fn frontier_sweep_matches_snapshot_sweep_multi_source() {
+        let graphs = [generators::path(9), generators::cycle(9)];
+        let a = flood_multi(
+            &mut PeriodicEvolvingGraph::new(&graphs).unwrap(),
+            &[0, 8],
+            50,
+        );
+        let b = flood_multi(
+            &mut ForceRebuild(PeriodicEvolvingGraph::new(&graphs).unwrap()),
+            &[0, 8],
+            50,
+        );
+        assert_eq!(a, b);
     }
 
     #[test]

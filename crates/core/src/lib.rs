@@ -11,6 +11,10 @@
 //!
 //! * [`Snapshot`] / [`EvolvingGraph`] — the dynamic-graph model of §2: a
 //!   synchronous sequence of edge sets over a fixed vertex set `[n]`;
+//! * [`delta`] — **delta-native stepping**: [`EdgeDelta`] (one round's
+//!   churn) and [`DynAdjacency`] (incremental adjacency with lazy CSR
+//!   materialization), so slow-churn processes cost `O(churn)` per round
+//!   instead of `O(m + n)`;
 //! * [`engine`] — **the unified simulation engine**: a builder-driven
 //!   Monte-Carlo runner ([`engine::Simulation`]) combining any model
 //!   factory with any [`engine::Protocol`] (flooding, push gossip,
@@ -78,12 +82,27 @@
 //! ```
 //!
 //! Single-run primitives ([`flooding::flood`], [`flooding::flood_multi`])
-//! remain available for stepping one realization by hand.
+//! remain available for stepping one realization by hand; on models with
+//! native deltas they run a frontier sweep over a [`DynAdjacency`]
+//! automatically.
+//!
+//! # Implementing a model: `step` vs `step_delta`
+//!
+//! Third-party [`EvolvingGraph`]s only need [`EvolvingGraph::step`]; the
+//! default [`EvolvingGraph::step_delta`] diffs consecutive snapshots, so
+//! the delta pipeline works (it just doesn't speed anything up).
+//! Implement `step_delta` natively — and return `true` from
+//! [`EvolvingGraph::has_native_deltas`] — when the model can enumerate
+//! its churn directly (edge flips, toggle events, meeting enter/leave);
+//! consume exactly the RNG that `step` would, and validate with
+//! [`delta::assert_replays_rebuild`]. Consumers pick the fast path
+//! automatically ([`engine::Stepping::Auto`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod delta;
 pub mod engine;
 mod error;
 pub mod flooding;
@@ -97,6 +116,7 @@ mod snapshot;
 pub mod stationarity;
 pub mod theory;
 
+pub use delta::{DynAdjacency, EdgeDelta};
 pub use engine::{Simulation, SimulationBuilder, SimulationReport};
 pub use error::DynagraphError;
 pub use process::{

@@ -24,7 +24,7 @@ use rand::{Rng, SeedableRng};
 
 use dg_markov::{DenseChain, MarkovError};
 
-use crate::{mix_seed, DynagraphError, EvolvingGraph, Snapshot};
+use crate::{mix_seed, DynagraphError, EdgeDelta, EvolvingGraph, Snapshot};
 
 /// The hidden per-node Markov chain of a node-MEG.
 ///
@@ -88,6 +88,8 @@ pub struct NodeMeg<C: NodeChain, M: ConnectionMap<C::State>> {
     rng: SmallRng,
     snapshot: Snapshot,
     edge_buf: Vec<(u32, u32)>,
+    prev_edges: Vec<(u32, u32)>,
+    synced: bool,
 }
 
 impl<C: NodeChain, M: ConnectionMap<C::State>> NodeMeg<C, M> {
@@ -113,7 +115,26 @@ impl<C: NodeChain, M: ConnectionMap<C::State>> NodeMeg<C, M> {
             rng,
             snapshot: Snapshot::empty(n),
             edge_buf: Vec::new(),
+            prev_edges: Vec::new(),
+            synced: false,
         })
+    }
+
+    /// Steps every node state and rebuilds the sorted pair list in
+    /// `edge_buf` (the all-pairs scan shared by both stepping paths).
+    fn advance(&mut self) {
+        for s in &mut self.states {
+            self.chain.step_state(s, &mut self.rng);
+        }
+        self.edge_buf.clear();
+        let n = self.states.len();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if self.conn.connected(&self.states[i], &self.states[j]) {
+                    self.edge_buf.push((i as u32, j as u32));
+                }
+            }
+        }
     }
 
     /// The current hidden states (for positional analyses).
@@ -133,20 +154,32 @@ impl<C: NodeChain, M: ConnectionMap<C::State>> EvolvingGraph for NodeMeg<C, M> {
     }
 
     fn step(&mut self) -> &Snapshot {
-        for s in &mut self.states {
-            self.chain.step_state(s, &mut self.rng);
-        }
-        self.edge_buf.clear();
-        let n = self.states.len();
-        for i in 0..n {
-            for j in (i + 1)..n {
-                if self.conn.connected(&self.states[i], &self.states[j]) {
-                    self.edge_buf.push((i as u32, j as u32));
-                }
-            }
-        }
+        self.advance();
         self.snapshot.rebuild_from_edges(&self.edge_buf);
+        self.synced = false;
         &self.snapshot
+    }
+
+    fn step_delta(&mut self, delta: &mut EdgeDelta) {
+        self.advance();
+        // The all-pairs scan yields the pair list lex-sorted, so one
+        // merge pass against the previous round is the enter/leave event
+        // stream — no CSR is ever built.
+        if self.synced {
+            delta.record_transition(&self.prev_edges, &self.edge_buf);
+        } else {
+            delta.record_full(self.edge_buf.iter().copied());
+            self.synced = true;
+        }
+        std::mem::swap(&mut self.prev_edges, &mut self.edge_buf);
+    }
+
+    fn has_native_deltas(&self) -> bool {
+        true
+    }
+
+    fn rebase_deltas(&mut self) {
+        self.synced = false;
     }
 
     fn reset(&mut self, seed: u64) {
@@ -154,6 +187,7 @@ impl<C: NodeChain, M: ConnectionMap<C::State>> EvolvingGraph for NodeMeg<C, M> {
         for s in &mut self.states {
             *s = self.chain.sample_initial(&mut self.rng);
         }
+        self.synced = false;
     }
 }
 

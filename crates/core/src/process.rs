@@ -3,7 +3,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::{DynagraphError, Snapshot};
+use crate::{DynagraphError, EdgeDelta, Snapshot};
 
 /// A dynamic graph `G([n], {E_t})` in the sense of §2 of the paper: a
 /// synchronous stochastic process producing one edge set per round over a
@@ -31,14 +31,70 @@ pub trait EvolvingGraph {
     /// all internal randomness from `seed`.
     fn reset(&mut self, seed: u64);
 
-    /// Advances the process `rounds` rounds, discarding the snapshots.
+    /// Advances the process one round and records the edge churn relative
+    /// to the previous round into `delta`.
+    ///
+    /// Consumes exactly the same randomness as [`EvolvingGraph::step`]
+    /// would for the same round, so the two stepping paths produce
+    /// identical realizations from the same seed.
+    ///
+    /// # Contract
+    ///
+    /// The delta is relative to the edge set exposed by the *previous*
+    /// `step`/`step_delta` call. After construction,
+    /// [`EvolvingGraph::reset`], [`EvolvingGraph::warm_up`], or a plain
+    /// `step`, the next `step_delta` describes the full edge set relative
+    /// to the empty graph — so a freshly created
+    /// [`crate::DynAdjacency`] synchronizes on its first
+    /// [`apply`](crate::DynAdjacency::apply).
+    ///
+    /// The default implementation steps the snapshot path and diffs
+    /// against the previous snapshot (scratch lives inside `delta`, so
+    /// reuse the same buffer across rounds); implement it natively — and
+    /// flag it via [`EvolvingGraph::has_native_deltas`] — when the model
+    /// can enumerate its churn in `O(churn)`.
+    fn step_delta(&mut self, delta: &mut EdgeDelta) {
+        let snap = self.step();
+        delta.diff_snapshot(snap);
+    }
+
+    /// `true` when [`EvolvingGraph::step_delta`] is implemented natively
+    /// (per-round cost proportional to churn, no snapshot
+    /// materialization). Consumers like the engine and
+    /// [`crate::flooding::flood`] use this to pick the delta path
+    /// automatically.
+    fn has_native_deltas(&self) -> bool {
+        false
+    }
+
+    /// Forgets the delta baseline: the next [`EvolvingGraph::step_delta`]
+    /// emits the full edge set relative to the empty graph.
+    ///
+    /// Models with native deltas must implement this (the default
+    /// snapshot-diffing path keeps its baseline inside the consumer's
+    /// [`EdgeDelta`], so the default is a no-op).
+    fn rebase_deltas(&mut self) {}
+
+    /// Advances the process `rounds` rounds, discarding the edge sets.
     ///
     /// Used to let a Markovian process approach its stationary
     /// distribution before measurements begin (the paper's bounds are for
-    /// *stationary* MEGs).
+    /// *stationary* MEGs). Models with native deltas warm up on the delta
+    /// path — `O(churn)` per round, no snapshot ever materialized — and
+    /// are rebased afterwards, so the next `step_delta` emits the full
+    /// (warmed-up) edge set; everything else just steps (diffing would be
+    /// pure overhead for a discarded round).
     fn warm_up(&mut self, rounds: usize) {
-        for _ in 0..rounds {
-            self.step();
+        if self.has_native_deltas() {
+            let mut scratch = EdgeDelta::new();
+            for _ in 0..rounds {
+                self.step_delta(&mut scratch);
+            }
+            self.rebase_deltas();
+        } else {
+            for _ in 0..rounds {
+                self.step();
+            }
         }
     }
 }
@@ -62,6 +118,8 @@ pub trait EvolvingGraph {
 #[derive(Debug, Clone)]
 pub struct StaticEvolvingGraph {
     snapshot: Snapshot,
+    edges: Vec<(u32, u32)>,
+    synced: bool,
 }
 
 impl StaticEvolvingGraph {
@@ -70,7 +128,12 @@ impl StaticEvolvingGraph {
         let mut snapshot = Snapshot::empty(graph.node_count());
         let edges: Vec<(u32, u32)> = graph.edges().collect();
         snapshot.rebuild_from_edges(&edges);
-        StaticEvolvingGraph { snapshot }
+        let edges = snapshot.edges().collect();
+        StaticEvolvingGraph {
+            snapshot,
+            edges,
+            synced: false,
+        }
     }
 }
 
@@ -80,10 +143,29 @@ impl EvolvingGraph for StaticEvolvingGraph {
     }
 
     fn step(&mut self) -> &Snapshot {
+        self.synced = false;
         &self.snapshot
     }
 
-    fn reset(&mut self, _seed: u64) {}
+    fn step_delta(&mut self, delta: &mut EdgeDelta) {
+        delta.begin_round();
+        if !self.synced {
+            delta.record_full(self.edges.iter().copied());
+            self.synced = true;
+        }
+    }
+
+    fn has_native_deltas(&self) -> bool {
+        true
+    }
+
+    fn rebase_deltas(&mut self) {
+        self.synced = false;
+    }
+
+    fn reset(&mut self, _seed: u64) {
+        self.synced = false;
+    }
 }
 
 /// A deterministic, periodic (hence non-Markovian in general) dynamic
@@ -95,7 +177,11 @@ impl EvolvingGraph for StaticEvolvingGraph {
 #[derive(Debug, Clone)]
 pub struct PeriodicEvolvingGraph {
     snapshots: Vec<Snapshot>,
+    /// `deltas[i]` is the churn from `snapshots[i]` to
+    /// `snapshots[(i + 1) % period]`, precomputed at construction.
+    deltas: Vec<crate::delta::DeltaPair>,
     cursor: usize,
+    synced: bool,
 }
 
 impl PeriodicEvolvingGraph {
@@ -127,9 +213,21 @@ impl PeriodicEvolvingGraph {
             s.rebuild_from_edges(&edges);
             snapshots.push(s);
         }
+        let edge_lists: Vec<Vec<(u32, u32)>> =
+            snapshots.iter().map(|s| s.edges().collect()).collect();
+        let period = snapshots.len();
+        let mut scratch = EdgeDelta::new();
+        let deltas = (0..period)
+            .map(|i| {
+                scratch.record_transition(&edge_lists[i], &edge_lists[(i + 1) % period]);
+                (scratch.added().to_vec(), scratch.removed().to_vec())
+            })
+            .collect();
         Ok(PeriodicEvolvingGraph {
             snapshots,
+            deltas,
             cursor: 0,
+            synced: false,
         })
     }
 
@@ -145,13 +243,42 @@ impl EvolvingGraph for PeriodicEvolvingGraph {
     }
 
     fn step(&mut self) -> &Snapshot {
+        self.synced = false;
         let s = &self.snapshots[self.cursor];
         self.cursor = (self.cursor + 1) % self.snapshots.len();
         s
     }
 
+    fn step_delta(&mut self, delta: &mut EdgeDelta) {
+        let period = self.snapshots.len();
+        if self.synced {
+            let from = (self.cursor + period - 1) % period;
+            let (added, removed) = &self.deltas[from];
+            delta.begin_round();
+            for &e in added {
+                delta.push_added(e);
+            }
+            for &e in removed {
+                delta.push_removed(e);
+            }
+        } else {
+            delta.record_full(self.snapshots[self.cursor].edges());
+            self.synced = true;
+        }
+        self.cursor = (self.cursor + 1) % period;
+    }
+
+    fn has_native_deltas(&self) -> bool {
+        true
+    }
+
+    fn rebase_deltas(&mut self) {
+        self.synced = false;
+    }
+
     fn reset(&mut self, _seed: u64) {
         self.cursor = 0;
+        self.synced = false;
     }
 }
 
@@ -421,6 +548,52 @@ mod tests {
         let mut g = StaticEvolvingGraph::new(generators::path(3));
         g.warm_up(10); // must not panic or hang
         assert_eq!(g.node_count(), 3);
+    }
+
+    #[test]
+    fn static_deltas_are_full_then_empty() {
+        let mut g = StaticEvolvingGraph::new(generators::cycle(5));
+        assert!(g.has_native_deltas());
+        let mut d = EdgeDelta::new();
+        g.step_delta(&mut d);
+        assert_eq!(d.added().len(), 5);
+        g.step_delta(&mut d);
+        assert!(d.is_empty());
+        // After a plain step() the baseline is forgotten again.
+        let _ = g.step();
+        g.step_delta(&mut d);
+        assert_eq!(d.added().len(), 5);
+    }
+
+    #[test]
+    fn warm_up_rebases_native_deltas() {
+        let mut g = StaticEvolvingGraph::new(generators::path(4));
+        g.warm_up(3);
+        let mut d = EdgeDelta::new();
+        g.step_delta(&mut d);
+        assert_eq!(d.added().len(), 3, "post-warm-up delta must be full");
+    }
+
+    #[test]
+    fn periodic_deltas_replay_rebuild_across_reset() {
+        let a = generators::path(5);
+        let b = generators::complete(5);
+        let c = generators::star(5);
+        let mut rebuild = PeriodicEvolvingGraph::new(&[a.clone(), b.clone(), c.clone()]).unwrap();
+        let mut delta = PeriodicEvolvingGraph::new(&[a, b, c]).unwrap();
+        crate::delta::assert_replays_rebuild(&mut rebuild, &mut delta, 8);
+        rebuild.reset(1);
+        delta.reset(1);
+        crate::delta::assert_replays_rebuild(&mut rebuild, &mut delta, 8);
+    }
+
+    #[test]
+    fn wrappers_fall_back_to_snapshot_diffing() {
+        let inner = StaticEvolvingGraph::new(generators::complete(8));
+        let mut rebuild = ThinnedEvolvingGraph::new(inner.clone(), 0.4, 9).unwrap();
+        let mut delta = ThinnedEvolvingGraph::new(inner, 0.4, 9).unwrap();
+        assert!(!rebuild.has_native_deltas());
+        crate::delta::assert_replays_rebuild(&mut rebuild, &mut delta, 12);
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! over sources *on the same realization* of the process. To measure it we
 //! record a realization once and replay it for every source.
 
+use crate::delta::EdgeDelta;
 use crate::flooding::{flood, FloodRun};
 use crate::{EvolvingGraph, Snapshot};
 
@@ -26,21 +27,43 @@ use crate::{EvolvingGraph, Snapshot};
 #[derive(Debug, Clone)]
 pub struct RecordedEvolution {
     snapshots: Vec<Snapshot>,
+    /// `deltas[t]` is the churn from `E_{t-1}` to `E_t` (`deltas[0]` is
+    /// `E_0` relative to the empty graph), precomputed so every replay
+    /// serves native deltas in `O(churn)`.
+    deltas: Vec<crate::delta::DeltaPair>,
     node_count: usize,
 }
 
 impl RecordedEvolution {
-    /// Steps `g` for `rounds` rounds, cloning every snapshot.
+    /// Steps `g` for `rounds` rounds, cloning every snapshot and diffing
+    /// consecutive rounds into the replayable delta sequence.
     pub fn record<G: EvolvingGraph + ?Sized>(g: &mut G, rounds: usize) -> Self {
         let node_count = g.node_count();
         let mut snapshots = Vec::with_capacity(rounds);
+        let mut deltas = Vec::with_capacity(rounds);
+        let mut diff = EdgeDelta::new();
         for _ in 0..rounds {
-            snapshots.push(g.step().clone());
+            let snap = g.step().clone();
+            diff.diff_snapshot(&snap);
+            deltas.push((diff.added().to_vec(), diff.removed().to_vec()));
+            snapshots.push(snap);
         }
         RecordedEvolution {
             snapshots,
+            deltas,
             node_count,
         }
+    }
+
+    /// The recorded churn of round `t`: `(added, removed)` relative to
+    /// round `t - 1` (round 0 is relative to the empty graph).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= rounds()`.
+    pub fn delta(&self, t: usize) -> (&[crate::delta::Edge], &[crate::delta::Edge]) {
+        let (added, removed) = &self.deltas[t];
+        (added, removed)
     }
 
     /// Number of recorded rounds `T`.
@@ -62,12 +85,15 @@ impl RecordedEvolution {
         &self.snapshots[t]
     }
 
-    /// Floods from `source` over the recorded rounds. If the recording is
-    /// exhausted before completion the run reports `None`.
+    /// Floods from `source` over the recorded rounds (served as native
+    /// deltas, so the sweep costs `O(frontier + churn)` per round). If
+    /// the recording is exhausted before completion the run reports
+    /// `None`.
     pub fn flood_from(&self, source: u32) -> FloodRun {
         let mut replay = Replay {
             rec: self,
             cursor: 0,
+            synced: false,
             edgeless: Snapshot::empty(self.node_count),
         };
         flood(&mut replay, source, self.snapshots.len() as u32)
@@ -89,6 +115,7 @@ impl RecordedEvolution {
 struct Replay<'a> {
     rec: &'a RecordedEvolution,
     cursor: usize,
+    synced: bool,
     edgeless: Snapshot,
 }
 
@@ -98,6 +125,7 @@ impl EvolvingGraph for Replay<'_> {
     }
 
     fn step(&mut self) -> &Snapshot {
+        self.synced = false;
         if self.cursor < self.rec.snapshots.len() {
             let s = &self.rec.snapshots[self.cursor];
             self.cursor += 1;
@@ -107,8 +135,47 @@ impl EvolvingGraph for Replay<'_> {
         }
     }
 
+    fn step_delta(&mut self, delta: &mut EdgeDelta) {
+        let rounds = self.rec.snapshots.len();
+        delta.begin_round();
+        if self.cursor < rounds {
+            if self.synced && self.cursor > 0 {
+                let (added, removed) = &self.rec.deltas[self.cursor];
+                for &e in added {
+                    delta.push_added(e);
+                }
+                for &e in removed {
+                    delta.push_removed(e);
+                }
+            } else {
+                delta.record_full(self.rec.snapshots[self.cursor].edges());
+            }
+            self.synced = true;
+            self.cursor += 1;
+        } else {
+            // Rounds beyond the recording are edgeless: drain whatever
+            // the consumer last saw, then emit empty deltas forever.
+            if self.synced && self.cursor == rounds && rounds > 0 {
+                for e in self.rec.snapshots[rounds - 1].edges() {
+                    delta.push_removed(e);
+                }
+            }
+            self.synced = true;
+            self.cursor = rounds + 1;
+        }
+    }
+
+    fn has_native_deltas(&self) -> bool {
+        true
+    }
+
+    fn rebase_deltas(&mut self) {
+        self.synced = false;
+    }
+
     fn reset(&mut self, _seed: u64) {
         self.cursor = 0;
+        self.synced = false;
     }
 }
 

@@ -133,6 +133,26 @@ impl Snapshot {
         }
     }
 
+    /// Rebuilds the snapshot in place from per-node sorted adjacency
+    /// lists (the storage of [`crate::DynAdjacency`]); the result is
+    /// byte-identical to [`Snapshot::rebuild_from_edges`] over the same
+    /// edge set.
+    pub(crate) fn rebuild_from_sorted_adjacency(&mut self, adj: &[Vec<u32>]) {
+        debug_assert_eq!(adj.len(), self.node_count);
+        self.offsets.clear();
+        self.offsets.push(0);
+        let mut total = 0u32;
+        for list in adj {
+            total += list.len() as u32;
+            self.offsets.push(total);
+        }
+        self.targets.clear();
+        for list in adj {
+            debug_assert!(list.windows(2).all(|w| w[0] < w[1]));
+            self.targets.extend_from_slice(list);
+        }
+    }
+
     /// Converts this round's edge set into a static [`dg_graph::Graph`]
     /// (for connectivity analysis of individual snapshots).
     pub fn to_graph(&self) -> dg_graph::Graph {

@@ -10,7 +10,7 @@ use rand::SeedableRng;
 
 use dg_markov::samplers::AliasSampler;
 use dg_markov::{DenseChain, MarkovError, ProbDist};
-use dynagraph::{mix_seed, EvolvingGraph, Snapshot};
+use dynagraph::{mix_seed, EdgeDelta, EvolvingGraph, Snapshot};
 
 use crate::pairs::{edge_pair, pair_count};
 
@@ -41,6 +41,7 @@ pub struct HiddenChainEdgeMeg {
     rng: SmallRng,
     snapshot: Snapshot,
     edge_buf: Vec<(u32, u32)>,
+    synced: bool,
 }
 
 impl HiddenChainEdgeMeg {
@@ -106,6 +107,7 @@ impl HiddenChainEdgeMeg {
             rng: SmallRng::seed_from_u64(seed),
             snapshot: Snapshot::empty(n),
             edge_buf: Vec::new(),
+            synced: false,
         };
         meg.reset(seed);
         Ok(meg)
@@ -166,7 +168,42 @@ impl EvolvingGraph for HiddenChainEdgeMeg {
             }
         }
         self.snapshot.rebuild_from_edges(&self.edge_buf);
+        self.synced = false;
         &self.snapshot
+    }
+
+    fn step_delta(&mut self, delta: &mut EdgeDelta) {
+        // Same hidden-chain draws as `step`; only χ-transitions (an edge
+        // switching existence) enter the delta, so no snapshot is built.
+        delta.begin_round();
+        if self.synced {
+            for (e, s) in self.states.iter_mut().enumerate() {
+                let was_on = self.chi[*s as usize];
+                *s = self.row_samplers[*s as usize].sample(&mut self.rng) as u8;
+                let is_on = self.chi[*s as usize];
+                match (was_on, is_on) {
+                    (false, true) => delta.push_added(edge_pair(e)),
+                    (true, false) => delta.push_removed(edge_pair(e)),
+                    _ => {}
+                }
+            }
+        } else {
+            for (e, s) in self.states.iter_mut().enumerate() {
+                *s = self.row_samplers[*s as usize].sample(&mut self.rng) as u8;
+                if self.chi[*s as usize] {
+                    delta.push_added(edge_pair(e));
+                }
+            }
+            self.synced = true;
+        }
+    }
+
+    fn has_native_deltas(&self) -> bool {
+        true
+    }
+
+    fn rebase_deltas(&mut self) {
+        self.synced = false;
     }
 
     fn reset(&mut self, seed: u64) {
@@ -174,6 +211,7 @@ impl EvolvingGraph for HiddenChainEdgeMeg {
         for s in &mut self.states {
             *s = self.init_sampler.sample(&mut self.rng) as u8;
         }
+        self.synced = false;
     }
 }
 

@@ -9,8 +9,10 @@
 //!   probability `q`. Stationary density `α = p/(p+q)`, mixing time
 //!   `Θ(1/(p+q))`.
 //! * [`SparseTwoStateEdgeMeg`] — the same process, simulated event-driven
-//!   (geometric toggle times) so that huge sparse instances cost
-//!   `O(#toggles + |E_t|)` per round instead of `O(n²)`.
+//!   (geometric toggle times in a calendar queue) so that huge sparse
+//!   instances cost `O(#toggles)` per round on the delta path (or
+//!   `O(#toggles + |E_t|)` when snapshots are materialized) instead of
+//!   `O(n²)`.
 //! * [`HiddenChainEdgeMeg`] — the paper's generalization `EM(n, M, χ)`:
 //!   an arbitrary (hidden) finite chain `M` drives each edge and an
 //!   arbitrary map `χ : S → {0, 1}` decides whether the edge exists.
@@ -21,6 +23,11 @@
 //! [`dynagraph::theory::edge_meg_general_bound`] and
 //! [`dynagraph::theory::edge_meg_hidden_bound`].
 //!
+//! Every model here implements `EvolvingGraph::step_delta` natively —
+//! the edge flips / toggle events *are* the delta — so the engine and
+//! `flooding::flood` drive them churn-proportionally by default, with
+//! results byte-identical to the snapshot path.
+//!
 //! # Examples
 //!
 //! ```
@@ -30,6 +37,23 @@
 //! let mut g = TwoStateEdgeMeg::stationary(64, 0.05, 0.2, 42).unwrap();
 //! let run = flooding::flood(&mut g, 0, 10_000);
 //! assert!(run.flooding_time().is_some());
+//! ```
+//!
+//! Consume the churn directly (e.g. for incremental analytics):
+//!
+//! ```
+//! use dg_edge_meg::SparseTwoStateEdgeMeg;
+//! use dynagraph::{DynAdjacency, EdgeDelta, EvolvingGraph};
+//!
+//! let n = 256;
+//! let mut g = SparseTwoStateEdgeMeg::stationary(n, 1.0 / n as f64, 0.1, 7).unwrap();
+//! let mut adj = DynAdjacency::new(n);
+//! let mut delta = EdgeDelta::new();
+//! for _ in 0..100 {
+//!     g.step_delta(&mut delta);
+//!     adj.apply(&delta); // O(churn), no snapshot ever built
+//! }
+//! assert_eq!(adj.edge_count(), g.alive_count());
 //! ```
 
 #![forbid(unsafe_code)]

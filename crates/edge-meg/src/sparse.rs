@@ -6,17 +6,111 @@
 //! *events*: an off edge turns on after `Geometric(p)` rounds and an on
 //! edge turns off after `Geometric(q)` rounds. The resulting process is
 //! identical in distribution to [`crate::TwoStateEdgeMeg`].
-
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+//!
+//! Events live in a *calendar queue* — one bucket per upcoming round in
+//! a fixed ring, plus an overflow list for far-future toggles — instead
+//! of a binary heap: with millions of pending events (one per potential
+//! edge) heap sifts dominate the per-round cost, while the calendar pops
+//! a round's toggles from one contiguous bucket. Events are processed in
+//! ascending `(round, edge)` order either way, so the RNG draw order
+//! (and thus every realization) is identical to the heap implementation.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use dg_markov::{MarkovError, TwoStateChain};
-use dynagraph::{mix_seed, EvolvingGraph, Snapshot};
+use dynagraph::{mix_seed, EdgeDelta, EvolvingGraph, Snapshot};
 
 use crate::pairs::{edge_pair, pair_count};
+
+/// Ring width of the event calendar: toggles scheduled within this many
+/// rounds go straight to their round's bucket; later ones wait in the
+/// overflow list, which is swept back into the ring every
+/// `HORIZON / 2` rounds.
+const HORIZON: u64 = 8192;
+
+/// A calendar queue keyed by round number.
+///
+/// Invariant: every entry of `buckets[r % HORIZON]` is due exactly at
+/// round `r` — entries are only admitted when `when - now < HORIZON`, so
+/// residues cannot collide among pending events (an event further than
+/// one full ring away sits in `overflow` until a flush brings it within
+/// the horizon).
+#[derive(Debug, Clone)]
+struct EventCalendar {
+    /// `buckets[when % HORIZON]` holds the edges toggling at `when`.
+    buckets: Vec<Vec<u32>>,
+    /// Far-future events `(when, edge)` with `when - push_round >= HORIZON`.
+    overflow: Vec<(u64, u32)>,
+    /// Next round at which the overflow is swept into the ring.
+    next_flush: u64,
+    /// Recycled allocation for the per-round due list.
+    scratch: Vec<u32>,
+}
+
+impl EventCalendar {
+    fn new() -> Self {
+        EventCalendar {
+            buckets: vec![Vec::new(); HORIZON as usize],
+            overflow: Vec::new(),
+            next_flush: HORIZON / 2,
+            scratch: Vec::new(),
+        }
+    }
+
+    fn clear(&mut self) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.overflow.clear();
+        self.next_flush = HORIZON / 2;
+    }
+
+    #[inline]
+    fn push(&mut self, now: u64, when: u64, edge: u32) {
+        debug_assert!(when > now);
+        if when - now < HORIZON {
+            self.buckets[(when % HORIZON) as usize].push(edge);
+        } else {
+            self.overflow.push((when, edge));
+        }
+    }
+
+    /// Moves every overflow event that is now within the horizon into
+    /// its bucket. Flushing at least once per `HORIZON / 2` rounds
+    /// guarantees no event's due round slips past while it waits.
+    fn flush(&mut self, now: u64) {
+        self.next_flush = now + HORIZON / 2;
+        let mut i = 0;
+        while i < self.overflow.len() {
+            let (when, edge) = self.overflow[i];
+            if when - now < HORIZON {
+                self.buckets[(when % HORIZON) as usize].push(edge);
+                self.overflow.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Takes the edges due at `now`, sorted ascending — the same order a
+    /// min-heap over `(when, edge)` would pop them in. Return the vector
+    /// via [`EventCalendar::end_round`] to recycle its allocation.
+    fn begin_round(&mut self, now: u64) -> Vec<u32> {
+        if now >= self.next_flush {
+            self.flush(now);
+        }
+        let slot = &mut self.buckets[(now % HORIZON) as usize];
+        let mut due = std::mem::replace(slot, std::mem::take(&mut self.scratch));
+        due.sort_unstable();
+        due
+    }
+
+    fn end_round(&mut self, mut due: Vec<u32>) {
+        due.clear();
+        self.scratch = due;
+    }
+}
 
 /// Event-driven two-state edge-MEG, equivalent in distribution to
 /// [`crate::TwoStateEdgeMeg::stationary`] but with per-round cost
@@ -42,11 +136,15 @@ pub struct SparseTwoStateEdgeMeg {
     alive: Vec<u32>,
     /// Position of each edge in `alive` (`u32::MAX` when off).
     alive_pos: Vec<u32>,
-    /// Pending toggle events `(round, edge)`.
-    events: BinaryHeap<Reverse<(u64, u32)>>,
+    /// Pending toggle events, bucketed by due round.
+    events: EventCalendar,
+    /// Precomputed `ln(1 - p)` / `ln(1 - q)` for the geometric sampler.
+    log1m_birth: f64,
+    log1m_death: f64,
     rng: SmallRng,
     snapshot: Snapshot,
     edge_buf: Vec<(u32, u32)>,
+    synced: bool,
 }
 
 impl SparseTwoStateEdgeMeg {
@@ -73,14 +171,17 @@ impl SparseTwoStateEdgeMeg {
         }
         let mut meg = SparseTwoStateEdgeMeg {
             n,
+            log1m_birth: (1.0 - chain.birth()).ln(),
+            log1m_death: (1.0 - chain.death()).ln(),
             chain,
             round: 0,
             alive: Vec::new(),
             alive_pos: vec![u32::MAX; pair_count(n)],
-            events: BinaryHeap::new(),
+            events: EventCalendar::new(),
             rng: SmallRng::seed_from_u64(seed),
             snapshot: Snapshot::empty(n),
             edge_buf: Vec::new(),
+            synced: false,
         };
         meg.reset(seed);
         Ok(meg)
@@ -97,30 +198,49 @@ impl SparseTwoStateEdgeMeg {
     }
 
     /// Samples `Geometric(prob)` on `{1, 2, ...}` — the waiting time until
-    /// the next success of a Bernoulli(`prob`) sequence.
-    fn geometric(rng: &mut SmallRng, prob: f64) -> u64 {
+    /// the next success of a Bernoulli(`prob`) sequence. `log1m` is the
+    /// precomputed `ln(1 - prob)` (hoisting it out of the hot loop
+    /// changes no draw: same expression, same inputs, same bits).
+    fn geometric(rng: &mut SmallRng, prob: f64, log1m: f64) -> u64 {
         if prob >= 1.0 {
             return 1;
         }
         let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-        let k = (u.ln() / (1.0 - prob).ln()).ceil();
+        let k = (u.ln() / log1m).ceil();
         (k as u64).max(1)
     }
 
     fn schedule_toggle(&mut self, edge: u32, currently_on: bool) {
-        let rate = if currently_on {
-            self.chain.death()
+        let (rate, log1m) = if currently_on {
+            (self.chain.death(), self.log1m_death)
         } else {
-            self.chain.birth()
+            (self.chain.birth(), self.log1m_birth)
         };
-        let dt = Self::geometric(&mut self.rng, rate);
-        self.events.push(Reverse((self.round + dt, edge)));
+        let dt = Self::geometric(&mut self.rng, rate, log1m);
+        self.events.push(self.round, self.round + dt, edge);
     }
 
     fn turn_on(&mut self, edge: u32) {
         debug_assert_eq!(self.alive_pos[edge as usize], u32::MAX);
         self.alive_pos[edge as usize] = self.alive.len() as u32;
         self.alive.push(edge);
+    }
+
+    /// Processes this round's toggle events (shared by both stepping
+    /// paths; identical RNG stream either way).
+    fn advance(&mut self) {
+        self.round += 1;
+        let due = self.events.begin_round(self.round);
+        for &edge in &due {
+            let on = self.alive_pos[edge as usize] != u32::MAX;
+            if on {
+                self.turn_off(edge);
+            } else {
+                self.turn_on(edge);
+            }
+            self.schedule_toggle(edge, !on);
+        }
+        self.events.end_round(due);
     }
 
     fn turn_off(&mut self, edge: u32) {
@@ -141,30 +261,57 @@ impl EvolvingGraph for SparseTwoStateEdgeMeg {
     }
 
     fn step(&mut self) -> &Snapshot {
-        self.round += 1;
-        while let Some(&Reverse((when, edge))) = self.events.peek() {
-            if when > self.round {
-                break;
-            }
-            self.events.pop();
-            let on = self.alive_pos[edge as usize] != u32::MAX;
-            if on {
-                self.turn_off(edge);
-            } else {
-                self.turn_on(edge);
-            }
-            self.schedule_toggle(edge, !on);
-        }
+        self.advance();
         self.edge_buf.clear();
         self.edge_buf
             .extend(self.alive.iter().map(|&e| edge_pair(e as usize)));
         self.snapshot.rebuild_from_edges(&self.edge_buf);
+        self.synced = false;
         &self.snapshot
+    }
+
+    fn step_delta(&mut self, delta: &mut EdgeDelta) {
+        // The toggle events due this round *are* the delta: per-round
+        // cost is O(#toggles), with no |E_t| or heap-sift term at all —
+        // the payoff of delta-native stepping in the paper's sparse,
+        // slow-churn regimes.
+        self.round += 1;
+        delta.begin_round();
+        let due = self.events.begin_round(self.round);
+        for &edge in &due {
+            let on = self.alive_pos[edge as usize] != u32::MAX;
+            if on {
+                self.turn_off(edge);
+                if self.synced {
+                    delta.push_removed(edge_pair(edge as usize));
+                }
+            } else {
+                self.turn_on(edge);
+                if self.synced {
+                    delta.push_added(edge_pair(edge as usize));
+                }
+            }
+            self.schedule_toggle(edge, !on);
+        }
+        self.events.end_round(due);
+        if !self.synced {
+            delta.record_full(self.alive.iter().map(|&e| edge_pair(e as usize)));
+            self.synced = true;
+        }
+    }
+
+    fn has_native_deltas(&self) -> bool {
+        true
+    }
+
+    fn rebase_deltas(&mut self) {
+        self.synced = false;
     }
 
     fn reset(&mut self, seed: u64) {
         self.rng = SmallRng::seed_from_u64(mix_seed(seed, 0x5BA5));
         self.round = 0;
+        self.synced = false;
         self.alive.clear();
         self.alive_pos.fill(u32::MAX);
         self.events.clear();
@@ -281,6 +428,63 @@ mod tests {
     fn rejects_zero_rates() {
         assert!(SparseTwoStateEdgeMeg::stationary(10, 0.0, 0.5, 0).is_err());
         assert!(SparseTwoStateEdgeMeg::stationary(10, 0.5, 0.0, 0).is_err());
+    }
+
+    /// FNV-style fold of the first `rounds` snapshots — a fingerprint of
+    /// the exact realization (edge sets *and* their order).
+    fn realization_fingerprint(n: usize, p: f64, q: f64, seed: u64, rounds: usize) -> u64 {
+        let mut g = SparseTwoStateEdgeMeg::stationary(n, p, q, seed).unwrap();
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for _ in 0..rounds {
+            let snap = g.step();
+            for (u, v) in snap.edges() {
+                h ^= ((u as u64) << 32) | v as u64;
+                h = h.wrapping_mul(0x0100_0000_01b3);
+            }
+            h ^= snap.edge_count() as u64;
+            h = h.wrapping_mul(0x0100_0000_01b3);
+        }
+        h
+    }
+
+    #[test]
+    fn realizations_pinned_across_refactors() {
+        // These fingerprints were captured from the original
+        // binary-heap event queue; the calendar queue (and any future
+        // event-store change) must reproduce the exact same draws.
+        assert_eq!(
+            realization_fingerprint(32, 0.05, 0.1, 7, 200),
+            0x4c0a_ad31_b1ee_a9bf
+        );
+        assert_eq!(
+            realization_fingerprint(64, 1.0 / 64.0, 0.3, 42, 500),
+            0x502f_3ce9_220a_e609
+        );
+        assert_eq!(
+            realization_fingerprint(128, 1.0 / 128.0, 0.02, 3, 300),
+            0x9d96_3269_b099_2de9
+        );
+    }
+
+    #[test]
+    fn calendar_handles_far_future_events() {
+        // p and q tiny: almost every toggle is scheduled beyond the
+        // calendar horizon and must flow through the overflow sweep.
+        let n = 24;
+        let mut g = SparseTwoStateEdgeMeg::stationary(n, 1e-4, 1e-4, 11).unwrap();
+        let mut total = 0usize;
+        for _ in 0..30_000 {
+            total += g.step().edge_count();
+        }
+        // Stationary density 0.5: the time average must stay close, which
+        // fails loudly if overflow events are ever lost or duplicated.
+        let expected = 0.5 * pair_count(n) as f64;
+        let mean = total as f64 / 30_000.0;
+        assert!((mean / expected - 1.0).abs() < 0.2, "mean = {mean}");
+        for _ in 0..30_000 {
+            let snap = g.step();
+            assert_eq!(snap.edge_count(), g.alive_count());
+        }
     }
 
     #[test]

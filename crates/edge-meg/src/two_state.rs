@@ -4,7 +4,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use dg_markov::{MarkovError, TwoStateChain};
-use dynagraph::{mix_seed, EvolvingGraph, Snapshot};
+use dynagraph::{mix_seed, EdgeDelta, EvolvingGraph, Snapshot};
 
 use crate::pairs::{edge_pair, pair_count};
 
@@ -49,6 +49,7 @@ pub struct TwoStateEdgeMeg {
     rng: SmallRng,
     snapshot: Snapshot,
     edge_buf: Vec<(u32, u32)>,
+    synced: bool,
 }
 
 impl TwoStateEdgeMeg {
@@ -68,6 +69,7 @@ impl TwoStateEdgeMeg {
             rng: SmallRng::seed_from_u64(seed),
             snapshot: Snapshot::empty(n),
             edge_buf: Vec::new(),
+            synced: false,
         };
         meg.reset(seed);
         Ok(meg)
@@ -154,7 +156,53 @@ impl EvolvingGraph for TwoStateEdgeMeg {
             }
         }
         self.snapshot.rebuild_from_edges(&self.edge_buf);
+        self.synced = false;
         &self.snapshot
+    }
+
+    fn step_delta(&mut self, delta: &mut EdgeDelta) {
+        // Identical flip loop (and RNG stream) as `step`; the flips *are*
+        // the delta, so no snapshot is built. The per-round cost is still
+        // O(n²) coin flips — inherent to the dense model; use
+        // `SparseTwoStateEdgeMeg` for churn-proportional stepping.
+        let p = self.chain.birth();
+        let q = self.chain.death();
+        delta.begin_round();
+        if self.synced {
+            for (e, alive) in self.alive.iter_mut().enumerate() {
+                if *alive {
+                    if self.rng.gen_bool(q) {
+                        *alive = false;
+                        delta.push_removed(edge_pair(e));
+                    }
+                } else if self.rng.gen_bool(p) {
+                    *alive = true;
+                    delta.push_added(edge_pair(e));
+                }
+            }
+        } else {
+            for (e, alive) in self.alive.iter_mut().enumerate() {
+                if *alive {
+                    if self.rng.gen_bool(q) {
+                        *alive = false;
+                    }
+                } else if self.rng.gen_bool(p) {
+                    *alive = true;
+                }
+                if *alive {
+                    delta.push_added(edge_pair(e));
+                }
+            }
+            self.synced = true;
+        }
+    }
+
+    fn has_native_deltas(&self) -> bool {
+        true
+    }
+
+    fn rebase_deltas(&mut self) {
+        self.synced = false;
     }
 
     fn reset(&mut self, seed: u64) {
@@ -169,6 +217,7 @@ impl EvolvingGraph for TwoStateEdgeMeg {
             Init::AllOff => self.alive.fill(false),
             Init::AllOn => self.alive.fill(true),
         }
+        self.synced = false;
     }
 }
 

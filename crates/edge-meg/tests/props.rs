@@ -1,9 +1,15 @@
 //! Property tests for the edge-MEG crate: pair indexing, density
-//! convergence, and dense/sparse distributional agreement.
+//! convergence, dense/sparse distributional agreement, and delta-path
+//! equivalence (stepping via `step_delta` + `DynAdjacency` reproduces
+//! the rebuild path's snapshot sequence exactly).
 
 use proptest::prelude::*;
 
-use dg_edge_meg::{edge_index, edge_pair, pair_count, SparseTwoStateEdgeMeg, TwoStateEdgeMeg};
+use dg_edge_meg::{
+    bursty_chain, edge_index, edge_pair, pair_count, HiddenChainEdgeMeg, SparseTwoStateEdgeMeg,
+    TwoStateEdgeMeg,
+};
+use dynagraph::delta::assert_replays_rebuild;
 use dynagraph::EvolvingGraph;
 
 proptest! {
@@ -73,6 +79,84 @@ proptest! {
         let expected = p / (p + q) * pair_count(n) as f64;
         prop_assert!((d - expected).abs() < 0.4 * expected + 3.0, "dense {d} vs {expected}");
         prop_assert!((s - expected).abs() < 0.4 * expected + 3.0, "sparse {s} vs {expected}");
+    }
+
+    #[test]
+    fn two_state_deltas_replay_rebuild(
+        n in 4usize..24,
+        p in 0.05f64..0.6,
+        q in 0.05f64..0.6,
+        seed in any::<u64>(),
+    ) {
+        let mut rebuild = TwoStateEdgeMeg::stationary(n, p, q, seed).unwrap();
+        let mut delta = TwoStateEdgeMeg::stationary(n, p, q, seed).unwrap();
+        assert_replays_rebuild(&mut rebuild, &mut delta, 20);
+        // ... and again from the same reset, covering the re-sync.
+        rebuild.reset(seed ^ 1);
+        delta.reset(seed ^ 1);
+        assert_replays_rebuild(&mut rebuild, &mut delta, 20);
+    }
+
+    #[test]
+    fn two_state_non_stationary_inits_replay_rebuild(
+        n in 4usize..16,
+        seed in any::<u64>(),
+    ) {
+        let mut rebuild = TwoStateEdgeMeg::from_empty(n, 0.3, 0.3, seed).unwrap();
+        let mut delta = TwoStateEdgeMeg::from_empty(n, 0.3, 0.3, seed).unwrap();
+        assert_replays_rebuild(&mut rebuild, &mut delta, 15);
+        let mut rebuild = TwoStateEdgeMeg::from_complete(n, 0.3, 0.3, seed).unwrap();
+        let mut delta = TwoStateEdgeMeg::from_complete(n, 0.3, 0.3, seed).unwrap();
+        assert_replays_rebuild(&mut rebuild, &mut delta, 15);
+    }
+
+    #[test]
+    fn sparse_deltas_replay_rebuild(
+        n in 4usize..32,
+        p in 0.02f64..0.4,
+        q in 0.05f64..0.5,
+        seed in any::<u64>(),
+    ) {
+        let mut rebuild = SparseTwoStateEdgeMeg::stationary(n, p, q, seed).unwrap();
+        let mut delta = SparseTwoStateEdgeMeg::stationary(n, p, q, seed).unwrap();
+        assert_replays_rebuild(&mut rebuild, &mut delta, 30);
+        rebuild.reset(seed ^ 7);
+        delta.reset(seed ^ 7);
+        assert_replays_rebuild(&mut rebuild, &mut delta, 30);
+    }
+
+    #[test]
+    fn sparse_deltas_survive_warm_up(
+        n in 4usize..24,
+        seed in any::<u64>(),
+    ) {
+        // Warm-up runs on the delta path and rebases; the first delta a
+        // consumer sees afterwards must be the full warmed-up edge set.
+        let mut rebuild = SparseTwoStateEdgeMeg::stationary(n, 0.2, 0.3, seed).unwrap();
+        let mut delta = SparseTwoStateEdgeMeg::stationary(n, 0.2, 0.3, seed).unwrap();
+        rebuild.warm_up(17);
+        delta.warm_up(17);
+        assert_replays_rebuild(&mut rebuild, &mut delta, 10);
+    }
+
+    #[test]
+    fn hidden_chain_deltas_replay_rebuild(
+        n in 4usize..20,
+        wake in 0.05f64..0.5,
+        fire in 0.05f64..0.45,
+        cool in 0.05f64..0.5,
+        seed in any::<u64>(),
+    ) {
+        let make = || {
+            let (chain, chi) = bursty_chain(wake, fire, cool);
+            HiddenChainEdgeMeg::stationary(n, chain, chi, seed).unwrap()
+        };
+        let mut rebuild = make();
+        let mut delta = make();
+        assert_replays_rebuild(&mut rebuild, &mut delta, 25);
+        rebuild.reset(seed ^ 3);
+        delta.reset(seed ^ 3);
+        assert_replays_rebuild(&mut rebuild, &mut delta, 25);
     }
 
     #[test]

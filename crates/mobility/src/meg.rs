@@ -3,7 +3,7 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use dynagraph::{mix_seed, EvolvingGraph, Snapshot};
+use dynagraph::{mix_seed, EdgeDelta, EvolvingGraph, Snapshot};
 
 use crate::{CellList, MobilityError, Point};
 
@@ -59,6 +59,8 @@ pub struct GeometricMeg<M: MobilityModel> {
     rng: SmallRng,
     snapshot: Snapshot,
     edge_buf: Vec<(u32, u32)>,
+    prev_edges: Vec<(u32, u32)>,
+    synced: bool,
 }
 
 impl<M: MobilityModel> GeometricMeg<M> {
@@ -95,7 +97,25 @@ impl<M: MobilityModel> GeometricMeg<M> {
             rng,
             snapshot: Snapshot::empty(n),
             edge_buf: Vec::new(),
+            prev_edges: Vec::new(),
+            synced: false,
         })
+    }
+
+    /// Moves every node one round and regenerates the meeting pairs in
+    /// `edge_buf` via the cell list (shared by both stepping paths).
+    fn advance(&mut self) {
+        for (s, p) in self.states.iter_mut().zip(self.positions.iter_mut()) {
+            self.model.step_state(s, &mut self.rng);
+            *p = self.model.position(s);
+        }
+        self.cells.rebuild(&self.positions);
+        self.edge_buf.clear();
+        let edges = &mut self.edge_buf;
+        self.cells
+            .for_each_pair_within(&self.positions, self.radius, |i, j| {
+                edges.push((i, j));
+            });
     }
 
     /// The transmission radius `r`.
@@ -125,19 +145,33 @@ impl<M: MobilityModel> EvolvingGraph for GeometricMeg<M> {
     }
 
     fn step(&mut self) -> &Snapshot {
-        for (s, p) in self.states.iter_mut().zip(self.positions.iter_mut()) {
-            self.model.step_state(s, &mut self.rng);
-            *p = self.model.position(s);
-        }
-        self.cells.rebuild(&self.positions);
-        self.edge_buf.clear();
-        let edges = &mut self.edge_buf;
-        self.cells
-            .for_each_pair_within(&self.positions, self.radius, |i, j| {
-                edges.push((i, j));
-            });
+        self.advance();
         self.snapshot.rebuild_from_edges(&self.edge_buf);
+        self.synced = false;
         &self.snapshot
+    }
+
+    fn step_delta(&mut self, delta: &mut EdgeDelta) {
+        self.advance();
+        // Sorting the pair list turns one merge pass against the
+        // previous round into the meeting enter/leave event stream —
+        // O(m log m) on the current meetings, no CSR materialization.
+        self.edge_buf.sort_unstable();
+        if self.synced {
+            delta.record_transition(&self.prev_edges, &self.edge_buf);
+        } else {
+            delta.record_full(self.edge_buf.iter().copied());
+            self.synced = true;
+        }
+        std::mem::swap(&mut self.prev_edges, &mut self.edge_buf);
+    }
+
+    fn has_native_deltas(&self) -> bool {
+        true
+    }
+
+    fn rebase_deltas(&mut self) {
+        self.synced = false;
     }
 
     fn reset(&mut self, seed: u64) {
@@ -148,6 +182,7 @@ impl<M: MobilityModel> EvolvingGraph for GeometricMeg<M> {
         for (p, s) in self.positions.iter_mut().zip(self.states.iter()) {
             *p = self.model.position(s);
         }
+        self.synced = false;
     }
 }
 

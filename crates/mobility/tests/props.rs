@@ -6,9 +6,11 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use dg_mobility::{
-    CellList, GridWalk, ManhattanWaypoint, MobilityModel, PathFamily, Point, RandomDirection,
-    RandomWaypoint,
+    CellList, GeometricMeg, GridWalk, ManhattanWaypoint, MobilityModel, PathFamily, Point,
+    RandomDirection, RandomWaypoint,
 };
+use dynagraph::delta::assert_replays_rebuild;
+use dynagraph::EvolvingGraph;
 
 fn check_contained<M: MobilityModel>(model: &M, rounds: usize, seed: u64) {
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -26,6 +28,37 @@ fn check_contained<M: MobilityModel>(model: &M, rounds: usize, seed: u64) {
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn geometric_meg_deltas_replay_rebuild(
+        n in 2usize..24,
+        r in 0.5f64..2.0,
+        seed in any::<u64>(),
+    ) {
+        // Meeting enter/leave deltas must reproduce the cell-list
+        // snapshot sequence exactly, including across reset.
+        let model = GridWalk::new(8, 1).unwrap();
+        let mut rebuild = GeometricMeg::new(model, n, r, seed).unwrap();
+        let mut delta = GeometricMeg::new(model, n, r, seed).unwrap();
+        assert!(delta.has_native_deltas());
+        assert_replays_rebuild(&mut rebuild, &mut delta, 15);
+        rebuild.reset(seed ^ 5);
+        delta.reset(seed ^ 5);
+        assert_replays_rebuild(&mut rebuild, &mut delta, 15);
+    }
+
+    #[test]
+    fn waypoint_meg_deltas_replay_rebuild(
+        n in 2usize..20,
+        seed in any::<u64>(),
+    ) {
+        let model = RandomWaypoint::new(10.0, 0.5, 1.5).unwrap();
+        let mut rebuild = GeometricMeg::new(model, n, 1.5, seed).unwrap();
+        let mut delta = GeometricMeg::new(model, n, 1.5, seed).unwrap();
+        rebuild.warm_up(5);
+        delta.warm_up(5);
+        assert_replays_rebuild(&mut rebuild, &mut delta, 12);
+    }
 
     #[test]
     fn waypoint_stays_in_square(

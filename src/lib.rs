@@ -64,6 +64,17 @@
 //! Single-run primitives (`flooding::flood`, `flooding::flood_multi`)
 //! are unchanged; `run_trials` still works as a deprecated shim over the
 //! engine and reports identical numbers.
+//!
+//! ## Delta-native stepping
+//!
+//! Every first-party model also exposes its per-round *churn* via
+//! `EvolvingGraph::step_delta` (an `EdgeDelta` of added/removed edges
+//! applied to an incremental `DynAdjacency`), and the engine drives that
+//! path automatically (`Stepping::Auto`) for models advertising
+//! `has_native_deltas()`. Results are byte-identical to the snapshot
+//! path; per-round cost drops from `O(m + n)` to `O(churn + frontier)`
+//! in the paper's slow-churn regimes — see `BENCH_delta.json` at the
+//! repository root for the measured trajectory.
 
 #![forbid(unsafe_code)]
 

@@ -14,7 +14,8 @@
 use dynspread::dg_edge_meg::SparseTwoStateEdgeMeg;
 use dynspread::dg_graph::generators;
 use dynspread::dynagraph::engine::{
-    DelayObserver, MeanGrowthObserver, ParsimoniousFlooding, PushGossip, Simulation,
+    DelayObserver, MeanGrowthObserver, Observer, ParsimoniousFlooding, PushGossip, RoundCtx,
+    Simulation, Stepping,
 };
 use dynspread::dynagraph::flooding::{flood, flood_multi, TrialConfig};
 use dynspread::dynagraph::gossip::{parsimonious_flood, push_spread};
@@ -168,6 +169,150 @@ fn engine_multi_source_matches_legacy_flood_multi() {
         let run = flood_multi(&mut g, &sources, MAX_ROUNDS);
         assert_eq!(rec.time, run.flooding_time());
     }
+}
+
+#[test]
+fn delta_path_matches_snapshot_path_for_flooding() {
+    // The sparse edge-MEG is delta-native, so Stepping::Auto takes the
+    // delta path; Stepping::Snapshot is the classic full-rebuild
+    // pipeline. Records — times, informed counts, executed rounds, and
+    // message tallies — must be byte-identical, serial and parallel.
+    for parallel in [false, true] {
+        let run = |stepping: Stepping| {
+            Simulation::builder()
+                .model(sparse_meg)
+                .trials(TRIALS)
+                .max_rounds(MAX_ROUNDS)
+                .warm_up(8)
+                .base_seed(BASE_SEED)
+                .parallel(parallel)
+                .stepping(stepping)
+                .run()
+        };
+        let snapshot = run(Stepping::Snapshot);
+        let delta = run(Stepping::Delta);
+        let auto = run(Stepping::Auto);
+        assert_eq!(snapshot, delta, "parallel = {parallel}");
+        assert_eq!(snapshot, auto, "parallel = {parallel}");
+        assert_eq!(snapshot.incomplete(), 0);
+    }
+}
+
+#[test]
+fn delta_path_matches_snapshot_path_for_push_gossip() {
+    for parallel in [false, true] {
+        let run = |stepping: Stepping| {
+            Simulation::builder()
+                .model(sparse_meg)
+                .protocol(PushGossip::new(2))
+                .trials(TRIALS)
+                .max_rounds(MAX_ROUNDS)
+                .base_seed(BASE_SEED)
+                .parallel(parallel)
+                .stepping(stepping)
+                .run()
+        };
+        assert_eq!(
+            run(Stepping::Snapshot),
+            run(Stepping::Delta),
+            "parallel = {parallel}"
+        );
+    }
+}
+
+#[test]
+fn delta_path_matches_snapshot_path_for_parsimonious_flooding() {
+    for parallel in [false, true] {
+        for ttl in [1u32, 4] {
+            let run = |stepping: Stepping| {
+                Simulation::builder()
+                    .model(sparse_meg)
+                    .protocol(ParsimoniousFlooding::new(ttl))
+                    .trials(TRIALS)
+                    .max_rounds(MAX_ROUNDS)
+                    .base_seed(BASE_SEED)
+                    .parallel(parallel)
+                    .stepping(stepping)
+                    .run()
+            };
+            assert_eq!(
+                run(Stepping::Snapshot),
+                run(Stepping::Delta),
+                "parallel = {parallel}, ttl = {ttl}"
+            );
+        }
+    }
+}
+
+#[test]
+fn delta_path_multi_source_matches_snapshot_path() {
+    let sources = [0u32, 17, 42];
+    let run = |stepping: Stepping| {
+        Simulation::builder()
+            .model(sparse_meg)
+            .sources(sources)
+            .trials(6)
+            .max_rounds(MAX_ROUNDS)
+            .base_seed(BASE_SEED)
+            .stepping(stepping)
+            .run()
+    };
+    assert_eq!(run(Stepping::Snapshot), run(Stepping::Delta));
+}
+
+#[test]
+fn delta_path_feeds_observers_that_need_snapshots() {
+    // An observer that reads E_t forces per-round materialization on the
+    // delta path; the edge sets it sees must match the snapshot path's.
+    #[derive(Default)]
+    struct EdgeTally {
+        edges_per_round: Vec<usize>,
+    }
+    impl Observer for EdgeTally {
+        fn needs_snapshots(&self) -> bool {
+            true
+        }
+        fn on_round(&mut self, ctx: &RoundCtx<'_>) {
+            self.edges_per_round
+                .push(ctx.snapshot.expect("requested snapshots").edge_count());
+        }
+    }
+    let run = |stepping: Stepping| {
+        Simulation::builder()
+            .model(sparse_meg)
+            .trials(4)
+            .max_rounds(MAX_ROUNDS)
+            .base_seed(BASE_SEED)
+            .stepping(stepping)
+            .observers(|_| EdgeTally::default())
+            .run_observed()
+    };
+    let (rep_s, obs_s) = run(Stepping::Snapshot);
+    let (rep_d, obs_d) = run(Stepping::Delta);
+    assert_eq!(rep_s, rep_d);
+    for (s, d) in obs_s.iter().zip(&obs_d) {
+        assert!(!s.edges_per_round.is_empty());
+        assert_eq!(s.edges_per_round, d.edges_per_round);
+    }
+    // Observers that don't ask see None on the delta path (and pay no
+    // materialization): the default needs_snapshots is false.
+    let (_, light) = Simulation::builder()
+        .model(sparse_meg)
+        .trials(1)
+        .max_rounds(MAX_ROUNDS)
+        .base_seed(BASE_SEED)
+        .stepping(Stepping::Delta)
+        .observers(|_| {
+            struct SeesNone(bool);
+            impl Observer for SeesNone {
+                fn on_round(&mut self, ctx: &RoundCtx<'_>) {
+                    self.0 |= ctx.snapshot.is_some();
+                }
+            }
+            SeesNone(false)
+        })
+        .run_observed();
+    assert!(!light[0].0);
 }
 
 #[test]
