@@ -1,0 +1,219 @@
+//! t14 — churn-proportional trial *setup*: sparse stationary init vs the
+//! O(n²) pair scan, plus the delta-native §5 wrappers.
+//!
+//! PR 2 made per-round stepping proportional to churn; this bench tracks
+//! the two pieces that still paid O(n²) per *trial* in the paper's
+//! sparse regime (`p = 1/n`):
+//!
+//! * `SparseTwoStateEdgeMeg::stationary` scans all `n(n-1)/2` pairs at
+//!   construction/reset; `stationary_sparse_init` skip-samples the
+//!   `#on ≈ αn²/2` live edges directly. Headline: setup speedup at
+//!   `n = 2^14`.
+//! * `ThinnedEvolvingGraph` / `JammedEvolvingGraph` used to fall back to
+//!   snapshot diffing; their native delta path never materializes a CSR.
+//!
+//! Emits machine-readable `BENCH_sparse_init.json` at the repository
+//! root. Quick mode (`DG_BENCH_QUICK=1`) shrinks sizes for CI smoke.
+
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+use dg_edge_meg::{pair_count, SparseTwoStateEdgeMeg};
+use dynagraph::{DynAdjacency, EdgeDelta, EvolvingGraph, ThinnedEvolvingGraph};
+
+struct SetupResult {
+    n: usize,
+    p: f64,
+    q: f64,
+    iters: u32,
+    scan_ms: f64,
+    sparse_ms: f64,
+    speedup: f64,
+    scan_edges: usize,
+    sparse_edges: usize,
+    headline: bool,
+}
+
+/// Times trial setup — construction of a stationary instance — on both
+/// initializers. Each iteration uses a fresh seed so the allocator and
+/// branch predictor can't replay one fixed realization.
+fn bench_setup(n: usize, q: f64, iters: u32, headline: bool) -> SetupResult {
+    let p = 1.0 / n as f64;
+
+    let mut scan_edges = 0usize;
+    let start = Instant::now();
+    for i in 0..iters {
+        let g = SparseTwoStateEdgeMeg::stationary(n, p, q, 0x5E7 + i as u64).unwrap();
+        scan_edges = g.alive_count();
+    }
+    let scan_ms = start.elapsed().as_secs_f64() * 1e3 / iters as f64;
+
+    let mut sparse_edges = 0usize;
+    let start = Instant::now();
+    for i in 0..iters {
+        let g = SparseTwoStateEdgeMeg::stationary_sparse_init(n, p, q, 0x5E7 + i as u64).unwrap();
+        sparse_edges = g.alive_count();
+    }
+    let sparse_ms = start.elapsed().as_secs_f64() * 1e3 / iters as f64;
+
+    SetupResult {
+        n,
+        p,
+        q,
+        iters,
+        scan_ms,
+        sparse_ms,
+        speedup: scan_ms / sparse_ms,
+        scan_edges,
+        sparse_edges,
+        headline,
+    }
+}
+
+struct WrapperResult {
+    n: usize,
+    p: f64,
+    q: f64,
+    rounds: usize,
+    snapshot_ns_per_round: f64,
+    delta_ns_per_round: f64,
+    speedup: f64,
+    mean_churn: f64,
+}
+
+/// Times the §5 thinned wrapper over a sparse-init edge-MEG on both
+/// stepping paths (same seed ⇒ identical realizations, asserted). The
+/// interesting regime is `|E_t| ≪ n` (the paper's very sparse MEGs),
+/// where the snapshot path pays `O(n)` per round just for the CSR while
+/// the delta path pays only the survival sweep plus the churn.
+fn bench_thinned_stepping(n: usize, p: f64, q: f64, gamma: f64, rounds: usize) -> WrapperResult {
+    let seed = 0x7417;
+    let make = || {
+        let inner = SparseTwoStateEdgeMeg::stationary_sparse_init(n, p, q, seed).unwrap();
+        ThinnedEvolvingGraph::new(inner, gamma, seed).unwrap()
+    };
+
+    // Snapshot path: one CSR rebuild per round.
+    let mut snap_model = make();
+    for _ in 0..50 {
+        snap_model.step();
+    }
+    let mut final_edges = 0usize;
+    let start = Instant::now();
+    for _ in 0..rounds {
+        final_edges = snap_model.step().edge_count();
+    }
+    let snapshot_time = start.elapsed();
+
+    // Delta path: churn applied to an incremental adjacency.
+    let mut delta_model = make();
+    let mut adj = DynAdjacency::new(n);
+    let mut delta = EdgeDelta::new();
+    for _ in 0..50 {
+        delta_model.step_delta(&mut delta);
+        adj.apply(&delta);
+    }
+    let mut churn_total = 0usize;
+    let start = Instant::now();
+    for _ in 0..rounds {
+        delta_model.step_delta(&mut delta);
+        adj.apply(&delta);
+        churn_total += delta.churn();
+    }
+    let delta_time = start.elapsed();
+
+    // Both wrappers drew the identical survival stream.
+    assert_eq!(adj.edge_count(), final_edges, "paths diverged");
+
+    let snapshot_ns = snapshot_time.as_nanos() as f64 / rounds as f64;
+    let delta_ns = delta_time.as_nanos() as f64 / rounds as f64;
+    WrapperResult {
+        n,
+        p,
+        q,
+        rounds,
+        snapshot_ns_per_round: snapshot_ns,
+        delta_ns_per_round: delta_ns,
+        speedup: snapshot_ns / delta_ns,
+        mean_churn: churn_total as f64 / rounds as f64,
+    }
+}
+
+fn main() {
+    let quick = dg_bench::quick_mode();
+    // (n, q, iters, headline) — p is always 1/n. The 2^14 row is the
+    // acceptance headline; the smaller rows sketch the scaling curve.
+    let setup_cases: &[(usize, f64, u32, bool)] = if quick {
+        &[(1 << 9, 0.005, 3, true)]
+    } else {
+        &[
+            (1 << 11, 0.005, 10, false),
+            (1 << 12, 0.005, 6, false),
+            (1 << 13, 0.005, 4, false),
+            (1 << 14, 0.005, 3, true),
+        ]
+    };
+    let mut setups = Vec::new();
+    for &(n, q, iters, headline) in setup_cases {
+        let r = bench_setup(n, q, iters, headline);
+        println!(
+            "setup    n={:>6} p=1/n q={:<6} scan {:>10.2} ms   sparse-init {:>8.3} ms   speedup {:>6.1}x   (on-edges ~{} vs ~{}, pairs {})",
+            r.n, r.q, r.scan_ms, r.sparse_ms, r.speedup, r.scan_edges, r.sparse_edges, pair_count(r.n)
+        );
+        setups.push(r);
+    }
+
+    let thinned = if quick {
+        let n = 1 << 9;
+        bench_thinned_stepping(n, 1.0 / (16.0 * n as f64), 0.1, 0.5, 500)
+    } else {
+        let n = 1 << 12;
+        bench_thinned_stepping(n, 1.0 / (64.0 * n as f64), 0.05, 0.5, 20_000)
+    };
+    println!(
+        "thinned  n={:>6} gamma=0.5   snapshot {:>9.0} ns/round   delta {:>9.0} ns/round   speedup {:>5.1}x   (churn ~{:.0})",
+        thinned.n, thinned.snapshot_ns_per_round, thinned.delta_ns_per_round, thinned.speedup, thinned.mean_churn
+    );
+
+    // Machine-readable trajectory record (hand-rolled JSON; no serde in
+    // this environment).
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"t14_sparse_init\",");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(
+        json,
+        "  \"description\": \"trial setup cost of the O(n^2) stationary pair scan vs the O(#on) geometric-skip initializer (p = 1/n), plus the delta-native section-5 thinned wrapper\","
+    );
+    let _ = writeln!(json, "  \"setup\": [");
+    for (i, r) in setups.iter().enumerate() {
+        let comma = if i + 1 < setups.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"model\": \"sparse-two-state-edge-meg\", \"headline\": {}, \"n\": {}, \"p\": {:.10}, \"q\": {}, \"iters\": {}, \"scan_ms\": {:.3}, \"sparse_init_ms\": {:.3}, \"speedup\": {:.1}, \"scan_edges\": {}, \"sparse_edges\": {}}}{}",
+            r.headline, r.n, r.p, r.q, r.iters, r.scan_ms, r.sparse_ms, r.speedup, r.scan_edges, r.sparse_edges, comma
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"thinned_stepping\": [");
+    let _ = writeln!(
+        json,
+        "    {{\"model\": \"thinned(sparse-init-edge-meg)\", \"n\": {}, \"p\": {:.10}, \"q\": {}, \"gamma\": 0.5, \"rounds\": {}, \"snapshot_ns_per_round\": {:.1}, \"delta_ns_per_round\": {:.1}, \"speedup\": {:.2}, \"mean_churn\": {:.1}}}",
+        thinned.n, thinned.p, thinned.q, thinned.rounds, thinned.snapshot_ns_per_round, thinned.delta_ns_per_round, thinned.speedup, thinned.mean_churn
+    );
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+
+    if quick {
+        // Quick mode is a CI smoke run; don't clobber the committed
+        // full-scale trajectory record.
+        println!("quick mode: skipping BENCH_sparse_init.json update");
+        return;
+    }
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_sparse_init.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}

@@ -11,6 +11,8 @@
 //! full-scale tables live in the `dg-experiments` harness, and both ride
 //! the same `Simulation` builder.
 
+#![warn(missing_docs)]
+
 use std::hint::black_box;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};

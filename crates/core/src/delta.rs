@@ -9,16 +9,25 @@
 //!   edges, produced by [`EvolvingGraph::step_delta`];
 //! * [`DynAdjacency`] — an incremental adjacency structure that applies
 //!   deltas in `O(churn · log deg)` and can lazily materialize a CSR
-//!   [`Snapshot`] only when a consumer actually asks for `E_t`.
+//!   [`Snapshot`] only when a consumer actually asks for `E_t`
+//!   (flat sorted edge lists use [`EdgeDelta::apply_to_sorted`] instead).
 //!
 //! Producers with native deltas (the edge-MEGs, the node-MEG, the
-//! geometric mobility MEG, recorded replays) advertise themselves via
-//! [`EvolvingGraph::has_native_deltas`]; everything else falls back to
-//! the default [`EvolvingGraph::step_delta`], which steps the snapshot
-//! path and diffs — third-party models keep working unchanged.
+//! geometric mobility MEG, recorded replays, and the §5
+//! [`ThinnedEvolvingGraph`]/[`JammedEvolvingGraph`] wrappers) advertise
+//! themselves via [`EvolvingGraph::has_native_deltas`]; everything else
+//! falls back to the default [`EvolvingGraph::step_delta`], which steps
+//! the snapshot path and diffs — third-party models keep working
+//! unchanged.
 //!
+//! [`EvolvingGraph::step`]: crate::EvolvingGraph::step
 //! [`EvolvingGraph::step_delta`]: crate::EvolvingGraph::step_delta
 //! [`EvolvingGraph::has_native_deltas`]: crate::EvolvingGraph::has_native_deltas
+//! [`EvolvingGraph::rebase_deltas`]: crate::EvolvingGraph::rebase_deltas
+//! [`EvolvingGraph::reset`]: crate::EvolvingGraph::reset
+//! [`EvolvingGraph::warm_up`]: crate::EvolvingGraph::warm_up
+//! [`ThinnedEvolvingGraph`]: crate::ThinnedEvolvingGraph
+//! [`JammedEvolvingGraph`]: crate::JammedEvolvingGraph
 //!
 //! # Examples
 //!
@@ -36,6 +45,88 @@
 //! assert!(delta.is_empty()); // a static graph has zero churn afterwards
 //! assert_eq!(adj.snapshot().edge_count(), 5);
 //! ```
+//!
+//! # The delta contract
+//!
+//! Every delta is **relative to the edge set exposed by the process's
+//! previous `step`/`step_delta` call**. The first delta after any of the
+//! following *baseline breaks* is a **full emission** — the process's
+//! entire current edge set as [`EdgeDelta::added`], relative to the
+//! empty graph:
+//!
+//! * construction,
+//! * [`EvolvingGraph::reset`],
+//! * [`EvolvingGraph::warm_up`] (it rebases after advancing),
+//! * a plain [`EvolvingGraph::step`] on a native-delta model,
+//! * an explicit [`EvolvingGraph::rebase_deltas`] call.
+//!
+//! A consumer that attaches a *fresh* [`DynAdjacency`] (or any
+//! empty-initialized incremental structure) to a process mid-stream must
+//! therefore call `rebase_deltas()` first, so the stream restarts from a
+//! full emission; the engine and [`crate::flooding::flood`] do this for
+//! you. The whole contract is observable:
+//!
+//! ```
+//! use dynagraph::{DynAdjacency, EdgeDelta, EvolvingGraph, PeriodicEvolvingGraph};
+//! use dg_graph::generators;
+//!
+//! let graphs = [generators::path(6), generators::star(6)];
+//! let mut g = PeriodicEvolvingGraph::new(&graphs).unwrap();
+//! let mut delta = EdgeDelta::new();
+//!
+//! // 1. After construction: full emission (E_0 = the path, 5 edges).
+//! g.step_delta(&mut delta);
+//! assert_eq!((delta.added().len(), delta.removed().len()), (5, 0));
+//!
+//! // 2. Mid-stream: genuine churn only (path -> star on 6 nodes).
+//! g.step_delta(&mut delta);
+//! assert!(delta.churn() > 0 && delta.churn() < 10);
+//!
+//! // 3. A plain step() breaks the baseline...
+//! let _ = g.step();
+//!
+//! // ...so the next delta is a full emission again (the star, 5 edges),
+//! // and a *fresh* adjacency can safely join the stream here.
+//! let mut adj = DynAdjacency::new(6);
+//! g.rebase_deltas(); // explicit rebase: idempotent after the plain step
+//! g.step_delta(&mut delta);
+//! adj.apply(&delta);
+//! assert_eq!(delta.removed().len(), 0);
+//! assert_eq!(adj.edge_count(), delta.added().len());
+//! ```
+//!
+//! For warm-up the same rule means no snapshot is ever materialized and
+//! the consumer still starts from a coherent baseline:
+//!
+//! ```
+//! use dynagraph::{DynAdjacency, EdgeDelta, EvolvingGraph, StaticEvolvingGraph};
+//! use dg_graph::generators;
+//!
+//! let mut g = StaticEvolvingGraph::new(generators::cycle(7));
+//! g.warm_up(100); // delta path internally, then rebases
+//! let mut delta = EdgeDelta::new();
+//! g.step_delta(&mut delta);
+//! assert_eq!(delta.added().len(), 7); // full warmed-up edge set
+//! ```
+//!
+//! # Implementing `step_delta`: when and how
+//!
+//! Third-party models only need [`EvolvingGraph::step`]; the default
+//! `step_delta` diffs consecutive snapshots (correct, not faster). Add a
+//! native implementation when the model can enumerate its churn in
+//! `O(churn)`:
+//!
+//! | your model                                           | do |
+//! |------------------------------------------------------|----|
+//! | state transitions *are* edge changes (flips, toggle events, meeting enter/leave) | implement `step_delta` + `has_native_deltas` + `rebase_deltas`; consume exactly the RNG that `step` would; validate with [`assert_replays_rebuild`] |
+//! | wraps another model and re-decides every edge per round (thinning, jamming) | implement it as a *sweep* over an incrementally maintained inner edge list (see [`crate::ThinnedEvolvingGraph`]): per-round cost `O(\|E_t\| + churn)` with no `O(n)` CSR term |
+//! | cheap full edge list, no churn structure             | keep the default (steps + diffs snapshots) |
+//!
+//! The three native methods obey one invariant: **`step` and
+//! `step_delta` must realize identical edge-set sequences from the same
+//! seed** (same draws, same order). `rebase_deltas` only forgets the
+//! baseline — the next delta emits the full set — and must never advance
+//! the process or consume randomness.
 
 use crate::{EvolvingGraph, Snapshot};
 
@@ -171,6 +262,106 @@ impl EdgeDelta {
         self.removed.clear();
         self.prev.clear();
         self.next.clear();
+    }
+
+    /// Applies this delta to a lexicographically sorted edge list,
+    /// keeping it sorted — the flat-list counterpart of
+    /// [`DynAdjacency::apply`] for consumers that sweep whole edge sets
+    /// per round (e.g. the §5 [`crate::ThinnedEvolvingGraph`] /
+    /// [`crate::JammedEvolvingGraph`] wrappers). `O(|edges| + churn log churn)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a removed edge is absent from `edges` or an added edge
+    /// is already present — same out-of-sync rationale as
+    /// [`DynAdjacency::apply`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dynagraph::EdgeDelta;
+    ///
+    /// let mut edges = vec![(0, 1), (1, 2)];
+    /// let mut d = EdgeDelta::new();
+    /// d.begin_round();
+    /// d.push_removed((1, 2));
+    /// d.push_added((0, 3));
+    /// d.apply_to_sorted(&mut edges);
+    /// assert_eq!(edges, vec![(0, 1), (0, 3)]);
+    /// ```
+    pub fn apply_to_sorted(&self, edges: &mut Vec<Edge>) {
+        let mut scratch = Vec::new();
+        self.apply_to_sorted_with(edges, &mut scratch);
+    }
+
+    /// [`EdgeDelta::apply_to_sorted`] with a caller-owned merge buffer —
+    /// the per-round hot-path variant. `scratch` receives the old list
+    /// (contents unspecified afterwards); reuse both vectors across
+    /// rounds and no allocation happens once they reach steady size.
+    /// When `added`/`removed` are already sorted (true for
+    /// [`EdgeDelta::record_transition`]/[`EdgeDelta::diff_snapshot`]
+    /// products), they are consumed in place; unsorted producer streams
+    /// pay one churn-sized sort copy.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`EdgeDelta::apply_to_sorted`].
+    pub fn apply_to_sorted_with(&self, edges: &mut Vec<Edge>, scratch: &mut Vec<Edge>) {
+        fn is_sorted(xs: &[Edge]) -> bool {
+            xs.windows(2).all(|w| w[0] < w[1])
+        }
+        if self.is_empty() {
+            return;
+        }
+        // Borrow in-place when the producer already emits sorted runs;
+        // otherwise sort a churn-sized copy (never the full edge list).
+        let (removed_buf, added_buf);
+        let removed: &[Edge] = if is_sorted(&self.removed) {
+            &self.removed
+        } else {
+            removed_buf = {
+                let mut v = self.removed.clone();
+                v.sort_unstable();
+                v
+            };
+            &removed_buf
+        };
+        let added: &[Edge] = if is_sorted(&self.added) {
+            &self.added
+        } else {
+            added_buf = {
+                let mut v = self.added.clone();
+                v.sort_unstable();
+                v
+            };
+            &added_buf
+        };
+        scratch.clear();
+        scratch.reserve((edges.len() + added.len()).saturating_sub(removed.len()));
+        let mut ri = 0;
+        let mut ai = 0;
+        for &e in edges.iter() {
+            while ai < added.len() && added[ai] < e {
+                scratch.push(added[ai]);
+                ai += 1;
+            }
+            assert!(
+                ai >= added.len() || added[ai] != e,
+                "delta added edge {e:?} that is already present"
+            );
+            if ri < removed.len() && removed[ri] == e {
+                ri += 1;
+            } else {
+                scratch.push(e);
+            }
+        }
+        assert!(
+            ri == removed.len(),
+            "delta removed edge {:?} that is not present",
+            removed[ri]
+        );
+        scratch.extend_from_slice(&added[ai..]);
+        std::mem::swap(edges, scratch);
     }
 }
 

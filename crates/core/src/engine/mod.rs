@@ -37,13 +37,70 @@
 //! assert_eq!(report.incomplete(), 0);
 //! assert_eq!(report.mean(), 4.0);
 //! ```
+//!
+//! # The stepping axis
+//!
+//! [`SimulationBuilder::stepping`] selects the per-trial pipeline:
+//!
+//! * [`Stepping::Auto`] (default) — the delta path for models
+//!   advertising [`EvolvingGraph::has_native_deltas`](crate::EvolvingGraph::has_native_deltas),
+//!   the snapshot path otherwise;
+//! * [`Stepping::Snapshot`] — always rebuild a CSR [`crate::Snapshot`]
+//!   per round (the classic pipeline, and the reference the delta path
+//!   is pinned against);
+//! * [`Stepping::Delta`] — always drive
+//!   [`step_delta`](crate::EvolvingGraph::step_delta) through a
+//!   [`crate::DynAdjacency`]; correct for every model, fast for
+//!   slow-churn ones.
+//!
+//! Records are byte-identical across paths — only per-round cost
+//! differs:
+//!
+//! ```
+//! use dynagraph::engine::{Simulation, Stepping};
+//! use dynagraph::PeriodicEvolvingGraph;
+//! use dg_graph::generators;
+//!
+//! let graphs = [generators::path(10), generators::cycle(10)];
+//! let run = |stepping| {
+//!     Simulation::builder()
+//!         .model(|_| PeriodicEvolvingGraph::new(&graphs).unwrap())
+//!         .trials(3)
+//!         .max_rounds(100)
+//!         .stepping(stepping)
+//!         .run()
+//! };
+//! assert_eq!(run(Stepping::Snapshot), run(Stepping::Delta));
+//! ```
+//!
+//! On the delta path, observers see [`RoundCtx::delta`] for free (e.g.
+//! [`ChurnObserver`]); a CSR snapshot is materialized per round only for
+//! observers whose [`Observer::needs_snapshots`] returns `true`.
+//!
+//! # Migrating from the pre-engine API
+//!
+//! The legacy single-run primitives survive as reference
+//! implementations; every Monte-Carlo loop goes through the builder:
+//!
+//! | old                                               | new                                        |
+//! |---------------------------------------------------|--------------------------------------------|
+//! | `flooding::run_trials(make, &TrialConfig {..})`   | `Simulation::builder().model(make)…run()`  |
+//! | `gossip::push_spread(&mut g, s, k, cap, seed)`    | `.protocol(PushGossip::new(k))`            |
+//! | `gossip::parsimonious_flood(&mut g, s, ttl, cap)` | `.protocol(ParsimoniousFlooding::new(ttl))`|
+//! | hand-rolled trial loops + `Summary`               | `.observers(…)` + [`SimulationReport`]     |
+//!
+//! `flooding::flood`/`flood_multi` are unchanged single-run primitives;
+//! `run_trials` remains as a deprecated shim over the engine and reports
+//! identical numbers (same `mix_seed(base_seed, trial)` derivation).
 
 mod observer;
 mod protocol;
 mod report;
 mod simulation;
 
-pub use observer::{DelayObserver, MeanGrowthObserver, Observer, PhaseObserver, RoundCtx};
+pub use observer::{
+    ChurnObserver, DelayObserver, MeanGrowthObserver, Observer, PhaseObserver, RoundCtx,
+};
 pub use protocol::{
     Flooding, ParsimoniousFlooding, Protocol, ProtocolStatus, PushGossip, SpreadView, Transmissions,
 };

@@ -11,7 +11,7 @@
 use dg_stats::{Quantiles, Summary};
 
 use crate::engine::TrialRecord;
-use crate::Snapshot;
+use crate::{EdgeDelta, Snapshot};
 
 /// Everything an observer sees about one executed round.
 #[derive(Debug)]
@@ -24,6 +24,16 @@ pub struct RoundCtx<'a> {
     /// (lazily, from the incremental adjacency) only when the observer
     /// declares [`Observer::needs_snapshots`], and `None` otherwise.
     pub snapshot: Option<&'a Snapshot>,
+    /// The round's edge churn — always `Some` on the delta path (the
+    /// engine produces it anyway, so reading it is free), `None` on the
+    /// snapshot path. Churn-metric observers (stationarity estimators,
+    /// interval connectivity) consume this instead of forcing snapshot
+    /// materialization via [`Observer::needs_snapshots`].
+    ///
+    /// Per the delta contract, the first round's delta of a trial is a
+    /// full emission: it carries all of `E_0` as
+    /// [`added`](EdgeDelta::added) relative to the empty graph.
+    pub delta: Option<&'a EdgeDelta>,
     /// Nodes informed this round, in transmission order (the order is
     /// stepping-path-dependent; membership and counts are not).
     pub newly_informed: &'a [u32],
@@ -282,6 +292,117 @@ impl Observer for PhaseObserver {
     }
 }
 
+/// Streams per-round edge churn from [`RoundCtx::delta`] — the
+/// delta-native observer pattern: no snapshot is ever materialized
+/// ([`Observer::needs_snapshots`] stays `false`), so observing churn on
+/// the delta path costs `O(1)` per round.
+///
+/// The first observed round of each trial carries the full `E_0` as a
+/// baseline emission (see the delta contract in [`crate::delta`]); it is
+/// recorded separately as [`ChurnObserver::initial_edges`], so
+/// [`ChurnObserver::churn`] summarizes genuine per-round churn only.
+/// Rounds executed on the snapshot path (where no delta exists) are
+/// counted in [`ChurnObserver::rounds_without_delta`].
+///
+/// # Examples
+///
+/// ```
+/// use dynagraph::engine::{ChurnObserver, Simulation, Stepping};
+/// use dynagraph::PeriodicEvolvingGraph;
+/// use dg_graph::generators;
+///
+/// let graphs = [generators::path(8), generators::cycle(8)];
+/// let (_, observers) = Simulation::builder()
+///     .model(|_| PeriodicEvolvingGraph::new(&graphs).unwrap())
+///     .trials(1)
+///     .max_rounds(50)
+///     .stepping(Stepping::Delta)
+///     .observers(|_| ChurnObserver::new())
+///     .run_observed();
+/// let obs = &observers[0];
+/// assert_eq!(obs.rounds_without_delta(), 0);
+/// assert_eq!(obs.initial_edges().mean(), 7.0); // E_0 is the path
+/// assert!(obs.churn().mean() > 0.0); // path <-> cycle churns every round
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChurnObserver {
+    churn: Summary,
+    added: u64,
+    removed: u64,
+    initial_edges: Summary,
+    rounds_without_delta: u64,
+    fresh_trial: bool,
+}
+
+impl Default for ChurnObserver {
+    fn default() -> Self {
+        ChurnObserver {
+            churn: Summary::new(),
+            added: 0,
+            removed: 0,
+            initial_edges: Summary::new(),
+            rounds_without_delta: 0,
+            // Start expecting a baseline emission even if the embedder
+            // never forwards `on_trial_start` (composed observers).
+            fresh_trial: true,
+        }
+    }
+}
+
+impl ChurnObserver {
+    /// A fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Summary of per-round churn (`|added| + |removed|`) across all
+    /// observed rounds, excluding each trial's baseline emission.
+    pub fn churn(&self) -> &Summary {
+        &self.churn
+    }
+
+    /// Total edges added across observed rounds (baselines excluded).
+    pub fn added(&self) -> u64 {
+        self.added
+    }
+
+    /// Total edges removed across observed rounds.
+    pub fn removed(&self) -> u64 {
+        self.removed
+    }
+
+    /// Summary of `|E_0|` per trial (the baseline full emissions).
+    pub fn initial_edges(&self) -> &Summary {
+        &self.initial_edges
+    }
+
+    /// Rounds that carried no delta (snapshot-path rounds).
+    pub fn rounds_without_delta(&self) -> u64 {
+        self.rounds_without_delta
+    }
+}
+
+impl Observer for ChurnObserver {
+    fn on_trial_start(&mut self, _trial: usize, _n: usize, _sources: &[u32]) {
+        self.fresh_trial = true;
+    }
+
+    fn on_round(&mut self, ctx: &RoundCtx<'_>) {
+        let Some(delta) = ctx.delta else {
+            self.rounds_without_delta += 1;
+            return;
+        };
+        if self.fresh_trial {
+            self.fresh_trial = false;
+            self.initial_edges.push(delta.added().len() as f64);
+            return;
+        }
+        self.churn.push(delta.churn() as f64);
+        self.added += delta.added().len() as u64;
+        self.removed += delta.removed().len() as u64;
+    }
+}
+
 /// Streams per-node delivery delays (the round each node was informed)
 /// across trials, for latency percentiles.
 #[derive(Debug, Clone, Default)]
@@ -342,10 +463,48 @@ mod tests {
         RoundCtx {
             round,
             snapshot: Some(snapshot),
+            delta: None,
             newly_informed: newly,
             informed_count: informed,
             messages: newly.len() as u64,
         }
+    }
+
+    #[test]
+    fn churn_observer_separates_baseline_from_churn() {
+        let mut obs = ChurnObserver::new();
+        let mut d = EdgeDelta::new();
+        obs.on_trial_start(0, 4, &[0]);
+        d.record_full([(0, 1), (1, 2), (2, 3)]);
+        obs.on_round(&RoundCtx {
+            round: 1,
+            snapshot: None,
+            delta: Some(&d),
+            newly_informed: &[1],
+            informed_count: 2,
+            messages: 1,
+        });
+        d.begin_round();
+        d.push_removed((2, 3));
+        d.push_added((0, 2));
+        d.push_added((0, 3));
+        obs.on_round(&RoundCtx {
+            round: 2,
+            snapshot: None,
+            delta: Some(&d),
+            newly_informed: &[2, 3],
+            informed_count: 4,
+            messages: 2,
+        });
+        assert_eq!(obs.initial_edges().mean(), 3.0);
+        assert_eq!(obs.churn().mean(), 3.0);
+        assert_eq!(obs.added(), 2);
+        assert_eq!(obs.removed(), 1);
+        assert_eq!(obs.rounds_without_delta(), 0);
+        // Snapshot-path rounds carry no delta and are tallied apart.
+        let snap = Snapshot::empty(4);
+        obs.on_round(&ctx(3, &snap, &[], 4));
+        assert_eq!(obs.rounds_without_delta(), 1);
     }
 
     #[test]

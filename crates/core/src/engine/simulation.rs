@@ -394,6 +394,7 @@ where
         observer.on_round(&RoundCtx {
             round: t,
             snapshot: Some(snap),
+            delta: None,
             newly_informed: &new_nodes,
             informed_count: informed_list.len(),
             messages: round_messages,
@@ -501,6 +502,7 @@ where
             } else {
                 None
             },
+            delta: Some(&delta),
             newly_informed: &new_nodes,
             informed_count: informed_list.len(),
             messages: round_messages,

@@ -14,7 +14,8 @@
 //! * [`delta`] — **delta-native stepping**: [`EdgeDelta`] (one round's
 //!   churn) and [`DynAdjacency`] (incremental adjacency with lazy CSR
 //!   materialization), so slow-churn processes cost `O(churn)` per round
-//!   instead of `O(m + n)`;
+//!   instead of `O(m + n)`; the module docs spell out the full delta
+//!   contract (baselines, rebasing, full-emission triggers);
 //! * [`engine`] — **the unified simulation engine**: a builder-driven
 //!   Monte-Carlo runner ([`engine::Simulation`]) combining any model
 //!   factory with any [`engine::Protocol`] (flooding, push gossip,
@@ -31,7 +32,10 @@
 //!   computation of `P_NM`, `P_NM²` and `η` for finite chains;
 //! * [`gossip`] — the §5 extension: randomized push protocols reduced to
 //!   flooding on a "virtual" thinned dynamic graph, plus the parsimonious
-//!   flooding of \[4\];
+//!   flooding of \[4\]; the [`ThinnedEvolvingGraph`] /
+//!   [`JammedEvolvingGraph`] wrappers behind the reduction are
+//!   delta-native (no per-round CSR), byte-identical on both stepping
+//!   paths;
 //! * [`analysis`] — growth-curve analytics for the spreading/saturation
 //!   phase structure of Lemmas 13–14;
 //! * [`interval`] — the T-interval connectivity diagnostics of \[21\],
@@ -96,7 +100,8 @@
 //! its churn directly (edge flips, toggle events, meeting enter/leave);
 //! consume exactly the RNG that `step` would, and validate with
 //! [`delta::assert_replays_rebuild`]. Consumers pick the fast path
-//! automatically ([`engine::Stepping::Auto`]).
+//! automatically ([`engine::Stepping::Auto`]). The [`delta`] module docs
+//! carry the decision table and the full contract.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -12,7 +12,9 @@
 //!   (geometric toggle times in a calendar queue) so that huge sparse
 //!   instances cost `O(#toggles)` per round on the delta path (or
 //!   `O(#toggles + |E_t|)` when snapshots are materialized) instead of
-//!   `O(n²)`.
+//!   `O(n²)`. Trial *setup* can be made sparse as well:
+//!   [`SparseTwoStateEdgeMeg::stationary_sparse_init`] skip-samples the
+//!   stationary on-set in `O(#on)` instead of scanning all pairs.
 //! * [`HiddenChainEdgeMeg`] — the paper's generalization `EM(n, M, χ)`:
 //!   an arbitrary (hidden) finite chain `M` drives each edge and an
 //!   arbitrary map `χ : S → {0, 1}` decides whether the edge exists.

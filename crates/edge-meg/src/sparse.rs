@@ -14,6 +14,23 @@
 //! a round's toggles from one contiguous bucket. Events are processed in
 //! ascending `(round, edge)` order either way, so the RNG draw order
 //! (and thus every realization) is identical to the heap implementation.
+//!
+//! # Trial setup: exact scan vs sparse initialization
+//!
+//! [`SparseTwoStateEdgeMeg::stationary`] initializes by scanning all
+//! `n(n-1)/2` pairs — one Bernoulli(`α`) draw plus one scheduled toggle
+//! per pair — which keeps its realizations byte-pinned across refactors
+//! but makes *trial setup* the `O(n²)` bottleneck of short Monte-Carlo
+//! runs at large `n`. The opt-in
+//! [`SparseTwoStateEdgeMeg::stationary_sparse_init`] constructor samples
+//! the stationary on-set directly with geometric skips over the pair
+//! index (`O(#on)` work and memory) and defers each untouched pair's
+//! first birth to a lazy per-round skip sweep, so a trial costs
+//! `O(#on + #skips)` before round 1 instead of `O(n²)`. The two
+//! constructors realize different random streams but the same process
+//! distribution (pinned by χ²/degree-moment tests).
+
+use std::collections::HashMap;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -112,6 +129,71 @@ impl EventCalendar {
     }
 }
 
+/// Sentinel for an edge that is tracked but currently off.
+const OFF: u32 = u32::MAX;
+
+/// How [`SparseTwoStateEdgeMeg::reset`] realizes the stationary initial
+/// distribution (and, consequently, how off edges are tracked).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum InitMode {
+    /// Scan every pair: one Bernoulli(`α`) draw plus one scheduled
+    /// toggle per pair. `O(n²)` setup; realizations byte-pinned.
+    ExactScan,
+    /// Skip-sample the on-set (`O(#on)` setup); pairs never yet toggled
+    /// carry no event and are born by a lazy per-round skip sweep.
+    SparseStationary,
+}
+
+/// Where each edge currently sits: its position in the `alive` list,
+/// [`OFF`] if tracked-but-off, or (sparse mode only) untracked.
+#[derive(Debug, Clone)]
+enum Occupancy {
+    /// One slot per pair (exact-scan mode): every pair is tracked.
+    Dense(Vec<u32>),
+    /// Only touched pairs present (sparse-init mode): a pair absent from
+    /// the map has never toggled and has no pending event.
+    Sparse(HashMap<u32, u32>),
+}
+
+impl Occupancy {
+    /// The position of `edge` in the alive list, if it is currently on.
+    #[inline]
+    fn position(&self, edge: u32) -> Option<u32> {
+        let slot = match self {
+            Occupancy::Dense(slots) => slots[edge as usize],
+            Occupancy::Sparse(map) => *map.get(&edge).unwrap_or(&OFF),
+        };
+        (slot != OFF).then_some(slot)
+    }
+
+    /// `true` if `edge` is tracked (on, or off with a pending event).
+    /// Every pair is tracked in exact-scan mode.
+    #[inline]
+    fn is_touched(&self, edge: u32) -> bool {
+        match self {
+            Occupancy::Dense(_) => true,
+            Occupancy::Sparse(map) => map.contains_key(&edge),
+        }
+    }
+
+    #[inline]
+    fn set_position(&mut self, edge: u32, pos: u32) {
+        match self {
+            Occupancy::Dense(slots) => slots[edge as usize] = pos,
+            Occupancy::Sparse(map) => {
+                map.insert(edge, pos);
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            Occupancy::Dense(slots) => slots.fill(OFF),
+            Occupancy::Sparse(map) => map.clear(),
+        }
+    }
+}
+
 /// Event-driven two-state edge-MEG, equivalent in distribution to
 /// [`crate::TwoStateEdgeMeg::stationary`] but with per-round cost
 /// `O(#toggles · log #events + |E_t|)`.
@@ -127,6 +209,21 @@ impl EventCalendar {
 /// let run = flooding::flood(&mut g, 0, 100_000);
 /// assert!(run.flooding_time().is_some());
 /// ```
+///
+/// For large sparse instances, make trial *setup* churn-proportional too
+/// with [`SparseTwoStateEdgeMeg::stationary_sparse_init`]:
+///
+/// ```
+/// use dg_edge_meg::{pair_count, SparseTwoStateEdgeMeg};
+/// use dynagraph::EvolvingGraph;
+///
+/// let n = 2048; // setup cost O(#on), not O(n²)
+/// let mut g = SparseTwoStateEdgeMeg::stationary_sparse_init(n, 1.0 / n as f64, 0.1, 7).unwrap();
+/// let alpha = g.alpha();
+/// let expected = alpha * pair_count(n) as f64;
+/// assert!((g.alive_count() as f64 - expected).abs() < 6.0 * (expected * (1.0 - alpha)).sqrt());
+/// let _ = g.step();
+/// ```
 #[derive(Debug, Clone)]
 pub struct SparseTwoStateEdgeMeg {
     n: usize,
@@ -134,8 +231,10 @@ pub struct SparseTwoStateEdgeMeg {
     round: u64,
     /// Indices of currently-on edges.
     alive: Vec<u32>,
-    /// Position of each edge in `alive` (`u32::MAX` when off).
-    alive_pos: Vec<u32>,
+    /// Per-edge occupancy (dense slots or sparse map, by init mode).
+    occupancy: Occupancy,
+    /// How `reset` seeds the stationary distribution.
+    init: InitMode,
     /// Pending toggle events, bucketed by due round.
     events: EventCalendar,
     /// Precomputed `ln(1 - p)` / `ln(1 - q)` for the geometric sampler.
@@ -154,8 +253,44 @@ impl SparseTwoStateEdgeMeg {
     /// # Errors
     ///
     /// Returns an error for invalid rates, `p = 0` or `q = 0` (event
-    /// scheduling needs both toggles possible), or `n < 2`.
+    /// scheduling needs both toggles possible), `n < 2`, or `n` so large
+    /// that pair indices no longer fit `u32` (`n > 92 682`).
     pub fn stationary(n: usize, p: f64, q: f64, seed: u64) -> Result<Self, MarkovError> {
+        Self::with_init(n, p, q, seed, InitMode::ExactScan)
+    }
+
+    /// Creates a stationary sparse edge-MEG whose trial *setup* is sparse
+    /// too: the initial on-set is sampled directly with geometric skips
+    /// over the pair index (`O(#on + #skips)` instead of the `O(n²)`
+    /// pair scan of [`SparseTwoStateEdgeMeg::stationary`]), and only the
+    /// `#on` seeded edges get calendar events — a pair that has never
+    /// toggled carries no event and is born lazily by a per-round
+    /// `Geometric(p)` skip sweep.
+    ///
+    /// Same process distribution as `stationary` (pinned by χ² and
+    /// degree-moment tests), but a *different realization* for the same
+    /// seed: the two constructors consume randomness differently, and
+    /// `stationary` keeps its byte-pinned streams. Memory also scales
+    /// with `#on` plus the pairs ever toggled rather than `n²` up front.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SparseTwoStateEdgeMeg::stationary`].
+    pub fn stationary_sparse_init(
+        n: usize,
+        p: f64,
+        q: f64,
+        seed: u64,
+    ) -> Result<Self, MarkovError> {
+        Self::with_init(n, p, q, seed, InitMode::SparseStationary)
+    }
+
+    /// Largest supported node count: pair indices are stored as `u32`
+    /// (with [`OFF`] reserved as a sentinel), so `pair_count(n)` must
+    /// stay below `u32::MAX`.
+    const MAX_NODES: usize = 92_682;
+
+    fn with_init(n: usize, p: f64, q: f64, seed: u64, init: InitMode) -> Result<Self, MarkovError> {
         let chain = TwoStateChain::new(p, q)?;
         if p == 0.0 || q == 0.0 {
             return Err(MarkovError::ParameterOutOfRange {
@@ -163,12 +298,16 @@ impl SparseTwoStateEdgeMeg {
                 value: 0.0,
             });
         }
-        if n < 2 {
+        if !(2..=Self::MAX_NODES).contains(&n) {
             return Err(MarkovError::DimensionMismatch {
-                expected: 2,
+                expected: if n < 2 { 2 } else { Self::MAX_NODES },
                 found: n,
             });
         }
+        let occupancy = match init {
+            InitMode::ExactScan => Occupancy::Dense(vec![OFF; pair_count(n)]),
+            InitMode::SparseStationary => Occupancy::Sparse(HashMap::new()),
+        };
         let mut meg = SparseTwoStateEdgeMeg {
             n,
             log1m_birth: (1.0 - chain.birth()).ln(),
@@ -176,7 +315,8 @@ impl SparseTwoStateEdgeMeg {
             chain,
             round: 0,
             alive: Vec::new(),
-            alive_pos: vec![u32::MAX; pair_count(n)],
+            occupancy,
+            init,
             events: EventCalendar::new(),
             rng: SmallRng::seed_from_u64(seed),
             snapshot: Snapshot::empty(n),
@@ -221,37 +361,73 @@ impl SparseTwoStateEdgeMeg {
     }
 
     fn turn_on(&mut self, edge: u32) {
-        debug_assert_eq!(self.alive_pos[edge as usize], u32::MAX);
-        self.alive_pos[edge as usize] = self.alive.len() as u32;
+        debug_assert!(self.occupancy.position(edge).is_none());
+        self.occupancy.set_position(edge, self.alive.len() as u32);
         self.alive.push(edge);
     }
 
-    /// Processes this round's toggle events (shared by both stepping
-    /// paths; identical RNG stream either way).
-    fn advance(&mut self) {
+    fn turn_off(&mut self, edge: u32) {
+        let pos = self.occupancy.position(edge).expect("edge is alive");
+        let last = *self.alive.last().expect("edge is alive");
+        self.alive.swap_remove(pos as usize);
+        if last != edge {
+            self.occupancy.set_position(last, pos);
+        }
+        self.occupancy.set_position(edge, OFF);
+    }
+
+    /// Processes this round's toggle events, plus (sparse-init mode) the
+    /// lazy birth sweep over never-toggled pairs. Shared by both
+    /// stepping paths — identical RNG stream either way — and records
+    /// the churn into `delta` when one is supplied (suppressed while the
+    /// delta baseline is unsynced; the caller emits a full set instead).
+    fn advance(&mut self, delta: Option<&mut EdgeDelta>) {
+        // Churn is recorded only when the consumer's baseline is in sync;
+        // while unsynced the caller emits a full edge set instead, so the
+        // suppression is decided once here rather than per toggle.
+        let mut delta = if self.synced { delta } else { None };
         self.round += 1;
         let due = self.events.begin_round(self.round);
         for &edge in &due {
-            let on = self.alive_pos[edge as usize] != u32::MAX;
+            let on = self.occupancy.position(edge).is_some();
             if on {
                 self.turn_off(edge);
             } else {
                 self.turn_on(edge);
             }
+            if let Some(d) = delta.as_deref_mut() {
+                if on {
+                    d.push_removed(edge_pair(edge as usize));
+                } else {
+                    d.push_added(edge_pair(edge as usize));
+                }
+            }
             self.schedule_toggle(edge, !on);
         }
         self.events.end_round(due);
-    }
-
-    fn turn_off(&mut self, edge: u32) {
-        let pos = self.alive_pos[edge as usize];
-        debug_assert_ne!(pos, u32::MAX);
-        let last = *self.alive.last().expect("edge is alive");
-        self.alive.swap_remove(pos as usize);
-        if last != edge {
-            self.alive_pos[last as usize] = pos;
+        if self.init == InitMode::SparseStationary {
+            // Lazy births: every pair that has never toggled is an
+            // independent Bernoulli(p) per round, so the pairs firing
+            // this round are found by Geometric(p) skips over the pair
+            // index. Candidates landing on touched pairs are discarded
+            // (their dynamics live in the calendar), which leaves the
+            // untouched pairs' birth times exactly Geometric(p) — the
+            // same law the exact-scan path schedules eagerly.
+            let pairs = pair_count(self.n) as u64;
+            let birth = self.chain.birth();
+            let mut idx = Self::geometric(&mut self.rng, birth, self.log1m_birth) - 1;
+            while idx < pairs {
+                let edge = idx as u32;
+                if !self.occupancy.is_touched(edge) {
+                    self.turn_on(edge);
+                    if let Some(d) = delta.as_deref_mut() {
+                        d.push_added(edge_pair(edge as usize));
+                    }
+                    self.schedule_toggle(edge, true);
+                }
+                idx += Self::geometric(&mut self.rng, birth, self.log1m_birth);
+            }
         }
-        self.alive_pos[edge as usize] = u32::MAX;
     }
 }
 
@@ -261,7 +437,7 @@ impl EvolvingGraph for SparseTwoStateEdgeMeg {
     }
 
     fn step(&mut self) -> &Snapshot {
-        self.advance();
+        self.advance(None);
         self.edge_buf.clear();
         self.edge_buf
             .extend(self.alive.iter().map(|&e| edge_pair(e as usize)));
@@ -275,25 +451,8 @@ impl EvolvingGraph for SparseTwoStateEdgeMeg {
         // cost is O(#toggles), with no |E_t| or heap-sift term at all —
         // the payoff of delta-native stepping in the paper's sparse,
         // slow-churn regimes.
-        self.round += 1;
         delta.begin_round();
-        let due = self.events.begin_round(self.round);
-        for &edge in &due {
-            let on = self.alive_pos[edge as usize] != u32::MAX;
-            if on {
-                self.turn_off(edge);
-                if self.synced {
-                    delta.push_removed(edge_pair(edge as usize));
-                }
-            } else {
-                self.turn_on(edge);
-                if self.synced {
-                    delta.push_added(edge_pair(edge as usize));
-                }
-            }
-            self.schedule_toggle(edge, !on);
-        }
-        self.events.end_round(due);
+        self.advance(Some(delta));
         if !self.synced {
             delta.record_full(self.alive.iter().map(|&e| edge_pair(e as usize)));
             self.synced = true;
@@ -313,21 +472,40 @@ impl EvolvingGraph for SparseTwoStateEdgeMeg {
         self.round = 0;
         self.synced = false;
         self.alive.clear();
-        self.alive_pos.fill(u32::MAX);
+        self.occupancy.clear();
         self.events.clear();
         let alpha = self.chain.stationary_on();
-        // Expected on-edges: alpha * pairs. Sample the on-set by scanning
-        // with geometric skips so initialization is O(#on + #off-skips).
         let pairs = pair_count(self.n);
-        let mut e = 0usize;
-        while e < pairs {
-            if self.rng.gen_bool(alpha) {
-                self.turn_on(e as u32);
-                self.schedule_toggle(e as u32, true);
-            } else {
-                self.schedule_toggle(e as u32, false);
+        match self.init {
+            InitMode::ExactScan => {
+                // Scan every pair: Bernoulli(alpha) membership plus one
+                // scheduled toggle each. O(n²), byte-pinned realizations.
+                let mut e = 0usize;
+                while e < pairs {
+                    if self.rng.gen_bool(alpha) {
+                        self.turn_on(e as u32);
+                        self.schedule_toggle(e as u32, true);
+                    } else {
+                        self.schedule_toggle(e as u32, false);
+                    }
+                    e += 1;
+                }
             }
-            e += 1;
+            InitMode::SparseStationary => {
+                // Skip-sample the stationary on-set: successive on-pairs
+                // are Geometric(alpha) apart in the pair index, so only
+                // the ≈ alpha·pairs live edges are visited and seeded
+                // with death events — O(#on + #skips) total. Off pairs
+                // get no event; their Geometric(p) births fire through
+                // the lazy sweep in `advance`.
+                let log1m_alpha = (1.0 - alpha).ln();
+                let mut idx = Self::geometric(&mut self.rng, alpha, log1m_alpha) - 1;
+                while idx < pairs as u64 {
+                    self.turn_on(idx as u32);
+                    self.schedule_toggle(idx as u32, true);
+                    idx += Self::geometric(&mut self.rng, alpha, log1m_alpha);
+                }
+            }
         }
     }
 }
@@ -430,6 +608,18 @@ mod tests {
         assert!(SparseTwoStateEdgeMeg::stationary(10, 0.5, 0.0, 0).is_err());
     }
 
+    #[test]
+    fn rejects_node_counts_whose_pair_indices_overflow_u32() {
+        // MAX_NODES is exactly the largest n with pair_count(n) < OFF.
+        let max = SparseTwoStateEdgeMeg::MAX_NODES;
+        assert!(pair_count(max) < u32::MAX as usize);
+        assert!(pair_count(max + 1) >= u32::MAX as usize);
+        // The sparse-init mode makes huge n cheap to *attempt*; it must
+        // be rejected, not silently truncated.
+        assert!(SparseTwoStateEdgeMeg::stationary_sparse_init(max + 1, 1e-5, 0.3, 0).is_err());
+        assert!(SparseTwoStateEdgeMeg::stationary_sparse_init(100_000, 1e-5, 0.3, 0).is_err());
+    }
+
     /// FNV-style fold of the first `rounds` snapshots — a fingerprint of
     /// the exact realization (edge sets *and* their order).
     fn realization_fingerprint(n: usize, p: f64, q: f64, seed: u64, rounds: usize) -> u64 {
@@ -495,5 +685,207 @@ mod tests {
         g.reset(42);
         let b: Vec<_> = g.step().edges().collect();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sparse_init_reset_reproducible() {
+        let mut g = SparseTwoStateEdgeMeg::stationary_sparse_init(24, 0.1, 0.2, 5).unwrap();
+        g.reset(42);
+        let a: Vec<_> = g.step().edges().collect();
+        g.reset(42);
+        let b: Vec<_> = g.step().edges().collect();
+        assert_eq!(a, b);
+        g.reset(43);
+        let c: Vec<_> = g.step().edges().collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sparse_init_rejects_bad_parameters() {
+        assert!(SparseTwoStateEdgeMeg::stationary_sparse_init(10, 0.0, 0.5, 0).is_err());
+        assert!(SparseTwoStateEdgeMeg::stationary_sparse_init(10, 0.5, 0.0, 0).is_err());
+        assert!(SparseTwoStateEdgeMeg::stationary_sparse_init(1, 0.2, 0.2, 0).is_err());
+    }
+
+    #[test]
+    fn sparse_init_bookkeeping_consistent() {
+        let mut g = SparseTwoStateEdgeMeg::stationary_sparse_init(20, 0.2, 0.4, 9).unwrap();
+        for _ in 0..80 {
+            let snap = g.step();
+            assert_eq!(snap.edge_count(), g.alive_count());
+        }
+    }
+
+    #[test]
+    fn sparse_init_deltas_replay_rebuild() {
+        let mut rebuild = SparseTwoStateEdgeMeg::stationary_sparse_init(28, 0.05, 0.2, 11).unwrap();
+        let mut delta = SparseTwoStateEdgeMeg::stationary_sparse_init(28, 0.05, 0.2, 11).unwrap();
+        dynagraph::delta::assert_replays_rebuild(&mut rebuild, &mut delta, 40);
+        rebuild.reset(12);
+        delta.reset(12);
+        dynagraph::delta::assert_replays_rebuild(&mut rebuild, &mut delta, 40);
+    }
+
+    #[test]
+    fn sparse_init_time_average_density_stationary() {
+        // The lazy birth sweep plus calendar deaths must hold the process
+        // at its stationary density from round 0 onwards.
+        let n = 40;
+        let (p, q) = (0.02, 0.08);
+        let mut g = SparseTwoStateEdgeMeg::stationary_sparse_init(n, p, q, 3).unwrap();
+        let rounds = 4_000;
+        let mut total = 0usize;
+        for _ in 0..rounds {
+            total += g.step().edge_count();
+        }
+        let expected = p / (p + q) * pair_count(n) as f64;
+        let mean = total as f64 / rounds as f64;
+        assert!((mean / expected - 1.0).abs() < 0.1, "mean = {mean}");
+    }
+
+    #[test]
+    fn sparse_init_far_future_births_fire() {
+        // Tiny p: initial births fall entirely to the lazy sweep, deaths
+        // reschedule far beyond the calendar horizon. The long-run
+        // density must still converge to alpha = 0.5.
+        let n = 24;
+        let mut g = SparseTwoStateEdgeMeg::stationary_sparse_init(n, 1e-4, 1e-4, 11).unwrap();
+        let mut total = 0usize;
+        for _ in 0..30_000 {
+            total += g.step().edge_count();
+        }
+        let expected = 0.5 * pair_count(n) as f64;
+        let mean = total as f64 / 30_000.0;
+        assert!((mean / expected - 1.0).abs() < 0.2, "mean = {mean}");
+    }
+
+    /// χ² statistic of round-0 on-edge counts over `buckets` equal slices
+    /// of the pair index, aggregated over `seeds` independent instances.
+    /// Each bucket count is an independent Binomial(slice · seeds, α), so
+    /// the statistic is ≈ χ² with `buckets` degrees of freedom.
+    fn init_chi_square(make: impl Fn(u64) -> SparseTwoStateEdgeMeg, seeds: u64) -> f64 {
+        let g0 = make(0);
+        let n = g0.node_count();
+        let alpha = g0.alpha();
+        let pairs = pair_count(n);
+        let buckets = 16usize;
+        let slice = pairs / buckets;
+        let mut counts = vec![0u64; buckets];
+        for seed in 0..seeds {
+            let mut g = make(seed);
+            // E_0 is the seeded set stepped once; a stationary chain
+            // stepped once is still stationary, so α bands apply as-is.
+            let snap = g.step();
+            for (u, v) in snap.edges() {
+                let e = crate::edge_index(u, v);
+                if e < slice * buckets {
+                    counts[e / slice] += 1;
+                }
+            }
+        }
+        let trials = (slice as f64) * seeds as f64;
+        let exp = trials * alpha;
+        let var = trials * alpha * (1.0 - alpha);
+        counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - exp;
+                d * d / var
+            })
+            .sum()
+    }
+
+    #[test]
+    fn init_distributions_pass_chi_square() {
+        // 16 degrees of freedom: mean 16, sd √32 ≈ 5.7. 50 is ≈ 6σ —
+        // deterministic seeds make this a fixed, regression-pinning
+        // check that both initializers spread on-edges uniformly over
+        // the pair index.
+        let n = 64;
+        let (p, q) = (0.1, 0.3);
+        let exact = init_chi_square(
+            |s| SparseTwoStateEdgeMeg::stationary(n, p, q, s).unwrap(),
+            25,
+        );
+        let sparse = init_chi_square(
+            |s| SparseTwoStateEdgeMeg::stationary_sparse_init(n, p, q, s).unwrap(),
+            25,
+        );
+        assert!(exact < 50.0, "exact-scan χ² = {exact}");
+        assert!(sparse < 50.0, "sparse-init χ² = {sparse}");
+    }
+
+    /// Mean and variance of the round-0 degree distribution aggregated
+    /// over seeds (degrees are Binomial(n-1, α) under stationarity).
+    fn degree_moments(make: impl Fn(u64) -> SparseTwoStateEdgeMeg, seeds: u64) -> (f64, f64) {
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        let mut count = 0.0;
+        for seed in 0..seeds {
+            let mut g = make(seed);
+            let n = g.node_count() as u32;
+            let snap = g.step();
+            for u in 0..n {
+                let d = snap.degree(u) as f64;
+                sum += d;
+                sum_sq += d * d;
+                count += 1.0;
+            }
+        }
+        let mean = sum / count;
+        (mean, sum_sq / count - mean * mean)
+    }
+
+    #[test]
+    fn init_distributions_match_degree_moments() {
+        let n = 64;
+        let (p, q) = (0.1, 0.3);
+        let alpha = p / (p + q);
+        let expect_mean = (n - 1) as f64 * alpha;
+        let expect_var = (n - 1) as f64 * alpha * (1.0 - alpha);
+        for (label, (mean, var)) in [
+            (
+                "exact",
+                degree_moments(
+                    |s| SparseTwoStateEdgeMeg::stationary(n, p, q, s).unwrap(),
+                    30,
+                ),
+            ),
+            (
+                "sparse",
+                degree_moments(
+                    |s| SparseTwoStateEdgeMeg::stationary_sparse_init(n, p, q, s).unwrap(),
+                    30,
+                ),
+            ),
+        ] {
+            assert!(
+                (mean / expect_mean - 1.0).abs() < 0.05,
+                "{label} degree mean {mean} vs {expect_mean}"
+            );
+            assert!(
+                (var / expect_var - 1.0).abs() < 0.15,
+                "{label} degree variance {var} vs {expect_var}"
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_init_engine_paths_agree() {
+        use dynagraph::engine::{Simulation, Stepping};
+        let n = 96;
+        let run = |stepping| {
+            Simulation::builder()
+                .model(move |seed| {
+                    SparseTwoStateEdgeMeg::stationary_sparse_init(n, 2.0 / n as f64, 0.3, seed)
+                        .unwrap()
+                })
+                .trials(4)
+                .warm_up(5)
+                .max_rounds(10_000)
+                .stepping(stepping)
+                .run()
+        };
+        assert_eq!(run(Stepping::Snapshot), run(Stepping::Delta));
     }
 }

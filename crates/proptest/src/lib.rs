@@ -247,7 +247,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use core::ops::Range;
 
-    /// Length specification for [`vec`]: an exact `usize` or a
+    /// Length specification for [`vec()`](vec()): an exact `usize` or a
     /// half-open `Range<usize>`.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {

@@ -67,16 +67,31 @@
 //!
 //! ## Delta-native stepping
 //!
-//! Every first-party model also exposes its per-round *churn* via
-//! `EvolvingGraph::step_delta` (an `EdgeDelta` of added/removed edges
-//! applied to an incremental `DynAdjacency`), and the engine drives that
-//! path automatically (`Stepping::Auto`) for models advertising
-//! `has_native_deltas()`. Results are byte-identical to the snapshot
-//! path; per-round cost drops from `O(m + n)` to `O(churn + frontier)`
-//! in the paper's slow-churn regimes — see `BENCH_delta.json` at the
-//! repository root for the measured trajectory.
+//! Every first-party model — including the §5
+//! `ThinnedEvolvingGraph`/`JammedEvolvingGraph` wrappers — exposes its
+//! per-round *churn* via `EvolvingGraph::step_delta` (an `EdgeDelta` of
+//! added/removed edges applied to an incremental `DynAdjacency`), and
+//! the engine drives that path automatically (`Stepping::Auto`) for
+//! models advertising `has_native_deltas()`. Results are byte-identical
+//! to the snapshot path; per-round cost drops from `O(m + n)` to
+//! `O(churn + frontier)` in the paper's slow-churn regimes — see
+//! `BENCH_delta.json` at the repository root for the measured
+//! trajectory. The full delta contract lives in the `dynagraph::delta`
+//! module docs.
+//!
+//! ## Sparse trial setup
+//!
+//! In the `p = 1/n` regime, trial *setup* dominates short runs at large
+//! `n`: `SparseTwoStateEdgeMeg::stationary` scans all `n(n-1)/2` pairs.
+//! `SparseTwoStateEdgeMeg::stationary_sparse_init` skip-samples the
+//! stationary on-set directly (`O(#on)` setup; same distribution,
+//! different realization stream) — `BENCH_sparse_init.json` tracks the
+//! measured speedup (≈ 20× at `n = 2¹⁴`). Observers that want churn
+//! metrics read `RoundCtx::delta` (e.g. `engine::ChurnObserver`) instead
+//! of forcing snapshot materialization.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use dg_edge_meg;
 pub use dg_graph;

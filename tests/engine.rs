@@ -11,7 +11,7 @@
 //!   reports;
 //! * observers stream what the run records say.
 
-use dynspread::dg_edge_meg::SparseTwoStateEdgeMeg;
+use dynspread::dg_edge_meg::{SparseTwoStateEdgeMeg, TwoStateEdgeMeg};
 use dynspread::dg_graph::generators;
 use dynspread::dynagraph::engine::{
     DelayObserver, MeanGrowthObserver, Observer, ParsimoniousFlooding, PushGossip, RoundCtx,
@@ -362,6 +362,147 @@ fn observers_stream_what_records_say() {
         assert_eq!(curve.last().copied(), Some(n as f64));
         assert!(curve.windows(2).all(|w| w[0] <= w[1]));
     }
+}
+
+#[test]
+fn delta_path_matches_snapshot_path_for_section5_wrappers() {
+    // The §5 wrappers are delta-native now: thinning and jamming over a
+    // churning edge-MEG must report byte-identical records on both
+    // stepping paths, for every built-in protocol.
+    use dynspread::dynagraph::{JammedEvolvingGraph, ThinnedEvolvingGraph};
+    let thinned = |seed: u64| {
+        let n = 96usize;
+        let inner = TwoStateEdgeMeg::stationary(n, 1.5 / n as f64, 0.4, seed).unwrap();
+        ThinnedEvolvingGraph::new(inner, 0.6, seed).unwrap()
+    };
+    let jammed = |seed: u64| {
+        let n = 96usize;
+        let inner = TwoStateEdgeMeg::stationary(n, 1.5 / n as f64, 0.4, seed).unwrap();
+        JammedEvolvingGraph::new(inner, 4, seed).unwrap()
+    };
+    assert!(thinned(0).has_native_deltas());
+    assert!(jammed(0).has_native_deltas());
+
+    let flood_run = |stepping: Stepping| {
+        Simulation::builder()
+            .model(thinned)
+            .trials(8)
+            .max_rounds(MAX_ROUNDS)
+            .warm_up(8)
+            .base_seed(BASE_SEED)
+            .stepping(stepping)
+            .run()
+    };
+    assert_eq!(flood_run(Stepping::Snapshot), flood_run(Stepping::Delta));
+    assert_eq!(flood_run(Stepping::Snapshot), flood_run(Stepping::Auto));
+
+    let push_run = |stepping: Stepping| {
+        Simulation::builder()
+            .model(jammed)
+            .protocol(PushGossip::new(2))
+            .trials(8)
+            .max_rounds(MAX_ROUNDS)
+            .base_seed(BASE_SEED)
+            .stepping(stepping)
+            .run()
+    };
+    assert_eq!(push_run(Stepping::Snapshot), push_run(Stepping::Delta));
+
+    let pars_run = |stepping: Stepping| {
+        Simulation::builder()
+            .model(thinned)
+            .protocol(ParsimoniousFlooding::new(3))
+            .trials(8)
+            .max_rounds(MAX_ROUNDS)
+            .base_seed(BASE_SEED)
+            .stepping(stepping)
+            .run()
+    };
+    assert_eq!(pars_run(Stepping::Snapshot), pars_run(Stepping::Delta));
+}
+
+#[test]
+fn sparse_init_model_matches_across_stepping_paths() {
+    // The O(#on) initializer drives the same event machinery; snapshot
+    // and delta pipelines must agree on its realizations too.
+    let model = |seed: u64| {
+        let n = 128usize;
+        SparseTwoStateEdgeMeg::stationary_sparse_init(n, 1.5 / n as f64, 0.3, seed).unwrap()
+    };
+    let run = |stepping: Stepping| {
+        Simulation::builder()
+            .model(model)
+            .trials(8)
+            .max_rounds(MAX_ROUNDS)
+            .warm_up(6)
+            .base_seed(BASE_SEED)
+            .stepping(stepping)
+            .run()
+    };
+    let snapshot = run(Stepping::Snapshot);
+    assert_eq!(snapshot, run(Stepping::Delta));
+    assert_eq!(snapshot, run(Stepping::Auto));
+    assert_eq!(snapshot.incomplete(), 0);
+}
+
+#[test]
+fn churn_observer_agrees_with_materialized_edge_counts() {
+    // |E_t| reconstructed from the delta stream (baseline + cumulative
+    // added − removed) must equal the edge counts a snapshot-reading
+    // observer sees on the same trials.
+    use dynspread::dynagraph::engine::ChurnObserver;
+    #[derive(Default)]
+    struct EdgeCountAndChurn {
+        churn: ChurnObserver,
+        edges: Vec<usize>,
+        reconstructed: Vec<i64>,
+        running: i64,
+    }
+    impl Observer for EdgeCountAndChurn {
+        fn needs_snapshots(&self) -> bool {
+            true
+        }
+        fn on_trial_start(&mut self, trial: usize, n: usize, sources: &[u32]) {
+            self.churn.on_trial_start(trial, n, sources);
+        }
+        fn on_round(&mut self, ctx: &RoundCtx<'_>) {
+            self.churn.on_round(ctx);
+            self.edges.push(ctx.snapshot.expect("asked").edge_count());
+            let d = ctx.delta.expect("delta path");
+            self.running += d.added().len() as i64 - d.removed().len() as i64;
+            self.reconstructed.push(self.running);
+        }
+    }
+    let (_, observers) = Simulation::builder()
+        .model(sparse_meg)
+        .trials(3)
+        .max_rounds(MAX_ROUNDS)
+        .base_seed(BASE_SEED)
+        .stepping(Stepping::Delta)
+        .observers(|_| EdgeCountAndChurn::default())
+        .run_observed();
+    for obs in &observers {
+        assert!(!obs.edges.is_empty());
+        let as_i64: Vec<i64> = obs.edges.iter().map(|&e| e as i64).collect();
+        assert_eq!(obs.reconstructed, as_i64);
+        assert_eq!(obs.churn.rounds_without_delta(), 0);
+        // The baseline emission lands in initial_edges (= |E_0|), never
+        // in the churn summary.
+        assert_eq!(obs.churn.initial_edges().mean(), obs.edges[0] as f64);
+        let max_later_churn = obs.edges.windows(2).map(|w| w[0] + w[1]).max().unwrap_or(0) as f64;
+        assert!(obs.churn.churn().max() <= max_later_churn);
+    }
+    // On the snapshot path the same observer sees no deltas at all.
+    let (_, observers) = Simulation::builder()
+        .model(sparse_meg)
+        .trials(1)
+        .max_rounds(MAX_ROUNDS)
+        .base_seed(BASE_SEED)
+        .stepping(Stepping::Snapshot)
+        .observers(|_| ChurnObserver::new())
+        .run_observed();
+    assert!(observers[0].rounds_without_delta() > 0);
+    assert_eq!(observers[0].churn().len(), 0);
 }
 
 #[test]

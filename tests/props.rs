@@ -194,6 +194,104 @@ proptest! {
     }
 
     #[test]
+    fn thinned_deltas_replay_rebuild(
+        n in 4usize..28,
+        p in 0.05f64..0.4,
+        q in 0.05f64..0.5,
+        gamma in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        // The §5 thinning wrapper is delta-native: stepping it through
+        // step_delta + DynAdjacency must walk exactly the snapshot
+        // sequence of the rebuild path, for any inner parameterization.
+        let make = || {
+            let inner = TwoStateEdgeMeg::stationary(n, p, q, seed).unwrap();
+            dynspread::dynagraph::ThinnedEvolvingGraph::new(inner, gamma, seed).unwrap()
+        };
+        let mut rebuild = make();
+        let mut delta = make();
+        assert!(delta.has_native_deltas());
+        assert_replays_rebuild(&mut rebuild, &mut delta, 20);
+        rebuild.reset(seed ^ 5);
+        delta.reset(seed ^ 5);
+        assert_replays_rebuild(&mut rebuild, &mut delta, 20);
+    }
+
+    #[test]
+    fn jammed_deltas_replay_rebuild(
+        n in 4usize..28,
+        p in 0.05f64..0.4,
+        q in 0.05f64..0.5,
+        victims in 0usize..6,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(victims <= n);
+        let make = || {
+            let inner = TwoStateEdgeMeg::stationary(n, p, q, seed).unwrap();
+            dynspread::dynagraph::JammedEvolvingGraph::new(inner, victims, seed).unwrap()
+        };
+        let mut rebuild = make();
+        let mut delta = make();
+        assert_replays_rebuild(&mut rebuild, &mut delta, 20);
+    }
+
+    #[test]
+    fn wrapper_deltas_survive_warm_up_and_plain_steps(
+        n in 4usize..20,
+        seed in any::<u64>(),
+    ) {
+        // Baseline breaks (warm-up rebases, plain steps desync) must
+        // heal with a full emission that replays the rebuild path.
+        let make = || {
+            let inner = TwoStateEdgeMeg::stationary(n, 0.2, 0.3, seed).unwrap();
+            dynspread::dynagraph::ThinnedEvolvingGraph::new(inner, 0.5, seed).unwrap()
+        };
+        let mut rebuild = make();
+        let mut delta = make();
+        rebuild.warm_up(9);
+        delta.warm_up(9);
+        assert_replays_rebuild(&mut rebuild, &mut delta, 8);
+        let _ = rebuild.step();
+        let _ = delta.step();
+        assert_replays_rebuild(&mut rebuild, &mut delta, 8);
+    }
+
+    #[test]
+    fn sparse_init_deltas_replay_rebuild_integration(
+        n in 8usize..48,
+        q in 0.05f64..0.5,
+        seed in any::<u64>(),
+    ) {
+        use dynspread::dg_edge_meg::SparseTwoStateEdgeMeg;
+        let p = 1.5 / n as f64;
+        let mut rebuild = SparseTwoStateEdgeMeg::stationary_sparse_init(n, p, q, seed).unwrap();
+        let mut delta = SparseTwoStateEdgeMeg::stationary_sparse_init(n, p, q, seed).unwrap();
+        assert_replays_rebuild(&mut rebuild, &mut delta, 30);
+    }
+
+    #[test]
+    fn apply_to_sorted_tracks_dyn_adjacency(
+        n in 4usize..24,
+        p in 0.05f64..0.5,
+        q in 0.05f64..0.5,
+        seed in any::<u64>(),
+    ) {
+        // The flat-list delta consumer and the adjacency consumer must
+        // agree on every round's edge set.
+        let mut g = TwoStateEdgeMeg::stationary(n, p, q, seed).unwrap();
+        let mut adj = DynAdjacency::new(n);
+        let mut flat: Vec<(u32, u32)> = Vec::new();
+        let mut d = EdgeDelta::new();
+        for _ in 0..15 {
+            g.step_delta(&mut d);
+            adj.apply(&d);
+            d.apply_to_sorted(&mut flat);
+            let from_adj: Vec<(u32, u32)> = adj.edges().collect();
+            prop_assert_eq!(&flat, &from_adj);
+        }
+    }
+
+    #[test]
     fn flooding_time_weakly_decreasing_in_density(seed in 0u64..200) {
         // More edges cannot slow flooding down (on the same seed the
         // processes differ, so compare means over a few seeds instead).
