@@ -239,7 +239,10 @@ impl Protocol for Flooding {
 pub struct PushGossip {
     fanout: usize,
     rng: SmallRng,
-    pick_buf: Vec<u32>,
+    /// Sparse overlay of the *virtual* partial Fisher–Yates shuffle:
+    /// `(index, value)` pairs for the at most `fanout` positions whose
+    /// value differs from the underlying neighbour slice.
+    displaced: Vec<(usize, u32)>,
 }
 
 impl PushGossip {
@@ -253,7 +256,7 @@ impl PushGossip {
         PushGossip {
             fanout,
             rng: SmallRng::seed_from_u64(0),
-            pick_buf: Vec::new(),
+            displaced: Vec::new(),
         }
     }
 
@@ -264,23 +267,41 @@ impl PushGossip {
 
     /// Transmits from one node to at most `fanout` of its neighbours —
     /// the shared body of both stepping paths (identical RNG draws).
+    ///
+    /// Draws `fanout` distinct targets by a *virtual* partial
+    /// Fisher–Yates: the same `gen_range(i..len)` draws, swaps, and
+    /// outputs as shuffling a copy of the adjacency list, but the copy
+    /// is never made — only the at most `fanout` displaced entries are
+    /// tracked, so a high-degree informed node costs `O(fanout²)`
+    /// bookkeeping instead of an `O(degree)` buffer fill. Byte-identical
+    /// to the buffered implementation (and hence to the legacy
+    /// `gossip::push_spread`) by construction; the engine suite pins it.
     fn push_targets(&mut self, neigh: &[u32], out: &mut Transmissions<'_>) {
-        if neigh.is_empty() {
-            return;
-        }
         if neigh.len() <= self.fanout {
             for &v in neigh {
                 out.send(v);
             }
-        } else {
-            // Partial Fisher-Yates: draw `fanout` distinct targets.
-            self.pick_buf.clear();
-            self.pick_buf.extend_from_slice(neigh);
-            for i in 0..self.fanout {
-                let j = self.rng.gen_range(i..self.pick_buf.len());
-                self.pick_buf.swap(i, j);
-                out.send(self.pick_buf[i]);
+            return;
+        }
+        self.displaced.clear();
+        let at = |displaced: &[(usize, u32)], idx: usize| -> u32 {
+            displaced
+                .iter()
+                .find(|(i, _)| *i == idx)
+                .map_or(neigh[idx], |(_, v)| *v)
+        };
+        for i in 0..self.fanout {
+            let j = self.rng.gen_range(i..neigh.len());
+            // swap(i, j), then emit position i (= the old value at j).
+            // Position i is never read again, so only j's new value is
+            // recorded.
+            let vi = at(&self.displaced, i);
+            let vj = at(&self.displaced, j);
+            match self.displaced.iter_mut().find(|(idx, _)| *idx == j) {
+                Some(entry) => entry.1 = vi,
+                None => self.displaced.push((j, vi)),
             }
+            out.send(vj);
         }
     }
 }
@@ -312,7 +333,9 @@ impl Protocol for PushGossip {
         // Every informed node draws randomness each round, so the scan
         // cannot shrink to the frontier — but the sorted adjacency lists
         // match the snapshot's exactly, so the RNG stream (and thus the
-        // whole trial) is byte-identical, without ever building a CSR.
+        // whole trial) is byte-identical, without ever building a CSR;
+        // and the virtual shuffle in `push_targets` keeps the per-node
+        // sampling cost fanout-bound instead of degree-bound.
         for &u in view.informed_list {
             self.push_targets(adj.neighbors(u), out);
         }
@@ -438,6 +461,37 @@ mod tests {
     #[should_panic(expected = "fanout must be positive")]
     fn zero_fanout_rejected() {
         let _ = PushGossip::new(0);
+    }
+
+    #[test]
+    fn virtual_shuffle_matches_buffered_fisher_yates() {
+        // Reference: the O(degree) buffered partial Fisher–Yates the
+        // virtual shuffle replaced — same RNG draws, same targets, in
+        // the same order, for every fanout and seed.
+        let neigh: Vec<u32> = (0..97).map(|i| i * 3 + 1).collect();
+        for fanout in [1usize, 2, 5, 16, 96] {
+            for seed in 0..20u64 {
+                let mut reference_rng = SmallRng::seed_from_u64(mix_seed(seed, 0x905517));
+                let mut buf = neigh.clone();
+                let mut expected = Vec::new();
+                for i in 0..fanout {
+                    let j = reference_rng.gen_range(i..buf.len());
+                    buf.swap(i, j);
+                    expected.push(buf[i]);
+                }
+
+                let mut p = PushGossip::new(fanout);
+                p.begin_trial(neigh.len() + 1, seed);
+                let mut informed = vec![false; 512];
+                let mut new_nodes = Vec::new();
+                let mut out = Transmissions::new(&mut informed, &mut new_nodes);
+                p.push_targets(&neigh, &mut out);
+                assert_eq!(out.messages(), fanout as u64);
+                // Fisher–Yates targets are distinct, so the newly informed
+                // list is exactly the emission order.
+                assert_eq!(new_nodes, expected, "fanout {fanout}, seed {seed}");
+            }
+        }
     }
 
     #[test]

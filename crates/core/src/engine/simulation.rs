@@ -217,6 +217,75 @@ impl<M, P, F> SimulationBuilder<M, P, F> {
 
 impl<M, G, P, F, O> SimulationBuilder<M, P, F>
 where
+    M: Fn(u64) -> G,
+    G: EvolvingGraph,
+    P: Protocol + Clone,
+    F: Fn(usize) -> O,
+    O: Observer,
+{
+    /// Runs exactly one trial of this configuration — the hook for
+    /// *externally scheduled* trials, where something other than
+    /// [`SimulationBuilder::run`] decides how many trials a
+    /// configuration gets (the adaptive scheduler in [`crate::sweep`]
+    /// flattens many configurations' trials into one work pool).
+    ///
+    /// The trial is identical to what `run()` would execute at index
+    /// `trial`: same `mix_seed(base_seed, trial)` derivation, same
+    /// stepping-path selection — so collecting `run_trial(0..k)` equals
+    /// the first `k` records of a `trials(k)` batch, and an external
+    /// scheduler is byte-compatible with the engine's own loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source set is invalid for the model's node count.
+    pub fn run_trial(&self, trial: usize) -> TrialRecord {
+        assert!(!self.sources.is_empty(), "need at least one source");
+        self.run_single(trial).0
+    }
+
+    /// The shared per-trial body of [`SimulationBuilder::run_trial`] and
+    /// the (possibly parallel) batch loop.
+    fn run_single(&self, trial: usize) -> (TrialRecord, O, usize) {
+        let seed = mix_seed(self.base_seed, trial as u64);
+        let mut g = (self.model)(seed);
+        if self.warm_up > 0 {
+            g.warm_up(self.warm_up);
+        }
+        let n = g.node_count();
+        let mut protocol = self.protocol.clone();
+        let mut observer = (self.observers)(trial);
+        let use_delta = match self.stepping {
+            Stepping::Auto => g.has_native_deltas(),
+            Stepping::Snapshot => false,
+            Stepping::Delta => true,
+        };
+        let record = if use_delta {
+            execute_trial_delta(
+                &mut g,
+                &mut protocol,
+                &mut observer,
+                trial,
+                seed,
+                &self.sources,
+                self.max_rounds,
+            )
+        } else {
+            execute_trial(
+                &mut g,
+                &mut protocol,
+                &mut observer,
+                trial,
+                seed,
+                &self.sources,
+                self.max_rounds,
+            )
+        };
+        (record, observer, n)
+    }
+}
+
+impl<M, G, P, F, O> SimulationBuilder<M, P, F>
+where
     M: Fn(u64) -> G + Sync,
     G: EvolvingGraph,
     P: Protocol + Clone + Sync,
@@ -241,43 +310,7 @@ where
         let mut slots: Vec<Option<(TrialRecord, O, usize)>> = Vec::with_capacity(trials);
         slots.resize_with(trials, || None);
 
-        let run_one = |trial: usize| -> (TrialRecord, O, usize) {
-            let seed = mix_seed(self.base_seed, trial as u64);
-            let mut g = (self.model)(seed);
-            if self.warm_up > 0 {
-                g.warm_up(self.warm_up);
-            }
-            let n = g.node_count();
-            let mut protocol = self.protocol.clone();
-            let mut observer = (self.observers)(trial);
-            let use_delta = match self.stepping {
-                Stepping::Auto => g.has_native_deltas(),
-                Stepping::Snapshot => false,
-                Stepping::Delta => true,
-            };
-            let record = if use_delta {
-                execute_trial_delta(
-                    &mut g,
-                    &mut protocol,
-                    &mut observer,
-                    trial,
-                    seed,
-                    &self.sources,
-                    self.max_rounds,
-                )
-            } else {
-                execute_trial(
-                    &mut g,
-                    &mut protocol,
-                    &mut observer,
-                    trial,
-                    seed,
-                    &self.sources,
-                    self.max_rounds,
-                )
-            };
-            (record, observer, n)
-        };
+        let run_one = |trial: usize| -> (TrialRecord, O, usize) { self.run_single(trial) };
 
         let threads = self.worker_count();
         if threads <= 1 {
@@ -748,6 +781,25 @@ mod tests {
                 .run()
         };
         assert_eq!(run(Stepping::Snapshot), run(Stepping::Delta));
+    }
+
+    #[test]
+    fn run_trial_matches_batch_records() {
+        // Externally scheduled trials (the sweep hook) must reproduce the
+        // batch loop record for record, protocol randomness included.
+        let builder = || {
+            Simulation::builder()
+                .model(|_| StaticEvolvingGraph::new(generators::complete(12)))
+                .protocol(PushGossip::new(1))
+                .max_rounds(10_000)
+                .base_seed(0x5EE9)
+        };
+        let batch = builder().trials(5).run();
+        for (i, record) in batch.records().iter().enumerate() {
+            assert_eq!(&builder().run_trial(i), record, "trial {i}");
+        }
+        // Indices beyond any batch size still work (pure function of i).
+        assert_eq!(builder().run_trial(7).seed, mix_seed(0x5EE9, 7));
     }
 
     #[test]

@@ -21,6 +21,12 @@
 //!   factory with any [`engine::Protocol`] (flooding, push gossip,
 //!   parsimonious flooding) and streaming [`engine::Observer`]s, with
 //!   deterministic parallel trial execution;
+//! * [`sweep`] — **adaptive parameter-sweep orchestration** over the
+//!   engine: declare a [`sweep::Grid`] of cells, and one work-stealing
+//!   pool runs `(cell × trial)` items with per-cell sequential stopping
+//!   (Student-t CI targets), writing resumable JSON/CSV artifacts
+//!   ([`sweep::SweepReport`]) that are byte-identical however the sweep
+//!   was scheduled, interrupted, or resumed;
 //! * [`flooding`] — the flooding process `I_{t+1} = I_t ∪ N_{E_t}(I_t)`
 //!   as single-run primitives with per-round growth records;
 //! * [`stationarity`] — empirical estimators for the `(M, α, β)`-stationarity
@@ -119,6 +125,7 @@ mod recorded;
 mod seeds;
 mod snapshot;
 pub mod stationarity;
+pub mod sweep;
 pub mod theory;
 
 pub use delta::{DynAdjacency, EdgeDelta};

@@ -1,0 +1,156 @@
+//! Adaptive parameter sweeps over the simulation engine.
+//!
+//! This module re-exports the `dg-sweep` orchestration crate —
+//! [`Grid`]/[`Axis`] parameter spaces, the adaptive `(cell × trial)`
+//! scheduler with sequential stopping, and the resumable
+//! [`SweepReport`] artifact layer — next to the engine hook that plugs
+//! the two together: [`SimulationBuilder::run_trial`].
+//!
+//! # The glue contract
+//!
+//! The scheduler derives `trial.cell_seed = mix_seed(base_seed,
+//! cell.id())` and `trial.seed = mix_seed(cell_seed, trial.index)`; the
+//! engine derives a trial's seed as `mix_seed(builder_base_seed,
+//! trial_index)` — the *same* SplitMix64 mix (pinned by this module's
+//! tests). So a trial function that hands [`Trial::cell_seed`] to
+//! [`SimulationBuilder::base_seed`] and [`Trial::index`] to
+//! [`SimulationBuilder::run_trial`] runs exactly the trial the engine's
+//! own batch loop would have run at that index, and the sweep's report
+//! is byte-identical however `(cell × trial)` items were scheduled —
+//! serially, work-stealing across threads, or killed and resumed from a
+//! checkpoint.
+//!
+//! # Example: a phase curve in a few lines
+//!
+//! Flooding time of a static cycle vs its size, with a fixed budget (an
+//! adaptive [`TrialBudget`] with a [`CiTarget`] spends trials where the
+//! variance is instead):
+//!
+//! ```
+//! use dg_graph::generators;
+//! use dynagraph::engine::Simulation;
+//! use dynagraph::sweep::{Axis, Grid, Sweep, TrialBudget};
+//! use dynagraph::StaticEvolvingGraph;
+//!
+//! let grid = Grid::new().axis(Axis::ints("n", [8, 12, 16]));
+//! let report = Sweep::over(grid)
+//!     .budget(TrialBudget::fixed(3))
+//!     .base_seed(0xC0FFEE)
+//!     .run(|cell, trial| {
+//!         let n = cell.usize("n");
+//!         let record = Simulation::builder()
+//!             .model(move |_seed| StaticEvolvingGraph::new(generators::cycle(n)))
+//!             .max_rounds(100)
+//!             .base_seed(trial.cell_seed) // sweep seed -> engine seed
+//!             .run_trial(trial.index);
+//!         record.time.map(f64::from) // None = censored trial
+//!     })
+//!     .unwrap();
+//!
+//! assert!(report.is_complete());
+//! // A cycle of n nodes floods in ceil((n-1)/2) rounds, every trial.
+//! assert_eq!(report.cell(0).mean(), Some(4.0));
+//! assert_eq!(report.cell(2).mean(), Some(8.0));
+//! // The artifact round-trips: this is what checkpoint resume relies on.
+//! let json = report.to_json();
+//! let reloaded = dynagraph::sweep::SweepReport::from_json(&json).unwrap();
+//! assert_eq!(reloaded.to_json(), json);
+//! ```
+//!
+//! Censoring composes: a [`TrialRecord`](crate::engine::TrialRecord)
+//! whose `time` is `None` (round cap hit, protocol went quiescent)
+//! becomes a `None` sample, reported per cell as `incomplete` instead of
+//! poisoning the mean.
+//!
+//! [`SimulationBuilder::run_trial`]: crate::engine::SimulationBuilder::run_trial
+//! [`SimulationBuilder::base_seed`]: crate::engine::SimulationBuilder::base_seed
+
+pub use dg_sweep::{
+    mix_seed, Axis, Cell, CellReport, CiTarget, Grid, Sweep, SweepError, SweepReport, Trial,
+    TrialBudget,
+};
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::{PushGossip, Simulation};
+    use crate::sweep::{Axis, CiTarget, Grid, Sweep, TrialBudget};
+    use crate::StaticEvolvingGraph;
+    use dg_graph::generators;
+
+    #[test]
+    fn seed_derivations_coincide() {
+        // The whole glue contract rests on the two mix_seed copies being
+        // the same function; pin them against each other.
+        for base in [0u64, 1, 42, u64::MAX, 0xD15E_A5E1] {
+            for stream in [0u64, 1, 7, 63, u64::MAX] {
+                assert_eq!(
+                    dg_sweep::mix_seed(base, stream),
+                    crate::mix_seed(base, stream),
+                    "mix_seed diverged at ({base}, {stream})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_over_engine_matches_direct_batches() {
+        // A sweep cell's samples must equal the per-trial records of a
+        // plain engine batch run with the cell's seed.
+        let grid = Grid::new().axis(Axis::ints("n", [12, 24]));
+        let budget = TrialBudget::fixed(4);
+        let report = Sweep::over(grid)
+            .budget(budget)
+            .base_seed(0xABCD)
+            .run(|cell, trial| {
+                let n = cell.usize("n");
+                Simulation::builder()
+                    .model(move |_| StaticEvolvingGraph::new(generators::complete(n)))
+                    .protocol(PushGossip::new(1))
+                    .max_rounds(10_000)
+                    .base_seed(trial.cell_seed)
+                    .run_trial(trial.index)
+                    .time
+                    .map(f64::from)
+            })
+            .unwrap();
+        for (cell_id, &n) in [12usize, 24].iter().enumerate() {
+            let batch = Simulation::builder()
+                .model(move |_| StaticEvolvingGraph::new(generators::complete(n)))
+                .protocol(PushGossip::new(1))
+                .trials(4)
+                .max_rounds(10_000)
+                .base_seed(crate::mix_seed(0xABCD, cell_id as u64))
+                .run();
+            let expected: Vec<Option<f64>> = batch
+                .records()
+                .iter()
+                .map(|r| r.time.map(f64::from))
+                .collect();
+            assert_eq!(report.cell(cell_id).samples, expected, "cell {cell_id}");
+        }
+    }
+
+    #[test]
+    fn adaptive_sweep_stops_deterministic_cells_at_min() {
+        // Flooding on a static cycle has zero variance: the CI collapses
+        // at min_trials, so an adaptive budget never wastes the cap.
+        let grid = Grid::new().axis(Axis::ints("n", [9, 15]));
+        let report = Sweep::over(grid)
+            .budget(TrialBudget::adaptive(3, 64, CiTarget::Relative(0.05)))
+            .run(|cell, trial| {
+                let n = cell.usize("n");
+                Simulation::builder()
+                    .model(move |_| StaticEvolvingGraph::new(generators::cycle(n)))
+                    .max_rounds(100)
+                    .base_seed(trial.cell_seed)
+                    .run_trial(trial.index)
+                    .time
+                    .map(f64::from)
+            })
+            .unwrap();
+        for cell in report.cells() {
+            assert_eq!(cell.trials(), 3, "cell {}", cell.id);
+            assert_eq!(cell.ci().unwrap().half_width(), 0.0);
+        }
+    }
+}

@@ -2,9 +2,13 @@
 //!
 //! Every experiment drives the unified `Simulation` builder; this module
 //! wraps it with the harness' conventions (source 0, one base seed per
-//! table) and a table-friendly summary type.
+//! table) and a table-friendly summary type. Grid-driven experiments
+//! additionally share one [`budget`] — the single place `--quick` trial
+//! scaling lives — and the [`flood_trial`] glue between the sweep
+//! scheduler and the engine.
 
 use dynagraph::engine::{Simulation, SimulationReport};
+use dynagraph::sweep::{CellReport, CiTarget, Trial, TrialBudget};
 use dynagraph::EvolvingGraph;
 
 /// Measured spreading statistics for one configuration.
@@ -55,11 +59,54 @@ where
     Measured::from(&report)
 }
 
-/// Scales a count down in `--quick` mode.
+/// Scales a count down in `--quick` mode — the single quick-mode knob
+/// (trial caps, sample counts, probe counts all route through here
+/// instead of growing per-experiment `if quick` arms).
 pub fn scaled(full: usize, quick: bool) -> usize {
     if quick {
         (full / 4).max(3)
     } else {
         full
+    }
+}
+
+/// The harness-wide adaptive trial budget for Grid-driven experiments:
+/// every cell runs at least `scaled(8)` trials, stops as soon as the
+/// Student-t 95% CI half-width is within 5% of its mean, and caps at
+/// `scaled(48)` — so `--quick` scales sweeps through the same helper as
+/// everything else.
+pub fn budget(quick: bool) -> TrialBudget {
+    TrialBudget::adaptive(
+        scaled(8, quick),
+        scaled(48, quick),
+        CiTarget::Relative(0.05),
+    )
+}
+
+/// One engine flooding trial on behalf of the sweep scheduler: hands the
+/// sweep's per-cell seed to the builder and runs exactly the scheduled
+/// trial index, so adaptive sweeps are byte-compatible with the engine's
+/// own batch loop. Returns the flooding time (`None` = censored).
+pub fn flood_trial<G, F>(make: F, max_rounds: u32, warm_up: usize, trial: Trial) -> Option<f64>
+where
+    G: EvolvingGraph,
+    F: Fn(u64) -> G,
+{
+    Simulation::builder()
+        .model(make)
+        .max_rounds(max_rounds)
+        .warm_up(warm_up)
+        .base_seed(trial.cell_seed)
+        .run_trial(trial.index)
+        .time
+        .map(f64::from)
+}
+
+/// Formats a sweep cell's 95% CI as `±h` for table cells (`-` when
+/// fewer than two trials completed).
+pub fn fmt_ci(cell: &CellReport) -> String {
+    match cell.ci() {
+        Some(ci) => format!("±{:.1}", ci.half_width()),
+        None => "-".to_string(),
     }
 }

@@ -1,33 +1,83 @@
 //! T1 — Lemmas 13–14: the two-phase structure of flooding.
 //!
-//! On a sparse stationary edge-MEG we stream the growth curve `|I_t|`
-//! through the engine's `PhaseObserver` and extract (i) the doubling
-//! rounds of the spreading phase — Lemma 13 predicts bounded gaps between
-//! consecutive doublings while `|I_t| <= n/2` — and (ii) the saturation
-//! tail — Lemma 14 predicts it is shorter than the whole spreading phase
-//! by a `log n` factor.
+//! Two views of the same regime (sparse stationary edge-MEG):
+//!
+//! 1. a `Grid` sweep of the flooding time `F` over `n` — the adaptive
+//!    scheduler decides per cell how many trials a tight mean needs, so
+//!    the table carries honest 95% CIs instead of a hard-coded count;
+//! 2. the per-round growth curve `|I_t|` streamed through the engine's
+//!    `PhaseObserver` at the headline `n`, extracting (i) the doubling
+//!    rounds of the spreading phase — Lemma 13 predicts bounded gaps
+//!    between consecutive doublings while `|I_t| <= n/2` — and (ii) the
+//!    saturation tail — Lemma 14 predicts it is shorter than the whole
+//!    spreading phase by a `log n` factor.
 
 use dg_edge_meg::SparseTwoStateEdgeMeg;
 use dg_stats::Summary;
 use dynagraph::engine::{PhaseObserver, Simulation};
+use dynagraph::sweep::{Axis, Grid, Sweep};
 
-use crate::common::scaled;
-use crate::table::{fmt, Table};
+use crate::common::{budget, flood_trial, fmt_ci, scaled};
+use crate::table::{fmt, fmt_opt, Table};
+
+const Q: f64 = 0.2;
 
 pub fn run(quick: bool) {
-    let n = if quick { 300 } else { 1000 };
-    let p = 1.5 / n as f64;
-    let q = 0.2;
-    let trials = scaled(20, quick);
-    println!("model: stationary edge-MEG, n={n}, p=1.5/n={p:.5}, q={q}");
+    let ns: Vec<usize> = if quick {
+        vec![150, 300]
+    } else {
+        vec![250, 500, 1000]
+    };
+    let n_head = *ns.last().unwrap();
+    println!("model: stationary edge-MEG, p=1.5/n, q={Q} (stationary density alpha = p/(p+q))");
+
+    // View 1: flooding time vs n, one Grid instead of a hand loop.
+    let grid = Grid::new().axis(Axis::ints("n", ns));
+    let report = Sweep::over(grid)
+        .budget(budget(quick))
+        .base_seed(0x71)
+        .run(|cell, trial| {
+            let n = cell.usize("n");
+            let p = 1.5 / n as f64;
+            flood_trial(
+                move |seed| SparseTwoStateEdgeMeg::stationary(n, p, Q, seed).unwrap(),
+                200_000,
+                0,
+                trial,
+            )
+        })
+        .unwrap();
+    let mut table = Table::new(vec![
+        "n",
+        "mean F",
+        "95% CI",
+        "p95 F",
+        "trials",
+        "incomplete",
+    ]);
+    for cell in report.cells() {
+        table.row(vec![
+            report.axis_usize(cell, "n").to_string(),
+            fmt_opt(cell.mean()),
+            fmt_ci(cell),
+            fmt_opt(cell.p95()),
+            cell.trials().to_string(),
+            cell.incomplete().to_string(),
+        ]);
+    }
+    table.print();
     println!(
-        "alpha = p/(p+q) = {:.5} (avg degree ~ {:.2})",
-        p / (p + q),
-        (n - 1) as f64 * p / (p + q)
+        "(adaptive budget: {} of {} possible trials ran; cells stop at a 5% relative CI)",
+        report.total_trials(),
+        report.cells().len() * report.budget().max_trials
     );
 
+    // View 2: phase structure at the headline n.
+    let n = n_head;
+    let p = 1.5 / n as f64;
+    let trials = scaled(20, quick);
     let (report, observers) = Simulation::builder()
-        .model(|seed| SparseTwoStateEdgeMeg::stationary(n, p, q, seed).unwrap())
+        .model(|seed| SparseTwoStateEdgeMeg::stationary(n, p, Q, seed).unwrap())
         .trials(trials)
         .max_rounds(200_000)
         .base_seed(0x71)
@@ -55,6 +105,7 @@ pub fn run(quick: bool) {
         );
     }
 
+    println!("\nphase structure at n={n}:");
     let mut table = Table::new(vec!["phase metric", "mean", "min", "max"]);
     table.row(vec![
         "flooding time F".to_string(),

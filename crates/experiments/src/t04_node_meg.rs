@@ -84,7 +84,7 @@ pub fn run(quick: bool) {
         99,
     )
     .unwrap();
-    let rounds = if quick { 5_000 } else { 20_000 };
+    let rounds = scaled(20_000, quick);
     let probes: &[(u32, u32)] = &[(0, 1), (2, 5), (6, 7)];
     let mut hits = vec![0u32; probes.len()];
     for _ in 0..rounds {

@@ -1,4 +1,5 @@
-//! T5 — §4.1: the waypoint positional density and its (δ, λ) constants.
+//! T5 — §4.1: the waypoint positional density, its (δ, λ) constants,
+//! and flooding across the density spectrum.
 //!
 //! The stationary positional distribution of the random waypoint is
 //! biased toward the center ("far from uniform", §1). We estimate it,
@@ -6,15 +7,23 @@
 //! product-form density in TV distance, and extract the empirical (δ, λ)
 //! constants that Corollary 4 consumes. The bouncing random-direction
 //! model serves as the near-uniform contrast.
+//!
+//! A `Grid` sweep then walks the *node density* spectrum — fixed `n`,
+//! growing box side `L` — and measures flooding time with adaptive trial
+//! budgets: dense cells are near-deterministic and stop at the trial
+//! minimum, while the sparse disconnected regime is noisy and earns its
+//! trials (this grid is also the `benches/t15_sweep` workload).
 
-use dg_mobility::{positional, waypoint_density, RandomDirection, RandomWaypoint};
+use dg_mobility::{positional, waypoint_density, GeometricMeg, RandomDirection, RandomWaypoint};
+use dynagraph::sweep::{Axis, Grid, Sweep};
 
-use crate::table::{fmt, Table};
+use crate::common::{budget, flood_trial, fmt_ci, scaled};
+use crate::table::{fmt, fmt_opt, Table};
 
 pub fn run(quick: bool) {
     let side = 16.0;
     let cells = 8;
-    let samples = if quick { 60_000 } else { 400_000 };
+    let samples = scaled(400_000, quick);
     let warm = 2_000;
     let r = 1.0;
 
@@ -66,4 +75,68 @@ pub fn run(quick: bool) {
         "shape check: waypoint is far from uniform (TV {:.3}) but close to Bettstetter Fwp (TV {:.3});\n  its (delta, lambda) are absolute constants — exactly the Corollary 4 premise;\n  the bounce model is near uniform (TV {:.3}), so its delta is smaller",
         tv_uniform, tv_analytic, tv_rd_uniform
     );
+
+    // The density grid: flooding time as the box dilutes a fixed swarm.
+    let (n, report) = density_sweep(quick);
+    println!(
+        "\nflooding across the density spectrum: waypoint MANET, n={n}, r={r}, v=1, L sweeps n/L²"
+    );
+    let mut t2 = Table::new(vec![
+        "L",
+        "density n/L^2",
+        "mean F",
+        "95% CI",
+        "p95 F",
+        "trials",
+        "incomplete",
+    ]);
+    for cell in report.cells() {
+        let l = report.axis_value(cell, "L");
+        t2.row(vec![
+            fmt(l),
+            fmt(n as f64 / (l * l)),
+            fmt_opt(cell.mean()),
+            fmt_ci(cell),
+            fmt_opt(cell.p95()),
+            cell.trials().to_string(),
+            cell.incomplete().to_string(),
+        ]);
+    }
+    t2.print();
+    println!(
+        "(adaptive budget spent {} trials; dense cells stop at the minimum, the sparse tail earns its trials)",
+        report.total_trials()
+    );
+}
+
+/// The t05 density grid: flooding time of a fixed waypoint swarm as the
+/// box side `L` grows (density `n/L²` falls). Shared with
+/// `benches/t15_sweep`, which records the trial savings of the adaptive
+/// budget on exactly this workload.
+pub fn density_sweep(quick: bool) -> (usize, dynagraph::sweep::SweepReport) {
+    let n = if quick { 36 } else { 64 };
+    let r = 1.0;
+    let sides: Vec<f64> = if quick {
+        vec![5.0, 8.0]
+    } else {
+        vec![5.0, 7.0, 9.0, 11.0, 13.0]
+    };
+    let report = Sweep::over(Grid::new().axis(Axis::explicit("L", sides)))
+        .budget(budget(quick))
+        .base_seed(0x78)
+        .run(|cell, trial| {
+            let l = cell.get("L");
+            let warm = (8.0 * l) as usize;
+            flood_trial(
+                move |seed| {
+                    GeometricMeg::new(RandomWaypoint::new(l, 1.0, 1.0).unwrap(), n, r, seed)
+                        .unwrap()
+                },
+                200_000,
+                warm,
+                trial,
+            )
+        })
+        .unwrap();
+    (n, report)
 }

@@ -8,12 +8,13 @@
 use dg_mobility::{positional, RandomWaypoint};
 use dg_stats::LinearFit;
 
+use crate::common::scaled;
 use crate::table::{fmt, Table};
 
 pub fn run(quick: bool) {
     let cells = 4;
-    let replicas = if quick { 2_000 } else { 8_000 };
-    let samples = if quick { 80_000 } else { 300_000 };
+    let replicas = scaled(8_000, quick);
+    let samples = scaled(300_000, quick);
     let eps = 0.05;
 
     println!("series 1: L sweep at v = 1 (expect T_pos-mix ~ L)");

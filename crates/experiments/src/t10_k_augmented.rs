@@ -26,7 +26,7 @@ pub fn run(quick: bool) {
     );
 
     let ks: &[usize] = if quick { &[1, 2, 3] } else { &[1, 2, 3, 4] };
-    let meet_trials = if quick { 60 } else { 200 };
+    let meet_trials = scaled(200, quick);
     let mut table = Table::new(vec![
         "k",
         "Tmix(exact)",

@@ -17,7 +17,7 @@ use crate::table::{fmt, Table};
 
 pub fn run(quick: bool) {
     let trials = scaled(16, quick);
-    let obs = if quick { 150 } else { 600 };
+    let obs = scaled(600, quick);
 
     let mut table = Table::new(vec![
         "model",

@@ -4,100 +4,122 @@
 //! neighbours" to flooding on a virtual dynamic graph with edges removed.
 //! We compare plain flooding, γ-thinned flooding (each edge transmits
 //! independently with probability γ), and the push-k protocol on the same
-//! underlying processes — all through the same `Simulation` builder,
-//! varying only the protocol/model axis.
+//! underlying processes — each protocol family is one `Grid` axis, and
+//! the adaptive scheduler decides per cell how many trials a tight mean
+//! needs (slow sparse protocols are noisy and get more).
 
 use dg_edge_meg::TwoStateEdgeMeg;
 use dg_mobility::{GeometricMeg, RandomWaypoint};
 use dynagraph::engine::{PushGossip, Simulation};
+use dynagraph::sweep::{Axis, Cell, Grid, Sweep, SweepReport, Trial};
 use dynagraph::{EvolvingGraph, ThinnedEvolvingGraph};
 
-use crate::common::scaled;
-use crate::table::{fmt, Table};
+use crate::common::{budget, flood_trial, fmt_ci};
+use crate::table::{fmt, fmt_opt, Table};
 
-fn thinned_mean<G: EvolvingGraph, F: Fn(u64) -> G + Sync>(
+/// γ-thinned flooding over a substrate: one cell per γ.
+fn thinned_sweep<G: EvolvingGraph, F: Fn(u64) -> G + Sync + Copy>(
     make: F,
-    gamma: f64,
-    trials: usize,
+    quick: bool,
     warm: usize,
     base: u64,
-) -> f64 {
-    Simulation::builder()
-        .model(move |seed| ThinnedEvolvingGraph::new(make(seed), gamma, seed).unwrap())
-        .trials(trials)
-        .max_rounds(500_000)
-        .warm_up(warm)
+) -> SweepReport {
+    Sweep::over(Grid::new().axis(Axis::explicit("gamma", [1.0, 0.5, 0.25])))
+        .budget(budget(quick))
         .base_seed(base)
-        .run()
-        .mean()
+        .run(|cell: &Cell, trial: Trial| {
+            let gamma = cell.get("gamma");
+            flood_trial(
+                move |seed| ThinnedEvolvingGraph::new(make(seed), gamma, seed).unwrap(),
+                500_000,
+                warm,
+                trial,
+            )
+        })
+        .unwrap()
 }
 
-fn push_mean<G: EvolvingGraph, F: Fn(u64) -> G + Sync>(
+/// Push-k gossip over a substrate: one cell per fanout.
+fn push_sweep<G: EvolvingGraph, F: Fn(u64) -> G + Sync + Copy>(
     make: F,
-    fanout: usize,
-    trials: usize,
+    fanouts: Vec<usize>,
+    quick: bool,
     warm: usize,
     base: u64,
-) -> f64 {
-    Simulation::builder()
-        .model(make)
-        .protocol(PushGossip::new(fanout))
-        .trials(trials)
-        .max_rounds(500_000)
-        .warm_up(warm)
+) -> SweepReport {
+    Sweep::over(Grid::new().axis(Axis::ints("fanout", fanouts)))
+        .budget(budget(quick))
         .base_seed(base)
-        .run()
-        .mean()
+        .run(|cell: &Cell, trial: Trial| {
+            let fanout = cell.usize("fanout");
+            Simulation::builder()
+                .model(make)
+                .protocol(PushGossip::new(fanout))
+                .max_rounds(500_000)
+                .warm_up(warm)
+                .base_seed(trial.cell_seed)
+                .run_trial(trial.index)
+                .time
+                .map(f64::from)
+        })
+        .unwrap()
+}
+
+/// Prints both protocol families against the γ = 1 flooding baseline.
+fn print_tables(thinned: &SweepReport, push: &SweepReport) {
+    let flood_mean = thinned.cell(0).mean().unwrap_or(f64::NAN);
+    let mut table = Table::new(vec![
+        "protocol",
+        "mean rounds",
+        "95% CI",
+        "trials",
+        "vs flooding",
+    ]);
+    for cell in thinned.cells() {
+        let gamma = thinned.axis_value(cell, "gamma");
+        table.row(vec![
+            format!("thinned gamma={gamma}"),
+            fmt_opt(cell.mean()),
+            fmt_ci(cell),
+            cell.trials().to_string(),
+            fmt(cell.mean().unwrap_or(f64::NAN) / flood_mean),
+        ]);
+    }
+    for cell in push.cells() {
+        let k = push.axis_usize(cell, "fanout");
+        table.row(vec![
+            format!("push-{k}"),
+            fmt_opt(cell.mean()),
+            fmt_ci(cell),
+            cell.trials().to_string(),
+            fmt(cell.mean().unwrap_or(f64::NAN) / flood_mean),
+        ]);
+    }
+    table.print();
 }
 
 pub fn run(quick: bool) {
-    let trials = scaled(16, quick);
-
     // Substrate 1: moderately dense edge-MEG.
     let n = if quick { 64 } else { 128 };
     let (p, q) = (0.05, 0.2);
     println!("substrate 1: edge-MEG(n={n}, p={p}, q={q})");
-    let make_meg = |seed: u64| TwoStateEdgeMeg::stationary(n, p, q, seed).unwrap();
-    let mut table = Table::new(vec!["protocol", "mean rounds", "vs flooding"]);
-    let flood_f = thinned_mean(make_meg, 1.0, trials, 0, 0x96);
-    for &gamma in &[1.0, 0.5, 0.25] {
-        let f = thinned_mean(make_meg, gamma, trials, 0, 0x96);
-        table.row(vec![
-            format!("thinned gamma={gamma}"),
-            fmt(f),
-            fmt(f / flood_f),
-        ]);
-    }
-    for &k in &[1usize, 2, 4] {
-        let f = push_mean(make_meg, k, trials, 0, 0x97);
-        table.row(vec![format!("push-{k}"), fmt(f), fmt(f / flood_f)]);
-    }
-    table.print();
+    let make_meg = move |seed: u64| TwoStateEdgeMeg::stationary(n, p, q, seed).unwrap();
+    let thinned = thinned_sweep(make_meg, quick, 0, 0x96);
+    let push = push_sweep(make_meg, vec![1, 2, 4], quick, 0, 0x97);
+    print_tables(&thinned, &push);
 
     // Substrate 2: random waypoint MANET.
     let n2 = if quick { 36 } else { 64 };
     let side = (n2 as f64).sqrt() * 1.2;
     let r = 1.5;
     println!("\nsubstrate 2: waypoint MANET (n={n2}, L={side:.1}, r={r})");
-    let make_wp = |seed: u64| {
+    let make_wp = move |seed: u64| {
         GeometricMeg::new(RandomWaypoint::new(side, 1.0, 1.0).unwrap(), n2, r, seed).unwrap()
     };
     let warm = (8.0 * side) as usize;
-    let mut t2 = Table::new(vec!["protocol", "mean rounds", "vs flooding"]);
-    let flood2 = thinned_mean(make_wp, 1.0, trials, warm, 0x98);
-    for &gamma in &[1.0, 0.5, 0.25] {
-        let f = thinned_mean(make_wp, gamma, trials, warm, 0x98);
-        t2.row(vec![
-            format!("thinned gamma={gamma}"),
-            fmt(f),
-            fmt(f / flood2),
-        ]);
-    }
-    for &k in &[1usize, 2] {
-        let f = push_mean(make_wp, k, trials, warm, 0x99);
-        t2.row(vec![format!("push-{k}"), fmt(f), fmt(f / flood2)]);
-    }
-    t2.print();
+    let thinned2 = thinned_sweep(make_wp, quick, warm, 0x98);
+    let push2 = push_sweep(make_wp, vec![1, 2], quick, warm, 0x99);
+    print_tables(&thinned2, &push2);
     println!(
         "shape check: gamma = 1 reproduces flooding exactly; smaller gamma / fanout slow the spread \
          by a bounded factor (the virtual graph is a MEG with alpha scaled by gamma, Thm 1 still applies)"

@@ -96,7 +96,7 @@ pub fn run(quick: bool) {
     println!("\n3) random trip over a disk (Corollary 4's general region R)");
     let disk = Disk::new(16.0);
     let wp = RegionWaypoint::new(disk, 1.0, 1.0).expect("valid");
-    let samples = if quick { 60_000 } else { 300_000 };
+    let samples = scaled(300_000, quick);
     let occ = positional::stationary_occupancy(&wp, 8, 2_000, samples, 0xA3);
     let dl = estimate_delta_lambda_in_region(&occ, &disk, 1.0);
     println!(

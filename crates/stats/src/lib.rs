@@ -13,7 +13,9 @@
 //! * [`LinearFit`] — least-squares fits, including log–log fits that extract
 //!   empirical scaling exponents (e.g. the `√n` flooding of the sparse
 //!   random-waypoint regime);
-//! * [`mean_ci95`] — normal-approximation confidence intervals.
+//! * [`mean_ci95`] / [`mean_ci95_t`] — normal-approximation and
+//!   Student-t confidence intervals (the latter drives the sequential
+//!   stopping rule of `dynagraph::sweep`).
 //!
 //! # Examples
 //!
@@ -38,7 +40,7 @@ mod quantiles;
 mod regression;
 mod summary;
 
-pub use ci::{mean_ci95, ConfidenceInterval};
+pub use ci::{mean_ci95, mean_ci95_t, student_t_975, ConfidenceInterval};
 pub use histogram::{Grid2d, Histogram};
 pub use quantiles::Quantiles;
 pub use regression::{log_log_fit, LinearFit};

@@ -1,0 +1,321 @@
+//! Parameter-space declarations: [`Axis`], [`Grid`], and the [`Cell`]s
+//! handed to trial functions.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// One named dimension of a parameter grid.
+///
+/// An axis is a finite, ordered list of `f64` values; integer-valued
+/// parameters (node counts, fanouts) are stored exactly as integral
+/// floats and read back through [`Cell::usize`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Axis {
+    name: String,
+    values: Vec<f64>,
+}
+
+impl Axis {
+    fn validated(name: impl Into<String>, values: Vec<f64>) -> Self {
+        let name = name.into();
+        assert!(!name.is_empty(), "axis name must be non-empty");
+        assert!(!values.is_empty(), "axis {name:?} has no values");
+        assert!(
+            values.iter().all(|v| v.is_finite()),
+            "axis {name:?} has a non-finite value"
+        );
+        Axis { name, values }
+    }
+
+    /// `steps` evenly spaced values from `lo` to `hi` inclusive
+    /// (`steps == 1` yields just `lo`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps == 0` or an endpoint is non-finite.
+    pub fn linear(name: impl Into<String>, lo: f64, hi: f64, steps: usize) -> Self {
+        assert!(steps > 0, "linear axis needs at least one step");
+        let mut values = Vec::with_capacity(steps);
+        if steps == 1 {
+            values.push(lo);
+        } else {
+            for i in 0..steps {
+                values.push(lo + (hi - lo) * i as f64 / (steps - 1) as f64);
+            }
+            values[steps - 1] = hi;
+        }
+        Axis::validated(name, values)
+    }
+
+    /// `steps` geometrically spaced values from `lo` to `hi` inclusive —
+    /// the natural spacing for densities `p` and churn rates `q` whose
+    /// interesting regimes span orders of magnitude.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps == 0` or an endpoint is not strictly positive.
+    pub fn log(name: impl Into<String>, lo: f64, hi: f64, steps: usize) -> Self {
+        assert!(steps > 0, "log axis needs at least one step");
+        assert!(
+            lo > 0.0 && hi > 0.0,
+            "log axis endpoints must be strictly positive"
+        );
+        let mut values = Vec::with_capacity(steps);
+        if steps == 1 {
+            values.push(lo);
+        } else {
+            let ratio = (hi / lo).powf(1.0 / (steps - 1) as f64);
+            let mut v = lo;
+            for _ in 0..steps {
+                values.push(v);
+                v *= ratio;
+            }
+            values[steps - 1] = hi;
+        }
+        Axis::validated(name, values)
+    }
+
+    /// An explicit list of values, in sweep order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list is empty or contains a non-finite value.
+    pub fn explicit(name: impl Into<String>, values: impl IntoIterator<Item = f64>) -> Self {
+        Axis::validated(name, values.into_iter().collect())
+    }
+
+    /// An explicit list of integer values (stored as exact floats; read
+    /// back via [`Cell::usize`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list is empty.
+    pub fn ints(name: impl Into<String>, values: impl IntoIterator<Item = usize>) -> Self {
+        Axis::validated(name, values.into_iter().map(|v| v as f64).collect())
+    }
+
+    /// The axis name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The axis values, in sweep order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+/// A declared parameter space: the Cartesian product of its axes.
+///
+/// Cells are enumerated row-major with the **last** axis varying
+/// fastest, and every cell gets a stable integer id in that order — the
+/// id (not scheduling order) drives per-cell seed derivation, so reports
+/// are byte-identical however the sweep is executed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Grid {
+    axes: Vec<Axis>,
+}
+
+impl Grid {
+    /// An empty grid (a single cell with no parameters, until axes are
+    /// added).
+    pub fn new() -> Self {
+        Grid::default()
+    }
+
+    /// Adds an axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an axis with the same name was already added.
+    pub fn axis(mut self, axis: Axis) -> Self {
+        assert!(
+            self.axes.iter().all(|a| a.name() != axis.name()),
+            "duplicate axis {:?}",
+            axis.name()
+        );
+        self.axes.push(axis);
+        self
+    }
+
+    /// The declared axes, in declaration order.
+    pub fn axes(&self) -> &[Axis] {
+        &self.axes
+    }
+
+    /// Number of cells (product of axis lengths; 1 for an empty grid).
+    pub fn cell_count(&self) -> usize {
+        self.axes.iter().map(|a| a.values().len()).product()
+    }
+
+    /// The cell with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= cell_count()`.
+    pub fn cell(&self, id: usize) -> Cell {
+        assert!(id < self.cell_count(), "cell id {id} out of range");
+        let names: Arc<Vec<String>> =
+            Arc::new(self.axes.iter().map(|a| a.name().to_string()).collect());
+        self.cell_with_names(id, names)
+    }
+
+    fn cell_with_names(&self, id: usize, names: Arc<Vec<String>>) -> Cell {
+        let mut values = Vec::with_capacity(self.axes.len());
+        let mut rest = id;
+        for axis in self.axes.iter().rev() {
+            let len = axis.values().len();
+            values.push(axis.values()[rest % len]);
+            rest /= len;
+        }
+        values.reverse();
+        Cell { id, names, values }
+    }
+
+    /// All cells, ordered by id.
+    pub fn cells(&self) -> Vec<Cell> {
+        let names: Arc<Vec<String>> =
+            Arc::new(self.axes.iter().map(|a| a.name().to_string()).collect());
+        (0..self.cell_count())
+            .map(|id| self.cell_with_names(id, Arc::clone(&names)))
+            .collect()
+    }
+}
+
+/// One point of a [`Grid`]: a stable id plus one value per axis.
+///
+/// Handed to the trial function of a sweep; cheap to clone and safe to
+/// move across worker threads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    id: usize,
+    names: Arc<Vec<String>>,
+    values: Vec<f64>,
+}
+
+impl Cell {
+    /// The cell's stable id (row-major index into the grid, last axis
+    /// fastest). Seed derivation uses this, never the scheduling order.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The cell's axis values, in axis-declaration order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The value of the named axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no axis has that name.
+    pub fn get(&self, name: &str) -> f64 {
+        match self.names.iter().position(|n| n == name) {
+            Some(i) => self.values[i],
+            None => panic!("no axis named {name:?} (axes: {:?})", self.names),
+        }
+    }
+
+    /// The value of the named axis as a `usize`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no axis has that name or the value is not a
+    /// representable non-negative integer.
+    pub fn usize(&self, name: &str) -> usize {
+        let v = self.get(name);
+        assert!(
+            v >= 0.0 && v.fract() == 0.0 && v <= usize::MAX as f64,
+            "axis {name:?} value {v} is not a usize"
+        );
+        v as usize
+    }
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (name, value)) in self.names.iter().zip(&self.values).enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{name}={value}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_hits_endpoints() {
+        let a = Axis::linear("x", 1.0, 3.0, 5);
+        assert_eq!(a.values(), &[1.0, 1.5, 2.0, 2.5, 3.0]);
+        assert_eq!(Axis::linear("x", 2.0, 9.0, 1).values(), &[2.0]);
+    }
+
+    #[test]
+    fn log_is_geometric_and_hits_endpoints() {
+        let a = Axis::log("p", 0.01, 1.0, 3);
+        assert_eq!(a.values().len(), 3);
+        assert_eq!(a.values()[0], 0.01);
+        assert!((a.values()[1] - 0.1).abs() < 1e-12);
+        assert_eq!(a.values()[2], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn log_rejects_zero() {
+        let _ = Axis::log("p", 0.0, 1.0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "no values")]
+    fn explicit_rejects_empty() {
+        let _ = Axis::explicit("q", []);
+    }
+
+    #[test]
+    fn grid_enumerates_row_major_last_axis_fastest() {
+        let grid = Grid::new()
+            .axis(Axis::ints("n", [16, 32]))
+            .axis(Axis::explicit("q", [0.1, 0.2, 0.3]));
+        assert_eq!(grid.cell_count(), 6);
+        let cells = grid.cells();
+        assert_eq!(cells.len(), 6);
+        assert_eq!(cells[0].values(), &[16.0, 0.1]);
+        assert_eq!(cells[1].values(), &[16.0, 0.2]);
+        assert_eq!(cells[3].values(), &[32.0, 0.1]);
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(c.id(), i);
+            assert_eq!(c, &grid.cell(i));
+        }
+        assert_eq!(cells[4].usize("n"), 32);
+        assert_eq!(cells[4].get("q"), 0.2);
+        assert_eq!(cells[4].to_string(), "n=32 q=0.2");
+    }
+
+    #[test]
+    fn empty_grid_has_one_cell() {
+        let grid = Grid::new();
+        assert_eq!(grid.cell_count(), 1);
+        assert_eq!(grid.cells()[0].values(), &[] as &[f64]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate axis")]
+    fn duplicate_axis_rejected() {
+        let _ = Grid::new()
+            .axis(Axis::ints("n", [1]))
+            .axis(Axis::explicit("n", [2.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a usize")]
+    fn fractional_usize_rejected() {
+        let grid = Grid::new().axis(Axis::explicit("q", [0.5]));
+        let _ = grid.cell(0).usize("q");
+    }
+}

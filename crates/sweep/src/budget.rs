@@ -1,0 +1,161 @@
+//! Trial budgets: how many trials a cell gets, and when to stop early.
+
+use dg_stats::{mean_ci95_t, Summary};
+
+/// Target on the 95% Student-t confidence-interval half-width of a
+/// cell's mean, used by the sequential stopping rule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CiTarget {
+    /// Stop once the half-width is at most this many rounds (or whatever
+    /// unit the samples are in).
+    Absolute(f64),
+    /// Stop once the half-width is at most this fraction of the absolute
+    /// sample mean — scale-free, the usual choice for flooding times
+    /// that range from a handful to tens of thousands of rounds.
+    Relative(f64),
+}
+
+/// Per-cell trial budget: a minimum, a cap, and an optional CI target
+/// that lets well-behaved cells stop before the cap.
+///
+/// The stopping decision for a cell is a pure function of its sample
+/// *prefix* in trial order: the final trial count is the smallest
+/// `k >= min_trials` whose first `k` samples meet the target (or the
+/// cap). Samples are pure functions of per-`(cell, trial)` seeds, so the
+/// count — and therefore the whole report — is independent of how trials
+/// were scheduled across threads or resumptions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrialBudget {
+    /// Trials every cell runs before the stopping rule is consulted.
+    pub min_trials: usize,
+    /// Hard per-cell cap (the full budget when no target is set, or when
+    /// a cell's variance never lets the target be met).
+    pub max_trials: usize,
+    /// Early-stopping target; `None` means a fixed budget of exactly
+    /// `max_trials` per cell.
+    pub ci_target: Option<CiTarget>,
+}
+
+impl TrialBudget {
+    /// A fixed budget: exactly `trials` per cell, no early stopping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials == 0`.
+    pub fn fixed(trials: usize) -> Self {
+        assert!(trials > 0, "budget needs at least one trial");
+        TrialBudget {
+            min_trials: trials,
+            max_trials: trials,
+            ci_target: None,
+        }
+    }
+
+    /// An adaptive budget: at least `min_trials`, at most `max_trials`,
+    /// stopping as soon as the Student-t 95% CI half-width over a cell's
+    /// completed samples meets `target`. The CI can only stop a cell
+    /// once at least `min_trials` trials *completed* — censored trials
+    /// spend budget but contribute no stopping evidence, so a mostly
+    /// censored cell keeps running toward the cap instead of "deciding"
+    /// on a handful of lucky survivors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_trials == 0`, `min_trials > max_trials`, or the
+    /// target value is not strictly positive.
+    pub fn adaptive(min_trials: usize, max_trials: usize, target: CiTarget) -> Self {
+        assert!(min_trials > 0, "budget needs at least one trial");
+        assert!(min_trials <= max_trials, "min_trials must be <= max_trials");
+        let v = match target {
+            CiTarget::Absolute(v) | CiTarget::Relative(v) => v,
+        };
+        assert!(v > 0.0, "CI target must be strictly positive");
+        TrialBudget {
+            min_trials,
+            max_trials,
+            ci_target: Some(target),
+        }
+    }
+
+    /// The stopping decision over a *complete* sample prefix: `true` if a
+    /// cell whose first `samples.len()` trials produced exactly `samples`
+    /// (`None` = trial censored/incomplete) should stop there.
+    ///
+    /// This is the pure function behind scheduling determinism; the
+    /// runner calls it for `k = min_trials, min_trials + 1, ...` as
+    /// prefixes complete and fixes the first `k` it accepts.
+    pub fn stop_at(&self, samples: &[Option<f64>]) -> bool {
+        let k = samples.len();
+        if k < self.min_trials {
+            return false;
+        }
+        if k >= self.max_trials {
+            return true;
+        }
+        let Some(target) = self.ci_target else {
+            return false;
+        };
+        let completed: Summary = samples.iter().filter_map(|s| *s).collect();
+        if completed.len() < self.min_trials {
+            // Censored trials count toward the cap but not the evidence:
+            // a CI over the lucky survivors must not stop a cell whose
+            // data is mostly "didn't finish".
+            return false;
+        }
+        let Some(ci) = mean_ci95_t(&completed) else {
+            return false; // fewer than two completed trials: keep going
+        };
+        match target {
+            CiTarget::Absolute(a) => ci.half_width() <= a,
+            CiTarget::Relative(r) => ci.half_width() <= r * ci.mean.abs(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_budget_stops_only_at_cap() {
+        let b = TrialBudget::fixed(4);
+        assert!(!b.stop_at(&[Some(1.0); 3]));
+        assert!(b.stop_at(&[Some(1.0); 4]));
+    }
+
+    #[test]
+    fn adaptive_stops_when_tight() {
+        let b = TrialBudget::adaptive(3, 100, CiTarget::Absolute(0.5));
+        // Zero variance: CI collapses at min_trials.
+        assert!(b.stop_at(&[Some(7.0); 3]));
+        // High variance: keeps going.
+        assert!(!b.stop_at(&[Some(0.0), Some(100.0), Some(50.0)]));
+        // The cap always stops.
+        assert!(b.stop_at(&vec![Some(0.0); 100]));
+    }
+
+    #[test]
+    fn censored_trials_do_not_fake_precision() {
+        let b = TrialBudget::adaptive(3, 100, CiTarget::Relative(0.1));
+        // One completed sample among three: no CI, keep going.
+        assert!(!b.stop_at(&[None, Some(5.0), None]));
+        // Two agreeing survivors would make a zero-width CI, but fewer
+        // than min_trials trials completed: survivorship is not evidence.
+        assert!(!b.stop_at(&[Some(5.0), Some(5.0), None]));
+        // With min_trials completions the same CI does stop the cell.
+        assert!(b.stop_at(&[Some(5.0), Some(5.0), None, Some(5.0)]));
+    }
+
+    #[test]
+    fn min_trials_always_run() {
+        let b = TrialBudget::adaptive(5, 100, CiTarget::Absolute(1e9));
+        assert!(!b.stop_at(&[Some(1.0); 4]));
+        assert!(b.stop_at(&[Some(1.0); 5]));
+    }
+
+    #[test]
+    #[should_panic(expected = "min_trials must be <= max_trials")]
+    fn inverted_budget_rejected() {
+        let _ = TrialBudget::adaptive(5, 4, CiTarget::Absolute(1.0));
+    }
+}

@@ -1,0 +1,587 @@
+//! The machine-readable artifact layer: per-cell summaries plus the raw
+//! sample prefixes that make sweeps resumable.
+
+use std::path::Path;
+
+use dg_stats::{mean_ci95_t, ConfidenceInterval, Quantiles, Summary};
+
+use crate::axis::Axis;
+use crate::budget::{CiTarget, TrialBudget};
+use crate::error::SweepError;
+use crate::json::{self, fmt_f64, push_str_escaped};
+
+/// Format tag written into every artifact.
+const FORMAT: &str = "dg-sweep/1";
+
+/// Results of one cell: the raw sample prefix in trial order (`None` =
+/// the trial was censored, e.g. hit its round cap) plus whether the
+/// stopping rule has fixed this cell's final trial count.
+///
+/// All statistics are derived from `samples` on demand, never stored —
+/// so a report reloaded from JSON is the same value as the report that
+/// wrote it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellReport {
+    /// Stable cell id (row-major grid index).
+    pub id: usize,
+    /// The cell's axis values, in axis-declaration order.
+    pub values: Vec<f64>,
+    /// Sample prefix in trial order; `samples[i]` came from trial `i`.
+    pub samples: Vec<Option<f64>>,
+    /// `true` once the stopping rule fixed this cell's trial count (the
+    /// samples are final); `false` in partial checkpoints.
+    pub decided: bool,
+}
+
+impl CellReport {
+    /// Trials run so far.
+    pub fn trials(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Trials that were censored (returned `None`).
+    pub fn incomplete(&self) -> usize {
+        self.samples.iter().filter(|s| s.is_none()).count()
+    }
+
+    /// The completed sample values, in trial order.
+    pub fn completed(&self) -> Vec<f64> {
+        self.samples.iter().filter_map(|s| *s).collect()
+    }
+
+    /// Streaming summary over completed samples.
+    pub fn summary(&self) -> Summary {
+        self.samples.iter().filter_map(|s| *s).collect()
+    }
+
+    /// Mean over completed samples; `None` if every trial was censored.
+    pub fn mean(&self) -> Option<f64> {
+        let s = self.summary();
+        (!s.is_empty()).then(|| s.mean())
+    }
+
+    /// Empirical 95th percentile over completed samples.
+    pub fn p95(&self) -> Option<f64> {
+        Quantiles::try_new(self.completed()).map(|q| q.p95())
+    }
+
+    /// Largest completed sample.
+    pub fn max(&self) -> Option<f64> {
+        Quantiles::try_new(self.completed()).map(|q| q.max())
+    }
+
+    /// Student-t 95% CI of the mean over completed samples; `None` for
+    /// fewer than two completed trials.
+    pub fn ci(&self) -> Option<ConfidenceInterval> {
+        mean_ci95_t(&self.summary())
+    }
+}
+
+/// A sweep's results: configuration echo + per-cell reports, ordered by
+/// cell id.
+///
+/// Serializes to JSON ([`SweepReport::to_json`], the resumable artifact)
+/// and CSV ([`SweepReport::to_csv`], one row per cell for plotting). The
+/// JSON form reloads with [`SweepReport::from_json`]; because samples
+/// round-trip exactly and all statistics are derived, a killed-and-
+/// resumed sweep serializes to the same bytes as an uninterrupted one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    pub(crate) axes: Vec<Axis>,
+    pub(crate) base_seed: u64,
+    pub(crate) budget: TrialBudget,
+    pub(crate) cells: Vec<CellReport>,
+}
+
+impl SweepReport {
+    /// The grid axes the sweep ran over.
+    pub fn axes(&self) -> &[Axis] {
+        &self.axes
+    }
+
+    /// The sweep's base seed.
+    pub fn base_seed(&self) -> u64 {
+        self.base_seed
+    }
+
+    /// The trial budget the sweep ran under.
+    pub fn budget(&self) -> TrialBudget {
+        self.budget
+    }
+
+    /// Per-cell reports, ordered by cell id.
+    pub fn cells(&self) -> &[CellReport] {
+        &self.cells
+    }
+
+    /// The cell with the given id.
+    pub fn cell(&self, id: usize) -> &CellReport {
+        &self.cells[id]
+    }
+
+    /// The named axis value of `cell` — the report-side counterpart of
+    /// [`crate::Cell::get`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no axis has that name.
+    pub fn axis_value(&self, cell: &CellReport, name: &str) -> f64 {
+        match self.axes.iter().position(|a| a.name() == name) {
+            Some(i) => cell.values[i],
+            None => panic!("no axis named {name:?}"),
+        }
+    }
+
+    /// The named axis value of `cell` as a `usize` — the report-side
+    /// counterpart of [`crate::Cell::usize`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no axis has that name or the value is not a
+    /// representable non-negative integer.
+    pub fn axis_usize(&self, cell: &CellReport, name: &str) -> usize {
+        let v = self.axis_value(cell, name);
+        assert!(
+            v >= 0.0 && v.fract() == 0.0 && v <= usize::MAX as f64,
+            "axis {name:?} value {v} is not a usize"
+        );
+        v as usize
+    }
+
+    /// `true` once every cell's trial count is final.
+    pub fn is_complete(&self) -> bool {
+        self.cells.iter().all(|c| c.decided)
+    }
+
+    /// Total trials recorded across all cells — the work metric the
+    /// adaptive scheduler minimizes.
+    pub fn total_trials(&self) -> usize {
+        self.cells.iter().map(|c| c.trials()).sum()
+    }
+
+    /// Largest CI half-width over cells with a defined CI — "how noisy
+    /// is the worst cell".
+    pub fn max_ci_half_width(&self) -> Option<f64> {
+        self.cells
+            .iter()
+            .filter_map(|c| c.ci())
+            .map(|ci| ci.half_width())
+            .fold(None, |acc, hw| Some(acc.map_or(hw, |a: f64| a.max(hw))))
+    }
+
+    /// Serializes the full resumable artifact (configuration, per-cell
+    /// summaries, raw samples) as JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"format\": \"{FORMAT}\",\n"));
+        out.push_str(&format!("  \"complete\": {},\n", self.is_complete()));
+        out.push_str(&format!("  \"base_seed\": {},\n", self.base_seed));
+        out.push_str(&format!(
+            "  \"fingerprint\": {},\n",
+            fingerprint(&self.axes, self.base_seed, &self.budget)
+        ));
+        out.push_str(&format!(
+            "  \"budget\": {{\"min_trials\": {}, \"max_trials\": {}, \"ci_target\": {}}},\n",
+            self.budget.min_trials,
+            self.budget.max_trials,
+            match self.budget.ci_target {
+                None => "null".to_string(),
+                Some(CiTarget::Absolute(v)) => format!("{{\"absolute\": {}}}", fmt_f64(v)),
+                Some(CiTarget::Relative(v)) => format!("{{\"relative\": {}}}", fmt_f64(v)),
+            }
+        ));
+        out.push_str("  \"axes\": [\n");
+        for (i, axis) in self.axes.iter().enumerate() {
+            out.push_str("    {\"name\": ");
+            push_str_escaped(&mut out, axis.name());
+            out.push_str(", \"values\": [");
+            for (j, v) in axis.values().iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&fmt_f64(*v));
+            }
+            out.push_str(if i + 1 < self.axes.len() {
+                "]},\n"
+            } else {
+                "]}\n"
+            });
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"cells\": [\n");
+        for (i, cell) in self.cells.iter().enumerate() {
+            // One pass over the samples per statistic family (to_json
+            // reruns on every cell decision when checkpointing).
+            let quantiles = Quantiles::try_new(cell.completed());
+            let ci = cell.ci();
+            out.push_str(&format!(
+                "    {{\"id\": {}, \"values\": [{}], \"decided\": {}, \"trials\": {}, \"incomplete\": {}, \"mean\": {}, \"p95\": {}, \"max\": {}, \"ci_lo\": {}, \"ci_hi\": {}, \"ci_half_width\": {}, \"samples\": [{}]}}{}\n",
+                cell.id,
+                cell.values
+                    .iter()
+                    .map(|v| fmt_f64(*v))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                cell.decided,
+                cell.trials(),
+                cell.incomplete(),
+                opt_num(cell.mean()),
+                opt_num(quantiles.as_ref().map(|q| q.p95())),
+                opt_num(quantiles.as_ref().map(|q| q.max())),
+                opt_num(ci.map(|ci| ci.lo)),
+                opt_num(ci.map(|ci| ci.hi)),
+                opt_num(ci.map(|ci| ci.half_width())),
+                cell.samples
+                    .iter()
+                    .map(|s| opt_num(*s))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                if i + 1 < self.cells.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Serializes one CSV row per cell: the axis columns (by name), then
+    /// `trials, incomplete, mean, p95, max, ci_lo, ci_hi,
+    /// ci_half_width`. Undefined statistics are empty fields.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        for axis in &self.axes {
+            out.push_str(axis.name());
+            out.push(',');
+        }
+        out.push_str("trials,incomplete,mean,p95,max,ci_lo,ci_hi,ci_half_width\n");
+        for cell in &self.cells {
+            for v in &cell.values {
+                out.push_str(&fmt_f64(*v));
+                out.push(',');
+            }
+            let quantiles = Quantiles::try_new(cell.completed());
+            let ci = cell.ci();
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{}\n",
+                cell.trials(),
+                cell.incomplete(),
+                opt_csv(cell.mean()),
+                opt_csv(quantiles.as_ref().map(|q| q.p95())),
+                opt_csv(quantiles.as_ref().map(|q| q.max())),
+                opt_csv(ci.map(|c| c.lo)),
+                opt_csv(ci.map(|c| c.hi)),
+                opt_csv(ci.map(|c| c.half_width())),
+            ));
+        }
+        out
+    }
+
+    /// Writes [`SweepReport::to_json`] to `path` (atomically: a `.tmp`
+    /// sibling is written first, then renamed over the target).
+    pub fn write_json(&self, path: impl AsRef<Path>) -> Result<(), SweepError> {
+        write_atomic(path.as_ref(), self.to_json().as_bytes())
+    }
+
+    /// Writes [`SweepReport::to_csv`] to `path` (atomically, like
+    /// [`SweepReport::write_json`]).
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> Result<(), SweepError> {
+        write_atomic(path.as_ref(), self.to_csv().as_bytes())
+    }
+
+    /// Reloads an artifact written by [`SweepReport::to_json`].
+    ///
+    /// Statistics are recomputed from the samples; the embedded
+    /// fingerprint is verified against the reloaded *configuration*
+    /// (axes, seed, budget), so a truncated artifact or one from a
+    /// different sweep is rejected instead of quietly resuming the
+    /// wrong experiment. Sample values themselves are data, not
+    /// configuration — they are validated structurally (finite numbers
+    /// or `null`) but otherwise trusted as written.
+    pub fn from_json(text: &str) -> Result<Self, SweepError> {
+        let doc = json::parse(text)?;
+        let format = doc.get("format")?.as_str()?;
+        if format != FORMAT {
+            return Err(SweepError::Mismatch(format!(
+                "artifact format {format:?}, expected {FORMAT:?}"
+            )));
+        }
+        let base_seed = doc.get("base_seed")?.as_u64()?;
+        let budget_doc = doc.get("budget")?;
+        let target_doc = budget_doc.get("ci_target")?;
+        let ci_target = if target_doc.is_null() {
+            None
+        } else if let Ok(v) = target_doc.get("absolute") {
+            Some(CiTarget::Absolute(v.as_f64()?))
+        } else {
+            Some(CiTarget::Relative(target_doc.get("relative")?.as_f64()?))
+        };
+        let budget = TrialBudget {
+            min_trials: budget_doc.get("min_trials")?.as_usize()?,
+            max_trials: budget_doc.get("max_trials")?.as_usize()?,
+            ci_target,
+        };
+        // Reject malformed values with an Err here — the Axis/serializer
+        // constructors downstream assert on them (a library panic is the
+        // wrong response to a corrupted file).
+        let finite = |v: f64, what: &str| {
+            if v.is_finite() {
+                Ok(v)
+            } else {
+                Err(SweepError::Parse(format!("non-finite {what}: {v}")))
+            }
+        };
+        let mut axes = Vec::new();
+        for axis in doc.get("axes")?.as_arr()? {
+            let name = axis.get("name")?.as_str()?.to_string();
+            if name.is_empty() {
+                return Err(SweepError::Parse("empty axis name".into()));
+            }
+            let mut values = Vec::new();
+            for v in axis.get("values")?.as_arr()? {
+                values.push(finite(v.as_f64()?, "axis value")?);
+            }
+            if values.is_empty() {
+                return Err(SweepError::Parse(format!("axis {name:?} has no values")));
+            }
+            axes.push(Axis::explicit(name, values));
+        }
+        let mut cells = Vec::new();
+        for (i, cell) in doc.get("cells")?.as_arr()?.iter().enumerate() {
+            let id = cell.get("id")?.as_usize()?;
+            if id != i {
+                return Err(SweepError::Parse(format!(
+                    "cell {i} has out-of-order id {id}"
+                )));
+            }
+            let mut values = Vec::new();
+            for v in cell.get("values")?.as_arr()? {
+                values.push(finite(v.as_f64()?, "cell value")?);
+            }
+            let mut samples = Vec::new();
+            for s in cell.get("samples")?.as_arr()? {
+                samples.push(if s.is_null() {
+                    None
+                } else {
+                    Some(finite(s.as_f64()?, "sample")?)
+                });
+            }
+            cells.push(CellReport {
+                id,
+                values,
+                samples,
+                decided: cell.get("decided")?.as_bool()?,
+            });
+        }
+        let report = SweepReport {
+            axes,
+            base_seed,
+            budget,
+            cells,
+        };
+        let expected = doc.get("fingerprint")?.as_u64()?;
+        let actual = fingerprint(&report.axes, report.base_seed, &report.budget);
+        if expected != actual {
+            return Err(SweepError::Mismatch(format!(
+                "artifact fingerprint {expected} != recomputed {actual}"
+            )));
+        }
+        Ok(report)
+    }
+}
+
+fn opt_num(x: Option<f64>) -> String {
+    match x {
+        Some(v) => fmt_f64(v),
+        None => "null".to_string(),
+    }
+}
+
+fn opt_csv(x: Option<f64>) -> String {
+    match x {
+        Some(v) => fmt_f64(v),
+        None => String::new(),
+    }
+}
+
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), SweepError> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// FNV-1a fingerprint over a sweep's identity: axes (names and exact
+/// value bits), base seed, and budget. Two sweeps share a fingerprint
+/// exactly when their per-`(cell, trial)` seed streams and stopping
+/// rules coincide — the precondition for resuming from an artifact.
+pub(crate) fn fingerprint(axes: &[Axis], base_seed: u64, budget: &TrialBudget) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01B3);
+        }
+    };
+    eat(FORMAT.as_bytes());
+    for axis in axes {
+        eat(axis.name().as_bytes());
+        eat(&[0]);
+        for v in axis.values() {
+            eat(&v.to_bits().to_le_bytes());
+        }
+        eat(&[1]);
+    }
+    eat(&base_seed.to_le_bytes());
+    eat(&(budget.min_trials as u64).to_le_bytes());
+    eat(&(budget.max_trials as u64).to_le_bytes());
+    match budget.ci_target {
+        None => eat(&[0]),
+        Some(CiTarget::Absolute(v)) => {
+            eat(&[1]);
+            eat(&v.to_bits().to_le_bytes());
+        }
+        Some(CiTarget::Relative(v)) => {
+            eat(&[2]);
+            eat(&v.to_bits().to_le_bytes());
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> SweepReport {
+        SweepReport {
+            axes: vec![Axis::ints("n", [16, 32]), Axis::explicit("q", [0.1, 0.25])],
+            base_seed: u64::MAX - 17,
+            budget: TrialBudget::adaptive(3, 9, CiTarget::Relative(0.05)),
+            cells: vec![
+                CellReport {
+                    id: 0,
+                    values: vec![16.0, 0.1],
+                    samples: vec![Some(4.0), Some(6.0), Some(5.0)],
+                    decided: true,
+                },
+                CellReport {
+                    id: 1,
+                    values: vec![16.0, 0.25],
+                    samples: vec![Some(7.0), None, Some(9.0)],
+                    decided: true,
+                },
+                CellReport {
+                    id: 2,
+                    values: vec![32.0, 0.1],
+                    samples: vec![Some(1.0 / 3.0)],
+                    decided: false,
+                },
+                CellReport {
+                    id: 3,
+                    values: vec![32.0, 0.25],
+                    samples: vec![],
+                    decided: false,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn derived_statistics() {
+        let r = sample_report();
+        let c = r.cell(0);
+        assert_eq!(c.trials(), 3);
+        assert_eq!(c.incomplete(), 0);
+        assert_eq!(c.mean(), Some(5.0));
+        assert_eq!(c.max(), Some(6.0));
+        assert!(c.ci().is_some());
+        let censored = r.cell(1);
+        assert_eq!(censored.incomplete(), 1);
+        assert_eq!(censored.mean(), Some(8.0));
+        let empty = r.cell(3);
+        assert_eq!(empty.mean(), None);
+        assert_eq!(empty.p95(), None);
+        assert!(empty.ci().is_none());
+        assert!(!r.is_complete());
+        assert_eq!(r.total_trials(), 7);
+    }
+
+    #[test]
+    fn json_round_trip_is_byte_identical() {
+        let r = sample_report();
+        let json = r.to_json();
+        let reloaded = SweepReport::from_json(&json).unwrap();
+        assert_eq!(reloaded, r);
+        assert_eq!(reloaded.to_json(), json);
+    }
+
+    #[test]
+    fn csv_has_one_row_per_cell() {
+        let r = sample_report();
+        let csv = r.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + r.cells().len());
+        assert!(lines[0].starts_with("n,q,trials,incomplete,mean"));
+        assert!(lines[1].starts_with("16,0.1,3,0,5,"));
+        // Undefined stats serialize as empty fields, not NaN.
+        assert!(lines[4].contains(",,"));
+        assert!(!csv.contains("NaN"));
+    }
+
+    #[test]
+    fn tampered_artifact_rejected() {
+        let r = sample_report();
+        let json = r.to_json();
+        let tampered = json.replace("\"base_seed\": 18446744073709551598", "\"base_seed\": 7");
+        assert_ne!(json, tampered);
+        assert!(matches!(
+            SweepReport::from_json(&tampered),
+            Err(SweepError::Mismatch(_))
+        ));
+        assert!(matches!(
+            SweepReport::from_json("{\"format\": \"other/9\"}"),
+            Err(SweepError::Mismatch(_))
+        ));
+        assert!(SweepReport::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn corrupted_artifacts_error_instead_of_panicking() {
+        let json = sample_report().to_json();
+        // An emptied axis would trip Axis::validated's assert; the
+        // loader must surface Parse instead.
+        let empty_axis = json.replace("\"values\": [16, 32]", "\"values\": []");
+        assert!(matches!(
+            SweepReport::from_json(&empty_axis),
+            Err(SweepError::Parse(_))
+        ));
+        // An overflowing token parses to infinity on its own (Rust f64
+        // saturates); as a sample it must be rejected up front, not
+        // panic the next serialization.
+        let inf_sample = json.replace("\"samples\": [4, 6, 5]", "\"samples\": [4, 1e999, 5]");
+        assert_ne!(json, inf_sample);
+        assert!(matches!(
+            SweepReport::from_json(&inf_sample),
+            Err(SweepError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn fingerprint_sensitive_to_config() {
+        let r = sample_report();
+        let base = fingerprint(&r.axes, r.base_seed, &r.budget);
+        assert_ne!(base, fingerprint(&r.axes, r.base_seed ^ 1, &r.budget));
+        assert_ne!(base, fingerprint(&r.axes[..1], r.base_seed, &r.budget));
+        let mut other = r.budget;
+        other.max_trials += 1;
+        assert_ne!(base, fingerprint(&r.axes, r.base_seed, &other));
+    }
+
+    #[test]
+    fn max_ci_half_width_spans_cells() {
+        let r = sample_report();
+        let hw = r.max_ci_half_width().unwrap();
+        // Cell 1 (7 and 9, df = 1) is the noisiest: 12.706 * std_err.
+        assert!((hw - 12.706).abs() < 1e-9, "hw = {hw}");
+    }
+}

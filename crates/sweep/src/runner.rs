@@ -1,0 +1,682 @@
+//! The adaptive `(cell × trial)` scheduler.
+//!
+//! One shared work pool flattens every cell's trials together: workers
+//! steal whichever `(cell, trial)` item is runnable next, so small cells
+//! never leave cores idle the way per-cell trial parallelism does. The
+//! price of adaptivity under parallelism is paid by *bounded
+//! speculation*: a cell may run a few trials past the point where the
+//! stopping rule would have cut it off, and those extra samples are
+//! simply discarded — the report only ever contains the deterministic
+//! prefix, so scheduling order can never leak into results.
+
+use std::path::{Path, PathBuf};
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+use crate::axis::{Axis, Cell, Grid};
+use crate::budget::TrialBudget;
+use crate::error::SweepError;
+use crate::mix_seed;
+use crate::report::{fingerprint, CellReport, SweepReport};
+
+/// Identity of one scheduled trial, handed to the trial function.
+///
+/// `seed == mix_seed(cell_seed, index)` and
+/// `cell_seed == mix_seed(base_seed, cell.id())` — the same SplitMix64
+/// derivation as `dynagraph::mix_seed`, so a trial function can hand
+/// `cell_seed` to `SimulationBuilder::base_seed` and `index` to
+/// `SimulationBuilder::run_trial` and the engine derives exactly `seed`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Trial {
+    /// Trial index within the cell (0-based, dense).
+    pub index: usize,
+    /// The cell's derived seed, `mix_seed(base_seed, cell.id())`.
+    pub cell_seed: u64,
+    /// This trial's derived seed, `mix_seed(cell_seed, index)`.
+    pub seed: u64,
+}
+
+/// Builder-driven sweep runner: a [`Grid`] × a trial function, scheduled
+/// adaptively. Construct with [`Sweep::over`].
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    grid: Grid,
+    budget: TrialBudget,
+    base_seed: u64,
+    parallel: bool,
+    threads: Option<usize>,
+    lookahead: usize,
+    run_budget: Option<usize>,
+    checkpoint: Option<PathBuf>,
+}
+
+impl Sweep {
+    /// Starts configuring a sweep over `grid`. Defaults: adaptive budget
+    /// (8–64 trials per cell, 5% relative CI target), base seed
+    /// `0xD15E_A5E1`, parallel execution on all available cores,
+    /// speculation lookahead 2, no run budget, no checkpoint.
+    pub fn over(grid: Grid) -> Sweep {
+        Sweep {
+            grid,
+            budget: TrialBudget::adaptive(8, 64, crate::CiTarget::Relative(0.05)),
+            base_seed: 0xD15E_A5E1,
+            parallel: true,
+            threads: None,
+            lookahead: 2,
+            run_budget: None,
+            checkpoint: None,
+        }
+    }
+
+    /// Sets the per-cell trial budget (see [`TrialBudget`]).
+    pub fn budget(mut self, budget: TrialBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Base seed; cell `c` uses `mix_seed(base_seed, c)` and its trial
+    /// `i` uses `mix_seed(mix_seed(base_seed, c), i)`.
+    pub fn base_seed(mut self, base_seed: u64) -> Self {
+        self.base_seed = base_seed;
+        self
+    }
+
+    /// Enables/disables the worker pool (default enabled; results are
+    /// byte-identical either way).
+    pub fn parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Sets the exact worker count (default: all available cores).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Caps how many trials a cell may run *past* the earliest point the
+    /// stopping rule could cut it off (default 2). Larger values keep
+    /// more workers busy near the end of a cell at the cost of more
+    /// discarded speculative trials; zero serializes each cell's
+    /// stopping decision exactly.
+    pub fn lookahead(mut self, lookahead: usize) -> Self {
+        self.lookahead = lookahead;
+        self
+    }
+
+    /// Stops scheduling new trials after `trials` completions in *this
+    /// run* and returns a partial report (cells keep their complete
+    /// sample prefixes, `decided` only where the rule already fired).
+    /// With a [`Sweep::checkpoint`], this time-boxes a long sweep: rerun
+    /// with the same configuration to continue where it stopped.
+    pub fn run_budget(mut self, trials: usize) -> Self {
+        self.run_budget = Some(trials);
+        self
+    }
+
+    /// Makes the sweep resumable: if `path` holds an artifact written by
+    /// a sweep with this exact configuration (grid, seed, budget), its
+    /// samples are reloaded and only missing trials run; the artifact is
+    /// rewritten (atomically) as cells finish and once more on return.
+    ///
+    /// An artifact from a *different* configuration is an error, not a
+    /// silent restart.
+    pub fn checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint = Some(path.into());
+        self
+    }
+
+    /// Runs the sweep: every cell of the grid gets between
+    /// `budget.min_trials` and `budget.max_trials` trials, stopping
+    /// early per cell once the Student-t 95% CI half-width over its
+    /// completed samples meets the budget's target.
+    ///
+    /// `trial_fn(cell, trial)` must be a pure function of `(cell,
+    /// trial.seed)`; it returns `Some(sample)` (finite) or `None` for a
+    /// censored trial (e.g. a round cap hit). The report is
+    /// byte-identical however the sweep is scheduled — serial, parallel,
+    /// or resumed.
+    ///
+    /// # Errors
+    ///
+    /// Only checkpoint IO/validation can fail; a sweep without
+    /// [`Sweep::checkpoint`] always returns `Ok`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trial_fn` panics or returns a non-finite sample
+    /// (censor with `None` instead — `NaN`/`inf` would silently defeat
+    /// the stopping rule and have no artifact representation).
+    pub fn run<F>(self, trial_fn: F) -> Result<SweepReport, SweepError>
+    where
+        F: Fn(&Cell, Trial) -> Option<f64> + Sync,
+    {
+        let cells = self.grid.cells();
+        let cell_seeds: Vec<u64> = cells
+            .iter()
+            .map(|c| mix_seed(self.base_seed, c.id() as u64))
+            .collect();
+
+        let mut states: Vec<CellState> =
+            cells.iter().map(|_| CellState::new(&self.budget)).collect();
+        if let Some(path) = &self.checkpoint {
+            if path.exists() {
+                let text = std::fs::read_to_string(path)?;
+                let prior = SweepReport::from_json(&text)?;
+                let ours = fingerprint(self.grid.axes(), self.base_seed, &self.budget);
+                let theirs = fingerprint(&prior.axes, prior.base_seed, &prior.budget);
+                if ours != theirs {
+                    return Err(SweepError::Mismatch(format!(
+                        "checkpoint {} belongs to a different sweep (fingerprint {theirs} != {ours})",
+                        path.display()
+                    )));
+                }
+                for (state, cell) in states.iter_mut().zip(prior.cells) {
+                    state.preload(cell.samples, &self.budget);
+                }
+            }
+        }
+
+        let shared = Shared {
+            state: Mutex::new(State {
+                cells: states,
+                cursor: 0,
+                spent: 0,
+                stopped: false,
+                aborted: false,
+                io_error: None,
+            }),
+            cond: Condvar::new(),
+            checkpoint_io: Mutex::new(()),
+            cells: &cells,
+            cell_seeds: &cell_seeds,
+            budget: self.budget,
+            lookahead: self.lookahead,
+            run_budget: self.run_budget,
+            checkpoint: self.checkpoint.as_deref(),
+            axes: self.grid.axes(),
+            base_seed: self.base_seed,
+        };
+
+        let workers = self.worker_count(cells.len());
+        if workers <= 1 {
+            worker(&shared, &trial_fn);
+        } else {
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| worker(&shared, &trial_fn));
+                }
+            });
+        }
+
+        let state = shared.state.into_inner().expect("no worker held the lock");
+        if let Some(e) = state.io_error {
+            return Err(e);
+        }
+        let report = build_report(
+            self.grid.axes(),
+            self.base_seed,
+            &self.budget,
+            &cells,
+            &state.cells,
+        );
+        if let Some(path) = &self.checkpoint {
+            report.write_json(path)?;
+        }
+        Ok(report)
+    }
+
+    fn worker_count(&self, cells: usize) -> usize {
+        if !self.parallel {
+            return 1;
+        }
+        let available = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        let upper = cells.saturating_mul(self.budget.max_trials).max(1);
+        self.threads.unwrap_or(available).min(upper).max(1)
+    }
+}
+
+/// One trial slot: claimed-but-running or recorded.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Slot {
+    Running,
+    Done(Option<f64>),
+}
+
+#[derive(Debug)]
+struct CellState {
+    /// Trials claimed so far (`slots.len() == issued`).
+    issued: usize,
+    slots: Vec<Slot>,
+    /// The contiguous completed prefix, in trial order.
+    samples: Vec<Option<f64>>,
+    /// First prefix length the stopping rule has not yet ruled out.
+    next_check: usize,
+    /// Final trial count, once the rule fires.
+    decided: Option<usize>,
+}
+
+impl CellState {
+    fn new(budget: &TrialBudget) -> Self {
+        CellState {
+            issued: 0,
+            slots: Vec::new(),
+            samples: Vec::new(),
+            next_check: budget.min_trials,
+            decided: None,
+        }
+    }
+
+    /// Adopts a checkpointed sample prefix, re-deriving the stopping
+    /// decision (a pure function of the samples, so this matches what
+    /// the interrupted run had concluded).
+    fn preload(&mut self, samples: Vec<Option<f64>>, budget: &TrialBudget) {
+        self.slots = samples.iter().map(|s| Slot::Done(*s)).collect();
+        self.issued = self.slots.len();
+        self.samples = samples;
+        self.advance(budget);
+    }
+
+    /// Advances the contiguous prefix and the stopping decision.
+    fn advance(&mut self, budget: &TrialBudget) -> bool {
+        while self.samples.len() < self.issued {
+            match self.slots[self.samples.len()] {
+                Slot::Done(s) => self.samples.push(s),
+                Slot::Running => break,
+            }
+        }
+        while self.decided.is_none() && self.next_check <= self.samples.len() {
+            if budget.stop_at(&self.samples[..self.next_check]) {
+                self.decided = Some(self.next_check);
+                // Speculative trials past the decision point are
+                // discarded: the report holds the deterministic prefix.
+                self.samples.truncate(self.next_check);
+                self.slots.truncate(self.next_check);
+                self.issued = self.issued.min(self.next_check);
+                return true;
+            }
+            self.next_check += 1;
+        }
+        false
+    }
+
+    fn claimable(&self, budget: &TrialBudget, lookahead: usize) -> bool {
+        self.decided.is_none()
+            && self.issued
+                < budget
+                    .max_trials
+                    .min(self.next_check.saturating_add(lookahead))
+    }
+}
+
+struct State {
+    cells: Vec<CellState>,
+    /// Rotating scan start, so workers spread across cells instead of
+    /// piling onto cell 0.
+    cursor: usize,
+    /// Trials completed in this run (speculative ones included — they
+    /// consumed work).
+    spent: usize,
+    /// Run budget exhausted: stop claiming, finish in-flight trials.
+    stopped: bool,
+    /// A worker panicked mid-trial: everyone drains out so the panic can
+    /// propagate instead of deadlocking the pool.
+    aborted: bool,
+    io_error: Option<SweepError>,
+}
+
+impl State {
+    fn all_decided(&self) -> bool {
+        self.cells.iter().all(|c| c.decided.is_some())
+    }
+}
+
+struct Shared<'a> {
+    state: Mutex<State>,
+    cond: Condvar,
+    /// Serializes checkpoint writes: snapshotting the state and renaming
+    /// the artifact happen under this lock, so concurrent cell decisions
+    /// can neither interleave on the shared `.tmp` sibling nor rename an
+    /// older snapshot over a newer one.
+    checkpoint_io: Mutex<()>,
+    cells: &'a [Cell],
+    cell_seeds: &'a [u64],
+    budget: TrialBudget,
+    lookahead: usize,
+    run_budget: Option<usize>,
+    checkpoint: Option<&'a Path>,
+    axes: &'a [Axis],
+    base_seed: u64,
+}
+
+fn lock<'a>(shared: &'a Shared<'_>) -> MutexGuard<'a, State> {
+    shared
+        .state
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Sets the abort flag if dropped while armed — i.e. if the trial
+/// function unwinds — so waiting workers drain instead of deadlocking.
+struct AbortOnPanic<'a, 'b> {
+    shared: &'a Shared<'b>,
+    armed: bool,
+}
+
+impl Drop for AbortOnPanic<'_, '_> {
+    fn drop(&mut self) {
+        if self.armed {
+            lock(self.shared).aborted = true;
+            self.shared.cond.notify_all();
+        }
+    }
+}
+
+fn worker<F>(shared: &Shared<'_>, trial_fn: &F)
+where
+    F: Fn(&Cell, Trial) -> Option<f64> + Sync,
+{
+    loop {
+        // Claim the next runnable (cell, trial) item, or exit.
+        let claimed = {
+            let mut st = lock(shared);
+            loop {
+                if st.stopped || st.aborted || st.all_decided() {
+                    break None;
+                }
+                let n = st.cells.len();
+                let start = st.cursor;
+                let mut found = None;
+                for off in 0..n {
+                    let ci = (start + off) % n;
+                    if st.cells[ci].claimable(&shared.budget, shared.lookahead) {
+                        found = Some(ci);
+                        break;
+                    }
+                }
+                match found {
+                    Some(ci) => {
+                        let cell = &mut st.cells[ci];
+                        let ti = cell.issued;
+                        cell.issued += 1;
+                        cell.slots.push(Slot::Running);
+                        st.cursor = (ci + 1) % n;
+                        break Some((ci, ti));
+                    }
+                    None => {
+                        // Everything runnable is in flight; wait for a
+                        // completion to open new work or settle a cell.
+                        st = shared
+                            .cond
+                            .wait(st)
+                            .unwrap_or_else(|poisoned| poisoned.into_inner());
+                    }
+                }
+            }
+        };
+        let Some((ci, ti)) = claimed else { return };
+
+        let cell_seed = shared.cell_seeds[ci];
+        let trial = Trial {
+            index: ti,
+            cell_seed,
+            seed: mix_seed(cell_seed, ti as u64),
+        };
+        let mut guard = AbortOnPanic {
+            shared,
+            armed: true,
+        };
+        let sample = trial_fn(&shared.cells[ci], trial);
+        if let Some(v) = sample {
+            // Reject bad samples here, where the cell and trial are still
+            // known — not rounds later inside artifact serialization.
+            assert!(
+                v.is_finite(),
+                "trial function returned non-finite sample {v} for cell {} trial {ti}",
+                shared.cells[ci]
+            );
+        }
+        guard.armed = false;
+
+        let newly_decided = {
+            let mut st = lock(shared);
+            st.spent += 1;
+            let cell = &mut st.cells[ci];
+            let newly_decided = match cell.decided {
+                // A speculative result past the decision point: discard.
+                Some(d) if ti >= d => false,
+                _ => {
+                    cell.slots[ti] = Slot::Done(sample);
+                    cell.advance(&shared.budget)
+                }
+            };
+            if shared.run_budget.is_some_and(|b| st.spent >= b) {
+                st.stopped = true;
+            }
+            shared.cond.notify_all();
+            newly_decided
+        };
+
+        // Durable progress: rewrite the artifact whenever a cell's
+        // results become final (outside the lock; serialization is pure).
+        if newly_decided && shared.checkpoint.is_some() {
+            write_checkpoint(shared);
+        }
+    }
+}
+
+fn write_checkpoint(shared: &Shared<'_>) {
+    let io_guard = shared
+        .checkpoint_io
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let report = {
+        let st = lock(shared);
+        build_report(
+            shared.axes,
+            shared.base_seed,
+            &shared.budget,
+            shared.cells,
+            &st.cells,
+        )
+    };
+    let path = shared.checkpoint.expect("caller checked");
+    let result = report.write_json(path);
+    drop(io_guard);
+    if let Err(e) = result {
+        let mut st = lock(shared);
+        if st.io_error.is_none() {
+            st.io_error = Some(e);
+        }
+        st.stopped = true;
+        shared.cond.notify_all();
+    }
+}
+
+fn build_report(
+    axes: &[Axis],
+    base_seed: u64,
+    budget: &TrialBudget,
+    cells: &[Cell],
+    states: &[CellState],
+) -> SweepReport {
+    let cells = cells
+        .iter()
+        .zip(states)
+        .map(|(cell, state)| CellReport {
+            id: cell.id(),
+            values: cell.values().to_vec(),
+            samples: state.samples.clone(),
+            decided: state.decided.is_some(),
+        })
+        .collect();
+    SweepReport {
+        axes: axes.to_vec(),
+        base_seed,
+        budget: *budget,
+        cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CiTarget, Grid};
+
+    /// A deterministic noisy "measurement": variance grows with `noise`,
+    /// so adaptive budgets stop low-noise cells earlier.
+    fn synthetic(cell: &Cell, trial: Trial) -> Option<f64> {
+        let noise = cell.get("noise");
+        let jitter = (trial.seed % 1000) as f64 / 1000.0 - 0.5;
+        Some(10.0 + noise * jitter)
+    }
+
+    fn grid() -> Grid {
+        Grid::new().axis(Axis::explicit("noise", [0.0, 1.0, 8.0]))
+    }
+
+    #[test]
+    fn fixed_budget_runs_exactly_max_trials() {
+        let report = Sweep::over(grid())
+            .budget(TrialBudget::fixed(7))
+            .base_seed(11)
+            .run(synthetic)
+            .unwrap();
+        assert!(report.is_complete());
+        for cell in report.cells() {
+            assert_eq!(cell.trials(), 7);
+        }
+    }
+
+    #[test]
+    fn adaptive_budget_spends_where_noise_is() {
+        let report = Sweep::over(grid())
+            .budget(TrialBudget::adaptive(4, 64, CiTarget::Absolute(0.2)))
+            .base_seed(11)
+            .run(synthetic)
+            .unwrap();
+        assert!(report.is_complete());
+        let trials: Vec<usize> = report.cells().iter().map(|c| c.trials()).collect();
+        // Zero noise stops at min_trials; the noisiest cell needs more.
+        assert_eq!(trials[0], 4);
+        assert!(trials[2] > trials[0], "trials = {trials:?}");
+    }
+
+    #[test]
+    fn serial_parallel_and_lookahead_agree_byte_for_byte() {
+        let run = |parallel: bool, threads: usize, lookahead: usize| {
+            Sweep::over(grid())
+                .budget(TrialBudget::adaptive(3, 32, CiTarget::Absolute(0.5)))
+                .base_seed(99)
+                .parallel(parallel)
+                .threads(threads)
+                .lookahead(lookahead)
+                .run(synthetic)
+                .unwrap()
+                .to_json()
+        };
+        let serial = run(false, 1, 0);
+        assert_eq!(serial, run(true, 4, 2));
+        assert_eq!(serial, run(true, 7, 5));
+    }
+
+    #[test]
+    fn run_budget_stops_early_and_resume_completes() {
+        let dir = std::env::temp_dir().join(format!("dg_sweep_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("resume.json");
+        let _ = std::fs::remove_file(&path);
+
+        let config = |s: Sweep| {
+            s.budget(TrialBudget::adaptive(4, 32, CiTarget::Absolute(0.3)))
+                .base_seed(5)
+        };
+        let full = config(Sweep::over(grid())).run(synthetic).unwrap();
+
+        let partial = config(Sweep::over(grid()))
+            .checkpoint(&path)
+            .run_budget(5)
+            // One worker: with a pool, in-flight speculative trials could
+            // outrun the budget and complete the sweep anyway.
+            .threads(1)
+            .run(synthetic)
+            .unwrap();
+        assert!(!partial.is_complete());
+        assert!(partial.total_trials() < full.total_trials());
+
+        let resumed = config(Sweep::over(grid()))
+            .checkpoint(&path)
+            .run(synthetic)
+            .unwrap();
+        assert!(resumed.is_complete());
+        assert_eq!(resumed.to_json(), full.to_json());
+        // The artifact on disk is the final report.
+        let on_disk = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(on_disk, full.to_json());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mismatched_checkpoint_rejected() {
+        let dir = std::env::temp_dir().join(format!("dg_sweep_test_mm_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("other.json");
+        let first = Sweep::over(grid())
+            .base_seed(1)
+            .budget(TrialBudget::fixed(3))
+            .checkpoint(&path)
+            .run(synthetic)
+            .unwrap();
+        assert!(first.is_complete());
+        let err = Sweep::over(grid())
+            .base_seed(2) // different seed stream: resuming would lie
+            .budget(TrialBudget::fixed(3))
+            .checkpoint(&path)
+            .run(synthetic)
+            .unwrap_err();
+        assert!(matches!(err, SweepError::Mismatch(_)));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn censored_trials_reach_the_report() {
+        let grid = Grid::new().axis(Axis::ints("n", [4]));
+        let report = Sweep::over(grid)
+            .budget(TrialBudget::fixed(6))
+            .run(|_, trial| (trial.index % 2 == 0).then_some(3.0))
+            .unwrap();
+        assert_eq!(report.cell(0).trials(), 6);
+        assert_eq!(report.cell(0).incomplete(), 3);
+        assert_eq!(report.cell(0).mean(), Some(3.0));
+    }
+
+    #[test]
+    fn trial_seeds_follow_the_documented_derivation() {
+        let grid = Grid::new().axis(Axis::ints("n", [4, 5]));
+        let report = Sweep::over(grid)
+            .budget(TrialBudget::fixed(2))
+            .base_seed(77)
+            .run(|cell, trial| {
+                assert_eq!(trial.cell_seed, mix_seed(77, cell.id() as u64));
+                assert_eq!(trial.seed, mix_seed(trial.cell_seed, trial.index as u64));
+                Some(0.0)
+            })
+            .unwrap();
+        assert_eq!(report.total_trials(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "a scoped thread panicked")]
+    fn trial_panic_propagates_without_deadlock() {
+        let _ = Sweep::over(grid())
+            .budget(TrialBudget::fixed(4))
+            .threads(3)
+            .run(|_, trial| {
+                if trial.index == 1 {
+                    panic!("boom");
+                }
+                Some(1.0)
+            });
+    }
+}

@@ -9,8 +9,11 @@
 //!
 //! * [`dynagraph`] — the core: dynamic graphs, the unified
 //!   [`dynagraph::engine`] (builder-driven Monte-Carlo over model ×
-//!   protocol × observers, with deterministic parallel trials),
-//!   `(M, α, β)`-stationarity, node-MEGs, the paper's bounds;
+//!   protocol × observers, with deterministic parallel trials), the
+//!   adaptive [`dynagraph::sweep`] orchestration layer (declarative
+//!   parameter grids, per-cell sequential stopping, resumable JSON/CSV
+//!   artifacts), `(M, α, β)`-stationarity, node-MEGs, the paper's
+//!   bounds;
 //! * [`dg_edge_meg`] — link-based models (Appendix A);
 //! * [`dg_mobility`] — geometric + graph mobility models (§4.1);
 //! * [`dg_graph`], [`dg_markov`], [`dg_stats`] — the substrates.
@@ -89,6 +92,18 @@
 //! measured speedup (≈ 20× at `n = 2¹⁴`). Observers that want churn
 //! metrics read `RoundCtx::delta` (e.g. `engine::ChurnObserver`) instead
 //! of forcing snapshot materialization.
+//!
+//! ## Adaptive sweeps
+//!
+//! Phase diagrams go through `dynagraph::sweep`: declare a `Grid` of
+//! parameter axes and one work pool runs all `(cell × trial)` items,
+//! stopping each cell as soon as its Student-t 95% CI half-width meets
+//! a target — trials go where the noise is (`BENCH_sweep.json`: ≈ 40%
+//! fewer trials than a fixed budget at equal worst-cell CI). Reports
+//! serialize to resumable JSON/CSV artifacts that are byte-identical
+//! whether the sweep ran serially, in parallel, or was killed and
+//! resumed. The engine side of the glue is
+//! `SimulationBuilder::run_trial`; the module docs carry the contract.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -133,6 +133,71 @@ fn engine_push_gossip_matches_legacy_push_spread() {
 }
 
 #[test]
+fn push_gossip_reservoir_is_byte_equivalent_on_high_degree_models() {
+    // The fanout-aware virtual shuffle replaces an O(degree) buffer
+    // copy; its RNG stream must be byte-identical, which shows as
+    // identical records (messages included) across the legacy primitive
+    // and both stepping paths. Degrees far above the fanout — dense
+    // edge-MEG and a complete static graph — exercise the sampling
+    // branch every round.
+    let dense_meg = |seed: u64| TwoStateEdgeMeg::stationary(48, 0.6, 0.1, seed).unwrap();
+    for fanout in [1usize, 2, 5] {
+        let run = |stepping| {
+            Simulation::builder()
+                .model(dense_meg)
+                .protocol(PushGossip::new(fanout))
+                .trials(8)
+                .max_rounds(MAX_ROUNDS)
+                .base_seed(BASE_SEED ^ 0x9055)
+                .stepping(stepping)
+                .run()
+        };
+        let snapshot = run(Stepping::Snapshot);
+        assert_eq!(snapshot, run(Stepping::Delta), "fanout {fanout}");
+        for rec in snapshot.records() {
+            let mut g = dense_meg(rec.seed);
+            let legacy = push_spread(&mut g, 0, fanout, MAX_ROUNDS, rec.seed);
+            assert_eq!(rec.time, legacy.flooding_time(), "fanout {fanout}");
+        }
+    }
+    let complete = |_seed: u64| StaticEvolvingGraph::new(generators::complete(64));
+    let report = Simulation::builder()
+        .model(complete)
+        .protocol(PushGossip::new(2))
+        .trials(6)
+        .max_rounds(10_000)
+        .base_seed(BASE_SEED)
+        .run();
+    assert_eq!(report.incomplete(), 0);
+    for rec in report.records() {
+        let mut g = complete(rec.seed);
+        let legacy = push_spread(&mut g, 0, 2, 10_000, rec.seed);
+        assert_eq!(rec.time, legacy.flooding_time());
+    }
+}
+
+#[test]
+fn run_trial_hook_reproduces_batch_trials_on_both_paths() {
+    // The sweep scheduler drives trials one at a time through
+    // `run_trial`; each must equal the corresponding record of a batch
+    // run, on the delta path (native model) and the snapshot path alike.
+    for stepping in [Stepping::Snapshot, Stepping::Delta] {
+        let builder = move || {
+            Simulation::builder()
+                .model(sparse_meg)
+                .protocol(PushGossip::new(2))
+                .max_rounds(MAX_ROUNDS)
+                .base_seed(BASE_SEED ^ 0x7A1)
+                .stepping(stepping)
+        };
+        let batch = builder().trials(5).run();
+        for (i, rec) in batch.records().iter().enumerate() {
+            assert_eq!(&builder().run_trial(i), rec, "{stepping:?} trial {i}");
+        }
+    }
+}
+
+#[test]
 fn engine_parsimonious_matches_legacy_parsimonious_flood() {
     for ttl in [1u32, 3] {
         let report = Simulation::builder()

@@ -292,6 +292,64 @@ proptest! {
     }
 
     #[test]
+    fn sweep_reports_are_scheduling_invariant(
+        base_seed in any::<u64>(),
+        target in 0.05f64..2.0,
+    ) {
+        use dynspread::dynagraph::sweep::{Axis, Cell, CiTarget, Grid, Sweep, Trial, TrialBudget};
+        // A deterministic synthetic measurement with per-cell noise and
+        // occasional censoring: the adaptive scheduler must produce the
+        // same report however its (cell × trial) items are executed —
+        // serially, across a thread pool with speculation, or killed
+        // mid-run and resumed from the checkpoint artifact.
+        let trial_fn = |cell: &Cell, trial: Trial| {
+            if trial.seed.is_multiple_of(19) {
+                return None; // censored trial
+            }
+            let noise = cell.get("noise");
+            Some(40.0 + noise * ((trial.seed % 1009) as f64 / 1009.0 - 0.5))
+        };
+        let grid = || Grid::new().axis(Axis::explicit("noise", [0.0, 3.0, 24.0]));
+        let budget = TrialBudget::adaptive(3, 20, CiTarget::Absolute(target));
+
+        let serial = Sweep::over(grid())
+            .budget(budget)
+            .base_seed(base_seed)
+            .parallel(false)
+            .run(trial_fn)
+            .unwrap();
+        let parallel = Sweep::over(grid())
+            .budget(budget)
+            .base_seed(base_seed)
+            .threads(4)
+            .lookahead(3)
+            .run(trial_fn)
+            .unwrap();
+        prop_assert_eq!(serial.to_json(), parallel.to_json());
+
+        let path = std::env::temp_dir()
+            .join(format!("dg_props_sweep_{}_{base_seed}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let partial = Sweep::over(grid())
+            .budget(budget)
+            .base_seed(base_seed)
+            .checkpoint(&path)
+            .run_budget(4)
+            .run(trial_fn)
+            .unwrap();
+        prop_assert!(partial.total_trials() <= serial.total_trials());
+        let resumed = Sweep::over(grid())
+            .budget(budget)
+            .base_seed(base_seed)
+            .checkpoint(&path)
+            .run(trial_fn)
+            .unwrap();
+        let _ = std::fs::remove_file(&path);
+        prop_assert!(resumed.is_complete());
+        prop_assert_eq!(resumed.to_json(), serial.to_json());
+    }
+
+    #[test]
     fn flooding_time_weakly_decreasing_in_density(seed in 0u64..200) {
         // More edges cannot slow flooding down (on the same seed the
         // processes differ, so compare means over a few seeds instead).
