@@ -1,0 +1,318 @@
+//! t16 — zero-rebuild trials: what per-worker model reuse, scratch
+//! reuse, the full-emission bulk load, and the lazy sparse-MEG dynamics
+//! buy on setup-dominated Monte-Carlo workloads.
+//!
+//! Three workloads, each run on both trial paths and asserted
+//! byte-identical:
+//!
+//! * **phase-cell sweep** (headline) — flooding time of large
+//!   slow-churn sparse-init edge-MEGs (`n = 2^14`, `p = 1/n`, small
+//!   `q`): the stationary on-set is ~1.6–4M edges while flooding
+//!   completes in ~3 rounds of tiny churn, so per-trial *setup*
+//!   (stationary init + structure building) is nearly the whole trial.
+//!   Compared paths: the pre-PR-shaped stateless path
+//!   (`Sweep::run` + `run_trial`, fresh model + buffers every trial)
+//!   vs the zero-rebuild path (`run_with_state` + per-worker model
+//!   cache + `TrialScratch`).
+//! * **t05 density grid** — the waypoint-MANET density sweep at bench
+//!   scale (the `benches/t15_sweep` workload). Honest contrast: its
+//!   trials are *round*-dominated (mobility stepping), so zero-rebuild
+//!   is within noise of fresh construction here — recorded to show
+//!   where the optimization does and does not pay.
+//! * **engine batch, exact-scan MEG** — `reuse_models(true)` vs
+//!   `(false)` on the `O(n²)`-allocation exact-scan construction
+//!   (32 MB occupancy + event calendar per trial when fresh).
+//!
+//! Emits machine-readable `BENCH_trial_reuse.json` at the repository
+//! root (in quick mode: `BENCH_trial_reuse_quick.json` in the working
+//! directory, for the CI artifact upload).
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+use dg_edge_meg::SparseTwoStateEdgeMeg;
+use dg_mobility::{GeometricMeg, RandomWaypoint};
+use dynagraph::engine::{Simulation, TrialScratch};
+use dynagraph::sweep::{Axis, Cell, Grid, Sweep, SweepReport, Trial, TrialBudget};
+use dynagraph::EvolvingGraph;
+
+/// Per-worker reuse state (the `dg-experiments` `FloodWorker` pattern):
+/// one cached model per cell plus one scratch shared across cells.
+struct Worker<G> {
+    models: HashMap<usize, Option<G>>,
+    scratch: TrialScratch,
+}
+
+impl<G> Worker<G> {
+    fn new() -> Self {
+        Worker {
+            models: HashMap::new(),
+            scratch: TrialScratch::new(),
+        }
+    }
+}
+
+/// One flooding trial through the stateless engine hook — the pre-PR
+/// shape: a fresh model and fresh buffers every trial.
+fn flood_trial_fresh<G: EvolvingGraph, F: Fn(u64) -> G>(
+    make: F,
+    warm: usize,
+    trial: Trial,
+) -> Option<f64> {
+    Simulation::builder()
+        .model(make)
+        .max_rounds(100_000)
+        .warm_up(warm)
+        .base_seed(trial.cell_seed)
+        .run_trial(trial.index)
+        .time
+        .map(f64::from)
+}
+
+/// Times `sweep()` and returns (report, seconds).
+fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64())
+}
+
+struct Measurement {
+    fresh_ms_per_trial: f64,
+    reuse_ms_per_trial: f64,
+    trials: usize,
+}
+
+impl Measurement {
+    fn speedup(&self) -> f64 {
+        self.fresh_ms_per_trial / self.reuse_ms_per_trial
+    }
+}
+
+/// Runs a grid workload on both paths, asserts byte-identity, returns
+/// per-trial times (best of `reps` to damp scheduler noise).
+fn measure_sweep<G, F>(
+    grid: fn() -> Grid,
+    make: F,
+    warm: fn(&Cell) -> usize,
+    budget: usize,
+    reps: usize,
+) -> Measurement
+where
+    G: EvolvingGraph,
+    F: Fn(&Cell, u64) -> G + Sync + Copy,
+{
+    let run_fresh = |seed: u64| {
+        Sweep::over(grid())
+            .budget(TrialBudget::fixed(budget))
+            .base_seed(seed)
+            .parallel(false)
+            .run(|cell, trial| flood_trial_fresh(|s| make(cell, s), warm(cell), trial))
+            .unwrap()
+    };
+    let run_reused = |seed: u64| {
+        Sweep::over(grid())
+            .budget(TrialBudget::fixed(budget))
+            .base_seed(seed)
+            .parallel(false)
+            .run_with_state(Worker::new, |cell, trial, worker| {
+                let warm = warm(cell);
+                let builder = Simulation::builder()
+                    .model(|s| make(cell, s))
+                    .max_rounds(100_000)
+                    .warm_up(warm)
+                    .base_seed(trial.cell_seed);
+                let slot = worker.models.entry(cell.id()).or_default();
+                builder
+                    .run_trial_with(trial.index, slot, &mut worker.scratch)
+                    .time
+                    .map(f64::from)
+            })
+            .unwrap()
+    };
+    let mut fresh_best = f64::INFINITY;
+    let mut reuse_best = f64::INFINITY;
+    let mut trials = 0;
+    for rep in 0..reps {
+        let seed = 0x7160 + rep as u64;
+        let (fresh, t_fresh): (SweepReport, f64) = timed(|| run_fresh(seed));
+        let (reused, t_reuse) = timed(|| run_reused(seed));
+        assert_eq!(
+            fresh.to_json(),
+            reused.to_json(),
+            "zero-rebuild must be byte-identical to the fresh path"
+        );
+        trials = fresh.total_trials();
+        fresh_best = fresh_best.min(t_fresh * 1e3 / trials as f64);
+        reuse_best = reuse_best.min(t_reuse * 1e3 / trials as f64);
+    }
+    Measurement {
+        fresh_ms_per_trial: fresh_best,
+        reuse_ms_per_trial: reuse_best,
+        trials,
+    }
+}
+
+/// Commit-time baselines: the same three workloads, same machine, run
+/// against the parent commit (stateless `run_trial` path; before the
+/// full-emission bulk load, the lazy sparse-MEG dynamics and the
+/// occupancy `PairMap`, which speed up *both* of today's paths). Kept
+/// as constants so the committed `BENCH_trial_reuse.json` can state the
+/// end-to-end effect of the PR; on other machines they are indicative
+/// only.
+const PRE_PR_PHASE_CELL_MS: f64 = 859.7;
+const PRE_PR_T05_MS: f64 = 0.5817;
+const PRE_PR_EXACT_SCAN_MS: f64 = 337.9;
+
+fn main() {
+    let quick = dg_bench::quick_mode();
+    let reps = if quick { 1 } else { 3 };
+
+    // 1. Headline: slow-churn phase cells — setup is the trial.
+    let n1 = if quick { 1024 } else { 16384 };
+    let w1_qs = if quick {
+        "[0.02, 0.01]"
+    } else {
+        "[0.005, 0.002]"
+    };
+    let w1_grid = if quick {
+        || Grid::new().axis(Axis::explicit("q", vec![0.02, 0.01]))
+    } else {
+        || Grid::new().axis(Axis::explicit("q", vec![0.005, 0.002]))
+    };
+    let w1 = measure_sweep(
+        w1_grid,
+        move |cell: &Cell, seed| {
+            SparseTwoStateEdgeMeg::stationary_sparse_init(n1, 1.0 / n1 as f64, cell.get("q"), seed)
+                .unwrap()
+        },
+        |_| 0,
+        if quick { 3 } else { 6 },
+        reps,
+    );
+    println!(
+        "phase-cell sweep  n={n1:>5}: fresh {:>8.1} ms/trial   zero-rebuild {:>8.1} ms/trial   {:.2}x ({} trials)",
+        w1.fresh_ms_per_trial, w1.reuse_ms_per_trial, w1.speedup(), w1.trials
+    );
+
+    // 2. The t05 density grid (round-dominated; honesty check).
+    let n2 = if quick { 24 } else { 48 };
+    let w2_grid = if quick {
+        || Grid::new().axis(Axis::explicit("L", vec![4.0, 6.5]))
+    } else {
+        || Grid::new().axis(Axis::explicit("L", vec![4.5, 6.0, 7.5, 9.0, 10.5]))
+    };
+    let w2 = measure_sweep(
+        w2_grid,
+        move |cell: &Cell, seed| {
+            GeometricMeg::new(
+                RandomWaypoint::new(cell.get("L"), 1.0, 1.0).unwrap(),
+                n2,
+                1.0,
+                seed,
+            )
+            .unwrap()
+        },
+        |cell| (8.0 * cell.get("L")) as usize,
+        if quick { 4 } else { 24 },
+        reps,
+    );
+    println!(
+        "t05 density grid  n={n2:>5}: fresh {:>8.3} ms/trial   zero-rebuild {:>8.3} ms/trial   {:.2}x ({} trials)",
+        w2.fresh_ms_per_trial, w2.reuse_ms_per_trial, w2.speedup(), w2.trials
+    );
+
+    // 3. Engine batch over the exact-scan construction (32 MB of
+    // occupancy + calendar per fresh trial at full scale).
+    let n3 = if quick { 512 } else { 4096 };
+    let (w3_fresh, w3_reuse, w3_trials) = {
+        let trials = if quick { 4 } else { 10 };
+        let build = move |rep: u64| {
+            Simulation::builder()
+                .model(move |seed| {
+                    SparseTwoStateEdgeMeg::stationary(n3, 1.0 / n3 as f64, 0.2, seed).unwrap()
+                })
+                .trials(trials)
+                .max_rounds(200_000)
+                .parallel(false)
+                .base_seed(0x7170 + rep)
+        };
+        let mut fresh_best = f64::INFINITY;
+        let mut reuse_best = f64::INFINITY;
+        for rep in 0..reps as u64 {
+            let (fresh, t_fresh) = timed(|| build(rep).reuse_models(false).run());
+            let (reused, t_reuse) = timed(|| build(rep).run());
+            assert_eq!(fresh, reused, "model reuse must be byte-identical");
+            fresh_best = fresh_best.min(t_fresh * 1e3 / trials as f64);
+            reuse_best = reuse_best.min(t_reuse * 1e3 / trials as f64);
+        }
+        (fresh_best, reuse_best, trials)
+    };
+    println!(
+        "exact-scan batch  n={n3:>5}: fresh {:>8.1} ms/trial   zero-rebuild {:>8.1} ms/trial   {:.2}x ({} trials)",
+        w3_fresh, w3_reuse, w3_fresh / w3_reuse, w3_trials
+    );
+
+    // The zero-rebuild path must never lose to fresh construction on
+    // the setup-dominated workloads (tolerance for timer noise).
+    if !quick {
+        assert!(
+            w1.speedup() > 1.02,
+            "headline workload shows no reuse gain: {:.3}x",
+            w1.speedup()
+        );
+    }
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"t16_trial_reuse\",");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(
+        json,
+        "  \"description\": \"zero-rebuild trials: per-worker model reuse (reset instead of reconstruction) + reusable TrialScratch across the engine and sweep layers, plus the full-emission bulk load and the lazy sparse-MEG dynamics that this PR added to the shared trial path. fresh = stateless pre-PR-shaped path (new model + new buffers every trial); zero_rebuild = cached model reset in place + retained buffers. Reports are asserted byte-identical on every workload.\","
+    );
+    let _ = writeln!(json, "  \"workloads\": {{");
+    let _ = writeln!(
+        json,
+        "    \"phase_cell_sweep\": {{\"model\": \"sparse-init edge-MEG\", \"n\": {n1}, \"p\": \"1/n\", \"q\": {w1_qs}, \"trials\": {}, \"fresh_ms_per_trial\": {:.2}, \"zero_rebuild_ms_per_trial\": {:.2}, \"speedup\": {:.3}}},",
+        w1.trials, w1.fresh_ms_per_trial, w1.reuse_ms_per_trial, w1.speedup()
+    );
+    let _ = writeln!(
+        json,
+        "    \"t05_density_grid\": {{\"model\": \"waypoint-manet\", \"n\": {n2}, \"trials\": {}, \"fresh_ms_per_trial\": {:.4}, \"zero_rebuild_ms_per_trial\": {:.4}, \"speedup\": {:.3}, \"note\": \"round-dominated: mobility stepping, not setup, is the cost here; recorded as the honest negative control\"}},",
+        w2.trials, w2.fresh_ms_per_trial, w2.reuse_ms_per_trial, w2.speedup()
+    );
+    let _ = writeln!(
+        json,
+        "    \"exact_scan_batch\": {{\"model\": \"exact-scan sparse edge-MEG\", \"n\": {n3}, \"trials\": {w3_trials}, \"fresh_ms_per_trial\": {:.2}, \"zero_rebuild_ms_per_trial\": {:.2}, \"speedup\": {:.3}}}",
+        w3_fresh, w3_reuse, w3_fresh / w3_reuse
+    );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(
+        json,
+        "  \"pre_pr_baseline\": {{\"phase_cell_sweep_ms_per_trial\": {PRE_PR_PHASE_CELL_MS}, \"t05_density_grid_ms_per_trial\": {PRE_PR_T05_MS}, \"exact_scan_batch_ms_per_trial\": {PRE_PR_EXACT_SCAN_MS}, \"note\": \"same workloads, same machine, measured at commit time on the parent commit (before the bulk load, the lazy sparse-MEG dynamics and the occupancy PairMap, which speed up both of today's paths); the end-to-end headline below compares against it\"}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"headline\": {{\"phase_cell_end_to_end_vs_pre_pr\": {:.2}, \"t05_end_to_end_vs_pre_pr\": {:.2}, \"exact_scan_end_to_end_vs_pre_pr\": {:.2}, \"reuse_only_byte_identical\": true}}",
+        PRE_PR_PHASE_CELL_MS / w1.reuse_ms_per_trial,
+        PRE_PR_T05_MS / w2.reuse_ms_per_trial,
+        PRE_PR_EXACT_SCAN_MS / w3_reuse,
+    );
+    let _ = writeln!(json, "}}");
+
+    // Quick mode is the CI smoke: write a separate artifact (uploaded
+    // by the workflow) instead of clobbering the committed full-scale
+    // trajectory record.
+    let name = if quick {
+        "../../BENCH_trial_reuse_quick.json"
+    } else {
+        "../../BENCH_trial_reuse.json"
+    };
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join(name);
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}

@@ -105,4 +105,4 @@ pub use protocol::{
     Flooding, ParsimoniousFlooding, Protocol, ProtocolStatus, PushGossip, SpreadView, Transmissions,
 };
 pub use report::{SimulationReport, TrialRecord};
-pub use simulation::{NoModel, Simulation, SimulationBuilder, Stepping};
+pub use simulation::{NoModel, Simulation, SimulationBuilder, Stepping, TrialScratch};

@@ -10,9 +10,9 @@ use crate::{mix_seed, Snapshot};
 ///
 /// `informed_list` enumerates `I_t` in the order nodes became informed
 /// (sources first); `informed_at[v]` is the round node `v` was informed
-/// (`Some(0)` for sources, `None` if not yet informed). Protocols that
-/// iterate `informed_list` and draw randomness in that order are
-/// trial-deterministic by construction.
+/// (`0` for sources, [`SpreadView::UNINFORMED`] if not yet informed).
+/// Protocols that iterate `informed_list` and draw randomness in that
+/// order are trial-deterministic by construction.
 #[derive(Debug)]
 pub struct SpreadView<'a> {
     /// Rounds completed before (during [`Protocol::transmit`]) or
@@ -20,10 +20,34 @@ pub struct SpreadView<'a> {
     pub round: u32,
     /// Number of nodes `n`.
     pub node_count: usize,
-    /// Per-node informed round; `None` = still uninformed.
-    pub informed_at: &'a [Option<u32>],
+    /// Per-node informed round; [`SpreadView::UNINFORMED`] = still
+    /// uninformed. The flat `u32` (instead of `Option<u32>`) halves the
+    /// array and keeps the hot inner loops branchless: `informed_at[v] <
+    /// round` and `informed_at[v] != UNINFORMED` are plain integer
+    /// compares.
+    pub informed_at: &'a [u32],
     /// `I_t` in information order.
     pub informed_list: &'a [u32],
+}
+
+impl SpreadView<'_> {
+    /// Sentinel informed-round of a node that has not been informed.
+    /// Rounds are bounded by the trial's `max_rounds`, so `u32::MAX` can
+    /// never be a genuine informed round.
+    pub const UNINFORMED: u32 = u32::MAX;
+
+    /// `true` iff `v` is a member of `I_t`.
+    #[inline]
+    pub fn is_informed(&self, v: u32) -> bool {
+        self.informed_at[v as usize] != Self::UNINFORMED
+    }
+
+    /// The round `v` became informed; `None` if still uninformed.
+    #[inline]
+    pub fn informed_round(&self, v: u32) -> Option<u32> {
+        let at = self.informed_at[v as usize];
+        (at != Self::UNINFORMED).then_some(at)
+    }
 }
 
 /// Sink collecting one round's transmissions.
@@ -200,21 +224,21 @@ impl Protocol for Flooding {
         view: &SpreadView<'_>,
         out: &mut Transmissions<'_>,
     ) {
-        // Member of I_{t-1}? (The frontier carries informed_at == round.)
-        let informed_before =
-            |x: u32| matches!(view.informed_at[x as usize], Some(r) if r < view.round);
+        // Member of I_{t-1}? The frontier carries informed_at == round,
+        // and UNINFORMED (= u32::MAX) can never be below it.
+        let informed_before = |x: u32| view.informed_at[x as usize] < view.round;
         for &(u, v) in delta.removed() {
             self.informed_degree -= informed_before(u) as u64 + informed_before(v) as u64;
         }
         for &(u, v) in delta.added() {
             self.informed_degree += informed_before(u) as u64 + informed_before(v) as u64;
             // A fresh edge delivers across it if either endpoint is in
-            // I_t; `informed_at` is still None for nodes first reached
-            // this round, so no same-round chaining.
-            if view.informed_at[u as usize].is_some() {
+            // I_t; `informed_at` is still UNINFORMED for nodes first
+            // reached this round, so no same-round chaining.
+            if view.is_informed(u) {
                 out.inform(v);
             }
-            if view.informed_at[v as usize].is_some() {
+            if view.is_informed(v) {
                 out.inform(u);
             }
         }
@@ -378,8 +402,9 @@ impl ParsimoniousFlooding {
     /// Advances the expired-prefix cursor for the given round.
     fn retire(&mut self, view: &SpreadView<'_>) {
         while let Some(&u) = view.informed_list.get(self.expired) {
-            let at = view.informed_at[u as usize].expect("informed nodes have a round");
-            if at + self.ttl > view.round {
+            let at = view.informed_at[u as usize];
+            debug_assert_ne!(at, SpreadView::UNINFORMED, "listed nodes are informed");
+            if at.saturating_add(self.ttl) > view.round {
                 break;
             }
             self.expired += 1;
@@ -501,10 +526,27 @@ mod tests {
     }
 
     #[test]
+    fn spread_view_sentinel_helpers() {
+        let informed_at = vec![0, SpreadView::UNINFORMED, 3];
+        let informed_list = vec![0u32, 2];
+        let view = SpreadView {
+            round: 3,
+            node_count: 3,
+            informed_at: &informed_at,
+            informed_list: &informed_list,
+        };
+        assert!(view.is_informed(0) && view.is_informed(2));
+        assert!(!view.is_informed(1));
+        assert_eq!(view.informed_round(0), Some(0));
+        assert_eq!(view.informed_round(1), None);
+        assert_eq!(view.informed_round(2), Some(3));
+    }
+
+    #[test]
     fn parsimonious_quiescence() {
         let mut p = ParsimoniousFlooding::new(2);
         p.begin_trial(2, 0);
-        let informed_at = vec![Some(0), None];
+        let informed_at = vec![0, SpreadView::UNINFORMED];
         let informed_list = vec![0u32];
         let view = |round| SpreadView {
             round,

@@ -43,7 +43,7 @@ impl Simulation {
     /// Starts configuring a simulation. Defaults: [`Flooding`] protocol,
     /// 30 trials, `max_rounds = 100_000`, no warm-up, source node 0,
     /// base seed `0xD15E_A5E0`, no observers, parallel execution (when
-    /// the `parallel` feature is on).
+    /// the `parallel` feature is on), per-worker model reuse.
     ///
     /// [`Flooding`]: crate::engine::Flooding
     pub fn builder() -> SimulationBuilder<NoModel, crate::engine::Flooding, fn(usize)> {
@@ -59,7 +59,47 @@ impl Simulation {
             parallel: true,
             threads: None,
             stepping: Stepping::Auto,
+            reuse_models: true,
         }
+    }
+}
+
+/// Reusable per-worker trial state: the spreading buffers and delta-path
+/// structures of one trial, *cleared* — never reallocated — between
+/// trials.
+///
+/// The batch loop ([`SimulationBuilder::run`]) keeps one scratch per
+/// worker thread automatically; external schedulers opt in by holding a
+/// scratch (plus a model slot) and calling
+/// [`SimulationBuilder::run_trial_with`]. Buffers grow to the largest
+/// trial seen and are retained, so steady-state trial setup allocates
+/// nothing; a scratch may be reused across differently-sized models
+/// (each trial re-targets the buffers at its own node count).
+#[derive(Debug, Default)]
+pub struct TrialScratch {
+    informed: Vec<bool>,
+    informed_at: Vec<u32>,
+    informed_list: Vec<u32>,
+    new_nodes: Vec<u32>,
+    adj: DynAdjacency,
+    delta: EdgeDelta,
+}
+
+impl TrialScratch {
+    /// A fresh scratch; buffers grow on first use and are kept.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears the spreading buffers for a trial over `n` nodes.
+    fn prepare(&mut self, n: usize) {
+        self.informed.clear();
+        self.informed.resize(n, false);
+        self.informed_at.clear();
+        self.informed_at.resize(n, SpreadView::UNINFORMED);
+        self.informed_list.clear();
+        self.informed_list.reserve(n);
+        self.new_nodes.clear();
     }
 }
 
@@ -86,11 +126,27 @@ pub struct SimulationBuilder<M, P, F> {
     parallel: bool,
     threads: Option<usize>,
     stepping: Stepping,
+    reuse_models: bool,
 }
 
 impl<M, P, F> SimulationBuilder<M, P, F> {
     /// Sets the model factory: `make(seed)` must build a fresh process
     /// whose randomness is fully determined by `seed`.
+    ///
+    /// # The reuse contract
+    ///
+    /// With model reuse on (the default), each worker calls the factory
+    /// **once** and re-randomizes its instance between trials via
+    /// [`EvolvingGraph::reset`]. This is byte-identical to fresh
+    /// construction exactly when `make(s)` is observably identical to
+    /// `make(s0)` followed by `reset(s)` for any `s0` — true whenever
+    /// the factory routes all of its randomness through the seed
+    /// argument of constructors honoring the [`EvolvingGraph::reset`]
+    /// contract (every model in this workspace does; the cross-crate
+    /// property suites pin it). A factory that derives seed-dependent
+    /// state *outside* that contract — e.g. a wrapper whose inner model
+    /// is seeded with a different derivation than its `reset` uses —
+    /// must opt out with [`SimulationBuilder::reuse_models`]`(false)`.
     pub fn model<G, M2>(self, model: M2) -> SimulationBuilder<M2, P, F>
     where
         G: EvolvingGraph,
@@ -108,6 +164,7 @@ impl<M, P, F> SimulationBuilder<M, P, F> {
             parallel: self.parallel,
             threads: self.threads,
             stepping: self.stepping,
+            reuse_models: self.reuse_models,
         }
     }
 
@@ -125,6 +182,7 @@ impl<M, P, F> SimulationBuilder<M, P, F> {
             parallel: self.parallel,
             threads: self.threads,
             stepping: self.stepping,
+            reuse_models: self.reuse_models,
         }
     }
 
@@ -147,6 +205,7 @@ impl<M, P, F> SimulationBuilder<M, P, F> {
             parallel: self.parallel,
             threads: self.threads,
             stepping: self.stepping,
+            reuse_models: self.reuse_models,
         }
     }
 
@@ -157,7 +216,18 @@ impl<M, P, F> SimulationBuilder<M, P, F> {
     }
 
     /// Per-trial round cap (default 100 000).
+    ///
+    /// # Panics
+    ///
+    /// Panics on `u32::MAX`: round numbers double as informed-round
+    /// values, whose uninformed sentinel is
+    /// [`SpreadView::UNINFORMED`](crate::engine::SpreadView::UNINFORMED)
+    /// (= `u32::MAX`), so the cap must leave it unreachable.
     pub fn max_rounds(mut self, max_rounds: u32) -> Self {
+        assert!(
+            max_rounds < u32::MAX,
+            "max_rounds must be below u32::MAX (the UNINFORMED sentinel)"
+        );
         self.max_rounds = max_rounds;
         self
     }
@@ -213,6 +283,17 @@ impl<M, P, F> SimulationBuilder<M, P, F> {
         self.stepping = stepping;
         self
     }
+
+    /// Enables/disables per-worker model reuse (default enabled): each
+    /// worker constructs its model once and re-randomizes it in place
+    /// via [`EvolvingGraph::reset`] between trials, making trial setup
+    /// allocation-free. Results are byte-identical to fresh
+    /// construction for factories satisfying the reuse contract (see
+    /// [`SimulationBuilder::model`]); disable for factories that don't.
+    pub fn reuse_models(mut self, reuse_models: bool) -> Self {
+        self.reuse_models = reuse_models;
+        self
+    }
 }
 
 impl<M, G, P, F, O> SimulationBuilder<M, P, F>
@@ -240,14 +321,55 @@ where
     /// Panics if the source set is invalid for the model's node count.
     pub fn run_trial(&self, trial: usize) -> TrialRecord {
         assert!(!self.sources.is_empty(), "need at least one source");
-        self.run_single(trial).0
+        self.run_single(trial, &mut None, &mut TrialScratch::new())
+            .0
     }
 
-    /// The shared per-trial body of [`SimulationBuilder::run_trial`] and
-    /// the (possibly parallel) batch loop.
-    fn run_single(&self, trial: usize) -> (TrialRecord, O, usize) {
+    /// [`SimulationBuilder::run_trial`] with caller-held reuse state —
+    /// the zero-rebuild hook for external schedulers.
+    ///
+    /// `model` is a per-configuration model slot: on the first call it
+    /// is filled via the factory; afterwards the cached instance is
+    /// re-randomized in place with [`EvolvingGraph::reset`] (unless
+    /// [`SimulationBuilder::reuse_models`] is off, in which case every
+    /// call constructs fresh into the slot). `scratch` holds the trial's
+    /// spreading buffers and may be shared across *different*
+    /// configurations (it re-targets itself per trial); the model slot
+    /// must not be. Under the reuse contract (see
+    /// [`SimulationBuilder::model`]) the record is byte-identical to
+    /// [`SimulationBuilder::run_trial`]'s — pinned by the engine tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source set is invalid for the model's node count.
+    pub fn run_trial_with(
+        &self,
+        trial: usize,
+        model: &mut Option<G>,
+        scratch: &mut TrialScratch,
+    ) -> TrialRecord {
+        assert!(!self.sources.is_empty(), "need at least one source");
+        self.run_single(trial, model, scratch).0
+    }
+
+    /// The shared per-trial body of [`SimulationBuilder::run_trial`],
+    /// [`SimulationBuilder::run_trial_with`] and the (possibly parallel)
+    /// batch loop: fill or re-randomize the worker's model, then execute
+    /// one trial over the reusable scratch.
+    fn run_single(
+        &self,
+        trial: usize,
+        model: &mut Option<G>,
+        scratch: &mut TrialScratch,
+    ) -> (TrialRecord, O, usize) {
         let seed = mix_seed(self.base_seed, trial as u64);
-        let mut g = (self.model)(seed);
+        let g = match model {
+            Some(g) if self.reuse_models => {
+                g.reset(seed);
+                g
+            }
+            slot => slot.insert((self.model)(seed)),
+        };
         if self.warm_up > 0 {
             g.warm_up(self.warm_up);
         }
@@ -261,23 +383,25 @@ where
         };
         let record = if use_delta {
             execute_trial_delta(
-                &mut g,
+                g,
                 &mut protocol,
                 &mut observer,
                 trial,
                 seed,
                 &self.sources,
                 self.max_rounds,
+                scratch,
             )
         } else {
             execute_trial(
-                &mut g,
+                g,
                 &mut protocol,
                 &mut observer,
                 trial,
                 seed,
                 &self.sources,
                 self.max_rounds,
+                scratch,
             )
         };
         (record, observer, n)
@@ -310,33 +434,35 @@ where
         let mut slots: Vec<Option<(TrialRecord, O, usize)>> = Vec::with_capacity(trials);
         slots.resize_with(trials, || None);
 
-        let run_one = |trial: usize| -> (TrialRecord, O, usize) { self.run_single(trial) };
+        // One worker = one model + one scratch: the model is constructed
+        // on the worker's first trial and re-randomized in place for the
+        // rest (see the reuse contract on `SimulationBuilder::model`), so
+        // per-trial setup allocates nothing after the first trial.
+        let run_worker = |chunk: &mut [Option<(TrialRecord, O, usize)>], start: usize| {
+            let mut model: Option<G> = None;
+            let mut scratch = TrialScratch::new();
+            for (offset, slot) in chunk.iter_mut().enumerate() {
+                *slot = Some(self.run_single(start + offset, &mut model, &mut scratch));
+            }
+        };
 
         let threads = self.worker_count();
         if threads <= 1 {
-            for (trial, slot) in slots.iter_mut().enumerate() {
-                *slot = Some(run_one(trial));
-            }
+            run_worker(&mut slots, 0);
         } else {
             #[cfg(feature = "parallel")]
             {
                 let chunk_size = trials.div_ceil(threads).max(1);
-                let run_one = &run_one;
+                let run_worker = &run_worker;
                 std::thread::scope(|scope| {
                     for (chunk_idx, chunk) in slots.chunks_mut(chunk_size).enumerate() {
-                        scope.spawn(move || {
-                            for (offset, slot) in chunk.iter_mut().enumerate() {
-                                *slot = Some(run_one(chunk_idx * chunk_size + offset));
-                            }
-                        });
+                        scope.spawn(move || run_worker(chunk, chunk_idx * chunk_size));
                     }
                 });
             }
             #[cfg(not(feature = "parallel"))]
             {
-                for (trial, slot) in slots.iter_mut().enumerate() {
-                    *slot = Some(run_one(trial));
-                }
+                run_worker(&mut slots, 0);
             }
         }
 
@@ -368,6 +494,9 @@ where
 
 /// Executes one trial: seeds, sources, the synchronous round loop,
 /// quiescence, and the observer callbacks. Shared by every protocol.
+/// All per-trial state lives in `scratch` — cleared here, allocated
+/// (at most) once per worker.
+#[allow(clippy::too_many_arguments)] // internal twin of execute_trial_delta
 fn execute_trial<G, P, O>(
     g: &mut G,
     protocol: &mut P,
@@ -376,6 +505,7 @@ fn execute_trial<G, P, O>(
     seed: u64,
     sources: &[u32],
     max_rounds: u32,
+    scratch: &mut TrialScratch,
 ) -> TrialRecord
 where
     G: EvolvingGraph + ?Sized,
@@ -383,14 +513,19 @@ where
     O: Observer + ?Sized,
 {
     let n = g.node_count();
-    let mut informed = vec![false; n];
-    let mut informed_at: Vec<Option<u32>> = vec![None; n];
-    let mut informed_list: Vec<u32> = Vec::with_capacity(n);
+    scratch.prepare(n);
+    let TrialScratch {
+        informed,
+        informed_at,
+        informed_list,
+        new_nodes,
+        ..
+    } = scratch;
     for &s in sources {
         assert!((s as usize) < n, "source {s} out of range");
         assert!(!informed[s as usize], "duplicate source {s}");
         informed[s as usize] = true;
-        informed_at[s as usize] = Some(0);
+        informed_at[s as usize] = 0;
         informed_list.push(s);
     }
     observer.on_trial_start(trial, n, sources);
@@ -398,7 +533,6 @@ where
 
     let mut completed = (informed_list.len() == n).then_some(0u32);
     let mut messages_total = 0u64;
-    let mut new_nodes: Vec<u32> = Vec::new();
     let mut t = 0u32;
     let mut status = ProtocolStatus::Active;
     while completed.is_none() && t < max_rounds && status == ProtocolStatus::Active {
@@ -408,18 +542,18 @@ where
             let view = SpreadView {
                 round: t,
                 node_count: n,
-                informed_at: &informed_at,
-                informed_list: &informed_list,
+                informed_at,
+                informed_list,
             };
-            let mut out = Transmissions::new(&mut informed, &mut new_nodes);
+            let mut out = Transmissions::new(informed, new_nodes);
             protocol.transmit(snap, &view, &mut out);
             out.messages()
         };
         t += 1;
-        for &v in &new_nodes {
-            informed_at[v as usize] = Some(t);
+        for &v in new_nodes.iter() {
+            informed_at[v as usize] = t;
         }
-        informed_list.extend_from_slice(&new_nodes);
+        informed_list.extend_from_slice(new_nodes);
         messages_total += round_messages;
         if informed_list.len() == n {
             completed = Some(t);
@@ -428,7 +562,7 @@ where
             round: t,
             snapshot: Some(snap),
             delta: None,
-            newly_informed: &new_nodes,
+            newly_informed: new_nodes,
             informed_count: informed_list.len(),
             messages: round_messages,
         });
@@ -436,8 +570,8 @@ where
             let view = SpreadView {
                 round: t,
                 node_count: n,
-                informed_at: &informed_at,
-                informed_list: &informed_list,
+                informed_at,
+                informed_list,
             };
             status = protocol.end_round(&view);
         }
@@ -463,7 +597,10 @@ where
 /// churn-proportional end to end.
 ///
 /// Produces [`TrialRecord`]s identical to [`execute_trial`]'s for the
-/// built-in protocols (pinned by the integration suite).
+/// built-in protocols (pinned by the integration suite). The incremental
+/// adjacency and the delta buffer live in `scratch` too: re-targeted per
+/// trial, their allocations survive across trials.
+#[allow(clippy::too_many_arguments)] // internal twin of execute_trial
 fn execute_trial_delta<G, P, O>(
     g: &mut G,
     protocol: &mut P,
@@ -472,6 +609,7 @@ fn execute_trial_delta<G, P, O>(
     seed: u64,
     sources: &[u32],
     max_rounds: u32,
+    scratch: &mut TrialScratch,
 ) -> TrialRecord
 where
     G: EvolvingGraph + ?Sized,
@@ -479,51 +617,59 @@ where
     O: Observer + ?Sized,
 {
     let n = g.node_count();
-    let mut informed = vec![false; n];
-    let mut informed_at: Vec<Option<u32>> = vec![None; n];
-    let mut informed_list: Vec<u32> = Vec::with_capacity(n);
+    scratch.prepare(n);
+    let TrialScratch {
+        informed,
+        informed_at,
+        informed_list,
+        new_nodes,
+        adj,
+        delta,
+    } = scratch;
     for &s in sources {
         assert!((s as usize) < n, "source {s} out of range");
         assert!(!informed[s as usize], "duplicate source {s}");
         informed[s as usize] = true;
-        informed_at[s as usize] = Some(0);
+        informed_at[s as usize] = 0;
         informed_list.push(s);
     }
     observer.on_trial_start(trial, n, sources);
     protocol.begin_trial(n, seed);
     let needs_snapshots = observer.needs_snapshots();
 
-    let mut adj = DynAdjacency::new(n);
-    let mut delta = EdgeDelta::new();
+    adj.reset(n);
+    // `clear` (not `begin_round`) also forgets the default-path diffing
+    // baseline of a previous trial's model, so a reused buffer starts
+    // every trial with a full emission.
+    delta.clear();
     // The adjacency starts empty, so the delta stream must start with a
     // full emission (the model may have been warmed up or pre-stepped).
     g.rebase_deltas();
 
     let mut completed = (informed_list.len() == n).then_some(0u32);
     let mut messages_total = 0u64;
-    let mut new_nodes: Vec<u32> = Vec::new();
     let mut t = 0u32;
     let mut status = ProtocolStatus::Active;
     while completed.is_none() && t < max_rounds && status == ProtocolStatus::Active {
-        g.step_delta(&mut delta);
-        adj.apply(&delta);
+        g.step_delta(delta);
+        adj.apply(delta);
         new_nodes.clear();
         let round_messages = {
             let view = SpreadView {
                 round: t,
                 node_count: n,
-                informed_at: &informed_at,
-                informed_list: &informed_list,
+                informed_at,
+                informed_list,
             };
-            let mut out = Transmissions::new(&mut informed, &mut new_nodes);
-            protocol.transmit_delta(&mut adj, &delta, &view, &mut out);
+            let mut out = Transmissions::new(informed, new_nodes);
+            protocol.transmit_delta(adj, delta, &view, &mut out);
             out.messages()
         };
         t += 1;
-        for &v in &new_nodes {
-            informed_at[v as usize] = Some(t);
+        for &v in new_nodes.iter() {
+            informed_at[v as usize] = t;
         }
-        informed_list.extend_from_slice(&new_nodes);
+        informed_list.extend_from_slice(new_nodes);
         messages_total += round_messages;
         if informed_list.len() == n {
             completed = Some(t);
@@ -535,8 +681,8 @@ where
             } else {
                 None
             },
-            delta: Some(&delta),
-            newly_informed: &new_nodes,
+            delta: Some(delta),
+            newly_informed: new_nodes,
             informed_count: informed_list.len(),
             messages: round_messages,
         });
@@ -544,8 +690,8 @@ where
             let view = SpreadView {
                 round: t,
                 node_count: n,
-                informed_at: &informed_at,
-                informed_list: &informed_list,
+                informed_at,
+                informed_list,
             };
             status = protocol.end_round(&view);
         }
@@ -800,6 +946,75 @@ mod tests {
         }
         // Indices beyond any batch size still work (pure function of i).
         assert_eq!(builder().run_trial(7).seed, mix_seed(0x5EE9, 7));
+    }
+
+    /// A seeded, churning model whose realizations genuinely depend on
+    /// per-trial randomness — the interesting case for model reuse.
+    fn seeded_node_meg(
+        seed: u64,
+    ) -> crate::node_meg::NodeMeg<crate::node_meg::FiniteNodeChain, crate::node_meg::MatrixConnection>
+    {
+        let rows = vec![
+            vec![0.5, 0.25, 0.25],
+            vec![0.25, 0.5, 0.25],
+            vec![0.25, 0.25, 0.5],
+        ];
+        let chain = crate::node_meg::FiniteNodeChain::uniform_start(
+            dg_markov::DenseChain::from_rows(rows).unwrap(),
+        );
+        let conn = crate::node_meg::MatrixConnection::same_state(3);
+        crate::node_meg::NodeMeg::new(chain, conn, 14, seed).unwrap()
+    }
+
+    #[test]
+    fn model_reuse_matches_fresh_construction() {
+        // The tentpole pin: per-worker reset-based reuse must be
+        // byte-identical to per-trial fresh construction, on both
+        // stepping paths, for a model with real per-seed randomness.
+        for stepping in [Stepping::Snapshot, Stepping::Delta] {
+            let build = || {
+                Simulation::builder()
+                    .model(seeded_node_meg)
+                    .trials(7)
+                    .warm_up(2)
+                    .max_rounds(10_000)
+                    .stepping(stepping)
+                    .base_seed(0x2E5E)
+            };
+            let reused = build().run();
+            let fresh = build().reuse_models(false).run();
+            assert_eq!(reused, fresh, "{stepping:?}");
+        }
+    }
+
+    #[test]
+    fn run_trial_with_matches_stateless_run_trial() {
+        // The opt-in scratch handle: one cached model + one scratch
+        // across many trials reproduces the stateless hook record for
+        // record, and a scratch survives crossing configurations.
+        let builder = |n: usize| {
+            Simulation::builder()
+                .model(seeded_node_meg)
+                .protocol(PushGossip::new(2))
+                .max_rounds(10_000)
+                .base_seed(0x5C2A + n as u64)
+        };
+        let mut scratch = TrialScratch::new();
+        for n in [0usize, 1] {
+            let b = builder(n);
+            let mut model = None;
+            for trial in 0..5 {
+                let reused = b.run_trial_with(trial, &mut model, &mut scratch);
+                assert_eq!(reused, b.run_trial(trial), "config {n} trial {trial}");
+            }
+            assert!(model.is_some(), "slot holds the worker model");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "UNINFORMED sentinel")]
+    fn max_rounds_at_sentinel_rejected() {
+        let _ = Simulation::builder().max_rounds(u32::MAX);
     }
 
     #[test]

@@ -132,8 +132,8 @@ pub use delta::{DynAdjacency, EdgeDelta};
 pub use engine::{Simulation, SimulationBuilder, SimulationReport};
 pub use error::DynagraphError;
 pub use process::{
-    EvolvingGraph, JammedEvolvingGraph, PeriodicEvolvingGraph, StaticEvolvingGraph,
-    ThinnedEvolvingGraph,
+    assert_reset_matches_fresh, EvolvingGraph, JammedEvolvingGraph, PeriodicEvolvingGraph,
+    StaticEvolvingGraph, ThinnedEvolvingGraph,
 };
 pub use recorded::RecordedEvolution;
 pub use seeds::{mix_seed, SeedSequence};

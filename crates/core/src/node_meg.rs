@@ -490,6 +490,20 @@ mod tests {
     }
 
     #[test]
+    fn node_meg_reset_matches_fresh() {
+        crate::assert_reset_matches_fresh(
+            |seed| {
+                let chain = FiniteNodeChain::uniform_start(lazy_cycle_chain(5));
+                let conn = MatrixConnection::same_state(5);
+                NodeMeg::new(chain, conn, 12, seed).unwrap()
+            },
+            3,
+            8,
+            12,
+        );
+    }
+
+    #[test]
     fn fact2_pairwise_edge_probability_uniform() {
         // Fact 2: stationary edge probability does not depend on the pair.
         // Estimate P(e_{0,1}) and P(e_{2,3}) over many stationary rounds.

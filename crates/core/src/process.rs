@@ -29,6 +29,34 @@ pub trait EvolvingGraph {
 
     /// Re-initializes the process from its initial distribution, seeding
     /// all internal randomness from `seed`.
+    ///
+    /// # The reuse contract
+    ///
+    /// `reset(s)` must leave the process **observably identical to a
+    /// fresh construction with seed `s`**: the same realization (edge-set
+    /// sequence, on both stepping paths) from the same seed, with no
+    /// residue of earlier rounds — including any lazily grown internal
+    /// state. This is what lets the engine and sweep layers build one
+    /// model per worker and re-randomize it in place between trials
+    /// instead of reconstructing (zero-rebuild trials); the cross-crate
+    /// property suites pin the equivalence for every model in the
+    /// workspace via [`crate::assert_reset_matches_fresh`].
+    ///
+    /// Wrappers over an inner process ([`ThinnedEvolvingGraph`],
+    /// [`JammedEvolvingGraph`]) reset the inner model with the **same**
+    /// seed they receive, so the canonical factory shape
+    /// `Wrapper::new(inner_constructor(seed), ..., seed)` is
+    /// reset-equivalent by construction. Streams of *different* layers
+    /// stay independent only through each model's internal derivation
+    /// tag — so stacking two wrappers of the **same type** on one seed
+    /// would hand both layers the identical coin sequence; give each
+    /// layer of a same-type stack its own derived seed (e.g.
+    /// `mix_seed(seed, depth)`) at construction *and* accept that such
+    /// a factory is not reset-equivalent, or avoid same-type stacking.
+    ///
+    /// `reset` must also break the delta baseline (like construction,
+    /// the next [`EvolvingGraph::step_delta`] is a full emission), and
+    /// be idempotent: `reset(s); reset(s)` ≡ `reset(s)`.
     fn reset(&mut self, seed: u64);
 
     /// Advances the process one round and records the edge churn relative
@@ -464,7 +492,10 @@ impl<G: EvolvingGraph> EvolvingGraph for ThinnedEvolvingGraph<G> {
 
     fn reset(&mut self, seed: u64) {
         self.seed = seed;
-        self.inner.reset(crate::mix_seed(seed, 1));
+        // Same seed as the canonical factory hands the inner constructor
+        // (reset-equivalence, see the trait docs); the wrapper's own
+        // stream stays independent through its 0xC0FFEE tag.
+        self.inner.reset(seed);
         self.rng = SmallRng::seed_from_u64(crate::mix_seed(seed, 0xC0FFEE));
         self.delta_state.invalidate();
         self.delta_state.visible.clear();
@@ -593,11 +624,60 @@ impl<G: EvolvingGraph> EvolvingGraph for JammedEvolvingGraph<G> {
     }
 
     fn reset(&mut self, seed: u64) {
-        self.inner.reset(crate::mix_seed(seed, 1));
+        // Same seed to the inner as the canonical factory uses; the
+        // jamming stream stays independent through its 0x7A33 tag.
+        self.inner.reset(seed);
         self.rng = SmallRng::seed_from_u64(crate::mix_seed(seed, 0x7A33));
         self.delta_state.invalidate();
         self.delta_state.visible.clear();
     }
+}
+
+/// Test/diagnostics helper pinning the [`EvolvingGraph::reset`] reuse
+/// contract: a *used* instance (constructed with a different seed and
+/// stepped for a while) that is `reset(seed)` must realize exactly the
+/// snapshot sequence of a freshly constructed `make(seed)` — and, via a
+/// second pass through [`crate::delta::assert_replays_rebuild`], the
+/// identical delta stream (reset must rebase it).
+///
+/// `make` is the same shape of factory the engine's
+/// [`SimulationBuilder::model`](crate::engine::SimulationBuilder::model)
+/// takes; call this from every model crate's property suite.
+///
+/// # Panics
+///
+/// Panics (with the failing round) on the first divergence.
+pub fn assert_reset_matches_fresh<G, F>(make: F, perturb_seed: u64, seed: u64, rounds: usize)
+where
+    G: EvolvingGraph,
+    F: Fn(u64) -> G,
+{
+    assert_ne!(perturb_seed, seed, "perturbation must use a different seed");
+    // Snapshot path: dirty the instance, reset, compare step-for-step.
+    let mut reused = make(perturb_seed);
+    for _ in 0..rounds {
+        let _ = reused.step();
+    }
+    reused.reset(seed);
+    let mut fresh = make(seed);
+    for round in 0..rounds {
+        assert_eq!(
+            reused.step(),
+            fresh.step(),
+            "reset({seed:#x}) diverged from fresh construction at round {round}"
+        );
+    }
+    // Delta path: dirty through step_delta (growing any lazy internal
+    // state), reset, and demand the fresh rebuild sequence replayed as
+    // deltas — this also catches a reset that forgets to rebase.
+    let mut reused = make(perturb_seed);
+    let mut delta = EdgeDelta::new();
+    for _ in 0..rounds {
+        reused.step_delta(&mut delta);
+    }
+    reused.reset(seed);
+    let mut fresh = make(seed);
+    crate::delta::assert_replays_rebuild(&mut fresh, &mut reused, rounds);
 }
 
 #[cfg(test)]
@@ -863,6 +943,56 @@ mod tests {
         let mut delta = make();
         assert!(rebuild.has_native_deltas());
         crate::delta::assert_replays_rebuild(&mut rebuild, &mut delta, 18);
+    }
+
+    #[test]
+    fn reset_matches_fresh_for_core_models() {
+        // The zero-rebuild reuse contract, for every model in this
+        // crate. Wrapper factories follow the canonical shape documented
+        // on `EvolvingGraph::reset`: the inner constructor receives the
+        // same seed the wrapper does.
+        assert_reset_matches_fresh(
+            |_| StaticEvolvingGraph::new(generators::grid(3, 4)),
+            1,
+            2,
+            6,
+        );
+        let graphs = [
+            generators::path(9),
+            generators::complete(9),
+            generators::star(9),
+        ];
+        assert_reset_matches_fresh(|_| PeriodicEvolvingGraph::new(&graphs).unwrap(), 1, 2, 10);
+        assert_reset_matches_fresh(
+            |seed| {
+                let inner = PeriodicEvolvingGraph::new(&graphs).unwrap();
+                ThinnedEvolvingGraph::new(inner, 0.6, seed).unwrap()
+            },
+            3,
+            9,
+            15,
+        );
+        assert_reset_matches_fresh(
+            |seed| {
+                let inner = PeriodicEvolvingGraph::new(&graphs).unwrap();
+                JammedEvolvingGraph::new(inner, 2, seed).unwrap()
+            },
+            4,
+            11,
+            15,
+        );
+        // A stacked wrapper with *seeded* layers: every layer of the
+        // canonical factory shape takes the same seed.
+        assert_reset_matches_fresh(
+            |seed| {
+                let inner = PeriodicEvolvingGraph::new(&graphs).unwrap();
+                let jam = JammedEvolvingGraph::new(inner, 2, seed).unwrap();
+                ThinnedEvolvingGraph::new(jam, 0.7, seed).unwrap()
+            },
+            5,
+            13,
+            15,
+        );
     }
 
     #[test]

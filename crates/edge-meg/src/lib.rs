@@ -62,6 +62,7 @@
 #![warn(missing_docs)]
 
 mod general;
+mod pairmap;
 mod pairs;
 mod sparse;
 mod two_state;

@@ -24,13 +24,17 @@
 //! runs at large `n`. The opt-in
 //! [`SparseTwoStateEdgeMeg::stationary_sparse_init`] constructor samples
 //! the stationary on-set directly with geometric skips over the pair
-//! index (`O(#on)` work and memory) and defers each untouched pair's
-//! first birth to a lazy per-round skip sweep, so a trial costs
-//! `O(#on + #skips)` before round 1 instead of `O(n²)`. The two
-//! constructors realize different random streams but the same process
-//! distribution (pinned by χ²/degree-moment tests).
-
-use std::collections::HashMap;
+//! index (`O(#on)` work and memory: one draw plus one occupancy-map
+//! insert per on-edge, nothing scheduled), so a trial costs
+//! `O(#on + #skips)` before round 1 instead of `O(n²)`. Its dynamics
+//! are fully lazy, bypassing the calendar entirely: each round runs a
+//! Geometric(`q`) *death sweep* over the alive list and a Geometric(`p`)
+//! *birth sweep* over the untouched pair index, and a dying pair is
+//! retired back to untouched — so both per-round cost **and long-run
+//! memory** are bounded by the current working set, not by every pair
+//! that ever toggled. The two constructors realize different random
+//! streams but the same process distribution (pinned by χ²/
+//! degree-moment and holding-time tests).
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -38,6 +42,7 @@ use rand::{Rng, SeedableRng};
 use dg_markov::{MarkovError, TwoStateChain};
 use dynagraph::{mix_seed, EdgeDelta, EvolvingGraph, Snapshot};
 
+use crate::pairmap::PairMap;
 use crate::pairs::{edge_pair, pair_count};
 
 /// Ring width of the event calendar: toggles scheduled within this many
@@ -151,8 +156,11 @@ enum Occupancy {
     /// One slot per pair (exact-scan mode): every pair is tracked.
     Dense(Vec<u32>),
     /// Only touched pairs present (sparse-init mode): a pair absent from
-    /// the map has never toggled and has no pending event.
-    Sparse(HashMap<u32, u32>),
+    /// the map has never toggled and has no pending event. A flat
+    /// linear-probe [`PairMap`] rather than `std`'s `HashMap`: trial
+    /// reset re-inserts the whole stationary on-set, and the map is
+    /// never iterated, so hashing speed is all that matters.
+    Sparse(PairMap),
 }
 
 impl Occupancy {
@@ -161,7 +169,7 @@ impl Occupancy {
     fn position(&self, edge: u32) -> Option<u32> {
         let slot = match self {
             Occupancy::Dense(slots) => slots[edge as usize],
-            Occupancy::Sparse(map) => *map.get(&edge).unwrap_or(&OFF),
+            Occupancy::Sparse(map) => map.get(edge).unwrap_or(OFF),
         };
         (slot != OFF).then_some(slot)
     }
@@ -172,7 +180,7 @@ impl Occupancy {
     fn is_touched(&self, edge: u32) -> bool {
         match self {
             Occupancy::Dense(_) => true,
-            Occupancy::Sparse(map) => map.contains_key(&edge),
+            Occupancy::Sparse(map) => map.contains(edge),
         }
     }
 
@@ -180,9 +188,25 @@ impl Occupancy {
     fn set_position(&mut self, edge: u32, pos: u32) {
         match self {
             Occupancy::Dense(slots) => slots[edge as usize] = pos,
-            Occupancy::Sparse(map) => {
-                map.insert(edge, pos);
-            }
+            Occupancy::Sparse(map) => map.insert(edge, pos),
+        }
+    }
+
+    /// Stops tracking a pair entirely (sparse mode only): no position,
+    /// no pending event — the pair returns to the lazy birth sweep.
+    #[inline]
+    fn forget(&mut self, edge: u32) {
+        match self {
+            Occupancy::Dense(_) => unreachable!("exact-scan pairs are always tracked"),
+            Occupancy::Sparse(map) => map.remove(edge),
+        }
+    }
+
+    /// Number of tracked pairs (memory diagnostics).
+    fn tracked(&self) -> usize {
+        match self {
+            Occupancy::Dense(slots) => slots.len(),
+            Occupancy::Sparse(map) => map.len(),
         }
     }
 
@@ -243,6 +267,9 @@ pub struct SparseTwoStateEdgeMeg {
     rng: SmallRng,
     snapshot: Snapshot,
     edge_buf: Vec<(u32, u32)>,
+    /// Pairs that died this round and leave the touched set once the
+    /// round's lazy sweep has run (sparse-init mode; see `advance`).
+    retire_buf: Vec<u32>,
     synced: bool,
 }
 
@@ -262,16 +289,17 @@ impl SparseTwoStateEdgeMeg {
     /// Creates a stationary sparse edge-MEG whose trial *setup* is sparse
     /// too: the initial on-set is sampled directly with geometric skips
     /// over the pair index (`O(#on + #skips)` instead of the `O(n²)`
-    /// pair scan of [`SparseTwoStateEdgeMeg::stationary`]), and only the
-    /// `#on` seeded edges get calendar events — a pair that has never
-    /// toggled carries no event and is born lazily by a per-round
-    /// `Geometric(p)` skip sweep.
+    /// pair scan of [`SparseTwoStateEdgeMeg::stationary`]), with no
+    /// event scheduling at all — deaths and births both come from lazy
+    /// per-round skip sweeps, and dead pairs are retired back to the
+    /// untouched pool.
     ///
-    /// Same process distribution as `stationary` (pinned by χ² and
-    /// degree-moment tests), but a *different realization* for the same
-    /// seed: the two constructors consume randomness differently, and
-    /// `stationary` keeps its byte-pinned streams. Memory also scales
-    /// with `#on` plus the pairs ever toggled rather than `n²` up front.
+    /// Same process distribution as `stationary` (pinned by χ²,
+    /// degree-moment and holding-time tests), but a *different
+    /// realization* for the same seed: the two constructors consume
+    /// randomness differently, and `stationary` keeps its byte-pinned
+    /// streams. Memory is bounded by the *current* on-set (plus the
+    /// pre-sized occupancy table), never by `n²`.
     ///
     /// # Errors
     ///
@@ -306,7 +334,13 @@ impl SparseTwoStateEdgeMeg {
         }
         let occupancy = match init {
             InitMode::ExactScan => Occupancy::Dense(vec![OFF; pair_count(n)]),
-            InitMode::SparseStationary => Occupancy::Sparse(HashMap::new()),
+            InitMode::SparseStationary => {
+                // Pre-size for the stationary working set: with
+                // retirement the map holds exactly the on-set, whose
+                // expectation is alpha·pairs.
+                let expected = (chain.stationary_on() * pair_count(n) as f64).ceil() as usize;
+                Occupancy::Sparse(PairMap::with_capacity(expected))
+            }
         };
         let mut meg = SparseTwoStateEdgeMeg {
             n,
@@ -321,6 +355,7 @@ impl SparseTwoStateEdgeMeg {
             rng: SmallRng::seed_from_u64(seed),
             snapshot: Snapshot::empty(n),
             edge_buf: Vec::new(),
+            retire_buf: Vec::new(),
             synced: false,
         };
         meg.reset(seed);
@@ -335,6 +370,16 @@ impl SparseTwoStateEdgeMeg {
     /// Number of currently-on edges.
     pub fn alive_count(&self) -> usize {
         self.alive.len()
+    }
+
+    /// Number of pairs the instance currently tracks — the memory
+    /// working set. Exact-scan instances track every pair
+    /// (`pair_count(n)`); sparse-init instances track exactly the
+    /// current on-set at round boundaries (a pair's entry is retired the
+    /// round its edge dies), so long-run memory is bounded by `|E_t|`,
+    /// not by every pair that ever toggled.
+    pub fn tracked_pairs(&self) -> usize {
+        self.occupancy.tracked()
     }
 
     /// Samples `Geometric(prob)` on `{1, 2, ...}` — the waiting time until
@@ -376,56 +421,106 @@ impl SparseTwoStateEdgeMeg {
         self.occupancy.set_position(edge, OFF);
     }
 
-    /// Processes this round's toggle events, plus (sparse-init mode) the
-    /// lazy birth sweep over never-toggled pairs. Shared by both
-    /// stepping paths — identical RNG stream either way — and records
-    /// the churn into `delta` when one is supplied (suppressed while the
-    /// delta baseline is unsynced; the caller emits a full set instead).
+    /// [`Self::turn_off`] for sparse-mode deaths: the pair leaves the
+    /// occupancy map entirely (one removal instead of an OFF overwrite
+    /// followed by a removal) and returns to the untouched pool.
+    fn retire(&mut self, edge: u32) {
+        let pos = self.occupancy.position(edge).expect("edge is alive");
+        let last = *self.alive.last().expect("edge is alive");
+        self.alive.swap_remove(pos as usize);
+        if last != edge {
+            self.occupancy.set_position(last, pos);
+        }
+        self.occupancy.forget(edge);
+    }
+
+    /// Advances the process one round. Shared by both stepping paths —
+    /// identical RNG stream either way — and records the churn into
+    /// `delta` when one is supplied (suppressed while the delta baseline
+    /// is unsynced; the caller emits a full set instead).
+    ///
+    /// Exact-scan mode replays the byte-pinned calendar-queue dynamics;
+    /// sparse-init mode is fully lazy — one Geometric(q) *death sweep*
+    /// over the alive list plus one Geometric(p) *birth sweep* over the
+    /// untouched pair index per round, no scheduled events at all.
     fn advance(&mut self, delta: Option<&mut EdgeDelta>) {
         // Churn is recorded only when the consumer's baseline is in sync;
         // while unsynced the caller emits a full edge set instead, so the
         // suppression is decided once here rather than per toggle.
         let mut delta = if self.synced { delta } else { None };
         self.round += 1;
-        let due = self.events.begin_round(self.round);
-        for &edge in &due {
-            let on = self.occupancy.position(edge).is_some();
-            if on {
-                self.turn_off(edge);
-            } else {
-                self.turn_on(edge);
-            }
-            if let Some(d) = delta.as_deref_mut() {
-                if on {
-                    d.push_removed(edge_pair(edge as usize));
-                } else {
-                    d.push_added(edge_pair(edge as usize));
-                }
-            }
-            self.schedule_toggle(edge, !on);
-        }
-        self.events.end_round(due);
-        if self.init == InitMode::SparseStationary {
-            // Lazy births: every pair that has never toggled is an
-            // independent Bernoulli(p) per round, so the pairs firing
-            // this round are found by Geometric(p) skips over the pair
-            // index. Candidates landing on touched pairs are discarded
-            // (their dynamics live in the calendar), which leaves the
-            // untouched pairs' birth times exactly Geometric(p) — the
-            // same law the exact-scan path schedules eagerly.
-            let pairs = pair_count(self.n) as u64;
-            let birth = self.chain.birth();
-            let mut idx = Self::geometric(&mut self.rng, birth, self.log1m_birth) - 1;
-            while idx < pairs {
-                let edge = idx as u32;
-                if !self.occupancy.is_touched(edge) {
-                    self.turn_on(edge);
-                    if let Some(d) = delta.as_deref_mut() {
-                        d.push_added(edge_pair(edge as usize));
+        match self.init {
+            InitMode::ExactScan => {
+                let due = self.events.begin_round(self.round);
+                for &edge in &due {
+                    let on = self.occupancy.position(edge).is_some();
+                    if on {
+                        self.turn_off(edge);
+                    } else {
+                        self.turn_on(edge);
                     }
-                    self.schedule_toggle(edge, true);
+                    if let Some(d) = delta.as_deref_mut() {
+                        if on {
+                            d.push_removed(edge_pair(edge as usize));
+                        } else {
+                            d.push_added(edge_pair(edge as usize));
+                        }
+                    }
+                    self.schedule_toggle(edge, !on);
                 }
-                idx += Self::geometric(&mut self.rng, birth, self.log1m_birth);
+                self.events.end_round(due);
+            }
+            InitMode::SparseStationary => {
+                // 1. Death sweep: every on edge dies independently with
+                //    probability q this round, so the dying subset of the
+                //    start-of-round alive list is found by Geometric(q)
+                //    skips over its positions — O(q·|E_t|) draws. The
+                //    dying edges are only *collected* here; they stay
+                //    tracked through the birth sweep so a pair cannot
+                //    die and be re-born in the same round.
+                debug_assert!(self.retire_buf.is_empty());
+                let death = self.chain.death();
+                let mut pos = Self::geometric(&mut self.rng, death, self.log1m_death) - 1;
+                while (pos as usize) < self.alive.len() {
+                    self.retire_buf.push(self.alive[pos as usize]);
+                    pos += Self::geometric(&mut self.rng, death, self.log1m_death);
+                }
+                // 2. Birth sweep: every untouched pair is an independent
+                //    Bernoulli(p) per round; the pairs firing this round
+                //    are found by Geometric(p) skips over the pair
+                //    index. Candidates landing on touched pairs are
+                //    discarded, which leaves untouched pairs' birth
+                //    times exactly Geometric(p). Newly born edges join
+                //    `alive` *after* the death positions were sampled,
+                //    so they live through this round — one transition
+                //    per pair per round, like the dense model.
+                let pairs = pair_count(self.n) as u64;
+                let birth = self.chain.birth();
+                let mut idx = Self::geometric(&mut self.rng, birth, self.log1m_birth) - 1;
+                while idx < pairs {
+                    let edge = idx as u32;
+                    if !self.occupancy.is_touched(edge) {
+                        self.turn_on(edge);
+                        if let Some(d) = delta.as_deref_mut() {
+                            d.push_added(edge_pair(edge as usize));
+                        }
+                    }
+                    idx += Self::geometric(&mut self.rng, birth, self.log1m_birth);
+                }
+                // 3. Retire the dead to untouched: remove them from the
+                //    alive list and the occupancy map, so long-run
+                //    memory is bounded by the *current* on-set and their
+                //    next birth comes from the sweep — the same
+                //    Geometric(p) waiting time an eager schedule would
+                //    have drawn.
+                for i in 0..self.retire_buf.len() {
+                    let edge = self.retire_buf[i];
+                    self.retire(edge);
+                    if let Some(d) = delta.as_deref_mut() {
+                        d.push_removed(edge_pair(edge as usize));
+                    }
+                }
+                self.retire_buf.clear();
             }
         }
     }
@@ -474,6 +569,7 @@ impl EvolvingGraph for SparseTwoStateEdgeMeg {
         self.alive.clear();
         self.occupancy.clear();
         self.events.clear();
+        self.retire_buf.clear();
         let alpha = self.chain.stationary_on();
         let pairs = pair_count(self.n);
         match self.init {
@@ -494,15 +590,16 @@ impl EvolvingGraph for SparseTwoStateEdgeMeg {
             InitMode::SparseStationary => {
                 // Skip-sample the stationary on-set: successive on-pairs
                 // are Geometric(alpha) apart in the pair index, so only
-                // the ≈ alpha·pairs live edges are visited and seeded
-                // with death events — O(#on + #skips) total. Off pairs
-                // get no event; their Geometric(p) births fire through
-                // the lazy sweep in `advance`.
+                // the ≈ alpha·pairs live edges are visited — one draw
+                // and one map insert each, O(#on + #skips) total and the
+                // whole trial setup. No events are scheduled at all:
+                // deaths come from the per-round Geometric(q) sweep over
+                // the alive list, births from the Geometric(p) sweep
+                // over untouched pairs (see `advance`).
                 let log1m_alpha = (1.0 - alpha).ln();
                 let mut idx = Self::geometric(&mut self.rng, alpha, log1m_alpha) - 1;
                 while idx < pairs as u64 {
                     self.turn_on(idx as u32);
-                    self.schedule_toggle(idx as u32, true);
                     idx += Self::geometric(&mut self.rng, alpha, log1m_alpha);
                 }
             }
@@ -724,6 +821,79 @@ mod tests {
         rebuild.reset(12);
         delta.reset(12);
         dynagraph::delta::assert_replays_rebuild(&mut rebuild, &mut delta, 40);
+    }
+
+    #[test]
+    fn sparse_init_memory_bounded_by_current_on_set() {
+        // Retire-to-untouched: at every round boundary the touched-pair
+        // map holds exactly the on-set, however many pairs have toggled
+        // over the run. Moderate rates so most pairs toggle many times —
+        // the regime where pre-retirement tracking grew monotonically.
+        let n = 40;
+        let (p, q) = (0.05, 0.5); // alpha ≈ 0.09: heavy per-pair churn
+        let mut g = SparseTwoStateEdgeMeg::stationary_sparse_init(n, p, q, 17).unwrap();
+        assert_eq!(g.tracked_pairs(), g.alive_count());
+        let mut max_tracked = 0;
+        for _ in 0..5_000 {
+            let _ = g.step();
+            assert_eq!(
+                g.tracked_pairs(),
+                g.alive_count(),
+                "touched set must equal the on-set at round boundaries"
+            );
+            max_tracked = max_tracked.max(g.tracked_pairs());
+        }
+        // Far below the ~780 pairs; bounded by the working set.
+        let alpha = p / (p + q);
+        let expected = alpha * pair_count(n) as f64;
+        assert!(
+            (max_tracked as f64) < 4.0 * expected,
+            "max tracked {max_tracked} vs stationary on-set {expected}"
+        );
+        // The exact-scan twin tracks everything, as documented.
+        let exact = SparseTwoStateEdgeMeg::stationary(n, p, q, 17).unwrap();
+        assert_eq!(exact.tracked_pairs(), pair_count(n));
+    }
+
+    #[test]
+    fn retirement_preserves_holding_times() {
+        // A retired pair's next birth comes from the lazy sweep; its
+        // waiting time must still be Geometric(p) (mean 1/p), and on-runs
+        // Geometric(q) (mean 1/q) — the distribution-equivalence half of
+        // the retire-to-untouched change.
+        let n = 16;
+        let (p, q) = (0.2, 0.5);
+        let mut g = SparseTwoStateEdgeMeg::stationary_sparse_init(n, p, q, 23).unwrap();
+        let (eu, ev) = edge_pair(0);
+        let mut off_runs = Vec::new();
+        let mut on_runs = Vec::new();
+        let mut run = 0u32;
+        let mut was_on = None;
+        for _ in 0..40_000 {
+            let on = g.step().has_edge(eu, ev);
+            match was_on {
+                Some(prev) if prev == on => run += 1,
+                Some(prev) => {
+                    if prev {
+                        on_runs.push(run as f64);
+                    } else {
+                        off_runs.push(run as f64);
+                    }
+                    run = 1;
+                }
+                None => run = 1,
+            }
+            was_on = Some(on);
+        }
+        let on: Summary = on_runs.into_iter().collect();
+        let off: Summary = off_runs.into_iter().collect();
+        assert!(on.len() > 500 && off.len() > 500);
+        assert!((on.mean() - 1.0 / q).abs() < 0.2, "on mean {}", on.mean());
+        assert!(
+            (off.mean() - 1.0 / p).abs() < 0.5,
+            "off mean {}",
+            off.mean()
+        );
     }
 
     #[test]

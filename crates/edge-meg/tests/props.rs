@@ -173,4 +173,80 @@ proptest! {
         let b: Vec<_> = g.step().edges().collect();
         prop_assert_eq!(a, b);
     }
+
+    // The zero-rebuild reuse contract (engine per-worker model reuse):
+    // a used instance reset(s) must be observably identical to a fresh
+    // construction with seed s — byte-identical realizations on both
+    // stepping paths, lazily grown internal state included.
+
+    #[test]
+    fn two_state_reset_matches_fresh(
+        n in 4usize..24,
+        p in 0.05f64..0.5,
+        q in 0.05f64..0.5,
+        perturb in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(perturb != seed);
+        for make in [
+            TwoStateEdgeMeg::stationary as fn(usize, f64, f64, u64) -> _,
+            TwoStateEdgeMeg::from_empty,
+            TwoStateEdgeMeg::from_complete,
+        ] {
+            dynagraph::assert_reset_matches_fresh(
+                |s| make(n, p, q, s).unwrap(),
+                perturb,
+                seed,
+                20,
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_reset_matches_fresh(
+        n in 4usize..24,
+        p in 0.02f64..0.5,
+        q in 0.05f64..0.5,
+        perturb in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(perturb != seed);
+        // Exact-scan: every pair stays tracked; reset rewinds the
+        // calendar queue and the alive list.
+        dynagraph::assert_reset_matches_fresh(
+            |s| SparseTwoStateEdgeMeg::stationary(n, p, q, s).unwrap(),
+            perturb,
+            seed,
+            25,
+        );
+        // Sparse-init: the perturbation rounds grow (and retire) the
+        // lazy occupancy map; reset must clear every trace of it.
+        dynagraph::assert_reset_matches_fresh(
+            |s| SparseTwoStateEdgeMeg::stationary_sparse_init(n, p, q, s).unwrap(),
+            perturb,
+            seed,
+            25,
+        );
+    }
+
+    #[test]
+    fn hidden_chain_reset_matches_fresh(
+        n in 4usize..20,
+        wake in 0.05f64..0.5,
+        fire in 0.05f64..0.45,
+        cool in 0.05f64..0.5,
+        perturb in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(perturb != seed);
+        dynagraph::assert_reset_matches_fresh(
+            |s| {
+                let (chain, chi) = bursty_chain(wake, fire, cool);
+                HiddenChainEdgeMeg::stationary(n, chain, chi, s).unwrap()
+            },
+            perturb,
+            seed,
+            20,
+        );
+    }
 }

@@ -7,8 +7,10 @@
 //! scaling lives — and the [`flood_trial`] glue between the sweep
 //! scheduler and the engine.
 
-use dynagraph::engine::{Simulation, SimulationReport};
-use dynagraph::sweep::{CellReport, CiTarget, Trial, TrialBudget};
+use std::collections::HashMap;
+
+use dynagraph::engine::{Simulation, SimulationReport, TrialScratch};
+use dynagraph::sweep::{Cell, CellReport, CiTarget, Trial, TrialBudget};
 use dynagraph::EvolvingGraph;
 
 /// Measured spreading statistics for one configuration.
@@ -83,21 +85,74 @@ pub fn budget(quick: bool) -> TrialBudget {
     )
 }
 
+/// Per-worker reuse state for grid sweeps (hand to
+/// [`dynagraph::sweep::Sweep::run_with_state`]): one cached model per
+/// cell — constructed on the worker's first trial of that cell, then
+/// merely `reset(seed)` for the rest — plus one engine
+/// [`TrialScratch`] shared by every cell the worker touches. Together
+/// they make a sweep trial *zero-rebuild*: after each (worker, cell)'s
+/// first trial, setup allocates nothing.
+///
+/// The cache holds every cell a worker has visited until the sweep
+/// ends (the scheduler interleaves cells, so evicting would thrash);
+/// per-worker memory therefore scales with `cells × model size` —
+/// fine for this harness' grids, worth bounding if a sweep ever pairs
+/// huge models with hundreds of cells.
+pub struct FloodWorker<G> {
+    models: HashMap<usize, Option<G>>,
+    scratch: TrialScratch,
+}
+
+impl<G> FloodWorker<G> {
+    pub fn new() -> Self {
+        FloodWorker {
+            models: HashMap::new(),
+            scratch: TrialScratch::new(),
+        }
+    }
+
+    /// The cell's model slot plus the shared scratch — the two handles
+    /// `SimulationBuilder::run_trial_with` wants — split-borrowed so
+    /// custom builders (non-flooding protocols, observers) can reuse
+    /// exactly like [`flood_trial`] does.
+    pub fn parts(&mut self, cell_id: usize) -> (&mut Option<G>, &mut TrialScratch) {
+        (self.models.entry(cell_id).or_default(), &mut self.scratch)
+    }
+}
+
+impl<G> Default for FloodWorker<G> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// One engine flooding trial on behalf of the sweep scheduler: hands the
 /// sweep's per-cell seed to the builder and runs exactly the scheduled
 /// trial index, so adaptive sweeps are byte-compatible with the engine's
-/// own batch loop. Returns the flooding time (`None` = censored).
-pub fn flood_trial<G, F>(make: F, max_rounds: u32, warm_up: usize, trial: Trial) -> Option<f64>
+/// own batch loop. The cell's [`Cell::max_rounds`] policy cap applies
+/// when present (`max_rounds` is the grid-wide fallback), and the
+/// worker's cached model + scratch are reused — byte-identical to
+/// fresh construction under the engine's reuse contract. Returns the
+/// flooding time (`None` = censored).
+pub fn flood_trial<G, F>(
+    worker: &mut FloodWorker<G>,
+    make: F,
+    cell: &Cell,
+    max_rounds: u32,
+    warm_up: usize,
+    trial: Trial,
+) -> Option<f64>
 where
     G: EvolvingGraph,
     F: Fn(u64) -> G,
 {
+    let (slot, scratch) = worker.parts(cell.id());
     Simulation::builder()
         .model(make)
-        .max_rounds(max_rounds)
+        .max_rounds(cell.max_rounds().unwrap_or(max_rounds))
         .warm_up(warm_up)
         .base_seed(trial.cell_seed)
-        .run_trial(trial.index)
+        .run_trial_with(trial.index, slot, scratch)
         .time
         .map(f64::from)
 }

@@ -17,7 +17,7 @@ use dg_stats::Summary;
 use dynagraph::engine::{PhaseObserver, Simulation};
 use dynagraph::sweep::{Axis, Grid, Sweep};
 
-use crate::common::{budget, flood_trial, fmt_ci, scaled};
+use crate::common::{budget, flood_trial, fmt_ci, scaled, FloodWorker};
 use crate::table::{fmt, fmt_opt, Table};
 
 const Q: f64 = 0.2;
@@ -36,11 +36,13 @@ pub fn run(quick: bool) {
     let report = Sweep::over(grid)
         .budget(budget(quick))
         .base_seed(0x71)
-        .run(|cell, trial| {
+        .run_with_state(FloodWorker::new, |cell, trial, worker| {
             let n = cell.usize("n");
             let p = 1.5 / n as f64;
             flood_trial(
+                worker,
                 move |seed| SparseTwoStateEdgeMeg::stationary(n, p, Q, seed).unwrap(),
+                cell,
                 200_000,
                 0,
                 trial,

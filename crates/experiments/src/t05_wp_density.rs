@@ -17,7 +17,7 @@
 use dg_mobility::{positional, waypoint_density, GeometricMeg, RandomDirection, RandomWaypoint};
 use dynagraph::sweep::{Axis, Grid, Sweep};
 
-use crate::common::{budget, flood_trial, fmt_ci, scaled};
+use crate::common::{budget, flood_trial, fmt_ci, scaled, FloodWorker};
 use crate::table::{fmt, fmt_opt, Table};
 
 pub fn run(quick: bool) {
@@ -111,8 +111,16 @@ pub fn run(quick: bool) {
 
 /// The t05 density grid: flooding time of a fixed waypoint swarm as the
 /// box side `L` grows (density `n/L²` falls). Shared with
-/// `benches/t15_sweep`, which records the trial savings of the adaptive
-/// budget on exactly this workload.
+/// `benches/t15_sweep` and `benches/t16_trial_reuse`, which record the
+/// trial savings of the adaptive budget and the setup savings of
+/// zero-rebuild trials on exactly this workload.
+///
+/// Trials are zero-rebuild (per-worker model cache + engine scratch via
+/// [`FloodWorker`]), and the grid carries a per-cell `max_rounds`
+/// policy: flooding time grows with `L`, so instead of every cell
+/// paying the sparse tail's worst-case cap, each cell's censoring
+/// budget scales with its own expected flooding time — a censored trial
+/// in a dense cell stops orders of magnitude earlier.
 pub fn density_sweep(quick: bool) -> (usize, dynagraph::sweep::SweepReport) {
     let n = if quick { 36 } else { 64 };
     let r = 1.0;
@@ -121,17 +129,25 @@ pub fn density_sweep(quick: bool) -> (usize, dynagraph::sweep::SweepReport) {
     } else {
         vec![5.0, 7.0, 9.0, 11.0, 13.0]
     };
-    let report = Sweep::over(Grid::new().axis(Axis::explicit("L", sides)))
+    let grid = Grid::new()
+        .axis(Axis::explicit("L", sides))
+        // Mean F here is O(10²) even in the sparsest cell; 2000·L keeps
+        // >100x headroom per cell while the dense cells' censor cap
+        // drops from the old grid-wide 200k to 10k.
+        .max_rounds(|cell| (2_000.0 * cell.get("L")) as u32);
+    let report = Sweep::over(grid)
         .budget(budget(quick))
         .base_seed(0x78)
-        .run(|cell, trial| {
+        .run_with_state(FloodWorker::new, |cell, trial, worker| {
             let l = cell.get("L");
             let warm = (8.0 * l) as usize;
             flood_trial(
+                worker,
                 move |seed| {
                     GeometricMeg::new(RandomWaypoint::new(l, 1.0, 1.0).unwrap(), n, r, seed)
                         .unwrap()
                 },
+                cell,
                 200_000,
                 warm,
                 trial,

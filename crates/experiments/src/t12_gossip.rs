@@ -14,7 +14,7 @@ use dynagraph::engine::{PushGossip, Simulation};
 use dynagraph::sweep::{Axis, Cell, Grid, Sweep, SweepReport, Trial};
 use dynagraph::{EvolvingGraph, ThinnedEvolvingGraph};
 
-use crate::common::{budget, flood_trial, fmt_ci};
+use crate::common::{budget, flood_trial, fmt_ci, FloodWorker};
 use crate::table::{fmt, fmt_opt, Table};
 
 /// γ-thinned flooding over a substrate: one cell per γ.
@@ -27,10 +27,12 @@ fn thinned_sweep<G: EvolvingGraph, F: Fn(u64) -> G + Sync + Copy>(
     Sweep::over(Grid::new().axis(Axis::explicit("gamma", [1.0, 0.5, 0.25])))
         .budget(budget(quick))
         .base_seed(base)
-        .run(|cell: &Cell, trial: Trial| {
+        .run_with_state(FloodWorker::new, |cell: &Cell, trial: Trial, worker| {
             let gamma = cell.get("gamma");
             flood_trial(
+                worker,
                 move |seed| ThinnedEvolvingGraph::new(make(seed), gamma, seed).unwrap(),
+                cell,
                 500_000,
                 warm,
                 trial,
@@ -50,15 +52,16 @@ fn push_sweep<G: EvolvingGraph, F: Fn(u64) -> G + Sync + Copy>(
     Sweep::over(Grid::new().axis(Axis::ints("fanout", fanouts)))
         .budget(budget(quick))
         .base_seed(base)
-        .run(|cell: &Cell, trial: Trial| {
+        .run_with_state(FloodWorker::new, |cell: &Cell, trial: Trial, worker| {
             let fanout = cell.usize("fanout");
+            let (slot, scratch) = worker.parts(cell.id());
             Simulation::builder()
                 .model(make)
                 .protocol(PushGossip::new(fanout))
                 .max_rounds(500_000)
                 .warm_up(warm)
                 .base_seed(trial.cell_seed)
-                .run_trial(trial.index)
+                .run_trial_with(trial.index, slot, scratch)
                 .time
                 .map(f64::from)
         })

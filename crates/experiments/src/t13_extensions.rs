@@ -16,7 +16,7 @@ use dg_graph::generators;
 use dg_mobility::region::{estimate_delta_lambda_in_region, Disk, RegionWaypoint};
 use dg_mobility::{positional, PathFamily, RandomPathModel};
 use dynagraph::flooding::flood;
-use dynagraph::{interval, mix_seed, JammedEvolvingGraph, RecordedEvolution};
+use dynagraph::{interval, JammedEvolvingGraph, RecordedEvolution};
 
 use crate::common::{measure, scaled};
 use crate::table::{fmt, fmt_opt, Table};
@@ -72,10 +72,13 @@ pub fn run(quick: bool) {
         let victims = (frac * n as f64) as usize;
         let meas = measure(
             |seed| {
+                // Canonical wrapper factory shape: every layer takes the
+                // trial seed, which is what makes per-worker model reuse
+                // (`reset(seed)`) byte-identical to fresh construction.
                 JammedEvolvingGraph::new(
                     SparseTwoStateEdgeMeg::stationary(n, p, q, seed).unwrap(),
                     victims,
-                    mix_seed(seed, 2),
+                    seed,
                 )
                 .unwrap()
             },

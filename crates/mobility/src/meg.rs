@@ -225,6 +225,17 @@ mod tests {
     }
 
     #[test]
+    fn reset_matches_fresh() {
+        // The zero-rebuild reuse contract for the geometric MEG.
+        dynagraph::assert_reset_matches_fresh(
+            |seed| GeometricMeg::new(GridWalk::new(8, 1).unwrap(), 24, 1.5, seed).unwrap(),
+            2,
+            9,
+            15,
+        );
+    }
+
+    #[test]
     fn invalid_params_rejected() {
         let model = GridWalk::new(6, 1).unwrap();
         assert!(GeometricMeg::new(model, 1, 1.0, 0).is_err());

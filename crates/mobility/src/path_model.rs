@@ -329,6 +329,22 @@ mod tests {
     }
 
     #[test]
+    fn reset_matches_fresh() {
+        // The zero-rebuild reuse contract: a used instance reset(s) must
+        // realize a fresh stationary(s) exactly, with no residue in the
+        // same-point buckets.
+        dynagraph::assert_reset_matches_fresh(
+            |seed| {
+                let (_, family) = PathFamily::grid_l_paths(3, 3);
+                RandomPathModel::stationary_lazy(family, 10, 0.25, seed).unwrap()
+            },
+            1,
+            77,
+            14,
+        );
+    }
+
+    #[test]
     fn rejects_tiny_n() {
         let g = generators::cycle(4);
         let family = PathFamily::edges_family(&g).unwrap();

@@ -114,6 +114,8 @@ impl Axis {
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Grid {
     axes: Vec<Axis>,
+    /// Per-cell round caps by cell id (see [`Grid::max_rounds`]).
+    max_rounds: Option<Vec<u32>>,
 }
 
 impl Grid {
@@ -127,15 +129,68 @@ impl Grid {
     ///
     /// # Panics
     ///
-    /// Panics if an axis with the same name was already added.
+    /// Panics if an axis with the same name was already added, or if a
+    /// [`Grid::max_rounds`] policy was already attached (the policy is
+    /// evaluated per cell, so it must come after every axis).
     pub fn axis(mut self, axis: Axis) -> Self {
         assert!(
             self.axes.iter().all(|a| a.name() != axis.name()),
             "duplicate axis {:?}",
             axis.name()
         );
+        assert!(
+            self.max_rounds.is_none(),
+            "declare every axis before attaching a max_rounds policy"
+        );
         self.axes.push(axis);
         self
+    }
+
+    /// Attaches a per-cell round-cap policy: `policy(cell)` is evaluated
+    /// once per cell, in cell-id order, and the result travels with the
+    /// cell ([`Cell::max_rounds`]) into the trial function — so the
+    /// censored tail of a sweep (cells whose trials routinely hit the
+    /// cap) stops burning rounds past *its* configured budget instead of
+    /// a grid-wide worst-case one.
+    ///
+    /// The caps are part of the sweep's identity: they enter the
+    /// artifact and its resume fingerprint, so a checkpoint written
+    /// under one policy cannot silently resume under another. Uniform
+    /// caps are just `|_| cap`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a policy is already attached (declare all axes first),
+    /// or if the policy yields `u32::MAX` for some cell — the engine
+    /// rejects that value (it is the uninformed sentinel), and failing
+    /// here names the offending cell instead of aborting a worker
+    /// thread mid-sweep.
+    pub fn max_rounds(mut self, policy: impl Fn(&Cell) -> u32) -> Self {
+        assert!(
+            self.max_rounds.is_none(),
+            "max_rounds policy already attached"
+        );
+        let caps: Vec<u32> = self
+            .cells()
+            .iter()
+            .map(|cell| {
+                let cap = policy(cell);
+                assert!(
+                    cap < u32::MAX,
+                    "max_rounds policy returned u32::MAX for cell {cell} (id {})",
+                    cell.id()
+                );
+                cap
+            })
+            .collect();
+        self.max_rounds = Some(caps);
+        self
+    }
+
+    /// The per-cell round caps, by cell id, when a [`Grid::max_rounds`]
+    /// policy is attached.
+    pub fn max_rounds_table(&self) -> Option<&[u32]> {
+        self.max_rounds.as_deref()
     }
 
     /// The declared axes, in declaration order.
@@ -169,7 +224,12 @@ impl Grid {
             rest /= len;
         }
         values.reverse();
-        Cell { id, names, values }
+        Cell {
+            id,
+            names,
+            values,
+            max_rounds: self.max_rounds.as_ref().map(|caps| caps[id]),
+        }
     }
 
     /// All cells, ordered by id.
@@ -191,6 +251,7 @@ pub struct Cell {
     id: usize,
     names: Arc<Vec<String>>,
     values: Vec<f64>,
+    max_rounds: Option<u32>,
 }
 
 impl Cell {
@@ -198,6 +259,13 @@ impl Cell {
     /// fastest). Seed derivation uses this, never the scheduling order.
     pub fn id(&self) -> usize {
         self.id
+    }
+
+    /// This cell's round cap under the grid's [`Grid::max_rounds`]
+    /// policy; `None` when no policy is attached (trial functions fall
+    /// back to their own default).
+    pub fn max_rounds(&self) -> Option<u32> {
+        self.max_rounds
     }
 
     /// The cell's axis values, in axis-declaration order.
@@ -302,6 +370,45 @@ mod tests {
         let grid = Grid::new();
         assert_eq!(grid.cell_count(), 1);
         assert_eq!(grid.cells()[0].values(), &[] as &[f64]);
+    }
+
+    #[test]
+    fn max_rounds_policy_travels_with_cells() {
+        let grid = Grid::new()
+            .axis(Axis::ints("n", [16, 32]))
+            .axis(Axis::explicit("q", [0.1, 0.2]))
+            .max_rounds(|cell| if cell.get("q") < 0.15 { 50_000 } else { 2_000 });
+        assert_eq!(
+            grid.max_rounds_table(),
+            Some(&[50_000, 2_000, 50_000, 2_000][..])
+        );
+        for cell in grid.cells() {
+            let expected = if cell.get("q") < 0.15 { 50_000 } else { 2_000 };
+            assert_eq!(cell.max_rounds(), Some(expected), "cell {}", cell.id());
+            assert_eq!(grid.cell(cell.id()).max_rounds(), Some(expected));
+        }
+        // Without a policy, cells carry no cap.
+        let bare = Grid::new().axis(Axis::ints("n", [4]));
+        assert_eq!(bare.max_rounds_table(), None);
+        assert_eq!(bare.cells()[0].max_rounds(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "before attaching")]
+    fn axis_after_max_rounds_rejected() {
+        let _ = Grid::new()
+            .axis(Axis::ints("n", [4]))
+            .max_rounds(|_| 10)
+            .axis(Axis::ints("m", [2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "already attached")]
+    fn double_max_rounds_rejected() {
+        let _ = Grid::new()
+            .axis(Axis::ints("n", [4]))
+            .max_rounds(|_| 10)
+            .max_rounds(|_| 20);
     }
 
     #[test]

@@ -90,6 +90,11 @@ pub struct SweepReport {
     pub(crate) axes: Vec<Axis>,
     pub(crate) base_seed: u64,
     pub(crate) budget: TrialBudget,
+    /// Per-cell round caps when the grid carried a
+    /// [`crate::Grid::max_rounds`] policy; part of the sweep's identity
+    /// (serialized and fingerprinted only when present, so artifacts
+    /// from cap-less sweeps keep their exact bytes).
+    pub(crate) max_rounds: Option<Vec<u32>>,
     pub(crate) cells: Vec<CellReport>,
 }
 
@@ -97,6 +102,12 @@ impl SweepReport {
     /// The grid axes the sweep ran over.
     pub fn axes(&self) -> &[Axis] {
         &self.axes
+    }
+
+    /// The per-cell round caps, by cell id, when the sweep's grid
+    /// carried a [`crate::Grid::max_rounds`] policy.
+    pub fn max_rounds_table(&self) -> Option<&[u32]> {
+        self.max_rounds.as_deref()
     }
 
     /// The sweep's base seed.
@@ -179,8 +190,23 @@ impl SweepReport {
         out.push_str(&format!("  \"base_seed\": {},\n", self.base_seed));
         out.push_str(&format!(
             "  \"fingerprint\": {},\n",
-            fingerprint(&self.axes, self.base_seed, &self.budget)
+            fingerprint(
+                &self.axes,
+                self.max_rounds.as_deref(),
+                self.base_seed,
+                &self.budget
+            )
         ));
+        if let Some(caps) = &self.max_rounds {
+            out.push_str("  \"max_rounds\": [");
+            for (i, cap) in caps.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&cap.to_string());
+            }
+            out.push_str("],\n");
+        }
         out.push_str(&format!(
             "  \"budget\": {{\"min_trials\": {}, \"max_trials\": {}, \"ci_target\": {}}},\n",
             self.budget.min_trials,
@@ -345,6 +371,20 @@ impl SweepReport {
             }
             axes.push(Axis::explicit(name, values));
         }
+        // Optional: sweeps without a max_rounds policy omit the key.
+        let max_rounds = match doc.get("max_rounds") {
+            Ok(arr) => {
+                let mut caps = Vec::new();
+                for v in arr.as_arr()? {
+                    let cap = v.as_u64()?;
+                    caps.push(u32::try_from(cap).map_err(|_| {
+                        SweepError::Parse(format!("max_rounds cap {cap} exceeds u32"))
+                    })?);
+                }
+                Some(caps)
+            }
+            Err(_) => None,
+        };
         let mut cells = Vec::new();
         for (i, cell) in doc.get("cells")?.as_arr()?.iter().enumerate() {
             let id = cell.get("id")?.as_usize()?;
@@ -376,10 +416,16 @@ impl SweepReport {
             axes,
             base_seed,
             budget,
+            max_rounds,
             cells,
         };
         let expected = doc.get("fingerprint")?.as_u64()?;
-        let actual = fingerprint(&report.axes, report.base_seed, &report.budget);
+        let actual = fingerprint(
+            &report.axes,
+            report.max_rounds.as_deref(),
+            report.base_seed,
+            &report.budget,
+        );
         if expected != actual {
             return Err(SweepError::Mismatch(format!(
                 "artifact fingerprint {expected} != recomputed {actual}"
@@ -411,10 +457,18 @@ fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), SweepError> {
 }
 
 /// FNV-1a fingerprint over a sweep's identity: axes (names and exact
-/// value bits), base seed, and budget. Two sweeps share a fingerprint
-/// exactly when their per-`(cell, trial)` seed streams and stopping
-/// rules coincide — the precondition for resuming from an artifact.
-pub(crate) fn fingerprint(axes: &[Axis], base_seed: u64, budget: &TrialBudget) -> u64 {
+/// value bits), the per-cell round caps (when a policy is attached —
+/// cap-less sweeps hash exactly as before, so their old artifacts stay
+/// resumable), base seed, and budget. Two sweeps share a fingerprint
+/// exactly when their per-`(cell, trial)` seed streams, round caps and
+/// stopping rules coincide — the precondition for resuming from an
+/// artifact.
+pub(crate) fn fingerprint(
+    axes: &[Axis],
+    max_rounds: Option<&[u32]>,
+    base_seed: u64,
+    budget: &TrialBudget,
+) -> u64 {
     let mut h: u64 = 0xCBF2_9CE4_8422_2325;
     let mut eat = |bytes: &[u8]| {
         for &b in bytes {
@@ -430,6 +484,12 @@ pub(crate) fn fingerprint(axes: &[Axis], base_seed: u64, budget: &TrialBudget) -
             eat(&v.to_bits().to_le_bytes());
         }
         eat(&[1]);
+    }
+    if let Some(caps) = max_rounds {
+        eat(&[2]);
+        for cap in caps {
+            eat(&cap.to_le_bytes());
+        }
     }
     eat(&base_seed.to_le_bytes());
     eat(&(budget.min_trials as u64).to_le_bytes());
@@ -457,6 +517,7 @@ mod tests {
             axes: vec![Axis::ints("n", [16, 32]), Axis::explicit("q", [0.1, 0.25])],
             base_seed: u64::MAX - 17,
             budget: TrialBudget::adaptive(3, 9, CiTarget::Relative(0.05)),
+            max_rounds: None,
             cells: vec![
                 CellReport {
                     id: 0,
@@ -569,12 +630,51 @@ mod tests {
     #[test]
     fn fingerprint_sensitive_to_config() {
         let r = sample_report();
-        let base = fingerprint(&r.axes, r.base_seed, &r.budget);
-        assert_ne!(base, fingerprint(&r.axes, r.base_seed ^ 1, &r.budget));
-        assert_ne!(base, fingerprint(&r.axes[..1], r.base_seed, &r.budget));
+        let base = fingerprint(&r.axes, None, r.base_seed, &r.budget);
+        assert_ne!(base, fingerprint(&r.axes, None, r.base_seed ^ 1, &r.budget));
+        assert_ne!(
+            base,
+            fingerprint(&r.axes[..1], None, r.base_seed, &r.budget)
+        );
         let mut other = r.budget;
         other.max_trials += 1;
-        assert_ne!(base, fingerprint(&r.axes, r.base_seed, &other));
+        assert_ne!(base, fingerprint(&r.axes, None, r.base_seed, &other));
+        // A max_rounds policy changes the trials' outcomes, so it must
+        // change the fingerprint — per cap value, not just presence.
+        let caps = [10u32, 20, 30, 40];
+        let with_caps = fingerprint(&r.axes, Some(&caps), r.base_seed, &r.budget);
+        assert_ne!(base, with_caps);
+        let other_caps = [10u32, 20, 30, 41];
+        assert_ne!(
+            with_caps,
+            fingerprint(&r.axes, Some(&other_caps), r.base_seed, &r.budget)
+        );
+    }
+
+    #[test]
+    fn max_rounds_round_trips_and_stays_optional() {
+        // Cap-less artifacts serialize without the key at all (old
+        // artifacts keep their exact bytes and fingerprints)...
+        let bare = sample_report();
+        assert!(!bare.to_json().contains("max_rounds"));
+        // ...and capped ones round-trip caps and fingerprint.
+        let mut capped = sample_report();
+        capped.max_rounds = Some(vec![100, 200, 300, 400]);
+        let json = capped.to_json();
+        assert!(json.contains("\"max_rounds\": [100, 200, 300, 400]"));
+        let reloaded = SweepReport::from_json(&json).unwrap();
+        assert_eq!(reloaded, capped);
+        assert_eq!(
+            reloaded.max_rounds_table(),
+            Some(&[100u32, 200, 300, 400][..])
+        );
+        assert_eq!(reloaded.to_json(), json);
+        // A tampered cap is a fingerprint mismatch, not a silent resume.
+        let tampered = json.replace("[100, 200, 300, 400]", "[100, 200, 300, 999]");
+        assert!(matches!(
+            SweepReport::from_json(&tampered),
+            Err(SweepError::Mismatch(_))
+        ));
     }
 
     #[test]

@@ -150,6 +150,43 @@ impl Sweep {
     where
         F: Fn(&Cell, Trial) -> Option<f64> + Sync,
     {
+        self.run_with_state(|| (), |cell, trial, ()| trial_fn(cell, trial))
+    }
+
+    /// [`Sweep::run`] with per-worker state — the zero-rebuild hook.
+    ///
+    /// Each worker thread calls `worker_state()` once and hands the
+    /// resulting value mutably to every trial it executes, so expensive
+    /// per-trial setup (model construction, buffer allocation) can be
+    /// paid once per worker and reused: hold a per-cell model cache plus
+    /// an engine `TrialScratch` in `S` and drive trials through
+    /// `SimulationBuilder::run_trial_with`. A cell's model is then
+    /// constructed once per worker per cell and merely re-randomized
+    /// (`reset`) for the cell's remaining trials.
+    ///
+    /// The determinism contract is unchanged: `trial_fn(cell, trial,
+    /// state)` must return a pure function of `(cell, trial.seed)` —
+    /// state may only carry *reusable* resources whose observable
+    /// behavior is seed-determined (exactly what the engine's model
+    /// reuse contract guarantees), never results. The report stays
+    /// byte-identical however the `(cell × trial)` items are scheduled.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Sweep::run`].
+    ///
+    /// # Panics
+    ///
+    /// Same as [`Sweep::run`].
+    pub fn run_with_state<S, I, F>(
+        self,
+        worker_state: I,
+        trial_fn: F,
+    ) -> Result<SweepReport, SweepError>
+    where
+        I: Fn() -> S + Sync,
+        F: Fn(&Cell, Trial, &mut S) -> Option<f64> + Sync,
+    {
         let cells = self.grid.cells();
         let cell_seeds: Vec<u64> = cells
             .iter()
@@ -162,8 +199,18 @@ impl Sweep {
             if path.exists() {
                 let text = std::fs::read_to_string(path)?;
                 let prior = SweepReport::from_json(&text)?;
-                let ours = fingerprint(self.grid.axes(), self.base_seed, &self.budget);
-                let theirs = fingerprint(&prior.axes, prior.base_seed, &prior.budget);
+                let ours = fingerprint(
+                    self.grid.axes(),
+                    self.grid.max_rounds_table(),
+                    self.base_seed,
+                    &self.budget,
+                );
+                let theirs = fingerprint(
+                    &prior.axes,
+                    prior.max_rounds.as_deref(),
+                    prior.base_seed,
+                    &prior.budget,
+                );
                 if ours != theirs {
                     return Err(SweepError::Mismatch(format!(
                         "checkpoint {} belongs to a different sweep (fingerprint {theirs} != {ours})",
@@ -194,16 +241,17 @@ impl Sweep {
             run_budget: self.run_budget,
             checkpoint: self.checkpoint.as_deref(),
             axes: self.grid.axes(),
+            max_rounds: self.grid.max_rounds_table(),
             base_seed: self.base_seed,
         };
 
         let workers = self.worker_count(cells.len());
         if workers <= 1 {
-            worker(&shared, &trial_fn);
+            worker(&shared, &worker_state, &trial_fn);
         } else {
             std::thread::scope(|scope| {
                 for _ in 0..workers {
-                    scope.spawn(|| worker(&shared, &trial_fn));
+                    scope.spawn(|| worker(&shared, &worker_state, &trial_fn));
                 }
             });
         }
@@ -214,6 +262,7 @@ impl Sweep {
         }
         let report = build_report(
             self.grid.axes(),
+            self.grid.max_rounds_table(),
             self.base_seed,
             &self.budget,
             &cells,
@@ -347,6 +396,7 @@ struct Shared<'a> {
     run_budget: Option<usize>,
     checkpoint: Option<&'a Path>,
     axes: &'a [Axis],
+    max_rounds: Option<&'a [u32]>,
     base_seed: u64,
 }
 
@@ -373,10 +423,14 @@ impl Drop for AbortOnPanic<'_, '_> {
     }
 }
 
-fn worker<F>(shared: &Shared<'_>, trial_fn: &F)
+fn worker<S, I, F>(shared: &Shared<'_>, worker_state: &I, trial_fn: &F)
 where
-    F: Fn(&Cell, Trial) -> Option<f64> + Sync,
+    I: Fn() -> S + Sync,
+    F: Fn(&Cell, Trial, &mut S) -> Option<f64> + Sync,
 {
+    // One state per worker thread, for the whole drain: per-cell model
+    // caches and scratch buffers live exactly as long as the worker.
+    let mut state = worker_state();
     loop {
         // Claim the next runnable (cell, trial) item, or exit.
         let claimed = {
@@ -427,7 +481,7 @@ where
             shared,
             armed: true,
         };
-        let sample = trial_fn(&shared.cells[ci], trial);
+        let sample = trial_fn(&shared.cells[ci], trial, &mut state);
         if let Some(v) = sample {
             // Reject bad samples here, where the cell and trial are still
             // known — not rounds later inside artifact serialization.
@@ -475,6 +529,7 @@ fn write_checkpoint(shared: &Shared<'_>) {
         let st = lock(shared);
         build_report(
             shared.axes,
+            shared.max_rounds,
             shared.base_seed,
             &shared.budget,
             shared.cells,
@@ -496,6 +551,7 @@ fn write_checkpoint(shared: &Shared<'_>) {
 
 fn build_report(
     axes: &[Axis],
+    max_rounds: Option<&[u32]>,
     base_seed: u64,
     budget: &TrialBudget,
     cells: &[Cell],
@@ -515,6 +571,7 @@ fn build_report(
         axes: axes.to_vec(),
         base_seed,
         budget: *budget,
+        max_rounds: max_rounds.map(|caps| caps.to_vec()),
         cells,
     }
 }
@@ -636,6 +693,78 @@ mod tests {
             .run(synthetic)
             .unwrap_err();
         assert!(matches!(err, SweepError::Mismatch(_)));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn run_with_state_is_byte_identical_to_stateless_run() {
+        // Per-worker state (a counter standing in for a model cache)
+        // must not leak into results; scheduling and worker counts vary,
+        // the artifact doesn't.
+        let stateless = Sweep::over(grid())
+            .budget(TrialBudget::adaptive(3, 32, CiTarget::Absolute(0.5)))
+            .base_seed(99)
+            .parallel(false)
+            .run(synthetic)
+            .unwrap()
+            .to_json();
+        for threads in [1usize, 4] {
+            let stateful = Sweep::over(grid())
+                .budget(TrialBudget::adaptive(3, 32, CiTarget::Absolute(0.5)))
+                .base_seed(99)
+                .threads(threads)
+                .run_with_state(
+                    || 0usize,
+                    |cell, trial, reused| {
+                        *reused += 1; // worker-local bookkeeping only
+                        synthetic(cell, trial)
+                    },
+                )
+                .unwrap()
+                .to_json();
+            assert_eq!(stateful, stateless, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn per_cell_round_caps_reach_trials_and_checkpoints() {
+        let capped_grid = || {
+            Grid::new()
+                .axis(Axis::ints("n", [4, 8]))
+                .max_rounds(|cell| 100 * cell.usize("n") as u32)
+        };
+        let flat = |_: &Cell, trial: Trial| Some(10.0 + (trial.seed % 7) as f64);
+        let report = Sweep::over(capped_grid())
+            .budget(TrialBudget::fixed(2))
+            .run(|cell, trial| {
+                assert_eq!(cell.max_rounds(), Some(100 * cell.usize("n") as u32));
+                flat(cell, trial)
+            })
+            .unwrap();
+        assert_eq!(report.max_rounds_table(), Some(&[400u32, 800][..]));
+        // The artifact round-trips the caps...
+        let json = report.to_json();
+        assert_eq!(
+            SweepReport::from_json(&json).unwrap().max_rounds_table(),
+            Some(&[400u32, 800][..])
+        );
+        // ...and a checkpoint from a different policy is rejected.
+        let dir = std::env::temp_dir().join(format!("dg_sweep_caps_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("caps.json");
+        report.write_json(&path).unwrap();
+        let err = Sweep::over(Grid::new().axis(Axis::ints("n", [4, 8])))
+            .budget(TrialBudget::fixed(2))
+            .checkpoint(&path)
+            .run(flat)
+            .unwrap_err();
+        assert!(matches!(err, SweepError::Mismatch(_)));
+        let resumed = Sweep::over(capped_grid())
+            .budget(TrialBudget::fixed(2))
+            .checkpoint(&path)
+            .run(flat)
+            .unwrap();
+        assert_eq!(resumed.to_json(), json);
         let _ = std::fs::remove_file(&path);
     }
 

@@ -198,6 +198,46 @@ fn run_trial_hook_reproduces_batch_trials_on_both_paths() {
 }
 
 #[test]
+fn model_reuse_and_scratch_are_byte_identical_to_fresh_construction() {
+    // The zero-rebuild pipeline: per-worker model reuse (reset between
+    // trials) + reusable TrialScratch must reproduce the fresh-
+    // allocation path record for record, on both stepping paths, for a
+    // model with lazily grown internal state (the sparse-init edge-MEG's
+    // occupancy map) and under warm-up.
+    let lazy_meg = |seed: u64| {
+        let n = 96;
+        SparseTwoStateEdgeMeg::stationary_sparse_init(n, 1.5 / n as f64, 0.4, seed).unwrap()
+    };
+    for stepping in [Stepping::Snapshot, Stepping::Delta] {
+        let builder = move || {
+            Simulation::builder()
+                .model(lazy_meg)
+                .trials(8)
+                .warm_up(12)
+                .max_rounds(MAX_ROUNDS)
+                .base_seed(BASE_SEED ^ 0x2E5)
+                .stepping(stepping)
+        };
+        let reused = builder().run();
+        let fresh = builder().reuse_models(false).run();
+        assert_eq!(reused, fresh, "{stepping:?}");
+
+        // The opt-in handle external schedulers use: one model slot +
+        // one scratch across all trials equals the stateless hook.
+        let mut model = None;
+        let mut scratch = dynspread::dynagraph::engine::TrialScratch::new();
+        let b = builder();
+        for (i, rec) in fresh.records().iter().enumerate() {
+            assert_eq!(
+                &b.run_trial_with(i, &mut model, &mut scratch),
+                rec,
+                "{stepping:?} trial {i}"
+            );
+        }
+    }
+}
+
+#[test]
 fn engine_parsimonious_matches_legacy_parsimonious_flood() {
     for ttl in [1u32, 3] {
         let report = Simulation::builder()
