@@ -1,0 +1,85 @@
+//! t17 — serving overhead: what the store and daemon layers cost on
+//! top of the sweeps they cache.
+//!
+//! The serving stack's pitch is that a phase-diagram query costs a file
+//! read, not a sweep; this bench puts numbers on the layers in between:
+//!
+//! * **store put / get_raw / open-scan** — content-addressed write,
+//!   read, and the startup index rebuild over a populated store;
+//! * **HTTP round-trips** — `GET /healthz`, a full artifact fetch, and
+//!   a nearest-cell query, each over a fresh TCP connection to an
+//!   in-process daemon (connection setup included: that is what a
+//!   one-shot `curl` pays).
+//!
+//! Respects `DG_BENCH_QUICK=1` like every other bench target.
+
+use std::sync::Arc;
+
+use dg_bench::Harness;
+use dg_serve::{http, ArtifactStore, Daemon, Workload};
+use dynagraph::sweep::{Axis, SweepSpec, TrialBudget};
+
+fn main() {
+    let harness = Harness::from_args();
+    let quick = dg_bench::quick_mode();
+    let cells = if quick { 16 } else { 128 };
+    let trials = if quick { 8 } else { 32 };
+
+    let root = std::env::temp_dir().join(format!("dg_serve_bench_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let store = ArtifactStore::open(&root).expect("bench store");
+    let spec = SweepSpec::new(
+        vec![
+            Axis::ints("x", 1..=cells),
+            Axis::explicit("y", [0.25, 0.75]),
+        ],
+        0xBE4C,
+        TrialBudget::fixed(trials),
+    );
+    let report = spec
+        .sweep()
+        .run(Workload::synthetic().trial_fn())
+        .expect("no checkpoint, cannot fail");
+    let fp = report.fingerprint();
+    println!(
+        "artifact: {} cells x {trials} trials, {} bytes\n",
+        2 * cells,
+        report.to_json().len()
+    );
+
+    harness.bench("store: put (atomic write + index)", || {
+        store.put(&report).unwrap()
+    });
+    harness.bench("store: get_raw (indexed read)", || {
+        store.get_raw(fp).unwrap().unwrap()
+    });
+    harness.bench("store: open (startup scan + validate)", || {
+        ArtifactStore::open(&root).unwrap().list().len()
+    });
+
+    let daemon = Arc::new(
+        Daemon::start(
+            ArtifactStore::open(&root).unwrap(),
+            Workload::synthetic(),
+            1,
+        )
+        .unwrap(),
+    );
+    let handler = Arc::clone(&daemon);
+    let server = http::serve("127.0.0.1:0", move |req| handler.handle(req)).unwrap();
+    let addr = server.addr();
+
+    harness.bench("http: GET /healthz round-trip", || {
+        http::request(addr, "GET", "/healthz", b"").unwrap()
+    });
+    harness.bench("http: GET /sweep/<fp> (full artifact)", || {
+        http::request(addr, "GET", &format!("/sweep/{fp}"), b"").unwrap()
+    });
+    harness.bench("http: GET /sweep/<fp>/cell (nearest)", || {
+        http::request(addr, "GET", &format!("/sweep/{fp}/cell?x=3.7&y=0.5"), b"").unwrap()
+    });
+
+    server.shutdown();
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -66,8 +66,8 @@
 //! [`SimulationBuilder::base_seed`]: crate::engine::SimulationBuilder::base_seed
 
 pub use dg_sweep::{
-    mix_seed, Axis, Cell, CellReport, CiTarget, Grid, Sweep, SweepError, SweepReport, Trial,
-    TrialBudget,
+    mix_seed, Axis, Cell, CellReport, CiTarget, Grid, NearestCell, Sweep, SweepError, SweepReport,
+    SweepSpec, Trial, TrialBudget,
 };
 
 #[cfg(test)]

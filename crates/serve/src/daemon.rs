@@ -1,0 +1,597 @@
+//! The query daemon: HTTP routes over an [`ArtifactStore`] plus a
+//! background worker pool that runs cache-miss sweeps.
+//!
+//! The lifecycle of a request for a sweep nobody has run yet:
+//!
+//! 1. `POST /sweep` parses the body as a [`SweepSpec`], validates it
+//!    against the daemon's [`Workload`], and fingerprints it;
+//! 2. a store hit serves the artifact immediately (`200`); a miss
+//!    enqueues the spec (`202`) — at most once per fingerprint;
+//! 3. a worker runs the sweep *checkpointing directly into the store*
+//!    at [`ArtifactStore::path_for`], so every intermediate state is a
+//!    valid incomplete artifact at the right address;
+//! 4. `GET /sweep/<fp>` serves whatever is stored — partial while the
+//!    sweep runs (`"complete": false`), final bytes once decided.
+//!
+//! Crash safety falls out of step 3: a killed daemon leaves an
+//! incomplete artifact where its restart's store scan finds it, and
+//! [`Daemon::start`] re-enqueues every incomplete artifact's spec
+//! ([`SweepSpec::of_report`]). Since resumed sweeps are byte-identical
+//! to uninterrupted ones (the `dg-sweep` invariant), a client polling
+//! across the crash cannot tell it happened — same fingerprint, same
+//! final bytes.
+
+use std::collections::{HashSet, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use dg_sweep::{SweepError, SweepReport, SweepSpec};
+
+use crate::http::{push_json_string, Request, Response};
+use crate::store::{ArtifactMeta, ArtifactStore, StoreError};
+use crate::workload::Workload;
+
+/// What [`Daemon::submit`] decided about a spec.
+#[derive(Debug)]
+pub enum Submission {
+    /// The artifact is stored and complete — a cache hit.
+    Complete(ArtifactMeta),
+    /// The sweep is queued or running; poll `GET /sweep/<fp>`.
+    Pending(u64),
+    /// The workload refused the spec (the message is the `400` body).
+    Rejected(String),
+}
+
+struct QueueState {
+    jobs: VecDeque<SweepSpec>,
+    /// Fingerprints queued or running — the dedup set.
+    pending: HashSet<u64>,
+    shutdown: bool,
+}
+
+struct Shared {
+    store: ArtifactStore,
+    workload: Workload,
+    queue: Mutex<QueueState>,
+    /// Signals workers that a job arrived (or shutdown began).
+    wake: Condvar,
+    /// Signals waiters that a job finished.
+    done: Condvar,
+}
+
+/// The daemon: a store, a workload, and the worker pool between them.
+///
+/// All request handling goes through [`Daemon::handle`], which is
+/// `&self` and thread-safe — hand it to [`crate::http::serve`] behind
+/// an `Arc`.
+#[derive(Debug)]
+pub struct Daemon {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("workload", &self.workload)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Daemon {
+    /// Starts `workers` background sweep threads over `store`, and
+    /// re-enqueues every incomplete stored artifact (the crash-resume
+    /// scan). Incomplete artifacts the workload no longer validates are
+    /// left in place, untouched.
+    pub fn start(
+        store: ArtifactStore,
+        workload: Workload,
+        workers: usize,
+    ) -> Result<Daemon, StoreError> {
+        let resume: Vec<SweepSpec> = store
+            .incomplete_specs()?
+            .into_iter()
+            .filter(|spec| workload.validate(spec).is_ok())
+            .collect();
+        let pending = resume.iter().map(SweepSpec::fingerprint).collect();
+        let shared = Arc::new(Shared {
+            store,
+            workload,
+            queue: Mutex::new(QueueState {
+                jobs: resume.into(),
+                pending,
+                shutdown: false,
+            }),
+            wake: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let workers = (0..workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Ok(Daemon {
+            shared,
+            workers: Mutex::new(workers),
+        })
+    }
+
+    /// The daemon's store.
+    pub fn store(&self) -> &ArtifactStore {
+        &self.shared.store
+    }
+
+    /// Fingerprints currently queued or running, in no particular
+    /// order.
+    pub fn pending(&self) -> Vec<u64> {
+        let queue = self.shared.queue.lock().unwrap();
+        queue.pending.iter().copied().collect()
+    }
+
+    /// Routes a spec: cache hit, freshly queued, deduplicated against
+    /// an in-flight run, or rejected by the workload.
+    pub fn submit(&self, spec: SweepSpec) -> Result<Submission, StoreError> {
+        let fingerprint = spec.fingerprint();
+        if let Some(meta) = self.shared.store.meta(fingerprint) {
+            if meta.complete {
+                return Ok(Submission::Complete(meta));
+            }
+        }
+        if let Err(msg) = self.shared.workload.validate(&spec) {
+            return Ok(Submission::Rejected(msg));
+        }
+        let mut queue = self.shared.queue.lock().unwrap();
+        if queue.pending.insert(fingerprint) {
+            queue.jobs.push_back(spec);
+            self.shared.wake.notify_one();
+        }
+        Ok(Submission::Pending(fingerprint))
+    }
+
+    /// Blocks until no job is queued or running, or the timeout lapses;
+    /// returns whether the daemon went idle.
+    pub fn wait_idle(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut queue = self.shared.queue.lock().unwrap();
+        while !queue.pending.is_empty() {
+            let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                return false;
+            };
+            let (guard, wait) = self.shared.done.wait_timeout(queue, left).unwrap();
+            queue = guard;
+            if wait.timed_out() && !queue.pending.is_empty() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Stops the worker pool and joins it. Workers finish the sweep
+    /// they are on (it checkpoints into the store either way); queued
+    /// jobs stay on disk as incomplete artifacts only if they already
+    /// started — unstarted jobs are simply dropped, and a restart or
+    /// re-submission schedules them again.
+    pub fn shutdown(&self) {
+        {
+            let mut queue = self.shared.queue.lock().unwrap();
+            queue.shutdown = true;
+        }
+        self.shared.wake.notify_all();
+        let workers: Vec<_> = self.workers.lock().unwrap().drain(..).collect();
+        for worker in workers {
+            let _ = worker.join();
+        }
+    }
+
+    /// Serves one request. See the crate docs for the route table.
+    pub fn handle(&self, req: &Request) -> Response {
+        let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+        let result = match (req.method.as_str(), segments.as_slice()) {
+            ("GET", []) | ("GET", ["healthz"]) => Ok(self.health()),
+            ("GET", ["sweeps"]) => Ok(self.list()),
+            ("GET", ["sweep", fp]) => self.artifact(fp, req),
+            ("GET", ["sweep", fp, "cell"]) => self.cell(fp, req),
+            ("POST", ["sweep"]) => self.post_sweep(req),
+            (_, [] | ["healthz"] | ["sweeps"] | ["sweep", ..]) => {
+                Ok(Response::error(405, "method not allowed on this path"))
+            }
+            _ => Ok(Response::error(404, "no such path")),
+        };
+        result.unwrap_or_else(|e: StoreError| Response::error(500, &e.to_string()))
+    }
+
+    fn health(&self) -> Response {
+        let mut body = String::from("{\"ok\": true, \"workload\": ");
+        push_json_string(&mut body, self.shared.workload.name());
+        body.push_str(&format!(
+            ", \"artifacts\": {}, \"pending\": {}}}\n",
+            self.shared.store.list().len(),
+            self.pending().len()
+        ));
+        Response::json(200, body)
+    }
+
+    fn list(&self) -> Response {
+        let mut pending = self.pending();
+        pending.sort_unstable();
+        let mut body = String::from("{\n  \"artifacts\": [\n");
+        let artifacts = self.shared.store.list();
+        for (i, meta) in artifacts.iter().enumerate() {
+            body.push_str("    ");
+            push_meta(&mut body, meta);
+            body.push_str(if i + 1 < artifacts.len() { ",\n" } else { "\n" });
+        }
+        body.push_str("  ],\n  \"pending\": [");
+        for (i, fp) in pending.iter().enumerate() {
+            if i > 0 {
+                body.push_str(", ");
+            }
+            body.push_str(&fp.to_string());
+        }
+        body.push_str("]\n}\n");
+        Response::json(200, body)
+    }
+
+    fn artifact(&self, fp: &str, req: &Request) -> Result<Response, StoreError> {
+        let Some(fingerprint) = parse_fingerprint(fp) else {
+            return Ok(Response::error(400, "fingerprint must be a decimal u64"));
+        };
+        let Some(bytes) = self.shared.store.get_raw(fingerprint)? else {
+            return Ok(self.miss(fingerprint));
+        };
+        if wants_csv(req) {
+            let text = String::from_utf8_lossy(&bytes);
+            let report = SweepReport::from_json(&text)?;
+            return Ok(Response::csv(report.to_csv()));
+        }
+        Ok(Response::json(200, bytes))
+    }
+
+    /// A fingerprint with no stored bytes: `202` while its sweep is
+    /// in flight (a job can be queued before its first checkpoint
+    /// lands), `404` otherwise.
+    fn miss(&self, fingerprint: u64) -> Response {
+        let queue = self.shared.queue.lock().unwrap();
+        if queue.pending.contains(&fingerprint) {
+            pending_response(fingerprint)
+        } else {
+            Response::error(404, "no artifact at this fingerprint")
+        }
+    }
+
+    fn cell(&self, fp: &str, req: &Request) -> Result<Response, StoreError> {
+        let Some(fingerprint) = parse_fingerprint(fp) else {
+            return Ok(Response::error(400, "fingerprint must be a decimal u64"));
+        };
+        let Some(report) = self.shared.store.get(fingerprint)? else {
+            return Ok(self.miss(fingerprint));
+        };
+        let mut query: Vec<(&str, f64)> = Vec::with_capacity(req.query.len());
+        for (name, value) in &req.query {
+            let Ok(v) = value.parse::<f64>() else {
+                return Ok(Response::error(
+                    400,
+                    &format!("query value {value:?} for axis {name:?} is not a number"),
+                ));
+            };
+            query.push((name.as_str(), v));
+        }
+        let nearest = match report.nearest_cell(&query) {
+            Ok(n) => n,
+            Err(SweepError::Query(msg)) => return Ok(Response::error(400, &msg)),
+            Err(e) => return Err(e.into()),
+        };
+        let mut body = format!(
+            "{{\n  \"fingerprint\": {fingerprint},\n  \"exact\": {},\n  \"distance\": {},\n  \"cell\": {{\n    \"id\": {},\n    \"coords\": {{",
+            nearest.exact,
+            num(Some(nearest.distance)),
+            nearest.cell.id,
+        );
+        for (i, axis) in report.axes().iter().enumerate() {
+            if i > 0 {
+                body.push_str(", ");
+            }
+            push_json_string(&mut body, axis.name());
+            body.push_str(&format!(": {}", num(Some(nearest.cell.values[i]))));
+        }
+        let ci = nearest.cell.ci();
+        body.push_str(&format!(
+            "}},\n    \"decided\": {},\n    \"trials\": {},\n    \"incomplete\": {},\n    \"mean\": {},\n    \"p95\": {},\n    \"max\": {},\n    \"ci_lo\": {},\n    \"ci_hi\": {}\n  }}\n}}\n",
+            nearest.cell.decided,
+            nearest.cell.trials(),
+            nearest.cell.incomplete(),
+            num(nearest.cell.mean()),
+            num(nearest.cell.p95()),
+            num(nearest.cell.max()),
+            num(ci.as_ref().map(|ci| ci.lo)),
+            num(ci.as_ref().map(|ci| ci.hi)),
+        ));
+        Ok(Response::json(200, body))
+    }
+
+    fn post_sweep(&self, req: &Request) -> Result<Response, StoreError> {
+        let Ok(body) = std::str::from_utf8(&req.body) else {
+            return Ok(Response::error(400, "body must be UTF-8 JSON"));
+        };
+        let spec = match SweepSpec::from_json(body) {
+            Ok(spec) => spec,
+            Err(e) => return Ok(Response::error(400, &e.to_string())),
+        };
+        match self.submit(spec)? {
+            Submission::Complete(meta) => {
+                let bytes = self
+                    .shared
+                    .store
+                    .get_raw(meta.fingerprint)?
+                    .unwrap_or_default();
+                Ok(Response::json(200, bytes))
+            }
+            // Answer 202 directly rather than re-checking the pending
+            // set — a fast sweep could already have finished, and the
+            // submission outcome, not the later state, is the answer.
+            Submission::Pending(fingerprint) => Ok(pending_response(fingerprint)),
+            Submission::Rejected(msg) => Ok(Response::error(400, &msg)),
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let spec = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                if queue.shutdown {
+                    return;
+                }
+                if let Some(spec) = queue.jobs.pop_front() {
+                    break spec;
+                }
+                queue = shared.wake.wait(queue).unwrap();
+            }
+        };
+        let fingerprint = spec.fingerprint();
+        let run = spec
+            .sweep()
+            .checkpoint(shared.store.path_for(fingerprint))
+            .run(shared.workload.trial_fn());
+        if let Err(e) = &run {
+            eprintln!("dg-serve: sweep {fingerprint} failed: {e}");
+        }
+        // Index whatever the checkpointing run left on disk — the final
+        // artifact on success, the last checkpoint on error.
+        if let Err(e) = shared.store.refresh(fingerprint) {
+            eprintln!("dg-serve: indexing sweep {fingerprint} failed: {e}");
+        }
+        let mut queue = shared.queue.lock().unwrap();
+        queue.pending.remove(&fingerprint);
+        shared.done.notify_all();
+    }
+}
+
+fn parse_fingerprint(s: &str) -> Option<u64> {
+    s.parse().ok()
+}
+
+fn pending_response(fingerprint: u64) -> Response {
+    Response::json(
+        202,
+        format!(
+            "{{\"status\": \"pending\", \"fingerprint\": {fingerprint}, \"url\": \"/sweep/{fingerprint}\"}}\n"
+        ),
+    )
+}
+
+/// `text/csv` via `?format=csv` or an `Accept` preferring CSV.
+fn wants_csv(req: &Request) -> bool {
+    match req.query_param("format") {
+        Some("csv") => true,
+        Some(_) => false,
+        None => req.header("accept").is_some_and(|a| a.contains("text/csv")),
+    }
+}
+
+/// A JSON number for a statistic: `null` when absent or non-finite.
+fn num(x: Option<f64>) -> String {
+    match x {
+        Some(v) if v.is_finite() => format!("{v}"),
+        _ => "null".to_string(),
+    }
+}
+
+fn push_meta(body: &mut String, meta: &ArtifactMeta) {
+    body.push_str(&format!(
+        "{{\"fingerprint\": {}, \"complete\": {}, \"cells\": {}, \"decided_cells\": {}, \"total_trials\": {}, \"axes\": [",
+        meta.fingerprint, meta.complete, meta.cells, meta.decided_cells, meta.total_trials
+    ));
+    for (i, (name, len)) in meta.axes.iter().enumerate() {
+        if i > 0 {
+            body.push_str(", ");
+        }
+        body.push_str("{\"name\": ");
+        push_json_string(body, name);
+        body.push_str(&format!(", \"len\": {len}}}"));
+    }
+    body.push_str("]}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_sweep::{Axis, TrialBudget};
+    use std::path::PathBuf;
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let root =
+            std::env::temp_dir().join(format!("dg_serve_daemon_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        root
+    }
+
+    fn daemon(root: &PathBuf) -> Daemon {
+        Daemon::start(ArtifactStore::open(root).unwrap(), Workload::synthetic(), 2).unwrap()
+    }
+
+    fn spec(seed: u64) -> SweepSpec {
+        SweepSpec::new(
+            vec![Axis::ints("x", [1, 2, 3])],
+            seed,
+            TrialBudget::fixed(3),
+        )
+    }
+
+    fn get(daemon: &Daemon, target: &str) -> Response {
+        let (path, query_str) = target.split_once('?').unwrap_or((target, ""));
+        let query = query_str
+            .split('&')
+            .filter(|kv| !kv.is_empty())
+            .map(|kv| {
+                let (k, v) = kv.split_once('=').unwrap_or((kv, ""));
+                (k.to_string(), v.to_string())
+            })
+            .collect();
+        daemon.handle(&Request {
+            method: "GET".to_string(),
+            path: path.to_string(),
+            query,
+            headers: vec![],
+            body: vec![],
+        })
+    }
+
+    fn post(daemon: &Daemon, body: &str) -> Response {
+        daemon.handle(&Request {
+            method: "POST".to_string(),
+            path: "/sweep".to_string(),
+            query: vec![],
+            headers: vec![],
+            body: body.as_bytes().to_vec(),
+        })
+    }
+
+    #[test]
+    fn miss_then_hit_serves_identical_bytes_to_direct_run() {
+        let root = tmp_root("miss_hit");
+        let d = daemon(&root);
+        let s = spec(5);
+        let posted = post(&d, &s.to_json());
+        assert_eq!(posted.status, 202, "{:?}", String::from_utf8(posted.body));
+        assert!(d.wait_idle(Duration::from_secs(30)));
+        let served = get(&d, &format!("/sweep/{}", s.fingerprint()));
+        assert_eq!(served.status, 200);
+        let direct = s.sweep().run(Workload::synthetic().trial_fn()).unwrap();
+        assert_eq!(served.body, direct.to_json().into_bytes());
+        // Second post: cache hit, same bytes, no new job.
+        let again = post(&d, &s.to_json());
+        assert_eq!(again.status, 200);
+        assert_eq!(again.body, served.body);
+        assert!(d.pending().is_empty());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn routes_and_errors() {
+        let root = tmp_root("routes");
+        let d = daemon(&root);
+        assert_eq!(get(&d, "/healthz").status, 200);
+        assert_eq!(get(&d, "/sweeps").status, 200);
+        assert_eq!(get(&d, "/nope").status, 404);
+        assert_eq!(get(&d, "/sweep/notanumber").status, 400);
+        assert_eq!(get(&d, "/sweep/12345").status, 404);
+        assert_eq!(post(&d, "{ not json").status, 400);
+        // Valid JSON, malformed spec.
+        assert_eq!(
+            post(&d, "{\"axes\": [{\"name\": \"x\", \"values\": []}]}").status,
+            400
+        );
+        let wrong_method = d.handle(&Request {
+            method: "DELETE".to_string(),
+            path: "/sweeps".to_string(),
+            query: vec![],
+            headers: vec![],
+            body: vec![],
+        });
+        assert_eq!(wrong_method.status, 405);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn csv_and_cell_queries_serve_summaries() {
+        let root = tmp_root("csv_cell");
+        let d = daemon(&root);
+        let s = spec(7);
+        let report = s.sweep().run(Workload::synthetic().trial_fn()).unwrap();
+        d.store().put(&report).unwrap();
+        let fp = s.fingerprint();
+        let csv = get(&d, &format!("/sweep/{fp}?format=csv"));
+        assert_eq!(csv.status, 200);
+        assert_eq!(csv.body, report.to_csv().into_bytes());
+        // Exact cell.
+        let exact = get(&d, &format!("/sweep/{fp}/cell?x=2"));
+        assert_eq!(exact.status, 200);
+        let body = String::from_utf8(exact.body).unwrap();
+        assert!(body.contains("\"exact\": true"), "{body}");
+        assert!(body.contains("\"x\": 2"), "{body}");
+        // Nearest cell.
+        let near = get(&d, &format!("/sweep/{fp}/cell?x=2.4"));
+        let body = String::from_utf8(near.body).unwrap();
+        assert!(body.contains("\"exact\": false"), "{body}");
+        assert!(body.contains("\"x\": 2"), "{body}");
+        // Bad queries are 400s with the validator's message.
+        assert_eq!(get(&d, &format!("/sweep/{fp}/cell?y=1")).status, 400);
+        assert_eq!(get(&d, &format!("/sweep/{fp}/cell?x=abc")).status, 400);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn restart_resumes_incomplete_artifacts() {
+        let root = tmp_root("resume");
+        let s = spec(11);
+        let fp = s.fingerprint();
+        // Fabricate a crash: run the sweep under a tight run_budget so
+        // its checkpoint is a genuine partial artifact, as a kill
+        // mid-sweep would leave.
+        {
+            let store = ArtifactStore::open(&root).unwrap();
+            let partial = s
+                .sweep()
+                .run_budget(2)
+                .checkpoint(store.path_for(fp))
+                .run(Workload::synthetic().trial_fn())
+                .unwrap();
+            assert!(!partial.is_complete());
+        }
+        // A fresh daemon over the same root finds and finishes it.
+        let d = daemon(&root);
+        assert!(d.wait_idle(Duration::from_secs(30)));
+        let meta = d.store().meta(fp).unwrap();
+        assert!(meta.complete);
+        let direct = s.sweep().run(Workload::synthetic().trial_fn()).unwrap();
+        assert_eq!(
+            d.store().get_raw(fp).unwrap().unwrap(),
+            direct.to_json().into_bytes()
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn duplicate_submissions_deduplicate() {
+        let root = tmp_root("dedup");
+        let d = daemon(&root);
+        let s = spec(13);
+        for _ in 0..5 {
+            let r = post(&d, &s.to_json());
+            assert!(r.status == 202 || r.status == 200);
+        }
+        assert!(d.wait_idle(Duration::from_secs(30)));
+        assert_eq!(d.store().list().len(), 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -1,0 +1,434 @@
+//! A hand-rolled HTTP/1.1 server on `std::net` — this image has no
+//! crates.io, so the daemon speaks the protocol itself.
+//!
+//! Deliberately minimal: one request per connection (`Connection:
+//! close`), bounded header and body sizes, percent-decoded query
+//! strings, and nothing the daemon does not need. The accept loop hands
+//! each connection to a short-lived thread; a [`ServerHandle`] unblocks
+//! the loop for a clean in-process shutdown (the production story for
+//! an unclean one is the store's crash-safe resume, not this handle).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Largest accepted request head (request line + headers).
+const MAX_HEAD: usize = 16 * 1024;
+/// Largest accepted request body.
+const MAX_BODY: usize = 4 * 1024 * 1024;
+/// Per-connection socket timeout: a stalled client cannot pin its
+/// handler thread forever.
+const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Upper-case method token (`GET`, `POST`, ...).
+    pub method: String,
+    /// Decoded path, query string stripped (`/sweep/42/cell`).
+    pub path: String,
+    /// Decoded query parameters, in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Headers with lower-cased names, in order of appearance.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first header of the given (lower-case) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The first query parameter of the given name.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// One HTTP response: status, content type, body.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into(),
+        }
+    }
+
+    /// A CSV response.
+    pub fn csv(body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status: 200,
+            content_type: "text/csv",
+            body: body.into(),
+        }
+    }
+
+    /// A JSON error envelope `{"error": "..."}`.
+    pub fn error(status: u16, message: &str) -> Self {
+        let mut body = String::from("{\"error\": ");
+        push_json_string(&mut body, message);
+        body.push_str("}\n");
+        Response::json(status, body)
+    }
+
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            202 => "Accepted",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            413 => "Payload Too Large",
+            431 => "Request Header Fields Too Large",
+            _ => "Internal Server Error",
+        }
+    }
+
+    fn write_to(&self, stream: &mut impl Write) -> std::io::Result<()> {
+        write!(
+            stream,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            self.reason(),
+            self.content_type,
+            self.body.len()
+        )?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+/// Appends a JSON string literal (escaped) to `out`.
+pub(crate) fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Decodes `%XX` escapes and `+`-as-space in a query component.
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' if i + 2 < bytes.len() + 1 && i + 2 < bytes.len() + 1 => {
+                match bytes
+                    .get(i + 1..i + 3)
+                    .and_then(|h| std::str::from_utf8(h).ok())
+                    .and_then(|h| u8::from_str_radix(h, 16).ok())
+                {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Parses one request from a connection, or answers early with an error
+/// response (`Err` carries what to send back).
+fn read_request(stream: &mut BufReader<TcpStream>) -> Result<Request, Response> {
+    // Head: everything up to the blank line, bounded.
+    let mut head = Vec::new();
+    loop {
+        let mut line = Vec::new();
+        stream
+            .read_until(b'\n', &mut line)
+            .map_err(|_| Response::error(400, "read failed"))?;
+        if line.is_empty() {
+            return Err(Response::error(400, "connection closed mid-request"));
+        }
+        head.extend_from_slice(&line);
+        if head.len() > MAX_HEAD {
+            return Err(Response::error(431, "request head too large"));
+        }
+        if line == b"\r\n" || line == b"\n" {
+            break;
+        }
+        if head.len() == line.len() {
+            continue; // request line just read; keep going for headers
+        }
+    }
+    let head = String::from_utf8_lossy(&head).into_owned();
+    let mut lines = head.lines();
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let (method, target, version) = (
+        parts.next().unwrap_or_default(),
+        parts.next().unwrap_or_default(),
+        parts.next().unwrap_or_default(),
+    );
+    if method.is_empty() || target.is_empty() || !version.starts_with("HTTP/1.") {
+        return Err(Response::error(400, "malformed request line"));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(Response::error(400, "malformed header"));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let query = query_str
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(kv), String::new()),
+        })
+        .collect();
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.parse::<usize>())
+        .transpose()
+        .map_err(|_| Response::error(400, "bad content-length"))?
+        .unwrap_or(0);
+    if content_length > MAX_BODY {
+        return Err(Response::error(413, "request body too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    stream
+        .read_exact(&mut body)
+        .map_err(|_| Response::error(400, "truncated body"))?;
+    Ok(Request {
+        method: method.to_string(),
+        path: percent_decode(path),
+        query,
+        headers,
+        body,
+    })
+}
+
+/// A running server: bound address plus the shutdown handle.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the listener actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins it. In-flight connection handlers
+    /// finish on their own threads.
+    pub fn shutdown(mut self) {
+        self.stop_accept_loop();
+    }
+
+    fn stop_accept_loop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept call with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.stop_accept_loop();
+        }
+    }
+}
+
+/// Binds `addr` and serves `handler` on a background accept loop, one
+/// short-lived thread per connection.
+pub fn serve<H>(addr: impl ToSocketAddrs, handler: H) -> std::io::Result<ServerHandle>
+where
+    H: Fn(&Request) -> Response + Send + Sync + 'static,
+{
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let loop_stop = Arc::clone(&stop);
+    let handler = Arc::new(handler);
+    let accept_thread = std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            if loop_stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(conn) = conn else { continue };
+            let handler = Arc::clone(&handler);
+            std::thread::spawn(move || handle_connection(conn, &*handler));
+        }
+    });
+    Ok(ServerHandle {
+        addr,
+        stop,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+fn handle_connection<H>(conn: TcpStream, handler: &H)
+where
+    H: Fn(&Request) -> Response,
+{
+    let _ = conn.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = conn.set_write_timeout(Some(IO_TIMEOUT));
+    let mut reader = BufReader::new(conn);
+    let response = match read_request(&mut reader) {
+        Ok(request) => handler(&request),
+        Err(early) => early,
+    };
+    let mut conn = reader.into_inner();
+    let _ = response.write_to(&mut conn);
+}
+
+/// A one-shot HTTP/1.1 client request over a fresh connection — the
+/// counterpart the integration tests and examples drive the daemon
+/// with (and a reference for what the server expects on the wire).
+///
+/// Returns `(status, body)`.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    target: &str,
+    body: &[u8],
+) -> std::io::Result<(u16, Vec<u8>)> {
+    let mut conn = TcpStream::connect(addr)?;
+    conn.set_read_timeout(Some(IO_TIMEOUT))?;
+    conn.set_write_timeout(Some(IO_TIMEOUT))?;
+    write!(
+        conn,
+        "{method} {target} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    conn.write_all(body)?;
+    conn.flush()?;
+    let mut raw = Vec::new();
+    conn.take((MAX_BODY + MAX_HEAD) as u64)
+        .read_to_end(&mut raw)?;
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no header end"))?;
+    let head = String::from_utf8_lossy(&raw[..head_end]);
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no status"))?;
+    Ok((status, raw[head_end + 4..].to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_and_routes_a_request() {
+        let handle = serve("127.0.0.1:0", |req: &Request| {
+            assert_eq!(req.method, "GET");
+            assert_eq!(req.path, "/echo path");
+            assert_eq!(req.query_param("a"), Some("1.5"));
+            assert_eq!(req.query_param("b"), Some("x y"));
+            assert_eq!(req.header("x-test"), Some("yes"));
+            Response::json(200, "{\"ok\": true}")
+        })
+        .unwrap();
+        let mut conn = TcpStream::connect(handle.addr()).unwrap();
+        write!(
+            conn,
+            "GET /echo%20path?a=1.5&b=x+y HTTP/1.1\r\nHost: t\r\nX-Test: yes\r\n\r\n"
+        )
+        .unwrap();
+        let mut out = String::new();
+        conn.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 200 OK\r\n"), "{out}");
+        assert!(out.ends_with("{\"ok\": true}"), "{out}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn posts_carry_bodies_and_client_helper_agrees() {
+        let handle = serve("127.0.0.1:0", |req: &Request| {
+            assert_eq!(req.method, "POST");
+            Response::json(202, req.body.clone())
+        })
+        .unwrap();
+        let (status, body) = request(handle.addr(), "POST", "/sweep", b"{\"x\": 1}").unwrap();
+        assert_eq!(status, 202);
+        assert_eq!(body, b"{\"x\": 1}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn malformed_requests_get_400_not_a_hang() {
+        let handle = serve("127.0.0.1:0", |_: &Request| Response::json(200, "ok")).unwrap();
+        let mut conn = TcpStream::connect(handle.addr()).unwrap();
+        write!(conn, "NOT-HTTP\r\n\r\n").unwrap();
+        let mut out = String::new();
+        conn.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 400"), "{out}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn percent_decoding_is_lenient() {
+        assert_eq!(percent_decode("a%2Fb+c"), "a/b c");
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+    }
+}

@@ -1,0 +1,64 @@
+//! # dg-serve — phase diagrams as a service
+//!
+//! A sweep artifact is expensive to make and cheap to keep: hours of
+//! Monte-Carlo trials collapse into one JSON file whose identity — the
+//! [`dg_sweep::SweepReport::fingerprint`] over axes, round caps, seed,
+//! and budget — is computable *before* running anything
+//! ([`dg_sweep::SweepSpec::fingerprint`]). This crate turns that into a
+//! service:
+//!
+//! * [`ArtifactStore`] — a content-addressed directory
+//!   (`store/<fingerprint>.json`) with an in-memory index, atomic
+//!   idempotent writes, and quarantine (never a crash) for files that
+//!   fail validation;
+//! * [`Daemon`] — request routing plus a background worker pool: a
+//!   `POST`ed spec is served from the store on a hit, and on a miss the
+//!   sweep runs in the background *checkpointing into the store*, so a
+//!   killed daemon restarts into a resume, not a re-run;
+//! * [`http`] — the hand-rolled HTTP/1.1 layer (std `TcpListener`; this
+//!   crate takes no dependencies beyond the workspace);
+//! * [`Workload`] — the one trial-function family a daemon serves (the
+//!   paper's edge-MEG flooding phase diagram), with the admission rule
+//!   that keeps worker threads panic-free.
+//!
+//! The load-bearing invariant is inherited from `dg-sweep` and extended
+//! over the wire: the bytes `GET /sweep/<fp>` serves are byte-identical
+//! to what a direct [`dg_sweep::Sweep`] run of the same spec writes —
+//! whether the daemon computed the artifact in one go, was SIGKILLed
+//! halfway and resumed on restart, or another client had posted the
+//! same spec first.
+//!
+//! ## Route table
+//!
+//! | Route | Meaning |
+//! |---|---|
+//! | `GET /healthz` | daemon status (workload, artifact/pending counts) |
+//! | `GET /sweeps` | index of stored artifacts + pending fingerprints |
+//! | `GET /sweep/<fp>` | the artifact, raw JSON (or CSV via `?format=csv` / `Accept: text/csv`); `202` while in flight |
+//! | `GET /sweep/<fp>/cell?axis=v&…` | exact or nearest cell summary, with grid distance |
+//! | `POST /sweep` | a [`dg_sweep::SweepSpec`]: `200` + artifact on hit, `202` + fingerprint on miss, `400` on rejection |
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use dg_serve::{http, ArtifactStore, Daemon, Workload};
+//! use std::sync::Arc;
+//!
+//! let store = ArtifactStore::open("phase-diagrams").unwrap();
+//! let daemon = Arc::new(Daemon::start(store, Workload::flooding(), 1).unwrap());
+//! let handler = Arc::clone(&daemon);
+//! let server = http::serve("127.0.0.1:0", move |req| handler.handle(req)).unwrap();
+//! println!("serving on {}", server.addr());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod daemon;
+pub mod http;
+mod store;
+mod workload;
+
+pub use daemon::{Daemon, Submission};
+pub use store::{ArtifactMeta, ArtifactStore, StoreError};
+pub use workload::Workload;

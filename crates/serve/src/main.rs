@@ -1,0 +1,110 @@
+//! The `dg-serve` binary: a phase-diagram daemon over a store
+//! directory.
+//!
+//! ```text
+//! dg-serve [--root DIR] [--addr HOST:PORT] [--workers N] [--workload flooding|synthetic]
+//! ```
+//!
+//! Binds the address (default `127.0.0.1:0`, an ephemeral port), prints
+//! the bound address on stdout, and also writes it to
+//! `<root>/dg-serve.addr` so scripts and tests can find a daemon that
+//! picked its own port. Runs until killed; on restart over the same
+//! root, incomplete sweeps resume from their checkpoints.
+
+use std::process::exit;
+use std::sync::Arc;
+
+use dg_serve::{http, ArtifactStore, Daemon, Workload};
+
+struct Args {
+    root: String,
+    addr: String,
+    workers: usize,
+    workload: Workload,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: "dg-serve-data".to_string(),
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        workload: Workload::flooding(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--root" => args.root = value("--root")?,
+            "--addr" => args.addr = value("--addr")?,
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--workload" => {
+                args.workload = match value("--workload")?.as_str() {
+                    "flooding" => Workload::flooding(),
+                    "synthetic" => Workload::synthetic(),
+                    other => return Err(format!("unknown workload {other:?}")),
+                };
+            }
+            "--help" | "-h" => {
+                println!(
+                    "dg-serve [--root DIR] [--addr HOST:PORT] [--workers N] [--workload flooding|synthetic]"
+                );
+                exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("dg-serve: {msg}");
+            exit(2);
+        }
+    };
+    let store = match ArtifactStore::open(&args.root) {
+        Ok(store) => store,
+        Err(e) => {
+            eprintln!("dg-serve: opening store {:?}: {e}", args.root);
+            exit(1);
+        }
+    };
+    let resumed = store.incomplete_specs().map(|s| s.len()).unwrap_or(0);
+    let daemon = match Daemon::start(store, args.workload, args.workers) {
+        Ok(daemon) => Arc::new(daemon),
+        Err(e) => {
+            eprintln!("dg-serve: starting daemon: {e}");
+            exit(1);
+        }
+    };
+    let handler = Arc::clone(&daemon);
+    let server = match http::serve(&args.addr as &str, move |req| handler.handle(req)) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("dg-serve: binding {}: {e}", args.addr);
+            exit(1);
+        }
+    };
+    let addr = server.addr();
+    // The port file lets clients of `--addr 127.0.0.1:0` find us.
+    let addr_file = std::path::Path::new(&args.root).join("dg-serve.addr");
+    if let Err(e) = std::fs::write(&addr_file, format!("{addr}\n")) {
+        eprintln!("dg-serve: writing {}: {e}", addr_file.display());
+        exit(1);
+    }
+    println!(
+        "dg-serve listening on http://{addr} (root {:?}, {resumed} sweep(s) resumed)",
+        args.root
+    );
+    // Serve until killed: the accept loop owns its thread; park this
+    // one. Crash safety is the store's job, not a signal handler's.
+    loop {
+        std::thread::park();
+    }
+}

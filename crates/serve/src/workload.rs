@@ -1,0 +1,239 @@
+//! The trial functions a daemon is willing to run, and the admission
+//! rules that keep them panic-free.
+//!
+//! A sweep fingerprint names a *grid*, not a *measurement*: the store
+//! key says nothing about which trial function produced the samples. A
+//! daemon therefore serves exactly one [`Workload`] — every artifact in
+//! its store was produced by that workload's trial function, so the
+//! fingerprint is a complete content address within the daemon.
+//!
+//! The workload also carries the validator that stands between the wire
+//! and the worker pool: [`dg_sweep::SweepSpec::from_json`] guarantees a
+//! well-formed *sweep*, but only the workload knows which axis values
+//! its model accepts. Everything the trial function would panic or
+//! error on is rejected at submission time with a `400`, so a worker
+//! thread never sees a spec it cannot run to completion.
+
+use std::sync::Arc;
+
+/// The shape every workload trial function shares — what
+/// [`dg_sweep::Sweep::run`] schedules across its worker pool.
+type TrialFn = Arc<dyn Fn(&Cell, Trial) -> Option<f64> + Send + Sync>;
+
+use dg_edge_meg::SparseTwoStateEdgeMeg;
+use dg_sweep::{Cell, SweepSpec, Trial};
+use dynagraph::engine::Simulation;
+
+/// Round cap for flooding trials on cells without an explicit
+/// `max_rounds` table — matches the repo's phase-diagram examples.
+const DEFAULT_MAX_ROUNDS: u32 = 200_000;
+
+/// One family of measurements: a named trial function plus the
+/// admission rule for specs it can run.
+#[derive(Clone)]
+pub struct Workload {
+    name: &'static str,
+    validate: fn(&SweepSpec) -> Result<(), String>,
+    trial: TrialFn,
+}
+
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workload")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+impl Workload {
+    /// The workload's name (reported by `GET /healthz`).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Checks that every cell of `spec` is one this workload's trial
+    /// function accepts; the message is served verbatim in the `400`.
+    pub fn validate(&self, spec: &SweepSpec) -> Result<(), String> {
+        (self.validate)(spec)
+    }
+
+    /// A clone of the trial function, in the shape [`dg_sweep::Sweep::run`]
+    /// wants.
+    pub fn trial_fn(&self) -> impl Fn(&Cell, Trial) -> Option<f64> + Send + Sync + 'static {
+        let trial = Arc::clone(&self.trial);
+        move |cell, t| trial(cell, t)
+    }
+
+    /// The paper's phase-diagram workload: flooding time on a stationary
+    /// sparse edge-MEG.
+    ///
+    /// Axes (any other name is rejected):
+    ///
+    /// * `n` — node count, integral, `2..=92_682` (required);
+    /// * `q` — per-round edge death rate, in `(0, 1]` (required);
+    /// * `p` — per-round edge birth rate, in `(0, 1]` (optional; absent
+    ///   means the paper's sparse regime `p = 1.5/n`, and since axis
+    ///   *presence* enters the fingerprint, the two parameterizations
+    ///   never collide in the store).
+    ///
+    /// A trial builds the stationary model from the trial seed, floods
+    /// from node 0 under the cell's round cap (`max_rounds` table entry,
+    /// or 200 000), and reports the flooding time — `None` when the cap
+    /// censors the trial.
+    pub fn flooding() -> Self {
+        fn validate(spec: &SweepSpec) -> Result<(), String> {
+            let mut has = [false; 2]; // n, q
+            for axis in spec.axes() {
+                match axis.name() {
+                    "n" => {
+                        has[0] = true;
+                        for &v in axis.values() {
+                            if v.fract() != 0.0 || !(2.0..=92_682.0).contains(&v) {
+                                return Err(format!(
+                                    "axis \"n\" value {v} must be an integer in 2..=92682"
+                                ));
+                            }
+                        }
+                    }
+                    "q" | "p" => {
+                        has[1] |= axis.name() == "q";
+                        for &v in axis.values() {
+                            if !(v > 0.0 && v <= 1.0) {
+                                return Err(format!(
+                                    "axis {:?} value {v} must be in (0, 1]",
+                                    axis.name()
+                                ));
+                            }
+                        }
+                    }
+                    other => {
+                        return Err(format!(
+                            "unknown axis {other:?}: the flooding workload sweeps n, q and optionally p"
+                        ));
+                    }
+                }
+            }
+            if !(has[0] && has[1]) {
+                return Err("the flooding workload requires axes \"n\" and \"q\"".to_string());
+            }
+            Ok(())
+        }
+
+        fn trial(cell: &Cell, trial: Trial) -> Option<f64> {
+            let n = cell.usize("n");
+            let q = cell.get("q");
+            let p = cell.try_get("p").unwrap_or(1.5 / n as f64);
+            Simulation::builder()
+                .model(move |seed| {
+                    SparseTwoStateEdgeMeg::stationary(n, p, q, seed)
+                        .expect("spec validated at submission")
+                })
+                .max_rounds(cell.max_rounds().unwrap_or(DEFAULT_MAX_ROUNDS))
+                .base_seed(trial.cell_seed)
+                .run_trial(trial.index)
+                .time
+                .map(f64::from)
+        }
+
+        Workload {
+            name: "flooding",
+            validate,
+            trial: Arc::new(trial),
+        }
+    }
+
+    /// A model-free workload for tests and benches: accepts any spec and
+    /// returns a cheap pure function of `(cell, seed)`, censoring one
+    /// seed in 13 to exercise the `null`-sample paths.
+    pub fn synthetic() -> Self {
+        Workload {
+            name: "synthetic",
+            validate: |_| Ok(()),
+            trial: Arc::new(|cell: &Cell, trial: Trial| {
+                (!trial.seed.is_multiple_of(13))
+                    .then(|| cell.values().iter().sum::<f64>() + (trial.seed % 7) as f64)
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dg_sweep::{Axis, TrialBudget};
+
+    fn spec(axes: Vec<Axis>) -> SweepSpec {
+        SweepSpec::new(axes, 1, TrialBudget::fixed(1))
+    }
+
+    #[test]
+    fn flooding_validator_rules() {
+        let w = Workload::flooding();
+        assert!(w
+            .validate(&spec(vec![
+                Axis::ints("n", [16, 32]),
+                Axis::log("q", 0.1, 0.4, 2),
+            ]))
+            .is_ok());
+        assert!(w
+            .validate(&spec(vec![
+                Axis::ints("n", [16]),
+                Axis::explicit("q", [1.0]),
+                Axis::explicit("p", [0.5]),
+            ]))
+            .is_ok());
+        let bad: Vec<Vec<Axis>> = vec![
+            vec![Axis::ints("n", [16])],                                  // no q
+            vec![Axis::explicit("q", [0.1])],                             // no n
+            vec![Axis::ints("n", [1]), Axis::explicit("q", [0.1])],       // n too small
+            vec![Axis::ints("n", [100_000]), Axis::explicit("q", [0.1])], // n too large
+            vec![Axis::explicit("n", [4.5]), Axis::explicit("q", [0.1])], // fractional n
+            vec![Axis::ints("n", [16]), Axis::explicit("q", [1.5])],      // q > 1
+            vec![
+                Axis::ints("n", [16]),
+                Axis::explicit("q", [0.1]),
+                Axis::explicit("p", [0.0]),
+            ], // p = 0
+            vec![
+                Axis::ints("n", [16]),
+                Axis::explicit("q", [0.1]),
+                Axis::explicit("rounds", [5.0]),
+            ], // unknown axis
+        ];
+        for axes in bad {
+            assert!(w.validate(&spec(axes.clone())).is_err(), "{axes:?}");
+        }
+    }
+
+    #[test]
+    fn flooding_trial_matches_direct_engine_run() {
+        // The workload's trial function is the same glue the examples
+        // hand-write; pin one (cell, trial) against the engine directly.
+        let w = Workload::flooding();
+        let s = SweepSpec::new(
+            vec![Axis::ints("n", [24]), Axis::explicit("q", [0.3])],
+            0xFEED,
+            TrialBudget::fixed(2),
+        );
+        let report = s.sweep().run(w.trial_fn()).unwrap();
+        let p = 1.5 / 24.0;
+        let direct = Simulation::builder()
+            .model(move |seed| SparseTwoStateEdgeMeg::stationary(24, p, 0.3, seed).unwrap())
+            .max_rounds(200_000)
+            .base_seed(dg_sweep::mix_seed(0xFEED, 0))
+            .run_trial(1)
+            .time
+            .map(f64::from);
+        assert_eq!(report.cell(0).samples[1], direct);
+    }
+
+    #[test]
+    fn synthetic_accepts_anything_and_censors_deterministically() {
+        let w = Workload::synthetic();
+        let s = spec(vec![Axis::explicit("whatever", [1.0, 2.0])]);
+        assert!(w.validate(&s).is_ok());
+        let a = s.sweep().run(w.trial_fn()).unwrap();
+        let b = s.sweep().run(w.trial_fn()).unwrap();
+        assert_eq!(a.to_json(), b.to_json());
+    }
+}

@@ -1,0 +1,96 @@
+//! Property tests for the store's concurrency contract: putting the
+//! same artifact from many threads at once is idempotent — every
+//! interleaving leaves exactly the bytes a single put would have, and
+//! an index that agrees with the disk.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use dg_serve::ArtifactStore;
+use dg_sweep::{Axis, SweepSpec, TrialBudget};
+use proptest::prelude::*;
+
+fn tmp_root(tag: u64) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("dg_serve_props_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    root
+}
+
+fn report_for(seed: u64, cells: usize, trials: usize) -> dg_sweep::SweepReport {
+    SweepSpec::new(
+        vec![Axis::ints("x", 1..=cells)],
+        seed,
+        TrialBudget::fixed(trials),
+    )
+    .sweep()
+    .run(|cell, trial| Some(cell.get("x") * 10.0 + (trial.seed % 5) as f64))
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn concurrent_double_put_is_idempotent(
+        seed in 0u64..1_000_000,
+        cells in 1usize..5,
+        trials in 1usize..4,
+        writers in 2usize..6,
+    ) {
+        let report = Arc::new(report_for(seed, cells, trials));
+        let expected = report.to_json().into_bytes();
+        let root = tmp_root(seed ^ (writers as u64) << 32);
+        let store = Arc::new(ArtifactStore::open(&root).unwrap());
+
+        std::thread::scope(|scope| {
+            for _ in 0..writers {
+                let store = Arc::clone(&store);
+                let report = Arc::clone(&report);
+                scope.spawn(move || store.put(&report).unwrap());
+            }
+        });
+
+        let fp = report.fingerprint();
+        prop_assert_eq!(store.get_raw(fp).unwrap().unwrap(), expected.clone());
+        prop_assert_eq!(store.list().len(), 1);
+        // No temporary droppings survive the race.
+        let leftovers: Vec<_> = std::fs::read_dir(root.join("store"))
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with(".tmp-"))
+            .collect();
+        prop_assert!(leftovers.is_empty(), "{leftovers:?}");
+        // A reopen scan agrees with the in-memory index.
+        let reopened = ArtifactStore::open(&root).unwrap();
+        prop_assert_eq!(reopened.get_raw(fp).unwrap().unwrap(), expected);
+        prop_assert_eq!(reopened.list(), store.list());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn concurrent_puts_of_distinct_artifacts_all_land(
+        seed in 0u64..1_000_000,
+        count in 2usize..5,
+    ) {
+        let reports: Vec<_> = (0..count as u64)
+            .map(|i| Arc::new(report_for(seed.wrapping_add(i), 2, 2)))
+            .collect();
+        let root = tmp_root(seed ^ 0xABCD_0000);
+        let store = Arc::new(ArtifactStore::open(&root).unwrap());
+        std::thread::scope(|scope| {
+            for report in &reports {
+                let store = Arc::clone(&store);
+                let report = Arc::clone(report);
+                scope.spawn(move || store.put(&report).unwrap());
+            }
+        });
+        prop_assert_eq!(store.list().len(), count);
+        for report in &reports {
+            prop_assert_eq!(
+                store.get_raw(report.fingerprint()).unwrap().unwrap(),
+                report.to_json().into_bytes()
+            );
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -273,6 +273,17 @@ impl Cell {
         &self.values
     }
 
+    /// The value of the named axis, or `None` if the grid has no axis of
+    /// that name — the non-panicking sibling of [`Cell::get`], for trial
+    /// functions whose parameters are optional (a workload that treats a
+    /// missing `p` axis as "derive `p` from `n`", say).
+    pub fn try_get(&self, name: &str) -> Option<f64> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| self.values[i])
+    }
+
     /// The value of the named axis.
     ///
     /// # Panics

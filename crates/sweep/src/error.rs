@@ -14,6 +14,9 @@ pub enum SweepError {
     /// An artifact does not belong to this sweep (different grid, seed,
     /// or budget — resuming from it would silently mix experiments).
     Mismatch(String),
+    /// A cell query against a report was malformed: an unknown, missing,
+    /// or duplicated axis name, or a non-finite query value.
+    Query(String),
 }
 
 impl fmt::Display for SweepError {
@@ -22,6 +25,7 @@ impl fmt::Display for SweepError {
             SweepError::Io(e) => write!(f, "sweep artifact io error: {e}"),
             SweepError::Parse(msg) => write!(f, "sweep artifact parse error: {msg}"),
             SweepError::Mismatch(msg) => write!(f, "sweep artifact mismatch: {msg}"),
+            SweepError::Query(msg) => write!(f, "sweep cell query error: {msg}"),
         }
     }
 }

@@ -60,12 +60,14 @@ mod error;
 mod json;
 mod report;
 mod runner;
+mod spec;
 
 pub use axis::{Axis, Cell, Grid};
 pub use budget::{CiTarget, TrialBudget};
 pub use error::SweepError;
-pub use report::{CellReport, SweepReport};
+pub use report::{CellReport, NearestCell, SweepReport};
 pub use runner::{Sweep, Trial};
+pub use spec::SweepSpec;
 
 /// Mixes a base seed with a stream index into an independent-looking
 /// seed (SplitMix64 finalizer).

@@ -77,6 +77,22 @@ impl CellReport {
     }
 }
 
+/// Result of a [`SweepReport::nearest_cell`] lookup: the winning cell
+/// plus how far the query was from it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NearestCell<'a> {
+    /// The nearest cell (ties broken toward earlier axis values, so the
+    /// outcome is deterministic).
+    pub cell: &'a CellReport,
+    /// Euclidean distance over per-axis offsets, each normalized by its
+    /// axis's value span (un-normalized for single-value axes). Zero
+    /// exactly when the query hit a grid point.
+    pub distance: f64,
+    /// `true` when the query matched the cell's coordinates exactly
+    /// (`distance == 0.0`).
+    pub exact: bool,
+}
+
 /// A sweep's results: configuration echo + per-cell reports, ordered by
 /// cell id.
 ///
@@ -180,6 +196,136 @@ impl SweepReport {
             .fold(None, |acc, hw| Some(acc.map_or(hw, |a: f64| a.max(hw))))
     }
 
+    /// The report's identity fingerprint — the FNV-1a hash over its
+    /// configuration (axes, round caps, seed, budget) that names the
+    /// artifact in content-addressed stores and gates checkpoint resume.
+    pub fn fingerprint(&self) -> u64 {
+        fingerprint(
+            &self.axes,
+            self.max_rounds.as_deref(),
+            self.base_seed,
+            &self.budget,
+        )
+    }
+
+    /// Resolves a cell query (`(axis name, value)` pairs) into per-axis
+    /// target values in axis-declaration order.
+    ///
+    /// Every axis must be named exactly once with a finite value; the
+    /// daemon-facing lookups below share this validation so a malformed
+    /// query is a [`SweepError::Query`], never a panic.
+    fn query_targets(&self, query: &[(&str, f64)]) -> Result<Vec<f64>, SweepError> {
+        let mut targets = vec![None; self.axes.len()];
+        for &(name, value) in query {
+            let Some(i) = self.axes.iter().position(|a| a.name() == name) else {
+                return Err(SweepError::Query(format!(
+                    "no axis named {name:?} (axes: {:?})",
+                    self.axes.iter().map(Axis::name).collect::<Vec<_>>()
+                )));
+            };
+            if targets[i].is_some() {
+                return Err(SweepError::Query(format!("axis {name:?} given twice")));
+            }
+            if !value.is_finite() {
+                return Err(SweepError::Query(format!(
+                    "non-finite value {value} for axis {name:?}"
+                )));
+            }
+            targets[i] = Some(value);
+        }
+        targets
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| {
+                t.ok_or_else(|| {
+                    SweepError::Query(format!("axis {:?} missing from query", self.axes[i].name()))
+                })
+            })
+            .collect()
+    }
+
+    /// The cell id for per-axis value indices (row-major, last axis
+    /// fastest — the same enumeration as [`crate::Grid::cells`]).
+    fn cell_id(&self, indices: &[usize]) -> usize {
+        self.axes
+            .iter()
+            .zip(indices)
+            .fold(0, |id, (axis, &i)| id * axis.values().len() + i)
+    }
+
+    /// Exact cell lookup by axis values: `cell_at(&[("n", 64.0), ("q",
+    /// 0.1)])` returns the cell whose coordinates equal the query on
+    /// every axis, or `None` when some coordinate is not a grid value.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::Query`] if the query does not name every axis
+    /// exactly once with finite values.
+    pub fn cell_at(&self, query: &[(&str, f64)]) -> Result<Option<&CellReport>, SweepError> {
+        let targets = self.query_targets(query)?;
+        let mut indices = Vec::with_capacity(self.axes.len());
+        for (axis, target) in self.axes.iter().zip(&targets) {
+            match axis.values().iter().position(|v| v == target) {
+                Some(i) => indices.push(i),
+                None => return Ok(None),
+            }
+        }
+        Ok(self.cells.get(self.cell_id(&indices)))
+    }
+
+    /// Nearest-cell lookup by axis values: the grid cell minimizing the
+    /// Euclidean distance over per-axis offsets, each normalized by its
+    /// axis's value span (axes with a single value, or an exact hit,
+    /// contribute zero; out-of-range queries clamp to the nearest
+    /// endpoint with the overshoot reported in the distance).
+    ///
+    /// Because the grid is a full Cartesian product, the minimizer is
+    /// separable: each axis picks its nearest value independently, ties
+    /// broken toward the *earlier* axis value — so the winning cell id is
+    /// deterministic and the lookup is `O(Σ axis length)`, not
+    /// `O(cell count)`.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::Query`] if the query does not name every axis
+    /// exactly once with finite values, or the artifact is missing the
+    /// resolved cell.
+    pub fn nearest_cell(&self, query: &[(&str, f64)]) -> Result<NearestCell<'_>, SweepError> {
+        let targets = self.query_targets(query)?;
+        let mut indices = Vec::with_capacity(self.axes.len());
+        let mut dist2 = 0.0f64;
+        for (axis, &target) in self.axes.iter().zip(&targets) {
+            let values = axis.values();
+            let (mut best, mut best_gap) = (0usize, f64::INFINITY);
+            for (i, &v) in values.iter().enumerate() {
+                let gap = (v - target).abs();
+                if gap < best_gap {
+                    (best, best_gap) = (i, gap);
+                }
+            }
+            let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let span = hi - lo;
+            let d = if span > 0.0 {
+                best_gap / span
+            } else {
+                best_gap
+            };
+            dist2 += d * d;
+            indices.push(best);
+        }
+        let id = self.cell_id(&indices);
+        let cell = self.cells.get(id).ok_or_else(|| {
+            SweepError::Query(format!("artifact has no cell {id} for nearest lookup"))
+        })?;
+        let distance = dist2.sqrt();
+        Ok(NearestCell {
+            cell,
+            distance,
+            exact: distance == 0.0,
+        })
+    }
+
     /// Serializes the full resumable artifact (configuration, per-cell
     /// summaries, raw samples) as JSON.
     pub fn to_json(&self) -> String {
@@ -252,12 +398,12 @@ impl SweepReport {
                 cell.decided,
                 cell.trials(),
                 cell.incomplete(),
-                opt_num(cell.mean()),
-                opt_num(quantiles.as_ref().map(|q| q.p95())),
-                opt_num(quantiles.as_ref().map(|q| q.max())),
-                opt_num(ci.map(|ci| ci.lo)),
-                opt_num(ci.map(|ci| ci.hi)),
-                opt_num(ci.map(|ci| ci.half_width())),
+                opt_stat(cell.mean()),
+                opt_stat(quantiles.as_ref().map(|q| q.p95())),
+                opt_stat(quantiles.as_ref().map(|q| q.max())),
+                opt_stat(ci.map(|ci| ci.lo)),
+                opt_stat(ci.map(|ci| ci.hi)),
+                opt_stat(ci.map(|ci| ci.half_width())),
                 cell.samples
                     .iter()
                     .map(|s| opt_num(*s))
@@ -435,6 +581,8 @@ impl SweepReport {
     }
 }
 
+/// Serializes a *sample*: `null` for censored, strict otherwise — a
+/// non-finite sample is corrupted data and must not be written.
 fn opt_num(x: Option<f64>) -> String {
     match x {
         Some(v) => fmt_f64(v),
@@ -442,10 +590,22 @@ fn opt_num(x: Option<f64>) -> String {
     }
 }
 
+/// Serializes a *derived statistic*: unlike samples, these can overflow
+/// to non-finite even over finite samples (the variance of `{f64::MAX,
+/// -f64::MAX}`, say), and they are recomputed from the samples on
+/// reload — so an overflowed statistic serializes as absent instead of
+/// panicking the writer on an artifact `from_json` accepts.
+fn opt_stat(x: Option<f64>) -> String {
+    match x {
+        Some(v) if v.is_finite() => fmt_f64(v),
+        _ => "null".to_string(),
+    }
+}
+
 fn opt_csv(x: Option<f64>) -> String {
     match x {
-        Some(v) => fmt_f64(v),
-        None => String::new(),
+        Some(v) if v.is_finite() => fmt_f64(v),
+        _ => String::new(),
     }
 }
 
@@ -675,6 +835,123 @@ mod tests {
             SweepReport::from_json(&tampered),
             Err(SweepError::Mismatch(_))
         ));
+    }
+
+    #[test]
+    fn cell_at_is_exact_or_none() {
+        let r = sample_report();
+        // Grid: n in [16, 32] x q in [0.1, 0.25], ids row-major.
+        let hit = r.cell_at(&[("n", 32.0), ("q", 0.1)]).unwrap().unwrap();
+        assert_eq!(hit.id, 2);
+        // Order of query pairs is irrelevant.
+        let hit = r.cell_at(&[("q", 0.25), ("n", 16.0)]).unwrap().unwrap();
+        assert_eq!(hit.id, 1);
+        // Off-grid coordinates are a miss, not an error.
+        assert!(r.cell_at(&[("n", 20.0), ("q", 0.1)]).unwrap().is_none());
+        // Malformed queries are Query errors, never panics.
+        assert!(matches!(
+            r.cell_at(&[("n", 16.0)]),
+            Err(SweepError::Query(_))
+        ));
+        assert!(matches!(
+            r.cell_at(&[("n", 16.0), ("q", 0.1), ("z", 1.0)]),
+            Err(SweepError::Query(_))
+        ));
+        assert!(matches!(
+            r.cell_at(&[("n", 16.0), ("n", 32.0)]),
+            Err(SweepError::Query(_))
+        ));
+        assert!(matches!(
+            r.cell_at(&[("n", f64::NAN), ("q", 0.1)]),
+            Err(SweepError::Query(_))
+        ));
+    }
+
+    #[test]
+    fn nearest_cell_reports_distance_and_clamps() {
+        let r = sample_report();
+        // An exact hit has distance zero.
+        let hit = r.nearest_cell(&[("n", 16.0), ("q", 0.25)]).unwrap();
+        assert_eq!(hit.cell.id, 1);
+        assert!(hit.exact);
+        assert_eq!(hit.distance, 0.0);
+        // n = 20 is 4/16 of the n-span from 16; q exact.
+        let near = r.nearest_cell(&[("n", 20.0), ("q", 0.1)]).unwrap();
+        assert_eq!(near.cell.id, 0);
+        assert!(!near.exact);
+        assert!((near.distance - 0.25).abs() < 1e-12, "{}", near.distance);
+        // Out-of-range queries clamp to the nearest endpoint, overshoot
+        // reported: n = 48 is one full n-span past 32.
+        let clamped = r.nearest_cell(&[("n", 48.0), ("q", 0.25)]).unwrap();
+        assert_eq!(clamped.cell.id, 3);
+        assert!((clamped.distance - 1.0).abs() < 1e-12);
+        // Distances combine across axes (Euclidean).
+        let diag = r.nearest_cell(&[("n", 20.0), ("q", 0.13)]).unwrap();
+        assert_eq!(diag.cell.id, 0);
+        let expected = (0.25f64.powi(2) + (0.03f64 / 0.15).powi(2)).sqrt();
+        assert!((diag.distance - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nearest_cell_ties_break_toward_earlier_values() {
+        let r = sample_report();
+        // n = 24 is equidistant from 16 and 32: the earlier value wins.
+        let tie = r.nearest_cell(&[("n", 24.0), ("q", 0.1)]).unwrap();
+        assert_eq!(tie.cell.id, 0);
+        assert!((tie.distance - 0.5).abs() < 1e-12);
+        // Same on the q axis: 0.175 is the midpoint of 0.1 and 0.25.
+        let tie = r.nearest_cell(&[("n", 32.0), ("q", 0.175)]).unwrap();
+        assert_eq!(tie.cell.id, 2);
+    }
+
+    #[test]
+    fn lookups_on_single_value_and_empty_grids() {
+        // A single-value axis has zero span: distance stays raw.
+        let one = SweepReport {
+            axes: vec![Axis::explicit("p", [0.5])],
+            base_seed: 1,
+            budget: TrialBudget::fixed(1),
+            max_rounds: None,
+            cells: vec![CellReport {
+                id: 0,
+                values: vec![0.5],
+                samples: vec![Some(2.0)],
+                decided: true,
+            }],
+        };
+        let near = one.nearest_cell(&[("p", 0.75)]).unwrap();
+        assert_eq!(near.cell.id, 0);
+        assert!((near.distance - 0.25).abs() < 1e-12);
+        assert!(one.cell_at(&[("p", 0.75)]).unwrap().is_none());
+        assert!(one.cell_at(&[("p", 0.5)]).unwrap().is_some());
+        // The empty grid's single cell answers the empty query.
+        let empty = SweepReport {
+            axes: vec![],
+            base_seed: 1,
+            budget: TrialBudget::fixed(1),
+            max_rounds: None,
+            cells: vec![CellReport {
+                id: 0,
+                values: vec![],
+                samples: vec![],
+                decided: false,
+            }],
+        };
+        assert_eq!(empty.cell_at(&[]).unwrap().unwrap().id, 0);
+        let near = empty.nearest_cell(&[]).unwrap();
+        assert!(near.exact);
+        assert_eq!(near.distance, 0.0);
+    }
+
+    #[test]
+    fn fingerprint_accessor_matches_serialized_fingerprint() {
+        let r = sample_report();
+        let json = r.to_json();
+        assert!(json.contains(&format!("\"fingerprint\": {}", r.fingerprint())));
+        assert_eq!(
+            SweepReport::from_json(&json).unwrap().fingerprint(),
+            r.fingerprint()
+        );
     }
 
     #[test]

@@ -1,0 +1,423 @@
+//! Sweep *specifications*: the configuration half of an artifact,
+//! parseable on its own.
+//!
+//! A [`SweepSpec`] is exactly the identity a [`crate::SweepReport`]
+//! fingerprints — axes, per-cell round caps, base seed, trial budget —
+//! without any samples. It exists so a sweep can be *named before it is
+//! run*: a client posts a spec, the server fingerprints it, and either
+//! finds the artifact in a content-addressed store or schedules the
+//! sweep — with [`SweepSpec::fingerprint`] guaranteed equal to the
+//! fingerprint the finished report will carry.
+//!
+//! ```
+//! use dg_sweep::{SweepSpec, TrialBudget};
+//!
+//! let spec = SweepSpec::from_json(
+//!     r#"{"axes": [{"name": "n", "values": [16, 32]}],
+//!         "base_seed": 7,
+//!         "budget": {"min_trials": 2, "max_trials": 2, "ci_target": null}}"#,
+//! )
+//! .unwrap();
+//! let report = spec.sweep().run(|cell, trial| {
+//!     Some(cell.get("n") + (trial.seed % 3) as f64)
+//! }).unwrap();
+//! assert_eq!(report.fingerprint(), spec.fingerprint());
+//! assert_eq!(SweepSpec::of_report(&report), spec);
+//! ```
+
+use crate::axis::{Axis, Grid};
+use crate::budget::{CiTarget, TrialBudget};
+use crate::error::SweepError;
+use crate::json::{self, fmt_f64, push_str_escaped};
+use crate::report::{fingerprint, SweepReport};
+use crate::runner::Sweep;
+
+/// The configuration of one sweep: everything that enters its resume
+/// fingerprint, and nothing else.
+///
+/// Construct programmatically ([`SweepSpec::new`]), from a finished
+/// report ([`SweepSpec::of_report`]), or from the wire
+/// ([`SweepSpec::from_json`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    axes: Vec<Axis>,
+    base_seed: u64,
+    budget: TrialBudget,
+    /// Per-cell round caps by cell id, when the sweep runs capped.
+    max_rounds: Option<Vec<u32>>,
+}
+
+impl SweepSpec {
+    /// A spec over `axes` with the given seed and budget, uncapped.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate axis names (same rule as [`Grid::axis`]).
+    pub fn new(axes: Vec<Axis>, base_seed: u64, budget: TrialBudget) -> Self {
+        for (i, axis) in axes.iter().enumerate() {
+            assert!(
+                axes[..i].iter().all(|a| a.name() != axis.name()),
+                "duplicate axis {:?}",
+                axis.name()
+            );
+        }
+        SweepSpec {
+            axes,
+            base_seed,
+            budget,
+            max_rounds: None,
+        }
+    }
+
+    /// Attaches a per-cell round-cap table (by cell id).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table length is not the cell count, or any cap is
+    /// `0` or `u32::MAX` (the engine's uninformed sentinel).
+    pub fn with_max_rounds(mut self, caps: Vec<u32>) -> Self {
+        assert_eq!(caps.len(), self.cell_count(), "one cap per cell");
+        assert!(
+            caps.iter().all(|&c| c > 0 && c < u32::MAX),
+            "caps must be in 1..u32::MAX"
+        );
+        self.max_rounds = Some(caps);
+        self
+    }
+
+    /// The configuration of an existing report — the spec that, run with
+    /// the same trial function, reproduces it.
+    pub fn of_report(report: &SweepReport) -> Self {
+        SweepSpec {
+            axes: report.axes().to_vec(),
+            base_seed: report.base_seed(),
+            budget: report.budget(),
+            max_rounds: report.max_rounds_table().map(<[u32]>::to_vec),
+        }
+    }
+
+    /// The spec's axes, in declaration order.
+    pub fn axes(&self) -> &[Axis] {
+        &self.axes
+    }
+
+    /// The spec's base seed.
+    pub fn base_seed(&self) -> u64 {
+        self.base_seed
+    }
+
+    /// The spec's trial budget.
+    pub fn budget(&self) -> TrialBudget {
+        self.budget
+    }
+
+    /// The per-cell round caps, when attached.
+    pub fn max_rounds(&self) -> Option<&[u32]> {
+        self.max_rounds.as_deref()
+    }
+
+    /// Number of grid cells (product of axis lengths; 1 when empty).
+    pub fn cell_count(&self) -> usize {
+        self.axes.iter().map(|a| a.values().len()).product()
+    }
+
+    /// Rebuilds the [`Grid`] this spec describes (caps reattached).
+    pub fn grid(&self) -> Grid {
+        let mut grid = Grid::new();
+        for axis in &self.axes {
+            grid = grid.axis(axis.clone());
+        }
+        if let Some(caps) = &self.max_rounds {
+            grid = grid.max_rounds(|cell| caps[cell.id()]);
+        }
+        grid
+    }
+
+    /// A [`Sweep`] configured from this spec (grid, budget, seed) —
+    /// attach a checkpoint and run.
+    pub fn sweep(&self) -> Sweep {
+        Sweep::over(self.grid())
+            .budget(self.budget)
+            .base_seed(self.base_seed)
+    }
+
+    /// The identity fingerprint — bit-identical to the fingerprint of
+    /// the report this spec's sweep will produce
+    /// ([`SweepReport::fingerprint`]).
+    pub fn fingerprint(&self) -> u64 {
+        fingerprint(
+            &self.axes,
+            self.max_rounds.as_deref(),
+            self.base_seed,
+            &self.budget,
+        )
+    }
+
+    /// Serializes the spec (canonical form: every field explicit, caps
+    /// only when attached).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\n  \"axes\": [\n");
+        for (i, axis) in self.axes.iter().enumerate() {
+            out.push_str("    {\"name\": ");
+            push_str_escaped(&mut out, axis.name());
+            out.push_str(", \"values\": [");
+            for (j, v) in axis.values().iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&fmt_f64(*v));
+            }
+            out.push_str(if i + 1 < self.axes.len() {
+                "]},\n"
+            } else {
+                "]}\n"
+            });
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!("  \"base_seed\": {},\n", self.base_seed));
+        out.push_str(&format!(
+            "  \"budget\": {{\"min_trials\": {}, \"max_trials\": {}, \"ci_target\": {}}}",
+            self.budget.min_trials,
+            self.budget.max_trials,
+            match self.budget.ci_target {
+                None => "null".to_string(),
+                Some(CiTarget::Absolute(v)) => format!("{{\"absolute\": {}}}", fmt_f64(v)),
+                Some(CiTarget::Relative(v)) => format!("{{\"relative\": {}}}", fmt_f64(v)),
+            }
+        ));
+        if let Some(caps) = &self.max_rounds {
+            out.push_str(",\n  \"max_rounds\": [");
+            for (i, cap) in caps.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&cap.to_string());
+            }
+            out.push(']');
+        }
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Parses a spec.
+    ///
+    /// The wire form is forgiving where that cannot change the sweep's
+    /// identity: `base_seed` and `budget` may be omitted (defaulting to
+    /// the [`Sweep::over`] defaults, seed `0xD15E_A5E1` and an adaptive
+    /// 8–64-trial budget at 5% relative CI), and `max_rounds` accepts
+    /// either a single uniform cap or a full per-cell table. Everything
+    /// is validated here — a malformed spec is an `Err`, never a panic
+    /// in a worker thread later.
+    pub fn from_json(text: &str) -> Result<Self, SweepError> {
+        let doc = json::parse(text)?;
+        let mut axes: Vec<Axis> = Vec::new();
+        for axis in doc.get("axes")?.as_arr()? {
+            let name = axis.get("name")?.as_str()?.to_string();
+            if name.is_empty() {
+                return Err(SweepError::Parse("empty axis name".into()));
+            }
+            if axes.iter().any(|a| a.name() == name) {
+                return Err(SweepError::Parse(format!("duplicate axis {name:?}")));
+            }
+            let mut values = Vec::new();
+            for v in axis.get("values")?.as_arr()? {
+                let v = v.as_f64()?;
+                if !v.is_finite() {
+                    return Err(SweepError::Parse(format!(
+                        "non-finite value {v} on axis {name:?}"
+                    )));
+                }
+                values.push(v);
+            }
+            if values.is_empty() {
+                return Err(SweepError::Parse(format!("axis {name:?} has no values")));
+            }
+            axes.push(Axis::explicit(name, values));
+        }
+        let base_seed = match doc.get("base_seed") {
+            Ok(v) => v.as_u64()?,
+            Err(_) => 0xD15E_A5E1,
+        };
+        let budget = match doc.get("budget") {
+            Ok(budget_doc) => {
+                let min_trials = budget_doc.get("min_trials")?.as_usize()?;
+                let max_trials = budget_doc.get("max_trials")?.as_usize()?;
+                if min_trials == 0 || min_trials > max_trials {
+                    return Err(SweepError::Parse(format!(
+                        "budget must satisfy 1 <= min_trials <= max_trials, got {min_trials}..{max_trials}"
+                    )));
+                }
+                let target_doc = budget_doc.get("ci_target")?;
+                let ci_target = if target_doc.is_null() {
+                    None
+                } else {
+                    let (tag, v) = if let Ok(v) = target_doc.get("absolute") {
+                        ("absolute", v.as_f64()?)
+                    } else {
+                        ("relative", target_doc.get("relative")?.as_f64()?)
+                    };
+                    if !(v.is_finite() && v > 0.0) {
+                        return Err(SweepError::Parse(format!(
+                            "ci_target {tag} must be strictly positive, got {v}"
+                        )));
+                    }
+                    Some(if tag == "absolute" {
+                        CiTarget::Absolute(v)
+                    } else {
+                        CiTarget::Relative(v)
+                    })
+                };
+                TrialBudget {
+                    min_trials,
+                    max_trials,
+                    ci_target,
+                }
+            }
+            Err(_) => TrialBudget::adaptive(8, 64, CiTarget::Relative(0.05)),
+        };
+        let spec = SweepSpec {
+            axes,
+            base_seed,
+            budget,
+            max_rounds: None,
+        };
+        let max_rounds = match doc.get("max_rounds") {
+            Ok(v) => {
+                let caps = match v.as_arr() {
+                    Ok(arr) => {
+                        let mut caps = Vec::with_capacity(arr.len());
+                        for c in arr {
+                            caps.push(parse_cap(c)?);
+                        }
+                        if caps.len() != spec.cell_count() {
+                            return Err(SweepError::Parse(format!(
+                                "max_rounds table has {} entries for {} cells",
+                                caps.len(),
+                                spec.cell_count()
+                            )));
+                        }
+                        caps
+                    }
+                    // A bare number is a uniform cap for every cell.
+                    Err(_) => vec![parse_cap(v)?; spec.cell_count()],
+                };
+                Some(caps)
+            }
+            Err(_) => None,
+        };
+        Ok(SweepSpec { max_rounds, ..spec })
+    }
+}
+
+fn parse_cap(v: &json::Json) -> Result<u32, SweepError> {
+    let cap = v.as_u64()?;
+    match u32::try_from(cap) {
+        Ok(cap) if cap > 0 && cap < u32::MAX => Ok(cap),
+        _ => Err(SweepError::Parse(format!(
+            "max_rounds cap {cap} out of range 1..u32::MAX"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cell, Trial};
+
+    fn synthetic(cell: &Cell, trial: Trial) -> Option<f64> {
+        Some(cell.values().iter().sum::<f64>() + (trial.seed % 5) as f64)
+    }
+
+    fn spec() -> SweepSpec {
+        SweepSpec::new(
+            vec![Axis::ints("n", [8, 16]), Axis::explicit("q", [0.1, 0.2])],
+            42,
+            TrialBudget::adaptive(2, 4, CiTarget::Relative(0.5)),
+        )
+    }
+
+    #[test]
+    fn spec_fingerprint_matches_report_fingerprint() {
+        for s in [spec(), spec().with_max_rounds(vec![10, 20, 30, 40])] {
+            let report = s.sweep().run(synthetic).unwrap();
+            assert_eq!(report.fingerprint(), s.fingerprint());
+            assert_eq!(SweepSpec::of_report(&report), s);
+            assert_eq!(report.max_rounds_table(), s.max_rounds());
+        }
+    }
+
+    #[test]
+    fn spec_json_round_trips_byte_identically() {
+        for s in [
+            spec(),
+            spec().with_max_rounds(vec![10, 20, 30, 40]),
+            SweepSpec::new(vec![], 7, TrialBudget::fixed(3)),
+        ] {
+            let json = s.to_json();
+            let reloaded = SweepSpec::from_json(&json).unwrap();
+            assert_eq!(reloaded, s);
+            assert_eq!(reloaded.to_json(), json);
+        }
+    }
+
+    #[test]
+    fn wire_form_defaults_and_uniform_caps() {
+        let s = SweepSpec::from_json(
+            r#"{"axes": [{"name": "n", "values": [4, 8]}], "max_rounds": 500}"#,
+        )
+        .unwrap();
+        assert_eq!(s.base_seed(), 0xD15E_A5E1);
+        assert_eq!(
+            s.budget(),
+            TrialBudget::adaptive(8, 64, CiTarget::Relative(0.05))
+        );
+        assert_eq!(s.max_rounds(), Some(&[500u32, 500][..]));
+        // The canonical re-serialization is explicit about all of it.
+        let canon = SweepSpec::from_json(&s.to_json()).unwrap();
+        assert_eq!(canon, s);
+    }
+
+    #[test]
+    fn malformed_specs_error_instead_of_panicking() {
+        let bad = [
+            // No axes key at all.
+            r#"{"base_seed": 1}"#,
+            // Empty axis.
+            r#"{"axes": [{"name": "n", "values": []}]}"#,
+            // Duplicate axis.
+            r#"{"axes": [{"name": "n", "values": [1]}, {"name": "n", "values": [2]}]}"#,
+            // Non-finite axis value.
+            r#"{"axes": [{"name": "n", "values": [1e999]}]}"#,
+            // Inverted budget.
+            r#"{"axes": [{"name": "n", "values": [1]}], "budget": {"min_trials": 5, "max_trials": 2, "ci_target": null}}"#,
+            // Zero-trial budget.
+            r#"{"axes": [{"name": "n", "values": [1]}], "budget": {"min_trials": 0, "max_trials": 2, "ci_target": null}}"#,
+            // Negative CI target.
+            r#"{"axes": [{"name": "n", "values": [1]}], "budget": {"min_trials": 1, "max_trials": 2, "ci_target": {"relative": -0.1}}}"#,
+            // Cap table of the wrong size.
+            r#"{"axes": [{"name": "n", "values": [1, 2]}], "max_rounds": [5]}"#,
+            // Cap out of range.
+            r#"{"axes": [{"name": "n", "values": [1]}], "max_rounds": 0}"#,
+            r#"{"axes": [{"name": "n", "values": [1]}], "max_rounds": 4294967295}"#,
+        ];
+        for text in bad {
+            assert!(SweepSpec::from_json(text).is_err(), "accepted: {text}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_accepts_spec_built_sweeps() {
+        // A spec-built sweep writes an artifact at its own fingerprint;
+        // re-running the same spec against that artifact resumes it.
+        let dir = std::env::temp_dir().join(format!("dg_sweep_spec_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let s = spec();
+        let path = dir.join(format!("{}.json", s.fingerprint()));
+        let _ = std::fs::remove_file(&path);
+        let first = s.sweep().checkpoint(&path).run(synthetic).unwrap();
+        let resumed = s.sweep().checkpoint(&path).run(synthetic).unwrap();
+        assert_eq!(resumed.to_json(), first.to_json());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,245 @@
+//! Byte-identity pins for every artifact *shape* that has ever been
+//! written, not just the current one.
+//!
+//! The artifact format (`dg-sweep/1`) has grown by accretion: PR 4
+//! artifacts carry no `max_rounds` key, PR 5 artifacts optionally do,
+//! checkpoints ship undecided cells with partial sample prefixes, and
+//! censored regimes ship all-`null` samples. Resume correctness rests on
+//! `to_json -> from_json -> to_json` being the identity for *all* of
+//! them — a shape that reloads into a different value would silently
+//! rewrite history on the next checkpoint. Every report here is pinned
+//! through a double round-trip.
+
+use dg_sweep::{Axis, CiTarget, Sweep, SweepReport, SweepSpec, TrialBudget};
+
+/// Builds a report with the given configuration by actually running a
+/// sweep (the only public constructor), then rewrites its cells to the
+/// wanted shape via the artifact itself.
+fn report_from_parts(
+    axes: Vec<Axis>,
+    base_seed: u64,
+    budget: TrialBudget,
+    max_rounds: Option<Vec<u32>>,
+    cells: Vec<(Vec<Option<f64>>, bool)>,
+) -> SweepReport {
+    let mut spec = SweepSpec::new(axes, base_seed, budget);
+    if let Some(caps) = max_rounds {
+        spec = spec.with_max_rounds(caps);
+    }
+    let skeleton = spec.sweep().run(|_, _| Some(1.0)).unwrap();
+    // Splice the wanted per-cell shapes into the serialized skeleton:
+    // cells are the only part of an artifact that is not configuration.
+    let json = skeleton.to_json();
+    let (head, _) = json.split_once("\"cells\":").expect("cells key");
+    let mut out = String::from(head);
+    out.push_str("\"cells\": [\n");
+    let grid_cells = spec.grid().cells();
+    assert_eq!(grid_cells.len(), cells.len(), "one shape per cell");
+    for (i, ((samples, decided), cell)) in cells.iter().zip(&grid_cells).enumerate() {
+        let values = cell
+            .values()
+            .iter()
+            .map(|v| format!("{v}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let samples_txt = samples
+            .iter()
+            .map(|s| match s {
+                Some(v) => format!("{v}"),
+                None => "null".to_string(),
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        out.push_str(&format!(
+            "    {{\"id\": {i}, \"values\": [{values}], \"decided\": {decided}, \"trials\": 0, \"incomplete\": 0, \"mean\": null, \"p95\": null, \"max\": null, \"ci_lo\": null, \"ci_hi\": null, \"ci_half_width\": null, \"samples\": [{samples_txt}]}}{}\n",
+            if i + 1 < cells.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    // The derived statistics above are deliberately wrong (all null):
+    // from_json must ignore them and recompute from the samples.
+    SweepReport::from_json(&out).expect("spliced artifact parses")
+}
+
+/// The pin: serialize, reload, serialize again — bytes and value agree;
+/// and a second lap stays fixed.
+fn assert_round_trip(report: &SweepReport, label: &str) {
+    let json1 = report.to_json();
+    let reloaded = SweepReport::from_json(&json1)
+        .unwrap_or_else(|e| panic!("{label}: reload failed: {e}\n{json1}"));
+    assert_eq!(&reloaded, report, "{label}: value changed on reload");
+    let json2 = reloaded.to_json();
+    assert_eq!(json1, json2, "{label}: bytes changed on reload");
+    let again = SweepReport::from_json(&json2).unwrap();
+    assert_eq!(again.to_json(), json2, "{label}: not a fixed point");
+    assert_eq!(reloaded.fingerprint(), report.fingerprint(), "{label}");
+}
+
+#[test]
+fn pr4_era_shapes_round_trip() {
+    // Cap-less artifacts, decided cells, mixed censoring: the shapes
+    // BENCH_sweep.json-era sweeps wrote.
+    let adaptive = report_from_parts(
+        vec![Axis::ints("n", [16, 32]), Axis::log("q", 0.1, 0.4, 2)],
+        0xD15E_A5E1,
+        TrialBudget::adaptive(3, 9, CiTarget::Relative(0.05)),
+        None,
+        vec![
+            (vec![Some(4.0), Some(6.0), Some(5.0)], true),
+            (vec![Some(7.0), None, Some(9.0)], true),
+            (vec![None, None, None], true),
+            (vec![Some(12.5), Some(12.5), Some(12.5)], true),
+        ],
+    );
+    assert!(!adaptive.to_json().contains("max_rounds"));
+    assert_round_trip(&adaptive, "pr4 adaptive");
+
+    let fixed = report_from_parts(
+        vec![Axis::explicit("noise", vec![0.0, 1.0])],
+        11,
+        TrialBudget::fixed(2),
+        None,
+        vec![(vec![Some(1.0), Some(2.0)], true), (vec![Some(3.0)], false)],
+    );
+    assert!(fixed.to_json().contains("\"ci_target\": null"));
+    assert_round_trip(&fixed, "pr4 fixed");
+
+    let absolute = report_from_parts(
+        vec![Axis::linear("x", -2.0, 2.0, 3)],
+        0,
+        TrialBudget::adaptive(2, 8, CiTarget::Absolute(0.25)),
+        None,
+        vec![
+            (vec![Some(-1.5), Some(-1.25)], true),
+            (vec![Some(0.0), Some(-0.0)], true),
+            (vec![Some(2.0), Some(1.75)], true),
+        ],
+    );
+    assert_round_trip(&absolute, "pr4 absolute target");
+}
+
+#[test]
+fn pr5_era_capped_shapes_round_trip() {
+    let capped = report_from_parts(
+        vec![Axis::ints("n", [4, 8])],
+        99,
+        TrialBudget::adaptive(2, 4, CiTarget::Relative(0.1)),
+        Some(vec![400, 800]),
+        vec![
+            (vec![Some(3.0), Some(4.0)], true),
+            // A cell censored by its cap mid-checkpoint.
+            (vec![None, Some(7.0), None], false),
+        ],
+    );
+    assert!(capped.to_json().contains("\"max_rounds\": [400, 800]"));
+    assert_round_trip(&capped, "pr5 capped");
+}
+
+#[test]
+fn checkpoint_shapes_round_trip() {
+    // Partial checkpoints: undecided cells, empty prefixes, a cell that
+    // never ran. Exactly what a killed sweep leaves on disk.
+    let partial = report_from_parts(
+        vec![Axis::ints("n", [16, 32]), Axis::explicit("q", [0.1, 0.25])],
+        u64::MAX - 17,
+        TrialBudget::adaptive(3, 9, CiTarget::Relative(0.05)),
+        None,
+        vec![
+            (vec![Some(4.0), Some(6.0), Some(5.0)], true),
+            (vec![Some(7.0), None], false),
+            (vec![Some(1.0 / 3.0)], false),
+            (vec![], false),
+        ],
+    );
+    assert!(partial.to_json().contains("\"complete\": false"));
+    assert_round_trip(&partial, "partial checkpoint");
+}
+
+#[test]
+fn degenerate_grids_round_trip() {
+    // The empty grid: no axes, one cell.
+    let empty = report_from_parts(
+        vec![],
+        7,
+        TrialBudget::fixed(1),
+        None,
+        vec![(vec![Some(2.0)], true)],
+    );
+    assert_round_trip(&empty, "empty grid");
+
+    // Single-value axes (fixed parameters encoded as 1-length axes).
+    let point = report_from_parts(
+        vec![Axis::explicit("p", vec![0.015]), Axis::ints("n", [100])],
+        1,
+        TrialBudget::fixed(1),
+        Some(vec![1]),
+        vec![(vec![None], false)],
+    );
+    assert_round_trip(&point, "point grid");
+}
+
+#[test]
+fn extreme_values_round_trip() {
+    // Subnormals, -0.0, f64::MAX, shortest-form long decimals, huge
+    // seeds: everything Display can emit must reload to the same bits.
+    let extreme = report_from_parts(
+        vec![Axis::explicit(
+            "v",
+            vec![5e-324, -5e-324, f64::MAX, -f64::MAX, 0.1 + 0.2],
+        )],
+        u64::MAX,
+        TrialBudget::adaptive(1, 3, CiTarget::Absolute(f64::MIN_POSITIVE)),
+        None,
+        vec![
+            (vec![Some(5e-324)], true),
+            (vec![Some(-0.0), Some(0.0)], true),
+            (vec![Some(f64::MAX), Some(-f64::MAX), None], true),
+            (vec![Some(1.0 / 3.0), Some(2.0 / 3.0)], true),
+            (vec![Some(1e-300), Some(1e300)], true),
+        ],
+    );
+    assert_round_trip(&extreme, "extreme values");
+}
+
+#[test]
+fn escaped_axis_names_round_trip() {
+    // Names with JSON-escaped and multi-byte characters survive the
+    // writer/parser pair.
+    let weird = report_from_parts(
+        vec![
+            Axis::explicit("q\"uote\\slash", vec![1.0]),
+            Axis::explicit("tab\there\nnewline", vec![2.0]),
+            Axis::explicit("churn-α", vec![3.0]),
+        ],
+        3,
+        TrialBudget::fixed(1),
+        None,
+        vec![(vec![Some(1.0)], true)],
+    );
+    assert_round_trip(&weird, "escaped names");
+}
+
+#[test]
+fn real_sweep_artifacts_round_trip_across_schedules() {
+    // End to end: real runner output (serial, parallel, capped) obeys
+    // the same pin — no hand-built shape, no splicing.
+    let grid = || {
+        dg_sweep::Grid::new()
+            .axis(Axis::ints("n", [4, 8, 16]))
+            .axis(Axis::explicit("q", [0.1, 0.9]))
+            .max_rounds(|cell| 100 * cell.usize("n") as u32)
+    };
+    let trial = |cell: &dg_sweep::Cell, trial: dg_sweep::Trial| {
+        let jitter = (trial.seed % 100) as f64 / 100.0;
+        (!trial.seed.is_multiple_of(7)).then(|| cell.get("q") * cell.usize("n") as f64 + jitter)
+    };
+    for threads in [1usize, 4] {
+        let report = Sweep::over(grid())
+            .budget(TrialBudget::adaptive(3, 16, CiTarget::Relative(0.2)))
+            .base_seed(0xFEED)
+            .threads(threads)
+            .run(trial)
+            .unwrap();
+        assert_round_trip(&report, &format!("real sweep, {threads} threads"));
+    }
+}
