@@ -236,6 +236,16 @@ impl EdgeDelta {
         self.added.extend(edges);
     }
 
+    /// Appends another delta's churn to this one (producer API). The
+    /// sharded executor records each lane's churn into its own buffer in
+    /// parallel and then concatenates them *in lane order*, so the merged
+    /// delta is identical to what a serial sweep over the lanes would
+    /// have recorded.
+    pub fn merge_from(&mut self, other: &EdgeDelta) {
+        self.added.extend_from_slice(&other.added);
+        self.removed.extend_from_slice(&other.removed);
+    }
+
     /// Records the diff between two lexicographically sorted edge lists
     /// (producer API for models that naturally produce per-round edge
     /// lists, e.g. geometric models).
@@ -491,21 +501,11 @@ impl DynAdjacency {
     }
 
     fn half_insert(&mut self, u: u32, v: u32) {
-        let list = &mut self.adj[u as usize];
-        match list.binary_search(&v) {
-            Ok(_) => panic!("delta added edge ({u}, {v}) that is already present"),
-            Err(pos) => list.insert(pos, v),
-        }
+        half_insert_list(&mut self.adj[u as usize], u, v);
     }
 
     fn half_remove(&mut self, u: u32, v: u32) {
-        let list = &mut self.adj[u as usize];
-        match list.binary_search(&v) {
-            Ok(pos) => {
-                list.remove(pos);
-            }
-            Err(_) => panic!("delta removed edge ({u}, {v}) that is not present"),
-        }
+        half_remove_list(&mut self.adj[u as usize], u, v);
     }
 
     /// Inserts edge `{u, v}`.
@@ -621,6 +621,42 @@ impl DynAdjacency {
         self.csr_dirty = true;
     }
 
+    /// Splits the adjacency into disjoint, contiguous node-range views of
+    /// `span` nodes each (the last may be shorter) for a *partitioned*
+    /// delta apply: each view mutates only its own nodes' neighbor lists,
+    /// so the views can run [`AdjacencyRange::apply_own_halves`] over the
+    /// same delta on different threads with no synchronization — every
+    /// edge's two halves land in (at most two) distinct views, and the
+    /// per-list result is identical to a serial [`DynAdjacency::apply`].
+    ///
+    /// The views bypass the structure's edge-count and snapshot
+    /// bookkeeping; after they are dropped the caller must call
+    /// [`DynAdjacency::commit_partitioned`] with the same delta to
+    /// restore the invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `span` is zero.
+    pub fn range_shards(&mut self, span: usize) -> Vec<AdjacencyRange<'_>> {
+        assert!(span > 0, "shard span must be positive");
+        self.adj
+            .chunks_mut(span)
+            .enumerate()
+            .map(|(i, lists)| AdjacencyRange {
+                base: (i * span) as u32,
+                lists,
+            })
+            .collect()
+    }
+
+    /// Restores the invariants [`DynAdjacency::range_shards`] bypassed,
+    /// once every view has applied `delta`: bumps the edge count by the
+    /// delta's net churn and invalidates the cached snapshot.
+    pub fn commit_partitioned(&mut self, delta: &EdgeDelta) {
+        self.edge_count = self.edge_count + delta.added().len() - delta.removed().len();
+        self.csr_dirty = true;
+    }
+
     /// The current edge set as a CSR [`Snapshot`], materialized lazily:
     /// the rebuild runs only when edges changed since the last call.
     ///
@@ -632,6 +668,107 @@ impl DynAdjacency {
             self.csr_dirty = false;
         }
         &self.csr
+    }
+}
+
+fn half_insert_list(list: &mut Vec<u32>, u: u32, v: u32) {
+    match list.binary_search(&v) {
+        Ok(_) => panic!("delta added edge ({u}, {v}) that is already present"),
+        Err(pos) => list.insert(pos, v),
+    }
+}
+
+fn half_remove_list(list: &mut Vec<u32>, u: u32, v: u32) {
+    match list.binary_search(&v) {
+        Ok(pos) => {
+            list.remove(pos);
+        }
+        Err(_) => panic!("delta removed edge ({u}, {v}) that is not present"),
+    }
+}
+
+/// A disjoint, contiguous node-range view into a [`DynAdjacency`],
+/// produced by [`DynAdjacency::range_shards`] — the unit of work of the
+/// engine's partitioned parallel delta apply. The view is `Send`, owns
+/// the neighbor lists of nodes `[base, base + len)` exclusively, and
+/// only ever mutates those, so one view per thread is race-free by
+/// construction.
+#[derive(Debug)]
+pub struct AdjacencyRange<'a> {
+    base: u32,
+    lists: &'a mut [Vec<u32>],
+}
+
+impl AdjacencyRange<'_> {
+    #[inline]
+    fn owns(&self, u: u32) -> bool {
+        u >= self.base && ((u - self.base) as usize) < self.lists.len()
+    }
+
+    #[inline]
+    fn list_mut(&mut self, u: u32) -> &mut Vec<u32> {
+        &mut self.lists[(u - self.base) as usize]
+    }
+
+    /// Applies the halves of `delta` incident to this range's nodes:
+    /// all removals first, then all additions — the same canonical
+    /// order as [`DynAdjacency::apply`], so once every range of a
+    /// partition has run, the adjacency is identical to a serial apply.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops and on delta entries inconsistent with the
+    /// current edge set (same rationale as [`DynAdjacency::apply`]).
+    pub fn apply_own_halves(&mut self, delta: &EdgeDelta) {
+        for &(u, v) in delta.removed() {
+            if self.owns(u) {
+                half_remove_list(self.list_mut(u), u, v);
+            }
+            if self.owns(v) {
+                half_remove_list(self.list_mut(v), v, u);
+            }
+        }
+        for &(u, v) in delta.added() {
+            assert_ne!(u, v, "self-loop ({u}, {v}) in delta");
+            if self.owns(u) {
+                half_insert_list(self.list_mut(u), u, v);
+            }
+            if self.owns(v) {
+                half_insert_list(self.list_mut(v), v, u);
+            }
+        }
+    }
+
+    /// Bulk-loads a full emission's own halves into this range's (empty)
+    /// lists: unsorted pushes, then one sort per own list — the
+    /// partitioned counterpart of the bulk-load fast path every trial's
+    /// first delta takes through [`DynAdjacency::apply`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops and duplicate edges, like
+    /// [`DynAdjacency::insert_edge`]; the caller must ensure the range's
+    /// lists are empty (the engine only takes this path on an edgeless
+    /// adjacency).
+    pub fn bulk_load_own_halves(&mut self, added: &[Edge]) {
+        for &(u, v) in added {
+            assert_ne!(u, v, "self-loop ({u}, {v}) in delta");
+            if self.owns(u) {
+                self.list_mut(u).push(v);
+            }
+            if self.owns(v) {
+                self.list_mut(v).push(u);
+            }
+        }
+        let base = self.base;
+        for (i, list) in self.lists.iter_mut().enumerate() {
+            list.sort_unstable();
+            if let Some(w) = list.windows(2).find(|w| w[0] == w[1]) {
+                let u = base + i as u32;
+                let (a, b) = (w[0].min(u), w[0].max(u));
+                panic!("delta added edge ({a}, {b}) that is already present");
+            }
+        }
     }
 }
 

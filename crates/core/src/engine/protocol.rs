@@ -168,6 +168,22 @@ pub trait Protocol: Send {
         let _ = view;
         ProtocolStatus::Active
     }
+
+    /// Whether the intra-trial sharded executor ([`crate::shard`]) may
+    /// replace this protocol's round loop when the engine's
+    /// `.shards(..)` axis asks for it.
+    ///
+    /// The sharded executor hard-codes flooding semantics (deterministic
+    /// relay on every edge, per-round messages
+    /// `Σ_{u ∈ I_t} deg_{E_t}(u)`), so only protocols whose
+    /// [`Protocol::transmit_delta`] is observably identical to that may
+    /// return `true` — the engine then produces byte-identical records
+    /// on either path. Defaults to `false`: randomized or stateful
+    /// protocols keep their serial round loop and the shard setting is
+    /// silently ignored.
+    fn supports_sharded_flooding(&self) -> bool {
+        false
+    }
 }
 
 /// Deterministic flooding (§2): every informed node transmits on every
@@ -250,6 +266,14 @@ impl Protocol for Flooding {
         }
         self.frontier_start = view.informed_list.len();
         out.add_messages(self.informed_degree);
+    }
+
+    fn supports_sharded_flooding(&self) -> bool {
+        // The sharded executor replicates exactly this transmit_delta
+        // (the partitioned message partial sums add up to the same
+        // informed-degree recurrence); pinned by the sharded-engine
+        // byte-identity suite.
+        true
     }
 }
 

@@ -4,6 +4,7 @@ use crate::delta::{DynAdjacency, EdgeDelta};
 use crate::engine::observer::{Observer, RoundCtx};
 use crate::engine::protocol::{Protocol, ProtocolStatus, SpreadView, Transmissions};
 use crate::engine::report::{SimulationReport, TrialRecord};
+use crate::shard::{flood_sharded_core, ShardScratch, Shards};
 use crate::{mix_seed, EvolvingGraph};
 
 /// Entry point to the engine; see [`Simulation::builder`].
@@ -59,6 +60,7 @@ impl Simulation {
             parallel: true,
             threads: None,
             stepping: Stepping::Auto,
+            shards: Shards::Fixed(1),
             reuse_models: true,
         }
     }
@@ -83,6 +85,7 @@ pub struct TrialScratch {
     new_nodes: Vec<u32>,
     adj: DynAdjacency,
     delta: EdgeDelta,
+    shard: ShardScratch,
 }
 
 impl TrialScratch {
@@ -126,6 +129,7 @@ pub struct SimulationBuilder<M, P, F> {
     parallel: bool,
     threads: Option<usize>,
     stepping: Stepping,
+    shards: Shards,
     reuse_models: bool,
 }
 
@@ -164,6 +168,7 @@ impl<M, P, F> SimulationBuilder<M, P, F> {
             parallel: self.parallel,
             threads: self.threads,
             stepping: self.stepping,
+            shards: self.shards,
             reuse_models: self.reuse_models,
         }
     }
@@ -182,6 +187,7 @@ impl<M, P, F> SimulationBuilder<M, P, F> {
             parallel: self.parallel,
             threads: self.threads,
             stepping: self.stepping,
+            shards: self.shards,
             reuse_models: self.reuse_models,
         }
     }
@@ -205,6 +211,7 @@ impl<M, P, F> SimulationBuilder<M, P, F> {
             parallel: self.parallel,
             threads: self.threads,
             stepping: self.stepping,
+            shards: self.shards,
             reuse_models: self.reuse_models,
         }
     }
@@ -281,6 +288,25 @@ impl<M, P, F> SimulationBuilder<M, P, F> {
     /// per-round cost differs.
     pub fn stepping(mut self, stepping: Stepping) -> Self {
         self.stepping = stepping;
+        self
+    }
+
+    /// Intra-trial sharding: how many threads execute a *single* trial's
+    /// round loop (default `Shards::Fixed(1)` — the serial round loop).
+    /// Accepts a plain count (`.shards(8)`) or [`Shards::Auto`] for one
+    /// thread per core.
+    ///
+    /// Takes effect only for trials that run on the delta path with a
+    /// protocol supporting sharded execution
+    /// ([`Protocol::supports_sharded_flooding`]) over a model exposing a
+    /// lane decomposition ([`EvolvingGraph::sharding`]); anything else
+    /// silently keeps its serial round loop. When engaged, records and
+    /// observer callbacks are byte-identical to the serial path for
+    /// every shard count — only the wall-clock of a single trial
+    /// changes. Composes with trial-level parallelism: the engine's
+    /// workers each run their trials sharded.
+    pub fn shards(mut self, shards: impl Into<Shards>) -> Self {
+        self.shards = shards.into();
         self
     }
 
@@ -381,7 +407,23 @@ where
             Stepping::Snapshot => false,
             Stepping::Delta => true,
         };
-        let record = if use_delta {
+        let sharded_threads = self.shards.resolve();
+        let record = if use_delta
+            && sharded_threads >= 2
+            && protocol.supports_sharded_flooding()
+            && g.sharding().is_some()
+        {
+            execute_trial_sharded(
+                g,
+                &mut observer,
+                trial,
+                seed,
+                &self.sources,
+                self.max_rounds,
+                sharded_threads,
+                scratch,
+            )
+        } else if use_delta {
             execute_trial_delta(
                 g,
                 &mut protocol,
@@ -625,6 +667,7 @@ where
         new_nodes,
         adj,
         delta,
+        ..
     } = scratch;
     for &s in sources {
         assert!((s as usize) < n, "source {s} out of range");
@@ -704,6 +747,72 @@ where
         informed: informed_list.len(),
         rounds: t,
         messages: messages_total,
+    };
+    observer.on_trial_end(&record);
+    record
+}
+
+/// The intra-trial sharded twin of [`execute_trial_delta`] for flooding
+/// semantics: the model's lanes are stepped on `threads` threads and the
+/// frontier sweep runs as a partitioned parallel pass
+/// ([`crate::shard::flood_sharded_core`]). No protocol object is
+/// consulted — the executor *is* the flooding protocol — which is why
+/// the caller gates on [`Protocol::supports_sharded_flooding`].
+/// Produces records and observer callbacks byte-identical to the serial
+/// delta path (pinned by the sharded-engine suite).
+#[allow(clippy::too_many_arguments)] // internal twin of execute_trial_delta
+fn execute_trial_sharded<G, O>(
+    g: &mut G,
+    observer: &mut O,
+    trial: usize,
+    seed: u64,
+    sources: &[u32],
+    max_rounds: u32,
+    threads: usize,
+    scratch: &mut TrialScratch,
+) -> TrialRecord
+where
+    G: EvolvingGraph + ?Sized,
+    O: Observer + ?Sized,
+{
+    let n = g.node_count();
+    observer.on_trial_start(trial, n, sources);
+    let needs_snapshots = observer.needs_snapshots();
+    // Same baseline contract as the serial delta path: the first round's
+    // merged delta carries the full current edge set.
+    g.rebase_deltas();
+    let access = g
+        .sharding()
+        .expect("sharded dispatch requires a lane decomposition");
+    let outcome = flood_sharded_core(
+        n,
+        access,
+        sources,
+        max_rounds,
+        threads,
+        &mut scratch.shard,
+        |ev| {
+            observer.on_round(&RoundCtx {
+                round: ev.round,
+                snapshot: if needs_snapshots {
+                    Some(ev.adj.snapshot())
+                } else {
+                    None
+                },
+                delta: Some(ev.delta),
+                newly_informed: ev.newly_informed,
+                informed_count: ev.informed_count,
+                messages: ev.messages,
+            });
+        },
+    );
+    let record = TrialRecord {
+        trial,
+        seed,
+        time: outcome.completed,
+        informed: outcome.informed,
+        rounds: outcome.rounds,
+        messages: outcome.messages,
     };
     observer.on_trial_end(&record);
     record

@@ -20,6 +20,7 @@
 use dg_stats::{Quantiles, Summary};
 
 use crate::delta::{DynAdjacency, EdgeDelta};
+use crate::shard::{flood_sharded_core, ShardScratch, Shards};
 use crate::EvolvingGraph;
 
 /// The outcome of one flooding run: who got informed when, and how the
@@ -28,17 +29,23 @@ use crate::EvolvingGraph;
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct FloodRun {
     source: u32,
-    informed_at: Vec<Option<u32>>,
+    informed_at: Vec<u32>,
     sizes: Vec<u32>,
     completed_at: Option<u32>,
 }
 
 impl FloodRun {
+    /// Sentinel in [`FloodRun::informed_at`] for nodes the run never
+    /// informed. At `n = 10^6` the sentinel vector is 4 MB where
+    /// `Vec<Option<u32>>` was 8 MB — and round numbers can never reach
+    /// it (`max_rounds < u32::MAX`).
+    pub const UNINFORMED: u32 = u32::MAX;
+
     /// Assembles a run record from raw parts (used by protocol variants in
     /// [`crate::gossip`] that share the flooding bookkeeping).
     pub(crate) fn from_parts(
         source: u32,
-        informed_at: Vec<Option<u32>>,
+        informed_at: Vec<u32>,
         sizes: Vec<u32>,
         completed_at: Option<u32>,
     ) -> Self {
@@ -61,10 +68,23 @@ impl FloodRun {
         self.completed_at
     }
 
-    /// For each node, the round at which it became informed (`Some(0)` for
-    /// the source; `None` if never informed within the cap).
-    pub fn informed_at(&self) -> &[Option<u32>] {
+    /// For each node, the round at which it became informed: `0` for the
+    /// source, [`FloodRun::UNINFORMED`] if never informed within the
+    /// cap. For the `Option` view of a single node use
+    /// [`FloodRun::informed_round`].
+    pub fn informed_at(&self) -> &[u32] {
         &self.informed_at
+    }
+
+    /// The round node `v` became informed — `None` if the run never
+    /// reached it (the `Option` accessor over the sentinel encoding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn informed_round(&self, v: u32) -> Option<u32> {
+        let r = self.informed_at[v as usize];
+        (r != Self::UNINFORMED).then_some(r)
     }
 
     /// `sizes[t] = |I_t|`, starting from `sizes[0] = 1`.
@@ -114,11 +134,11 @@ pub fn flood<G: EvolvingGraph + ?Sized>(g: &mut G, source: u32, max_rounds: u32)
 fn flood_core<G: EvolvingGraph + ?Sized>(g: &mut G, sources: &[u32], max_rounds: u32) -> FloodRun {
     let n = g.node_count();
     let mut informed = vec![false; n];
-    let mut informed_at = vec![None; n];
+    let mut informed_at = vec![FloodRun::UNINFORMED; n];
     let mut informed_list: Vec<u32> = Vec::with_capacity(n);
     for &s in sources {
         informed[s as usize] = true;
-        informed_at[s as usize] = Some(0);
+        informed_at[s as usize] = 0;
         informed_list.push(s);
     }
     let mut sizes = vec![informed_list.len() as u32];
@@ -141,15 +161,15 @@ fn flood_core<G: EvolvingGraph + ?Sized>(g: &mut G, sources: &[u32], max_rounds:
             g.step_delta(&mut delta);
             adj.apply(&delta);
             new_nodes.clear();
-            // Relays must be members of I_t: `informed_at` is still None
-            // for nodes first reached during this scan, so they cannot
-            // chain within the round.
+            // Relays must be members of I_t: `informed_at` is still the
+            // sentinel for nodes first reached during this scan, so they
+            // cannot chain within the round.
             for &(u, v) in delta.added() {
-                if informed_at[u as usize].is_some() && !informed[v as usize] {
+                if informed_at[u as usize] != FloodRun::UNINFORMED && !informed[v as usize] {
                     informed[v as usize] = true;
                     new_nodes.push(v);
                 }
-                if informed_at[v as usize].is_some() && !informed[u as usize] {
+                if informed_at[v as usize] != FloodRun::UNINFORMED && !informed[u as usize] {
                     informed[u as usize] = true;
                     new_nodes.push(u);
                 }
@@ -165,7 +185,7 @@ fn flood_core<G: EvolvingGraph + ?Sized>(g: &mut G, sources: &[u32], max_rounds:
             frontier_start = informed_list.len();
             t += 1;
             for &v in &new_nodes {
-                informed_at[v as usize] = Some(t);
+                informed_at[v as usize] = t;
             }
             informed_list.extend_from_slice(&new_nodes);
             sizes.push(informed_list.len() as u32);
@@ -190,7 +210,7 @@ fn flood_core<G: EvolvingGraph + ?Sized>(g: &mut G, sources: &[u32], max_rounds:
             }
             t += 1;
             for &v in &new_nodes {
-                informed_at[v as usize] = Some(t);
+                informed_at[v as usize] = t;
             }
             informed_list.extend_from_slice(&new_nodes);
             sizes.push(informed_list.len() as u32);
@@ -243,6 +263,60 @@ pub fn flood_multi<G: EvolvingGraph + ?Sized>(
         seen[s as usize] = true;
     }
     flood_core(g, sources, max_rounds)
+}
+
+/// Runs flooding from `source` on the intra-trial sharded executor: the
+/// model's lane decomposition is stepped on `shards` threads and the
+/// frontier sweep runs as a partitioned parallel pass (see
+/// [`crate::shard`]). The run is byte-identical to [`flood`] on the same
+/// model and seed, for every shard count — only wall-clock changes.
+///
+/// Falls back to [`flood`] when the model exposes no lane decomposition
+/// ([`EvolvingGraph::sharding`]) or `shards` resolves to a single
+/// thread.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range, or if `max_rounds` is
+/// `u32::MAX` (reserved as the [`FloodRun::UNINFORMED`] sentinel).
+pub fn flood_sharded<G: EvolvingGraph + ?Sized>(
+    g: &mut G,
+    source: u32,
+    max_rounds: u32,
+    shards: Shards,
+) -> FloodRun {
+    let n = g.node_count();
+    assert!((source as usize) < n, "source {source} out of range");
+    assert_ne!(
+        max_rounds,
+        u32::MAX,
+        "max_rounds must leave room for the uninformed sentinel"
+    );
+    let threads = shards.resolve();
+    if threads < 2 || g.sharding().is_none() {
+        return flood(g, source, max_rounds);
+    }
+    // Same baseline contract as the serial delta sweep: the first round
+    // carries the full current edge set.
+    g.rebase_deltas();
+    let mut scratch = ShardScratch::default();
+    let mut sizes = vec![1u32];
+    let access = g.sharding().expect("probed above");
+    let outcome = flood_sharded_core(
+        n,
+        access,
+        &[source],
+        max_rounds,
+        threads,
+        &mut scratch,
+        |ev| sizes.push(ev.informed_count as u32),
+    );
+    FloodRun {
+        source,
+        informed_at: std::mem::take(&mut scratch.informed_at),
+        sizes,
+        completed_at: outcome.completed,
+    }
 }
 
 /// Configuration for seeded multi-trial flooding experiments.
@@ -386,8 +460,9 @@ mod tests {
         let run = flood(&mut g, 3, 10);
         assert_eq!(run.flooding_time(), Some(1));
         assert_eq!(run.sizes(), &[1, 10]);
-        assert_eq!(run.informed_at()[3], Some(0));
-        assert!(run.informed_at().iter().all(|x| x.is_some()));
+        assert_eq!(run.informed_at()[3], 0);
+        assert_eq!(run.informed_round(3), Some(0));
+        assert!(run.informed_at().iter().all(|&x| x != FloodRun::UNINFORMED));
     }
 
     #[test]
@@ -423,8 +498,8 @@ mod tests {
         // node 2 must wait one more round.
         let mut g = StaticEvolvingGraph::new(generators::path(3));
         let run = flood(&mut g, 0, 10);
-        assert_eq!(run.informed_at()[1], Some(1));
-        assert_eq!(run.informed_at()[2], Some(2));
+        assert_eq!(run.informed_round(1), Some(1));
+        assert_eq!(run.informed_round(2), Some(2));
     }
 
     #[test]

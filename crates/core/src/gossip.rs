@@ -59,10 +59,10 @@ pub fn push_spread<G: EvolvingGraph + ?Sized>(
     assert!((source as usize) < n, "source {source} out of range");
     let mut rng = SmallRng::seed_from_u64(mix_seed(seed, 0x905517));
     let mut informed = vec![false; n];
-    let mut informed_at = vec![None; n];
+    let mut informed_at = vec![FloodRun::UNINFORMED; n];
     let mut informed_list = vec![source];
     informed[source as usize] = true;
-    informed_at[source as usize] = Some(0);
+    informed_at[source as usize] = 0;
     let mut sizes = vec![1u32];
     let mut completed_at = if n == 1 { Some(0) } else { None };
     let mut new_nodes: Vec<u32> = Vec::new();
@@ -100,7 +100,7 @@ pub fn push_spread<G: EvolvingGraph + ?Sized>(
         }
         t += 1;
         for &v in &new_nodes {
-            informed_at[v as usize] = Some(t);
+            informed_at[v as usize] = t;
         }
         informed_list.extend_from_slice(&new_nodes);
         sizes.push(informed_list.len() as u32);
@@ -150,12 +150,12 @@ pub fn parsimonious_flood<G: EvolvingGraph + ?Sized>(
     let n = g.node_count();
     assert!((source as usize) < n, "source {source} out of range");
     let mut informed = vec![false; n];
-    let mut informed_at = vec![None; n];
+    let mut informed_at = vec![FloodRun::UNINFORMED; n];
     // Nodes currently relaying, with the round they were informed.
     let mut active: Vec<u32> = vec![source];
     let mut informed_count = 1usize;
     informed[source as usize] = true;
-    informed_at[source as usize] = Some(0);
+    informed_at[source as usize] = 0;
     let mut sizes = vec![1u32];
     let mut completed_at = if n == 1 { Some(0) } else { None };
     let mut new_nodes: Vec<u32> = Vec::new();
@@ -173,12 +173,13 @@ pub fn parsimonious_flood<G: EvolvingGraph + ?Sized>(
         }
         t += 1;
         for &v in &new_nodes {
-            informed_at[v as usize] = Some(t);
+            informed_at[v as usize] = t;
         }
         informed_count += new_nodes.len();
         // Retire nodes whose TTL expired; admit the newly informed.
         active.retain(|&u| {
-            let at = informed_at[u as usize].expect("active nodes are informed");
+            let at = informed_at[u as usize];
+            debug_assert_ne!(at, FloodRun::UNINFORMED, "active nodes are informed");
             t < at + ttl
         });
         active.extend_from_slice(&new_nodes);

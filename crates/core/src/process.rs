@@ -125,6 +125,20 @@ pub trait EvolvingGraph {
             }
         }
     }
+
+    /// Exposes the model's lane decomposition to the engine's intra-trial
+    /// sharded executor ([`crate::shard`]), if it has one.
+    ///
+    /// Models that can advance disjoint slices of their pair space
+    /// independently (fixed logical lanes with per-lane RNG streams,
+    /// like `dg-edge-meg`'s `ShardedSparseEdgeMeg`) return their
+    /// [`ShardAccess`](crate::shard::ShardAccess) view here; the engine
+    /// then steps the lanes on several threads within a *single* trial.
+    /// The default `None` keeps every existing model on the serial
+    /// per-round path — the engine silently falls back.
+    fn sharding(&mut self) -> Option<&mut dyn crate::shard::ShardAccess> {
+        None
+    }
 }
 
 /// The degenerate dynamic graph whose snapshot never changes.

@@ -103,7 +103,7 @@ impl HiddenChainEdgeMeg {
             stationary,
             row_samplers,
             init_sampler,
-            states: vec![0; pair_count(n)],
+            states: vec![0; pair_count(n) as usize],
             rng: SmallRng::seed_from_u64(seed),
             snapshot: Snapshot::empty(n),
             edge_buf: Vec::new(),
@@ -164,7 +164,7 @@ impl EvolvingGraph for HiddenChainEdgeMeg {
         for (e, s) in self.states.iter_mut().enumerate() {
             *s = self.row_samplers[*s as usize].sample(&mut self.rng) as u8;
             if self.chi[*s as usize] {
-                self.edge_buf.push(edge_pair(e));
+                self.edge_buf.push(edge_pair(e as u64));
             }
         }
         self.snapshot.rebuild_from_edges(&self.edge_buf);
@@ -182,8 +182,8 @@ impl EvolvingGraph for HiddenChainEdgeMeg {
                 *s = self.row_samplers[*s as usize].sample(&mut self.rng) as u8;
                 let is_on = self.chi[*s as usize];
                 match (was_on, is_on) {
-                    (false, true) => delta.push_added(edge_pair(e)),
-                    (true, false) => delta.push_removed(edge_pair(e)),
+                    (false, true) => delta.push_added(edge_pair(e as u64)),
+                    (true, false) => delta.push_removed(edge_pair(e as u64)),
                     _ => {}
                 }
             }
@@ -191,7 +191,7 @@ impl EvolvingGraph for HiddenChainEdgeMeg {
             for (e, s) in self.states.iter_mut().enumerate() {
                 *s = self.row_samplers[*s as usize].sample(&mut self.rng) as u8;
                 if self.chi[*s as usize] {
-                    delta.push_added(edge_pair(e));
+                    delta.push_added(edge_pair(e as u64));
                 }
             }
             self.synced = true;

@@ -64,10 +64,12 @@
 mod general;
 mod pairmap;
 mod pairs;
+mod sharded;
 mod sparse;
 mod two_state;
 
 pub use general::{bursty_chain, four_state_chain, HiddenChainEdgeMeg};
 pub use pairs::{edge_index, edge_pair, pair_count};
+pub use sharded::{ShardedSparseEdgeMeg, LANES};
 pub use sparse::SparseTwoStateEdgeMeg;
 pub use two_state::TwoStateEdgeMeg;

@@ -5,25 +5,26 @@
 //! trial reset re-inserts all of it. `std::collections::HashMap`'s
 //! SipHash plus per-entry overhead makes those inserts the dominant
 //! term of trial setup at large `n`, so this map trades generality for
-//! the three things the occupancy store needs: `u32` keys (pair
-//! indices, always below `u32::MAX`), Fibonacci multiply hashing (a
-//! couple of cycles), and flat open addressing with backward-shift
-//! deletion (no tombstone rot under the retire-on-death workload).
+//! the three things the occupancy store needs: `u64` keys (triangular
+//! pair indices, below `2^63` for any pair of `u32` node ids),
+//! Fibonacci multiply hashing (a couple of cycles), and flat open
+//! addressing with backward-shift deletion (no tombstone rot under the
+//! retire-on-death workload).
 //!
 //! The map is never iterated, so realizations cannot depend on its
 //! layout; the exhaustive property test pins its semantics against
 //! `std::collections::HashMap`.
 
 /// Sentinel key marking an empty slot.
-const EMPTY: u32 = u32::MAX;
+const EMPTY: u64 = u64::MAX;
 
-/// A `u32 -> u32` open-addressing map for pair indices (`key <
-/// u32::MAX`).
+/// A `u64 -> u32` open-addressing map for pair indices (`key <
+/// u64::MAX`).
 #[derive(Debug, Clone)]
 pub(crate) struct PairMap {
     /// `(key, value)` pairs; `key == EMPTY` marks a free slot. Length is
     /// always a power of two.
-    slots: Vec<(u32, u32)>,
+    slots: Vec<(u64, u32)>,
     mask: usize,
     len: usize,
 }
@@ -61,15 +62,15 @@ impl PairMap {
 
     /// Fibonacci multiply hash onto the table's power-of-two size.
     #[inline]
-    fn home(&self, key: u32) -> usize {
-        // 2^32 / phi, odd; the multiply pushes entropy into the high
+    fn home(&self, key: u64) -> usize {
+        // 2^64 / phi, odd; the multiply pushes entropy into the high
         // bits, the xor folds it back down before masking.
-        let h = key.wrapping_mul(0x9E37_79B1);
-        ((h ^ (h >> 16)) as usize) & self.mask
+        let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((h ^ (h >> 32)) as usize) & self.mask
     }
 
     #[inline]
-    pub(crate) fn get(&self, key: u32) -> Option<u32> {
+    pub(crate) fn get(&self, key: u64) -> Option<u32> {
         debug_assert_ne!(key, EMPTY);
         let mut i = self.home(key);
         loop {
@@ -85,12 +86,12 @@ impl PairMap {
     }
 
     #[inline]
-    pub(crate) fn contains(&self, key: u32) -> bool {
+    pub(crate) fn contains(&self, key: u64) -> bool {
         self.get(key).is_some()
     }
 
     /// Inserts or overwrites.
-    pub(crate) fn insert(&mut self, key: u32, value: u32) {
+    pub(crate) fn insert(&mut self, key: u64, value: u32) {
         debug_assert_ne!(key, EMPTY);
         // Grow at 1/2 load: linear probe chains stay a couple of slots
         // long, and the resize cost amortizes over the fill.
@@ -115,7 +116,7 @@ impl PairMap {
 
     /// Removes `key` if present, with backward-shift deletion (the
     /// probe chains stay dense; no tombstones to sweep later).
-    pub(crate) fn remove(&mut self, key: u32) {
+    pub(crate) fn remove(&mut self, key: u64) {
         debug_assert_ne!(key, EMPTY);
         let mut i = self.home(key);
         loop {
@@ -207,14 +208,29 @@ mod tests {
     #[test]
     fn grows_past_initial_capacity() {
         let mut m = PairMap::new();
-        for k in 0..10_000u32 {
-            m.insert(k, k.wrapping_mul(3));
+        for k in 0..10_000u64 {
+            m.insert(k, (k as u32).wrapping_mul(3));
         }
         assert_eq!(m.len(), 10_000);
-        for k in 0..10_000u32 {
-            assert_eq!(m.get(k), Some(k.wrapping_mul(3)), "key {k}");
+        for k in 0..10_000u64 {
+            assert_eq!(m.get(k), Some((k as u32).wrapping_mul(3)), "key {k}");
         }
         assert_eq!(m.get(10_000), None);
+    }
+
+    #[test]
+    fn wide_keys_past_u32() {
+        // Million-node pair indices live well past u32::MAX; the hash
+        // must spread them and lookups must stay exact.
+        let mut m = PairMap::new();
+        let base = 499_999_500_000u64; // ~pair_count(10^6)
+        for i in 0..5_000u64 {
+            m.insert(base + i * 997, i as u32);
+        }
+        for i in 0..5_000u64 {
+            assert_eq!(m.get(base + i * 997), Some(i as u32), "key offset {i}");
+        }
+        assert_eq!(m.get(base + 1), None);
     }
 
     #[test]
@@ -225,10 +241,13 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(0x9A1);
         for round in 0..50 {
             let mut ours = PairMap::new();
-            let mut reference: HashMap<u32, u32> = HashMap::new();
-            let key_space = 1 << (2 + round % 8); // clustered keys probe long chains
+            let mut reference: HashMap<u64, u32> = HashMap::new();
+            let key_space = 1u64 << (2 + round % 8); // clustered keys probe long chains
+                                                     // Half the rounds run in the high-key region to exercise
+                                                     // 64-bit hashing; clustering is preserved by the offset.
+            let offset = if round % 2 == 0 { 0 } else { u64::MAX / 3 };
             for _ in 0..2_000 {
-                let key = rng.gen_range(0..key_space) as u32;
+                let key = offset + rng.gen_range(0..key_space);
                 match rng.gen_range(0..10) {
                     0..=4 => {
                         let value = rng.gen::<u32>();

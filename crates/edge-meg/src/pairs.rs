@@ -1,7 +1,13 @@
 //! Triangular indexing of unordered node pairs.
+//!
+//! Pair indices are `u64`: over `n = 2^32` nodes the triangular layout
+//! tops out just below `2^63`, so every `(u32, u32)` pair has an exact
+//! index and the sparse models can address million-node graphs whose
+//! pair space (`~5 * 10^11` at `n = 10^6`) is far beyond `u32`.
 
 /// Number of unordered pairs over `n` nodes: `n(n-1)/2`.
-pub fn pair_count(n: usize) -> usize {
+pub fn pair_count(n: usize) -> u64 {
+    let n = n as u64;
     n * (n - 1) / 2
 }
 
@@ -20,28 +26,59 @@ pub fn pair_count(n: usize) -> usize {
 /// let e = edge_index(3, 7);
 /// assert_eq!(edge_pair(e), (3, 7));
 /// ```
-pub fn edge_index(u: u32, v: u32) -> usize {
+pub fn edge_index(u: u32, v: u32) -> u64 {
     assert_ne!(u, v, "self-loops have no pair index");
     let (lo, hi) = if u < v { (u, v) } else { (v, u) };
-    (hi as usize * (hi as usize - 1)) / 2 + lo as usize
+    (hi as u64 * (hi as u64 - 1)) / 2 + lo as u64
+}
+
+/// `v(v-1)/2` without overflow: for `v` near `2^32` the product needs
+/// 64 bits *after* halving, so the multiply runs in `u128`.
+#[inline]
+fn tri(v: u64) -> u128 {
+    v as u128 * (v as u128 - 1) / 2
+}
+
+/// Floor square root, exact for every input.
+///
+/// The `f64` seed is within one of the true root for the magnitudes the
+/// pair inverse produces (`x <= 8 * 2^63`, where the relative error of a
+/// 53-bit sqrt is far below one ulp of the root); the correction loops
+/// make the result exact regardless of how the seed rounded.
+fn isqrt(x: u128) -> u128 {
+    if x < 2 {
+        return x;
+    }
+    let mut r = (x as f64).sqrt() as u128;
+    while r * r > x {
+        r -= 1;
+    }
+    while (r + 1) * (r + 1) <= x {
+        r += 1;
+    }
+    r
 }
 
 /// Inverse of [`edge_index`]: recovers `(u, v)` with `u < v`.
-pub fn edge_pair(index: usize) -> (u32, u32) {
-    // hi is the largest v with v(v-1)/2 <= index.
-    let hi = ((1.0 + (1.0 + 8.0 * index as f64).sqrt()) / 2.0).floor() as usize;
-    // Floating point can land one off; correct exactly.
-    let hi = if hi * (hi - 1) / 2 > index {
-        hi - 1
-    } else {
-        hi
-    };
-    let hi = if (hi + 1) * hi / 2 <= index {
-        hi + 1
-    } else {
-        hi
-    };
-    let lo = index - hi * (hi - 1) / 2;
+///
+/// Exact over the whole valid index range (any pair of `u32` node ids):
+/// the former `(1 + sqrt(1 + 8i)) / 2` float trick loses integer
+/// exactness once `8i + 1` leaves the 53-bit mantissa (indices near
+/// `2^52`), so the discriminant square root is taken in integers and
+/// the candidate row corrected exactly.
+pub fn edge_pair(index: u64) -> (u32, u32) {
+    // hi is the largest v with v(v-1)/2 <= index, i.e.
+    // floor((1 + sqrt(1 + 8 index)) / 2) up to the rounding of the
+    // truncated integer sqrt — the two corrections settle it exactly.
+    let s = isqrt(8 * index as u128 + 1);
+    let mut hi = (s.div_ceil(2)) as u64;
+    if tri(hi) > index as u128 {
+        hi -= 1;
+    }
+    if tri(hi + 1) <= index as u128 {
+        hi += 1;
+    }
+    let lo = index - tri(hi) as u64;
     (lo as u32, hi as u32)
 }
 
@@ -52,12 +89,12 @@ mod tests {
     #[test]
     fn round_trip_small() {
         let n = 40u32;
-        let mut seen = vec![false; pair_count(n as usize)];
+        let mut seen = vec![false; pair_count(n as usize) as usize];
         for v in 0..n {
             for u in 0..v {
                 let e = edge_index(u, v);
-                assert!(!seen[e], "index collision at ({u},{v})");
-                seen[e] = true;
+                assert!(!seen[e as usize], "index collision at ({u},{v})");
+                seen[e as usize] = true;
                 assert_eq!(edge_pair(e), (u, v));
             }
         }
@@ -73,6 +110,57 @@ mod tests {
     fn large_indices_exact() {
         for &(u, v) in &[(0u32, 1u32), (12345, 54321), (99999, 100000)] {
             assert_eq!(edge_pair(edge_index(u, v)), (u.min(v), u.max(v)));
+        }
+    }
+
+    #[test]
+    fn u32_boundary_rows_exact() {
+        // Rows around the old 92 682-node cap, where pair indices cross
+        // u32::MAX: every index in a window straddling each row edge
+        // must invert exactly.
+        for hi in [92_681u32, 92_682, 92_683, 92_684] {
+            for lo in [0u32, 1, hi / 2, hi - 2, hi - 1] {
+                assert_eq!(edge_pair(edge_index(lo, hi)), (lo, hi), "({lo},{hi})");
+            }
+        }
+        for e in edge_index(0, 92_682) - 3..=edge_index(0, 92_682) + 3 {
+            let (u, v) = edge_pair(e);
+            assert_eq!(edge_index(u, v), e, "index {e}");
+        }
+    }
+
+    #[test]
+    fn f64_mantissa_boundary_exact() {
+        // Near 2^52 the discriminant 8i + 1 leaves f64's 53-bit
+        // mantissa and the old float inverse could land on the wrong
+        // row; the integer inverse must stay exact through the region.
+        for base in [1u64 << 49, 1 << 52, (1 << 52) + (1 << 51), 1 << 55] {
+            for e in base - 40..base + 40 {
+                let (u, v) = edge_pair(e);
+                assert!(u < v, "index {e} gave ({u},{v})");
+                assert_eq!(edge_index(u, v), e, "index {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn u64_extreme_rows_exact() {
+        // Top of the addressable space: both endpoints near u32::MAX,
+        // indices just below 2^63.
+        let top = u32::MAX;
+        for &(u, v) in &[
+            (0, top),
+            (top - 1, top),
+            (top / 2, top),
+            (top - 2, top - 1),
+            (1_000_000_000, 4_000_000_000),
+        ] {
+            assert_eq!(edge_pair(edge_index(u, v)), (u, v), "({u},{v})");
+        }
+        let last = edge_index(top - 1, top);
+        for e in last - 5..=last {
+            let (u, v) = edge_pair(e);
+            assert_eq!(edge_index(u, v), e, "index {e}");
         }
     }
 

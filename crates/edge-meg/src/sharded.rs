@@ -1,0 +1,450 @@
+//! Lane-decomposed sparse two-state edge-MEG: the million-node model.
+//!
+//! [`ShardedSparseEdgeMeg`] factors the lazy sparse dynamics of
+//! [`crate::SparseTwoStateEdgeMeg::stationary_sparse_init`] into
+//! [`LANES`] *fixed logical lanes*: lane `l` owns the contiguous pair
+//! range whose higher endpoint falls in the `l`-th slice of the node
+//! space, and runs the usual per-round Geometric(`q`) death sweep plus
+//! Geometric(`p`) birth sweep over *its* range with *its own* RNG
+//! stream. Because every pair behaves independently in the two-state
+//! process, the union over lanes is the same process distribution as
+//! the single-stream model — and because the decomposition is fixed
+//! (never a function of the thread count), a realization depends only
+//! on `(n, p, q, seed)`.
+//!
+//! The payoff: the model exposes its lanes through
+//! [`dynagraph::EvolvingGraph::sharding`], so the engine's intra-trial
+//! sharded executor ([`dynagraph::shard`]) can advance them on all
+//! cores — one `n = 10^6` trial saturates the machine, byte-identical
+//! to the serial path (the serial `step_delta` sweeps the same lanes in
+//! lane order with the same per-lane streams).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use dg_markov::{MarkovError, TwoStateChain};
+use dynagraph::shard::{ShardAccess, ShardLane};
+use dynagraph::{mix_seed, EdgeDelta, EvolvingGraph, Snapshot};
+
+use crate::pairmap::PairMap;
+use crate::pairs::edge_pair;
+
+/// Number of logical lanes — fixed, so realizations are independent of
+/// how many threads step them. 64 comfortably exceeds any core count
+/// the executor's round-robin assignment has to balance over, while
+/// keeping per-lane state (a few Vecs + a PairMap) negligible.
+pub const LANES: usize = 64;
+
+/// Seed-domain tag separating lane streams from every other consumer of
+/// the trial seed.
+const LANE_SEED_TAG: u64 = 0x5AA2_DED0;
+
+/// `tri(v) = v(v-1)/2` — the pair index of `(0, v)`, i.e. the first
+/// index whose higher endpoint is `v`.
+#[inline]
+fn tri(v: u64) -> u64 {
+    v * (v - 1) / 2
+}
+
+/// Samples `Geometric(prob)` on `{1, 2, ...}` — identical draw to
+/// `SparseTwoStateEdgeMeg`'s sampler.
+#[inline]
+fn geometric(rng: &mut SmallRng, prob: f64, log1m: f64) -> u64 {
+    if prob >= 1.0 {
+        return 1;
+    }
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let k = (u.ln() / log1m).ceil();
+    (k as u64).max(1)
+}
+
+/// Alive-list position sentinel (mirrors the sparse model's `OFF`).
+const OFF: u32 = u32::MAX;
+
+/// One lane: an independently advanceable slice `[start, end)` of the
+/// pair index space with its own RNG stream and lazy on-set tracking.
+#[derive(Debug, Clone)]
+struct Lane {
+    /// Owned pair range `[start, end)`.
+    start: u64,
+    end: u64,
+    birth: f64,
+    death: f64,
+    log1m_birth: f64,
+    log1m_death: f64,
+    /// Currently-on pair indices in this lane.
+    alive: Vec<u64>,
+    /// Pair index -> position in `alive` (only on pairs are tracked).
+    occ: PairMap,
+    /// Deaths collected by this round's sweep, retired after births.
+    retire_buf: Vec<u64>,
+    rng: SmallRng,
+}
+
+impl Lane {
+    fn turn_on(&mut self, edge: u64) {
+        debug_assert!(!self.occ.contains(edge));
+        assert!(
+            self.alive.len() < OFF as usize,
+            "on-set exceeds u32 alive-list positions"
+        );
+        self.occ.insert(edge, self.alive.len() as u32);
+        self.alive.push(edge);
+    }
+
+    /// Removes a dying pair from the alive list and the occupancy map —
+    /// it returns to the untouched pool and its next birth comes from
+    /// the sweep.
+    fn retire(&mut self, edge: u64) {
+        let pos = self.occ.get(edge).expect("edge is alive");
+        let last = *self.alive.last().expect("edge is alive");
+        self.alive.swap_remove(pos as usize);
+        if last != edge {
+            self.occ.insert(last, pos);
+        }
+        self.occ.remove(edge);
+    }
+
+    /// One round of the lazy dynamics over this lane's range — the same
+    /// death-sweep / birth-sweep / retire order (hence the same
+    /// per-lane draw sequence) as the single-stream sparse-init model.
+    fn advance(&mut self, mut delta: Option<&mut EdgeDelta>) {
+        debug_assert!(self.retire_buf.is_empty());
+        let mut pos = geometric(&mut self.rng, self.death, self.log1m_death) - 1;
+        while (pos as usize) < self.alive.len() {
+            self.retire_buf.push(self.alive[pos as usize]);
+            pos += geometric(&mut self.rng, self.death, self.log1m_death);
+        }
+        let mut idx = self.start + geometric(&mut self.rng, self.birth, self.log1m_birth) - 1;
+        while idx < self.end {
+            if !self.occ.contains(idx) {
+                self.turn_on(idx);
+                if let Some(d) = delta.as_deref_mut() {
+                    d.push_added(edge_pair(idx));
+                }
+            }
+            idx += geometric(&mut self.rng, self.birth, self.log1m_birth);
+        }
+        for i in 0..self.retire_buf.len() {
+            let edge = self.retire_buf[i];
+            self.retire(edge);
+            if let Some(d) = delta.as_deref_mut() {
+                d.push_removed(edge_pair(edge));
+            }
+        }
+        self.retire_buf.clear();
+    }
+}
+
+impl ShardLane for Lane {
+    fn step_round(&mut self, delta: &mut EdgeDelta, emit_full: bool) {
+        if emit_full {
+            self.advance(None);
+            for &e in &self.alive {
+                delta.push_added(edge_pair(e));
+            }
+        } else {
+            self.advance(Some(delta));
+        }
+    }
+}
+
+/// Sparse two-state edge-MEG decomposed into [`LANES`] fixed lanes —
+/// the model behind million-node single-trial sharding.
+///
+/// Same process distribution as
+/// [`crate::SparseTwoStateEdgeMeg::stationary_sparse_init`] (every pair
+/// flips independently; only the random-stream bookkeeping differs),
+/// with `O(#on)` setup and churn-proportional rounds. Exposes a lane
+/// decomposition via [`EvolvingGraph::sharding`], so
+/// `Simulation::builder().shards(..)` and
+/// [`dynagraph::flooding::flood_sharded`] run a *single* trial on all
+/// cores; serial and sharded execution are byte-identical.
+///
+/// # Examples
+///
+/// ```
+/// use dg_edge_meg::ShardedSparseEdgeMeg;
+/// use dynagraph::{flooding, EvolvingGraph, Shards};
+///
+/// let n = 512;
+/// let mut g = ShardedSparseEdgeMeg::stationary(n, 1.5 / n as f64, 0.3, 1).unwrap();
+/// let serial = flooding::flood(&mut g, 0, 100_000);
+/// g.reset(1);
+/// let sharded = flooding::flood_sharded(&mut g, 0, 100_000, Shards::Fixed(4));
+/// assert_eq!(serial, sharded);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShardedSparseEdgeMeg {
+    n: usize,
+    chain: TwoStateChain,
+    lanes: Vec<Lane>,
+    snapshot: Snapshot,
+    edge_buf: Vec<(u32, u32)>,
+    synced: bool,
+}
+
+impl ShardedSparseEdgeMeg {
+    /// Creates a stationary lane-decomposed sparse edge-MEG (each pair
+    /// on independently with probability `p/(p+q)` at round 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid rates, `p = 0` or `q = 0`, or
+    /// `n < 2` — the same conditions as
+    /// [`crate::SparseTwoStateEdgeMeg::stationary`].
+    pub fn stationary(n: usize, p: f64, q: f64, seed: u64) -> Result<Self, MarkovError> {
+        let chain = TwoStateChain::new(p, q)?;
+        if p == 0.0 || q == 0.0 {
+            return Err(MarkovError::ParameterOutOfRange {
+                name: "p/q (event-driven simulation needs both positive)",
+                value: 0.0,
+            });
+        }
+        if n < 2 {
+            return Err(MarkovError::DimensionMismatch {
+                expected: 2,
+                found: n,
+            });
+        }
+        let alpha = chain.stationary_on();
+        let node_span = n.div_ceil(LANES) as u64;
+        let log1m_birth = (1.0 - chain.birth()).ln();
+        let log1m_death = (1.0 - chain.death()).ln();
+        let lanes = (0..LANES as u64)
+            .map(|l| {
+                let lo = (l * node_span).min(n as u64);
+                let hi = ((l + 1) * node_span).min(n as u64);
+                let (start, end) = (tri(lo.max(1)), tri(hi.max(1)));
+                let expected = (alpha * (end - start) as f64).ceil() as usize;
+                Lane {
+                    start,
+                    end,
+                    birth: chain.birth(),
+                    death: chain.death(),
+                    log1m_birth,
+                    log1m_death,
+                    alive: Vec::new(),
+                    occ: PairMap::with_capacity(expected),
+                    retire_buf: Vec::new(),
+                    rng: SmallRng::seed_from_u64(0),
+                }
+            })
+            .collect();
+        let mut meg = ShardedSparseEdgeMeg {
+            n,
+            chain,
+            lanes,
+            snapshot: Snapshot::empty(n),
+            edge_buf: Vec::new(),
+            synced: false,
+        };
+        meg.reset(seed);
+        Ok(meg)
+    }
+
+    /// The stationary edge density `α = p/(p+q)`.
+    pub fn alpha(&self) -> f64 {
+        self.chain.stationary_on()
+    }
+
+    /// Number of currently-on edges (summed over lanes).
+    pub fn alive_count(&self) -> usize {
+        self.lanes.iter().map(|l| l.alive.len()).sum()
+    }
+}
+
+impl EvolvingGraph for ShardedSparseEdgeMeg {
+    fn node_count(&self) -> usize {
+        self.n
+    }
+
+    fn step(&mut self) -> &Snapshot {
+        for lane in &mut self.lanes {
+            lane.advance(None);
+        }
+        self.edge_buf.clear();
+        for lane in &self.lanes {
+            self.edge_buf
+                .extend(lane.alive.iter().map(|&e| edge_pair(e)));
+        }
+        self.snapshot.rebuild_from_edges(&self.edge_buf);
+        self.synced = false;
+        &self.snapshot
+    }
+
+    fn step_delta(&mut self, delta: &mut EdgeDelta) {
+        // The serial reference sweep: lanes in lane order, appending
+        // into one delta — exactly the concatenation the sharded
+        // executor's merge produces, which is what makes serial and
+        // sharded runs byte-identical.
+        delta.begin_round();
+        let full = !self.synced;
+        for lane in &mut self.lanes {
+            lane.step_round(delta, full);
+        }
+        self.synced = true;
+    }
+
+    fn has_native_deltas(&self) -> bool {
+        true
+    }
+
+    fn rebase_deltas(&mut self) {
+        self.synced = false;
+    }
+
+    fn reset(&mut self, seed: u64) {
+        self.synced = false;
+        let alpha = self.chain.stationary_on();
+        let log1m_alpha = (1.0 - alpha).ln();
+        for (l, lane) in self.lanes.iter_mut().enumerate() {
+            lane.alive.clear();
+            lane.occ.clear();
+            lane.retire_buf.clear();
+            lane.rng = SmallRng::seed_from_u64(mix_seed(mix_seed(seed, LANE_SEED_TAG), l as u64));
+            // Skip-sample the lane's slice of the stationary on-set,
+            // exactly like the single-stream sparse init over [0, pairs).
+            let mut idx = lane.start + geometric(&mut lane.rng, alpha, log1m_alpha) - 1;
+            while idx < lane.end {
+                lane.turn_on(idx);
+                idx += geometric(&mut lane.rng, alpha, log1m_alpha);
+            }
+        }
+    }
+
+    fn sharding(&mut self) -> Option<&mut dyn ShardAccess> {
+        Some(self)
+    }
+}
+
+impl ShardAccess for ShardedSparseEdgeMeg {
+    fn lanes(&mut self) -> Vec<&mut dyn ShardLane> {
+        // The executor steps lanes behind the model's back: break the
+        // delta baseline so the next model-level `step_delta` emits the
+        // full current edge set, per the delta contract.
+        self.synced = false;
+        self.lanes
+            .iter_mut()
+            .map(|l| l as &mut dyn ShardLane)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pairs::pair_count;
+    use dg_stats::Summary;
+    use dynagraph::flooding::{flood, flood_sharded};
+    use dynagraph::Shards;
+
+    #[test]
+    fn lane_ranges_partition_the_pair_space() {
+        for n in [2usize, 3, 17, 63, 64, 65, 200, 1000] {
+            let g = ShardedSparseEdgeMeg::stationary(n, 0.1, 0.3, 0).unwrap();
+            let mut next = 0u64;
+            for lane in &g.lanes {
+                assert_eq!(lane.start, next, "n = {n}");
+                assert!(lane.end >= lane.start);
+                next = lane.end;
+            }
+            assert_eq!(next, pair_count(n), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn density_matches_stationary_alpha() {
+        let n = 64;
+        let (p, q) = (0.05, 0.2);
+        let mut g = ShardedSparseEdgeMeg::stationary(n, p, q, 7).unwrap();
+        let rounds = 600;
+        let mut s = Summary::new();
+        for _ in 0..rounds {
+            s.push(g.step().edge_count() as f64);
+        }
+        let expected = p / (p + q) * pair_count(n) as f64;
+        assert!(
+            (s.mean() / expected - 1.0).abs() < 0.15,
+            "mean {} vs {expected}",
+            s.mean()
+        );
+    }
+
+    #[test]
+    fn deltas_replay_rebuild() {
+        let mut rebuild = ShardedSparseEdgeMeg::stationary(96, 0.03, 0.2, 11).unwrap();
+        let mut delta = ShardedSparseEdgeMeg::stationary(96, 0.03, 0.2, 11).unwrap();
+        dynagraph::delta::assert_replays_rebuild(&mut rebuild, &mut delta, 40);
+        rebuild.reset(12);
+        delta.reset(12);
+        dynagraph::delta::assert_replays_rebuild(&mut rebuild, &mut delta, 40);
+    }
+
+    #[test]
+    fn reset_matches_fresh() {
+        dynagraph::assert_reset_matches_fresh(
+            |s| ShardedSparseEdgeMeg::stationary(80, 0.04, 0.25, s).unwrap(),
+            99,
+            5,
+            25,
+        );
+    }
+
+    #[test]
+    fn sharded_flood_is_byte_identical_to_serial() {
+        // The tentpole pin at model level: the same realization, flooded
+        // serially and with every shard count, node for node and round
+        // for round.
+        let n = 384;
+        let p = 1.5 / n as f64;
+        for seed in [1u64, 9, 42] {
+            let mut g = ShardedSparseEdgeMeg::stationary(n, p, 0.3, seed).unwrap();
+            let serial = flood(&mut g, 0, 100_000);
+            for shards in [2usize, 3, 4, 8] {
+                g.reset(seed);
+                let sharded = flood_sharded(&mut g, 0, 100_000, Shards::Fixed(shards));
+                assert_eq!(serial, sharded, "seed {seed}, {shards} shards");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_flood_with_one_shard_falls_back_to_serial() {
+        let n = 128;
+        let mut g = ShardedSparseEdgeMeg::stationary(n, 2.0 / n as f64, 0.3, 3).unwrap();
+        let serial = flood(&mut g, 5, 100_000);
+        g.reset(3);
+        let one = flood_sharded(&mut g, 5, 100_000, Shards::Fixed(1));
+        assert_eq!(serial, one);
+    }
+
+    #[test]
+    fn holding_times_geometric() {
+        // On-runs of a pair must still be Geometric(q) under the lane
+        // decomposition (mean 2 rounds at q = 0.5).
+        let n = 16;
+        let mut g = ShardedSparseEdgeMeg::stationary(n, 0.5, 0.5, 3).unwrap();
+        let (eu, ev) = edge_pair(0);
+        let mut on_runs = Vec::new();
+        let mut current = 0u32;
+        for _ in 0..4000 {
+            if g.step().has_edge(eu, ev) {
+                current += 1;
+            } else if current > 0 {
+                on_runs.push(current as f64);
+                current = 0;
+            }
+        }
+        let s: Summary = on_runs.into_iter().collect();
+        assert!(s.len() > 100);
+        assert!((s.mean() - 2.0).abs() < 0.4, "mean on-run {}", s.mean());
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(ShardedSparseEdgeMeg::stationary(10, 0.0, 0.5, 0).is_err());
+        assert!(ShardedSparseEdgeMeg::stationary(10, 0.5, 0.0, 0).is_err());
+        assert!(ShardedSparseEdgeMeg::stationary(1, 0.2, 0.2, 0).is_err());
+    }
+}

@@ -61,13 +61,13 @@ const HORIZON: u64 = 8192;
 #[derive(Debug, Clone)]
 struct EventCalendar {
     /// `buckets[when % HORIZON]` holds the edges toggling at `when`.
-    buckets: Vec<Vec<u32>>,
+    buckets: Vec<Vec<u64>>,
     /// Far-future events `(when, edge)` with `when - push_round >= HORIZON`.
-    overflow: Vec<(u64, u32)>,
+    overflow: Vec<(u64, u64)>,
     /// Next round at which the overflow is swept into the ring.
     next_flush: u64,
     /// Recycled allocation for the per-round due list.
-    scratch: Vec<u32>,
+    scratch: Vec<u64>,
 }
 
 impl EventCalendar {
@@ -89,7 +89,7 @@ impl EventCalendar {
     }
 
     #[inline]
-    fn push(&mut self, now: u64, when: u64, edge: u32) {
+    fn push(&mut self, now: u64, when: u64, edge: u64) {
         debug_assert!(when > now);
         if when - now < HORIZON {
             self.buckets[(when % HORIZON) as usize].push(edge);
@@ -118,7 +118,7 @@ impl EventCalendar {
     /// Takes the edges due at `now`, sorted ascending — the same order a
     /// min-heap over `(when, edge)` would pop them in. Return the vector
     /// via [`EventCalendar::end_round`] to recycle its allocation.
-    fn begin_round(&mut self, now: u64) -> Vec<u32> {
+    fn begin_round(&mut self, now: u64) -> Vec<u64> {
         if now >= self.next_flush {
             self.flush(now);
         }
@@ -128,7 +128,7 @@ impl EventCalendar {
         due
     }
 
-    fn end_round(&mut self, mut due: Vec<u32>) {
+    fn end_round(&mut self, mut due: Vec<u64>) {
         due.clear();
         self.scratch = due;
     }
@@ -166,7 +166,7 @@ enum Occupancy {
 impl Occupancy {
     /// The position of `edge` in the alive list, if it is currently on.
     #[inline]
-    fn position(&self, edge: u32) -> Option<u32> {
+    fn position(&self, edge: u64) -> Option<u32> {
         let slot = match self {
             Occupancy::Dense(slots) => slots[edge as usize],
             Occupancy::Sparse(map) => map.get(edge).unwrap_or(OFF),
@@ -177,7 +177,7 @@ impl Occupancy {
     /// `true` if `edge` is tracked (on, or off with a pending event).
     /// Every pair is tracked in exact-scan mode.
     #[inline]
-    fn is_touched(&self, edge: u32) -> bool {
+    fn is_touched(&self, edge: u64) -> bool {
         match self {
             Occupancy::Dense(_) => true,
             Occupancy::Sparse(map) => map.contains(edge),
@@ -185,7 +185,7 @@ impl Occupancy {
     }
 
     #[inline]
-    fn set_position(&mut self, edge: u32, pos: u32) {
+    fn set_position(&mut self, edge: u64, pos: u32) {
         match self {
             Occupancy::Dense(slots) => slots[edge as usize] = pos,
             Occupancy::Sparse(map) => map.insert(edge, pos),
@@ -195,7 +195,7 @@ impl Occupancy {
     /// Stops tracking a pair entirely (sparse mode only): no position,
     /// no pending event — the pair returns to the lazy birth sweep.
     #[inline]
-    fn forget(&mut self, edge: u32) {
+    fn forget(&mut self, edge: u64) {
         match self {
             Occupancy::Dense(_) => unreachable!("exact-scan pairs are always tracked"),
             Occupancy::Sparse(map) => map.remove(edge),
@@ -254,7 +254,7 @@ pub struct SparseTwoStateEdgeMeg {
     chain: TwoStateChain,
     round: u64,
     /// Indices of currently-on edges.
-    alive: Vec<u32>,
+    alive: Vec<u64>,
     /// Per-edge occupancy (dense slots or sparse map, by init mode).
     occupancy: Occupancy,
     /// How `reset` seeds the stationary distribution.
@@ -269,7 +269,7 @@ pub struct SparseTwoStateEdgeMeg {
     edge_buf: Vec<(u32, u32)>,
     /// Pairs that died this round and leave the touched set once the
     /// round's lazy sweep has run (sparse-init mode; see `advance`).
-    retire_buf: Vec<u32>,
+    retire_buf: Vec<u64>,
     synced: bool,
 }
 
@@ -280,8 +280,14 @@ impl SparseTwoStateEdgeMeg {
     /// # Errors
     ///
     /// Returns an error for invalid rates, `p = 0` or `q = 0` (event
-    /// scheduling needs both toggles possible), `n < 2`, or `n` so large
-    /// that pair indices no longer fit `u32` (`n > 92 682`).
+    /// scheduling needs both toggles possible), or `n < 2`.
+    ///
+    /// Pair indices are `u64`, so any `n` up to `2^32` nodes is
+    /// addressable; the exact-scan setup, however, allocates one slot
+    /// per pair (`O(n²)` memory and time), which is the practical limit
+    /// of *this* constructor. Beyond ~10^5 nodes use
+    /// [`SparseTwoStateEdgeMeg::stationary_sparse_init`], whose setup
+    /// and memory stay proportional to the on-set.
     pub fn stationary(n: usize, p: f64, q: f64, seed: u64) -> Result<Self, MarkovError> {
         Self::with_init(n, p, q, seed, InitMode::ExactScan)
     }
@@ -313,11 +319,6 @@ impl SparseTwoStateEdgeMeg {
         Self::with_init(n, p, q, seed, InitMode::SparseStationary)
     }
 
-    /// Largest supported node count: pair indices are stored as `u32`
-    /// (with [`OFF`] reserved as a sentinel), so `pair_count(n)` must
-    /// stay below `u32::MAX`.
-    const MAX_NODES: usize = 92_682;
-
     fn with_init(n: usize, p: f64, q: f64, seed: u64, init: InitMode) -> Result<Self, MarkovError> {
         let chain = TwoStateChain::new(p, q)?;
         if p == 0.0 || q == 0.0 {
@@ -326,14 +327,14 @@ impl SparseTwoStateEdgeMeg {
                 value: 0.0,
             });
         }
-        if !(2..=Self::MAX_NODES).contains(&n) {
+        if n < 2 {
             return Err(MarkovError::DimensionMismatch {
-                expected: if n < 2 { 2 } else { Self::MAX_NODES },
+                expected: 2,
                 found: n,
             });
         }
         let occupancy = match init {
-            InitMode::ExactScan => Occupancy::Dense(vec![OFF; pair_count(n)]),
+            InitMode::ExactScan => Occupancy::Dense(vec![OFF; pair_count(n) as usize]),
             InitMode::SparseStationary => {
                 // Pre-size for the stationary working set: with
                 // retirement the map holds exactly the on-set, whose
@@ -395,7 +396,7 @@ impl SparseTwoStateEdgeMeg {
         (k as u64).max(1)
     }
 
-    fn schedule_toggle(&mut self, edge: u32, currently_on: bool) {
+    fn schedule_toggle(&mut self, edge: u64, currently_on: bool) {
         let (rate, log1m) = if currently_on {
             (self.chain.death(), self.log1m_death)
         } else {
@@ -405,13 +406,19 @@ impl SparseTwoStateEdgeMeg {
         self.events.push(self.round, self.round + dt, edge);
     }
 
-    fn turn_on(&mut self, edge: u32) {
+    fn turn_on(&mut self, edge: u64) {
         debug_assert!(self.occupancy.position(edge).is_none());
+        // Alive-list positions are u32 (with OFF reserved); the on-set
+        // would have to reach 4 billion edges to overflow them.
+        assert!(
+            self.alive.len() < OFF as usize,
+            "on-set exceeds u32 alive-list positions"
+        );
         self.occupancy.set_position(edge, self.alive.len() as u32);
         self.alive.push(edge);
     }
 
-    fn turn_off(&mut self, edge: u32) {
+    fn turn_off(&mut self, edge: u64) {
         let pos = self.occupancy.position(edge).expect("edge is alive");
         let last = *self.alive.last().expect("edge is alive");
         self.alive.swap_remove(pos as usize);
@@ -424,7 +431,7 @@ impl SparseTwoStateEdgeMeg {
     /// [`Self::turn_off`] for sparse-mode deaths: the pair leaves the
     /// occupancy map entirely (one removal instead of an OFF overwrite
     /// followed by a removal) and returns to the untouched pool.
-    fn retire(&mut self, edge: u32) {
+    fn retire(&mut self, edge: u64) {
         let pos = self.occupancy.position(edge).expect("edge is alive");
         let last = *self.alive.last().expect("edge is alive");
         self.alive.swap_remove(pos as usize);
@@ -461,9 +468,9 @@ impl SparseTwoStateEdgeMeg {
                     }
                     if let Some(d) = delta.as_deref_mut() {
                         if on {
-                            d.push_removed(edge_pair(edge as usize));
+                            d.push_removed(edge_pair(edge));
                         } else {
-                            d.push_added(edge_pair(edge as usize));
+                            d.push_added(edge_pair(edge));
                         }
                     }
                     self.schedule_toggle(edge, !on);
@@ -494,15 +501,14 @@ impl SparseTwoStateEdgeMeg {
                 //    `alive` *after* the death positions were sampled,
                 //    so they live through this round — one transition
                 //    per pair per round, like the dense model.
-                let pairs = pair_count(self.n) as u64;
+                let pairs = pair_count(self.n);
                 let birth = self.chain.birth();
                 let mut idx = Self::geometric(&mut self.rng, birth, self.log1m_birth) - 1;
                 while idx < pairs {
-                    let edge = idx as u32;
-                    if !self.occupancy.is_touched(edge) {
-                        self.turn_on(edge);
+                    if !self.occupancy.is_touched(idx) {
+                        self.turn_on(idx);
                         if let Some(d) = delta.as_deref_mut() {
-                            d.push_added(edge_pair(edge as usize));
+                            d.push_added(edge_pair(idx));
                         }
                     }
                     idx += Self::geometric(&mut self.rng, birth, self.log1m_birth);
@@ -517,7 +523,7 @@ impl SparseTwoStateEdgeMeg {
                     let edge = self.retire_buf[i];
                     self.retire(edge);
                     if let Some(d) = delta.as_deref_mut() {
-                        d.push_removed(edge_pair(edge as usize));
+                        d.push_removed(edge_pair(edge));
                     }
                 }
                 self.retire_buf.clear();
@@ -535,7 +541,7 @@ impl EvolvingGraph for SparseTwoStateEdgeMeg {
         self.advance(None);
         self.edge_buf.clear();
         self.edge_buf
-            .extend(self.alive.iter().map(|&e| edge_pair(e as usize)));
+            .extend(self.alive.iter().map(|&e| edge_pair(e)));
         self.snapshot.rebuild_from_edges(&self.edge_buf);
         self.synced = false;
         &self.snapshot
@@ -549,7 +555,7 @@ impl EvolvingGraph for SparseTwoStateEdgeMeg {
         delta.begin_round();
         self.advance(Some(delta));
         if !self.synced {
-            delta.record_full(self.alive.iter().map(|&e| edge_pair(e as usize)));
+            delta.record_full(self.alive.iter().map(|&e| edge_pair(e)));
             self.synced = true;
         }
     }
@@ -576,13 +582,13 @@ impl EvolvingGraph for SparseTwoStateEdgeMeg {
             InitMode::ExactScan => {
                 // Scan every pair: Bernoulli(alpha) membership plus one
                 // scheduled toggle each. O(n²), byte-pinned realizations.
-                let mut e = 0usize;
+                let mut e = 0u64;
                 while e < pairs {
                     if self.rng.gen_bool(alpha) {
-                        self.turn_on(e as u32);
-                        self.schedule_toggle(e as u32, true);
+                        self.turn_on(e);
+                        self.schedule_toggle(e, true);
                     } else {
-                        self.schedule_toggle(e as u32, false);
+                        self.schedule_toggle(e, false);
                     }
                     e += 1;
                 }
@@ -598,8 +604,8 @@ impl EvolvingGraph for SparseTwoStateEdgeMeg {
                 // over untouched pairs (see `advance`).
                 let log1m_alpha = (1.0 - alpha).ln();
                 let mut idx = Self::geometric(&mut self.rng, alpha, log1m_alpha) - 1;
-                while idx < pairs as u64 {
-                    self.turn_on(idx as u32);
+                while idx < pairs {
+                    self.turn_on(idx);
                     idx += Self::geometric(&mut self.rng, alpha, log1m_alpha);
                 }
             }
@@ -651,12 +657,12 @@ mod tests {
         // With q = 0.5 an on-edge lives on average 2 rounds.
         let n = 16;
         let mut g = SparseTwoStateEdgeMeg::stationary(n, 0.5, 0.5, 3).unwrap();
-        let edge = 0u32;
+        let edge = 0u64;
         let mut on_runs = Vec::new();
         let mut current = 0u32;
         for _ in 0..4000 {
             let snap = g.step();
-            let (u, v) = edge_pair(edge as usize);
+            let (u, v) = edge_pair(edge);
             if snap.has_edge(u, v) {
                 current += 1;
             } else if current > 0 {
@@ -706,15 +712,32 @@ mod tests {
     }
 
     #[test]
-    fn rejects_node_counts_whose_pair_indices_overflow_u32() {
-        // MAX_NODES is exactly the largest n with pair_count(n) < OFF.
-        let max = SparseTwoStateEdgeMeg::MAX_NODES;
-        assert!(pair_count(max) < u32::MAX as usize);
-        assert!(pair_count(max + 1) >= u32::MAX as usize);
-        // The sparse-init mode makes huge n cheap to *attempt*; it must
-        // be rejected, not silently truncated.
-        assert!(SparseTwoStateEdgeMeg::stationary_sparse_init(max + 1, 1e-5, 0.3, 0).is_err());
-        assert!(SparseTwoStateEdgeMeg::stationary_sparse_init(100_000, 1e-5, 0.3, 0).is_err());
+    fn sparse_init_handles_pair_indices_past_u32() {
+        // 100 000 nodes was rejected while pair indices were u32; with
+        // the u64 pair space the sparse-init constructor must accept it
+        // and run correctly on indices beyond u32::MAX. Rates are tiny
+        // so the on-set (and the test) stays small.
+        let n = 100_000;
+        assert!(pair_count(n) > u32::MAX as u64);
+        let (p, q) = (3e-8, 0.3);
+        let mut g = SparseTwoStateEdgeMeg::stationary_sparse_init(n, p, q, 1).unwrap();
+        // ~14% of the pair space lies above u32::MAX; with ~500 on-edges
+        // the initial set reaches it with overwhelming probability.
+        assert!(
+            g.alive.iter().any(|&e| e > u32::MAX as u64),
+            "on-set never exercised the widened index space"
+        );
+        for _ in 0..5 {
+            let alive = {
+                let snap = g.step();
+                for (u, v) in snap.edges() {
+                    assert!(u < v && (v as usize) < n);
+                }
+                snap.edge_count()
+            };
+            assert_eq!(alive, g.alive_count());
+            assert_eq!(g.tracked_pairs(), g.alive_count());
+        }
     }
 
     /// FNV-style fold of the first `rounds` snapshots — a fingerprint of
@@ -852,7 +875,7 @@ mod tests {
         );
         // The exact-scan twin tracks everything, as documented.
         let exact = SparseTwoStateEdgeMeg::stationary(n, p, q, 17).unwrap();
-        assert_eq!(exact.tracked_pairs(), pair_count(n));
+        assert_eq!(exact.tracked_pairs() as u64, pair_count(n));
     }
 
     #[test]
@@ -938,9 +961,9 @@ mod tests {
         let n = g0.node_count();
         let alpha = g0.alpha();
         let pairs = pair_count(n);
-        let buckets = 16usize;
+        let buckets = 16u64;
         let slice = pairs / buckets;
-        let mut counts = vec![0u64; buckets];
+        let mut counts = vec![0u64; buckets as usize];
         for seed in 0..seeds {
             let mut g = make(seed);
             // E_0 is the seeded set stepped once; a stationary chain
@@ -949,7 +972,7 @@ mod tests {
             for (u, v) in snap.edges() {
                 let e = crate::edge_index(u, v);
                 if e < slice * buckets {
-                    counts[e / slice] += 1;
+                    counts[(e / slice) as usize] += 1;
                 }
             }
         }

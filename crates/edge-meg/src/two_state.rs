@@ -65,7 +65,7 @@ impl TwoStateEdgeMeg {
             n,
             chain,
             init,
-            alive: vec![false; pair_count(n)],
+            alive: vec![false; pair_count(n) as usize],
             rng: SmallRng::seed_from_u64(seed),
             snapshot: Snapshot::empty(n),
             edge_buf: Vec::new(),
@@ -152,7 +152,7 @@ impl EvolvingGraph for TwoStateEdgeMeg {
                 *alive = true;
             }
             if *alive {
-                self.edge_buf.push(edge_pair(e));
+                self.edge_buf.push(edge_pair(e as u64));
             }
         }
         self.snapshot.rebuild_from_edges(&self.edge_buf);
@@ -173,11 +173,11 @@ impl EvolvingGraph for TwoStateEdgeMeg {
                 if *alive {
                     if self.rng.gen_bool(q) {
                         *alive = false;
-                        delta.push_removed(edge_pair(e));
+                        delta.push_removed(edge_pair(e as u64));
                     }
                 } else if self.rng.gen_bool(p) {
                     *alive = true;
-                    delta.push_added(edge_pair(e));
+                    delta.push_added(edge_pair(e as u64));
                 }
             }
         } else {
@@ -190,7 +190,7 @@ impl EvolvingGraph for TwoStateEdgeMeg {
                     *alive = true;
                 }
                 if *alive {
-                    delta.push_added(edge_pair(e));
+                    delta.push_added(edge_pair(e as u64));
                 }
             }
             self.synced = true;
@@ -243,7 +243,7 @@ mod tests {
     #[test]
     fn from_empty_converges_to_stationary_density() {
         let mut g = TwoStateEdgeMeg::from_empty(30, 0.1, 0.1, 5).unwrap();
-        assert!(g.step().edge_count() < pair_count(30) / 4); // early rounds sparse-ish
+        assert!((g.step().edge_count() as u64) < pair_count(30) / 4); // early rounds sparse-ish
         g.warm_up(200);
         let m = g.step().edge_count();
         let expected = 0.5 * pair_count(30) as f64;
@@ -254,13 +254,13 @@ mod tests {
     fn from_complete_starts_full() {
         let mut g = TwoStateEdgeMeg::from_complete(10, 0.5, 1e-9, 1).unwrap();
         // Death rate ~ 0: graph stays essentially complete.
-        assert_eq!(g.step().edge_count(), pair_count(10));
+        assert_eq!(g.step().edge_count() as u64, pair_count(10));
     }
 
     #[test]
     fn p_one_gives_complete_graph() {
         let mut g = TwoStateEdgeMeg::from_empty(12, 1.0, 1e-9, 9).unwrap();
-        assert_eq!(g.step().edge_count(), pair_count(12));
+        assert_eq!(g.step().edge_count() as u64, pair_count(12));
         let run = flood(&mut g, 0, 5);
         assert_eq!(run.flooding_time(), Some(1));
     }

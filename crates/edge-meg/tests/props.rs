@@ -23,13 +23,43 @@ proptest! {
     }
 
     #[test]
+    fn pair_index_round_trips_full_u32(u in any::<u32>(), v in any::<u32>()) {
+        // The whole node-id space: indices range up to ~2^63, far past
+        // both u32::MAX and the 2^52 f64-exactness cliff.
+        prop_assume!(u != v);
+        let e = edge_index(u, v);
+        prop_assert_eq!(edge_pair(e), (u.min(v), u.max(v)));
+    }
+
+    #[test]
+    fn pair_inverse_exact_at_u32_boundary(off in 0u64..4096) {
+        // Indices straddling u32::MAX — the region the old 92 682-node
+        // cap fenced off.
+        let e = u32::MAX as u64 - 2048 + off;
+        let (u, v) = edge_pair(e);
+        prop_assert!(u < v);
+        prop_assert_eq!(edge_index(u, v), e);
+    }
+
+    #[test]
+    fn pair_inverse_exact_at_f64_mantissa_boundary(off in 0u64..4096) {
+        // Indices straddling 2^52, where 8i + 1 stops being exactly
+        // representable in f64 and the old float inverse could misplace
+        // the row.
+        let e = (1u64 << 52) - 2048 + off;
+        let (u, v) = edge_pair(e);
+        prop_assert!(u < v);
+        prop_assert_eq!(edge_index(u, v), e);
+    }
+
+    #[test]
     fn pair_index_is_dense_bijection(n in 2u32..40) {
-        let mut seen = vec![false; pair_count(n as usize)];
+        let mut seen = vec![false; pair_count(n as usize) as usize];
         for v in 0..n {
             for u in 0..v {
                 let e = edge_index(u, v);
-                prop_assert!(!seen[e]);
-                seen[e] = true;
+                prop_assert!(!seen[e as usize]);
+                seen[e as usize] = true;
             }
         }
         prop_assert!(seen.iter().all(|&b| b));

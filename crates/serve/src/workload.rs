@@ -20,13 +20,25 @@ use std::sync::Arc;
 /// [`dg_sweep::Sweep::run`] schedules across its worker pool.
 type TrialFn = Arc<dyn Fn(&Cell, Trial) -> Option<f64> + Send + Sync>;
 
-use dg_edge_meg::SparseTwoStateEdgeMeg;
+use dg_edge_meg::{ShardedSparseEdgeMeg, SparseTwoStateEdgeMeg};
 use dg_sweep::{Cell, SweepSpec, Trial};
 use dynagraph::engine::Simulation;
+use dynagraph::Shards;
 
 /// Round cap for flooding trials on cells without an explicit
 /// `max_rounds` table — matches the repo's phase-diagram examples.
 const DEFAULT_MAX_ROUNDS: u32 = 200_000;
+
+/// Largest `n` the flooding workload admits: 2^20, comfortably inside
+/// the u64 pair-index space and the scale the sharded executor targets.
+const MAX_FLOODING_N: usize = 1_048_576;
+
+/// Above this `n`, flooding trials switch from the exact-scan model to
+/// the lane-sharded one and run on all cores. The threshold is the old
+/// `floor(sqrt(2^53))` admission cap, so every spec a pre-sharding
+/// daemon could have stored still runs on the exact-scan model and
+/// reproduces its artifact bytes.
+const SHARDED_FLOODING_N: usize = 92_682;
 
 /// One family of measurements: a named trial function plus the
 /// admission rule for specs it can run.
@@ -69,7 +81,7 @@ impl Workload {
     ///
     /// Axes (any other name is rejected):
     ///
-    /// * `n` — node count, integral, `2..=92_682` (required);
+    /// * `n` — node count, integral, `2..=1_048_576` (required);
     /// * `q` — per-round edge death rate, in `(0, 1]` (required);
     /// * `p` — per-round edge birth rate, in `(0, 1]` (optional; absent
     ///   means the paper's sparse regime `p = 1.5/n`, and since axis
@@ -79,7 +91,10 @@ impl Workload {
     /// A trial builds the stationary model from the trial seed, floods
     /// from node 0 under the cell's round cap (`max_rounds` table entry,
     /// or 200 000), and reports the flooding time — `None` when the cap
-    /// censors the trial.
+    /// censors the trial. Cells with `n` above 92 682 (the pre-sharding
+    /// admission cap) run on the lane-sharded model across all cores;
+    /// smaller cells keep the exact-scan model, so artifacts stored by
+    /// older daemons remain byte-reproducible.
     pub fn flooding() -> Self {
         fn validate(spec: &SweepSpec) -> Result<(), String> {
             let mut has = [false; 2]; // n, q
@@ -88,9 +103,9 @@ impl Workload {
                     "n" => {
                         has[0] = true;
                         for &v in axis.values() {
-                            if v.fract() != 0.0 || !(2.0..=92_682.0).contains(&v) {
+                            if v.fract() != 0.0 || !(2.0..=MAX_FLOODING_N as f64).contains(&v) {
                                 return Err(format!(
-                                    "axis \"n\" value {v} must be an integer in 2..=92682"
+                                    "axis \"n\" value {v} must be an integer in 2..=1048576"
                                 ));
                             }
                         }
@@ -123,16 +138,31 @@ impl Workload {
             let n = cell.usize("n");
             let q = cell.get("q");
             let p = cell.try_get("p").unwrap_or(1.5 / n as f64);
-            Simulation::builder()
-                .model(move |seed| {
-                    SparseTwoStateEdgeMeg::stationary(n, p, q, seed)
-                        .expect("spec validated at submission")
-                })
-                .max_rounds(cell.max_rounds().unwrap_or(DEFAULT_MAX_ROUNDS))
-                .base_seed(trial.cell_seed)
-                .run_trial(trial.index)
-                .time
-                .map(f64::from)
+            let max_rounds = cell.max_rounds().unwrap_or(DEFAULT_MAX_ROUNDS);
+            if n > SHARDED_FLOODING_N {
+                Simulation::builder()
+                    .model(move |seed| {
+                        ShardedSparseEdgeMeg::stationary(n, p, q, seed)
+                            .expect("spec validated at submission")
+                    })
+                    .max_rounds(max_rounds)
+                    .base_seed(trial.cell_seed)
+                    .shards(Shards::Auto)
+                    .run_trial(trial.index)
+                    .time
+                    .map(f64::from)
+            } else {
+                Simulation::builder()
+                    .model(move |seed| {
+                        SparseTwoStateEdgeMeg::stationary(n, p, q, seed)
+                            .expect("spec validated at submission")
+                    })
+                    .max_rounds(max_rounds)
+                    .base_seed(trial.cell_seed)
+                    .run_trial(trial.index)
+                    .time
+                    .map(f64::from)
+            }
         }
 
         Workload {
@@ -182,13 +212,21 @@ mod tests {
                 Axis::explicit("p", [0.5]),
             ]))
             .is_ok());
+        // The old 92 682 admission cap is gone: million-node cells are
+        // admitted (and routed to the sharded model).
+        assert!(w
+            .validate(&spec(vec![
+                Axis::ints("n", [100_000, 1_048_576]),
+                Axis::explicit("q", [0.1]),
+            ]))
+            .is_ok());
         let bad: Vec<Vec<Axis>> = vec![
-            vec![Axis::ints("n", [16])],                                  // no q
-            vec![Axis::explicit("q", [0.1])],                             // no n
-            vec![Axis::ints("n", [1]), Axis::explicit("q", [0.1])],       // n too small
-            vec![Axis::ints("n", [100_000]), Axis::explicit("q", [0.1])], // n too large
-            vec![Axis::explicit("n", [4.5]), Axis::explicit("q", [0.1])], // fractional n
-            vec![Axis::ints("n", [16]), Axis::explicit("q", [1.5])],      // q > 1
+            vec![Axis::ints("n", [16])],                                    // no q
+            vec![Axis::explicit("q", [0.1])],                               // no n
+            vec![Axis::ints("n", [1]), Axis::explicit("q", [0.1])],         // n too small
+            vec![Axis::ints("n", [2_000_000]), Axis::explicit("q", [0.1])], // n too large
+            vec![Axis::explicit("n", [4.5]), Axis::explicit("q", [0.1])],   // fractional n
+            vec![Axis::ints("n", [16]), Axis::explicit("q", [1.5])],        // q > 1
             vec![
                 Axis::ints("n", [16]),
                 Axis::explicit("q", [0.1]),
@@ -225,6 +263,33 @@ mod tests {
             .time
             .map(f64::from);
         assert_eq!(report.cell(0).samples[1], direct);
+    }
+
+    #[test]
+    fn flooding_routes_large_n_to_sharded_model() {
+        // Above the old cap the workload builds the lane-sharded model;
+        // pin its sample against a direct sharded-model run, and check
+        // the shard-count independence the store relies on (the same
+        // spec must hash to the same artifact on any machine).
+        let n = SHARDED_FLOODING_N + 1;
+        let p = 1.5 / n as f64; // the sparse default the absent axis implies
+        let w = Workload::flooding();
+        let s = SweepSpec::new(
+            vec![Axis::ints("n", [n]), Axis::explicit("q", [0.5])],
+            0xDA7A,
+            TrialBudget::fixed(1),
+        );
+        assert!(w.validate(&s).is_ok());
+        let report = s.sweep().run(w.trial_fn()).unwrap();
+        let direct = Simulation::builder()
+            .model(move |seed| ShardedSparseEdgeMeg::stationary(n, p, 0.5, seed).unwrap())
+            .max_rounds(200_000)
+            .base_seed(dg_sweep::mix_seed(0xDA7A, 0))
+            .shards(4)
+            .run_trial(0)
+            .time
+            .map(f64::from);
+        assert_eq!(report.cell(0).samples[0], direct);
     }
 
     #[test]

@@ -20,10 +20,11 @@ fn check_run(run: &FloodRun, n: usize) {
     assert_eq!(*run.sizes().last().unwrap() as usize, n);
     assert!(run.sizes().windows(2).all(|w| w[0] <= w[1]));
     // informed_at is consistent with the curve.
-    assert_eq!(run.informed_at()[run.source() as usize], Some(0));
+    assert_eq!(run.informed_at()[run.source() as usize], 0);
+    assert_eq!(run.informed_round(run.source()), Some(0));
     let mut max_round = 0;
-    for at in run.informed_at() {
-        let at = at.expect("everyone informed");
+    for &at in run.informed_at() {
+        assert_ne!(at, FloodRun::UNINFORMED, "everyone informed");
         max_round = max_round.max(at);
     }
     assert_eq!(max_round, t, "last informed node defines the flooding time");
@@ -32,7 +33,7 @@ fn check_run(run: &FloodRun, n: usize) {
         let count = run
             .informed_at()
             .iter()
-            .filter(|a| a.expect("complete") <= round as u32)
+            .filter(|&&a| a <= round as u32)
             .count();
         assert_eq!(count, size as usize, "size mismatch at round {round}");
     }
