@@ -57,7 +57,7 @@
 //! assert_eq!(reloaded.to_json(), json);
 //! ```
 //!
-//! Censoring composes: a [`TrialRecord`](crate::engine::TrialRecord)
+//! Censoring composes: a [`TrialRecord`]
 //! whose `time` is `None` (round cap hit, protocol went quiescent)
 //! becomes a `None` sample, reported per cell as `incomplete` instead of
 //! poisoning the mean.
@@ -66,14 +66,55 @@
 //! [`SimulationBuilder::base_seed`]: crate::engine::SimulationBuilder::base_seed
 
 pub use dg_sweep::{
-    mix_seed, Axis, Cell, CellReport, CiTarget, Grid, NearestCell, Sweep, SweepError, SweepReport,
-    SweepSpec, Trial, TrialBudget,
+    mix_seed, Axis, Cell, CellReport, CiTarget, Grid, Metric, MetricStopping, NearestCell, Sweep,
+    SweepError, SweepReport, SweepSpec, Trial, TrialBudget,
 };
+
+use crate::engine::TrialRecord;
+
+/// The metric names [`trial_metrics`] can extract from a
+/// [`TrialRecord`], in canonical order: `rounds` (spreading time,
+/// censored when the trial hit its cap), `messages` (total sends,
+/// always counted — the round cap censors *time*, not cost), and
+/// `coverage` (informed fraction, always counted).
+pub const TRIAL_METRICS: &[&str] = &["rounds", "messages", "coverage"];
+
+/// Extracts one sample row from an engine trial for a multi-metric
+/// sweep: one slot per declared metric, in declaration order.
+///
+/// This is the engine half of the `dg-sweep/2` glue — hand the grid's
+/// declared metrics and the [`TrialRecord`] that
+/// [`SimulationBuilder::run_trial`] returned, and the row is ready for
+/// [`Sweep::run_metrics`]. Censoring is per metric: a capped trial
+/// yields `rounds = None` while `messages` and `coverage` still carry
+/// the cost and reach actually observed, which is exactly what a
+/// time-vs-messages trade-off sweep needs from censored cells.
+///
+/// `n` is the trial's node count (for the `coverage` fraction).
+///
+/// # Panics
+///
+/// Panics if a metric name is not in [`TRIAL_METRICS`] — declared
+/// metrics are part of the sweep's identity, so an unknown name is a
+/// programming error, not data.
+///
+/// [`SimulationBuilder::run_trial`]: crate::engine::SimulationBuilder::run_trial
+pub fn trial_metrics(record: &TrialRecord, n: usize, metrics: &[Metric]) -> Vec<Option<f64>> {
+    metrics
+        .iter()
+        .map(|m| match m.name() {
+            "rounds" => record.time.map(f64::from),
+            "messages" => Some(record.messages as f64),
+            "coverage" => Some(record.informed as f64 / n as f64),
+            other => panic!("unknown trial metric {other:?} (supported: {TRIAL_METRICS:?})"),
+        })
+        .collect()
+}
 
 #[cfg(test)]
 mod tests {
     use crate::engine::{PushGossip, Simulation};
-    use crate::sweep::{Axis, CiTarget, Grid, Sweep, TrialBudget};
+    use crate::sweep::{trial_metrics, Axis, CiTarget, Grid, Metric, Sweep, TrialBudget};
     use crate::StaticEvolvingGraph;
     use dg_graph::generators;
 
@@ -121,13 +162,100 @@ mod tests {
                 .max_rounds(10_000)
                 .base_seed(crate::mix_seed(0xABCD, cell_id as u64))
                 .run();
-            let expected: Vec<Option<f64>> = batch
+            let expected: Vec<Vec<Option<f64>>> = batch
                 .records()
                 .iter()
-                .map(|r| r.time.map(f64::from))
+                .map(|r| vec![r.time.map(f64::from)])
                 .collect();
             assert_eq!(report.cell(cell_id).samples, expected, "cell {cell_id}");
         }
+    }
+
+    #[test]
+    fn multi_metric_sweep_extracts_engine_observables() {
+        // trial_metrics glues TrialRecord to run_metrics: rounds carries
+        // the time (censored on cap), messages and coverage always count.
+        let metrics = [
+            Metric::new("rounds"),
+            Metric::observe("messages"),
+            Metric::observe("coverage"),
+        ];
+        let grid = Grid::new()
+            .axis(Axis::ints("n", [12, 24]))
+            .metrics(metrics.clone());
+        let report = Sweep::over(grid)
+            .budget(TrialBudget::fixed(4))
+            .base_seed(0xABCD)
+            .run_metrics(|cell, trial| {
+                let n = cell.usize("n");
+                let record = Simulation::builder()
+                    .model(move |_| StaticEvolvingGraph::new(generators::complete(n)))
+                    .protocol(PushGossip::new(1))
+                    .max_rounds(10_000)
+                    .base_seed(trial.cell_seed)
+                    .run_trial(trial.index);
+                trial_metrics(&record, n, &metrics)
+            })
+            .unwrap();
+        for (cell_id, &n) in [12usize, 24].iter().enumerate() {
+            let batch = Simulation::builder()
+                .model(move |_| StaticEvolvingGraph::new(generators::complete(n)))
+                .protocol(PushGossip::new(1))
+                .trials(4)
+                .max_rounds(10_000)
+                .base_seed(crate::mix_seed(0xABCD, cell_id as u64))
+                .run();
+            let expected: Vec<Vec<Option<f64>>> = batch
+                .records()
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.time.map(f64::from),
+                        Some(r.messages as f64),
+                        Some(r.informed as f64 / n as f64),
+                    ]
+                })
+                .collect();
+            let cell = report.cell(cell_id);
+            assert_eq!(cell.samples, expected, "cell {cell_id}");
+            // Everyone informed on a complete graph: coverage is 1.
+            assert_eq!(cell.mean_of(2), Some(1.0), "cell {cell_id}");
+            assert!(cell.mean_of(1).unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn capped_trials_censor_time_but_not_cost() {
+        // A 1-round cap on a large cycle: flooding cannot finish, so
+        // `rounds` censors — but messages were still sent and counted.
+        let metrics = [
+            Metric::observe("rounds"),
+            Metric::observe("messages"),
+            Metric::observe("coverage"),
+        ];
+        let grid = Grid::new()
+            .axis(Axis::ints("n", [64]))
+            .max_rounds(|_| 1)
+            .metrics(metrics.clone());
+        let report = Sweep::over(grid)
+            .budget(TrialBudget::fixed(2))
+            .run_metrics(|cell, trial| {
+                let n = cell.usize("n");
+                let cap = cell.max_rounds().unwrap();
+                let record = Simulation::builder()
+                    .model(move |_| StaticEvolvingGraph::new(generators::cycle(n)))
+                    .max_rounds(cap)
+                    .base_seed(trial.cell_seed)
+                    .run_trial(trial.index);
+                trial_metrics(&record, n, &metrics)
+            })
+            .unwrap();
+        let cell = report.cell(0);
+        assert_eq!(cell.incomplete_of(0), 2, "time censored in every trial");
+        assert_eq!(cell.incomplete_of(1), 0, "messages always counted");
+        assert!(cell.mean_of(1).unwrap() > 0.0);
+        // One flooding round from one source on a cycle: 3 informed.
+        assert_eq!(cell.mean_of(2), Some(3.0 / 64.0));
     }
 
     #[test]

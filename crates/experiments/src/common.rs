@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 
 use dynagraph::engine::{Simulation, SimulationReport, TrialScratch};
-use dynagraph::sweep::{Cell, CellReport, CiTarget, Trial, TrialBudget};
+use dynagraph::sweep::{trial_metrics, Cell, CellReport, CiTarget, Metric, Trial, TrialBudget};
 use dynagraph::EvolvingGraph;
 
 /// Measured spreading statistics for one configuration.
@@ -157,10 +157,49 @@ where
         .map(f64::from)
 }
 
+/// The multi-metric form of [`flood_trial`]: the same zero-rebuild
+/// engine trial, but the whole [`dynagraph::engine::TrialRecord`] is
+/// kept and one row slot extracted per declared metric
+/// ([`dynagraph::sweep::trial_metrics`]) — `rounds` censors when the
+/// cap hits, `messages`/`coverage` always count. `n` is the cell's node
+/// count (for the coverage fraction).
+#[allow(clippy::too_many_arguments)]
+pub fn flood_trial_metrics<G, F>(
+    worker: &mut FloodWorker<G>,
+    make: F,
+    cell: &Cell,
+    n: usize,
+    max_rounds: u32,
+    warm_up: usize,
+    trial: Trial,
+    metrics: &[Metric],
+) -> Vec<Option<f64>>
+where
+    G: EvolvingGraph,
+    F: Fn(u64) -> G,
+{
+    let (slot, scratch) = worker.parts(cell.id());
+    let record = Simulation::builder()
+        .model(make)
+        .max_rounds(cell.max_rounds().unwrap_or(max_rounds))
+        .warm_up(warm_up)
+        .base_seed(trial.cell_seed)
+        .run_trial_with(trial.index, slot, scratch);
+    trial_metrics(&record, n, metrics)
+}
+
 /// Formats a sweep cell's 95% CI as `±h` for table cells (`-` when
 /// fewer than two trials completed).
 pub fn fmt_ci(cell: &CellReport) -> String {
     match cell.ci() {
+        Some(ci) => format!("±{:.1}", ci.half_width()),
+        None => "-".to_string(),
+    }
+}
+
+/// [`fmt_ci`] for a specific metric of a multi-metric cell.
+pub fn fmt_ci_of(cell: &CellReport, metric: usize) -> String {
+    match cell.ci_of(metric) {
         Some(ci) => format!("±{:.1}", ci.half_width()),
         None => "-".to_string(),
     }

@@ -23,6 +23,7 @@ mod t10_k_augmented;
 mod t11_stationarity;
 mod t12_gossip;
 mod t13_extensions;
+mod t19_tradeoff;
 mod table;
 
 /// One registered experiment: id, description, entry point taking the
@@ -95,6 +96,11 @@ const EXPERIMENTS: &[Experiment] = &[
         "extensions: barbell mixing, jamming, disk waypoint, interval connectivity",
         t13_extensions::run,
     ),
+    (
+        "t19",
+        "time-vs-messages trade-off on the edge-MEG density grid (multi-metric sweep)",
+        t19_tradeoff::run,
+    ),
 ];
 
 fn main() {
@@ -106,7 +112,7 @@ fn main() {
         .map(|s| s.as_str())
         .collect();
     if selected.is_empty() {
-        eprintln!("usage: dg-experiments <t1..t12|all> [--quick]");
+        eprintln!("usage: dg-experiments <t1..t19|all> [--quick]");
         eprintln!("\navailable experiments:");
         for (id, desc, _) in EXPERIMENTS {
             eprintln!("  {id:<4} {desc}");
@@ -125,7 +131,7 @@ fn main() {
         }
     }
     if !matched {
-        eprintln!("no experiment matched {selected:?}; use t1..t12 or all");
+        eprintln!("no experiment matched {selected:?}; use t1..t19 or all");
         std::process::exit(2);
     }
 }

@@ -268,8 +268,27 @@ impl Daemon {
         let Some(report) = self.shared.store.get(fingerprint)? else {
             return Ok(self.miss(fingerprint));
         };
+        // `metric` selects which metric's statistics to serve; every
+        // other query pair is an axis coordinate.
+        let mut metric = 0usize;
+        let mut metric_name: Option<&str> = None;
         let mut query: Vec<(&str, f64)> = Vec::with_capacity(req.query.len());
         for (name, value) in &req.query {
+            if name == "metric" {
+                let Some(m) = report.metric_index(value) else {
+                    let declared: Vec<&str> = report
+                        .metrics()
+                        .map(|ms| ms.iter().map(|m| m.name()).collect())
+                        .unwrap_or_default();
+                    return Ok(Response::error(
+                        400,
+                        &format!("no metric {value:?} in this artifact (declared: {declared:?})"),
+                    ));
+                };
+                metric = m;
+                metric_name = Some(value);
+                continue;
+            }
             let Ok(v) = value.parse::<f64>() else {
                 return Ok(Response::error(
                     400,
@@ -296,15 +315,21 @@ impl Daemon {
             push_json_string(&mut body, axis.name());
             body.push_str(&format!(": {}", num(Some(nearest.cell.values[i]))));
         }
-        let ci = nearest.cell.ci();
+        body.push_str("},\n");
+        if let Some(name) = metric_name {
+            body.push_str("    \"metric\": ");
+            push_json_string(&mut body, name);
+            body.push_str(",\n");
+        }
+        let ci = nearest.cell.ci_of(metric);
         body.push_str(&format!(
-            "}},\n    \"decided\": {},\n    \"trials\": {},\n    \"incomplete\": {},\n    \"mean\": {},\n    \"p95\": {},\n    \"max\": {},\n    \"ci_lo\": {},\n    \"ci_hi\": {}\n  }}\n}}\n",
+            "    \"decided\": {},\n    \"trials\": {},\n    \"incomplete\": {},\n    \"mean\": {},\n    \"p95\": {},\n    \"max\": {},\n    \"ci_lo\": {},\n    \"ci_hi\": {}\n  }}\n}}\n",
             nearest.cell.decided,
             nearest.cell.trials(),
-            nearest.cell.incomplete(),
-            num(nearest.cell.mean()),
-            num(nearest.cell.p95()),
-            num(nearest.cell.max()),
+            nearest.cell.incomplete_of(metric),
+            num(nearest.cell.mean_of(metric)),
+            num(nearest.cell.p95_of(metric)),
+            num(nearest.cell.max_of(metric)),
             num(ci.as_ref().map(|ci| ci.lo)),
             num(ci.as_ref().map(|ci| ci.hi)),
         ));
@@ -358,10 +383,11 @@ fn worker_loop(shared: &Shared) {
             }
         };
         let fingerprint = spec.fingerprint();
-        let run = spec
-            .sweep()
-            .checkpoint(shared.store.path_for(fingerprint))
-            .run(shared.workload.trial_fn());
+        let sweep = spec.sweep().checkpoint(shared.store.path_for(fingerprint));
+        let run = match spec.metrics() {
+            Some(metrics) => sweep.run_metrics(shared.workload.metric_trial_fn(metrics.to_vec())),
+            None => sweep.run(shared.workload.trial_fn()),
+        };
         if let Err(e) = &run {
             eprintln!("dg-serve: sweep {fingerprint} failed: {e}");
         }
@@ -547,6 +573,81 @@ mod tests {
         // Bad queries are 400s with the validator's message.
         assert_eq!(get(&d, &format!("/sweep/{fp}/cell?y=1")).status, 400);
         assert_eq!(get(&d, &format!("/sweep/{fp}/cell?x=abc")).status, 400);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    fn metric_spec(seed: u64) -> SweepSpec {
+        spec(seed).with_metrics(vec![
+            dg_sweep::Metric::new("value"),
+            dg_sweep::Metric::observe("aux"),
+        ])
+    }
+
+    #[test]
+    fn multi_metric_specs_run_and_serve_identical_bytes() {
+        let root = tmp_root("v2_miss_hit");
+        let d = daemon(&root);
+        let s = metric_spec(17);
+        // v1 and v2 of the same grid are distinct artifacts.
+        assert_ne!(s.fingerprint(), spec(17).fingerprint());
+        let posted = post(&d, &s.to_json());
+        assert_eq!(posted.status, 202, "{:?}", String::from_utf8(posted.body));
+        assert!(d.wait_idle(Duration::from_secs(30)));
+        let served = get(&d, &format!("/sweep/{}", s.fingerprint()));
+        assert_eq!(served.status, 200);
+        let w = Workload::synthetic();
+        let direct = s
+            .sweep()
+            .run_metrics(w.metric_trial_fn(s.metrics().unwrap().to_vec()))
+            .unwrap();
+        assert_eq!(served.body, direct.to_json().into_bytes());
+        // The CSV view carries per-metric column groups.
+        let csv = get(&d, &format!("/sweep/{}?format=csv", s.fingerprint()));
+        let text = String::from_utf8(csv.body).unwrap();
+        assert!(text.starts_with("x,trials,value_incomplete,"), "{text}");
+        assert!(text.contains("aux_mean"), "{text}");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn cell_queries_select_metrics() {
+        let root = tmp_root("cell_metric");
+        let d = daemon(&root);
+        let s = metric_spec(19);
+        let w = Workload::synthetic();
+        let metrics = s.metrics().unwrap().to_vec();
+        let report = s.sweep().run_metrics(w.metric_trial_fn(metrics)).unwrap();
+        d.store().put(&report).unwrap();
+        let fp = s.fingerprint();
+        // Default: metric 0.
+        let base = get(&d, &format!("/sweep/{fp}/cell?x=2"));
+        assert_eq!(base.status, 200);
+        let base = String::from_utf8(base.body).unwrap();
+        assert!(!base.contains("\"metric\""), "{base}");
+        // ?metric=aux serves the second metric's statistics.
+        let aux = get(&d, &format!("/sweep/{fp}/cell?x=2&metric=aux"));
+        assert_eq!(aux.status, 200, "{aux:?}");
+        let aux = String::from_utf8(aux.body).unwrap();
+        assert!(aux.contains("\"metric\": \"aux\""), "{aux}");
+        let mean_of = |body: &str| {
+            let tail = &body[body.find("\"mean\": ").unwrap() + 8..];
+            tail[..tail.find(',').unwrap()].parse::<f64>().unwrap()
+        };
+        assert_eq!(mean_of(&aux), report.cell(1).mean_of(1).unwrap(), "{aux}");
+        assert_ne!(mean_of(&aux), mean_of(&base));
+        // Unknown metric names are 400s naming the declared ones.
+        let bad = get(&d, &format!("/sweep/{fp}/cell?x=2&metric=latency"));
+        assert_eq!(bad.status, 400);
+        assert!(String::from_utf8(bad.body).unwrap().contains("value"));
+        // ...and ?metric= on a metric-less artifact is a 400, not a 500.
+        let v1 = spec(19);
+        let v1_report = v1.sweep().run(w.trial_fn()).unwrap();
+        d.store().put(&v1_report).unwrap();
+        let v1_bad = get(
+            &d,
+            &format!("/sweep/{}/cell?x=2&metric=value", v1.fingerprint()),
+        );
+        assert_eq!(v1_bad.status, 400);
         let _ = std::fs::remove_dir_all(&root);
     }
 

@@ -20,9 +20,14 @@ use std::sync::Arc;
 /// [`dg_sweep::Sweep::run`] schedules across its worker pool.
 type TrialFn = Arc<dyn Fn(&Cell, Trial) -> Option<f64> + Send + Sync>;
 
+/// The multi-metric form: one row per trial, one slot per metric the
+/// spec declares — what [`dg_sweep::Sweep::run_metrics`] schedules.
+type MetricRowFn = Arc<dyn Fn(&Cell, Trial, &[Metric]) -> Vec<Option<f64>> + Send + Sync>;
+
 use dg_edge_meg::{ShardedSparseEdgeMeg, SparseTwoStateEdgeMeg};
-use dg_sweep::{Cell, SweepSpec, Trial};
-use dynagraph::engine::Simulation;
+use dg_sweep::{Cell, Metric, SweepSpec, Trial};
+use dynagraph::engine::{Simulation, TrialRecord};
+use dynagraph::sweep::{trial_metrics, TRIAL_METRICS};
 use dynagraph::Shards;
 
 /// Round cap for flooding trials on cells without an explicit
@@ -47,6 +52,7 @@ pub struct Workload {
     name: &'static str,
     validate: fn(&SweepSpec) -> Result<(), String>,
     trial: TrialFn,
+    metric_trial: MetricRowFn,
 }
 
 impl std::fmt::Debug for Workload {
@@ -74,6 +80,18 @@ impl Workload {
     pub fn trial_fn(&self) -> impl Fn(&Cell, Trial) -> Option<f64> + Send + Sync + 'static {
         let trial = Arc::clone(&self.trial);
         move |cell, t| trial(cell, t)
+    }
+
+    /// The multi-metric trial function for a spec declaring `metrics`,
+    /// in the shape [`dg_sweep::Sweep::run_metrics`] wants. The metric
+    /// list must be the spec's own (validated) declaration — it decides
+    /// the row layout.
+    pub fn metric_trial_fn(
+        &self,
+        metrics: Vec<Metric>,
+    ) -> impl Fn(&Cell, Trial) -> Vec<Option<f64>> + Send + Sync + 'static {
+        let trial = Arc::clone(&self.metric_trial);
+        move |cell, t| trial(cell, t, &metrics)
     }
 
     /// The paper's phase-diagram workload: flooding time on a stationary
@@ -131,10 +149,20 @@ impl Workload {
             if !(has[0] && has[1]) {
                 return Err("the flooding workload requires axes \"n\" and \"q\"".to_string());
             }
+            if let Some(metrics) = spec.metrics() {
+                for m in metrics {
+                    if !TRIAL_METRICS.contains(&m.name()) {
+                        return Err(format!(
+                            "unknown metric {:?}: the flooding workload measures {TRIAL_METRICS:?}",
+                            m.name()
+                        ));
+                    }
+                }
+            }
             Ok(())
         }
 
-        fn trial(cell: &Cell, trial: Trial) -> Option<f64> {
+        fn record(cell: &Cell, trial: Trial) -> TrialRecord {
             let n = cell.usize("n");
             let q = cell.get("q");
             let p = cell.try_get("p").unwrap_or(1.5 / n as f64);
@@ -149,8 +177,6 @@ impl Workload {
                     .base_seed(trial.cell_seed)
                     .shards(Shards::Auto)
                     .run_trial(trial.index)
-                    .time
-                    .map(f64::from)
             } else {
                 Simulation::builder()
                     .model(move |seed| {
@@ -160,15 +186,16 @@ impl Workload {
                     .max_rounds(max_rounds)
                     .base_seed(trial.cell_seed)
                     .run_trial(trial.index)
-                    .time
-                    .map(f64::from)
             }
         }
 
         Workload {
             name: "flooding",
             validate,
-            trial: Arc::new(trial),
+            trial: Arc::new(|cell: &Cell, trial: Trial| record(cell, trial).time.map(f64::from)),
+            metric_trial: Arc::new(|cell: &Cell, trial: Trial, metrics: &[Metric]| {
+                trial_metrics(&record(cell, trial), cell.usize("n"), metrics)
+            }),
         }
     }
 
@@ -176,12 +203,30 @@ impl Workload {
     /// returns a cheap pure function of `(cell, seed)`, censoring one
     /// seed in 13 to exercise the `null`-sample paths.
     pub fn synthetic() -> Self {
+        fn scalar(cell: &Cell, trial: Trial) -> Option<f64> {
+            (!trial.seed.is_multiple_of(13))
+                .then(|| cell.values().iter().sum::<f64>() + (trial.seed % 7) as f64)
+        }
         Workload {
             name: "synthetic",
             validate: |_| Ok(()),
-            trial: Arc::new(|cell: &Cell, trial: Trial| {
-                (!trial.seed.is_multiple_of(13))
-                    .then(|| cell.values().iter().sum::<f64>() + (trial.seed % 7) as f64)
+            trial: Arc::new(scalar),
+            // Slot 0 censors like the scalar path; later slots always
+            // complete, so multi-metric specs exercise *per-metric*
+            // censoring (one trial mixing null and numeric slots).
+            metric_trial: Arc::new(|cell: &Cell, trial: Trial, metrics: &[Metric]| {
+                (0..metrics.len())
+                    .map(|m| {
+                        if m == 0 {
+                            scalar(cell, trial)
+                        } else {
+                            Some(
+                                cell.values().iter().sum::<f64>()
+                                    + (trial.seed % 7 + m as u64) as f64,
+                            )
+                        }
+                    })
+                    .collect()
             }),
         }
     }
@@ -262,7 +307,7 @@ mod tests {
             .run_trial(1)
             .time
             .map(f64::from);
-        assert_eq!(report.cell(0).samples[1], direct);
+        assert_eq!(report.cell(0).samples[1], vec![direct]);
     }
 
     #[test]
@@ -289,7 +334,60 @@ mod tests {
             .run_trial(0)
             .time
             .map(f64::from);
-        assert_eq!(report.cell(0).samples[0], direct);
+        assert_eq!(report.cell(0).samples[0], vec![direct]);
+    }
+
+    #[test]
+    fn flooding_validates_metric_names() {
+        let w = Workload::flooding();
+        let axes = || vec![Axis::ints("n", [16]), Axis::explicit("q", [0.5])];
+        let good = spec(axes()).with_metrics(vec![
+            Metric::new("rounds"),
+            Metric::observe("messages"),
+            Metric::observe("coverage"),
+        ]);
+        assert!(w.validate(&good).is_ok());
+        let bad = spec(axes()).with_metrics(vec![Metric::new("latency")]);
+        let err = w.validate(&bad).unwrap_err();
+        assert!(err.contains("latency"), "{err}");
+    }
+
+    #[test]
+    fn flooding_metric_rows_match_direct_engine_records() {
+        // The multi-metric trial extracts from the same record the
+        // scalar path observes: rows must line up slot-for-slot with a
+        // direct engine run.
+        let metrics = vec![
+            Metric::new("rounds"),
+            Metric::observe("messages"),
+            Metric::observe("coverage"),
+        ];
+        let w = Workload::flooding();
+        let s = SweepSpec::new(
+            vec![Axis::ints("n", [24]), Axis::explicit("q", [0.3])],
+            0xFEED,
+            TrialBudget::fixed(2),
+        )
+        .with_metrics(metrics.clone());
+        assert!(w.validate(&s).is_ok());
+        let report = s
+            .sweep()
+            .run_metrics(w.metric_trial_fn(metrics.clone()))
+            .unwrap();
+        let p = 1.5 / 24.0;
+        let record = Simulation::builder()
+            .model(move |seed| SparseTwoStateEdgeMeg::stationary(24, p, 0.3, seed).unwrap())
+            .max_rounds(200_000)
+            .base_seed(dg_sweep::mix_seed(0xFEED, 0))
+            .run_trial(1);
+        assert_eq!(
+            report.cell(0).samples[1],
+            vec![
+                record.time.map(f64::from),
+                Some(record.messages as f64),
+                Some(record.informed as f64 / 24.0),
+            ]
+        );
     }
 
     #[test]
@@ -300,5 +398,22 @@ mod tests {
         let a = s.sweep().run(w.trial_fn()).unwrap();
         let b = s.sweep().run(w.trial_fn()).unwrap();
         assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn synthetic_metric_rows_censor_per_metric() {
+        let w = Workload::synthetic();
+        let metrics = vec![Metric::observe("a"), Metric::observe("b")];
+        let s = spec(vec![Axis::explicit("x", [1.0])]).with_metrics(metrics.clone());
+        // Enough trials that seed % 13 == 0 happens at least once.
+        let s = SweepSpec::new(s.axes().to_vec(), 1, TrialBudget::fixed(32))
+            .with_metrics(metrics.clone());
+        let report = s.sweep().run_metrics(w.metric_trial_fn(metrics)).unwrap();
+        let cell = report.cell(0);
+        assert!(
+            cell.incomplete_of(0) > 0,
+            "slot 0 censors like the scalar path"
+        );
+        assert_eq!(cell.incomplete_of(1), 0, "later slots always complete");
     }
 }

@@ -1,8 +1,105 @@
-//! Parameter-space declarations: [`Axis`], [`Grid`], and the [`Cell`]s
-//! handed to trial functions.
+//! Parameter-space declarations: [`Axis`], [`Grid`], the [`Cell`]s
+//! handed to trial functions, and the [`Metric`]s a multi-metric sweep
+//! samples per trial.
 
 use std::fmt;
 use std::sync::Arc;
+
+use crate::budget::CiTarget;
+
+/// How one declared [`Metric`] participates in the sequential stopping
+/// rule of a multi-metric sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MetricStopping {
+    /// Gate on the sweep budget's own [`CiTarget`] — the metric must
+    /// meet the same 95% half-width target every single-metric sweep
+    /// uses. (With a fixed budget this is equivalent to `Observe`.)
+    Default,
+    /// Gate on this metric-specific target instead of the budget's.
+    Target(CiTarget),
+    /// Record the metric but never let it gate stopping — for heavy-
+    /// tailed observables (a `max`, say) whose CI would never tighten.
+    Observe,
+}
+
+/// One declared per-trial observable of a multi-metric sweep.
+///
+/// A [`Grid`] with metrics attached ([`Grid::metrics`]) samples a
+/// *vector* per trial — one `Option<f64>` slot per metric, in
+/// declaration order — and a cell stops only when **every** gating
+/// metric meets its 95% CI half-width target (see
+/// [`crate::TrialBudget::stop_at_metrics`]). Censoring is per-metric: a
+/// trial may report `messages` while its `rounds` slot is `None`
+/// because the round cap hit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    name: String,
+    stopping: MetricStopping,
+}
+
+impl Metric {
+    fn validated(name: impl Into<String>, stopping: MetricStopping) -> Self {
+        let name = name.into();
+        assert!(!name.is_empty(), "metric name must be non-empty");
+        if let MetricStopping::Target(CiTarget::Absolute(v) | CiTarget::Relative(v)) = stopping {
+            assert!(
+                v.is_finite() && v > 0.0,
+                "metric {name:?} CI target must be strictly positive, got {v}"
+            );
+        }
+        Metric { name, stopping }
+    }
+
+    /// A metric gating on the sweep budget's own CI target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is empty.
+    pub fn new(name: impl Into<String>) -> Self {
+        Metric::validated(name, MetricStopping::Default)
+    }
+
+    /// A metric gating on its own CI target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is empty or the target is not strictly positive.
+    pub fn target(name: impl Into<String>, target: CiTarget) -> Self {
+        Metric::validated(name, MetricStopping::Target(target))
+    }
+
+    /// A recorded-only metric that never gates stopping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is empty.
+    pub fn observe(name: impl Into<String>) -> Self {
+        Metric::validated(name, MetricStopping::Observe)
+    }
+
+    /// The metric's name (its column in CSV artifacts and its key in
+    /// `dg-serve` cell queries).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// How the metric participates in the stopping rule.
+    pub fn stopping(&self) -> MetricStopping {
+        self.stopping
+    }
+
+    /// The CI target this metric gates on under `budget_target` (the
+    /// sweep budget's own target): its override, the budget's for
+    /// [`MetricStopping::Default`], or `None` when the metric cannot
+    /// stop a cell.
+    pub fn effective_target(&self, budget_target: Option<CiTarget>) -> Option<CiTarget> {
+        match self.stopping {
+            MetricStopping::Default => budget_target,
+            MetricStopping::Target(t) => Some(t),
+            MetricStopping::Observe => None,
+        }
+    }
+}
 
 /// One named dimension of a parameter grid.
 ///
@@ -116,6 +213,9 @@ pub struct Grid {
     axes: Vec<Axis>,
     /// Per-cell round caps by cell id (see [`Grid::max_rounds`]).
     max_rounds: Option<Vec<u32>>,
+    /// Declared per-trial metrics (see [`Grid::metrics`]); `None` for
+    /// classic single-scalar sweeps.
+    metrics: Option<Vec<Metric>>,
 }
 
 impl Grid {
@@ -191,6 +291,40 @@ impl Grid {
     /// policy is attached.
     pub fn max_rounds_table(&self) -> Option<&[u32]> {
         self.max_rounds.as_deref()
+    }
+
+    /// Declares the per-trial metrics this grid's sweeps sample.
+    ///
+    /// With metrics attached, the sweep runs through
+    /// [`crate::Sweep::run_metrics`]: the trial function returns one
+    /// `Option<f64>` per declared metric (in this order), the artifact
+    /// is written in the `dg-sweep/2` format, and a cell stops only
+    /// once every gating metric meets its CI target. Without metrics
+    /// the grid stays a classic single-scalar (`dg-sweep/1`) sweep —
+    /// existing artifacts keep their exact bytes and fingerprints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `metrics` is empty, contains a duplicate name, or
+    /// metrics were already declared.
+    pub fn metrics(mut self, metrics: impl IntoIterator<Item = Metric>) -> Self {
+        assert!(self.metrics.is_none(), "metrics already declared");
+        let metrics: Vec<Metric> = metrics.into_iter().collect();
+        assert!(!metrics.is_empty(), "declare at least one metric");
+        for (i, m) in metrics.iter().enumerate() {
+            assert!(
+                metrics[..i].iter().all(|o| o.name() != m.name()),
+                "duplicate metric {:?}",
+                m.name()
+            );
+        }
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// The declared metrics, in declaration order, when attached.
+    pub fn metrics_table(&self) -> Option<&[Metric]> {
+        self.metrics.as_deref()
     }
 
     /// The declared axes, in declaration order.
@@ -435,5 +569,64 @@ mod tests {
     fn fractional_usize_rejected() {
         let grid = Grid::new().axis(Axis::explicit("q", [0.5]));
         let _ = grid.cell(0).usize("q");
+    }
+
+    #[test]
+    fn metrics_declaration_travels_with_grid() {
+        let grid = Grid::new().axis(Axis::ints("n", [4])).metrics([
+            Metric::new("rounds"),
+            Metric::target("messages", CiTarget::Relative(0.1)),
+            Metric::observe("coverage"),
+        ]);
+        let table = grid.metrics_table().unwrap();
+        assert_eq!(table.len(), 3);
+        assert_eq!(table[0].name(), "rounds");
+        assert_eq!(table[0].stopping(), MetricStopping::Default);
+        assert_eq!(
+            table[1].stopping(),
+            MetricStopping::Target(CiTarget::Relative(0.1))
+        );
+        assert_eq!(table[2].stopping(), MetricStopping::Observe);
+        // Metric-less grids stay metric-less.
+        assert!(Grid::new()
+            .axis(Axis::ints("n", [4]))
+            .metrics_table()
+            .is_none());
+    }
+
+    #[test]
+    fn effective_target_resolves_against_budget() {
+        let budget_target = Some(CiTarget::Relative(0.05));
+        assert_eq!(
+            Metric::new("rounds").effective_target(budget_target),
+            budget_target
+        );
+        assert_eq!(Metric::new("rounds").effective_target(None), None);
+        assert_eq!(
+            Metric::target("messages", CiTarget::Absolute(2.0)).effective_target(budget_target),
+            Some(CiTarget::Absolute(2.0))
+        );
+        assert_eq!(
+            Metric::observe("coverage").effective_target(budget_target),
+            None
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate metric")]
+    fn duplicate_metric_rejected() {
+        let _ = Grid::new().metrics([Metric::new("m"), Metric::observe("m")]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one metric")]
+    fn empty_metrics_rejected() {
+        let _ = Grid::new().metrics([]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn nonpositive_metric_target_rejected() {
+        let _ = Metric::target("m", CiTarget::Relative(0.0));
     }
 }

@@ -2,6 +2,8 @@
 
 use dg_stats::{mean_ci95_t, Summary};
 
+use crate::axis::Metric;
+
 /// Target on the 95% Student-t confidence-interval half-width of a
 /// cell's mean, used by the sequential stopping rule.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -110,6 +112,53 @@ impl TrialBudget {
             CiTarget::Relative(r) => ci.half_width() <= r * ci.mean.abs(),
         }
     }
+
+    /// The multi-metric stopping decision: like [`TrialBudget::stop_at`]
+    /// but over per-trial metric *rows* (`samples[t][m]` is trial `t`'s
+    /// slot for metric `m`, `None` = that metric was censored in that
+    /// trial), stopping only when **every** gating metric meets its
+    /// effective CI target.
+    ///
+    /// A metric gates when [`Metric::effective_target`] resolves to a
+    /// target under this budget; each gating metric independently needs
+    /// at least `min_trials` completed slots (per-metric censoring
+    /// spends budget but contributes no evidence, the same survivorship
+    /// rule as the single-metric path) and a Student-t 95% CI half-width
+    /// within its target. With no gating metric at all — a fixed budget,
+    /// or every metric [`crate::MetricStopping::Observe`] — only the
+    /// trial cap stops a cell. Like `stop_at`, this is a pure function
+    /// of the sample prefix, so scheduling cannot leak into reports.
+    pub fn stop_at_metrics(&self, metrics: &[Metric], samples: &[Vec<Option<f64>>]) -> bool {
+        let k = samples.len();
+        if k < self.min_trials {
+            return false;
+        }
+        if k >= self.max_trials {
+            return true;
+        }
+        let mut gating = 0usize;
+        for (m, metric) in metrics.iter().enumerate() {
+            let Some(target) = metric.effective_target(self.ci_target) else {
+                continue;
+            };
+            gating += 1;
+            let completed: Summary = samples.iter().filter_map(|row| row[m]).collect();
+            if completed.len() < self.min_trials {
+                return false;
+            }
+            let Some(ci) = mean_ci95_t(&completed) else {
+                return false;
+            };
+            let met = match target {
+                CiTarget::Absolute(a) => ci.half_width() <= a,
+                CiTarget::Relative(r) => ci.half_width() <= r * ci.mean.abs(),
+            };
+            if !met {
+                return false;
+            }
+        }
+        gating > 0
+    }
 }
 
 #[cfg(test)]
@@ -157,5 +206,75 @@ mod tests {
     #[should_panic(expected = "min_trials must be <= max_trials")]
     fn inverted_budget_rejected() {
         let _ = TrialBudget::adaptive(5, 4, CiTarget::Absolute(1.0));
+    }
+
+    fn rows(rows: &[&[Option<f64>]]) -> Vec<Vec<Option<f64>>> {
+        rows.iter().map(|r| r.to_vec()).collect()
+    }
+
+    #[test]
+    fn metrics_stop_only_when_every_gating_metric_is_tight() {
+        let b = TrialBudget::adaptive(3, 100, CiTarget::Absolute(0.5));
+        let ms = [Metric::new("rounds"), Metric::new("messages")];
+        // Both metrics zero-variance: stops at min_trials.
+        let tight = rows(&[&[Some(7.0), Some(40.0)][..]; 3]);
+        assert!(b.stop_at_metrics(&ms, &tight));
+        // The second metric is noisy: the cell keeps running even
+        // though the first met its target long ago.
+        let noisy = rows(&[
+            &[Some(7.0), Some(0.0)],
+            &[Some(7.0), Some(100.0)],
+            &[Some(7.0), Some(50.0)],
+        ]);
+        assert!(!b.stop_at_metrics(&ms, &noisy));
+        // Demoting the noisy metric to observe-only lets the cell stop.
+        let observed = [Metric::new("rounds"), Metric::observe("messages")];
+        assert!(b.stop_at_metrics(&observed, &noisy));
+        // A per-metric target override gates on its own threshold.
+        let loose = [
+            Metric::new("rounds"),
+            Metric::target("messages", CiTarget::Absolute(1000.0)),
+        ];
+        assert!(b.stop_at_metrics(&loose, &noisy));
+        // The cap always stops, whatever the metrics say.
+        let capped = TrialBudget::adaptive(1, 3, CiTarget::Absolute(1e-9));
+        assert!(capped.stop_at_metrics(&ms, &noisy));
+    }
+
+    #[test]
+    fn per_metric_censoring_gates_evidence_per_metric() {
+        let b = TrialBudget::adaptive(3, 100, CiTarget::Relative(0.1));
+        let ms = [Metric::new("rounds"), Metric::new("messages")];
+        // `rounds` censored in one trial (cap hit) while `messages` has
+        // three agreeing completions: rounds has only 2 < min_trials
+        // completed slots, so survivorship must not stop the cell.
+        let mixed = rows(&[
+            &[Some(5.0), Some(40.0)],
+            &[None, Some(40.0)],
+            &[Some(5.0), Some(40.0)],
+        ]);
+        assert!(!b.stop_at_metrics(&ms, &mixed));
+        // One more trial completes rounds' evidence; now both gate.
+        let enough = rows(&[
+            &[Some(5.0), Some(40.0)],
+            &[None, Some(40.0)],
+            &[Some(5.0), Some(40.0)],
+            &[Some(5.0), Some(40.0)],
+        ]);
+        assert!(b.stop_at_metrics(&ms, &enough));
+    }
+
+    #[test]
+    fn all_observe_metrics_run_to_the_cap() {
+        let b = TrialBudget::adaptive(2, 5, CiTarget::Absolute(100.0));
+        let ms = [Metric::observe("a"), Metric::observe("b")];
+        let flat = rows(&[&[Some(1.0), Some(1.0)][..]; 4]);
+        assert!(!b.stop_at_metrics(&ms, &flat));
+        assert!(b.stop_at_metrics(&ms, &rows(&[&[Some(1.0), Some(1.0)][..]; 5])));
+        // Same for a fixed budget with Default metrics: no target, no
+        // early stop.
+        let fixed = TrialBudget::fixed(5);
+        let defaults = [Metric::new("a"), Metric::new("b")];
+        assert!(!fixed.stop_at_metrics(&defaults, &flat));
     }
 }

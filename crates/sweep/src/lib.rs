@@ -12,10 +12,16 @@
 //!   *sequential stopping rule* per cell ([`TrialBudget`]): run until
 //!   the Student-t 95% CI half-width meets a [`CiTarget`] or the trial
 //!   cap hits, spending trials where the noise is;
+//! * [`Metric`] — optionally declare a *vector* of observables per trial
+//!   (rounds, messages, coverage, ...) with per-metric stopping modes:
+//!   a cell stops only when every gating metric meets its CI target,
+//!   while [`MetricStopping::Observe`] metrics are recorded without
+//!   gating ([`Grid::metrics`], [`Sweep::run_metrics`]);
 //! * [`SweepReport`] — a machine-readable artifact (JSON + CSV) carrying
 //!   per-cell summaries *and* raw samples, so a killed sweep resumes
 //!   from its own output file ([`Sweep::checkpoint`]) and finishes with
-//!   a byte-identical report.
+//!   a byte-identical report. Metric-less sweeps keep the frozen
+//!   `dg-sweep/1` bytes; declared metrics opt into `dg-sweep/2`.
 //!
 //! Determinism is the design invariant: trial `i` of cell `c` is seeded
 //! `mix_seed(mix_seed(base_seed, c), i)` and the stopping decision is a
@@ -62,7 +68,7 @@ mod report;
 mod runner;
 mod spec;
 
-pub use axis::{Axis, Cell, Grid};
+pub use axis::{Axis, Cell, Grid, Metric, MetricStopping};
 pub use budget::{CiTarget, TrialBudget};
 pub use error::SweepError;
 pub use report::{CellReport, NearestCell, SweepReport};

@@ -5,29 +5,49 @@ use std::path::Path;
 
 use dg_stats::{mean_ci95_t, ConfidenceInterval, Quantiles, Summary};
 
-use crate::axis::Axis;
+use crate::axis::{Axis, Metric, MetricStopping};
 use crate::budget::{CiTarget, TrialBudget};
 use crate::error::SweepError;
 use crate::json::{self, fmt_f64, push_str_escaped};
 
-/// Format tag written into every artifact.
+/// Format tag of classic single-metric artifacts. Frozen: metric-less
+/// reports must keep producing these exact bytes forever.
 const FORMAT: &str = "dg-sweep/1";
 
-/// Results of one cell: the raw sample prefix in trial order (`None` =
-/// the trial was censored, e.g. hit its round cap) plus whether the
-/// stopping rule has fixed this cell's final trial count.
+/// Format tag of multi-metric artifacts (declared [`Metric`]s, one
+/// sample row per trial).
+const FORMAT_V2: &str = "dg-sweep/2";
+
+/// Results of one cell: the raw sample rows in trial order plus whether
+/// the stopping rule has fixed this cell's final trial count.
+///
+/// `samples[t][m]` is trial `t`'s slot for metric `m` (in the report's
+/// metric-declaration order); `None` means that metric was censored in
+/// that trial — censoring is **per-metric**, so a trial whose round cap
+/// hit can report `messages` while its `rounds` slot is `None`.
+/// Single-metric (`dg-sweep/1`) reports use rows of width 1.
 ///
 /// All statistics are derived from `samples` on demand, never stored —
 /// so a report reloaded from JSON is the same value as the report that
 /// wrote it.
+///
+/// # All-censored statistics
+///
+/// Every scalar statistic (`mean`, `p95`, `max`, `ci` and their
+/// per-metric `*_of` forms) returns `None` exactly when the metric has
+/// **zero completed samples** in this cell (the CI additionally needs
+/// two); [`CellReport::summary`] returns the empty [`Summary`] in that
+/// same case — `summary_of(m).is_empty()` and `mean_of(m).is_none()`
+/// are always equivalent.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CellReport {
     /// Stable cell id (row-major grid index).
     pub id: usize,
     /// The cell's axis values, in axis-declaration order.
     pub values: Vec<f64>,
-    /// Sample prefix in trial order; `samples[i]` came from trial `i`.
-    pub samples: Vec<Option<f64>>,
+    /// Sample rows in trial order; `samples[t][m]` came from trial `t`,
+    /// metric `m`.
+    pub samples: Vec<Vec<Option<f64>>>,
     /// `true` once the stopping rule fixed this cell's trial count (the
     /// samples are final); `false` in partial checkpoints.
     pub decided: bool,
@@ -39,41 +59,88 @@ impl CellReport {
         self.samples.len()
     }
 
-    /// Trials that were censored (returned `None`).
-    pub fn incomplete(&self) -> usize {
-        self.samples.iter().filter(|s| s.is_none()).count()
+    /// The given metric's slot of each trial, in trial order.
+    fn slots(&self, metric: usize) -> impl Iterator<Item = Option<f64>> + '_ {
+        self.samples
+            .iter()
+            .map(move |row| row.get(metric).copied().flatten())
     }
 
-    /// The completed sample values, in trial order.
-    pub fn completed(&self) -> Vec<f64> {
-        self.samples.iter().filter_map(|s| *s).collect()
+    /// Trials whose slot for metric `metric` was censored (`None`).
+    pub fn incomplete_of(&self, metric: usize) -> usize {
+        self.slots(metric).filter(Option::is_none).count()
     }
 
-    /// Streaming summary over completed samples.
-    pub fn summary(&self) -> Summary {
-        self.samples.iter().filter_map(|s| *s).collect()
+    /// Completed values of metric `metric`, in trial order.
+    pub fn completed_of(&self, metric: usize) -> Vec<f64> {
+        self.slots(metric).flatten().collect()
     }
 
-    /// Mean over completed samples; `None` if every trial was censored.
-    pub fn mean(&self) -> Option<f64> {
-        let s = self.summary();
+    /// Streaming summary over completed samples of metric `metric`
+    /// (empty exactly when every trial censored that metric).
+    pub fn summary_of(&self, metric: usize) -> Summary {
+        self.slots(metric).flatten().collect()
+    }
+
+    /// Mean of metric `metric`; `None` if every trial censored it.
+    pub fn mean_of(&self, metric: usize) -> Option<f64> {
+        let s = self.summary_of(metric);
         (!s.is_empty()).then(|| s.mean())
     }
 
-    /// Empirical 95th percentile over completed samples.
+    /// Empirical 95th percentile of metric `metric`; `None` if every
+    /// trial censored it.
+    pub fn p95_of(&self, metric: usize) -> Option<f64> {
+        Quantiles::try_new(self.completed_of(metric)).map(|q| q.p95())
+    }
+
+    /// Largest completed sample of metric `metric`; `None` if every
+    /// trial censored it.
+    pub fn max_of(&self, metric: usize) -> Option<f64> {
+        Quantiles::try_new(self.completed_of(metric)).map(|q| q.max())
+    }
+
+    /// Student-t 95% CI of metric `metric`'s mean; `None` for fewer
+    /// than two completed samples.
+    pub fn ci_of(&self, metric: usize) -> Option<ConfidenceInterval> {
+        mean_ci95_t(&self.summary_of(metric))
+    }
+
+    /// Trials whose first metric was censored — [`CellReport::incomplete_of`]
+    /// of metric 0, the whole story for single-metric reports.
+    pub fn incomplete(&self) -> usize {
+        self.incomplete_of(0)
+    }
+
+    /// Completed samples of the first metric, in trial order.
+    pub fn completed(&self) -> Vec<f64> {
+        self.completed_of(0)
+    }
+
+    /// Streaming summary over the first metric's completed samples.
+    pub fn summary(&self) -> Summary {
+        self.summary_of(0)
+    }
+
+    /// Mean of the first metric; `None` if every trial was censored.
+    pub fn mean(&self) -> Option<f64> {
+        self.mean_of(0)
+    }
+
+    /// Empirical 95th percentile of the first metric.
     pub fn p95(&self) -> Option<f64> {
-        Quantiles::try_new(self.completed()).map(|q| q.p95())
+        self.p95_of(0)
     }
 
-    /// Largest completed sample.
+    /// Largest completed sample of the first metric.
     pub fn max(&self) -> Option<f64> {
-        Quantiles::try_new(self.completed()).map(|q| q.max())
+        self.max_of(0)
     }
 
-    /// Student-t 95% CI of the mean over completed samples; `None` for
-    /// fewer than two completed trials.
+    /// Student-t 95% CI of the first metric's mean; `None` for fewer
+    /// than two completed trials.
     pub fn ci(&self) -> Option<ConfidenceInterval> {
-        mean_ci95_t(&self.summary())
+        self.ci_of(0)
     }
 }
 
@@ -111,6 +178,9 @@ pub struct SweepReport {
     /// (serialized and fingerprinted only when present, so artifacts
     /// from cap-less sweeps keep their exact bytes).
     pub(crate) max_rounds: Option<Vec<u32>>,
+    /// Declared metrics for `dg-sweep/2` sweeps; `None` keeps the
+    /// report on the frozen `dg-sweep/1` wire format.
+    pub(crate) metrics: Option<Vec<Metric>>,
     pub(crate) cells: Vec<CellReport>,
 }
 
@@ -124,6 +194,28 @@ impl SweepReport {
     /// carried a [`crate::Grid::max_rounds`] policy.
     pub fn max_rounds_table(&self) -> Option<&[u32]> {
         self.max_rounds.as_deref()
+    }
+
+    /// The declared metrics, in declaration order, for multi-metric
+    /// (`dg-sweep/2`) reports; `None` for classic single-metric ones.
+    pub fn metrics(&self) -> Option<&[Metric]> {
+        self.metrics.as_deref()
+    }
+
+    /// The index of the named metric in this report's sample rows, or
+    /// `None` when the report declares no such metric (including every
+    /// metric-less `dg-sweep/1` report).
+    pub fn metric_index(&self, name: &str) -> Option<usize> {
+        self.metrics
+            .as_deref()?
+            .iter()
+            .position(|m| m.name() == name)
+    }
+
+    /// Width of each cell's sample rows: the declared metric count, or
+    /// 1 for single-metric reports.
+    pub fn metric_count(&self) -> usize {
+        self.metrics.as_deref().map_or(1, <[Metric]>::len)
     }
 
     /// The sweep's base seed.
@@ -197,12 +289,14 @@ impl SweepReport {
     }
 
     /// The report's identity fingerprint — the FNV-1a hash over its
-    /// configuration (axes, round caps, seed, budget) that names the
-    /// artifact in content-addressed stores and gates checkpoint resume.
+    /// configuration (axes, round caps, metrics, seed, budget) that
+    /// names the artifact in content-addressed stores and gates
+    /// checkpoint resume.
     pub fn fingerprint(&self) -> u64 {
         fingerprint(
             &self.axes,
             self.max_rounds.as_deref(),
+            self.metrics.as_deref(),
             self.base_seed,
             &self.budget,
         )
@@ -328,21 +422,40 @@ impl SweepReport {
 
     /// Serializes the full resumable artifact (configuration, per-cell
     /// summaries, raw samples) as JSON.
+    ///
+    /// Metric-less reports write the frozen `dg-sweep/1` form, byte-
+    /// identical to every artifact that format has ever produced;
+    /// reports with declared metrics write `dg-sweep/2`, whose cells
+    /// carry one sample *row* per trial and per-metric derived-
+    /// statistic arrays.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(1024);
         out.push_str("{\n");
-        out.push_str(&format!("  \"format\": \"{FORMAT}\",\n"));
+        out.push_str(&format!(
+            "  \"format\": \"{}\",\n",
+            if self.metrics.is_some() {
+                FORMAT_V2
+            } else {
+                FORMAT
+            }
+        ));
         out.push_str(&format!("  \"complete\": {},\n", self.is_complete()));
         out.push_str(&format!("  \"base_seed\": {},\n", self.base_seed));
-        out.push_str(&format!(
-            "  \"fingerprint\": {},\n",
-            fingerprint(
-                &self.axes,
-                self.max_rounds.as_deref(),
-                self.base_seed,
-                &self.budget
-            )
-        ));
+        out.push_str(&format!("  \"fingerprint\": {},\n", self.fingerprint()));
+        if let Some(metrics) = &self.metrics {
+            out.push_str("  \"metrics\": [");
+            for (i, m) in metrics.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str("{\"name\": ");
+                push_str_escaped(&mut out, m.name());
+                out.push_str(", \"stopping\": ");
+                out.push_str(&stopping_json(m.stopping()));
+                out.push('}');
+            }
+            out.push_str("],\n");
+        }
         if let Some(caps) = &self.max_rounds {
             out.push_str("  \"max_rounds\": [");
             for (i, cap) in caps.iter().enumerate() {
@@ -382,68 +495,133 @@ impl SweepReport {
         }
         out.push_str("  ],\n");
         out.push_str("  \"cells\": [\n");
+        let width = self.metric_count();
         for (i, cell) in self.cells.iter().enumerate() {
             // One pass over the samples per statistic family (to_json
             // reruns on every cell decision when checkpointing).
-            let quantiles = Quantiles::try_new(cell.completed());
-            let ci = cell.ci();
-            out.push_str(&format!(
-                "    {{\"id\": {}, \"values\": [{}], \"decided\": {}, \"trials\": {}, \"incomplete\": {}, \"mean\": {}, \"p95\": {}, \"max\": {}, \"ci_lo\": {}, \"ci_hi\": {}, \"ci_half_width\": {}, \"samples\": [{}]}}{}\n",
-                cell.id,
-                cell.values
-                    .iter()
-                    .map(|v| fmt_f64(*v))
-                    .collect::<Vec<_>>()
-                    .join(", "),
-                cell.decided,
-                cell.trials(),
-                cell.incomplete(),
-                opt_stat(cell.mean()),
-                opt_stat(quantiles.as_ref().map(|q| q.p95())),
-                opt_stat(quantiles.as_ref().map(|q| q.max())),
-                opt_stat(ci.map(|ci| ci.lo)),
-                opt_stat(ci.map(|ci| ci.hi)),
-                opt_stat(ci.map(|ci| ci.half_width())),
-                cell.samples
-                    .iter()
-                    .map(|s| opt_num(*s))
-                    .collect::<Vec<_>>()
-                    .join(", "),
-                if i + 1 < self.cells.len() { "," } else { "" },
-            ));
+            let sep = if i + 1 < self.cells.len() { "," } else { "" };
+            let values = cell
+                .values
+                .iter()
+                .map(|v| fmt_f64(*v))
+                .collect::<Vec<_>>()
+                .join(", ");
+            if self.metrics.is_none() {
+                let quantiles = Quantiles::try_new(cell.completed());
+                let ci = cell.ci();
+                out.push_str(&format!(
+                    "    {{\"id\": {}, \"values\": [{}], \"decided\": {}, \"trials\": {}, \"incomplete\": {}, \"mean\": {}, \"p95\": {}, \"max\": {}, \"ci_lo\": {}, \"ci_hi\": {}, \"ci_half_width\": {}, \"samples\": [{}]}}{sep}\n",
+                    cell.id,
+                    values,
+                    cell.decided,
+                    cell.trials(),
+                    cell.incomplete(),
+                    opt_stat(cell.mean()),
+                    opt_stat(quantiles.as_ref().map(|q| q.p95())),
+                    opt_stat(quantiles.as_ref().map(|q| q.max())),
+                    opt_stat(ci.map(|ci| ci.lo)),
+                    opt_stat(ci.map(|ci| ci.hi)),
+                    opt_stat(ci.map(|ci| ci.half_width())),
+                    cell.samples
+                        .iter()
+                        .map(|row| opt_num(row.first().copied().flatten()))
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                ));
+            } else {
+                // Per-metric derived-statistic arrays, aligned with the
+                // declared metric order.
+                let stat_arr =
+                    |f: &dyn Fn(usize) -> String| (0..width).map(f).collect::<Vec<_>>().join(", ");
+                out.push_str(&format!(
+                    "    {{\"id\": {}, \"values\": [{}], \"decided\": {}, \"trials\": {}, \"incomplete\": [{}], \"mean\": [{}], \"p95\": [{}], \"max\": [{}], \"ci_lo\": [{}], \"ci_hi\": [{}], \"ci_half_width\": [{}], \"samples\": [{}]}}{sep}\n",
+                    cell.id,
+                    values,
+                    cell.decided,
+                    cell.trials(),
+                    stat_arr(&|m| cell.incomplete_of(m).to_string()),
+                    stat_arr(&|m| opt_stat(cell.mean_of(m))),
+                    stat_arr(&|m| opt_stat(cell.p95_of(m))),
+                    stat_arr(&|m| opt_stat(cell.max_of(m))),
+                    stat_arr(&|m| opt_stat(cell.ci_of(m).map(|ci| ci.lo))),
+                    stat_arr(&|m| opt_stat(cell.ci_of(m).map(|ci| ci.hi))),
+                    stat_arr(&|m| opt_stat(cell.ci_of(m).map(|ci| ci.half_width()))),
+                    cell.samples
+                        .iter()
+                        .map(|row| {
+                            format!(
+                                "[{}]",
+                                row.iter()
+                                    .map(|s| opt_num(*s))
+                                    .collect::<Vec<_>>()
+                                    .join(", ")
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                ));
+            }
         }
         out.push_str("  ]\n}\n");
         out
     }
 
     /// Serializes one CSV row per cell: the axis columns (by name), then
-    /// `trials, incomplete, mean, p95, max, ci_lo, ci_hi,
-    /// ci_half_width`. Undefined statistics are empty fields.
+    /// the statistic columns. Undefined statistics are empty fields.
+    ///
+    /// Single-metric reports keep the classic header
+    /// `trials,incomplete,mean,p95,max,ci_lo,ci_hi,ci_half_width`;
+    /// multi-metric reports write `trials` once and then a
+    /// `<name>_incomplete,<name>_mean,<name>_p95,<name>_max,<name>_ci_lo,<name>_ci_hi,<name>_ci_half_width`
+    /// group per declared metric — one file feeds a phase diagram per
+    /// metric.
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
         for axis in &self.axes {
             out.push_str(axis.name());
             out.push(',');
         }
-        out.push_str("trials,incomplete,mean,p95,max,ci_lo,ci_hi,ci_half_width\n");
+        match self.metrics.as_deref() {
+            None => out.push_str("trials,incomplete,mean,p95,max,ci_lo,ci_hi,ci_half_width\n"),
+            Some(metrics) => {
+                out.push_str("trials");
+                for m in metrics {
+                    let n = m.name();
+                    out.push_str(&format!(
+                        ",{n}_incomplete,{n}_mean,{n}_p95,{n}_max,{n}_ci_lo,{n}_ci_hi,{n}_ci_half_width"
+                    ));
+                }
+                out.push('\n');
+            }
+        }
         for cell in &self.cells {
             for v in &cell.values {
                 out.push_str(&fmt_f64(*v));
                 out.push(',');
             }
-            let quantiles = Quantiles::try_new(cell.completed());
-            let ci = cell.ci();
-            out.push_str(&format!(
-                "{},{},{},{},{},{},{},{}\n",
-                cell.trials(),
-                cell.incomplete(),
-                opt_csv(cell.mean()),
-                opt_csv(quantiles.as_ref().map(|q| q.p95())),
-                opt_csv(quantiles.as_ref().map(|q| q.max())),
-                opt_csv(ci.map(|c| c.lo)),
-                opt_csv(ci.map(|c| c.hi)),
-                opt_csv(ci.map(|c| c.half_width())),
-            ));
+            out.push_str(&cell.trials().to_string());
+            if self.metrics.is_none() {
+                out.push(',');
+            }
+            for m in 0..self.metric_count() {
+                let quantiles = Quantiles::try_new(cell.completed_of(m));
+                let ci = cell.ci_of(m);
+                let row = format!(
+                    "{},{},{},{},{},{},{}",
+                    cell.incomplete_of(m),
+                    opt_csv(cell.mean_of(m)),
+                    opt_csv(quantiles.as_ref().map(|q| q.p95())),
+                    opt_csv(quantiles.as_ref().map(|q| q.max())),
+                    opt_csv(ci.map(|c| c.lo)),
+                    opt_csv(ci.map(|c| c.hi)),
+                    opt_csv(ci.map(|c| c.half_width())),
+                );
+                if self.metrics.is_some() {
+                    out.push(',');
+                }
+                out.push_str(&row);
+            }
+            out.push('\n');
         }
         out
     }
@@ -460,23 +638,48 @@ impl SweepReport {
         write_atomic(path.as_ref(), self.to_csv().as_bytes())
     }
 
-    /// Reloads an artifact written by [`SweepReport::to_json`].
+    /// Reloads an artifact written by [`SweepReport::to_json`] — either
+    /// format: every `dg-sweep/1` shape ever written parses (and
+    /// re-serializes to its exact bytes), and `dg-sweep/2` adds the
+    /// metric declarations and per-trial sample rows.
     ///
     /// Statistics are recomputed from the samples; the embedded
     /// fingerprint is verified against the reloaded *configuration*
-    /// (axes, seed, budget), so a truncated artifact or one from a
-    /// different sweep is rejected instead of quietly resuming the
-    /// wrong experiment. Sample values themselves are data, not
+    /// (axes, metrics, seed, budget), so a truncated artifact or one
+    /// from a different sweep is rejected instead of quietly resuming
+    /// the wrong experiment. Sample values themselves are data, not
     /// configuration — they are validated structurally (finite numbers
-    /// or `null`) but otherwise trusted as written.
+    /// or `null`, rows exactly one slot per declared metric) but
+    /// otherwise trusted as written.
     pub fn from_json(text: &str) -> Result<Self, SweepError> {
         let doc = json::parse(text)?;
         let format = doc.get("format")?.as_str()?;
-        if format != FORMAT {
+        if format != FORMAT && format != FORMAT_V2 {
             return Err(SweepError::Mismatch(format!(
-                "artifact format {format:?}, expected {FORMAT:?}"
+                "artifact format {format:?}, expected {FORMAT:?} or {FORMAT_V2:?}"
             )));
         }
+        let metrics = if format == FORMAT_V2 {
+            let mut metrics: Vec<Metric> = Vec::new();
+            for m in doc.get("metrics")?.as_arr()? {
+                let metric = parse_metric(m)?;
+                if metrics.iter().any(|o| o.name() == metric.name()) {
+                    return Err(SweepError::Parse(format!(
+                        "duplicate metric {:?}",
+                        metric.name()
+                    )));
+                }
+                metrics.push(metric);
+            }
+            if metrics.is_empty() {
+                return Err(SweepError::Parse(
+                    "dg-sweep/2 artifact declares no metrics".into(),
+                ));
+            }
+            Some(metrics)
+        } else {
+            None
+        };
         let base_seed = doc.get("base_seed")?.as_u64()?;
         let budget_doc = doc.get("budget")?;
         let target_doc = budget_doc.get("ci_target")?;
@@ -545,11 +748,29 @@ impl SweepReport {
             }
             let mut samples = Vec::new();
             for s in cell.get("samples")?.as_arr()? {
-                samples.push(if s.is_null() {
-                    None
-                } else {
-                    Some(finite(s.as_f64()?, "sample")?)
-                });
+                let slot = |s: &json::Json| -> Result<Option<f64>, SweepError> {
+                    Ok(if s.is_null() {
+                        None
+                    } else {
+                        Some(finite(s.as_f64()?, "sample")?)
+                    })
+                };
+                match &metrics {
+                    // v1: a flat scalar per trial — a width-1 row.
+                    None => samples.push(vec![slot(s)?]),
+                    // v2: one row per trial, one slot per declared metric.
+                    Some(metrics) => {
+                        let row = s.as_arr()?;
+                        if row.len() != metrics.len() {
+                            return Err(SweepError::Parse(format!(
+                                "sample row has {} slots for {} metrics",
+                                row.len(),
+                                metrics.len()
+                            )));
+                        }
+                        samples.push(row.iter().map(slot).collect::<Result<_, _>>()?);
+                    }
+                }
             }
             cells.push(CellReport {
                 id,
@@ -563,15 +784,11 @@ impl SweepReport {
             base_seed,
             budget,
             max_rounds,
+            metrics,
             cells,
         };
         let expected = doc.get("fingerprint")?.as_u64()?;
-        let actual = fingerprint(
-            &report.axes,
-            report.max_rounds.as_deref(),
-            report.base_seed,
-            &report.budget,
-        );
+        let actual = report.fingerprint();
         if expected != actual {
             return Err(SweepError::Mismatch(format!(
                 "artifact fingerprint {expected} != recomputed {actual}"
@@ -579,6 +796,66 @@ impl SweepReport {
         }
         Ok(report)
     }
+}
+
+/// Serializes a [`MetricStopping`] (shared by artifact and spec
+/// writers, so the two stay in canonical agreement).
+pub(crate) fn stopping_json(stopping: MetricStopping) -> String {
+    match stopping {
+        MetricStopping::Default => "\"default\"".to_string(),
+        MetricStopping::Target(CiTarget::Absolute(v)) => {
+            format!("{{\"absolute\": {}}}", fmt_f64(v))
+        }
+        MetricStopping::Target(CiTarget::Relative(v)) => {
+            format!("{{\"relative\": {}}}", fmt_f64(v))
+        }
+        MetricStopping::Observe => "\"observe\"".to_string(),
+    }
+}
+
+/// Parses one metric declaration: the canonical object form
+/// `{"name": ..., "stopping": ...}` (stopping `"default"`, `"observe"`,
+/// `{"absolute": v}` or `{"relative": v}`), or — for forgiving wire
+/// specs — a bare name string meaning default stopping.
+pub(crate) fn parse_metric(m: &json::Json) -> Result<Metric, SweepError> {
+    if let Ok(name) = m.as_str() {
+        if name.is_empty() {
+            return Err(SweepError::Parse("empty metric name".into()));
+        }
+        return Ok(Metric::new(name));
+    }
+    let name = m.get("name")?.as_str()?;
+    if name.is_empty() {
+        return Err(SweepError::Parse("empty metric name".into()));
+    }
+    let stopping = m.get("stopping")?;
+    if let Ok(tag) = stopping.as_str() {
+        return match tag {
+            "default" => Ok(Metric::new(name)),
+            "observe" => Ok(Metric::observe(name)),
+            other => Err(SweepError::Parse(format!(
+                "metric {name:?} has unknown stopping {other:?}"
+            ))),
+        };
+    }
+    let (tag, v) = if let Ok(v) = stopping.get("absolute") {
+        ("absolute", v.as_f64()?)
+    } else {
+        ("relative", stopping.get("relative")?.as_f64()?)
+    };
+    if !(v.is_finite() && v > 0.0) {
+        return Err(SweepError::Parse(format!(
+            "metric {name:?} {tag} target must be strictly positive, got {v}"
+        )));
+    }
+    Ok(Metric::target(
+        name,
+        if tag == "absolute" {
+            CiTarget::Absolute(v)
+        } else {
+            CiTarget::Relative(v)
+        },
+    ))
 }
 
 /// Serializes a *sample*: `null` for censored, strict otherwise — a
@@ -616,16 +893,19 @@ fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), SweepError> {
     Ok(())
 }
 
-/// FNV-1a fingerprint over a sweep's identity: axes (names and exact
-/// value bits), the per-cell round caps (when a policy is attached —
-/// cap-less sweeps hash exactly as before, so their old artifacts stay
-/// resumable), base seed, and budget. Two sweeps share a fingerprint
-/// exactly when their per-`(cell, trial)` seed streams, round caps and
-/// stopping rules coincide — the precondition for resuming from an
-/// artifact.
+/// FNV-1a fingerprint over a sweep's identity: format, axes (names and
+/// exact value bits), the per-cell round caps (when a policy is
+/// attached — cap-less sweeps hash exactly as before, so their old
+/// artifacts stay resumable), the declared metrics (when present — the
+/// format tag changes with them, so no metric-less fingerprint can
+/// collide with a multi-metric one), base seed, and budget. Two sweeps
+/// share a fingerprint exactly when their per-`(cell, trial)` seed
+/// streams, round caps, sampled metrics and stopping rules coincide —
+/// the precondition for resuming from an artifact.
 pub(crate) fn fingerprint(
     axes: &[Axis],
     max_rounds: Option<&[u32]>,
+    metrics: Option<&[Metric]>,
     base_seed: u64,
     budget: &TrialBudget,
 ) -> u64 {
@@ -636,7 +916,7 @@ pub(crate) fn fingerprint(
             h = h.wrapping_mul(0x1000_0000_01B3);
         }
     };
-    eat(FORMAT.as_bytes());
+    eat(if metrics.is_some() { FORMAT_V2 } else { FORMAT }.as_bytes());
     for axis in axes {
         eat(axis.name().as_bytes());
         eat(&[0]);
@@ -649,6 +929,25 @@ pub(crate) fn fingerprint(
         eat(&[2]);
         for cap in caps {
             eat(&cap.to_le_bytes());
+        }
+    }
+    if let Some(metrics) = metrics {
+        eat(&[3]);
+        for m in metrics {
+            eat(m.name().as_bytes());
+            eat(&[0]);
+            match m.stopping() {
+                MetricStopping::Default => eat(&[0]),
+                MetricStopping::Target(CiTarget::Absolute(v)) => {
+                    eat(&[1]);
+                    eat(&v.to_bits().to_le_bytes());
+                }
+                MetricStopping::Target(CiTarget::Relative(v)) => {
+                    eat(&[2]);
+                    eat(&v.to_bits().to_le_bytes());
+                }
+                MetricStopping::Observe => eat(&[3]),
+            }
         }
     }
     eat(&base_seed.to_le_bytes());
@@ -672,35 +971,76 @@ pub(crate) fn fingerprint(
 mod tests {
     use super::*;
 
+    /// Width-1 rows from a flat list — the single-metric sample shape.
+    fn rows1(samples: Vec<Option<f64>>) -> Vec<Vec<Option<f64>>> {
+        samples.into_iter().map(|s| vec![s]).collect()
+    }
+
     fn sample_report() -> SweepReport {
         SweepReport {
             axes: vec![Axis::ints("n", [16, 32]), Axis::explicit("q", [0.1, 0.25])],
             base_seed: u64::MAX - 17,
             budget: TrialBudget::adaptive(3, 9, CiTarget::Relative(0.05)),
             max_rounds: None,
+            metrics: None,
             cells: vec![
                 CellReport {
                     id: 0,
                     values: vec![16.0, 0.1],
-                    samples: vec![Some(4.0), Some(6.0), Some(5.0)],
+                    samples: rows1(vec![Some(4.0), Some(6.0), Some(5.0)]),
                     decided: true,
                 },
                 CellReport {
                     id: 1,
                     values: vec![16.0, 0.25],
-                    samples: vec![Some(7.0), None, Some(9.0)],
+                    samples: rows1(vec![Some(7.0), None, Some(9.0)]),
                     decided: true,
                 },
                 CellReport {
                     id: 2,
                     values: vec![32.0, 0.1],
-                    samples: vec![Some(1.0 / 3.0)],
+                    samples: rows1(vec![Some(1.0 / 3.0)]),
                     decided: false,
                 },
                 CellReport {
                     id: 3,
                     values: vec![32.0, 0.25],
                     samples: vec![],
+                    decided: false,
+                },
+            ],
+        }
+    }
+
+    /// A two-metric report in the shapes a flooding sweep produces:
+    /// per-metric censoring (rounds `None`, messages counted), an
+    /// undecided cell, an empty cell.
+    fn metric_report() -> SweepReport {
+        SweepReport {
+            axes: vec![Axis::ints("n", [16]), Axis::explicit("q", [0.1, 0.25])],
+            base_seed: 99,
+            budget: TrialBudget::adaptive(2, 6, CiTarget::Relative(0.1)),
+            max_rounds: None,
+            metrics: Some(vec![
+                Metric::new("rounds"),
+                Metric::target("messages", CiTarget::Relative(0.2)),
+                Metric::observe("coverage"),
+            ]),
+            cells: vec![
+                CellReport {
+                    id: 0,
+                    values: vec![16.0, 0.1],
+                    samples: vec![
+                        vec![Some(12.0), Some(480.0), Some(1.0)],
+                        vec![None, Some(520.0), Some(0.75)],
+                        vec![Some(13.0), Some(470.0), Some(1.0)],
+                    ],
+                    decided: true,
+                },
+                CellReport {
+                    id: 1,
+                    values: vec![16.0, 0.25],
+                    samples: vec![vec![None, Some(610.0), Some(0.5)]],
                     decided: false,
                 },
             ],
@@ -790,24 +1130,56 @@ mod tests {
     #[test]
     fn fingerprint_sensitive_to_config() {
         let r = sample_report();
-        let base = fingerprint(&r.axes, None, r.base_seed, &r.budget);
-        assert_ne!(base, fingerprint(&r.axes, None, r.base_seed ^ 1, &r.budget));
+        let base = fingerprint(&r.axes, None, None, r.base_seed, &r.budget);
         assert_ne!(
             base,
-            fingerprint(&r.axes[..1], None, r.base_seed, &r.budget)
+            fingerprint(&r.axes, None, None, r.base_seed ^ 1, &r.budget)
+        );
+        assert_ne!(
+            base,
+            fingerprint(&r.axes[..1], None, None, r.base_seed, &r.budget)
         );
         let mut other = r.budget;
         other.max_trials += 1;
-        assert_ne!(base, fingerprint(&r.axes, None, r.base_seed, &other));
+        assert_ne!(base, fingerprint(&r.axes, None, None, r.base_seed, &other));
         // A max_rounds policy changes the trials' outcomes, so it must
         // change the fingerprint — per cap value, not just presence.
         let caps = [10u32, 20, 30, 40];
-        let with_caps = fingerprint(&r.axes, Some(&caps), r.base_seed, &r.budget);
+        let with_caps = fingerprint(&r.axes, Some(&caps), None, r.base_seed, &r.budget);
         assert_ne!(base, with_caps);
         let other_caps = [10u32, 20, 30, 41];
         assert_ne!(
             with_caps,
-            fingerprint(&r.axes, Some(&other_caps), r.base_seed, &r.budget)
+            fingerprint(&r.axes, Some(&other_caps), None, r.base_seed, &r.budget)
+        );
+    }
+
+    #[test]
+    fn fingerprint_sensitive_to_metrics() {
+        let r = sample_report();
+        let base = fingerprint(&r.axes, None, None, r.base_seed, &r.budget);
+        let one = vec![Metric::new("rounds")];
+        let with_metrics = fingerprint(&r.axes, None, Some(&one), r.base_seed, &r.budget);
+        assert_ne!(base, with_metrics);
+        // Name, order, and stopping mode all enter the hash.
+        for other in [
+            vec![Metric::new("messages")],
+            vec![Metric::new("rounds"), Metric::new("messages")],
+            vec![Metric::observe("rounds")],
+            vec![Metric::target("rounds", CiTarget::Relative(0.1))],
+            vec![Metric::target("rounds", CiTarget::Absolute(0.1))],
+        ] {
+            assert_ne!(
+                with_metrics,
+                fingerprint(&r.axes, None, Some(&other), r.base_seed, &r.budget),
+                "{other:?}"
+            );
+        }
+        let two = vec![Metric::new("rounds"), Metric::new("messages")];
+        let swapped = vec![Metric::new("messages"), Metric::new("rounds")];
+        assert_ne!(
+            fingerprint(&r.axes, None, Some(&two), r.base_seed, &r.budget),
+            fingerprint(&r.axes, None, Some(&swapped), r.base_seed, &r.budget)
         );
     }
 
@@ -912,10 +1284,11 @@ mod tests {
             base_seed: 1,
             budget: TrialBudget::fixed(1),
             max_rounds: None,
+            metrics: None,
             cells: vec![CellReport {
                 id: 0,
                 values: vec![0.5],
-                samples: vec![Some(2.0)],
+                samples: rows1(vec![Some(2.0)]),
                 decided: true,
             }],
         };
@@ -930,6 +1303,7 @@ mod tests {
             base_seed: 1,
             budget: TrialBudget::fixed(1),
             max_rounds: None,
+            metrics: None,
             cells: vec![CellReport {
                 id: 0,
                 values: vec![],
@@ -960,5 +1334,126 @@ mod tests {
         let hw = r.max_ci_half_width().unwrap();
         // Cell 1 (7 and 9, df = 1) is the noisiest: 12.706 * std_err.
         assert!((hw - 12.706).abs() < 1e-9, "hw = {hw}");
+    }
+
+    #[test]
+    fn per_metric_statistics_index_the_rows() {
+        let r = metric_report();
+        let c = r.cell(0);
+        assert_eq!(r.metric_count(), 3);
+        assert_eq!(r.metric_index("messages"), Some(1));
+        assert_eq!(r.metric_index("delivery_p95"), None);
+        assert_eq!(c.trials(), 3);
+        // rounds: one censored trial; messages: all three counted.
+        assert_eq!(c.incomplete_of(0), 1);
+        assert_eq!(c.incomplete_of(1), 0);
+        assert_eq!(c.mean_of(0), Some(12.5));
+        assert_eq!(c.mean_of(1), Some(490.0));
+        assert_eq!(c.max_of(1), Some(520.0));
+        // The metric-0 shorthands agree with the indexed forms.
+        assert_eq!(c.mean(), c.mean_of(0));
+        assert_eq!(c.incomplete(), c.incomplete_of(0));
+        // A single-metric report answers no metric names.
+        assert_eq!(sample_report().metric_index("rounds"), None);
+        assert_eq!(sample_report().metric_count(), 1);
+    }
+
+    #[test]
+    fn v2_json_round_trip_is_byte_identical() {
+        let r = metric_report();
+        let json = r.to_json();
+        assert!(json.contains("\"format\": \"dg-sweep/2\""));
+        assert!(json.contains(
+            "\"metrics\": [{\"name\": \"rounds\", \"stopping\": \"default\"}, \
+             {\"name\": \"messages\", \"stopping\": {\"relative\": 0.2}}, \
+             {\"name\": \"coverage\", \"stopping\": \"observe\"}]"
+        ));
+        assert!(json.contains("[null, 520, 0.75]"));
+        let reloaded = SweepReport::from_json(&json).unwrap();
+        assert_eq!(reloaded, r);
+        assert_eq!(reloaded.to_json(), json);
+        assert_eq!(reloaded.fingerprint(), r.fingerprint());
+    }
+
+    #[test]
+    fn v2_rejects_malformed_metric_artifacts() {
+        let json = metric_report().to_json();
+        // A row that is narrower than the declaration.
+        let narrow = json.replace("[null, 520, 0.75]", "[null, 520]");
+        assert!(matches!(
+            SweepReport::from_json(&narrow),
+            Err(SweepError::Parse(_))
+        ));
+        // Flat v1-style samples under a v2 header.
+        let flat = json.replace("[null, 520, 0.75]", "520");
+        assert!(SweepReport::from_json(&flat).is_err());
+        // A tampered metric declaration is a fingerprint mismatch.
+        let renamed = json.replace("\"name\": \"messages\"", "\"name\": \"transmissions\"");
+        assert!(matches!(
+            SweepReport::from_json(&renamed),
+            Err(SweepError::Mismatch(_))
+        ));
+        // A v1 artifact must not carry nested rows.
+        let v1 = sample_report().to_json();
+        let nested = v1.replace("\"samples\": [4, 6, 5]", "\"samples\": [[4], [6], [5]]");
+        assert!(SweepReport::from_json(&nested).is_err());
+    }
+
+    #[test]
+    fn v2_csv_has_per_metric_column_groups() {
+        let r = metric_report();
+        let csv = r.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(
+            lines[0],
+            "n,q,trials,\
+             rounds_incomplete,rounds_mean,rounds_p95,rounds_max,rounds_ci_lo,rounds_ci_hi,rounds_ci_half_width,\
+             messages_incomplete,messages_mean,messages_p95,messages_max,messages_ci_lo,messages_ci_hi,messages_ci_half_width,\
+             coverage_incomplete,coverage_mean,coverage_p95,coverage_max,coverage_ci_lo,coverage_ci_hi,coverage_ci_half_width"
+        );
+        assert_eq!(lines.len(), 1 + r.cells().len());
+        assert!(lines[1].starts_with("16,0.1,3,1,12.5,"));
+        // The all-censored rounds column of cell 1 is empty fields.
+        assert!(lines[2].starts_with("16,0.25,1,1,,,,"));
+    }
+
+    #[test]
+    fn all_censored_statistics_agree_across_accessors() {
+        // The documented contract: summary() empty <=> every scalar
+        // statistic None — no accessor may disagree about whether an
+        // all-censored cell "has" statistics.
+        let all_censored = CellReport {
+            id: 0,
+            values: vec![1.0],
+            samples: rows1(vec![None, None, None]),
+            decided: true,
+        };
+        let no_trials = CellReport {
+            id: 1,
+            values: vec![2.0],
+            samples: vec![],
+            decided: false,
+        };
+        let mixed_metrics = CellReport {
+            id: 2,
+            values: vec![3.0],
+            // Metric 0 all-censored, metric 1 fully sampled.
+            samples: vec![vec![None, Some(7.0)], vec![None, Some(9.0)]],
+            decided: true,
+        };
+        for (cell, m) in [(&all_censored, 0), (&no_trials, 0), (&mixed_metrics, 0)] {
+            assert!(cell.summary_of(m).is_empty());
+            assert_eq!(cell.mean_of(m), None);
+            assert_eq!(cell.p95_of(m), None);
+            assert_eq!(cell.max_of(m), None);
+            assert!(cell.ci_of(m).is_none());
+            assert_eq!(cell.completed_of(m), Vec::<f64>::new());
+            assert_eq!(cell.incomplete_of(m), cell.trials());
+        }
+        // ...and a metric with data is unaffected by its neighbor.
+        assert!(!mixed_metrics.summary_of(1).is_empty());
+        assert_eq!(mixed_metrics.mean_of(1), Some(8.0));
+        assert!(mixed_metrics.p95_of(1).is_some());
+        assert_eq!(mixed_metrics.max_of(1), Some(9.0));
     }
 }

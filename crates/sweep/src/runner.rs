@@ -12,7 +12,7 @@
 use std::path::{Path, PathBuf};
 use std::sync::{Condvar, Mutex, MutexGuard};
 
-use crate::axis::{Axis, Cell, Grid};
+use crate::axis::{Axis, Cell, Grid, Metric};
 use crate::budget::TrialBudget;
 use crate::error::SweepError;
 use crate::mix_seed;
@@ -145,12 +145,67 @@ impl Sweep {
     ///
     /// Panics if `trial_fn` panics or returns a non-finite sample
     /// (censor with `None` instead — `NaN`/`inf` would silently defeat
-    /// the stopping rule and have no artifact representation).
+    /// the stopping rule and have no artifact representation), or if
+    /// the grid declares [`crate::Grid::metrics`] (a multi-metric sweep
+    /// must sample every declared metric: use [`Sweep::run_metrics`]).
     pub fn run<F>(self, trial_fn: F) -> Result<SweepReport, SweepError>
     where
         F: Fn(&Cell, Trial) -> Option<f64> + Sync,
     {
         self.run_with_state(|| (), |cell, trial, ()| trial_fn(cell, trial))
+    }
+
+    /// Runs a multi-metric sweep: `trial_fn(cell, trial)` returns one
+    /// `Option<f64>` slot per metric the grid declares
+    /// ([`crate::Grid::metrics`]), in declaration order — `None` marks
+    /// that metric censored *in that trial* (a round cap can censor
+    /// `rounds` while `messages` is still counted). A cell stops once
+    /// every gating metric meets its CI target
+    /// ([`TrialBudget::stop_at_metrics`]) or the trial cap hits, and the
+    /// artifact is written in the `dg-sweep/2` format. The
+    /// byte-determinism contract is identical to [`Sweep::run`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Sweep::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trial_fn` panics, returns a row whose length differs
+    /// from the declared metric count, returns a non-finite slot, or if
+    /// the grid declares no metrics (use [`Sweep::run`]).
+    pub fn run_metrics<F>(self, trial_fn: F) -> Result<SweepReport, SweepError>
+    where
+        F: Fn(&Cell, Trial) -> Vec<Option<f64>> + Sync,
+    {
+        self.run_metrics_with_state(|| (), |cell, trial, ()| trial_fn(cell, trial))
+    }
+
+    /// [`Sweep::run_metrics`] with per-worker state — the multi-metric
+    /// form of [`Sweep::run_with_state`], with the same reuse and
+    /// determinism contracts.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Sweep::run`].
+    ///
+    /// # Panics
+    ///
+    /// Same as [`Sweep::run_metrics`].
+    pub fn run_metrics_with_state<S, I, F>(
+        self,
+        worker_state: I,
+        trial_fn: F,
+    ) -> Result<SweepReport, SweepError>
+    where
+        I: Fn() -> S + Sync,
+        F: Fn(&Cell, Trial, &mut S) -> Vec<Option<f64>> + Sync,
+    {
+        assert!(
+            self.grid.metrics_table().is_some(),
+            "run_metrics on a grid without declared metrics: attach Grid::metrics, or use Sweep::run"
+        );
+        self.run_rows(worker_state, trial_fn)
     }
 
     /// [`Sweep::run`] with per-worker state — the zero-rebuild hook.
@@ -187,12 +242,32 @@ impl Sweep {
         I: Fn() -> S + Sync,
         F: Fn(&Cell, Trial, &mut S) -> Option<f64> + Sync,
     {
+        assert!(
+            self.grid.metrics_table().is_none(),
+            "this grid declares metrics; sample them with Sweep::run_metrics"
+        );
+        self.run_rows(worker_state, |cell, trial, state| {
+            vec![trial_fn(cell, trial, state)]
+        })
+    }
+
+    /// The one scheduler: every sample is a row (`width` slots, width 1
+    /// for classic scalar sweeps), and the stopping rule is dispatched
+    /// on whether the grid declares metrics. Both public entry points
+    /// funnel here, so scalar and multi-metric sweeps share scheduling,
+    /// checkpointing, and determinism behavior exactly.
+    fn run_rows<S, I, F>(self, worker_state: I, trial_fn: F) -> Result<SweepReport, SweepError>
+    where
+        I: Fn() -> S + Sync,
+        F: Fn(&Cell, Trial, &mut S) -> Vec<Option<f64>> + Sync,
+    {
         let cells = self.grid.cells();
         let cell_seeds: Vec<u64> = cells
             .iter()
             .map(|c| mix_seed(self.base_seed, c.id() as u64))
             .collect();
 
+        let metrics = self.grid.metrics_table();
         let mut states: Vec<CellState> =
             cells.iter().map(|_| CellState::new(&self.budget)).collect();
         if let Some(path) = &self.checkpoint {
@@ -202,15 +277,11 @@ impl Sweep {
                 let ours = fingerprint(
                     self.grid.axes(),
                     self.grid.max_rounds_table(),
+                    metrics,
                     self.base_seed,
                     &self.budget,
                 );
-                let theirs = fingerprint(
-                    &prior.axes,
-                    prior.max_rounds.as_deref(),
-                    prior.base_seed,
-                    &prior.budget,
-                );
+                let theirs = prior.fingerprint();
                 if ours != theirs {
                     return Err(SweepError::Mismatch(format!(
                         "checkpoint {} belongs to a different sweep (fingerprint {theirs} != {ours})",
@@ -218,7 +289,7 @@ impl Sweep {
                     )));
                 }
                 for (state, cell) in states.iter_mut().zip(prior.cells) {
-                    state.preload(cell.samples, &self.budget);
+                    state.preload(cell.samples, &self.budget, metrics);
                 }
             }
         }
@@ -242,6 +313,7 @@ impl Sweep {
             checkpoint: self.checkpoint.as_deref(),
             axes: self.grid.axes(),
             max_rounds: self.grid.max_rounds_table(),
+            metrics,
             base_seed: self.base_seed,
         };
 
@@ -263,6 +335,7 @@ impl Sweep {
         let report = build_report(
             self.grid.axes(),
             self.grid.max_rounds_table(),
+            metrics,
             self.base_seed,
             &self.budget,
             &cells,
@@ -286,11 +359,11 @@ impl Sweep {
     }
 }
 
-/// One trial slot: claimed-but-running or recorded.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// One trial slot: claimed-but-running or a recorded sample row.
+#[derive(Debug, Clone, PartialEq)]
 enum Slot {
     Running,
-    Done(Option<f64>),
+    Done(Vec<Option<f64>>),
 }
 
 #[derive(Debug)]
@@ -298,8 +371,8 @@ struct CellState {
     /// Trials claimed so far (`slots.len() == issued`).
     issued: usize,
     slots: Vec<Slot>,
-    /// The contiguous completed prefix, in trial order.
-    samples: Vec<Option<f64>>,
+    /// The contiguous completed prefix of sample rows, in trial order.
+    samples: Vec<Vec<Option<f64>>>,
     /// First prefix length the stopping rule has not yet ruled out.
     next_check: usize,
     /// Final trial count, once the rule fires.
@@ -320,23 +393,45 @@ impl CellState {
     /// Adopts a checkpointed sample prefix, re-deriving the stopping
     /// decision (a pure function of the samples, so this matches what
     /// the interrupted run had concluded).
-    fn preload(&mut self, samples: Vec<Option<f64>>, budget: &TrialBudget) {
-        self.slots = samples.iter().map(|s| Slot::Done(*s)).collect();
+    fn preload(
+        &mut self,
+        samples: Vec<Vec<Option<f64>>>,
+        budget: &TrialBudget,
+        metrics: Option<&[Metric]>,
+    ) {
+        self.slots = samples.iter().map(|s| Slot::Done(s.clone())).collect();
         self.issued = self.slots.len();
         self.samples = samples;
-        self.advance(budget);
+        self.advance(budget, metrics);
+    }
+
+    /// The stopping decision over the first `k` sample rows — the
+    /// single-metric rule for metric-less sweeps (byte-compatible with
+    /// every `dg-sweep/1` artifact), the every-gating-metric rule
+    /// otherwise.
+    fn stops(&self, k: usize, budget: &TrialBudget, metrics: Option<&[Metric]>) -> bool {
+        match metrics {
+            Some(metrics) => budget.stop_at_metrics(metrics, &self.samples[..k]),
+            None => {
+                let flat: Vec<Option<f64>> = self.samples[..k]
+                    .iter()
+                    .map(|row| row.first().copied().flatten())
+                    .collect();
+                budget.stop_at(&flat)
+            }
+        }
     }
 
     /// Advances the contiguous prefix and the stopping decision.
-    fn advance(&mut self, budget: &TrialBudget) -> bool {
+    fn advance(&mut self, budget: &TrialBudget, metrics: Option<&[Metric]>) -> bool {
         while self.samples.len() < self.issued {
-            match self.slots[self.samples.len()] {
-                Slot::Done(s) => self.samples.push(s),
+            match &self.slots[self.samples.len()] {
+                Slot::Done(s) => self.samples.push(s.clone()),
                 Slot::Running => break,
             }
         }
         while self.decided.is_none() && self.next_check <= self.samples.len() {
-            if budget.stop_at(&self.samples[..self.next_check]) {
+            if self.stops(self.next_check, budget, metrics) {
                 self.decided = Some(self.next_check);
                 // Speculative trials past the decision point are
                 // discarded: the report holds the deterministic prefix.
@@ -397,6 +492,7 @@ struct Shared<'a> {
     checkpoint: Option<&'a Path>,
     axes: &'a [Axis],
     max_rounds: Option<&'a [u32]>,
+    metrics: Option<&'a [Metric]>,
     base_seed: u64,
 }
 
@@ -426,7 +522,7 @@ impl Drop for AbortOnPanic<'_, '_> {
 fn worker<S, I, F>(shared: &Shared<'_>, worker_state: &I, trial_fn: &F)
 where
     I: Fn() -> S + Sync,
-    F: Fn(&Cell, Trial, &mut S) -> Option<f64> + Sync,
+    F: Fn(&Cell, Trial, &mut S) -> Vec<Option<f64>> + Sync,
 {
     // One state per worker thread, for the whole drain: per-cell model
     // caches and scratch buffers live exactly as long as the worker.
@@ -482,9 +578,17 @@ where
             armed: true,
         };
         let sample = trial_fn(&shared.cells[ci], trial, &mut state);
-        if let Some(v) = sample {
-            // Reject bad samples here, where the cell and trial are still
-            // known — not rounds later inside artifact serialization.
+        // Reject bad rows here, where the cell and trial are still
+        // known — not rounds later inside artifact serialization.
+        let width = shared.metrics.map_or(1, <[Metric]>::len);
+        assert!(
+            sample.len() == width,
+            "trial function returned {} slots for {} declared metrics (cell {}, trial {ti})",
+            sample.len(),
+            width,
+            shared.cells[ci]
+        );
+        for v in sample.iter().flatten() {
             assert!(
                 v.is_finite(),
                 "trial function returned non-finite sample {v} for cell {} trial {ti}",
@@ -502,7 +606,7 @@ where
                 Some(d) if ti >= d => false,
                 _ => {
                     cell.slots[ti] = Slot::Done(sample);
-                    cell.advance(&shared.budget)
+                    cell.advance(&shared.budget, shared.metrics)
                 }
             };
             if shared.run_budget.is_some_and(|b| st.spent >= b) {
@@ -530,6 +634,7 @@ fn write_checkpoint(shared: &Shared<'_>) {
         build_report(
             shared.axes,
             shared.max_rounds,
+            shared.metrics,
             shared.base_seed,
             &shared.budget,
             shared.cells,
@@ -552,6 +657,7 @@ fn write_checkpoint(shared: &Shared<'_>) {
 fn build_report(
     axes: &[Axis],
     max_rounds: Option<&[u32]>,
+    metrics: Option<&[Metric]>,
     base_seed: u64,
     budget: &TrialBudget,
     cells: &[Cell],
@@ -572,6 +678,7 @@ fn build_report(
         base_seed,
         budget: *budget,
         max_rounds: max_rounds.map(|caps| caps.to_vec()),
+        metrics: metrics.map(|m| m.to_vec()),
         cells,
     }
 }
@@ -778,6 +885,86 @@ mod tests {
         assert_eq!(report.cell(0).trials(), 6);
         assert_eq!(report.cell(0).incomplete(), 3);
         assert_eq!(report.cell(0).mean(), Some(3.0));
+    }
+
+    fn metric_grid() -> Grid {
+        Grid::new().axis(Axis::ints("n", [4])).metrics([
+            Metric::new("rounds"),
+            Metric::new("messages"),
+            Metric::observe("coverage"),
+        ])
+    }
+
+    #[test]
+    fn per_metric_censoring_reaches_the_report() {
+        // One trial censors `rounds` only (the round-cap shape): the
+        // other metrics keep their slots, and per-metric statistics see
+        // per-metric evidence — not a whole-trial blackout.
+        let report = Sweep::over(metric_grid())
+            .budget(TrialBudget::fixed(4))
+            .run_metrics(|_, trial| {
+                let capped = trial.index == 1;
+                vec![
+                    (!capped).then_some(10.0 + trial.index as f64),
+                    Some(100.0),
+                    Some(if capped { 0.5 } else { 1.0 }),
+                ]
+            })
+            .unwrap();
+        let cell = report.cell(0);
+        assert_eq!(cell.trials(), 4);
+        assert_eq!(cell.incomplete_of(0), 1);
+        assert_eq!(cell.incomplete_of(1), 0);
+        assert_eq!(cell.completed_of(0).len(), 3);
+        assert_eq!(cell.mean_of(1), Some(100.0));
+        // The censored trial's row survives storage slot-for-slot.
+        assert_eq!(cell.samples[1], vec![None, Some(100.0), Some(0.5)]);
+        let reloaded = SweepReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(reloaded, report);
+    }
+
+    #[test]
+    fn per_metric_stopping_needs_every_gating_metric() {
+        // `rounds` is constant (tight immediately); `messages` censors
+        // until trial 5 and needs min_trials completions of its own, so
+        // the cell runs past min_trials even though metric 0 was ready.
+        let report = Sweep::over(
+            Grid::new()
+                .axis(Axis::ints("n", [4]))
+                .metrics([Metric::new("rounds"), Metric::new("messages")]),
+        )
+        .budget(TrialBudget::adaptive(3, 32, CiTarget::Relative(0.05)))
+        .run_metrics(|_, trial| vec![Some(7.0), (trial.index >= 5).then_some(40.0)])
+        .unwrap();
+        let cell = report.cell(0);
+        // 5 censored trials + 3 completions for messages' evidence.
+        assert_eq!(cell.trials(), 8);
+        assert_eq!(cell.completed_of(1).len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "declares metrics")]
+    fn scalar_run_rejects_metric_grids() {
+        let _ = Sweep::over(metric_grid())
+            .budget(TrialBudget::fixed(2))
+            .run(|_, _| Some(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "without declared metrics")]
+    fn run_metrics_rejects_scalar_grids() {
+        let _ = Sweep::over(grid())
+            .budget(TrialBudget::fixed(2))
+            .run_metrics(|_, _| vec![Some(1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "1 slots for 3 declared metrics")]
+    fn mismatched_row_width_panics() {
+        let _ = Sweep::over(metric_grid())
+            .budget(TrialBudget::fixed(2))
+            .parallel(false)
+            .run_metrics(|_, _| vec![Some(1.0)]);
     }
 
     #[test]

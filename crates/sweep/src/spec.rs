@@ -25,11 +25,11 @@
 //! assert_eq!(SweepSpec::of_report(&report), spec);
 //! ```
 
-use crate::axis::{Axis, Grid};
+use crate::axis::{Axis, Grid, Metric};
 use crate::budget::{CiTarget, TrialBudget};
 use crate::error::SweepError;
 use crate::json::{self, fmt_f64, push_str_escaped};
-use crate::report::{fingerprint, SweepReport};
+use crate::report::{fingerprint, parse_metric, stopping_json, SweepReport};
 use crate::runner::Sweep;
 
 /// The configuration of one sweep: everything that enters its resume
@@ -45,6 +45,9 @@ pub struct SweepSpec {
     budget: TrialBudget,
     /// Per-cell round caps by cell id, when the sweep runs capped.
     max_rounds: Option<Vec<u32>>,
+    /// Declared metrics, when the sweep records multi-metric rows
+    /// (`dg-sweep/2`); `None` is the metric-less `dg-sweep/1` shape.
+    metrics: Option<Vec<Metric>>,
 }
 
 impl SweepSpec {
@@ -66,6 +69,7 @@ impl SweepSpec {
             base_seed,
             budget,
             max_rounds: None,
+            metrics: None,
         }
     }
 
@@ -85,6 +89,26 @@ impl SweepSpec {
         self
     }
 
+    /// Declares the metric vector every trial records, switching the
+    /// sweep to the multi-metric `dg-sweep/2` shape (same rules as
+    /// [`Grid::metrics`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty metric list or duplicate metric names.
+    pub fn with_metrics(mut self, metrics: Vec<Metric>) -> Self {
+        assert!(!metrics.is_empty(), "declare at least one metric");
+        for (i, m) in metrics.iter().enumerate() {
+            assert!(
+                metrics[..i].iter().all(|o| o.name() != m.name()),
+                "duplicate metric {:?}",
+                m.name()
+            );
+        }
+        self.metrics = Some(metrics);
+        self
+    }
+
     /// The configuration of an existing report — the spec that, run with
     /// the same trial function, reproduces it.
     pub fn of_report(report: &SweepReport) -> Self {
@@ -93,6 +117,7 @@ impl SweepSpec {
             base_seed: report.base_seed(),
             budget: report.budget(),
             max_rounds: report.max_rounds_table().map(<[u32]>::to_vec),
+            metrics: report.metrics().map(<[Metric]>::to_vec),
         }
     }
 
@@ -116,6 +141,11 @@ impl SweepSpec {
         self.max_rounds.as_deref()
     }
 
+    /// The declared metrics, when the spec is multi-metric.
+    pub fn metrics(&self) -> Option<&[Metric]> {
+        self.metrics.as_deref()
+    }
+
     /// Number of grid cells (product of axis lengths; 1 when empty).
     pub fn cell_count(&self) -> usize {
         self.axes.iter().map(|a| a.values().len()).product()
@@ -129,6 +159,9 @@ impl SweepSpec {
         }
         if let Some(caps) = &self.max_rounds {
             grid = grid.max_rounds(|cell| caps[cell.id()]);
+        }
+        if let Some(metrics) = &self.metrics {
+            grid = grid.metrics(metrics.iter().cloned());
         }
         grid
     }
@@ -148,6 +181,7 @@ impl SweepSpec {
         fingerprint(
             &self.axes,
             self.max_rounds.as_deref(),
+            self.metrics.as_deref(),
             self.base_seed,
             &self.budget,
         )
@@ -186,6 +220,17 @@ impl SweepSpec {
                 Some(CiTarget::Relative(v)) => format!("{{\"relative\": {}}}", fmt_f64(v)),
             }
         ));
+        if let Some(metrics) = &self.metrics {
+            out.push_str(",\n  \"metrics\": [\n");
+            for (i, m) in metrics.iter().enumerate() {
+                out.push_str("    {\"name\": ");
+                push_str_escaped(&mut out, m.name());
+                out.push_str(", \"stopping\": ");
+                out.push_str(&stopping_json(m.stopping()));
+                out.push_str(if i + 1 < metrics.len() { "},\n" } else { "}\n" });
+            }
+            out.push_str("  ]");
+        }
         if let Some(caps) = &self.max_rounds {
             out.push_str(",\n  \"max_rounds\": [");
             for (i, cap) in caps.iter().enumerate() {
@@ -205,10 +250,12 @@ impl SweepSpec {
     /// The wire form is forgiving where that cannot change the sweep's
     /// identity: `base_seed` and `budget` may be omitted (defaulting to
     /// the [`Sweep::over`] defaults, seed `0xD15E_A5E1` and an adaptive
-    /// 8–64-trial budget at 5% relative CI), and `max_rounds` accepts
-    /// either a single uniform cap or a full per-cell table. Everything
-    /// is validated here — a malformed spec is an `Err`, never a panic
-    /// in a worker thread later.
+    /// 8–64-trial budget at 5% relative CI), `max_rounds` accepts
+    /// either a single uniform cap or a full per-cell table, and each
+    /// `metrics` entry accepts either the canonical
+    /// `{"name": ..., "stopping": ...}` object or a bare name string
+    /// (default stopping). Everything is validated here — a malformed
+    /// spec is an `Err`, never a panic in a worker thread later.
     pub fn from_json(text: &str) -> Result<Self, SweepError> {
         let doc = json::parse(text)?;
         let mut axes: Vec<Axis> = Vec::new();
@@ -276,11 +323,32 @@ impl SweepSpec {
             }
             Err(_) => TrialBudget::adaptive(8, 64, CiTarget::Relative(0.05)),
         };
+        let metrics = match doc.get("metrics") {
+            Ok(v) => {
+                let mut metrics: Vec<Metric> = Vec::new();
+                for m in v.as_arr()? {
+                    let m = parse_metric(m)?;
+                    if metrics.iter().any(|o| o.name() == m.name()) {
+                        return Err(SweepError::Parse(format!(
+                            "duplicate metric {:?}",
+                            m.name()
+                        )));
+                    }
+                    metrics.push(m);
+                }
+                if metrics.is_empty() {
+                    return Err(SweepError::Parse("empty metrics list".into()));
+                }
+                Some(metrics)
+            }
+            Err(_) => None,
+        };
         let spec = SweepSpec {
             axes,
             base_seed,
             budget,
             max_rounds: None,
+            metrics,
         };
         let max_rounds = match doc.get("max_rounds") {
             Ok(v) => {
@@ -400,6 +468,84 @@ mod tests {
             // Cap out of range.
             r#"{"axes": [{"name": "n", "values": [1]}], "max_rounds": 0}"#,
             r#"{"axes": [{"name": "n", "values": [1]}], "max_rounds": 4294967295}"#,
+        ];
+        for text in bad {
+            assert!(SweepSpec::from_json(text).is_err(), "accepted: {text}");
+        }
+    }
+
+    fn metric_spec() -> SweepSpec {
+        spec().with_metrics(vec![
+            Metric::new("rounds"),
+            Metric::target("messages", CiTarget::Relative(0.2)),
+            Metric::observe("coverage"),
+        ])
+    }
+
+    #[test]
+    fn metric_spec_fingerprint_matches_report_fingerprint() {
+        let s = metric_spec();
+        let report = s
+            .sweep()
+            .run_metrics(|cell, trial| {
+                let base = cell.values().iter().sum::<f64>();
+                vec![
+                    Some(base + (trial.seed % 5) as f64),
+                    Some(10.0 * base),
+                    Some(0.5),
+                ]
+            })
+            .unwrap();
+        assert_eq!(report.fingerprint(), s.fingerprint());
+        assert_ne!(s.fingerprint(), spec().fingerprint());
+        assert_eq!(SweepSpec::of_report(&report), s);
+        assert_eq!(report.metrics(), s.metrics());
+    }
+
+    #[test]
+    fn metric_spec_json_round_trips_byte_identically() {
+        for s in [
+            metric_spec(),
+            spec()
+                .with_max_rounds(vec![10, 20, 30, 40])
+                .with_metrics(vec![Metric::new("rounds")]),
+        ] {
+            let json = s.to_json();
+            let reloaded = SweepSpec::from_json(&json).unwrap();
+            assert_eq!(reloaded, s);
+            assert_eq!(reloaded.to_json(), json);
+        }
+    }
+
+    #[test]
+    fn wire_form_accepts_bare_metric_names() {
+        let s = SweepSpec::from_json(
+            r#"{"axes": [{"name": "n", "values": [4, 8]}],
+                "metrics": ["rounds", {"name": "messages", "stopping": "observe"}]}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            s.metrics(),
+            Some(&[Metric::new("rounds"), Metric::observe("messages")][..])
+        );
+        // The canonical re-serialization is the explicit object form.
+        let canon = SweepSpec::from_json(&s.to_json()).unwrap();
+        assert_eq!(canon, s);
+    }
+
+    #[test]
+    fn malformed_metric_specs_error_instead_of_panicking() {
+        let bad = [
+            // Empty metrics list.
+            r#"{"axes": [{"name": "n", "values": [1]}], "metrics": []}"#,
+            // Duplicate metric.
+            r#"{"axes": [{"name": "n", "values": [1]}], "metrics": ["a", "a"]}"#,
+            // Empty metric name.
+            r#"{"axes": [{"name": "n", "values": [1]}], "metrics": [""]}"#,
+            // Unknown stopping tag.
+            r#"{"axes": [{"name": "n", "values": [1]}], "metrics": [{"name": "a", "stopping": "maybe"}]}"#,
+            // Non-positive per-metric target.
+            r#"{"axes": [{"name": "n", "values": [1]}], "metrics": [{"name": "a", "stopping": {"relative": 0}}]}"#,
         ];
         for text in bad {
             assert!(SweepSpec::from_json(text).is_err(), "accepted: {text}");

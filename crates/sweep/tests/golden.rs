@@ -1,0 +1,253 @@
+//! Golden-artifact corpus: real `dg-sweep/1` artifacts checked in as
+//! bytes, pinned through `from_json -> to_json` under the current
+//! parser.
+//!
+//! The roundtrip suite constructs its shapes in code, so a writer and
+//! parser that drift *together* would still pass it. These artifacts
+//! are stored files — the exact bytes an older writer produced — so any
+//! regression in either half of the pair fails against history, not
+//! against itself.
+
+use dg_sweep::{Axis, CiTarget, Grid, Metric, Sweep, SweepReport, TrialBudget};
+
+/// A PR-4-era trial function: deterministic value with every fifth seed
+/// censored, so artifacts carry mixed `null`/numeric samples.
+fn censoring_trial(cell: &dg_sweep::Cell, trial: dg_sweep::Trial) -> Option<f64> {
+    (!trial.seed.is_multiple_of(5))
+        .then(|| cell.get("q") * cell.usize("n") as f64 + (trial.seed % 16) as f64)
+}
+
+fn capless_grid() -> Grid {
+    Grid::new()
+        .axis(Axis::ints("n", [16, 32]))
+        .axis(Axis::log("q", 0.1, 0.4, 2))
+}
+
+fn golden_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// The multi-metric golden: the same censoring grid recording
+/// `(rounds, messages, coverage)` rows with per-metric censoring —
+/// `rounds` censors on every fifth seed while the cost metrics always
+/// complete, the shape a round-capped flooding sweep produces.
+fn multi_metric_sweep() -> Sweep {
+    Sweep::over(capless_grid().metrics([
+        Metric::new("rounds"),
+        Metric::target("messages", CiTarget::Relative(0.2)),
+        Metric::observe("coverage"),
+    ]))
+    .budget(TrialBudget::adaptive(3, 9, CiTarget::Relative(0.05)))
+    .base_seed(0xD15E_A5E1)
+}
+
+fn multi_metric_trial(cell: &dg_sweep::Cell, trial: dg_sweep::Trial) -> Vec<Option<f64>> {
+    let rounds = censoring_trial(cell, trial);
+    let n = cell.usize("n") as f64;
+    vec![
+        rounds,
+        Some(n * (4.0 + (trial.seed % 8) as f64)),
+        Some(if rounds.is_some() { 1.0 } else { 0.5 }),
+    ]
+}
+
+/// Regenerates the corpus. The v1 artifacts must be byte-stable under
+/// every future writer (the `dg-sweep/1` serialization path is frozen),
+/// so running this is only ever a no-op diff; it exists to document
+/// exactly how each stored file was produced.
+#[test]
+#[ignore = "writes tests/golden/; run manually to (re)produce the corpus"]
+fn regenerate_corpus() {
+    let dir = golden_dir();
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // PR-4 era: cap-less adaptive sweep, mixed censoring.
+    let pr4 = Sweep::over(capless_grid())
+        .budget(TrialBudget::adaptive(3, 9, CiTarget::Relative(0.05)))
+        .base_seed(0xD15E_A5E1)
+        .run(censoring_trial)
+        .unwrap();
+    assert!(pr4.is_complete());
+    std::fs::write(dir.join("v1_pr4_capless.json"), pr4.to_json()).unwrap();
+
+    // PR-5 era: the same sweep with a per-cell round-cap table.
+    let pr5 = Sweep::over(
+        Grid::new()
+            .axis(Axis::ints("n", [16, 32]))
+            .axis(Axis::log("q", 0.1, 0.4, 2))
+            .max_rounds(|cell| 100 * cell.usize("n") as u32),
+    )
+    .budget(TrialBudget::adaptive(3, 9, CiTarget::Relative(0.05)))
+    .base_seed(0xD15E_A5E1)
+    .run(censoring_trial)
+    .unwrap();
+    assert!(pr5.to_json().contains("max_rounds"));
+    std::fs::write(dir.join("v1_pr5_capped.json"), pr5.to_json()).unwrap();
+
+    // A partial checkpoint: what a killed sweep leaves on disk
+    // (undecided cells, short prefixes, `"complete": false`).
+    let path = dir.join("v1_checkpoint_partial.json");
+    let _ = std::fs::remove_file(&path);
+    let partial = Sweep::over(capless_grid())
+        .budget(TrialBudget::adaptive(3, 9, CiTarget::Relative(0.05)))
+        .base_seed(7)
+        .checkpoint(&path)
+        .run_budget(4)
+        .threads(1)
+        .run(censoring_trial)
+        .unwrap();
+    assert!(!partial.is_complete());
+
+    // Derived-statistic overflow: finite samples whose variance is not
+    // representable, so `ci_lo`/`ci_hi`/`ci_half_width` serialize null.
+    let null_stat = Sweep::over(Grid::new().axis(Axis::explicit("v", [1.0])))
+        .budget(TrialBudget::fixed(2))
+        .base_seed(3)
+        .run(|_, trial| {
+            Some(if trial.index == 0 {
+                f64::MAX
+            } else {
+                -f64::MAX
+            })
+        })
+        .unwrap();
+    assert!(null_stat.to_json().contains("\"ci_lo\": null"));
+    std::fs::write(dir.join("v1_null_stats.json"), null_stat.to_json()).unwrap();
+
+    // The dg-sweep/2 golden: multi-metric rows, per-metric censoring,
+    // one observe-only metric.
+    let v2 = multi_metric_sweep()
+        .run_metrics(multi_metric_trial)
+        .unwrap();
+    assert!(v2.is_complete());
+    std::fs::write(dir.join("v2_multi_metric.json"), v2.to_json()).unwrap();
+
+    for (name, report) in [
+        ("v1_pr4_capless", &pr4),
+        ("v1_pr5_capped", &pr5),
+        ("v1_checkpoint_partial", &partial),
+        ("v1_null_stats", &null_stat),
+        ("v2_multi_metric", &v2),
+    ] {
+        println!("{name}: fingerprint {}", report.fingerprint());
+    }
+}
+
+fn assert_golden_round_trip(bytes: &str, fingerprint: u64, label: &str) -> SweepReport {
+    let report = SweepReport::from_json(bytes)
+        .unwrap_or_else(|e| panic!("{label}: stored artifact no longer parses: {e}"));
+    assert_eq!(
+        report.to_json(),
+        bytes,
+        "{label}: stored bytes no longer round-trip"
+    );
+    assert_eq!(
+        report.fingerprint(),
+        fingerprint,
+        "{label}: fingerprint drifted"
+    );
+    report
+}
+
+#[test]
+fn v1_pr4_capless_golden_round_trips() {
+    let r = assert_golden_round_trip(
+        include_str!("golden/v1_pr4_capless.json"),
+        1000020295819098674,
+        "v1_pr4_capless",
+    );
+    assert!(r.is_complete());
+    assert!(r.max_rounds_table().is_none());
+    assert!(r.metrics().is_none());
+    // Mixed censoring survived storage: some cell has both kinds.
+    assert!(r
+        .cells()
+        .iter()
+        .any(|c| c.incomplete() > 0 && !c.completed().is_empty()));
+}
+
+#[test]
+fn v1_pr5_capped_golden_round_trips() {
+    let r = assert_golden_round_trip(
+        include_str!("golden/v1_pr5_capped.json"),
+        16096976085812470864,
+        "v1_pr5_capped",
+    );
+    assert!(r.is_complete());
+    assert_eq!(r.max_rounds_table(), Some(&[1600u32, 1600, 3200, 3200][..]));
+}
+
+#[test]
+fn v1_checkpoint_partial_golden_round_trips() {
+    let r = assert_golden_round_trip(
+        include_str!("golden/v1_checkpoint_partial.json"),
+        566198165428159826,
+        "v1_checkpoint_partial",
+    );
+    assert!(!r.is_complete());
+    // Undecided cells with short prefixes are exactly what a killed
+    // sweep leaves behind.
+    assert!(r.cells().iter().any(|c| !c.decided));
+}
+
+#[test]
+fn v1_null_stats_golden_round_trips() {
+    let r = assert_golden_round_trip(
+        include_str!("golden/v1_null_stats.json"),
+        2062839477256032766,
+        "v1_null_stats",
+    );
+    // Finite samples whose derived CI overflowed: the in-memory CI is
+    // non-finite and serializes as null (`opt_stat`), never a panic.
+    let cell = r.cell(0);
+    assert_eq!(cell.incomplete(), 0);
+    assert!(cell.ci().is_none_or(|ci| !ci.half_width().is_finite()));
+    assert!(r.to_json().contains("\"ci_lo\": null"));
+}
+
+#[test]
+fn v2_multi_metric_golden_round_trips() {
+    let r = assert_golden_round_trip(
+        include_str!("golden/v2_multi_metric.json"),
+        901243192380759427,
+        "v2_multi_metric",
+    );
+    assert!(r.is_complete());
+    let metrics = r.metrics().expect("v2 artifact declares metrics");
+    assert_eq!(metrics.len(), 3);
+    assert_eq!(r.metric_index("messages"), Some(1));
+    // Per-metric censoring survived storage: rounds censored in some
+    // trial whose messages slot completed.
+    assert!(r.cells().iter().any(|c| {
+        c.samples
+            .iter()
+            .any(|row| row[0].is_none() && row[1].is_some())
+    }));
+}
+
+/// Regenerating the corpus from current code must be a no-op: the
+/// golden bytes on disk are exactly what the current writer produces
+/// for the documented configurations. For the v1 artifacts this *is*
+/// the `dg-sweep/1` freeze test — any writer drift fails here against
+/// history even if reader and writer drifted together.
+#[test]
+fn regeneration_is_a_no_op() {
+    let pr4 = Sweep::over(capless_grid())
+        .budget(TrialBudget::adaptive(3, 9, CiTarget::Relative(0.05)))
+        .base_seed(0xD15E_A5E1)
+        .run(censoring_trial)
+        .unwrap();
+    assert_eq!(
+        pr4.to_json(),
+        include_str!("golden/v1_pr4_capless.json"),
+        "current writer no longer reproduces the stored v1 bytes"
+    );
+    let v2 = multi_metric_sweep()
+        .run_metrics(multi_metric_trial)
+        .unwrap();
+    assert_eq!(
+        v2.to_json(),
+        include_str!("golden/v2_multi_metric.json"),
+        "current writer no longer reproduces the stored v2 bytes"
+    );
+}
