@@ -24,8 +24,8 @@
 //!   (32 MB occupancy + event calendar per trial when fresh).
 //!
 //! Emits machine-readable `BENCH_trial_reuse.json` at the repository
-//! root (in quick mode: `BENCH_trial_reuse_quick.json` in the working
-//! directory, for the CI artifact upload).
+//! root (in quick mode: `target/BENCH_trial_reuse_quick.json`, for the
+//! CI artifact upload — quick outputs never land in the source tree).
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -306,7 +306,7 @@ fn main() {
     // by the workflow) instead of clobbering the committed full-scale
     // trajectory record.
     let name = if quick {
-        "../../BENCH_trial_reuse_quick.json"
+        "../../target/BENCH_trial_reuse_quick.json"
     } else {
         "../../BENCH_trial_reuse.json"
     };

@@ -15,7 +15,8 @@
 //! the artifact says what hardware produced it.
 //!
 //! Emits `BENCH_shard.json` at the repository root (quick mode:
-//! `BENCH_shard_quick.json`, for the CI artifact upload).
+//! `target/BENCH_shard_quick.json`, for the CI artifact upload — quick
+//! outputs never land in the source tree).
 
 use std::fmt::Write as _;
 use std::path::Path;
@@ -134,7 +135,7 @@ fn main() {
     // by the workflow) instead of clobbering the committed full-scale
     // record.
     let name = if quick {
-        "../../BENCH_shard_quick.json"
+        "../../target/BENCH_shard_quick.json"
     } else {
         "../../BENCH_shard.json"
     };

@@ -18,7 +18,8 @@
 //!
 //! Emits machine-readable `BENCH_tradeoff.json` at the repository root
 //! (quick mode, `DG_BENCH_QUICK=1`: shrunken sizes and a
-//! `BENCH_tradeoff_quick.json` sibling for the CI artifact upload).
+//! `target/BENCH_tradeoff_quick.json` sibling for the CI artifact
+//! upload — quick outputs never land in the source tree).
 
 use std::fmt::Write as _;
 use std::path::Path;
@@ -198,7 +199,7 @@ fn main() {
     // Quick mode writes a `_quick` sibling (CI uploads it as an
     // artifact) instead of clobbering the committed full-scale record.
     let name = if quick {
-        "../../BENCH_tradeoff_quick.json"
+        "../../target/BENCH_tradeoff_quick.json"
     } else {
         "../../BENCH_tradeoff.json"
     };

@@ -93,6 +93,7 @@
 //! `run_trials` remains as a deprecated shim over the engine and reports
 //! identical numbers (same `mix_seed(base_seed, trial)` derivation).
 
+pub(crate) mod instrument;
 mod observer;
 mod protocol;
 mod report;

@@ -1,6 +1,7 @@
 //! The builder-driven trial runner.
 
 use crate::delta::{DynAdjacency, EdgeDelta};
+use crate::engine::instrument::engine_obs;
 use crate::engine::observer::{Observer, RoundCtx};
 use crate::engine::protocol::{Protocol, ProtocolStatus, SpreadView, Transmissions};
 use crate::engine::report::{SimulationReport, TrialRecord};
@@ -96,6 +97,9 @@ impl TrialScratch {
 
     /// Clears the spreading buffers for a trial over `n` nodes.
     fn prepare(&mut self, n: usize) {
+        if self.informed.capacity() < n {
+            engine_obs().scratch_grow.inc();
+        }
         self.informed.clear();
         self.informed.resize(n, false);
         self.informed_at.clear();
@@ -389,12 +393,18 @@ where
         scratch: &mut TrialScratch,
     ) -> (TrialRecord, O, usize) {
         let seed = mix_seed(self.base_seed, trial as u64);
+        let obs = engine_obs();
+        obs.trials.inc();
         let g = match model {
             Some(g) if self.reuse_models => {
+                obs.models_reused.inc();
                 g.reset(seed);
                 g
             }
-            slot => slot.insert((self.model)(seed)),
+            slot => {
+                obs.models_built.inc();
+                slot.insert((self.model)(seed))
+            }
         };
         if self.warm_up > 0 {
             g.warm_up(self.warm_up);
@@ -577,10 +587,15 @@ where
     let mut messages_total = 0u64;
     let mut t = 0u32;
     let mut status = ProtocolStatus::Active;
+    let obs = engine_obs();
     while completed.is_none() && t < max_rounds && status == ProtocolStatus::Active {
-        let snap = g.step();
+        let snap = {
+            let _span = obs.model_step.start();
+            g.step()
+        };
         new_nodes.clear();
         let round_messages = {
+            let _span = obs.protocol.start();
             let view = SpreadView {
                 round: t,
                 node_count: n,
@@ -600,14 +615,17 @@ where
         if informed_list.len() == n {
             completed = Some(t);
         }
-        observer.on_round(&RoundCtx {
-            round: t,
-            snapshot: Some(snap),
-            delta: None,
-            newly_informed: new_nodes,
-            informed_count: informed_list.len(),
-            messages: round_messages,
-        });
+        {
+            let _span = obs.observer.start();
+            observer.on_round(&RoundCtx {
+                round: t,
+                snapshot: Some(snap),
+                delta: None,
+                newly_informed: new_nodes,
+                informed_count: informed_list.len(),
+                messages: round_messages,
+            });
+        }
         if completed.is_none() {
             let view = SpreadView {
                 round: t,
@@ -693,11 +711,19 @@ where
     let mut messages_total = 0u64;
     let mut t = 0u32;
     let mut status = ProtocolStatus::Active;
+    let obs = engine_obs();
     while completed.is_none() && t < max_rounds && status == ProtocolStatus::Active {
-        g.step_delta(delta);
-        adj.apply(delta);
+        {
+            let _span = obs.model_step.start();
+            g.step_delta(delta);
+        }
+        {
+            let _span = obs.delta_apply.start();
+            adj.apply(delta);
+        }
         new_nodes.clear();
         let round_messages = {
+            let _span = obs.protocol.start();
             let view = SpreadView {
                 round: t,
                 node_count: n,
@@ -717,18 +743,21 @@ where
         if informed_list.len() == n {
             completed = Some(t);
         }
-        observer.on_round(&RoundCtx {
-            round: t,
-            snapshot: if needs_snapshots {
-                Some(adj.snapshot())
-            } else {
-                None
-            },
-            delta: Some(delta),
-            newly_informed: new_nodes,
-            informed_count: informed_list.len(),
-            messages: round_messages,
-        });
+        {
+            let _span = obs.observer.start();
+            observer.on_round(&RoundCtx {
+                round: t,
+                snapshot: if needs_snapshots {
+                    Some(adj.snapshot())
+                } else {
+                    None
+                },
+                delta: Some(delta),
+                newly_informed: new_nodes,
+                informed_count: informed_list.len(),
+                messages: round_messages,
+            });
+        }
         if completed.is_none() {
             let view = SpreadView {
                 round: t,

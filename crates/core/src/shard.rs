@@ -283,6 +283,10 @@ pub(crate) fn flood_sharded_core(
         for ld in &scratch.lane_deltas {
             scratch.merged.merge_from(ld);
         }
+        if dg_obs::enabled() {
+            crate::engine::instrument::shard_obs()
+                .record_round(scratch.lane_deltas.iter().map(|d| d.churn() as u64));
+        }
 
         // Phase 2: partitioned apply (bulk-load fast path on the full
         // emission, like the serial DynAdjacency::apply).

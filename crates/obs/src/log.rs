@@ -1,0 +1,125 @@
+//! Leveled stderr logger, gated at runtime by the `DG_LOG` environment
+//! variable (`error` | `info` | `debug`; default `error`).
+//!
+//! Use the [`crate::dg_error!`], [`crate::dg_info!`] and [`crate::dg_debug!`]
+//! macros; they skip formatting entirely when the level is filtered out.
+//! Unlike the metric primitives, the logger is always compiled — it has no
+//! hot-loop call sites.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Log severity, most severe first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Failures the operator must see. Always printed.
+    Error = 0,
+    /// Lifecycle events and periodic progress (sweep heartbeats).
+    Info = 1,
+    /// Per-request / per-event detail.
+    Debug = 2,
+}
+
+impl Level {
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+        }
+    }
+}
+
+const UNSET: u8 = u8::MAX;
+static LEVEL: AtomicU8 = AtomicU8::new(UNSET);
+
+/// The active log level, lazily read from `DG_LOG` (default [`Level::Error`]).
+pub fn level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Error,
+        1 => Level::Info,
+        2 => Level::Debug,
+        _ => init_from_env(),
+    }
+}
+
+/// Override the log level for the whole process (wins over `DG_LOG`).
+pub fn set_level(l: Level) {
+    LEVEL.store(l as u8, Ordering::Relaxed);
+}
+
+/// Whether messages at `l` are currently emitted.
+#[inline]
+pub fn enabled(l: Level) -> bool {
+    l <= level()
+}
+
+#[cold]
+fn init_from_env() -> Level {
+    let l = match std::env::var("DG_LOG")
+        .as_deref()
+        .map(str::to_ascii_lowercase)
+    {
+        Ok(v) if v == "debug" => Level::Debug,
+        Ok(v) if v == "info" => Level::Info,
+        _ => Level::Error,
+    };
+    LEVEL.store(l as u8, Ordering::Relaxed);
+    l
+}
+
+/// Emit one line to stderr: `[<uptime>s LEVEL] message`. Prefer the macros,
+/// which check [`enabled`] before formatting.
+pub fn write(l: Level, args: std::fmt::Arguments<'_>) {
+    static START: OnceLock<Instant> = OnceLock::new();
+    let uptime = START.get_or_init(Instant::now).elapsed();
+    eprintln!("[{:10.3}s {:5}] {args}", uptime.as_secs_f64(), l.as_str());
+}
+
+/// Log at [`Level::Error`] (always emitted).
+#[macro_export]
+macro_rules! dg_error {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Error) {
+            $crate::log::write($crate::log::Level::Error, ::core::format_args!($($arg)*));
+        }
+    };
+}
+
+/// Log at [`Level::Info`] (emitted when `DG_LOG=info` or `debug`).
+#[macro_export]
+macro_rules! dg_info {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Info) {
+            $crate::log::write($crate::log::Level::Info, ::core::format_args!($($arg)*));
+        }
+    };
+}
+
+/// Log at [`Level::Debug`] (emitted when `DG_LOG=debug`).
+#[macro_export]
+macro_rules! dg_debug {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Debug) {
+            $crate::log::write($crate::log::Level::Debug, ::core::format_args!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_override() {
+        set_level(Level::Error);
+        assert!(enabled(Level::Error));
+        assert!(!enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+        set_level(Level::Debug);
+        assert!(enabled(Level::Info));
+        assert!(enabled(Level::Debug));
+        set_level(Level::Error);
+    }
+}

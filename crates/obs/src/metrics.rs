@@ -1,0 +1,281 @@
+//! Metric primitives: counters, gauges, histograms, span timers.
+//!
+//! All primitives are cheap `Clone` handles onto shared atomic state; clones
+//! observe the same underlying metric. Every recording method first checks
+//! [`crate::enabled`] so a disabled process pays one relaxed load per site.
+//! Without the `enabled` cargo feature the types are zero-sized and every
+//! method body is empty.
+
+#[cfg(feature = "enabled")]
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+#[cfg(feature = "enabled")]
+use std::sync::Arc;
+
+/// A monotonically increasing `u64` counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    #[cfg(feature = "enabled")]
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A fresh, unregistered counter (normally obtained via
+    /// [`crate::Registry::counter`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        #[cfg(feature = "enabled")]
+        if crate::enabled() {
+            self.cell.fetch_add(n, Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "enabled"))]
+        let _ = n;
+    }
+
+    /// Current value (0 when the feature is off).
+    #[inline]
+    pub fn get(&self) -> u64 {
+        #[cfg(feature = "enabled")]
+        {
+            self.cell.load(Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "enabled"))]
+        0
+    }
+}
+
+/// A signed gauge: a value that can go up and down (queue depths, in-flight
+/// work, utilisation permille).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    #[cfg(feature = "enabled")]
+    cell: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// A fresh, unregistered gauge (normally obtained via
+    /// [`crate::Registry::gauge`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        #[cfg(feature = "enabled")]
+        if crate::enabled() {
+            self.cell.store(v, Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "enabled"))]
+        let _ = v;
+    }
+
+    /// Add `d` (may be negative).
+    #[inline]
+    pub fn add(&self, d: i64) {
+        #[cfg(feature = "enabled")]
+        if crate::enabled() {
+            self.cell.fetch_add(d, Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "enabled"))]
+        let _ = d;
+    }
+
+    /// Current value (0 when the feature is off).
+    #[inline]
+    pub fn get(&self) -> i64 {
+        #[cfg(feature = "enabled")]
+        {
+            self.cell.load(Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "enabled"))]
+        0
+    }
+}
+
+#[cfg(feature = "enabled")]
+#[derive(Debug)]
+struct HistogramInner {
+    /// Strictly increasing finite upper bounds; an implicit `+Inf` overflow
+    /// bucket follows the last bound.
+    bounds: Vec<f64>,
+    /// One slot per bound plus the overflow slot.
+    buckets: Vec<AtomicU64>,
+    /// Total observation count.
+    count: AtomicU64,
+    /// Sum of observed values, stored as `f64` bits and updated by CAS.
+    sum_bits: AtomicU64,
+}
+
+/// A histogram over explicit upper-bound buckets, Prometheus style.
+///
+/// Observations are `f64` (seconds for latency histograms). Construct bucket
+/// bounds with [`crate::exponential_bounds`] or [`crate::linear_bounds`].
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    #[cfg(feature = "enabled")]
+    inner: Option<Arc<HistogramInner>>,
+}
+
+impl Histogram {
+    /// A fresh, unregistered histogram with the given upper bounds (normally
+    /// obtained via [`crate::Registry::histogram`]).
+    ///
+    /// Panics if `bounds` is empty or not strictly increasing.
+    pub fn with_bounds(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        #[cfg(feature = "enabled")]
+        {
+            let buckets = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+            Self {
+                inner: Some(Arc::new(HistogramInner {
+                    bounds: bounds.to_vec(),
+                    buckets,
+                    count: AtomicU64::new(0),
+                    sum_bits: AtomicU64::new(0f64.to_bits()),
+                })),
+            }
+        }
+        #[cfg(not(feature = "enabled"))]
+        Self {}
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn observe(&self, v: f64) {
+        #[cfg(feature = "enabled")]
+        if crate::enabled() {
+            if let Some(inner) = &self.inner {
+                let idx = inner
+                    .bounds
+                    .iter()
+                    .position(|&b| v <= b)
+                    .unwrap_or(inner.bounds.len());
+                inner.buckets[idx].fetch_add(1, Ordering::Relaxed);
+                inner.count.fetch_add(1, Ordering::Relaxed);
+                let mut cur = inner.sum_bits.load(Ordering::Relaxed);
+                loop {
+                    let next = (f64::from_bits(cur) + v).to_bits();
+                    match inner.sum_bits.compare_exchange_weak(
+                        cur,
+                        next,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => break,
+                        Err(seen) => cur = seen,
+                    }
+                }
+            }
+        }
+        #[cfg(not(feature = "enabled"))]
+        let _ = v;
+    }
+
+    /// Record a [`std::time::Duration`] in seconds.
+    #[inline]
+    pub fn observe_duration(&self, d: std::time::Duration) {
+        self.observe(d.as_secs_f64());
+    }
+
+    /// Start a span timer: the returned guard records the elapsed wall time
+    /// (seconds) into this histogram when dropped. When recording is
+    /// disabled the guard is inert and no clock is read.
+    #[inline]
+    pub fn start(&self) -> Span<'_> {
+        #[cfg(feature = "enabled")]
+        {
+            Span {
+                start: if crate::enabled() {
+                    Some(std::time::Instant::now())
+                } else {
+                    None
+                },
+                hist: self,
+            }
+        }
+        #[cfg(not(feature = "enabled"))]
+        Span {
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// A consistent-enough snapshot of the current state, or `None` when the
+    /// feature is off.
+    pub fn snapshot(&self) -> Option<HistogramSnapshot> {
+        #[cfg(feature = "enabled")]
+        {
+            let inner = self.inner.as_ref()?;
+            Some(HistogramSnapshot {
+                bounds: inner.bounds.clone(),
+                counts: inner
+                    .buckets
+                    .iter()
+                    .map(|b| b.load(Ordering::Relaxed))
+                    .collect(),
+                sum: f64::from_bits(inner.sum_bits.load(Ordering::Relaxed)),
+                count: inner.count.load(Ordering::Relaxed),
+            })
+        }
+        #[cfg(not(feature = "enabled"))]
+        None
+    }
+}
+
+/// Span-timer guard returned by [`Histogram::start`]; records elapsed
+/// seconds on drop.
+#[must_use = "a span records on drop; binding it to `_` drops it immediately"]
+#[derive(Debug)]
+pub struct Span<'a> {
+    #[cfg(feature = "enabled")]
+    start: Option<std::time::Instant>,
+    #[cfg(feature = "enabled")]
+    hist: &'a Histogram,
+    #[cfg(not(feature = "enabled"))]
+    _marker: std::marker::PhantomData<&'a Histogram>,
+}
+
+impl Drop for Span<'_> {
+    #[inline]
+    fn drop(&mut self) {
+        #[cfg(feature = "enabled")]
+        if let Some(t0) = self.start {
+            self.hist.observe(t0.elapsed().as_secs_f64());
+        }
+    }
+}
+
+/// Point-in-time view of a [`Histogram`], as returned by
+/// [`Histogram::snapshot`] and [`crate::Registry::histogram_snapshot`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Finite upper bounds; `counts` has one extra overflow slot.
+    pub bounds: Vec<f64>,
+    /// Per-bucket (non-cumulative) observation counts, overflow last.
+    pub counts: Vec<u64>,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Total number of observations.
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value, or `None` with no observations.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+}

@@ -26,6 +26,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use dg_obs::{dg_debug, dg_error, dg_info, Registry};
 use dg_sweep::{SweepError, SweepReport, SweepSpec};
 
 use crate::http::{push_json_string, Request, Response};
@@ -84,11 +85,16 @@ impl Daemon {
     /// re-enqueues every incomplete stored artifact (the crash-resume
     /// scan). Incomplete artifacts the workload no longer validates are
     /// left in place, untouched.
+    ///
+    /// Starting a daemon switches [`dg_obs`] metric recording on for the
+    /// whole process — serving telemetry (`GET /metrics`) is part of the
+    /// daemon's contract, and recording never perturbs sweep results.
     pub fn start(
         store: ArtifactStore,
         workload: Workload,
         workers: usize,
     ) -> Result<Daemon, StoreError> {
+        dg_obs::set_enabled(true);
         let resume: Vec<SweepSpec> = store
             .incomplete_specs()?
             .into_iter()
@@ -185,16 +191,36 @@ impl Daemon {
         }
     }
 
-    /// Serves one request. See the crate docs for the route table.
+    /// Serves one request: routes it, then records the outcome —
+    /// `dg_http_requests_total{path,status}`,
+    /// `dg_http_request_seconds{path}`, and a `DG_LOG=debug` request
+    /// line. See the crate docs for the route table.
     pub fn handle(&self, req: &Request) -> Response {
+        let t0 = Instant::now();
+        let response = self.route(req);
+        let seconds = t0.elapsed().as_secs_f64();
+        record_http(endpoint(req), response.status, seconds);
+        dg_debug!(
+            "dg-serve: {} {} -> {} in {:.1}ms",
+            req.method,
+            req.path,
+            response.status,
+            seconds * 1e3
+        );
+        response
+    }
+
+    fn route(&self, req: &Request) -> Response {
         let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
         let result = match (req.method.as_str(), segments.as_slice()) {
             ("GET", []) | ("GET", ["healthz"]) => Ok(self.health()),
+            ("GET", ["status"]) => Ok(self.status()),
+            ("GET", ["metrics"]) => Ok(self.metrics()),
             ("GET", ["sweeps"]) => Ok(self.list()),
             ("GET", ["sweep", fp]) => self.artifact(fp, req),
             ("GET", ["sweep", fp, "cell"]) => self.cell(fp, req),
             ("POST", ["sweep"]) => self.post_sweep(req),
-            (_, [] | ["healthz"] | ["sweeps"] | ["sweep", ..]) => {
+            (_, [] | ["healthz"] | ["status"] | ["metrics"] | ["sweeps"] | ["sweep", ..]) => {
                 Ok(Response::error(405, "method not allowed on this path"))
             }
             _ => Ok(Response::error(404, "no such path")),
@@ -210,6 +236,66 @@ impl Daemon {
             self.shared.store.list().len(),
             self.pending().len()
         ));
+        Response::json(200, body)
+    }
+
+    /// Queue depth (jobs not yet claimed) and in-flight count (claimed,
+    /// still running), from one lock acquisition.
+    fn queue_depths(&self) -> (usize, usize) {
+        let queue = self.shared.queue.lock().unwrap();
+        let queued = queue.jobs.len();
+        (queued, queue.pending.len().saturating_sub(queued))
+    }
+
+    /// `GET /metrics`: the process-wide registry in Prometheus text
+    /// exposition format. Store and queue gauges are refreshed at
+    /// scrape time; everything else (request, engine, and sweep
+    /// counters) accumulates as the daemon works.
+    fn metrics(&self) -> Response {
+        let reg = Registry::global();
+        let (queued, in_flight) = self.queue_depths();
+        reg.gauge("dg_serve_artifacts")
+            .set(self.shared.store.list().len() as i64);
+        reg.gauge("dg_serve_queue_depth").set(queued as i64);
+        reg.gauge("dg_serve_inflight_sweeps").set(in_flight as i64);
+        Response::text("text/plain; version=0.0.4", reg.render_prometheus())
+    }
+
+    /// `GET /status`: the operator's JSON view — workload, store size,
+    /// queue depth, in-flight sweeps, total sweep trials, and
+    /// per-endpoint request counts with mean latency.
+    fn status(&self) -> Response {
+        let reg = Registry::global();
+        let (queued, in_flight) = self.queue_depths();
+        let mut body = String::from("{\n  \"ok\": true,\n  \"workload\": ");
+        push_json_string(&mut body, self.shared.workload.name());
+        body.push_str(&format!(
+            ",\n  \"artifacts\": {},\n  \"queue_depth\": {queued},\n  \"in_flight\": {in_flight},\n  \"sweep_trials\": {},\n  \"requests\": [",
+            self.shared.store.list().len(),
+            reg.counter_value("dg_sweep_trials_total").unwrap_or(0),
+        ));
+        let mut first = true;
+        for name in reg.names() {
+            let Some(path) = name
+                .strip_prefix("dg_http_request_seconds{path=\"")
+                .and_then(|rest| rest.strip_suffix("\"}"))
+            else {
+                continue;
+            };
+            let Some(snap) = reg.histogram_snapshot(&name) else {
+                continue;
+            };
+            body.push_str(if first { "\n    {" } else { ",\n    {" });
+            first = false;
+            body.push_str("\"endpoint\": ");
+            push_json_string(&mut body, path);
+            body.push_str(&format!(
+                ", \"count\": {}, \"mean_seconds\": {}}}",
+                snap.count,
+                num(snap.mean()),
+            ));
+        }
+        body.push_str(if first { "]\n}\n" } else { "\n  ]\n}\n" });
         Response::json(200, body)
     }
 
@@ -368,6 +454,44 @@ impl Drop for Daemon {
     }
 }
 
+/// The route template a request resolves to — the bounded label set for
+/// the per-endpoint metrics (raw paths would make label cardinality
+/// unbounded).
+fn endpoint(req: &Request) -> &'static str {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", []) => "GET /",
+        ("GET", ["healthz"]) => "GET /healthz",
+        ("GET", ["status"]) => "GET /status",
+        ("GET", ["metrics"]) => "GET /metrics",
+        ("GET", ["sweeps"]) => "GET /sweeps",
+        ("GET", ["sweep", _]) => "GET /sweep/:fp",
+        ("GET", ["sweep", _, "cell"]) => "GET /sweep/:fp/cell",
+        ("POST", ["sweep"]) => "POST /sweep",
+        _ => "other",
+    }
+}
+
+/// Records one served request on the global registry:
+/// `dg_http_requests_total{path,status}` and
+/// `dg_http_request_seconds{path}`.
+fn record_http(endpoint: &str, status: u16, seconds: f64) {
+    let reg = Registry::global();
+    reg.counter(&dg_obs::label2(
+        "dg_http_requests_total",
+        "path",
+        endpoint,
+        "status",
+        &status.to_string(),
+    ))
+    .inc();
+    reg.histogram(
+        &dg_obs::label("dg_http_request_seconds", "path", endpoint),
+        &dg_obs::exponential_bounds(1e-4, 10.0, 6),
+    )
+    .observe(seconds);
+}
+
 fn worker_loop(shared: &Shared) {
     loop {
         let spec = {
@@ -383,18 +507,24 @@ fn worker_loop(shared: &Shared) {
             }
         };
         let fingerprint = spec.fingerprint();
+        dg_debug!("dg-serve: sweep {fingerprint} started");
+        let t0 = Instant::now();
         let sweep = spec.sweep().checkpoint(shared.store.path_for(fingerprint));
         let run = match spec.metrics() {
             Some(metrics) => sweep.run_metrics(shared.workload.metric_trial_fn(metrics.to_vec())),
             None => sweep.run(shared.workload.trial_fn()),
         };
-        if let Err(e) = &run {
-            eprintln!("dg-serve: sweep {fingerprint} failed: {e}");
+        match &run {
+            Ok(_) => dg_info!(
+                "dg-serve: sweep {fingerprint} finished in {:.1}s",
+                t0.elapsed().as_secs_f64()
+            ),
+            Err(e) => dg_error!("dg-serve: sweep {fingerprint} failed: {e}"),
         }
         // Index whatever the checkpointing run left on disk — the final
         // artifact on success, the last checkpoint on error.
         if let Err(e) = shared.store.refresh(fingerprint) {
-            eprintln!("dg-serve: indexing sweep {fingerprint} failed: {e}");
+            dg_error!("dg-serve: indexing sweep {fingerprint} failed: {e}");
         }
         let mut queue = shared.queue.lock().unwrap();
         queue.pending.remove(&fingerprint);
@@ -648,6 +778,62 @@ mod tests {
             &format!("/sweep/{}/cell?x=2&metric=value", v1.fingerprint()),
         );
         assert_eq!(v1_bad.status, 400);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn metrics_and_status_expose_telemetry() {
+        let root = tmp_root("telemetry");
+        let d = daemon(&root);
+        let s = spec(23);
+        assert_eq!(post(&d, &s.to_json()).status, 202);
+        assert!(d.wait_idle(Duration::from_secs(30)));
+        assert_eq!(get(&d, &format!("/sweep/{}", s.fingerprint())).status, 200);
+        // /metrics: well-formed Prometheus exposition with request,
+        // store, and sweep families.
+        let metrics = get(&d, "/metrics");
+        assert_eq!(metrics.status, 200);
+        assert_eq!(metrics.content_type, "text/plain; version=0.0.4");
+        let text = String::from_utf8(metrics.body).unwrap();
+        assert!(
+            text.contains("# TYPE dg_http_requests_total counter"),
+            "{text}"
+        );
+        // Series presence only: the registry is process-global, so
+        // exact counts depend on which tests ran before this one.
+        assert!(
+            text.contains("dg_http_requests_total{path=\"POST /sweep\",status=\"202\"}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("# TYPE dg_http_request_seconds histogram"),
+            "{text}"
+        );
+        assert!(text.contains("dg_serve_artifacts 1"), "{text}");
+        assert!(text.contains("dg_serve_queue_depth 0"), "{text}");
+        assert!(
+            text.contains("# TYPE dg_sweep_trials_total counter"),
+            "{text}"
+        );
+        // /status: the JSON view carries queue depths and per-endpoint
+        // request statistics.
+        let status = get(&d, "/status");
+        assert_eq!(status.status, 200);
+        let body = String::from_utf8(status.body).unwrap();
+        assert!(body.contains("\"queue_depth\": 0"), "{body}");
+        assert!(body.contains("\"in_flight\": 0"), "{body}");
+        assert!(body.contains("\"artifacts\": 1"), "{body}");
+        assert!(body.contains("\"endpoint\": \"POST /sweep\""), "{body}");
+        assert!(body.contains("\"endpoint\": \"GET /sweep/:fp\""), "{body}");
+        // Wrong methods on the new paths are 405s, not 404s.
+        let wrong = d.handle(&Request {
+            method: "POST".to_string(),
+            path: "/metrics".to_string(),
+            query: vec![],
+            headers: vec![],
+            body: vec![],
+        });
+        assert_eq!(wrong.status, 405);
         let _ = std::fs::remove_dir_all(&root);
     }
 

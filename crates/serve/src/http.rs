@@ -86,6 +86,16 @@ impl Response {
         }
     }
 
+    /// A plain-text response with an explicit content type (the
+    /// Prometheus exposition needs `text/plain; version=0.0.4`).
+    pub fn text(content_type: &'static str, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status: 200,
+            content_type,
+            body: body.into(),
+        }
+    }
+
     /// A JSON error envelope `{"error": "..."}`.
     pub fn error(status: u16, message: &str) -> Self {
         let mut body = String::from("{\"error\": ");

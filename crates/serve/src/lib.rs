@@ -32,11 +32,17 @@
 //!
 //! | Route | Meaning |
 //! |---|---|
-//! | `GET /healthz` | daemon status (workload, artifact/pending counts) |
+//! | `GET /healthz` | liveness (workload, artifact/pending counts) |
+//! | `GET /status` | operator view: store size, queue depth, in-flight sweeps, per-endpoint request counts and mean latency |
+//! | `GET /metrics` | Prometheus text exposition of the process-wide [`dg_obs`] registry (requests, engine spans, sweep progress) |
 //! | `GET /sweeps` | index of stored artifacts + pending fingerprints |
 //! | `GET /sweep/<fp>` | the artifact, raw JSON (or CSV via `?format=csv` / `Accept: text/csv`); `202` while in flight |
 //! | `GET /sweep/<fp>/cell?axis=v&…` | exact or nearest cell summary, with grid distance |
 //! | `POST /sweep` | a [`dg_sweep::SweepSpec`]: `200` + artifact on hit, `202` + fingerprint on miss, `400` on rejection |
+//!
+//! Request handling is instrumented ([`Daemon::handle`] records
+//! per-endpoint counters and latency histograms) and logged at
+//! `DG_LOG=debug`; worker lifecycle lands at `info`/`error`.
 //!
 //! ## Example
 //!

@@ -10,10 +10,15 @@
 //! `<root>/dg-serve.addr` so scripts and tests can find a daemon that
 //! picked its own port. Runs until killed; on restart over the same
 //! root, incomplete sweeps resume from their checkpoints.
+//!
+//! Stderr verbosity is controlled by `DG_LOG` (`error` — the default —
+//! `info`, or `debug`; `debug` logs every request line). Telemetry is
+//! always on: scrape `GET /metrics`, or read `GET /status`.
 
 use std::process::exit;
 use std::sync::Arc;
 
+use dg_obs::dg_error;
 use dg_serve::{http, ArtifactStore, Daemon, Workload};
 
 struct Args {
@@ -64,14 +69,14 @@ fn main() {
     let args = match parse_args() {
         Ok(args) => args,
         Err(msg) => {
-            eprintln!("dg-serve: {msg}");
+            dg_error!("dg-serve: {msg}");
             exit(2);
         }
     };
     let store = match ArtifactStore::open(&args.root) {
         Ok(store) => store,
         Err(e) => {
-            eprintln!("dg-serve: opening store {:?}: {e}", args.root);
+            dg_error!("dg-serve: opening store {:?}: {e}", args.root);
             exit(1);
         }
     };
@@ -79,7 +84,7 @@ fn main() {
     let daemon = match Daemon::start(store, args.workload, args.workers) {
         Ok(daemon) => Arc::new(daemon),
         Err(e) => {
-            eprintln!("dg-serve: starting daemon: {e}");
+            dg_error!("dg-serve: starting daemon: {e}");
             exit(1);
         }
     };
@@ -87,7 +92,7 @@ fn main() {
     let server = match http::serve(&args.addr as &str, move |req| handler.handle(req)) {
         Ok(server) => server,
         Err(e) => {
-            eprintln!("dg-serve: binding {}: {e}", args.addr);
+            dg_error!("dg-serve: binding {}: {e}", args.addr);
             exit(1);
         }
     };
@@ -95,7 +100,7 @@ fn main() {
     // The port file lets clients of `--addr 127.0.0.1:0` find us.
     let addr_file = std::path::Path::new(&args.root).join("dg-serve.addr");
     if let Err(e) = std::fs::write(&addr_file, format!("{addr}\n")) {
-        eprintln!("dg-serve: writing {}: {e}", addr_file.display());
+        dg_error!("dg-serve: writing {}: {e}", addr_file.display());
         exit(1);
     }
     println!(

@@ -62,6 +62,24 @@ impl Histogram {
         &self.counts
     }
 
+    /// Upper edges of the bins: `lo + width`, `lo + 2·width`, …, `hi`.
+    ///
+    /// This is the bucket geometry shared with `dg-obs` histograms, which
+    /// take explicit upper bounds in the Prometheus style.
+    pub fn bucket_edges(&self) -> Vec<f64> {
+        let bins = self.counts.len();
+        let width = (self.hi - self.lo) / bins as f64;
+        (1..=bins)
+            .map(|i| {
+                if i == bins {
+                    self.hi
+                } else {
+                    self.lo + width * i as f64
+                }
+            })
+            .collect()
+    }
+
     /// Total in-range samples.
     pub fn total(&self) -> u64 {
         self.total

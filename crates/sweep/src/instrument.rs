@@ -1,0 +1,56 @@
+//! Sweep-scheduler metric handles on the process-wide `dg-obs` registry.
+//!
+//! All handles are process-global (two concurrent sweeps share them) and
+//! strictly write-only from the scheduler's perspective: they never feed
+//! back into claiming, stopping, or artifacts, so reports stay
+//! byte-identical with recording on or off.
+
+use dg_obs::{Counter, Gauge, Histogram, Registry};
+use std::sync::OnceLock;
+
+pub(crate) struct SweepObs {
+    /// `dg_sweep_trials_total` — trials completed (speculative included).
+    pub trials: Counter,
+    /// `dg_sweep_claims_total` — `(cell × trial)` work items claimed from
+    /// the shared pool (the steal counter).
+    pub claims: Counter,
+    /// `dg_sweep_speculation_discarded_total` — completed trials thrown
+    /// away because their cell had already decided on a shorter prefix.
+    pub discarded: Counter,
+    /// `dg_sweep_cells_total` / `dg_sweep_cells_decided` — sweep
+    /// progress, set at sweep start and on every cell decision.
+    pub cells_total: Gauge,
+    /// See [`SweepObs::cells_total`].
+    pub cells_decided: Gauge,
+    /// `dg_sweep_cell_trials` — distribution of final per-cell trial
+    /// counts, observed when a cell decides.
+    pub cell_trials: Histogram,
+    /// `dg_sweep_checkpoint_writes_total` — artifact rewrites.
+    pub checkpoints: Counter,
+}
+
+pub(crate) fn sweep_obs() -> &'static SweepObs {
+    static OBS: OnceLock<SweepObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let reg = Registry::global();
+        SweepObs {
+            trials: reg.counter("dg_sweep_trials_total"),
+            claims: reg.counter("dg_sweep_claims_total"),
+            discarded: reg.counter("dg_sweep_speculation_discarded_total"),
+            cells_total: reg.gauge("dg_sweep_cells_total"),
+            cells_decided: reg.gauge("dg_sweep_cells_decided"),
+            cell_trials: reg.histogram(
+                "dg_sweep_cell_trials",
+                &dg_obs::exponential_bounds(1.0, 2.0, 10),
+            ),
+            checkpoints: reg.counter("dg_sweep_checkpoint_writes_total"),
+        }
+    })
+}
+
+/// `dg_sweep_ci_gap_permille{metric="…"}` — how far the worst undecided
+/// cell is from its CI target for one gating metric: half-width over
+/// target width, in thousandths (≤ 1000 means the target is met).
+pub(crate) fn ci_gap_gauge(metric: &str) -> Gauge {
+    Registry::global().gauge(&dg_obs::label("dg_sweep_ci_gap_permille", "metric", metric))
+}

@@ -63,6 +63,7 @@
 mod axis;
 mod budget;
 mod error;
+mod instrument;
 mod json;
 mod report;
 mod runner;

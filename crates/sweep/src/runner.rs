@@ -11,12 +11,19 @@
 
 use std::path::{Path, PathBuf};
 use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use dg_stats::{mean_ci95_t, Summary};
 
 use crate::axis::{Axis, Cell, Grid, Metric};
-use crate::budget::TrialBudget;
+use crate::budget::{CiTarget, TrialBudget};
 use crate::error::SweepError;
+use crate::instrument::sweep_obs;
 use crate::mix_seed;
 use crate::report::{fingerprint, CellReport, SweepReport};
+
+/// Minimum spacing between progress heartbeats (`DG_LOG=info`).
+const HEARTBEAT_EVERY: Duration = Duration::from_secs(2);
 
 /// Identity of one scheduled trial, handed to the trial function.
 ///
@@ -294,6 +301,11 @@ impl Sweep {
             }
         }
 
+        let obs = sweep_obs();
+        obs.cells_total.set(cells.len() as i64);
+        obs.cells_decided
+            .set(states.iter().filter(|c| c.decided.is_some()).count() as i64);
+
         let shared = Shared {
             state: Mutex::new(State {
                 cells: states,
@@ -305,6 +317,7 @@ impl Sweep {
             }),
             cond: Condvar::new(),
             checkpoint_io: Mutex::new(()),
+            heartbeat: Mutex::new(Instant::now()),
             cells: &cells,
             cell_seeds: &cell_seeds,
             budget: self.budget,
@@ -484,6 +497,8 @@ struct Shared<'a> {
     /// can neither interleave on the shared `.tmp` sibling nor rename an
     /// older snapshot over a newer one.
     checkpoint_io: Mutex<()>,
+    /// Last progress heartbeat, rate-limiting the `DG_LOG=info` line.
+    heartbeat: Mutex<Instant>,
     cells: &'a [Cell],
     cell_seeds: &'a [u64],
     budget: TrialBudget,
@@ -566,6 +581,7 @@ where
             }
         };
         let Some((ci, ti)) = claimed else { return };
+        sweep_obs().claims.inc();
 
         let cell_seed = shared.cell_seeds[ci];
         let trial = Trial {
@@ -598,17 +614,28 @@ where
         guard.armed = false;
 
         let newly_decided = {
+            let obs = sweep_obs();
             let mut st = lock(shared);
             st.spent += 1;
+            obs.trials.inc();
             let cell = &mut st.cells[ci];
             let newly_decided = match cell.decided {
                 // A speculative result past the decision point: discard.
-                Some(d) if ti >= d => false,
+                Some(d) if ti >= d => {
+                    obs.discarded.inc();
+                    false
+                }
                 _ => {
                     cell.slots[ti] = Slot::Done(sample);
                     cell.advance(&shared.budget, shared.metrics)
                 }
             };
+            if newly_decided {
+                obs.cells_decided.add(1);
+                if let Some(k) = st.cells[ci].decided {
+                    obs.cell_trials.observe(k as f64);
+                }
+            }
             if shared.run_budget.is_some_and(|b| st.spent >= b) {
                 st.stopped = true;
             }
@@ -621,7 +648,89 @@ where
         if newly_decided && shared.checkpoint.is_some() {
             write_checkpoint(shared);
         }
+        maybe_heartbeat(shared);
     }
+}
+
+/// Periodic human-readable progress (opt-in via `DG_LOG=info`): cells
+/// decided, trials spent this run, and — for adaptive budgets — how far
+/// the worst undecided cell is from each gating metric's CI target. The
+/// CI math runs only here, rate-limited, never on the per-sample path,
+/// and reads the same pure prefix statistics the stopping rule uses, so
+/// it cannot perturb scheduling or results.
+fn maybe_heartbeat(shared: &Shared<'_>) {
+    if !dg_obs::log::enabled(dg_obs::log::Level::Info) {
+        return;
+    }
+    {
+        let mut last = shared
+            .heartbeat
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if last.elapsed() < HEARTBEAT_EVERY {
+            return;
+        }
+        *last = Instant::now();
+    }
+    let st = lock(shared);
+    let decided = st.cells.iter().filter(|c| c.decided.is_some()).count();
+    let spent = st.spent;
+    let gaps = ci_gaps(shared, &st);
+    drop(st);
+    let mut line = format!(
+        "dg-sweep: {decided}/{} cells decided, {spent} trials this run",
+        shared.cells.len()
+    );
+    for (name, gap) in &gaps {
+        crate::instrument::ci_gap_gauge(name).set((gap * 1000.0) as i64);
+        line.push_str(&format!(", {name} CI at {:.0}% of target", gap * 100.0));
+    }
+    dg_obs::dg_info!("{line}");
+}
+
+/// Worst half-width-over-target ratio across undecided cells, per gating
+/// metric (`("sample", …)` for scalar sweeps). Empty when nothing gates
+/// (fixed budgets) or nothing is undecided.
+fn ci_gaps(shared: &Shared<'_>, st: &State) -> Vec<(String, f64)> {
+    let gating: Vec<(usize, String, CiTarget)> = match shared.metrics {
+        Some(metrics) => metrics
+            .iter()
+            .enumerate()
+            .filter_map(|(m, metric)| {
+                metric
+                    .effective_target(shared.budget.ci_target)
+                    .map(|t| (m, metric.name().to_string(), t))
+            })
+            .collect(),
+        None => shared
+            .budget
+            .ci_target
+            .map(|t| (0, "sample".to_string(), t))
+            .into_iter()
+            .collect(),
+    };
+    let mut gaps = Vec::new();
+    for (m, name, target) in gating {
+        let mut worst: Option<f64> = None;
+        for cell in st.cells.iter().filter(|c| c.decided.is_none()) {
+            let completed: Summary = cell.samples.iter().filter_map(|row| row[m]).collect();
+            let Some(ci) = mean_ci95_t(&completed) else {
+                continue;
+            };
+            let width = match target {
+                CiTarget::Absolute(a) => a,
+                CiTarget::Relative(r) => r * ci.mean.abs(),
+            };
+            if width > 0.0 {
+                let gap = ci.half_width() / width;
+                worst = Some(worst.map_or(gap, |w: f64| w.max(gap)));
+            }
+        }
+        if let Some(w) = worst {
+            gaps.push((name, w));
+        }
+    }
+    gaps
 }
 
 fn write_checkpoint(shared: &Shared<'_>) {
@@ -643,6 +752,7 @@ fn write_checkpoint(shared: &Shared<'_>) {
     };
     let path = shared.checkpoint.expect("caller checked");
     let result = report.write_json(path);
+    sweep_obs().checkpoints.inc();
     drop(io_guard);
     if let Err(e) = result {
         let mut st = lock(shared);

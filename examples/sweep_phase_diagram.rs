@@ -17,9 +17,10 @@
 //!
 //! Writes `sweep_phase_diagram.csv` (one row per cell, ready to plot)
 //! and `sweep_phase_diagram.json` (the resumable artifact) to the
-//! current directory — `sweep_phase_diagram_quick.{csv,json}` in quick
-//! mode, since the quick grid is a different sweep and resuming across
-//! the two would (correctly) be rejected as a fingerprint mismatch.
+//! current directory — `target/sweep_phase_diagram_quick.{csv,json}` in
+//! quick mode (a scratch artifact belongs under `target/`, and the
+//! quick grid is a different sweep anyway: resuming across the two
+//! would correctly be rejected as a fingerprint mismatch).
 
 use dynspread::dg_edge_meg::SparseTwoStateEdgeMeg;
 use dynspread::dynagraph::engine::Simulation;
@@ -38,7 +39,10 @@ fn main() {
         TrialBudget::adaptive(8, 64, CiTarget::Relative(0.05))
     };
     let stem = if quick {
-        "sweep_phase_diagram_quick"
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/target/sweep_phase_diagram_quick"
+        )
     } else {
         "sweep_phase_diagram"
     };
