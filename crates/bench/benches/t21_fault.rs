@@ -1,0 +1,256 @@
+//! t21 — the price of fault-injection hooks.
+//!
+//! `dg-fault` follows the `dg-obs` bargain: compiled in everywhere,
+//! free when disarmed. This bench pins both halves with numbers:
+//!
+//! * **disarmed overhead** — the t13 delta-churn hot loop raw vs the
+//!   same loop with a disarmed [`dg_fault::should_fail`] probe on every
+//!   round. The guard *asserts* the min-time ratio stays within noise —
+//!   in quick mode too, so CI catches a regression that makes the
+//!   off-switch expensive — and that zero faults were injected.
+//! * **recovery identity** — a sweep run clean vs the same sweep under
+//!   an armed plan (trial panics retried, checkpoint write faults), the
+//!   artifacts asserted byte-identical and both timed. Fault *recovery*
+//!   costs time; it must never cost correctness.
+//!
+//! Emits `BENCH_fault.json` at the repository root (quick mode:
+//! `target/BENCH_fault_quick.json`, for the CI artifact upload — quick
+//! outputs never land in the source tree).
+
+use std::fmt::Write as _;
+use std::path::Path;
+use std::thread::available_parallelism;
+use std::time::Instant;
+
+use dg_edge_meg::SparseTwoStateEdgeMeg;
+use dg_fault::FaultPlan;
+use dg_sweep::{Axis, Grid, Sweep, TrialBudget, TrialPanic};
+use dynagraph::{DynAdjacency, EdgeDelta, EvolvingGraph};
+
+/// Ratio ceiling for the disarmed-hook guard. A disarmed probe is one
+/// relaxed atomic load per ~microsecond round; anything past a third of
+/// the round cost means the off-switch broke.
+const DISABLED_RATIO_MAX: f64 = 1.30;
+
+struct DisarmedOverhead {
+    n: usize,
+    q: f64,
+    rounds: usize,
+    reps: usize,
+    raw_ns_per_round: f64,
+    guarded_ns_per_round: f64,
+    ratio: f64,
+}
+
+/// Times the t13 hot loop raw, then with a disarmed `should_fail` probe
+/// in the loop body, taking the min over `reps` passes (min-time is the
+/// noise-robust statistic for a guard that must hold on shared CI
+/// runners).
+fn bench_disarmed_overhead(n: usize, q: f64, rounds: usize, reps: usize) -> DisarmedOverhead {
+    assert!(!dg_fault::enabled(), "guard must run with no plan armed");
+    let p = 1.0 / n as f64;
+    let seed = 0xB521;
+
+    let time_loop = |probed: bool| -> f64 {
+        let mut best = f64::INFINITY;
+        for rep in 0..reps {
+            let mut meg = SparseTwoStateEdgeMeg::stationary(n, p, q, seed + rep as u64).unwrap();
+            let mut adj = DynAdjacency::new(n);
+            let mut delta = EdgeDelta::new();
+            for _ in 0..50 {
+                meg.step_delta(&mut delta);
+                adj.apply(&delta);
+            }
+            let start = Instant::now();
+            if probed {
+                for _ in 0..rounds {
+                    assert!(!dg_fault::should_fail("bench.hot.loop"));
+                    meg.step_delta(&mut delta);
+                    adj.apply(&delta);
+                }
+            } else {
+                for _ in 0..rounds {
+                    meg.step_delta(&mut delta);
+                    adj.apply(&delta);
+                }
+            }
+            let ns = start.elapsed().as_nanos() as f64 / rounds as f64;
+            best = best.min(ns);
+        }
+        best
+    };
+
+    let before = dg_fault::injected_total();
+    let raw = time_loop(false);
+    let guarded = time_loop(true);
+    assert_eq!(
+        dg_fault::injected_total(),
+        before,
+        "disarmed probes must inject nothing"
+    );
+    DisarmedOverhead {
+        n,
+        q,
+        rounds,
+        reps,
+        raw_ns_per_round: raw,
+        guarded_ns_per_round: guarded,
+        ratio: guarded / raw,
+    }
+}
+
+struct RecoveryOverhead {
+    cells: usize,
+    trials_per_cell: usize,
+    injected: u64,
+    clean_ms: f64,
+    faulted_ms: f64,
+    ratio: f64,
+}
+
+/// Times a sweep clean vs the same sweep recovering from injected trial
+/// panics and checkpoint write faults, asserting byte identity — the
+/// chaos pin riding along in the perf record.
+fn bench_recovery(cells_per_axis: usize, trials: usize) -> RecoveryOverhead {
+    let grid = || {
+        Grid::new()
+            .axis(Axis::ints("n", 1..=cells_per_axis))
+            .axis(Axis::linear("q", 0.1, 0.4, 3))
+    };
+    let sweep = || {
+        Sweep::over(grid())
+            .budget(TrialBudget::fixed(trials))
+            .base_seed(0xB52F)
+    };
+    let measure = |cell: &dg_sweep::Cell, seed: u64| -> Option<f64> {
+        // A deterministic stand-in trial heavy enough to dwarf scheduler
+        // cost: a short splitmix-style scramble of the cell coordinates.
+        let mut z = seed ^ (cell.get("n") as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        for _ in 0..512 {
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        }
+        Some(cell.get("q") + (z % 101) as f64)
+    };
+    let path = std::env::temp_dir().join(format!("dg_t21_fault_{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    let start = Instant::now();
+    let clean = sweep()
+        .checkpoint(&path)
+        .run(|c, t| measure(c, t.seed))
+        .unwrap();
+    let clean_ms = start.elapsed().as_secs_f64() * 1e3;
+    let _ = std::fs::remove_file(&path);
+
+    let before = dg_fault::injected_total();
+    // The injected panics are caught by the retry loop; keep the default
+    // hook from spraying backtraces into the bench output while they fly.
+    std::panic::set_hook(Box::new(|_| {}));
+    let start = Instant::now();
+    let faulted = {
+        let _plan = dg_fault::scoped(
+            FaultPlan::new(0xB52F)
+                .always("sweep.trial.panic", 8)
+                .always("store.write.err", 2),
+        );
+        sweep()
+            .checkpoint(&path)
+            .on_trial_panic(TrialPanic::Retry { max: 8 })
+            .run(|c, t| measure(c, t.seed))
+            .unwrap()
+    };
+    let faulted_ms = start.elapsed().as_secs_f64() * 1e3;
+    let _ = std::panic::take_hook();
+    let injected = dg_fault::injected_total() - before;
+    assert!(injected >= 10, "the plan must actually have fired");
+    assert_eq!(
+        faulted.to_json(),
+        clean.to_json(),
+        "fault recovery perturbed the artifact"
+    );
+    let _ = std::fs::remove_file(&path);
+
+    RecoveryOverhead {
+        cells: clean.cells().len(),
+        trials_per_cell: trials,
+        injected,
+        clean_ms,
+        faulted_ms,
+        ratio: faulted_ms / clean_ms,
+    }
+}
+
+fn main() {
+    let quick = dg_bench::quick_mode();
+    dg_fault::set_plan(None);
+    let cores = available_parallelism().map(|c| c.get()).unwrap_or(1);
+
+    let overhead = if quick {
+        bench_disarmed_overhead(256, 0.05, 300, 3)
+    } else {
+        bench_disarmed_overhead(4096, 0.01, 1_500, 5)
+    };
+    println!(
+        "disarmed guard n={:>5} q={:<5} {:>5} rounds x{}   raw {:>7.0} ns/round   guarded {:>7.0} ns/round   ratio {:.3}",
+        overhead.n, overhead.q, overhead.rounds, overhead.reps,
+        overhead.raw_ns_per_round, overhead.guarded_ns_per_round, overhead.ratio
+    );
+    assert!(
+        overhead.ratio <= DISABLED_RATIO_MAX,
+        "disarmed fault-hook overhead {:.3} exceeds {DISABLED_RATIO_MAX}",
+        overhead.ratio
+    );
+
+    let recovery = if quick {
+        bench_recovery(8, 8)
+    } else {
+        bench_recovery(48, 24)
+    };
+    println!(
+        "recovery sweep {:>4} cells x{:>3} trials   clean {:>8.1} ms   faulted {:>8.1} ms ({} injected)   ratio {:.3}   (byte-identical)",
+        recovery.cells, recovery.trials_per_cell, recovery.clean_ms, recovery.faulted_ms,
+        recovery.injected, recovery.ratio
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"t21_fault\",");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"cores\": {cores},");
+    let _ = writeln!(
+        json,
+        "  \"description\": \"cost of dg-fault hooks: disarmed-probe guard on the delta-churn hot loop, and a sweep recovering from injected trial panics + checkpoint write faults vs the same sweep clean (asserted byte-identical)\","
+    );
+    let _ = writeln!(
+        json,
+        "  \"disarmed_guard\": {{\"n\": {}, \"q\": {}, \"rounds\": {}, \"reps\": {}, \"raw_ns_per_round\": {:.1}, \"guarded_ns_per_round\": {:.1}, \"ratio\": {:.4}, \"assert_max\": {DISABLED_RATIO_MAX}}},",
+        overhead.n, overhead.q, overhead.rounds, overhead.reps,
+        overhead.raw_ns_per_round, overhead.guarded_ns_per_round, overhead.ratio
+    );
+    let _ = writeln!(
+        json,
+        "  \"recovery\": {{\"cells\": {}, \"trials_per_cell\": {}, \"injected_faults\": {}, \"clean_ms\": {:.2}, \"faulted_ms\": {:.2}, \"ratio\": {:.4}, \"byte_identical\": true}},",
+        recovery.cells, recovery.trials_per_cell, recovery.injected,
+        recovery.clean_ms, recovery.faulted_ms, recovery.ratio
+    );
+    let _ = writeln!(
+        json,
+        "  \"headline\": {{\"disarmed_guard_ratio\": {:.4}, \"recovery_ratio\": {:.4}}}",
+        overhead.ratio, recovery.ratio
+    );
+    let _ = writeln!(json, "}}");
+
+    // Quick mode is the CI smoke: write a separate artifact (uploaded
+    // by the workflow) instead of clobbering the committed full-scale
+    // record.
+    let name = if quick {
+        "../../target/BENCH_fault_quick.json"
+    } else {
+        "../../BENCH_fault.json"
+    };
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join(name);
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}

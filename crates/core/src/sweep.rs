@@ -67,7 +67,7 @@
 
 pub use dg_sweep::{
     mix_seed, Axis, Cell, CellReport, CiTarget, Grid, Metric, MetricStopping, NearestCell, Sweep,
-    SweepError, SweepReport, SweepSpec, Trial, TrialBudget,
+    SweepError, SweepReport, SweepSpec, Trial, TrialBudget, TrialPanic,
 };
 
 use crate::engine::TrialRecord;

@@ -1,0 +1,214 @@
+//! Fault plans: which sites fail, how often, and from which seed.
+//!
+//! A plan is a seed plus a list of rules, one per injection site. The
+//! textual form (the `DG_FAULT` environment variable) is
+//!
+//! ```text
+//! seed=7;sweep.trial.panic:1x3;store.write.err:0.25
+//! ```
+//!
+//! — semicolon-separated segments, where `seed=N` sets the draw seed
+//! (default 0) and every other segment is `site:prob` or
+//! `site:probxN` (`prob` in `[0, 1]`; `xN` caps the rule at `N`
+//! injected faults, after which the site never fires again). The
+//! [`std::fmt::Display`] form round-trips through [`FaultPlan::parse`].
+
+use std::fmt;
+
+/// One site's injection rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultRule {
+    /// The injection-site name this rule arms (`sweep.trial.panic`, ...).
+    pub site: String,
+    /// Probability each evaluation of the site fires, in `[0, 1]`.
+    pub prob: f64,
+    /// Cap on *injected* faults (not evaluations); `None` is unbounded.
+    pub max_hits: Option<u64>,
+}
+
+/// A seeded set of [`FaultRule`]s — everything [`crate::should_fail`]
+/// needs to make deterministic decisions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    rules: Vec<FaultRule>,
+}
+
+impl FaultPlan {
+    /// An empty plan drawing from `seed`. Add rules with
+    /// [`FaultPlan::rule`] or [`FaultPlan::always`].
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Adds a rule: `site` fires with probability `prob` per
+    /// evaluation, at most `max_hits` injected faults total (`None` for
+    /// unbounded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is empty or contains characters outside
+    /// `[A-Za-z0-9._-]`, or if `prob` is not in `[0, 1]`.
+    pub fn rule(mut self, site: impl Into<String>, prob: f64, max_hits: Option<u64>) -> FaultPlan {
+        let site = site.into();
+        assert!(valid_site(&site), "bad fault site name {site:?}");
+        assert!(
+            (0.0..=1.0).contains(&prob),
+            "fault probability {prob} outside [0, 1]"
+        );
+        self.rules.push(FaultRule {
+            site,
+            prob,
+            max_hits,
+        });
+        self
+    }
+
+    /// A deterministic rule: the first `hits` evaluations of `site`
+    /// fire, every later one passes — the shape chaos tests want.
+    pub fn always(self, site: impl Into<String>, hits: u64) -> FaultPlan {
+        self.rule(site, 1.0, Some(hits))
+    }
+
+    /// The plan's draw seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The plan's rules, in declaration order.
+    pub fn rules(&self) -> &[FaultRule] {
+        &self.rules
+    }
+
+    /// Parses the `DG_FAULT` textual form (see the module docs).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the offending segment.
+    pub fn parse(s: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::new(0);
+        for segment in s.split(';') {
+            let segment = segment.trim();
+            if segment.is_empty() {
+                continue;
+            }
+            if let Some(seed) = segment.strip_prefix("seed=") {
+                plan.seed = seed
+                    .trim()
+                    .parse()
+                    .map_err(|e| format!("bad seed in fault plan segment {segment:?}: {e}"))?;
+                continue;
+            }
+            let Some((site, spec)) = segment.split_once(':') else {
+                return Err(format!(
+                    "fault plan segment {segment:?} is neither seed=N nor site:prob[xN]"
+                ));
+            };
+            let site = site.trim();
+            if !valid_site(site) {
+                return Err(format!("bad fault site name {site:?}"));
+            }
+            let spec = spec.trim();
+            let (prob_str, max_hits) = match spec.split_once('x') {
+                Some((p, n)) => {
+                    let n: u64 = n
+                        .trim()
+                        .parse()
+                        .map_err(|e| format!("bad hit cap in segment {segment:?}: {e}"))?;
+                    (p.trim(), Some(n))
+                }
+                None => (spec, None),
+            };
+            let prob: f64 = prob_str
+                .parse()
+                .map_err(|e| format!("bad probability in segment {segment:?}: {e}"))?;
+            if !(0.0..=1.0).contains(&prob) {
+                return Err(format!(
+                    "probability {prob} in segment {segment:?} outside [0, 1]"
+                ));
+            }
+            plan.rules.push(FaultRule {
+                site: site.to_string(),
+                prob,
+                max_hits,
+            });
+        }
+        Ok(plan)
+    }
+}
+
+impl std::str::FromStr for FaultPlan {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<FaultPlan, String> {
+        FaultPlan::parse(s)
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seed={}", self.seed)?;
+        for rule in &self.rules {
+            write!(f, ";{}:{}", rule.site, rule.prob)?;
+            if let Some(n) = rule.max_hits {
+                write!(f, "x{n}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn valid_site(site: &str) -> bool {
+    !site.is_empty()
+        && site
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_through_display() {
+        let plan =
+            FaultPlan::new(7)
+                .always("sweep.trial.panic", 3)
+                .rule("store.write.err", 0.25, None);
+        let text = plan.to_string();
+        assert_eq!(text, "seed=7;sweep.trial.panic:1x3;store.write.err:0.25");
+        assert_eq!(FaultPlan::parse(&text).unwrap(), plan);
+    }
+
+    #[test]
+    fn parse_tolerates_whitespace_and_empty_segments() {
+        let plan = FaultPlan::parse(" seed=3 ; ; a.b : 0.5 x 2 ;").unwrap();
+        assert_eq!(plan.seed(), 3);
+        assert_eq!(
+            plan.rules(),
+            &[FaultRule {
+                site: "a.b".to_string(),
+                prob: 0.5,
+                max_hits: Some(2),
+            }]
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_segments() {
+        assert!(FaultPlan::parse("seed=abc").is_err());
+        assert!(FaultPlan::parse("no-colon-here").is_err());
+        assert!(FaultPlan::parse("site with space:1").is_err());
+        assert!(FaultPlan::parse("a.b:1.5").is_err());
+        assert!(FaultPlan::parse("a.b:0.5xq").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn builder_rejects_bad_probability() {
+        let _ = FaultPlan::new(0).rule("a.b", 2.0, None);
+    }
+}

@@ -20,14 +20,35 @@
 //! to uninterrupted ones (the `dg-sweep` invariant), a client polling
 //! across the crash cannot tell it happened — same fingerprint, same
 //! final bytes.
+//!
+//! # Fault tolerance
+//!
+//! A job that panics (the `daemon.worker.crash` chaos site, a trial
+//! panic escaping the sweep's own [`TrialPanic`] retry, a poisoned
+//! lock in library code) does not kill its worker: the worker catches
+//! the unwind, counts `dg_serve_worker_restarts_total`, and *requeues*
+//! the job — bounded by [`DaemonConfig::max_job_attempts`], after
+//! which the fingerprint lands in a `failed` map that `GET /status`,
+//! `GET /sweeps`, and `GET /sweep/<fp>` (as a `500`) surface.
+//! Re-`POST`ing a failed spec clears the failure and tries again from
+//! whatever checkpoint survived. A checkpoint that stopped *parsing*
+//! (mid-run disk corruption) is quarantined via
+//! [`ArtifactStore::quarantine_fingerprint`] before the requeue, so
+//! the re-run starts clean instead of tripping forever. The job queue
+//! itself is bounded ([`DaemonConfig::max_queue`]): past the cap,
+//! `POST /sweep` answers `503` + `Retry-After` instead of accepting
+//! unbounded work. All daemon locks recover from poisoning — queue
+//! state is re-derivable from disk, so a panicking holder must not
+//! wedge every later request.
 
-use std::collections::{HashSet, VecDeque};
-use std::sync::{Arc, Condvar, Mutex};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use dg_obs::{dg_debug, dg_error, dg_info, Registry};
-use dg_sweep::{SweepError, SweepReport, SweepSpec};
+use dg_sweep::{SweepError, SweepReport, SweepSpec, TrialPanic};
 
 use crate::http::{push_json_string, Request, Response};
 use crate::store::{ArtifactMeta, ArtifactStore, StoreError};
@@ -42,23 +63,66 @@ pub enum Submission {
     Pending(u64),
     /// The workload refused the spec (the message is the `400` body).
     Rejected(String),
+    /// The job queue is at [`DaemonConfig::max_queue`] — the `503` +
+    /// `Retry-After` backpressure answer.
+    Busy,
+}
+
+/// Tuning for [`Daemon::start_with`]: pool size and the fault-handling
+/// bounds.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Background sweep threads (at least 1).
+    pub workers: usize,
+    /// Jobs accepted but not yet claimed before `POST /sweep` sheds
+    /// with `503`. `0` refuses all new work — useful for drain tests.
+    pub max_queue: usize,
+    /// Times one job may start (first run + requeues after a crash)
+    /// before its fingerprint is marked failed.
+    pub max_job_attempts: u32,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            workers: 2,
+            max_queue: 64,
+            max_job_attempts: 3,
+        }
+    }
 }
 
 struct QueueState {
     jobs: VecDeque<SweepSpec>,
     /// Fingerprints queued or running — the dedup set.
     pending: HashSet<u64>,
+    /// Starts per fingerprint, for the requeue bound.
+    attempts: HashMap<u64, u32>,
+    /// Fingerprints whose job exhausted its attempts, with the last
+    /// error — cleared by resubmission.
+    failed: BTreeMap<u64, String>,
     shutdown: bool,
 }
 
 struct Shared {
     store: ArtifactStore,
     workload: Workload,
+    config: DaemonConfig,
     queue: Mutex<QueueState>,
     /// Signals workers that a job arrived (or shutdown began).
     wake: Condvar,
     /// Signals waiters that a job finished.
     done: Condvar,
+}
+
+impl Shared {
+    /// The queue lock, recovering from poisoning: everything in
+    /// [`QueueState`] is re-derivable (pending/attempts from the store
+    /// scan, jobs by resubmission), so a panicking holder must not turn
+    /// every later request into a panic of its own.
+    fn qlock(&self) -> MutexGuard<'_, QueueState> {
+        self.queue.lock().unwrap_or_else(|p| p.into_inner())
+    }
 }
 
 /// The daemon: a store, a workload, and the worker pool between them.
@@ -94,6 +158,24 @@ impl Daemon {
         workload: Workload,
         workers: usize,
     ) -> Result<Daemon, StoreError> {
+        Daemon::start_with(
+            store,
+            workload,
+            DaemonConfig {
+                workers,
+                ..DaemonConfig::default()
+            },
+        )
+    }
+
+    /// [`Daemon::start`] with explicit queue and fault bounds. The
+    /// crash-resume scan ignores `max_queue`: work already accepted
+    /// (and checkpointed) before a restart is never shed.
+    pub fn start_with(
+        store: ArtifactStore,
+        workload: Workload,
+        config: DaemonConfig,
+    ) -> Result<Daemon, StoreError> {
         dg_obs::set_enabled(true);
         let resume: Vec<SweepSpec> = store
             .incomplete_specs()?
@@ -101,18 +183,22 @@ impl Daemon {
             .filter(|spec| workload.validate(spec).is_ok())
             .collect();
         let pending = resume.iter().map(SweepSpec::fingerprint).collect();
+        let worker_count = config.workers.max(1);
         let shared = Arc::new(Shared {
             store,
             workload,
+            config,
             queue: Mutex::new(QueueState {
                 jobs: resume.into(),
                 pending,
+                attempts: HashMap::new(),
+                failed: BTreeMap::new(),
                 shutdown: false,
             }),
             wake: Condvar::new(),
             done: Condvar::new(),
         });
-        let workers = (0..workers.max(1))
+        let workers = (0..worker_count)
             .map(|_| {
                 let shared = Arc::clone(&shared);
                 std::thread::spawn(move || worker_loop(&shared))
@@ -132,12 +218,25 @@ impl Daemon {
     /// Fingerprints currently queued or running, in no particular
     /// order.
     pub fn pending(&self) -> Vec<u64> {
-        let queue = self.shared.queue.lock().unwrap();
+        let queue = self.shared.qlock();
         queue.pending.iter().copied().collect()
     }
 
+    /// Fingerprints whose job exhausted its attempts, with the last
+    /// error, ordered by fingerprint.
+    pub fn failed(&self) -> Vec<(u64, String)> {
+        let queue = self.shared.qlock();
+        queue
+            .failed
+            .iter()
+            .map(|(fp, msg)| (*fp, msg.clone()))
+            .collect()
+    }
+
     /// Routes a spec: cache hit, freshly queued, deduplicated against
-    /// an in-flight run, or rejected by the workload.
+    /// an in-flight run, shed by the queue bound, or rejected by the
+    /// workload. Submitting a spec whose fingerprint previously failed
+    /// clears the failure and starts over with fresh attempts.
     pub fn submit(&self, spec: SweepSpec) -> Result<Submission, StoreError> {
         let fingerprint = spec.fingerprint();
         if let Some(meta) = self.shared.store.meta(fingerprint) {
@@ -148,11 +247,18 @@ impl Daemon {
         if let Err(msg) = self.shared.workload.validate(&spec) {
             return Ok(Submission::Rejected(msg));
         }
-        let mut queue = self.shared.queue.lock().unwrap();
-        if queue.pending.insert(fingerprint) {
-            queue.jobs.push_back(spec);
-            self.shared.wake.notify_one();
+        let mut queue = self.shared.qlock();
+        if queue.pending.contains(&fingerprint) {
+            return Ok(Submission::Pending(fingerprint));
         }
+        if queue.jobs.len() >= self.shared.config.max_queue {
+            return Ok(Submission::Busy);
+        }
+        queue.failed.remove(&fingerprint);
+        queue.attempts.remove(&fingerprint);
+        queue.pending.insert(fingerprint);
+        queue.jobs.push_back(spec);
+        self.shared.wake.notify_one();
         Ok(Submission::Pending(fingerprint))
     }
 
@@ -160,12 +266,16 @@ impl Daemon {
     /// returns whether the daemon went idle.
     pub fn wait_idle(&self, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
-        let mut queue = self.shared.queue.lock().unwrap();
+        let mut queue = self.shared.qlock();
         while !queue.pending.is_empty() {
             let Some(left) = deadline.checked_duration_since(Instant::now()) else {
                 return false;
             };
-            let (guard, wait) = self.shared.done.wait_timeout(queue, left).unwrap();
+            let (guard, wait) = self
+                .shared
+                .done
+                .wait_timeout(queue, left)
+                .unwrap_or_else(|p| p.into_inner());
             queue = guard;
             if wait.timed_out() && !queue.pending.is_empty() {
                 return false;
@@ -181,11 +291,16 @@ impl Daemon {
     /// re-submission schedules them again.
     pub fn shutdown(&self) {
         {
-            let mut queue = self.shared.queue.lock().unwrap();
+            let mut queue = self.shared.qlock();
             queue.shutdown = true;
         }
         self.shared.wake.notify_all();
-        let workers: Vec<_> = self.workers.lock().unwrap().drain(..).collect();
+        let workers: Vec<_> = self
+            .workers
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .drain(..)
+            .collect();
         for worker in workers {
             let _ = worker.join();
         }
@@ -239,12 +354,16 @@ impl Daemon {
         Response::json(200, body)
     }
 
-    /// Queue depth (jobs not yet claimed) and in-flight count (claimed,
-    /// still running), from one lock acquisition.
-    fn queue_depths(&self) -> (usize, usize) {
-        let queue = self.shared.queue.lock().unwrap();
+    /// Queue depth (jobs not yet claimed), in-flight count (claimed,
+    /// still running), and failed count, from one lock acquisition.
+    fn queue_depths(&self) -> (usize, usize, usize) {
+        let queue = self.shared.qlock();
         let queued = queue.jobs.len();
-        (queued, queue.pending.len().saturating_sub(queued))
+        (
+            queued,
+            queue.pending.len().saturating_sub(queued),
+            queue.failed.len(),
+        )
     }
 
     /// `GET /metrics`: the process-wide registry in Prometheus text
@@ -253,11 +372,12 @@ impl Daemon {
     /// counters) accumulates as the daemon works.
     fn metrics(&self) -> Response {
         let reg = Registry::global();
-        let (queued, in_flight) = self.queue_depths();
+        let (queued, in_flight, failed) = self.queue_depths();
         reg.gauge("dg_serve_artifacts")
             .set(self.shared.store.list().len() as i64);
         reg.gauge("dg_serve_queue_depth").set(queued as i64);
         reg.gauge("dg_serve_inflight_sweeps").set(in_flight as i64);
+        reg.gauge("dg_serve_failed_sweeps").set(failed as i64);
         Response::text("text/plain; version=0.0.4", reg.render_prometheus())
     }
 
@@ -266,14 +386,29 @@ impl Daemon {
     /// per-endpoint request counts with mean latency.
     fn status(&self) -> Response {
         let reg = Registry::global();
-        let (queued, in_flight) = self.queue_depths();
+        let (queued, in_flight, _) = self.queue_depths();
+        let failed = self.failed();
         let mut body = String::from("{\n  \"ok\": true,\n  \"workload\": ");
         push_json_string(&mut body, self.shared.workload.name());
         body.push_str(&format!(
-            ",\n  \"artifacts\": {},\n  \"queue_depth\": {queued},\n  \"in_flight\": {in_flight},\n  \"sweep_trials\": {},\n  \"requests\": [",
+            ",\n  \"artifacts\": {},\n  \"queue_depth\": {queued},\n  \"in_flight\": {in_flight},\n  \"sweep_trials\": {},\n  \"worker_restarts\": {},\n  \"failed\": [",
             self.shared.store.list().len(),
             reg.counter_value("dg_sweep_trials_total").unwrap_or(0),
+            reg.counter_value("dg_serve_worker_restarts_total").unwrap_or(0),
         ));
+        for (i, (fp, msg)) in failed.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            body.push_str(&format!("\n    {{\"fingerprint\": {fp}, \"error\": "));
+            push_json_string(&mut body, msg);
+            body.push('}');
+        }
+        body.push_str(if failed.is_empty() {
+            "],\n  \"requests\": ["
+        } else {
+            "\n  ],\n  \"requests\": ["
+        });
         let mut first = true;
         for name in reg.names() {
             let Some(path) = name
@@ -316,6 +451,13 @@ impl Daemon {
             }
             body.push_str(&fp.to_string());
         }
+        body.push_str("],\n  \"failed\": [");
+        for (i, (fp, _)) in self.failed().iter().enumerate() {
+            if i > 0 {
+                body.push_str(", ");
+            }
+            body.push_str(&fp.to_string());
+        }
         body.push_str("]\n}\n");
         Response::json(200, body)
     }
@@ -337,11 +479,14 @@ impl Daemon {
 
     /// A fingerprint with no stored bytes: `202` while its sweep is
     /// in flight (a job can be queued before its first checkpoint
-    /// lands), `404` otherwise.
+    /// lands), `500` naming the error if its job failed for good,
+    /// `404` otherwise.
     fn miss(&self, fingerprint: u64) -> Response {
-        let queue = self.shared.queue.lock().unwrap();
+        let queue = self.shared.qlock();
         if queue.pending.contains(&fingerprint) {
             pending_response(fingerprint)
+        } else if let Some(msg) = queue.failed.get(&fingerprint) {
+            Response::error(500, &format!("sweep failed: {msg} (re-POST to retry)"))
         } else {
             Response::error(404, "no artifact at this fingerprint")
         }
@@ -444,6 +589,7 @@ impl Daemon {
             // submission outcome, not the later state, is the answer.
             Submission::Pending(fingerprint) => Ok(pending_response(fingerprint)),
             Submission::Rejected(msg) => Ok(Response::error(400, &msg)),
+            Submission::Busy => Ok(Response::unavailable("sweep queue full; retry shortly")),
         }
     }
 }
@@ -495,7 +641,7 @@ fn record_http(endpoint: &str, status: u16, seconds: f64) {
 fn worker_loop(shared: &Shared) {
     loop {
         let spec = {
-            let mut queue = shared.queue.lock().unwrap();
+            let mut queue = shared.qlock();
             loop {
                 if queue.shutdown {
                     return;
@@ -503,32 +649,109 @@ fn worker_loop(shared: &Shared) {
                 if let Some(spec) = queue.jobs.pop_front() {
                     break spec;
                 }
-                queue = shared.wake.wait(queue).unwrap();
+                queue = shared.wake.wait(queue).unwrap_or_else(|p| p.into_inner());
             }
         };
         let fingerprint = spec.fingerprint();
         dg_debug!("dg-serve: sweep {fingerprint} started");
         let t0 = Instant::now();
-        let sweep = spec.sweep().checkpoint(shared.store.path_for(fingerprint));
-        let run = match spec.metrics() {
-            Some(metrics) => sweep.run_metrics(shared.workload.metric_trial_fn(metrics.to_vec())),
-            None => sweep.run(shared.workload.trial_fn()),
-        };
-        match &run {
-            Ok(_) => dg_info!(
-                "dg-serve: sweep {fingerprint} finished in {:.1}s",
-                t0.elapsed().as_secs_f64()
-            ),
-            Err(e) => dg_error!("dg-serve: sweep {fingerprint} failed: {e}"),
+        // AssertUnwindSafe: the job's only shared state is the store
+        // (atomic on-disk writes, poison-recovering index) and the
+        // sweep's own checkpoint file — a caught panic leaves nothing a
+        // requeued re-run cannot reconcile from disk.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            dg_fault::fail_point("daemon.worker.crash");
+            let sweep = spec
+                .sweep()
+                .on_trial_panic(TrialPanic::Retry { max: 2 })
+                .checkpoint(shared.store.path_for(fingerprint));
+            match spec.metrics() {
+                Some(metrics) => {
+                    sweep.run_metrics(shared.workload.metric_trial_fn(metrics.to_vec()))
+                }
+                None => sweep.run(shared.workload.trial_fn()),
+            }
+        }));
+        match outcome {
+            Ok(Ok(_)) => {
+                dg_info!(
+                    "dg-serve: sweep {fingerprint} finished in {:.1}s",
+                    t0.elapsed().as_secs_f64()
+                );
+                if let Err(e) = shared.store.refresh(fingerprint) {
+                    dg_error!("dg-serve: indexing sweep {fingerprint} failed: {e}");
+                }
+                let mut queue = shared.qlock();
+                queue.attempts.remove(&fingerprint);
+                queue.pending.remove(&fingerprint);
+                shared.done.notify_all();
+            }
+            Ok(Err(e)) => {
+                // A checkpoint that stopped parsing is mid-run disk
+                // corruption: quarantine it so the retry starts from a
+                // clean slate instead of re-reading the same garbage.
+                if matches!(&e, SweepError::Parse(_) | SweepError::Mismatch(_)) {
+                    match shared.store.quarantine_fingerprint(fingerprint) {
+                        Ok(true) => {
+                            dg_error!("dg-serve: quarantined corrupt checkpoint {fingerprint}")
+                        }
+                        Ok(false) => {}
+                        Err(qe) => dg_error!("dg-serve: quarantining {fingerprint} failed: {qe}"),
+                    }
+                } else if let Err(re) = shared.store.refresh(fingerprint) {
+                    dg_error!("dg-serve: indexing sweep {fingerprint} failed: {re}");
+                }
+                requeue_or_fail(shared, spec, fingerprint, e.to_string());
+            }
+            Err(payload) => {
+                // Index whatever checkpoint survived the crash; the
+                // requeued run resumes from it.
+                if let Err(re) = shared.store.refresh(fingerprint) {
+                    dg_error!("dg-serve: indexing sweep {fingerprint} failed: {re}");
+                }
+                requeue_or_fail(shared, spec, fingerprint, panic_message(payload.as_ref()));
+            }
         }
-        // Index whatever the checkpointing run left on disk — the final
-        // artifact on success, the last checkpoint on error.
-        if let Err(e) = shared.store.refresh(fingerprint) {
-            dg_error!("dg-serve: indexing sweep {fingerprint} failed: {e}");
-        }
-        let mut queue = shared.queue.lock().unwrap();
+    }
+}
+
+/// After a failed job start: requeue under the attempt bound (counted
+/// as `dg_serve_worker_restarts_total`), or mark the fingerprint
+/// failed and release its waiters.
+fn requeue_or_fail(shared: &Shared, spec: SweepSpec, fingerprint: u64, msg: String) {
+    let mut queue = shared.qlock();
+    let attempts = *queue
+        .attempts
+        .entry(fingerprint)
+        .and_modify(|a| *a += 1)
+        .or_insert(1);
+    if attempts < shared.config.max_job_attempts {
+        dg_error!(
+            "dg-serve: sweep {fingerprint} attempt {attempts}/{} failed ({msg}); requeueing",
+            shared.config.max_job_attempts
+        );
+        Registry::global()
+            .counter("dg_serve_worker_restarts_total")
+            .inc();
+        queue.jobs.push_back(spec);
+        shared.wake.notify_one();
+    } else {
+        dg_error!("dg-serve: sweep {fingerprint} failed for good after {attempts} attempts: {msg}");
+        queue.attempts.remove(&fingerprint);
         queue.pending.remove(&fingerprint);
+        queue.failed.insert(fingerprint, msg);
         shared.done.notify_all();
+    }
+}
+
+/// Renders a caught panic payload for the failed map / logs.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked (non-string payload)".to_string()
     }
 }
 
@@ -865,6 +1088,33 @@ mod tests {
             d.store().get_raw(fp).unwrap().unwrap(),
             direct.to_json().into_bytes()
         );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn zero_capacity_queue_sheds_posts_with_503_retry_after() {
+        let root = tmp_root("busy");
+        let d = Daemon::start_with(
+            ArtifactStore::open(&root).unwrap(),
+            Workload::synthetic(),
+            DaemonConfig {
+                workers: 1,
+                max_queue: 0,
+                ..DaemonConfig::default()
+            },
+        )
+        .unwrap();
+        let shed = post(&d, &spec(31).to_json());
+        assert_eq!(shed.status, 503);
+        assert_eq!(shed.retry_after, Some(1));
+        let body = String::from_utf8(shed.body).unwrap();
+        assert!(body.contains("queue full"), "{body}");
+        assert!(d.pending().is_empty());
+        // Cache hits are still served: the bound sheds *work*, not reads.
+        let s = spec(33);
+        let report = s.sweep().run(Workload::synthetic().trial_fn()).unwrap();
+        d.store().put(&report).unwrap();
+        assert_eq!(post(&d, &s.to_json()).status, 200);
         let _ = std::fs::remove_dir_all(&root);
     }
 

@@ -4,13 +4,20 @@
 //! Deliberately minimal: one request per connection (`Connection:
 //! close`), bounded header and body sizes, percent-decoded query
 //! strings, and nothing the daemon does not need. The accept loop hands
-//! each connection to a short-lived thread; a [`ServerHandle`] unblocks
+//! each connection to a short-lived thread — bounded by a concurrent-
+//! handler cap ([`serve_with`]): past the cap a connection is answered
+//! `503 Service Unavailable` with a `Retry-After` header instead of
+//! spawning an unbounded pile of threads. A [`ServerHandle`] unblocks
 //! the loop for a clean in-process shutdown (the production story for
 //! an unclean one is the store's crash-safe resume, not this handle).
+//!
+//! The `http.conn.stall` `dg-fault` site stalls a handler before it
+//! reads the request — how the chaos suite holds a slot open to drive
+//! the cap deterministically.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -22,6 +29,10 @@ const MAX_BODY: usize = 4 * 1024 * 1024;
 /// Per-connection socket timeout: a stalled client cannot pin its
 /// handler thread forever.
 const IO_TIMEOUT: Duration = Duration::from_secs(10);
+/// Default concurrent-handler cap for [`serve`]; see [`serve_with`].
+const DEFAULT_MAX_INFLIGHT: usize = 256;
+/// `Retry-After` seconds suggested when the server sheds load.
+const RETRY_AFTER_SECS: u32 = 1;
 
 /// One parsed HTTP request.
 #[derive(Debug, Clone)]
@@ -56,7 +67,8 @@ impl Request {
     }
 }
 
-/// One HTTP response: status, content type, body.
+/// One HTTP response: status, content type, body, and an optional
+/// `Retry-After` hint for load-shedding statuses.
 #[derive(Debug, Clone)]
 pub struct Response {
     /// HTTP status code.
@@ -65,6 +77,8 @@ pub struct Response {
     pub content_type: &'static str,
     /// Response body bytes.
     pub body: Vec<u8>,
+    /// Seconds for a `Retry-After` header, when backpressure applies.
+    pub retry_after: Option<u32>,
 }
 
 impl Response {
@@ -74,6 +88,7 @@ impl Response {
             status,
             content_type: "application/json",
             body: body.into(),
+            retry_after: None,
         }
     }
 
@@ -83,6 +98,7 @@ impl Response {
             status: 200,
             content_type: "text/csv",
             body: body.into(),
+            retry_after: None,
         }
     }
 
@@ -93,6 +109,7 @@ impl Response {
             status: 200,
             content_type,
             body: body.into(),
+            retry_after: None,
         }
     }
 
@@ -104,6 +121,15 @@ impl Response {
         Response::json(status, body)
     }
 
+    /// A `503 Service Unavailable` error envelope carrying a
+    /// `Retry-After` header — the backpressure answer for a saturated
+    /// accept loop or a full sweep queue.
+    pub fn unavailable(message: &str) -> Self {
+        let mut r = Response::error(503, message);
+        r.retry_after = Some(RETRY_AFTER_SECS);
+        r
+    }
+
     fn reason(&self) -> &'static str {
         match self.status {
             200 => "OK",
@@ -112,7 +138,9 @@ impl Response {
             404 => "Not Found",
             405 => "Method Not Allowed",
             413 => "Payload Too Large",
+            429 => "Too Many Requests",
             431 => "Request Header Fields Too Large",
+            503 => "Service Unavailable",
             _ => "Internal Server Error",
         }
     }
@@ -120,12 +148,16 @@ impl Response {
     fn write_to(&self, stream: &mut impl Write) -> std::io::Result<()> {
         write!(
             stream,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
             self.status,
             self.reason(),
             self.content_type,
             self.body.len()
         )?;
+        if let Some(secs) = self.retry_after {
+            write!(stream, "Retry-After: {secs}\r\n")?;
+        }
+        stream.write_all(b"\r\n")?;
         stream.write_all(&self.body)?;
         stream.flush()
     }
@@ -304,24 +336,71 @@ impl Drop for ServerHandle {
 }
 
 /// Binds `addr` and serves `handler` on a background accept loop, one
-/// short-lived thread per connection.
+/// short-lived thread per connection, with the default concurrent-
+/// handler cap. See [`serve_with`].
 pub fn serve<H>(addr: impl ToSocketAddrs, handler: H) -> std::io::Result<ServerHandle>
 where
     H: Fn(&Request) -> Response + Send + Sync + 'static,
 {
+    serve_with(addr, handler, DEFAULT_MAX_INFLIGHT)
+}
+
+/// Decrements the inflight count when a handler thread finishes — by
+/// any exit path, including a panic unwinding through the handler.
+struct InflightPermit(Arc<AtomicUsize>);
+
+impl Drop for InflightPermit {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Binds `addr` and serves `handler` with at most `max_inflight`
+/// concurrently running connection handlers.
+///
+/// Past the cap the connection is still answered — a shedding thread
+/// reads the request off the socket (so the client never sees a reset
+/// mid-write) and replies [`Response::unavailable`]: `503` with
+/// `Retry-After`, counted as `dg_http_rejected_total`. Shedding threads
+/// do not hold permits; only real handlers do, so the cap bounds work,
+/// not refusals.
+pub fn serve_with<H>(
+    addr: impl ToSocketAddrs,
+    handler: H,
+    max_inflight: usize,
+) -> std::io::Result<ServerHandle>
+where
+    H: Fn(&Request) -> Response + Send + Sync + 'static,
+{
+    assert!(max_inflight > 0, "max_inflight must be at least 1");
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let loop_stop = Arc::clone(&stop);
     let handler = Arc::new(handler);
+    let inflight = Arc::new(AtomicUsize::new(0));
     let accept_thread = std::thread::spawn(move || {
         for conn in listener.incoming() {
             if loop_stop.load(Ordering::SeqCst) {
                 break;
             }
             let Ok(conn) = conn else { continue };
+            // Claim a permit optimistically; back out and shed if that
+            // overshot the cap.
+            if inflight.fetch_add(1, Ordering::SeqCst) >= max_inflight {
+                inflight.fetch_sub(1, Ordering::SeqCst);
+                dg_obs::Registry::global()
+                    .counter("dg_http_rejected_total")
+                    .inc();
+                std::thread::spawn(move || shed_connection(conn));
+                continue;
+            }
+            let permit = InflightPermit(Arc::clone(&inflight));
             let handler = Arc::clone(&handler);
-            std::thread::spawn(move || handle_connection(conn, &*handler));
+            std::thread::spawn(move || {
+                let _permit = permit;
+                handle_connection(conn, &*handler);
+            });
         }
     });
     Ok(ServerHandle {
@@ -331,10 +410,26 @@ where
     })
 }
 
+/// Answers a connection the cap refused: drain the request, say 503.
+fn shed_connection(conn: TcpStream) {
+    let _ = conn.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = conn.set_write_timeout(Some(IO_TIMEOUT));
+    let mut reader = BufReader::new(conn);
+    let _ = read_request(&mut reader);
+    let mut conn = reader.into_inner();
+    let _ = Response::unavailable("server saturated; retry shortly").write_to(&mut conn);
+}
+
 fn handle_connection<H>(conn: TcpStream, handler: &H)
 where
     H: Fn(&Request) -> Response,
 {
+    // Chaos hook: hold this handler (and its inflight permit) open so
+    // the suite can saturate the cap with a deterministic number of
+    // connections instead of a timing race.
+    if dg_fault::should_fail("http.conn.stall") {
+        std::thread::sleep(Duration::from_millis(300));
+    }
     let _ = conn.set_read_timeout(Some(IO_TIMEOUT));
     let _ = conn.set_write_timeout(Some(IO_TIMEOUT));
     let mut reader = BufReader::new(conn);
@@ -432,6 +527,52 @@ mod tests {
         let mut out = String::new();
         conn.read_to_string(&mut out).unwrap();
         assert!(out.starts_with("HTTP/1.1 400"), "{out}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn saturated_server_sheds_with_503_and_retry_after() {
+        // Cap of 1: a handler parked on a channel holds the only slot,
+        // so the second connection must be shed, not queued.
+        let (started_tx, started_rx) = std::sync::mpsc::channel::<()>();
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        let release_rx = std::sync::Mutex::new(release_rx);
+        let handle = serve_with(
+            "127.0.0.1:0",
+            move |_: &Request| {
+                started_tx.send(()).unwrap();
+                let _ = release_rx.lock().unwrap().recv();
+                Response::json(200, "done")
+            },
+            1,
+        )
+        .unwrap();
+
+        let mut slow = TcpStream::connect(handle.addr()).unwrap();
+        write!(slow, "GET /a HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        started_rx.recv().unwrap(); // slot is now held
+
+        let mut shed = TcpStream::connect(handle.addr()).unwrap();
+        write!(shed, "GET /b HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let mut out = String::new();
+        shed.read_to_string(&mut out).unwrap();
+        assert!(
+            out.starts_with("HTTP/1.1 503 Service Unavailable\r\n"),
+            "{out}"
+        );
+        assert!(out.contains("\r\nRetry-After: 1\r\n"), "{out}");
+
+        release_tx.send(()).unwrap();
+        let mut out = String::new();
+        slow.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 200 OK\r\n"), "{out}");
+
+        // Slot freed: a fresh request is served normally again (the
+        // dropped sender makes its recv return immediately).
+        drop(release_tx);
+        let (status, body) = request(handle.addr(), "GET", "/c", b"").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, b"done");
         handle.shutdown();
     }
 

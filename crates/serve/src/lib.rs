@@ -36,13 +36,37 @@
 //! | `GET /status` | operator view: store size, queue depth, in-flight sweeps, per-endpoint request counts and mean latency |
 //! | `GET /metrics` | Prometheus text exposition of the process-wide [`dg_obs`] registry (requests, engine spans, sweep progress) |
 //! | `GET /sweeps` | index of stored artifacts + pending fingerprints |
-//! | `GET /sweep/<fp>` | the artifact, raw JSON (or CSV via `?format=csv` / `Accept: text/csv`); `202` while in flight |
+//! | `GET /sweep/<fp>` | the artifact, raw JSON (or CSV via `?format=csv` / `Accept: text/csv`); `202` while in flight, `500` if its job failed for good |
 //! | `GET /sweep/<fp>/cell?axis=v&…` | exact or nearest cell summary, with grid distance |
-//! | `POST /sweep` | a [`dg_sweep::SweepSpec`]: `200` + artifact on hit, `202` + fingerprint on miss, `400` on rejection |
+//! | `POST /sweep` | a [`dg_sweep::SweepSpec`]: `200` + artifact on hit, `202` + fingerprint on miss, `400` on rejection, `503` + `Retry-After` when the queue is full |
 //!
 //! Request handling is instrumented ([`Daemon::handle`] records
 //! per-endpoint counters and latency histograms) and logged at
 //! `DG_LOG=debug`; worker lifecycle lands at `info`/`error`.
+//!
+//! ## Fault tolerance
+//!
+//! The daemon is built to *degrade*, not fall over, and the `dg-fault`
+//! chaos suite holds it to that:
+//!
+//! * a job that panics (`daemon.worker.crash`) is requeued with its
+//!   attempts bounded by [`DaemonConfig::max_job_attempts`]; past the
+//!   bound the fingerprint is surfaced as `failed` in `/status` and
+//!   `/sweeps` and `GET /sweep/<fp>` answers `500` until a re-`POST`
+//!   clears it;
+//! * store I/O passes the `store.read.err`/`store.write.err` sites with
+//!   bounded deterministic retries, and a checkpoint corrupted mid-run
+//!   is quarantined ([`ArtifactStore::quarantine_fingerprint`]) so the
+//!   re-run starts clean;
+//! * both the accept loop ([`http::serve_with`]) and the job queue
+//!   ([`DaemonConfig::max_queue`]) are bounded, answering `503` +
+//!   `Retry-After` instead of accepting unbounded work;
+//! * every daemon lock recovers from poisoning — a panicking holder
+//!   never wedges later requests.
+//!
+//! Through all of that, the served bytes stay pinned: a sweep that
+//! crashed, was requeued, and resumed serves the same bytes a fault-free
+//! run writes.
 //!
 //! ## Example
 //!
@@ -65,6 +89,6 @@ pub mod http;
 mod store;
 mod workload;
 
-pub use daemon::{Daemon, Submission};
+pub use daemon::{Daemon, DaemonConfig, Submission};
 pub use store::{ArtifactMeta, ArtifactStore, StoreError};
 pub use workload::Workload;

@@ -19,17 +19,28 @@
 //!   a fingerprint, whose JSON does not parse, or whose recomputed
 //!   fingerprint disagrees with its filename is moved to `quarantine/`
 //!   during the open scan; the store comes up with everything else.
+//!   Mid-run corruption gets the same treatment on demand:
+//!   [`ArtifactStore::quarantine_fingerprint`] evicts a checkpoint that
+//!   stopped parsing so the daemon can re-run its spec from scratch.
+//! * **Transient I/O is retried, bounded.** Reads and writes pass
+//!   through the `store.read.err` / `store.write.err` `dg-fault` sites
+//!   and a deterministic [`dg_fault::retry`] loop, so an injected (or
+//!   real) `Interrupted`-class error costs a bounded backoff, not an
+//!   artifact.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 
 use dg_sweep::{SweepError, SweepReport, SweepSpec};
 
 /// Per-process counter making temporary file names unique under
 /// concurrent puts.
 static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Bounded attempts for store reads/writes hitting transient errors.
+const IO_ATTEMPTS: u32 = 4;
 
 /// Store failures: I/O around the directory, or artifact-layer errors
 /// from parsing/serializing sweeps.
@@ -105,6 +116,14 @@ pub struct ArtifactStore {
 }
 
 impl ArtifactStore {
+    /// The index lock, recovering from poisoning: the index is a cache
+    /// of on-disk state, so a panicking holder cannot leave it less
+    /// consistent than a process kill would — and kills are already
+    /// handled by the open-time rescan.
+    fn index(&self) -> MutexGuard<'_, BTreeMap<u64, ArtifactMeta>> {
+        self.index.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
     /// Opens (creating if needed) the store under `root` and scans
     /// `root/store/*.json` into the index, quarantining anything that
     /// is not a well-formed artifact at its own fingerprint.
@@ -136,7 +155,7 @@ impl ArtifactStore {
             }
             match store.admit(&path) {
                 Ok(meta) => {
-                    store.index.lock().unwrap().insert(meta.fingerprint, meta);
+                    store.index().insert(meta.fingerprint, meta);
                 }
                 Err(_) => store.quarantine(&path)?,
             }
@@ -157,8 +176,11 @@ impl ArtifactStore {
                     path.file_name()
                 )))
             })?;
-        let text =
-            std::fs::read_to_string(path).map_err(|e| StoreError::Io(path.to_path_buf(), e))?;
+        let text = dg_fault::retry(IO_ATTEMPTS, dg_fault::is_transient, || {
+            dg_fault::io_check("store.read.err")?;
+            std::fs::read_to_string(path)
+        })
+        .map_err(|e| StoreError::Io(path.to_path_buf(), e))?;
         let report = SweepReport::from_json(&text)?;
         if report.fingerprint() != named {
             return Err(StoreError::Artifact(SweepError::Parse(format!(
@@ -206,13 +228,17 @@ impl ArtifactStore {
             std::process::id(),
             TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
         ));
-        std::fs::write(&tmp, report.to_json()).map_err(|e| StoreError::Io(tmp.clone(), e))?;
+        dg_fault::retry(IO_ATTEMPTS, dg_fault::is_transient, || {
+            dg_fault::io_check("store.write.err")?;
+            std::fs::write(&tmp, report.to_json())
+        })
+        .map_err(|e| StoreError::Io(tmp.clone(), e))?;
         if let Err(e) = std::fs::rename(&tmp, &dest) {
             let _ = std::fs::remove_file(&tmp);
             return Err(StoreError::Io(dest, e));
         }
         let meta = ArtifactMeta::of_report(fingerprint, report);
-        self.index.lock().unwrap().insert(fingerprint, meta.clone());
+        self.index().insert(fingerprint, meta.clone());
         Ok(meta)
     }
 
@@ -224,21 +250,41 @@ impl ArtifactStore {
     pub fn refresh(&self, fingerprint: u64) -> Result<Option<ArtifactMeta>, StoreError> {
         let path = self.path_for(fingerprint);
         if !path.exists() {
-            self.index.lock().unwrap().remove(&fingerprint);
+            self.index().remove(&fingerprint);
             return Ok(None);
         }
         let meta = self.admit(&path)?;
-        self.index.lock().unwrap().insert(fingerprint, meta.clone());
+        self.index().insert(fingerprint, meta.clone());
         Ok(Some(meta))
+    }
+
+    /// Evicts a fingerprint whose on-disk file went bad *mid-run* —
+    /// the same move-to-`quarantine/` treatment the open scan applies,
+    /// on demand. The index entry is dropped either way; returns
+    /// whether a file was actually moved. After this the daemon can
+    /// re-enqueue the spec and the re-run starts from a clean slate
+    /// instead of tripping over the corrupt checkpoint forever.
+    pub fn quarantine_fingerprint(&self, fingerprint: u64) -> Result<bool, StoreError> {
+        self.index().remove(&fingerprint);
+        let path = self.path_for(fingerprint);
+        if !path.exists() {
+            return Ok(false);
+        }
+        self.quarantine(&path)?;
+        Ok(true)
     }
 
     /// The stored bytes of an artifact, exactly as on disk.
     pub fn get_raw(&self, fingerprint: u64) -> Result<Option<Vec<u8>>, StoreError> {
-        if !self.index.lock().unwrap().contains_key(&fingerprint) {
+        if !self.index().contains_key(&fingerprint) {
             return Ok(None);
         }
         let path = self.path_for(fingerprint);
-        match std::fs::read(&path) {
+        let read = dg_fault::retry(IO_ATTEMPTS, dg_fault::is_transient, || {
+            dg_fault::io_check("store.read.err")?;
+            std::fs::read(&path)
+        });
+        match read {
             Ok(bytes) => Ok(Some(bytes)),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
             Err(e) => Err(StoreError::Io(path, e)),
@@ -258,12 +304,12 @@ impl ArtifactStore {
 
     /// The indexed metadata of one fingerprint.
     pub fn meta(&self, fingerprint: u64) -> Option<ArtifactMeta> {
-        self.index.lock().unwrap().get(&fingerprint).cloned()
+        self.index().get(&fingerprint).cloned()
     }
 
     /// All indexed artifacts, ordered by fingerprint.
     pub fn list(&self) -> Vec<ArtifactMeta> {
-        self.index.lock().unwrap().values().cloned().collect()
+        self.index().values().cloned().collect()
     }
 
     /// The specs of every *incomplete* stored artifact — the daemon's
@@ -367,6 +413,72 @@ mod tests {
             .collect();
         assert_eq!(quarantined.len(), 3, "{quarantined:?}");
         assert!(!root.join("store").join(".tmp-1-2-3").exists());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn mid_run_truncated_checkpoint_is_quarantined_and_rerun_converges() {
+        let root = tmp_root("midrun_trunc");
+        let store = ArtifactStore::open(&root).unwrap();
+        let spec = SweepSpec::new(vec![Axis::ints("n", [4, 8])], 11, TrialBudget::fixed(2));
+        let fp = spec.fingerprint();
+        let trial_fn = |cell: &dg_sweep::Cell, trial: dg_sweep::Trial| {
+            Some(cell.get("n") + (trial.seed % 3) as f64)
+        };
+        let clean = spec
+            .sweep()
+            .checkpoint(store.path_for(fp))
+            .run(trial_fn)
+            .unwrap();
+        let clean_bytes = std::fs::read(store.path_for(fp)).unwrap();
+        store.refresh(fp).unwrap().unwrap();
+
+        // Disk goes bad mid-run: the checkpoint is cut in half. The
+        // store notices on refresh, quarantines on demand, and a
+        // from-scratch re-run restores byte-identical content.
+        std::fs::write(store.path_for(fp), &clean_bytes[..clean_bytes.len() / 2]).unwrap();
+        assert!(store.refresh(fp).is_err(), "truncated file must not admit");
+        assert!(store.quarantine_fingerprint(fp).unwrap());
+        assert_eq!(store.meta(fp), None);
+        assert!(!store.path_for(fp).exists());
+        assert!(root.join("quarantine").join(format!("{fp}.json")).exists());
+
+        let rerun = spec
+            .sweep()
+            .checkpoint(store.path_for(fp))
+            .run(trial_fn)
+            .unwrap();
+        assert_eq!(rerun, clean);
+        assert_eq!(std::fs::read(store.path_for(fp)).unwrap(), clean_bytes);
+        assert!(store.refresh(fp).unwrap().unwrap().complete);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn mid_run_garbled_checkpoint_is_quarantined_and_rerun_converges() {
+        let root = tmp_root("midrun_garble");
+        let store = ArtifactStore::open(&root).unwrap();
+        let report = small_report(5);
+        let fp = store.put(&report).unwrap().fingerprint;
+        // Same length, flipped bytes: parses as garbage, not JSON.
+        let mut bytes = std::fs::read(store.path_for(fp)).unwrap();
+        for b in bytes.iter_mut().take(64) {
+            *b ^= 0x5A;
+        }
+        std::fs::write(store.path_for(fp), &bytes).unwrap();
+        assert!(store.refresh(fp).is_err(), "garbled file must not admit");
+        assert!(store.quarantine_fingerprint(fp).unwrap());
+        // Quarantining an already-evicted or never-stored fingerprint
+        // is a clean no-op.
+        assert!(!store.quarantine_fingerprint(fp).unwrap());
+        assert!(!store.quarantine_fingerprint(424242).unwrap());
+        // Re-put restores the artifact.
+        let meta = store.put(&report).unwrap();
+        assert_eq!(store.meta(fp), Some(meta));
+        assert_eq!(
+            store.get_raw(fp).unwrap().unwrap(),
+            report.to_json().into_bytes()
+        );
         let _ = std::fs::remove_dir_all(&root);
     }
 

@@ -27,6 +27,9 @@ pub(crate) struct SweepObs {
     pub cell_trials: Histogram,
     /// `dg_sweep_checkpoint_writes_total` — artifact rewrites.
     pub checkpoints: Counter,
+    /// `dg_sweep_trial_retries_total` — panicked trials re-run in place
+    /// under `TrialPanic::Retry` (each rerun uses its original seed).
+    pub retries: Counter,
 }
 
 pub(crate) fn sweep_obs() -> &'static SweepObs {
@@ -44,6 +47,7 @@ pub(crate) fn sweep_obs() -> &'static SweepObs {
                 &dg_obs::exponential_bounds(1.0, 2.0, 10),
             ),
             checkpoints: reg.counter("dg_sweep_checkpoint_writes_total"),
+            retries: reg.counter("dg_sweep_trial_retries_total"),
         }
     })
 }

@@ -73,7 +73,7 @@ pub use axis::{Axis, Cell, Grid, Metric, MetricStopping};
 pub use budget::{CiTarget, TrialBudget};
 pub use error::SweepError;
 pub use report::{CellReport, NearestCell, SweepReport};
-pub use runner::{Sweep, Trial};
+pub use runner::{Sweep, Trial, TrialPanic};
 pub use spec::SweepSpec;
 
 /// Mixes a base seed with a stream index into an independent-looking

@@ -887,6 +887,11 @@ fn opt_csv(x: Option<f64>) -> String {
 }
 
 fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), SweepError> {
+    // The `store.write.err` injection site: a transient failure here
+    // exercises the bounded retry every checkpoint/artifact writer
+    // wraps around this function. Injected *before* the write, so a
+    // fired fault never leaves a torn temporary behind.
+    dg_fault::io_check("store.write.err")?;
     let tmp = path.with_extension("tmp");
     std::fs::write(&tmp, bytes)?;
     std::fs::rename(&tmp, path)?;

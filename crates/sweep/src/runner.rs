@@ -25,6 +25,45 @@ use crate::report::{fingerprint, CellReport, SweepReport};
 /// Minimum spacing between progress heartbeats (`DG_LOG=info`).
 const HEARTBEAT_EVERY: Duration = Duration::from_secs(2);
 
+/// Bounded attempts for checkpoint reads/writes that fail transiently
+/// (`std::io::ErrorKind::Interrupted` and friends — the class
+/// `dg_fault::io_check` injects), with deterministic backoff between
+/// tries. Non-transient I/O errors still fail on the first attempt.
+const IO_ATTEMPTS: u32 = 4;
+
+/// What the scheduler does when the trial function panics.
+///
+/// The default, [`TrialPanic::Propagate`], preserves the historical
+/// behavior: the panic unwinds out of [`Sweep::run`] (the pool drains
+/// first, so it cannot deadlock). The other two policies make a sweep
+/// survive faulty trials — the `dg-fault` site `sweep.trial.panic`
+/// exists precisely to prove they work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrialPanic {
+    /// Unwind out of the sweep (default).
+    Propagate,
+    /// Re-run the panicked trial in place, up to `max` extra attempts
+    /// per claimed trial, with its *original* seed — so a sweep that
+    /// recovers from transient panics produces an artifact
+    /// byte-identical to a fault-free run. Exhausting the attempts
+    /// propagates the last panic.
+    ///
+    /// Retried trials re-enter the trial function with the same
+    /// per-worker state; the state contract already requires observable
+    /// behavior to be seed-determined (the engine re-randomizes cached
+    /// models per trial), which is exactly what makes an in-place rerun
+    /// sound.
+    Retry {
+        /// Extra attempts per claimed trial before giving up.
+        max: u32,
+    },
+    /// Record the trial as fully censored (`None` in every metric slot)
+    /// and keep going. Degrades gracefully at the cost of bytes: unlike
+    /// [`TrialPanic::Retry`], the artifact differs from a fault-free
+    /// run exactly where trials were lost.
+    Censor,
+}
+
 /// Identity of one scheduled trial, handed to the trial function.
 ///
 /// `seed == mix_seed(cell_seed, index)` and
@@ -54,13 +93,15 @@ pub struct Sweep {
     lookahead: usize,
     run_budget: Option<usize>,
     checkpoint: Option<PathBuf>,
+    on_trial_panic: TrialPanic,
 }
 
 impl Sweep {
     /// Starts configuring a sweep over `grid`. Defaults: adaptive budget
     /// (8–64 trials per cell, 5% relative CI target), base seed
     /// `0xD15E_A5E1`, parallel execution on all available cores,
-    /// speculation lookahead 2, no run budget, no checkpoint.
+    /// speculation lookahead 2, no run budget, no checkpoint, panics
+    /// propagate ([`TrialPanic::Propagate`]).
     pub fn over(grid: Grid) -> Sweep {
         Sweep {
             grid,
@@ -71,6 +112,7 @@ impl Sweep {
             lookahead: 2,
             run_budget: None,
             checkpoint: None,
+            on_trial_panic: TrialPanic::Propagate,
         }
     }
 
@@ -129,6 +171,17 @@ impl Sweep {
     /// silent restart.
     pub fn checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
         self.checkpoint = Some(path.into());
+        self
+    }
+
+    /// Sets the panic policy for the trial function (see
+    /// [`TrialPanic`]; default [`TrialPanic::Propagate`]). The policy
+    /// never changes *which* `(cell, trial)` seeds run, only what
+    /// happens when one of them unwinds — under
+    /// [`TrialPanic::Retry`] the recovered artifact is byte-identical
+    /// to a fault-free run.
+    pub fn on_trial_panic(mut self, policy: TrialPanic) -> Self {
+        self.on_trial_panic = policy;
         self
     }
 
@@ -279,7 +332,10 @@ impl Sweep {
             cells.iter().map(|_| CellState::new(&self.budget)).collect();
         if let Some(path) = &self.checkpoint {
             if path.exists() {
-                let text = std::fs::read_to_string(path)?;
+                let text = dg_fault::retry(IO_ATTEMPTS, transient, || {
+                    dg_fault::io_check("store.read.err")?;
+                    Ok(std::fs::read_to_string(path)?)
+                })?;
                 let prior = SweepReport::from_json(&text)?;
                 let ours = fingerprint(
                     self.grid.axes(),
@@ -324,6 +380,7 @@ impl Sweep {
             lookahead: self.lookahead,
             run_budget: self.run_budget,
             checkpoint: self.checkpoint.as_deref(),
+            on_trial_panic: self.on_trial_panic,
             axes: self.grid.axes(),
             max_rounds: self.grid.max_rounds_table(),
             metrics,
@@ -355,7 +412,7 @@ impl Sweep {
             &state.cells,
         );
         if let Some(path) = &self.checkpoint {
-            report.write_json(path)?;
+            dg_fault::retry(IO_ATTEMPTS, transient, || report.write_json(path))?;
         }
         Ok(report)
     }
@@ -505,10 +562,17 @@ struct Shared<'a> {
     lookahead: usize,
     run_budget: Option<usize>,
     checkpoint: Option<&'a Path>,
+    on_trial_panic: TrialPanic,
     axes: &'a [Axis],
     max_rounds: Option<&'a [u32]>,
     metrics: Option<&'a [Metric]>,
     base_seed: u64,
+}
+
+/// The transient-I/O class worth a bounded retry: exactly what
+/// [`dg_fault::is_transient`] accepts, lifted over [`SweepError`].
+fn transient(e: &SweepError) -> bool {
+    matches!(e, SweepError::Io(io) if dg_fault::is_transient(io))
 }
 
 fn lock<'a>(shared: &'a Shared<'_>) -> MutexGuard<'a, State> {
@@ -593,10 +657,44 @@ where
             shared,
             armed: true,
         };
-        let sample = trial_fn(&shared.cells[ci], trial, &mut state);
+        let width = shared.metrics.map_or(1, <[Metric]>::len);
+        // Run the trial under the panic policy. `AssertUnwindSafe` is
+        // justified by the per-worker state contract: observable
+        // behavior must be seed-determined, so a rerun (same `trial`,
+        // same seed) after an unwind cannot depend on what the aborted
+        // attempt left behind.
+        let mut attempts = 0u32;
+        let sample = loop {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                dg_fault::fail_point("sweep.trial.panic");
+                trial_fn(&shared.cells[ci], trial, &mut state)
+            }));
+            match result {
+                Ok(row) => break row,
+                Err(payload) => match shared.on_trial_panic {
+                    TrialPanic::Retry { max } if attempts < max => {
+                        attempts += 1;
+                        sweep_obs().retries.inc();
+                        dg_obs::dg_debug!(
+                            "dg-sweep: trial {ti} of cell {} panicked; retry {attempts}/{max} with its original seed",
+                            shared.cells[ci]
+                        );
+                    }
+                    TrialPanic::Censor => {
+                        dg_obs::dg_debug!(
+                            "dg-sweep: trial {ti} of cell {} panicked; censored",
+                            shared.cells[ci]
+                        );
+                        break vec![None; width];
+                    }
+                    // Propagate, or Retry out of attempts: unwind. The
+                    // armed guard flips `aborted` so the pool drains.
+                    _ => std::panic::resume_unwind(payload),
+                },
+            }
+        };
         // Reject bad rows here, where the cell and trial are still
         // known — not rounds later inside artifact serialization.
-        let width = shared.metrics.map_or(1, <[Metric]>::len);
         assert!(
             sample.len() == width,
             "trial function returned {} slots for {} declared metrics (cell {}, trial {ti})",
@@ -751,7 +849,7 @@ fn write_checkpoint(shared: &Shared<'_>) {
         )
     };
     let path = shared.checkpoint.expect("caller checked");
-    let result = report.write_json(path);
+    let result = dg_fault::retry(IO_ATTEMPTS, transient, || report.write_json(path));
     sweep_obs().checkpoints.inc();
     drop(io_guard);
     if let Err(e) = result {
@@ -1104,5 +1202,75 @@ mod tests {
                 }
                 Some(1.0)
             });
+    }
+
+    #[test]
+    fn retry_policy_recovers_to_fault_free_bytes() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+
+        let config = |s: Sweep| {
+            s.budget(TrialBudget::adaptive(3, 32, CiTarget::Absolute(0.5)))
+                .base_seed(99)
+        };
+        let fault_free = config(Sweep::over(grid())).run(synthetic).unwrap();
+        // The first `faults` trial executions panic — whichever worker
+        // picks them up — and each is retried in place with its
+        // original seed, so the artifact comes out byte-identical.
+        for (threads, faults) in [(1usize, 3u32), (4, 5)] {
+            let remaining = AtomicU32::new(faults);
+            let report = config(Sweep::over(grid()))
+                .threads(threads)
+                .on_trial_panic(TrialPanic::Retry { max: 8 })
+                .run(|cell, trial| {
+                    if remaining
+                        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |f| f.checked_sub(1))
+                        .is_ok()
+                    {
+                        panic!("injected test fault");
+                    }
+                    synthetic(cell, trial)
+                })
+                .unwrap();
+            assert_eq!(remaining.load(Ordering::SeqCst), 0);
+            assert_eq!(
+                report.to_json(),
+                fault_free.to_json(),
+                "threads={threads} faults={faults}"
+            );
+        }
+    }
+
+    #[test]
+    fn censor_policy_records_fully_censored_trials() {
+        let report = Sweep::over(grid())
+            .budget(TrialBudget::fixed(4))
+            .parallel(false)
+            .on_trial_panic(TrialPanic::Censor)
+            .run(|cell, trial| {
+                if trial.index == 1 {
+                    panic!("boom");
+                }
+                synthetic(cell, trial)
+            })
+            .unwrap();
+        assert!(report.is_complete());
+        for cell in report.cells() {
+            assert_eq!(cell.trials(), 4);
+            assert_eq!(cell.incomplete(), 1, "cell {}", cell.id);
+            assert_eq!(cell.samples[1], vec![None]);
+        }
+        // The censored artifact round-trips like any other.
+        let reloaded = SweepReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(reloaded, report);
+    }
+
+    #[test]
+    #[should_panic(expected = "persistent boom")]
+    fn retry_exhaustion_propagates_the_last_panic() {
+        let _ = Sweep::over(grid())
+            .budget(TrialBudget::fixed(2))
+            .parallel(false)
+            .on_trial_panic(TrialPanic::Retry { max: 2 })
+            .run(|_, _| -> Option<f64> { panic!("persistent boom") });
     }
 }

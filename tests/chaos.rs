@@ -1,0 +1,217 @@
+//! The chaos pin for `dg-fault`: recovered-from-faults ≡ fault-free.
+//!
+//! Fault tolerance that changes the answer is worse than no fault
+//! tolerance — a retried trial that re-rolled its RNG would corrupt a
+//! phase diagram silently. So every test here runs the same sweep
+//! twice: once clean, once under a deterministic [`dg_fault::FaultPlan`]
+//! (`always` rules — `prob 1x N` — so nothing about the test is
+//! probabilistic), and asserts the recovered artifact is *byte
+//! identical* to the fault-free one, across:
+//!
+//! * trial panics (`sweep.trial.panic`) absorbed by
+//!   [`TrialPanic::Retry`], on the serial and parallel schedulers;
+//! * checkpoint write faults (`store.write.err`) retried by the
+//!   runner's bounded I/O retry loop;
+//! * checkpoint read faults (`store.read.err`) on the resume path;
+//! * a kill+resume where *both* halves run under injection.
+//!
+//! The fault plan is process-global, so the whole suite serialises on
+//! one lock and every test disarms before asserting.
+
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use dg_fault::FaultPlan;
+use dynspread::dynagraph::sweep::{Axis, Grid, Sweep, SweepReport, TrialBudget, TrialPanic};
+
+/// One lock for the process-global fault plan.
+static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    CHAOS_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn grid() -> Grid {
+    Grid::new()
+        .axis(Axis::ints("n", [8, 16, 24]))
+        .axis(Axis::linear("q", 0.1, 0.3, 2))
+}
+
+/// A deterministic stand-in measurement: any pure function of
+/// `(cell, seed)` exercises the scheduler and artifact layers fully.
+fn measure(cell: &dynspread::dynagraph::sweep::Cell, seed: u64) -> Option<f64> {
+    Some(cell.get("n") * cell.get("q") + (seed % 7) as f64)
+}
+
+fn sweep(threads: usize) -> Sweep {
+    Sweep::over(grid())
+        .budget(TrialBudget::fixed(4))
+        .base_seed(0xFA_0175)
+        .threads(threads)
+}
+
+fn tmp_path(tag: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("dg_chaos_{tag}_{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+#[test]
+fn trial_panics_retry_to_fault_free_bytes_on_both_schedulers() {
+    let _guard = serial();
+    dg_fault::set_plan(None);
+    let clean = sweep(1).run(|c, t| measure(c, t.seed)).unwrap().to_json();
+    for threads in [1, 4] {
+        let faulted = {
+            let _plan = dg_fault::scoped(FaultPlan::new(3).always("sweep.trial.panic", 5));
+            sweep(threads)
+                .on_trial_panic(TrialPanic::Retry { max: 8 })
+                .run(|c, t| measure(c, t.seed))
+                .unwrap()
+        };
+        assert_eq!(
+            faulted.to_json(),
+            clean,
+            "{threads}-thread recovery must be invisible in the artifact"
+        );
+    }
+}
+
+#[test]
+fn checkpoint_write_faults_retry_to_identical_artifact() {
+    let _guard = serial();
+    dg_fault::set_plan(None);
+    let clean = sweep(1).run(|c, t| measure(c, t.seed)).unwrap();
+    let path = tmp_path("write_faults");
+    let before = dg_fault::injected_total();
+    let faulted = {
+        let _plan = dg_fault::scoped(FaultPlan::new(0).always("store.write.err", 3));
+        sweep(1)
+            .checkpoint(&path)
+            .run(|c, t| measure(c, t.seed))
+            .unwrap()
+    };
+    assert!(
+        dg_fault::injected_total() - before >= 3,
+        "the plan must actually have fired"
+    );
+    assert_eq!(faulted, clean);
+    let on_disk = std::fs::read_to_string(&path).unwrap();
+    assert_eq!(on_disk, clean.to_json(), "checkpoint file survives faults");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn checkpoint_read_faults_retry_on_resume() {
+    let _guard = serial();
+    dg_fault::set_plan(None);
+    let clean = sweep(1).run(|c, t| measure(c, t.seed)).unwrap();
+    let path = tmp_path("read_faults");
+    // First half: a partial checkpoint, written clean.
+    let partial = sweep(1)
+        .checkpoint(&path)
+        .run_budget(9)
+        .run(|c, t| measure(c, t.seed))
+        .unwrap();
+    assert!(!partial.is_complete());
+    // Second half: the resume's preload read hits transient faults.
+    let resumed = {
+        let _plan = dg_fault::scoped(FaultPlan::new(0).always("store.read.err", 2));
+        sweep(1)
+            .checkpoint(&path)
+            .run(|c, t| measure(c, t.seed))
+            .unwrap()
+    };
+    assert_eq!(resumed, clean);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn kill_and_resume_with_faults_on_both_halves_is_byte_identical() {
+    let _guard = serial();
+    dg_fault::set_plan(None);
+    let clean = sweep(1).run(|c, t| measure(c, t.seed)).unwrap();
+    let path = tmp_path("kill_resume");
+    // Both halves run under injection: trial panics *and* write faults,
+    // with a run budget standing in for the kill.
+    {
+        let _plan = dg_fault::scoped(
+            FaultPlan::new(7)
+                .always("sweep.trial.panic", 2)
+                .always("store.write.err", 1),
+        );
+        let partial = sweep(1)
+            .checkpoint(&path)
+            .run_budget(7)
+            .on_trial_panic(TrialPanic::Retry { max: 8 })
+            .run(|c, t| measure(c, t.seed))
+            .unwrap();
+        assert!(!partial.is_complete());
+    }
+    let resumed = {
+        let _plan = dg_fault::scoped(
+            FaultPlan::new(8)
+                .always("sweep.trial.panic", 2)
+                .always("store.read.err", 1)
+                .always("store.write.err", 1),
+        );
+        sweep(4)
+            .checkpoint(&path)
+            .on_trial_panic(TrialPanic::Retry { max: 8 })
+            .run(|c, t| measure(c, t.seed))
+            .unwrap()
+    };
+    assert_eq!(resumed, clean);
+    let reloaded = SweepReport::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    assert_eq!(reloaded, clean);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn censor_policy_is_the_documented_bytes_exception() {
+    let _guard = serial();
+    dg_fault::set_plan(None);
+    let clean = sweep(1).run(|c, t| measure(c, t.seed)).unwrap();
+    // Censor records a fully-censored row instead of retrying — the one
+    // policy that *does* change bytes, by design, and says so.
+    let censored = {
+        let _plan = dg_fault::scoped(FaultPlan::new(1).always("sweep.trial.panic", 2));
+        sweep(1)
+            .on_trial_panic(TrialPanic::Censor)
+            .run(|c, t| measure(c, t.seed))
+            .unwrap()
+    };
+    assert_ne!(censored, clean);
+    assert_eq!(
+        censored
+            .cells()
+            .iter()
+            .map(|c| c.incomplete())
+            .sum::<usize>(),
+        2,
+        "exactly the two injected panics are censored"
+    );
+    // And the artifact still round-trips.
+    let json = censored.to_json();
+    assert_eq!(SweepReport::from_json(&json).unwrap(), censored);
+}
+
+#[test]
+fn injection_counters_count_and_disarm_cleanly() {
+    let _guard = serial();
+    dg_fault::set_plan(None);
+    let before = dg_fault::injected_total();
+    {
+        let _plan = dg_fault::scoped(FaultPlan::new(0).always("sweep.trial.panic", 2));
+        let _ = sweep(1)
+            .on_trial_panic(TrialPanic::Retry { max: 4 })
+            .run(|c, t| measure(c, t.seed))
+            .unwrap();
+    }
+    assert_eq!(dg_fault::injected_total() - before, 2);
+    // Guard dropped: nothing fires any more.
+    assert!(!dg_fault::should_fail("sweep.trial.panic"));
+    let after = dg_fault::injected_total();
+    let _ = sweep(1).run(|c, t| measure(c, t.seed)).unwrap();
+    assert_eq!(dg_fault::injected_total(), after);
+}
